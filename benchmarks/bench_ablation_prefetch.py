@@ -1,0 +1,64 @@
+"""Ablation — batched block prefetch (the async-fetch pipeline).
+
+RemoteAccess pipelines all of a query's block fetches into one
+multi-range request when the source supports it (as OpenVisus' async
+block queue does).  This ablation disables the batch path and measures
+the round-trip count and virtual seconds per query with and without it
+— latency-bound remote reads are where the pipeline pays.
+"""
+
+import pytest
+from conftest import print_header
+
+from repro.idx import IdxDataset, RemoteAccess
+from repro.network import SimClock
+from repro.storage import SealStorage, upload_idx_to_seal
+
+
+class _NoBatchSource:
+    """Wraps a SealByteSource hiding its read_many (disables pipelining)."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+
+    def read_at(self, offset, length):
+        return self._inner.read_at(offset, length)
+
+    def size(self):
+        return self._inner.size()
+
+
+@pytest.fixture(scope="module")
+def sealed(terrain_idx):
+    clock = SimClock()
+    seal = SealStorage(site="slc", clock=clock)
+    token = seal.issue_token("bench", ("read", "write"))
+    upload_idx_to_seal(terrain_idx, seal, "t.idx", token=token, from_site="knox")
+    return seal, token, clock
+
+
+def _query_cost(seal, token, clock, batched: bool):
+    source = seal.byte_source("t.idx", token=token, from_site="knox")
+    if not batched:
+        source = _NoBatchSource(source)
+    ds = IdxDataset.from_access(RemoteAccess(source, uri="bench://t"))
+    t0 = clock.now
+    ds.read(box=((64, 64), (192, 192)))  # full-res crop: many fine blocks
+    return clock.now - t0
+
+
+def test_ablation_prefetch_pipelining(benchmark, sealed):
+    seal, token, clock = sealed
+    with_batch = _query_cost(seal, token, clock, batched=True)
+    without_batch = _query_cost(seal, token, clock, batched=False)
+    benchmark.pedantic(
+        lambda: _query_cost(seal, token, clock, batched=True), rounds=3, iterations=1
+    )
+
+    print_header("Ablation: batched prefetch vs per-block round trips")
+    print(f"pipelined (read_many) : {with_batch:.4f} virtual s")
+    print(f"per-block (read_at)   : {without_batch:.4f} virtual s")
+    print(f"speedup               : {without_batch / with_batch:.1f}x")
+
+    # The crop touches dozens of blocks; per-block latency dominates.
+    assert with_batch < without_batch / 5

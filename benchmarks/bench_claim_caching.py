@@ -1,0 +1,78 @@
+"""C3 — §III-A claim: "The caching-enabled framework [...] ensures that
+data can be streamed efficiently, minimizing latency and overhead."
+
+Streams an IDX dataset from simulated Seal Storage over the WAN and
+measures virtual network time for cold vs warm interactions, plus a
+hit-rate sweep as the dashboard revisits regions.  Shape: a warm cache
+collapses repeat-interaction cost to ~zero, and the cold/warm gap is the
+link round-trip factor.
+"""
+
+import pytest
+from conftest import print_header
+
+from repro.idx import BlockCache
+from repro.network import SimClock
+from repro.storage import SealStorage, open_remote_idx, upload_idx_to_seal
+
+
+@pytest.fixture(scope="module")
+def sealed(terrain_idx):
+    clock = SimClock()
+    seal = SealStorage(site="slc", clock=clock)
+    token = seal.issue_token("bench", ("read", "write"))
+    upload_idx_to_seal(terrain_idx, seal, "terrain.idx", token=token, from_site="knox")
+    return seal, token, clock
+
+
+INTERACTIONS = [
+    ("overview", dict(resolution=8)),
+    ("zoom A", dict(box=((0, 0), (128, 128)))),
+    ("zoom B", dict(box=((64, 64), (192, 192)))),
+    ("revisit A", dict(box=((0, 0), (128, 128)))),
+    ("overview again", dict(resolution=8)),
+]
+
+
+def test_c3_caching_minimises_latency(benchmark, sealed):
+    seal, token, clock = sealed
+
+    def run_session(cache):
+        ds = open_remote_idx(seal, "terrain.idx", token=token, from_site="knox", cache=cache)
+        costs = []
+        for name, kwargs in INTERACTIONS:
+            t0 = clock.now
+            ds.read(field="elevation", **kwargs)
+            costs.append((name, clock.now - t0))
+        return costs
+
+    cached_costs = run_session(BlockCache("64 MiB"))
+    uncached_costs = run_session(None)
+    benchmark.pedantic(lambda: run_session(BlockCache("64 MiB")), rounds=3, iterations=1)
+
+    print_header("C3: virtual WAN seconds per dashboard interaction")
+    print(f"{'interaction':<16s} {'no cache':>10s} {'with cache':>12s}")
+    for (name, uc), (_, cc) in zip(uncached_costs, cached_costs):
+        print(f"{name:<16s} {uc:>9.4f}s {cc:>11.4f}s")
+
+    # Revisits are (near-)free with the cache, full price without.
+    revisit_cached = dict(cached_costs)["revisit A"]
+    revisit_uncached = dict(uncached_costs)["revisit A"]
+    assert revisit_cached < revisit_uncached / 50
+    total_cached = sum(c for _, c in cached_costs)
+    total_uncached = sum(c for _, c in uncached_costs)
+    print(f"{'total':<16s} {total_uncached:>9.4f}s {total_cached:>11.4f}s")
+    assert total_cached < total_uncached
+
+
+def test_c3_hit_rate_grows_with_revisits(sealed):
+    seal, token, clock = sealed
+    cache = BlockCache("64 MiB")
+    ds = open_remote_idx(seal, "terrain.idx", token=token, from_site="knox", cache=cache)
+    rates = []
+    for _ in range(4):
+        ds.read(resolution=10)
+        rates.append(cache.stats.hit_rate)
+    print("hit rate after each pass:", [f"{r:.2f}" for r in rates])
+    assert rates[-1] > rates[0]
+    assert rates[-1] > 0.6

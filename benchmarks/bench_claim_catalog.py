@@ -1,0 +1,84 @@
+"""C6 — §III-B claim: the NSDF-Catalog "indexes over 1.59 billion
+records, facilitating efficient data discovery".
+
+Scaled to laptop size: sweeps the corpus from 1k to 32k records,
+reporting ingest throughput and search latency.  Shape to hold: ingest
+throughput stays flat (amortised O(1) per record) and search latency
+grows far slower than the corpus (posting-list intersection, not scan).
+"""
+
+import time
+
+import numpy as np
+import pytest
+from conftest import print_header
+
+from repro.catalog import CatalogRecord, CatalogService
+
+
+def _make_records(n, seed=0):
+    rng = np.random.default_rng(seed)
+    vocab = [f"kw{i:03d}" for i in range(300)]
+    sources = [f"site-{i}" for i in range(8)]
+    records = []
+    for i in range(n):
+        kws = tuple(vocab[j] for j in rng.integers(0, len(vocab), 4))
+        records.append(
+            CatalogRecord.build(
+                f"dataset-{i:07d}.idx",
+                sources[int(rng.integers(0, 8))],
+                size=int(rng.integers(1_000, 10_000_000)),
+                checksum=f"c{i}",
+                keywords=kws,
+            )
+        )
+    return records
+
+
+SIZES = [1_000, 4_000, 16_000, 32_000]
+
+
+def test_c6_catalog_scaling(benchmark):
+    rows = []
+    for n in SIZES:
+        records = _make_records(n)
+        catalog = CatalogService()
+        t0 = time.perf_counter()
+        catalog.ingest_many(records)
+        ingest_s = time.perf_counter() - t0
+        catalog.search("kw001")  # freeze postings before timing
+        # Selective queries: result size is roughly corpus-independent,
+        # so latency growth isolates the index, not the result scoring.
+        t0 = time.perf_counter()
+        for _ in range(5):
+            catalog.search("kw001 kw002")
+            catalog.search("kw050 kw051")
+        search_s = (time.perf_counter() - t0) / 10
+        rows.append((n, ingest_s, n / ingest_s, search_s))
+
+    # Timed kernel: searching the largest corpus.
+    big = CatalogService()
+    big.ingest_many(_make_records(SIZES[-1]))
+    big.search("kw001")
+    benchmark(lambda: big.search("kw001 kw002"))
+
+    print_header("C6: catalog ingest/search scaling (1.59B records, scaled)")
+    print(f"{'records':>8s} {'ingest':>9s} {'rec/s':>10s} {'search':>10s}")
+    for n, ingest_s, rate, search_s in rows:
+        print(f"{n:>8d} {ingest_s:>8.3f}s {rate:>10.0f} {search_s * 1e6:>8.0f}us")
+
+    # Ingest rate roughly flat (within 4x across a 32x corpus growth).
+    rates = [r for _, _, r, _ in rows]
+    assert max(rates) < 4 * min(rates)
+    # Search sub-linear: 32x corpus must cost far less than 32x latency.
+    assert rows[-1][3] < rows[0][3] * 8 + 1e-3
+
+
+def test_c6_dedup_and_facets():
+    catalog = CatalogService()
+    records = _make_records(2_000)
+    assert catalog.ingest_many(records) == 2_000
+    assert catalog.ingest_many(records) == 0  # full dedup on re-harvest
+    facets = catalog.facets_by_source("kw001")
+    print("facets for kw001:", facets)
+    assert sum(facets.values()) == len(catalog.search("kw001", limit=10_000))

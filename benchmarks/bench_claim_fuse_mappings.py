@@ -1,0 +1,78 @@
+"""C5 — §III-B claim: NSDF-FUSE's "customizable mapping packages" let
+users trade object-store behaviour against workload shape.
+
+Runs two canonical workloads (many small files; one large file with
+windowed reads) against the three mapping packages and reports object
+counts and store operations.  Shapes: archive minimises objects for
+small files (at write-amplification cost); chunked minimises bytes moved
+for windowed reads; one-to-one is the simple middle ground.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_header
+
+from repro.storage import ArchiveMapping, ChunkedMapping, FuseMount, ObjectStore, OneToOneMapping
+
+MAPPINGS = {
+    "one-to-one": lambda: OneToOneMapping(),
+    "chunked": lambda: ChunkedMapping("256 KiB"),
+    "archive": lambda: ArchiveMapping("4 MiB"),
+}
+
+
+def _small_files_workload(mount):
+    rng = np.random.default_rng(0)
+    for i in range(64):
+        mount.write_file(f"logs/part-{i:03d}.json", bytes(rng.integers(0, 256, 2000, dtype=np.uint8)))
+    for i in range(0, 64, 4):
+        mount.read_file(f"logs/part-{i:03d}.json")
+
+
+def _windowed_read_workload(mount):
+    data = np.random.default_rng(1).integers(0, 256, 4 * 1024 * 1024, dtype=np.uint8).tobytes()
+    mount.write_file("volume.raw", data)
+    for offset in range(0, len(data), 512 * 1024):
+        mount.read_range("volume.raw", offset, 4096)
+
+
+@pytest.mark.parametrize("workload_name,workload", [
+    ("many-small-files", _small_files_workload),
+    ("windowed-reads", _windowed_read_workload),
+])
+def test_c5_mapping_package_tradeoffs(benchmark, workload_name, workload):
+    results = {}
+    for name, factory in MAPPINGS.items():
+        store = ObjectStore()
+        mount = FuseMount(store, "fs", factory())
+        before = store.stats.snapshot()
+        workload(mount)
+        delta = store.stats.delta(before)
+        results[name] = (len(store.list("fs")), delta)
+
+    # Timed kernel: the chunked mapping on this workload.
+    def timed():
+        store = ObjectStore()
+        workload(FuseMount(store, "fs", ChunkedMapping("256 KiB")))
+
+    benchmark.pedantic(timed, rounds=3, iterations=1)
+
+    print_header(f"C5: mapping packages under '{workload_name}'")
+    print(f"{'mapping':<12s} {'objects':>8s} {'puts':>6s} {'gets':>6s} "
+          f"{'bytes in':>12s} {'bytes out':>12s}")
+    for name, (objects, delta) in results.items():
+        print(f"{name:<12s} {objects:>8d} {delta.puts:>6d} {delta.gets:>6d} "
+              f"{delta.bytes_in:>12d} {delta.bytes_out:>12d}")
+
+    if workload_name == "many-small-files":
+        # Archive packs 64 files into very few objects but amplifies writes.
+        assert results["archive"][0] < results["one-to-one"][0] / 4
+        assert results["archive"][1].bytes_in > results["one-to-one"][1].bytes_in
+    else:
+        # Every mapping's ranged reads beat naive whole-file-per-window
+        # access (8 windows x 4 MiB); chunked additionally bounds each
+        # window to its covering chunk(s).
+        naive = 8 * 4 * 1024 * 1024
+        for name, (_, delta) in results.items():
+            assert delta.bytes_out < naive / 4, name
+        assert results["chunked"][1].bytes_out <= 8 * (256 * 1024 + 4096) * 2

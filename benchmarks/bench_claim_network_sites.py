@@ -1,0 +1,45 @@
+"""C4 — §III-B claim: the NSDF-Plugin identifies "throughput and latency
+constraints across eight diverse locations in the United States".
+
+Probes every pair of the 8-site simulated testbed and prints the
+latency/throughput matrix plus the constraint report the plugin's
+monitoring produces.  Shape: coast-to-coast pairs dominate latency;
+regional-spur pairs bottleneck throughput at 1 Gbit/s while backbone
+pairs reach 10 Gbit/s.
+"""
+
+import pytest
+from conftest import print_header
+
+from repro.network import NetworkMonitor, default_testbed
+
+
+def test_c4_site_pair_monitoring(benchmark):
+    def measure():
+        monitor = NetworkMonitor(default_testbed(), seed=4)
+        return monitor, monitor.measure_all(repeats=3, probe_bytes="8 MiB")
+
+    monitor, results = benchmark.pedantic(measure, rounds=3, iterations=1)
+
+    print_header("C4: NSDF-Plugin probe matrix (8 sites, 28 pairs)")
+    print("fastest and slowest five pairs by RTT:")
+    for stats in results[:5]:
+        print("  ", stats)
+    print("   ...")
+    for stats in results[-5:]:
+        print("  ", stats)
+
+    report = monitor.constraint_report(results)
+    print("\nconstraint report:")
+    for key, pair in report.items():
+        print(f"  {key:<20s} {pair[0]} <-> {pair[1]}")
+
+    assert len(results) == 28
+    # Latency ranking shape: the worst pair spans the continent.
+    worst = set(report["highest_latency"])
+    assert worst & {"sdsc", "slc"}
+    assert worst & {"udel", "jhu", "mghpcc"}
+    # Throughput shape: regional spurs (1 Gbit/s) bottleneck below backbone.
+    best_tp = max(r.throughput_bps for r in results)
+    worst_tp = min(r.throughput_bps for r in results)
+    assert best_tp > 4 * worst_tp

@@ -1,0 +1,53 @@
+"""C2 — §III-A claim: hierarchical coarse-to-fine access "allows
+efficient access at different resolution levels" / progressive queries
+touch only the data they need.
+
+Sweeps the resolution level of one box query and reports samples
+returned, blocks touched, and encoded bytes read.  Shape: bytes touched
+grow ~2x per level; the coarse prefix costs orders of magnitude less
+than the full read.
+"""
+
+import pytest
+from conftest import print_header
+
+from repro.idx import IdxDataset, LocalAccess
+
+
+def test_c2_progressive_access_economy(benchmark, terrain_idx):
+    ds_probe = IdxDataset.open(terrain_idx)
+    maxh = ds_probe.maxh
+
+    rows = []
+    for level in range(4, maxh + 1, 2):
+        access = LocalAccess(terrain_idx)
+        ds = IdxDataset.from_access(access)
+        result = ds.read_result(resolution=level)
+        rows.append(
+            (level, result.data.size, access.counters.blocks_read, access.counters.bytes_read)
+        )
+        ds.close()
+
+    # Timed kernel: an 8x-coarse overview (the dashboard's first frame).
+    def coarse_read():
+        ds = IdxDataset.open(terrain_idx)
+        out = ds.read(resolution=maxh - 6)
+        ds.close()
+        return out
+
+    benchmark(coarse_read)
+
+    print_header("C2: progressive box query economy (256x256 terrain)")
+    print(f"{'level':>5s} {'samples':>9s} {'blocks':>7s} {'encoded bytes':>14s} {'of full':>8s}")
+    full_bytes = rows[-1][3]
+    for level, samples, blocks, nbytes in rows:
+        print(f"{level:>5d} {samples:>9d} {blocks:>7d} {nbytes:>14d} "
+              f"{100.0 * nbytes / full_bytes:>7.2f}%")
+
+    # Monotone growth and a steep coarse/full gap.  The coarse floor is
+    # one block (levels 0..bits_per_block share block 0), so the gap is
+    # bounded by the block granularity rather than the sample count.
+    for (l1, s1, b1, n1), (l2, s2, b2, n2) in zip(rows, rows[1:]):
+        assert s1 < s2 and b1 <= b2 and n1 <= n2
+    assert rows[0][2] == 1  # exactly one block for the coarse prefix
+    assert rows[0][3] < full_bytes / 10

@@ -1,0 +1,29 @@
+"""F1 — Fig. 1: the overarching tutorial goals and structure.
+
+Regenerates the goal/session/level breakdown of Fig. 1 and §II and checks
+the published constraints: 3 goals, 30/40/30 difficulty split, 30+60+30
+minute sessions, 4 audience types.
+"""
+
+from conftest import print_header
+
+from repro.core import default_tutorial_plan
+
+
+def test_fig1_tutorial_structure(benchmark):
+    plan = benchmark(default_tutorial_plan)
+
+    print_header("Fig. 1: tutorial goals and structure")
+    for i, goal in enumerate(plan.goals, 1):
+        print(f"goal {i}: {goal.title}")
+    print()
+    for line in plan.agenda():
+        print(" ", line)
+    print()
+    print("difficulty split:", {k: f"{v:.0%}" for k, v in plan.level_split.items()})
+    print("audiences:", ", ".join(plan.audiences))
+
+    assert len(plan.goals) == 3
+    assert [s.minutes for s in plan.sessions] == [30, 60, 30]
+    assert plan.level_split == {"beginner": 0.30, "intermediate": 0.40, "advanced": 0.30}
+    assert plan.is_half_day

@@ -1,0 +1,35 @@
+"""F2 — Fig. 2: structure of the NSDF testbed.
+
+Composes the full testbed (8 sites, network links, storage + catalog +
+monitor services, one entry point per site) and verifies the Fig. 2
+property: every service is reachable from every entry point.
+"""
+
+from conftest import print_header
+
+from repro.services import build_default_testbed
+
+
+def test_fig2_testbed_structure(benchmark):
+    testbed = benchmark(build_default_testbed)
+
+    summary = testbed.structure_summary()
+    matrix = testbed.reachability_matrix()
+
+    print_header("Fig. 2: NSDF testbed structure")
+    print("sites       :", ", ".join(summary["sites"]))
+    print("links       :", summary["links"])
+    print("entry points:", summary["entry_points"])
+    for kind, ident in summary["services"].items():
+        print(f"service     : {kind:<16s} -> {ident}")
+    print()
+    kinds = [k for k in next(iter(matrix.values()))]
+    print(f"{'entry point':<10s}" + "".join(f"{k[:14]:>16s}" for k in kinds))
+    for site, row in sorted(matrix.items()):
+        print(f"{site:<10s}" + "".join(f"{'yes' if row[k] else '-':>16s}" for k in kinds))
+
+    assert summary["entry_points"] == 8
+    attached = ("storage-private", "storage-public", "catalog", "network-monitor")
+    for site, row in matrix.items():
+        for kind in attached:
+            assert row[kind], (site, kind)

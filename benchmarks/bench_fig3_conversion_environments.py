@@ -1,0 +1,77 @@
+"""F3 — Fig. 3: the data conversion process across environments.
+
+Fig. 3 shows one dataset being converted and made "accessible to all
+users" via different environments: local disk, the private Seal cloud,
+and the public Dataverse.  This bench stages the same TIFF->IDX
+conversion through each environment and reports transfer + conversion
+costs, verifying all three copies are identical.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from conftest import print_header
+
+from repro.formats.tiff import write_tiff
+from repro.formats.metadata import DatasetMetadata
+from repro.idx import IdxDataset, tiff_to_idx
+from repro.services import build_default_testbed
+from repro.storage import open_remote_idx, upload_idx_to_seal
+
+
+@pytest.fixture(scope="module")
+def staged(tmp_path_factory, terrain_256):
+    tmp = tmp_path_factory.mktemp("fig3")
+    tiff_path = str(tmp / "terrain.tif")
+    write_tiff(tiff_path, terrain_256, compression="none")
+    return str(tmp), tiff_path
+
+
+def _convert_everywhere(workdir, tiff_path, terrain):
+    testbed = build_default_testbed(seed=3)
+    token = testbed.seal.issue_token("user", ("read", "write"))
+    results = {}
+
+    # Environment 1: local conversion.
+    local_idx = os.path.join(workdir, "local.idx")
+    report = tiff_to_idx(tiff_path, local_idx, field_name="elevation")
+    results["local"] = (IdxDataset.open(local_idx).read(field="elevation"),
+                        report.idx_bytes, 0.0)
+
+    # Environment 2: private cloud (convert locally, stage in Seal, stream back).
+    t0 = testbed.clock.now
+    upload_idx_to_seal(local_idx, testbed.seal, "terrain.idx", token=token, from_site="knox")
+    remote = open_remote_idx(testbed.seal, "terrain.idx", token=token, from_site="knox")
+    results["seal"] = (remote.read(field="elevation"), report.idx_bytes,
+                       testbed.clock.now - t0)
+
+    # Environment 3: public commons (publish on Dataverse, download, open).
+    t0 = testbed.clock.now
+    meta = DatasetMetadata(name="terrain", title="Terrain", keywords=["terrain"])
+    doi = testbed.dataverse.create_dataset(meta, owner="user")
+    with open(local_idx, "rb") as fh:
+        testbed.dataverse.upload_file(doi, "terrain.idx", fh.read(), owner="user")
+    testbed.dataverse.publish(doi, owner="user")
+    blob = testbed.dataverse.get_file(doi, "terrain.idx")
+    public_idx = os.path.join(workdir, "public.idx")
+    with open(public_idx, "wb") as fh:
+        fh.write(blob)
+    results["dataverse"] = (IdxDataset.open(public_idx).read(field="elevation"),
+                            len(blob), testbed.clock.now - t0)
+    return results
+
+
+def test_fig3_conversion_across_environments(benchmark, staged, terrain_256):
+    workdir, tiff_path = staged
+    results = benchmark.pedantic(
+        _convert_everywhere, args=(workdir, tiff_path, terrain_256), rounds=3, iterations=1
+    )
+
+    print_header("Fig. 3: one conversion, three environments")
+    print(f"{'environment':<12s} {'bytes':>10s} {'virtual net time':>18s} {'identical':>10s}")
+    reference = results["local"][0]
+    for env, (data, nbytes, net_s) in results.items():
+        same = np.array_equal(data, reference)
+        print(f"{env:<12s} {nbytes:>10d} {net_s:>16.3f}s {str(same):>10s}")
+        assert same, env

@@ -1,0 +1,54 @@
+"""F5 — Fig. 5: GEOtiled terrain-parameter generation.
+
+Sweeps the tile grid for the slope computation and reports, per
+configuration: wall time, exactness vs the global (untiled) baseline
+with proper halos, and the seam error that appears when halos are
+omitted.  The paper's claim: partitioning accelerates computation while
+preserving accuracy — so with halos the mosaic must be bit-exact.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from conftest import print_header
+
+from repro.terrain import compute_tiled, slope, seam_report, tiled_accuracy
+
+
+GRIDS = [(1, 1), (2, 2), (4, 4), (8, 8)]
+
+
+@pytest.fixture(scope="module")
+def baseline(terrain_256):
+    return slope(terrain_256, 30.0)
+
+
+def test_fig5_geotiled_accuracy_and_speed(benchmark, terrain_256, baseline):
+    kernel = lambda t: slope(t, 30.0)  # noqa: E731
+
+    rows = []
+    for grid in GRIDS:
+        t0 = time.perf_counter()
+        with_halo = compute_tiled(terrain_256, kernel, grid=grid, halo=1)
+        elapsed = time.perf_counter() - t0
+        acc = tiled_accuracy(with_halo, baseline)
+        no_halo = compute_tiled(terrain_256, kernel, grid=grid, halo=0)
+        seams = seam_report(no_halo, baseline, grid)
+        rows.append((grid, elapsed, acc, seams))
+
+    # The timed kernel: the tutorial's default 4x4 grid.
+    benchmark(lambda: compute_tiled(terrain_256, kernel, grid=(4, 4), halo=1))
+
+    print_header("Fig. 5: GEOtiled slope over 256x256 terrain")
+    print(f"{'grid':<8s} {'time':>10s} {'halo=1 max|err|':>16s} "
+          f"{'halo=0 seam MAE':>16s} {'halo=0 interior MAE':>20s}")
+    for grid, elapsed, acc, seams in rows:
+        print(f"{str(grid):<8s} {elapsed * 1e3:>8.1f}ms {acc.max_abs_error:>16.3g} "
+              f"{seams['seam_mae']:>16.4f} {seams['interior_mae']:>20.4f}")
+
+    for grid, _, acc, seams in rows:
+        assert acc.exact, grid                       # halos preserve accuracy
+        if grid != (1, 1):
+            assert seams["seam_mae"] > seams["interior_mae"]  # halos matter
+            assert seams["interior_mae"] == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,75 @@
+"""F6 — Fig. 6: static visualization of terrain parameters (validation).
+
+Step 3's comparison: render the original TIFF-based raster and the
+IDX-derived raster side by side (as the figure does), then compare with
+scientific metrics.  Lossless conversion must be pixel-identical; a
+zfp-compressed variant must stay within its precision bound and visually
+indistinguishable (SSIM ~ 1).
+"""
+
+import numpy as np
+import pytest
+from conftest import print_header
+
+from repro.compression import ZfpCodec
+from repro.core import compare_rasters
+from repro.dashboard import render_raster
+from repro.formats.tiff import read_tiff, write_tiff
+from repro.idx import IdxDataset, tiff_to_idx
+from repro.terrain import GeoTiler
+
+
+PARAMETERS = ("elevation", "aspect", "slope", "hillshade")
+
+
+@pytest.fixture(scope="module")
+def products(tmp_path_factory, terrain_256):
+    tmp = tmp_path_factory.mktemp("fig6")
+    tiler = GeoTiler(grid=(2, 2))
+    rasters = tiler.compute(terrain_256, parameters=PARAMETERS)
+    out = {}
+    for name, raster in rasters.items():
+        # aspect contains NaN on flats; zfp can't carry NaN, so keep the
+        # lossless path for aspect and fill a copy for the lossy variant.
+        tiff_path = str(tmp / f"{name}.tif")
+        write_tiff(tiff_path, raster)
+        lossless_idx = str(tmp / f"{name}.idx")
+        tiff_to_idx(tiff_path, lossless_idx, field_name=name)
+        out[name] = (tiff_path, lossless_idx)
+    return out
+
+
+def test_fig6_static_validation(benchmark, products):
+    print_header("Fig. 6: TIFF-based vs IDX-based static visualization")
+    print(f"{'parameter':<11s} {'rmse':>10s} {'max|err|':>10s} {'psnr':>8s} "
+          f"{'ssim':>8s} {'identical':>10s}")
+
+    reports = {}
+    for name, (tiff_path, idx_path) in products.items():
+        original = read_tiff(tiff_path)
+        converted = IdxDataset.open(idx_path).read(field=name)
+        report = compare_rasters(np.nan_to_num(original), np.nan_to_num(converted))
+        reports[name] = report
+        psnr_str = "inf" if report.psnr_db == float("inf") else f"{report.psnr_db:.1f}"
+        print(f"{name:<11s} {report.rmse:>10.3g} {report.max_abs_error:>10.3g} "
+              f"{psnr_str:>8s} {report.ssim:>8.5f} {str(report.identical):>10s}")
+        # The rendered images (what the figure actually shows) match too.
+        img_a = render_raster(np.nan_to_num(original), palette="terrain")
+        img_b = render_raster(np.nan_to_num(converted), palette="terrain")
+        assert np.array_equal(img_a, img_b), name
+
+    assert all(r.identical for r in reports.values())
+
+    # Lossy variant: hillshade through zfp still validates within bound.
+    hillshade_tiff = products["hillshade"][0]
+    original = read_tiff(hillshade_tiff)
+
+    def lossy_roundtrip():
+        codec = ZfpCodec(precision=16)
+        back = codec.decode_array(codec.encode_array(original), original.dtype, original.shape)
+        return compare_rasters(original, back, tolerance=codec.tolerance_for(original))
+
+    report = benchmark(lossy_roundtrip)
+    print(f"\nzfp:precision=16 hillshade: {report}")
+    assert report.passed
+    assert report.ssim > 0.999

@@ -1,0 +1,79 @@
+"""F7 — Fig. 7: interactive dashboard over a large (scaled CONUS) raster.
+
+Drives the canonical interaction sequence of §IV-D — open, zoom into a
+subregion, pan, crop, adjust resolution, snip — over a laptop-scaled
+CONUS grid, and reports per-operation latency and per-frame sample
+counts.  The shape to reproduce: interaction latency stays roughly flat
+as the viewport moves because the fetched sample count is bounded by the
+viewport, not the dataset.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_header
+
+from repro.dashboard import DashboardSession
+from repro.idx import IdxDataset
+from repro.terrain import composite_terrain, grid_shape_for_region
+
+
+@pytest.fixture(scope="module")
+def conus_idx(tmp_path_factory):
+    shape = grid_shape_for_region("conus", scale_divisor=256)  # ~362 x 671
+    dem = composite_terrain(shape, seed=8)
+    path = str(tmp_path_factory.mktemp("fig7") / "conus.idx")
+    ds = IdxDataset.create(path, dims=dem.shape, fields={"elevation": "float32"},
+                           bits_per_block=10)
+    ds.write(dem, field="elevation")
+    ds.finalize()
+    return path, shape
+
+
+def _interaction_session(path):
+    session = DashboardSession(viewport=(128, 128))
+    session.open_file("conus", path)
+    session.current_frame(fit_viewport=True)     # opening overview
+    session.zoom(4.0)                            # Tennessee-ish window
+    session.current_frame(fit_viewport=True)
+    session.pan((0, 40))
+    session.current_frame(fit_viewport=True)
+    session.crop(((100, 200), (228, 400)))
+    session.current_frame(fit_viewport=True)
+    session.resolution_slider(1.0)               # force finest level
+    session.current_frame(fit_viewport=True)
+    session.snip(((120, 240), (180, 320)))
+    return session
+
+
+def test_fig7_dashboard_interactivity(benchmark, conus_idx):
+    path, shape = conus_idx
+    session = benchmark.pedantic(_interaction_session, args=(path,), rounds=3, iterations=1)
+
+    print_header(f"Fig. 7: dashboard over scaled CONUS {shape}")
+    print("operation log:", ", ".join(session.state.ops_performed()))
+    print(f"\n{'operation':<10s} {'count':>6s} {'mean latency':>14s}")
+    for op, (count, mean_s) in sorted(session.timing_summary().items()):
+        print(f"{op:<10s} {count:>6d} {mean_s * 1e3:>12.2f} ms")
+
+    # Interactivity shape: every fetch stays under a viewport-bounded cost.
+    fetches = [s for op, s in session.op_timings if op == "fetch"]
+    assert max(fetches) < 1.0  # seconds; generous bound for CI noise
+    # Sample economy: the opening overview never pulls the full raster.
+    session2 = DashboardSession(viewport=(128, 128))
+    session2.open_file("conus", path)
+    result = session2.fetch_data()
+    assert result.data.size <= 4 * 128 * 128
+
+
+def test_fig7_viewport_bounds_fetched_samples(conus_idx):
+    """Zooming anywhere keeps the fetched grid near the viewport size."""
+    path, _ = conus_idx
+    session = DashboardSession(viewport=(64, 64))
+    session.open_file("conus", path)
+    sizes = []
+    for center in ((60, 100), (180, 300), (300, 600)):
+        session.reset_view()
+        session.zoom(6.0, center=center)
+        sizes.append(session.fetch_data().data.size)
+    print("fetched samples per zoomed viewport:", sizes)
+    assert max(sizes) <= 16 * 64 * 64

@@ -1,0 +1,49 @@
+"""F8 — Fig. 8: the four survey charts (user experience + tech exposure).
+
+Regenerates the Likert distributions behind the figure's four panels
+(estimated marginals — see EXPERIMENTS.md), renders them as ASCII bar
+charts, and verifies the paper's qualitative claims: responses are
+overwhelmingly positive across every panel, and the per-respondent
+simulation re-aggregates to the marginals exactly.
+"""
+
+from conftest import print_header
+
+from repro.survey import FIG8_QUESTIONS, fig8_distributions, simulate_responses
+from repro.survey.simulate import aggregate
+
+
+def test_fig8_survey_charts(benchmark):
+    dists = benchmark(fig8_distributions)
+
+    print_header("Fig. 8: tutorial survey responses (estimated marginals)")
+    for q in FIG8_QUESTIONS:
+        dist = dists[q.qid]
+        print(f"\n({q.qid}) {q.statement}  [{q.category}]")
+        print(dist.bar_chart(width=36))
+        print(f"    positive: {dist.percent_positive:.1f}%  "
+              f"mean score: {dist.mean_score:.2f}/5")
+
+    for qid, dist in dists.items():
+        assert dist.total == 108, qid
+        assert dist.percent_positive > 85.0, qid
+        assert dist.percent_negative < 5.0, qid
+
+
+def test_fig8_per_venue_breakdown():
+    """Respondent-level simulation supports the per-venue drill-down the
+    aggregates can't answer."""
+    responses = simulate_responses(seed=0)
+    dists = fig8_distributions()
+
+    print_header("Fig. 8 drill-down: positivity by modality (simulated)")
+    print(f"{'question':<10s} {'overall':>8s} {'in-person':>10s} {'virtual':>8s}")
+    for qid in sorted(dists):
+        overall = aggregate(responses, qid)
+        in_person = aggregate(responses, qid, modality="In-person")
+        virtual = aggregate(responses, qid, modality="Virtual")
+        print(f"({qid})       {overall.percent_positive:>7.1f}% "
+              f"{in_person.percent_positive:>9.1f}% {virtual.percent_positive:>7.1f}%")
+        # Exact reaggregation and partition property.
+        assert overall.counts == dists[qid].counts
+        assert in_person.combine(virtual).counts == overall.counts

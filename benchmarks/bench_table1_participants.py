@@ -1,0 +1,30 @@
+"""T1 — Table I: participants and professional backgrounds per venue.
+
+Regenerates the paper's participation table from the embedded roster and
+checks its published totals (108 overall; 57 in-person / 51 virtual).
+"""
+
+from conftest import print_header
+
+from repro.survey import TABLE1_ROWS, by_audience, by_modality, total_participants
+
+
+def _render_table1() -> list:
+    rows = []
+    for venue in TABLE1_ROWS:
+        rows.append((venue.venue, venue.modality, venue.audience, venue.participants))
+    rows.append(("Total Participants", "", "", total_participants()))
+    return rows
+
+
+def test_table1_regeneration(benchmark):
+    rows = benchmark(_render_table1)
+
+    print_header("Table I: participants per tutorial presentation")
+    print(f"{'Tutorial':<72s} {'Modality':<10s} {'Audience':<38s} {'N':>4s}")
+    for venue, modality, audience, n in rows:
+        print(f"{venue[:72]:<72s} {modality:<10s} {audience:<38s} {n:>4d}")
+
+    assert rows[-1][3] == 108  # the paper's headline total
+    assert by_modality() == {"In-person": 57, "Virtual": 51}
+    assert len(by_audience()) == 4

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one paper artifact (table, figure, or embedded
+quantitative claim — see DESIGN.md section 4) and prints the rows/series
+the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.idx import IdxDataset
+from repro.terrain.dem import composite_terrain
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def terrain_256():
+    """A 256x256 terrain raster shared across benches (seeded)."""
+    return composite_terrain((256, 256), seed=42)
+
+
+@pytest.fixture(scope="session")
+def terrain_idx(tmp_path_factory, terrain_256):
+    """The shared terrain stored as IDX (zlib blocks)."""
+    path = str(tmp_path_factory.mktemp("bench") / "terrain.idx")
+    ds = IdxDataset.create(
+        path, dims=terrain_256.shape, fields={"elevation": "float32"}, bits_per_block=10
+    )
+    ds.write(terrain_256, field="elevation")
+    ds.finalize()
+    return path

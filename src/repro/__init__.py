@@ -1,0 +1,47 @@
+"""repro — reproduction of the NSDF training-services stack (SC 2024).
+
+Reproduces "Leveraging National Science Data Fabric Services to Train
+Data Scientists" (Taufer et al., SC 2024): the four-step modular tutorial
+workflow and every NSDF service it runs on, implemented from scratch in
+Python.
+
+Subpackages (bottom-up):
+
+- :mod:`repro.util`        — boxes, hashing, timers, units
+- :mod:`repro.compression` — zlib / lz4 / rle / zfp codecs
+- :mod:`repro.formats`     — TIFF 6.0, NetCDF classic, raw binary
+- :mod:`repro.idx`         — HZ-order multiresolution data fabric (OpenVisus analogue)
+- :mod:`repro.terrain`     — synthetic DEMs + GEOtiled terrain parameters
+- :mod:`repro.somospie`    — soil-moisture spatial inference
+- :mod:`repro.storage`     — object store, Seal (private), Dataverse (public), FUSE
+- :mod:`repro.network`     — simulated 8-site testbed, transfers, monitoring
+- :mod:`repro.catalog`     — indexing/discovery service
+- :mod:`repro.dashboard`   — headless visualization dashboard
+- :mod:`repro.services`    — entry points, testbed composition, FAIR objects
+- :mod:`repro.core`        — the modular workflow engine and the 4 canonical steps
+- :mod:`repro.survey`      — Table I / Fig. 8 evaluation data
+
+Quickstart::
+
+    from repro.core import build_tutorial_workflow
+    run = build_tutorial_workflow("/tmp/nsdf-demo").run()
+    assert run.ok
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "catalog",
+    "compression",
+    "core",
+    "dashboard",
+    "formats",
+    "idx",
+    "network",
+    "services",
+    "somospie",
+    "storage",
+    "survey",
+    "terrain",
+    "util",
+]

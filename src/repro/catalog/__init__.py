@@ -1,0 +1,38 @@
+"""NSDF-Catalog analogue: lightweight indexing for data discovery.
+
+§III-B: "the NSDF-Catalog addresses the growing need for accessible
+scientific data by creating a centralized repository that indexes over
+1.59 billion records, facilitating efficient data discovery and
+interdisciplinary collaboration."  The record volume is scaled to laptop
+size (benchmark C6 sweeps N and checks search stays sub-linear); the
+indexing/search/dedup logic is complete:
+
+- :mod:`repro.catalog.records` — the catalog record schema;
+- :mod:`repro.catalog.index` — tokenizer + inverted index with AND
+  queries, prefix expansion, and facet counting;
+- :mod:`repro.catalog.service` — ingest/search/dedup service facade;
+- :mod:`repro.catalog.harvest` — harvesters for the object store,
+  Dataverse, and Seal sources.
+"""
+
+from repro.catalog.records import CatalogRecord
+from repro.catalog.index import InvertedIndex, tokenize
+from repro.catalog.service import CatalogService, SearchHit
+from repro.catalog.harvest import (
+    IncrementalHarvester,
+    harvest_dataverse,
+    harvest_object_store,
+    harvest_seal,
+)
+
+__all__ = [
+    "CatalogRecord",
+    "CatalogService",
+    "IncrementalHarvester",
+    "InvertedIndex",
+    "SearchHit",
+    "harvest_dataverse",
+    "harvest_object_store",
+    "harvest_seal",
+    "tokenize",
+]

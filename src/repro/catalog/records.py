@@ -1,0 +1,78 @@
+"""Catalog record schema.
+
+One record describes one discoverable item (a file, an object, a
+published dataset).  Records are deliberately lightweight — the real
+NSDF-Catalog indexes billions of them — so the mandatory part is small
+and everything else lives in ``attributes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.util.hashing import stable_hash
+
+__all__ = ["CatalogRecord"]
+
+
+@dataclass(frozen=True)
+class CatalogRecord:
+    """One indexed item."""
+
+    name: str
+    source: str  # provider identity, e.g. "dataverse:nsdf-demo" or "seal:slc"
+    size: int = 0
+    checksum: str = ""
+    mime: str = "application/octet-stream"
+    keywords: Tuple[str, ...] = ()
+    description: str = ""
+    attributes: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("record name must be non-empty")
+        if not self.source:
+            raise ValueError("record source must be non-empty")
+        if self.size < 0:
+            raise ValueError("record size must be non-negative")
+
+    @property
+    def record_id(self) -> str:
+        """Stable identity: same (source, name, checksum) -> same id."""
+        return stable_hash({"s": self.source, "n": self.name, "c": self.checksum})
+
+    def attr_dict(self) -> Dict[str, str]:
+        return dict(self.attributes)
+
+    def index_text(self) -> str:
+        """Text the inverted index tokenizes for this record."""
+        parts = [self.name, self.source, self.description, self.mime]
+        parts.extend(self.keywords)
+        parts.extend(f"{k} {v}" for k, v in self.attributes)
+        return " ".join(p for p in parts if p)
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        source: str,
+        *,
+        size: int = 0,
+        checksum: str = "",
+        mime: str = "application/octet-stream",
+        keywords: Optional[Tuple[str, ...]] = None,
+        description: str = "",
+        attributes: Optional[Dict[str, str]] = None,
+    ) -> "CatalogRecord":
+        """Convenience constructor taking mutable containers."""
+        return cls(
+            name=name,
+            source=source,
+            size=int(size),
+            checksum=checksum,
+            mime=mime,
+            keywords=tuple(keywords or ()),
+            description=description,
+            attributes=tuple(sorted((attributes or {}).items())),
+        )

@@ -1,0 +1,121 @@
+"""Catalog service: ingest, dedup, search, facets.
+
+The service facade over :class:`~repro.catalog.index.InvertedIndex`:
+records are deduplicated on ingest (same ``record_id`` = same source +
+name + checksum), searches return ranked hits, and per-source facets
+support the "interdisciplinary collaboration" story — which providers
+hold matching data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.catalog.index import InvertedIndex, tokenize
+from repro.catalog.records import CatalogRecord
+
+__all__ = ["CatalogService", "SearchHit"]
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked search result."""
+
+    record: CatalogRecord
+    score: float
+
+
+class CatalogService:
+    """In-memory catalog with dedup, ranked search, and facets."""
+
+    def __init__(self, name: str = "nsdf-catalog") -> None:
+        self.name = name
+        self._records: List[CatalogRecord] = []
+        self._doc_tokens: List[List[str]] = []  # cached per-record tokens
+        self._by_id: Dict[str, int] = {}
+        self._index = InvertedIndex()
+        self.duplicates_rejected = 0
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, record: CatalogRecord) -> bool:
+        """Add one record; returns False (and counts) if it is a duplicate."""
+        rid = record.record_id
+        if rid in self._by_id:
+            self.duplicates_rejected += 1
+            return False
+        doc_id = len(self._records)
+        text = record.index_text()
+        self._records.append(record)
+        self._doc_tokens.append(tokenize(text))
+        self._by_id[rid] = doc_id
+        self._index.add(doc_id, text)
+        return True
+
+    def ingest_many(self, records: Iterable[CatalogRecord]) -> int:
+        """Bulk ingest; returns the number of NEW records indexed."""
+        return sum(1 for r in records if self.ingest(r))
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, record_id: str) -> CatalogRecord:
+        doc = self._by_id.get(record_id)
+        if doc is None:
+            raise KeyError(f"no record {record_id}")
+        return self._records[doc]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- search -----------------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        *,
+        limit: int = 20,
+        source: Optional[str] = None,
+        min_size: int = 0,
+    ) -> List[SearchHit]:
+        """AND search with optional source/size filters, ranked by term density.
+
+        Score = matched query tokens / total record tokens, so records
+        whose text is mostly the query rank above records that merely
+        mention it.
+        """
+        doc_ids = self._index.search(query)
+        qtokens = set(tokenize(query.replace("*", "")))
+        hits: List[SearchHit] = []
+        for d in doc_ids:
+            rec = self._records[int(d)]
+            if source is not None and rec.source != source:
+                continue
+            if rec.size < min_size:
+                continue
+            rtokens = self._doc_tokens[int(d)]
+            overlap = sum(1 for t in rtokens if t in qtokens)
+            score = overlap / max(1, len(rtokens))
+            hits.append(SearchHit(rec, score))
+        hits.sort(key=lambda h: (-h.score, h.record.name))
+        return hits[: max(0, limit)]
+
+    def facets_by_source(self, query: str) -> Dict[str, int]:
+        """How many matches each provider contributes."""
+        doc_ids = self._index.search(query)
+        sources = [r.source for r in self._records]
+        return self._index.facet_counts(doc_ids.tolist(), sources)
+
+    # -- stats -----------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        sizes = np.array([r.size for r in self._records], dtype=np.int64)
+        return {
+            "records": len(self._records),
+            "unique_sources": len({r.source for r in self._records}),
+            "vocabulary": self._index.vocabulary_size,
+            "total_bytes": int(sizes.sum()) if sizes.size else 0,
+            "duplicates_rejected": self.duplicates_rejected,
+        }

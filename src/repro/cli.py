@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror what a tutorial attendee does from a terminal:
+
+- ``demo``      run the four-step workflow end-to-end and summarise it
+- ``convert``   convert a TIFF / NetCDF / raw file to IDX (by extension)
+- ``info``      describe an IDX dataset (dims, fields, codec, stats)
+- ``read``      extract a box/resolution from an IDX dataset to ``.npy``
+- ``network``   print the simulated 8-site probe matrix
+- ``report``    print the survey evaluation report
+- ``grade``     run the workflow and grade the default exercises
+
+Every command is a plain function over parsed args, so the test suite
+drives them directly through :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from typing import List, Optional
+
+__all__ = ["build_parser", "main"]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core import build_tutorial_workflow
+
+    out = args.workdir or tempfile.mkdtemp(prefix="nsdf-demo-")
+    wf = build_tutorial_workflow(out, shape=(args.size, args.size), seed=args.seed)
+    run = wf.run()
+    print(f"workflow: {' -> '.join(r.name for r in run.results)}")
+    for result in run.results:
+        print(f"  {result.name:<20s} {result.status:<8s} {result.seconds * 1e3:8.1f} ms")
+    for name, report in sorted(run.context["conversion_reports"].items()):
+        print(f"  {name:<12s} reduction {report.reduction_percent:+.1f}%")
+    print(f"artifacts in {out}")
+    return 0 if run.ok else 1
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.idx.convert import ncdf_to_idx, raw_to_idx, tiff_to_idx
+
+    src = args.source
+    ext = os.path.splitext(src)[1].lower()
+    if ext in (".tif", ".tiff"):
+        report = tiff_to_idx(src, args.dest, codec=args.codec)
+    elif ext == ".nc":
+        report = ncdf_to_idx(src, args.dest, codec=args.codec)
+    elif ext == ".raw":
+        report = raw_to_idx(src, args.dest, codec=args.codec)
+    else:
+        print(f"unsupported source extension {ext!r}", file=sys.stderr)
+        return 2
+    print(report)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.idx import IdxDataset
+
+    ds = IdxDataset.open(args.dataset)
+    header = ds.header
+    print(f"path        : {args.dataset}")
+    print(f"dims        : {header.dims}")
+    print(f"bitmask     : {header.bitmask} (maxh={ds.maxh})")
+    print(f"fields      : {', '.join(f['name'] + ':' + f['dtype'] for f in header.fields)}")
+    print(f"timesteps   : {len(header.timesteps)}")
+    print(f"codec       : {header.codec}")
+    print(f"block size  : {ds.layout.block_size} samples x {ds.layout.num_blocks} blocks")
+    print(f"stored bytes: {ds.stored_bytes()}")
+    for name in ds.fields:
+        stats = ds.field_stats(name)
+        if stats:
+            print(f"stats[{name}]: min={stats.get('min'):.4g} max={stats.get('max'):.4g} "
+                  f"mean={stats.get('mean'):.4g}")
+    ds.close()
+    return 0
+
+
+def _cmd_read(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.idx import IdxDataset
+
+    ds = IdxDataset.open(args.dataset)
+    box = None
+    if args.box:
+        parts = [int(v) for v in args.box.split(",")]
+        if len(parts) != 2 * len(ds.dims):
+            print(f"--box needs {2 * len(ds.dims)} integers (lo..., hi...)", file=sys.stderr)
+            return 2
+        n = len(ds.dims)
+        box = (tuple(parts[:n]), tuple(parts[n:]))
+    result = ds.read_result(
+        box=box, resolution=args.resolution, field=args.field, time=args.time
+    )
+    np.save(args.out, result.data)
+    print(f"wrote {result.data.shape} {result.data.dtype} (level {result.level}) -> {args.out}")
+    ds.close()
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.idx import verify_dataset
+
+    report = verify_dataset(args.dataset)
+    print(report)
+    if not report.ok:
+        for key in report.corrupted:
+            print(f"  corrupted block {key}", file=sys.stderr)
+        for key in report.missing_from_file:
+            print(f"  missing block {key}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_network(args: argparse.Namespace) -> int:
+    from repro.network import NetworkMonitor, default_testbed
+
+    monitor = NetworkMonitor(default_testbed(seed=args.seed), seed=args.seed)
+    results = monitor.measure_all(repeats=3, probe_bytes="8 MiB")
+    for stats in results:
+        print(stats)
+    report = monitor.constraint_report(results)
+    print()
+    for key, pair in report.items():
+        print(f"{key:<20s} {pair[0]} <-> {pair[1]}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.survey.report import evaluation_report
+
+    print(evaluation_report())
+    return 0
+
+
+def _cmd_grade(args: argparse.Namespace) -> int:
+    from repro.core import Gradebook, build_tutorial_workflow
+
+    out = args.workdir or tempfile.mkdtemp(prefix="nsdf-grade-")
+    run = build_tutorial_workflow(out, shape=(args.size, args.size)).run()
+    gradebook = Gradebook()
+    results = gradebook.grade(args.participant, run.context)
+    for ex_id, result in results.items():
+        mark = "PASS" if result.passed else "fail"
+        print(f"[{mark}] {ex_id:<16s} {result.points_awarded:>2d} pts  {result.feedback}")
+    score = gradebook.score(args.participant)
+    print(f"\n{args.participant}: {score}/{gradebook.max_points} "
+          f"({'PASSED' if gradebook.passed(args.participant) else 'NOT PASSED'})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands registered."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="NSDF training-services stack (SC 2024 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="run the four-step tutorial workflow")
+    p.add_argument("--workdir", default=None)
+    p.add_argument("--size", type=int, default=128)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser("convert", help="convert TIFF/NetCDF/raw to IDX")
+    p.add_argument("source")
+    p.add_argument("dest")
+    p.add_argument("--codec", default="shuffle:level=6")
+    p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser("info", help="describe an IDX dataset")
+    p.add_argument("dataset")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("read", help="extract a region to .npy")
+    p.add_argument("dataset")
+    p.add_argument("out")
+    p.add_argument("--box", default=None, help="lo...,hi... (e.g. 0,0,64,64)")
+    p.add_argument("--resolution", type=int, default=None)
+    p.add_argument("--field", default=None)
+    p.add_argument("--time", type=int, default=None)
+    p.set_defaults(func=_cmd_read)
+
+    p = sub.add_parser("verify", help="check an IDX dataset's integrity")
+    p.add_argument("dataset")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("network", help="print the 8-site probe matrix")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_network)
+
+    p = sub.add_parser("report", help="print the survey evaluation report")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("grade", help="run the workflow and grade the exercises")
+    p.add_argument("--participant", default="trainee")
+    p.add_argument("--workdir", default=None)
+    p.add_argument("--size", type=int, default=64)
+    p.set_defaults(func=_cmd_grade)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    raise SystemExit(main())

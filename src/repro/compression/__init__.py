@@ -1,0 +1,45 @@
+"""Compression codecs for IDX block storage.
+
+The paper's data-fabric layer (OpenVisus) supports "industry-standard
+lossless and lossy compression algorithms such as ZIP, ZLIB, and ZFP with
+varying precision bits" (§III-A) and "zlib, zfp, and lz4" (§IV-B).  This
+package provides that codec suite behind a single registry:
+
+- ``identity`` — pass-through (uncompressed blocks),
+- ``zlib`` — DEFLATE via the standard library (levels 1-9),
+- ``rle`` — run-length coding, effective on constant/masked rasters,
+- ``lz4`` — an LZ77-family byte codec implemented from scratch,
+- ``zfp`` — a lossy fixed-precision float codec with a block-lifting
+  transform and a per-block error bound driven by ``precision`` bits,
+- ``shuffle`` — HDF5-style byte-shuffle filter over a lossless inner
+  codec, the standard trick that makes float rasters DEFLATE well.
+
+Byte codecs round-trip exactly; ``zfp`` guarantees
+``max|x - decode(encode(x))|`` bounded by the advertised tolerance.
+"""
+
+from repro.compression.registry import (
+    Codec,
+    CodecError,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+from repro.compression.zlib_codec import ZlibCodec
+from repro.compression.rle_codec import RleCodec
+from repro.compression.lz4_codec import Lz4Codec
+from repro.compression.zfp_codec import ZfpCodec
+from repro.compression.shuffle_codec import ShuffleCodec
+
+__all__ = [
+    "Codec",
+    "CodecError",
+    "Lz4Codec",
+    "RleCodec",
+    "ShuffleCodec",
+    "ZfpCodec",
+    "ZlibCodec",
+    "available_codecs",
+    "get_codec",
+    "register_codec",
+]

@@ -1,0 +1,130 @@
+"""Codec base class and registry.
+
+A codec converts an ndarray to a compressed byte blob and back.  Byte
+codecs (zlib, lz4, rle, identity) treat the array buffer as opaque bytes;
+the lossy ``zfp`` codec is dtype-aware.  The *container* (IDX block
+storage) records dtype and shape, so ``decode_array`` receives them
+explicitly and codecs never embed redundant metadata.
+
+Codec specs are strings like ``"zlib"``, ``"zlib:level=9"`` or
+``"zfp:precision=16"`` — name plus ``key=value`` params separated by
+commas, mirroring how OpenVisus names its compression pipelines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Codec", "CodecError", "available_codecs", "get_codec", "register_codec", "parse_codec_spec"]
+
+
+class CodecError(ValueError):
+    """Raised for unknown codecs, bad parameters, or corrupt streams."""
+
+
+class Codec(ABC):
+    """Array <-> bytes codec.
+
+    Subclasses set ``name`` (registry key) and ``lossless``; byte-oriented
+    codecs implement :meth:`encode_bytes`/:meth:`decode_bytes` and inherit
+    the array plumbing, while array-native codecs override the
+    ``*_array`` pair directly.
+    """
+
+    name: str = "abstract"
+    lossless: bool = True
+
+    # -- byte-level interface (default raises; byte codecs override) ----
+
+    def encode_bytes(self, data: bytes) -> bytes:
+        """Compress a raw byte buffer (byte codecs only)."""
+        raise NotImplementedError(f"{self.name} is not a byte codec")
+
+    def decode_bytes(self, data: bytes) -> bytes:
+        """Exact inverse of :meth:`encode_bytes`."""
+        raise NotImplementedError(f"{self.name} is not a byte codec")
+
+    # -- array-level interface ------------------------------------------
+
+    def encode_array(self, array: np.ndarray) -> bytes:
+        """Encode an ndarray to a compressed blob (buffer bytes by default)."""
+        arr = np.ascontiguousarray(array)
+        return self.encode_bytes(arr.tobytes())
+
+    def decode_array(self, blob: bytes, dtype: np.dtype | str, shape: Sequence[int]) -> np.ndarray:
+        """Decode a blob back to an array of the given dtype and shape."""
+        raw = self.decode_bytes(blob)
+        arr = np.frombuffer(raw, dtype=np.dtype(dtype))
+        try:
+            return arr.reshape(tuple(int(s) for s in shape)).copy()
+        except ValueError as exc:
+            raise CodecError(f"{self.name}: decoded size does not match shape {shape}") from exc
+
+    # -- introspection ---------------------------------------------------
+
+    def spec(self) -> str:
+        """Canonical spec string that :func:`get_codec` would accept."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.spec()}>"
+
+
+_REGISTRY: Dict[str, Callable[..., Codec]] = {}
+
+
+def register_codec(name: str, factory: Callable[..., Codec]) -> None:
+    """Register a codec factory under ``name`` (overwrites silently)."""
+    _REGISTRY[name.lower()] = factory
+
+
+def available_codecs() -> Tuple[str, ...]:
+    """Sorted registry keys."""
+    return tuple(sorted(_REGISTRY))
+
+
+def parse_codec_spec(spec: str) -> Tuple[str, Dict[str, str]]:
+    """Split ``"zfp:precision=16,block=64"`` into name and param dict."""
+    name, _, rest = spec.partition(":")
+    params: Dict[str, str] = {}
+    if rest:
+        for item in rest.split(","):
+            key, eq, value = item.partition("=")
+            if not eq:
+                raise CodecError(f"malformed codec param {item!r} in {spec!r}")
+            params[key.strip()] = value.strip()
+    return name.strip().lower(), params
+
+
+def get_codec(spec: "str | Codec") -> Codec:
+    """Instantiate a codec from a spec string (idempotent on instances)."""
+    if isinstance(spec, Codec):
+        return spec
+    name, params = parse_codec_spec(spec)
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise CodecError(f"unknown codec {name!r}; available: {', '.join(available_codecs())}")
+    try:
+        return factory(**params)
+    except TypeError as exc:
+        raise CodecError(f"bad parameters for codec {name!r}: {params}") from exc
+
+
+class IdentityCodec(Codec):
+    """Pass-through codec (uncompressed storage)."""
+
+    name = "identity"
+    lossless = True
+
+    def encode_bytes(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decode_bytes(self, data: bytes) -> bytes:
+        return bytes(data)
+
+
+register_codec("identity", IdentityCodec)
+register_codec("raw", IdentityCodec)

@@ -1,0 +1,64 @@
+"""Run-length codec.
+
+Terrain rasters carry large nodata/ocean regions (the CONUS rasters in the
+tutorial are rectangular grids with constant fill outside the land mask),
+where run-length coding is near-optimal and far cheaper than DEFLATE.
+Runs are detected with vectorized NumPy; no per-byte Python loop.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.compression.registry import Codec, CodecError, register_codec
+
+__all__ = ["RleCodec"]
+
+_MAGIC = b"RRLE"
+_HEADER = struct.Struct("<4sQ")  # magic, original byte length
+
+
+class RleCodec(Codec):
+    """Byte-level run-length coding: stream of (uint32 length, uint8 value)."""
+
+    name = "rle"
+    lossless = True
+
+    def encode_bytes(self, data: bytes) -> bytes:
+        arr = np.frombuffer(data, dtype=np.uint8)
+        header = _HEADER.pack(_MAGIC, arr.size)
+        if arr.size == 0:
+            return header
+        # Boundaries where the byte value changes.
+        change = np.flatnonzero(arr[1:] != arr[:-1]) + 1
+        starts = np.concatenate(([0], change))
+        ends = np.concatenate((change, [arr.size]))
+        lengths = (ends - starts).astype(np.uint32)
+        values = arr[starts]
+        body = np.empty(lengths.size, dtype=[("len", "<u4"), ("val", "u1")])
+        body["len"] = lengths
+        body["val"] = values
+        return header + body.tobytes()
+
+    def decode_bytes(self, data: bytes) -> bytes:
+        if len(data) < _HEADER.size:
+            raise CodecError("rle: truncated header")
+        magic, original = _HEADER.unpack_from(data)
+        if magic != _MAGIC:
+            raise CodecError("rle: bad magic")
+        body = np.frombuffer(data, dtype=[("len", "<u4"), ("val", "u1")], offset=_HEADER.size)
+        if body.size == 0:
+            if original != 0:
+                raise CodecError("rle: empty body for non-empty payload")
+            return b""
+        lengths = body["len"].astype(np.int64)
+        total = int(lengths.sum())
+        if total != original:
+            raise CodecError(f"rle: run lengths sum to {total}, expected {original}")
+        out = np.repeat(body["val"], lengths)
+        return out.tobytes()
+
+
+register_codec("rle", RleCodec)

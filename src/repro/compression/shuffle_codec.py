@@ -1,0 +1,100 @@
+"""Byte-shuffle filter composed with a lossless inner codec.
+
+The HDF5/Blosc "shuffle" trick: transpose an array's bytes so that all
+first-bytes of the samples come first, then all second-bytes, and so
+on.  Smooth scientific data (terrain!) has slowly-varying high-order
+bytes, so after shuffling the stream is runs-of-similar-bytes and
+DEFLATE bites much harder — this is the standard way real IDX/HDF5
+deployments reach the paper's ~20 % reductions on float rasters.
+
+Spec syntax: ``shuffle`` (zlib level 6 inner), ``shuffle:level=9``, or
+``shuffle:inner=lz4``.  The ablation benchmark compares plain zlib
+blocks against shuffled blocks on identical data.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+import numpy as np
+
+from repro.compression.registry import Codec, CodecError, get_codec, register_codec
+
+__all__ = ["ShuffleCodec"]
+
+_MAGIC = b"RSHF"
+_HEADER = struct.Struct("<4sBQ")  # magic, itemsize, original byte length
+
+
+def shuffle_bytes(data: bytes, itemsize: int) -> bytes:
+    """Transpose sample bytes: AABBCC... -> ABCABC per byte position."""
+    if itemsize <= 1:
+        return bytes(data)
+    n = len(data)
+    whole = n - (n % itemsize)
+    arr = np.frombuffer(data, dtype=np.uint8, count=whole).reshape(-1, itemsize)
+    out = np.ascontiguousarray(arr.T).tobytes()
+    return out + data[whole:]
+
+
+def unshuffle_bytes(data: bytes, itemsize: int, original_len: int) -> bytes:
+    """Inverse of :func:`shuffle_bytes`."""
+    if itemsize <= 1:
+        return bytes(data)
+    whole = original_len - (original_len % itemsize)
+    arr = np.frombuffer(data, dtype=np.uint8, count=whole).reshape(itemsize, -1)
+    out = np.ascontiguousarray(arr.T).tobytes()
+    return out + data[whole:original_len]
+
+
+class ShuffleCodec(Codec):
+    """Byte-shuffle + inner lossless codec (default zlib)."""
+
+    name = "shuffle"
+    lossless = True
+
+    def __init__(self, level: "int | str" = 6, inner: str = "") -> None:
+        if inner:
+            self.inner = get_codec(inner)
+        else:
+            self.inner = get_codec(f"zlib:level={int(level)}")
+        if not self.inner.lossless:
+            raise CodecError("shuffle requires a lossless inner codec")
+        self._itemsize = 1  # refined per-array in encode_array
+
+    # Byte-level API assumes itemsize already known; array API sets it.
+
+    def encode_array(self, array: np.ndarray) -> bytes:
+        arr = np.ascontiguousarray(array)
+        raw = arr.tobytes()
+        shuffled = shuffle_bytes(raw, arr.dtype.itemsize)
+        body = self.inner.encode_bytes(shuffled)
+        return _HEADER.pack(_MAGIC, arr.dtype.itemsize, len(raw)) + body
+
+    def decode_array(self, blob: bytes, dtype: "np.dtype | str", shape: Sequence[int]) -> np.ndarray:
+        if len(blob) < _HEADER.size:
+            raise CodecError("shuffle: truncated header")
+        magic, itemsize, original = _HEADER.unpack_from(blob)
+        if magic != _MAGIC:
+            raise CodecError("shuffle: bad magic")
+        target = np.dtype(dtype)
+        if itemsize != target.itemsize:
+            raise CodecError(
+                f"shuffle: stream itemsize {itemsize} != dtype itemsize {target.itemsize}"
+            )
+        shuffled = self.inner.decode_bytes(blob[_HEADER.size :])
+        if len(shuffled) != original:
+            raise CodecError("shuffle: payload length mismatch")
+        raw = unshuffle_bytes(shuffled, itemsize, original)
+        arr = np.frombuffer(raw, dtype=target)
+        try:
+            return arr.reshape(tuple(int(s) for s in shape)).copy()
+        except ValueError as exc:
+            raise CodecError(f"shuffle: decoded size does not match shape {shape}") from exc
+
+    def spec(self) -> str:
+        return f"shuffle:inner={self.inner.spec()}"
+
+
+register_codec("shuffle", ShuffleCodec)

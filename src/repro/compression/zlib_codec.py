@@ -1,0 +1,38 @@
+"""DEFLATE codec (the paper's "ZIP/ZLIB" option) via the standard library."""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.compression.registry import Codec, CodecError, register_codec
+
+__all__ = ["ZlibCodec"]
+
+
+class ZlibCodec(Codec):
+    """zlib/DEFLATE at a configurable level (1 = fast, 9 = max ratio)."""
+
+    name = "zlib"
+    lossless = True
+
+    def __init__(self, level: "int | str" = 6) -> None:
+        level = int(level)
+        if not 0 <= level <= 9:
+            raise CodecError(f"zlib level must be in [0, 9], got {level}")
+        self.level = level
+
+    def encode_bytes(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decode_bytes(self, data: bytes) -> bytes:
+        try:
+            return zlib.decompress(data)
+        except zlib.error as exc:
+            raise CodecError(f"zlib: corrupt stream ({exc})") from exc
+
+    def spec(self) -> str:
+        return f"zlib:level={self.level}"
+
+
+register_codec("zlib", ZlibCodec)
+register_codec("zip", ZlibCodec)

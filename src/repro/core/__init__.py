@@ -1,0 +1,74 @@
+"""The paper's primary contribution: the modular tutorial workflow.
+
+§IV presents a "four-step modular workflow [...] leveraging NSDF
+services": (1) data generation with GEOtiled, (2) conversion to IDX,
+(3) static visualization for validation, (4) interactive visualization &
+analysis on the dashboard.  This package supplies
+
+- :mod:`repro.core.workflow` — the modular workflow engine (declared
+  inputs/outputs, DAG validation, timed execution, provenance capture);
+- :mod:`repro.core.steps` — the four canonical steps as reusable step
+  factories, plus the assembled tutorial workflow;
+- :mod:`repro.core.validation` — the scientific comparison metrics of
+  Step 3 (RMSE, PSNR, SSIM, max error);
+- :mod:`repro.core.tutorial` — the tutorial structure itself (goals,
+  session plan, difficulty split) as a checkable model of Fig. 1/§II;
+- :mod:`repro.core.provenance` — the data-traceability log (the Olaya
+  et al. trust-through-traceability lineage, ref. [16]).
+"""
+
+from repro.core.provenance import ProvenanceLog, ProvenanceRecord
+from repro.core.tutorial import TutorialPlan, default_tutorial_plan
+from repro.core.validation import (
+    ValidationReport,
+    compare_rasters,
+    max_abs_error,
+    psnr,
+    rmse,
+    ssim,
+    validate_conversion,
+)
+from repro.core.workflow import StepResult, Workflow, WorkflowError, WorkflowRun, WorkflowStep
+from repro.core.steps import (
+    build_tutorial_workflow,
+    make_step1_generate,
+    make_step2_convert,
+    make_step3_validate,
+    make_step4_interactive,
+)
+from repro.core.exercises import (
+    CheckResult,
+    Exercise,
+    Gradebook,
+    default_exercises,
+    grade_run,
+)
+
+__all__ = [
+    "CheckResult",
+    "Exercise",
+    "Gradebook",
+    "default_exercises",
+    "grade_run",
+    "ProvenanceLog",
+    "ProvenanceRecord",
+    "StepResult",
+    "TutorialPlan",
+    "ValidationReport",
+    "Workflow",
+    "WorkflowError",
+    "WorkflowRun",
+    "WorkflowStep",
+    "build_tutorial_workflow",
+    "compare_rasters",
+    "default_tutorial_plan",
+    "make_step1_generate",
+    "make_step2_convert",
+    "make_step3_validate",
+    "make_step4_interactive",
+    "max_abs_error",
+    "psnr",
+    "rmse",
+    "ssim",
+    "validate_conversion",
+]

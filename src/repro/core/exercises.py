@@ -1,0 +1,213 @@
+"""Hands-on exercises with automatic grading.
+
+The paper's subject is *training*: participants work through hands-on
+exercises per workflow step and the instructors verify outcomes ("By
+the end of the session, attendees have a deeper understanding...",
+§II/IV-E).  This module makes the verification executable: each
+:class:`Exercise` checks one learning outcome against the trainee's
+workflow context, and a :class:`Gradebook` aggregates results per
+participant — what a self-paced version of the tutorial (the UTK course
+integration of §V-B) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CheckResult", "Exercise", "Gradebook", "default_exercises", "grade_run"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one exercise check."""
+
+    passed: bool
+    feedback: str
+    points_awarded: int
+
+
+@dataclass(frozen=True)
+class Exercise:
+    """One gradable learning outcome."""
+
+    exercise_id: str
+    step: int  # which workflow step (1-4) it belongs to
+    title: str
+    prompt: str
+    points: int
+    checker: Callable[[Dict], CheckResult] = field(compare=False)
+
+    def check(self, context: Dict) -> CheckResult:
+        """Run the checker defensively: a crash is a failed exercise."""
+        try:
+            return self.checker(context)
+        except Exception as exc:  # noqa: BLE001 - trainee context is untrusted
+            return CheckResult(False, f"check crashed: {type(exc).__name__}: {exc}", 0)
+
+
+def _passfail(condition: bool, points: int, ok: str, bad: str) -> CheckResult:
+    return CheckResult(bool(condition), ok if condition else bad, points if condition else 0)
+
+
+# ---------------------------------------------------------------------------
+# The default exercise set, keyed to the four workflow steps
+# ---------------------------------------------------------------------------
+
+
+def _check_products(ctx: Dict) -> CheckResult:
+    products = ctx.get("products")
+    if not isinstance(products, dict):
+        return CheckResult(False, "no 'products' in your workspace — run Step 1", 0)
+    required = {"elevation", "aspect", "slope", "hillshade"}
+    missing = required - set(products)
+    if missing:
+        return CheckResult(False, f"missing terrain parameters: {sorted(missing)}", 0)
+    shapes = {p.shape for p in products.values()}
+    if len(shapes) != 1:
+        return CheckResult(False, f"products are not co-registered: {sorted(shapes)}", 0)
+    s = products["slope"]
+    if not (np.nanmin(s) >= 0 and np.nanmax(s) < 90):
+        return CheckResult(False, "slope values outside [0, 90) — check units", 0)
+    return CheckResult(True, "all four terrain parameters generated and co-registered", 10)
+
+
+def _check_conversion(ctx: Dict) -> CheckResult:
+    reports = ctx.get("conversion_reports")
+    if not reports:
+        return CheckResult(False, "no conversion reports — run Step 2", 0)
+    bad = [name for name, r in reports.items() if r.idx_bytes <= 0]
+    if bad:
+        return CheckResult(False, f"empty IDX outputs: {bad}", 0)
+    mean_reduction = float(np.mean([r.reduction_percent for r in reports.values()]))
+    return _passfail(
+        mean_reduction > 5.0,
+        10,
+        f"converted to IDX with {mean_reduction:.1f}% mean size reduction",
+        f"conversion achieved only {mean_reduction:.1f}% reduction — "
+        "did you convert uncompressed TIFFs with a compressing codec?",
+    )
+
+
+def _check_validation(ctx: Dict) -> CheckResult:
+    reports = ctx.get("validation_reports")
+    if not reports:
+        return CheckResult(False, "no validation reports — run Step 3", 0)
+    failing = [name for name, r in reports.items() if not r.passed]
+    return _passfail(
+        not failing,
+        10,
+        "every product validated within tolerance",
+        f"validation failed for: {failing}",
+    )
+
+
+def _check_interaction(ctx: Dict) -> CheckResult:
+    log = ctx.get("interaction_log") or []
+    ops = {op for op, _ in log}
+    required = {"zoom", "pan", "snip"}
+    missing = required - ops
+    return _passfail(
+        not missing,
+        10,
+        "dashboard interactions performed (zoom, pan, snip)",
+        f"missing dashboard interactions: {sorted(missing)}",
+    )
+
+
+def _check_snip_script(ctx: Dict) -> CheckResult:
+    snip = ctx.get("snip_result")
+    if snip is None:
+        return CheckResult(False, "no snip result — use the snipping tool in Step 4", 0)
+    if snip.data.size < 64:
+        return CheckResult(False, f"snipped region too small ({snip.data.size} samples)", 0)
+    script = snip.extraction_script()
+    if "IdxDataset.open" not in script:
+        return CheckResult(False, "extraction script does not reopen the dataset", 0)
+    return CheckResult(True, "snip exported with a reproducible extraction script", 5)
+
+
+def _check_cloud_option(ctx: Dict) -> CheckResult:
+    keys = ctx.get("seal_keys") or {}
+    return _passfail(
+        len(keys) > 0,
+        5,
+        f"{len(keys)} product(s) staged in Seal Storage (Option B)",
+        "no sealed uploads — provide 'seal' + 'seal_token' in the context "
+        "to exercise the cloud path (optional)",
+    )
+
+
+def default_exercises() -> List[Exercise]:
+    """The graded outcomes of the four-step tutorial."""
+    return [
+        Exercise("ex1-generate", 1, "Generate terrain parameters",
+                 "Use GEOtiled to produce elevation, aspect, slope, and "
+                 "hillshade for your region.", 10, _check_products),
+        Exercise("ex2-convert", 2, "Convert to IDX",
+                 "Convert each TIFF product to IDX and observe the size "
+                 "reduction.", 10, _check_conversion),
+        Exercise("ex3-validate", 3, "Validate the conversion",
+                 "Compare the IDX round trip against the original TIFF with "
+                 "scientific metrics.", 10, _check_validation),
+        Exercise("ex4-interact", 4, "Explore interactively",
+                 "Zoom, pan, and snip a subregion on the dashboard.", 10,
+                 _check_interaction),
+        Exercise("ex5-snip-script", 4, "Export a reproducible extraction",
+                 "Export your snipped region together with its extraction "
+                 "script.", 5, _check_snip_script),
+        Exercise("ex6-cloud", 2, "Stage data in the cloud (optional)",
+                 "Upload your IDX products to Seal Storage and stream them "
+                 "back.", 5, _check_cloud_option),
+    ]
+
+
+def grade_run(context: Dict, exercises: Optional[List[Exercise]] = None) -> Dict[str, CheckResult]:
+    """Grade one workflow context against an exercise set."""
+    exercises = exercises if exercises is not None else default_exercises()
+    return {ex.exercise_id: ex.check(context) for ex in exercises}
+
+
+class Gradebook:
+    """Aggregates exercise results across participants."""
+
+    def __init__(self, exercises: Optional[List[Exercise]] = None) -> None:
+        self.exercises = exercises if exercises is not None else default_exercises()
+        self._results: Dict[str, Dict[str, CheckResult]] = {}
+
+    @property
+    def max_points(self) -> int:
+        return sum(ex.points for ex in self.exercises)
+
+    def grade(self, participant: str, context: Dict) -> Dict[str, CheckResult]:
+        """Grade and record one participant's workspace."""
+        results = grade_run(context, self.exercises)
+        self._results[participant] = results
+        return results
+
+    def score(self, participant: str) -> int:
+        results = self._results.get(participant)
+        if results is None:
+            raise KeyError(f"no grades recorded for {participant!r}")
+        return sum(r.points_awarded for r in results.values())
+
+    def passed(self, participant: str, *, threshold: float = 0.6) -> bool:
+        """Pass = at least ``threshold`` of the available points."""
+        return self.score(participant) >= threshold * self.max_points
+
+    def summary(self) -> List[Tuple[str, int, int]]:
+        """(participant, score, max) rows, best first."""
+        rows = [(p, self.score(p), self.max_points) for p in self._results]
+        return sorted(rows, key=lambda r: (-r[1], r[0]))
+
+    def exercise_pass_rates(self) -> Dict[str, float]:
+        """Fraction of participants passing each exercise (hardest last)."""
+        if not self._results:
+            return {}
+        out = {}
+        for ex in self.exercises:
+            passed = sum(1 for r in self._results.values() if r[ex.exercise_id].passed)
+            out[ex.exercise_id] = passed / len(self._results)
+        return out

@@ -1,0 +1,263 @@
+"""The four canonical workflow steps (Fig. 4) as reusable step factories.
+
+Each factory returns a :class:`~repro.core.workflow.WorkflowStep` wired
+to the shared-context keys below, and
+:func:`build_tutorial_workflow` assembles the full Step 1 -> 4 pipeline:
+
+==================  =====================================================
+context key         meaning
+==================  =====================================================
+``dem``             the generated elevation raster (float32)
+``products``        dict parameter name -> raster (GEOtiled output)
+``tiff_paths``      dict parameter name -> TIFF path (Step 1 output)
+``idx_paths``       dict parameter name -> IDX path (Step 2 output)
+``conversion_reports``  dict name -> ConversionReport
+``seal_keys``       dict name -> object key (empty without a Seal ctx)
+``validation_reports``  dict name -> ValidationReport (Step 3)
+``static_images``   dict name -> (tiff RGB, idx RGB) render pair
+``dashboard_session``   the Step 4 DashboardSession
+``snip_result``     the Step 4 demonstration snip
+==================  =====================================================
+
+Optionally place ``seal`` (a SealStorage), ``seal_token``, and
+``client_site`` in the initial context to make Step 2 upload the IDX
+files and Step 4 stream them back over the simulated WAN (Options B of
+§IV-C/D).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.validation import compare_rasters
+from repro.core.workflow import Workflow, WorkflowStep
+from repro.dashboard.render import render_raster
+from repro.dashboard.session import DashboardSession
+from repro.formats.tiff import write_tiff
+from repro.idx.convert import tiff_to_idx
+from repro.idx.dataset import IdxDataset
+from repro.storage.transfer import open_remote_idx, upload_idx_to_seal
+from repro.terrain.crs import REGIONS
+from repro.terrain.dem import composite_terrain
+from repro.terrain.geotiled import GeoTiler
+
+__all__ = [
+    "build_tutorial_workflow",
+    "make_step1_generate",
+    "make_step2_convert",
+    "make_step3_validate",
+    "make_step4_interactive",
+]
+
+DEFAULT_PARAMETERS: Tuple[str, ...] = ("elevation", "aspect", "slope", "hillshade")
+
+
+def make_step1_generate(
+    out_dir: str,
+    *,
+    shape: Tuple[int, int] = (256, 384),
+    seed: int = 0,
+    parameters: Sequence[str] = DEFAULT_PARAMETERS,
+    grid: Tuple[int, int] = (2, 2),
+    workers: int = 1,
+    region: str = "tennessee",
+    resolution_m: float = 30.0,
+) -> WorkflowStep:
+    """Step 1: Data Generation — DEM + GEOtiled terrain parameters -> TIFF."""
+
+    def func(ctx: Dict) -> Dict:
+        dem = composite_terrain(shape, seed=seed)
+        tiler = GeoTiler(grid=grid, workers=workers, cellsize=resolution_m)
+        products = tiler.compute(dem, parameters=parameters)
+        georef = REGIONS[region].georeference(resolution_m)
+        os.makedirs(out_dir, exist_ok=True)
+        tiff_paths: Dict[str, str] = {}
+        for name, raster in products.items():
+            path = os.path.join(out_dir, f"{name}.tif")
+            write_tiff(
+                path,
+                raster,
+                compression="none",
+                description=f"{name} ({region}, {resolution_m} m)",
+                pixel_scale=(abs(georef.pixel_size[0]), abs(georef.pixel_size[1]), 0.0),
+                tiepoint=(0, 0, 0, georef.origin[0], georef.origin[1], 0.0),
+            )
+            tiff_paths[name] = path
+        return {"dem": dem, "products": products, "tiff_paths": tiff_paths}
+
+    return WorkflowStep(
+        name="step1-generate",
+        func=func,
+        inputs=(),
+        outputs=("dem", "products", "tiff_paths"),
+        description="Generate DEM and terrain parameters with GEOtiled; write TIFFs",
+    )
+
+
+def make_step2_convert(
+    out_dir: str,
+    *,
+    codec: str = "zlib:level=6",
+    bits_per_block: int = 12,
+) -> WorkflowStep:
+    """Step 2: Conversion to IDX — TIFF -> IDX, optional Seal upload."""
+
+    def func(ctx: Dict) -> Dict:
+        os.makedirs(out_dir, exist_ok=True)
+        idx_paths: Dict[str, str] = {}
+        reports: Dict[str, object] = {}
+        seal_keys: Dict[str, str] = {}
+        seal = ctx.get("seal")
+        token = ctx.get("seal_token")
+        site = ctx.get("client_site", "knox")
+        for name, tiff_path in ctx["tiff_paths"].items():
+            idx_path = os.path.join(out_dir, f"{name}.idx")
+            reports[name] = tiff_to_idx(
+                tiff_path,
+                idx_path,
+                field_name=name,
+                codec=codec,
+                bits_per_block=bits_per_block,
+            )
+            idx_paths[name] = idx_path
+            if seal is not None and token is not None:
+                seal_keys[name] = upload_idx_to_seal(
+                    idx_path, seal, f"{name}.idx", token=token, from_site=site
+                )
+        return {"idx_paths": idx_paths, "conversion_reports": reports, "seal_keys": seal_keys}
+
+    return WorkflowStep(
+        name="step2-convert",
+        func=func,
+        inputs=("tiff_paths",),
+        outputs=("idx_paths", "conversion_reports", "seal_keys"),
+        description="Convert TIFF rasters to the IDX multiresolution format",
+    )
+
+
+def make_step3_validate(*, tolerance: float = 0.0) -> WorkflowStep:
+    """Step 3: Static Visualization — render both sides, compare metrics."""
+
+    def func(ctx: Dict) -> Dict:
+        from repro.formats.tiff import read_tiff
+
+        reports: Dict[str, object] = {}
+        images: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for name, tiff_path in ctx["tiff_paths"].items():
+            original = read_tiff(tiff_path)
+            ds = IdxDataset.open(ctx["idx_paths"][name])
+            try:
+                converted = ds.read(field=name)
+            finally:
+                ds.close()
+            report = compare_rasters(original, converted, tolerance=tolerance)
+            reports[name] = report
+            images[name] = (
+                render_raster(original, palette="terrain"),
+                render_raster(converted, palette="terrain"),
+            )
+            if not report.passed:
+                raise ValueError(
+                    f"validation failed for {name!r}: max|err|="
+                    f"{report.max_abs_error} > tolerance {tolerance}"
+                )
+        return {"validation_reports": reports, "static_images": images}
+
+    return WorkflowStep(
+        name="step3-validate",
+        func=func,
+        inputs=("tiff_paths", "idx_paths"),
+        outputs=("validation_reports", "static_images"),
+        description="Statically visualize and validate IDX against original TIFF",
+    )
+
+
+def make_step4_interactive(
+    *,
+    viewport: Tuple[int, int] = (256, 256),
+    snip_fraction: float = 0.25,
+) -> WorkflowStep:
+    """Step 4: Interactive Visualization & Analysis on the dashboard.
+
+    Registers every converted product (streamed from Seal when the
+    context carries credentials — Option B — otherwise from local IDX
+    files — Option A), then performs the canonical interaction sequence:
+    select -> render -> zoom -> pan -> palette -> snip.
+    """
+
+    def func(ctx: Dict) -> Dict:
+        session = DashboardSession(viewport=viewport)
+        seal = ctx.get("seal")
+        token = ctx.get("seal_token")
+        site = ctx.get("client_site", "knox")
+        seal_keys = ctx.get("seal_keys") or {}
+        for name, idx_path in ctx["idx_paths"].items():
+            if seal is not None and token is not None and name in seal_keys:
+                ds = open_remote_idx(seal, seal_keys[name], token=token, from_site=site)
+                session.register_dataset(name, ds)
+            else:
+                session.open_file(name, idx_path)
+
+        first = sorted(ctx["idx_paths"])[0]
+        session.select_dataset(first)
+        frame_full = session.current_frame(fit_viewport=True)
+        session.zoom(2.0)
+        session.pan((viewport[0] // 8, viewport[1] // 8))
+        session.set_palette("terrain")
+        frame_zoom = session.current_frame(fit_viewport=True)
+
+        dims = session.dataset.dims
+        half = [max(1, int(d * snip_fraction / 2)) for d in dims]
+        center = [d // 2 for d in dims]
+        snip_box = (
+            tuple(c - h for c, h in zip(center, half)),
+            tuple(c + h for c, h in zip(center, half)),
+        )
+        snip = session.snip(snip_box)
+        return {
+            "dashboard_session": session,
+            "interaction_log": list(session.state.events),
+            "snip_result": snip,
+            "frames": {"overview": frame_full, "zoomed": frame_zoom},
+        }
+
+    return WorkflowStep(
+        name="step4-interactive",
+        func=func,
+        inputs=("idx_paths", "seal_keys"),
+        outputs=("dashboard_session", "interaction_log", "snip_result", "frames"),
+        description="Interactive visualization and ad-hoc analysis via the dashboard",
+    )
+
+
+def build_tutorial_workflow(
+    out_dir: str,
+    *,
+    shape: Tuple[int, int] = (256, 384),
+    seed: int = 0,
+    parameters: Sequence[str] = DEFAULT_PARAMETERS,
+    grid: Tuple[int, int] = (2, 2),
+    workers: int = 1,
+    codec: str = "zlib:level=6",
+    tolerance: float = 0.0,
+    viewport: Tuple[int, int] = (256, 256),
+) -> Workflow:
+    """The assembled four-step tutorial workflow (Fig. 4)."""
+    wf = Workflow("nsdf-tutorial")
+    wf.add_step(
+        make_step1_generate(
+            os.path.join(out_dir, "tiff"),
+            shape=shape,
+            seed=seed,
+            parameters=parameters,
+            grid=grid,
+            workers=workers,
+        )
+    )
+    wf.add_step(make_step2_convert(os.path.join(out_dir, "idx"), codec=codec))
+    wf.add_step(make_step3_validate(tolerance=tolerance))
+    wf.add_step(make_step4_interactive(viewport=viewport))
+    return wf

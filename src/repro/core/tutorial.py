@@ -1,0 +1,139 @@
+"""The tutorial itself as a checkable model (Fig. 1, §II).
+
+The paper specifies the training design precisely: three goals, a
+30/40/30 beginner/intermediate/advanced content split, three sessions of
+30 + 60 + 30 minutes, four audience types, and participant prerequisites.
+:class:`TutorialPlan` encodes all of it with consistency checks, and the
+F1 benchmark prints the structure for comparison against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["Goal", "Session", "TutorialPlan", "default_tutorial_plan"]
+
+
+@dataclass(frozen=True)
+class Goal:
+    """One of the overarching tutorial goals (Fig. 1)."""
+
+    title: str
+    description: str
+
+
+@dataclass(frozen=True)
+class Session:
+    """One agenda block."""
+
+    name: str
+    minutes: int
+    topics: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.minutes <= 0:
+            raise ValueError("session minutes must be positive")
+
+
+@dataclass
+class TutorialPlan:
+    """The complete training design."""
+
+    goals: List[Goal]
+    sessions: List[Session]
+    level_split: Dict[str, float]  # beginner/intermediate/advanced fractions
+    audiences: Tuple[str, ...]
+    prerequisites: Tuple[str, ...]
+
+    # -- consistency checks (assertable facts from the paper) ---------------
+
+    def validate(self) -> None:
+        """Raise ValueError if the plan contradicts its own constraints."""
+        if len(self.goals) == 0:
+            raise ValueError("a tutorial needs goals")
+        total = sum(self.level_split.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"level split must sum to 1.0, got {total}")
+        if any(f < 0 for f in self.level_split.values()):
+            raise ValueError("level fractions must be non-negative")
+        if not self.sessions:
+            raise ValueError("a tutorial needs sessions")
+        if not self.audiences:
+            raise ValueError("a tutorial needs a target audience")
+
+    @property
+    def total_minutes(self) -> int:
+        return sum(s.minutes for s in self.sessions)
+
+    @property
+    def is_half_day(self) -> bool:
+        """Paper: 'half-day tutorial' with 30+60+30 structured minutes."""
+        return self.total_minutes <= 240
+
+    def agenda(self) -> List[str]:
+        return [f"{s.name} ({s.minutes} min): {', '.join(s.topics)}" for s in self.sessions]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "goals": [g.title for g in self.goals],
+            "sessions": [(s.name, s.minutes) for s in self.sessions],
+            "level_split": dict(self.level_split),
+            "total_minutes": self.total_minutes,
+            "audiences": list(self.audiences),
+        }
+
+
+def default_tutorial_plan() -> TutorialPlan:
+    """The plan exactly as the paper describes it."""
+    plan = TutorialPlan(
+        goals=[
+            Goal(
+                "Construct a modular workflow on top of NSDF",
+                "Combine application components with NSDF services to "
+                "streamline and optimize the management and analysis of "
+                "scientific data.",
+            ),
+            Goal(
+                "Upload, download, and stream data",
+                "Move data to and from both public and private storage "
+                "solutions, emphasizing efficient transfer and storage "
+                "management for large datasets.",
+            ),
+            Goal(
+                "Deploy NSDF services such as the NSDF-dashboard",
+                "Hands-on deployment of the dashboard for large-scale data "
+                "access, visualization, and analysis.",
+            ),
+        ],
+        sessions=[
+            Session(
+                "Session 1: NSDF overview and user challenges",
+                30,
+                ("data fabric concepts", "common data analysis challenges"),
+            ),
+            Session(
+                "Session 2: Hands-on with NSDF services",
+                60,
+                (
+                    "Earth science dataset",
+                    "visualization",
+                    "dashboard creation",
+                ),
+            ),
+            Session(
+                "Session 3: Interactive Q&A",
+                30,
+                ("applications of NSDF in research fields",),
+            ),
+        ],
+        level_split={"beginner": 0.30, "intermediate": 0.40, "advanced": 0.30},
+        audiences=("researchers", "students", "developers", "scientists"),
+        prerequisites=(
+            "foundational understanding of cloud-based storage systems",
+            "familiarity with data formats and visualization tools",
+            "GitHub account",
+        ),
+    )
+    plan.validate()
+    return plan

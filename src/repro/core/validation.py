@@ -1,0 +1,162 @@
+"""Scientific raster-comparison metrics (Step 3).
+
+"The static visualization process involves loading the data into
+OpenVisus and comparing specific portions of the original and converted
+images using scientific metrics" (§IV-C).  The metrics:
+
+- RMSE and max absolute error (agreement in data units),
+- PSNR (dB; infinite for identical rasters),
+- SSIM (structural similarity, the standard 'does it *look* the same'
+  metric, implemented with uniform windows per Wang et al. 2004).
+
+:func:`validate_conversion` applies them to an original TIFF vs the IDX
+round trip and enforces a tolerance: 0 for lossless codecs, the codec's
+error bound for zfp.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "ValidationReport",
+    "compare_rasters",
+    "max_abs_error",
+    "psnr",
+    "rmse",
+    "ssim",
+    "validate_conversion",
+]
+
+
+def _as_pair(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("cannot compare empty rasters")
+    return a, b
+
+
+def rmse(a: np.ndarray, b: np.ndarray) -> float:
+    """Root-mean-square error."""
+    a, b = _as_pair(a, b)
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def max_abs_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Largest absolute sample difference."""
+    a, b = _as_pair(a, b)
+    return float(np.max(np.abs(a - b)))
+
+
+def psnr(a: np.ndarray, b: np.ndarray, *, data_range: Optional[float] = None) -> float:
+    """Peak signal-to-noise ratio in dB (inf for identical rasters)."""
+    a, b = _as_pair(a, b)
+    mse = float(np.mean((a - b) ** 2))
+    if mse == 0.0:
+        return float("inf")
+    if data_range is None:
+        data_range = float(a.max() - a.min())
+        if data_range == 0.0:
+            data_range = 1.0
+    return 10.0 * math.log10(data_range**2 / mse)
+
+
+def ssim(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    window: int = 7,
+    data_range: Optional[float] = None,
+) -> float:
+    """Mean structural similarity (uniform windows, Wang et al. 2004)."""
+    a, b = _as_pair(a, b)
+    if a.ndim != 2:
+        raise ValueError("ssim expects 2-D rasters")
+    if window < 3 or window % 2 == 0:
+        raise ValueError("window must be odd and >= 3")
+    if data_range is None:
+        lo = min(a.min(), b.min())
+        hi = max(a.max(), b.max())
+        data_range = float(hi - lo) or 1.0
+    c1 = (0.01 * data_range) ** 2
+    c2 = (0.03 * data_range) ** 2
+
+    mean = lambda x: ndimage.uniform_filter(x, size=window, mode="reflect")  # noqa: E731
+    mu_a = mean(a)
+    mu_b = mean(b)
+    var_a = mean(a * a) - mu_a**2
+    var_b = mean(b * b) - mu_b**2
+    cov = mean(a * b) - mu_a * mu_b
+    num = (2 * mu_a * mu_b + c1) * (2 * cov + c2)
+    den = (mu_a**2 + mu_b**2 + c1) * (var_a + var_b + c2)
+    return float(np.mean(num / den))
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All Step 3 metrics for one raster pair."""
+
+    rmse: float
+    max_abs_error: float
+    psnr_db: float
+    ssim: float
+    identical: bool
+    tolerance: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        """Accuracy preserved within tolerance (the Step 3 gate)."""
+        return self.max_abs_error <= self.tolerance
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        p = "inf" if math.isinf(self.psnr_db) else f"{self.psnr_db:.1f}"
+        return (
+            f"rmse={self.rmse:.4g} max|err|={self.max_abs_error:.4g} "
+            f"psnr={p}dB ssim={self.ssim:.5f} passed={self.passed}"
+        )
+
+
+def compare_rasters(
+    original: np.ndarray,
+    converted: np.ndarray,
+    *,
+    tolerance: float = 0.0,
+) -> ValidationReport:
+    """Full metric suite over one pair."""
+    a, b = _as_pair(original, converted)
+    return ValidationReport(
+        rmse=rmse(a, b),
+        max_abs_error=max_abs_error(a, b),
+        psnr_db=psnr(a, b),
+        ssim=ssim(a, b) if a.ndim == 2 else float("nan"),
+        identical=bool(np.array_equal(a, b)),
+        tolerance=float(tolerance),
+    )
+
+
+def validate_conversion(
+    tiff_path: str,
+    idx_path: str,
+    *,
+    field: Optional[str] = None,
+    tolerance: float = 0.0,
+) -> ValidationReport:
+    """Step 3: compare the original TIFF against the IDX round trip."""
+    from repro.formats.tiff import read_tiff
+    from repro.idx.dataset import IdxDataset
+
+    original = read_tiff(tiff_path)
+    ds = IdxDataset.open(idx_path)
+    try:
+        converted = ds.read(field=field)
+    finally:
+        ds.close()
+    return compare_rasters(original, converted, tolerance=tolerance)

@@ -1,0 +1,227 @@
+"""Modular workflow engine.
+
+Tutorial goal 1 is to "construct a modular workflow on top of NSDF" by
+"combining application components with NSDF services" (§II).  The engine
+models that: a :class:`WorkflowStep` declares the context keys it
+consumes and produces, :meth:`Workflow.validate` checks the composition
+is a satisfiable DAG *before* anything runs, and :meth:`Workflow.run`
+executes steps in dependency order with per-step timing and provenance.
+
+Steps communicate exclusively through the shared context dict — the
+"modular" in modular workflow: any step can be swapped for another
+implementation producing the same keys.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.provenance import ProvenanceLog
+
+__all__ = ["StepResult", "Workflow", "WorkflowError", "WorkflowRun", "WorkflowStep"]
+
+
+class WorkflowError(RuntimeError):
+    """Composition errors (missing inputs, cycles, duplicate producers)."""
+
+
+@dataclass
+class WorkflowStep:
+    """One modular component.
+
+    ``func(ctx)`` receives the full context and returns a dict of new
+    entries; declared ``outputs`` must all be present in the return value
+    and ``inputs`` must exist in the context when the step starts.
+    """
+
+    name: str
+    func: Callable[[Dict[str, Any]], Dict[str, Any]]
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkflowError("step name must be non-empty")
+        self.inputs = tuple(self.inputs)
+        self.outputs = tuple(self.outputs)
+
+
+@dataclass
+class StepResult:
+    """Execution record of one step."""
+
+    name: str
+    seconds: float
+    outputs: Tuple[str, ...]
+    status: str = "ok"  # ok | failed | skipped | resumed
+    error: Optional[str] = None
+
+
+@dataclass
+class WorkflowRun:
+    """Outcome of one workflow execution."""
+
+    context: Dict[str, Any]
+    results: List[StepResult]
+    provenance: ProvenanceLog
+
+    @property
+    def ok(self) -> bool:
+        return all(r.status in ("ok", "resumed") for r in self.results)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.results)
+
+    def step_seconds(self) -> Dict[str, float]:
+        return {r.name: r.seconds for r in self.results}
+
+
+class Workflow:
+    """An ordered-by-dependency collection of steps."""
+
+    def __init__(self, name: str = "workflow") -> None:
+        self.name = name
+        self._steps: List[WorkflowStep] = []
+
+    # -- composition ----------------------------------------------------------
+
+    def add_step(self, step: WorkflowStep) -> "Workflow":
+        if any(s.name == step.name for s in self._steps):
+            raise WorkflowError(f"duplicate step name {step.name!r}")
+        self._steps.append(step)
+        return self
+
+    def step(
+        self,
+        name: str,
+        *,
+        inputs: Sequence[str] = (),
+        outputs: Sequence[str] = (),
+        description: str = "",
+    ) -> Callable:
+        """Decorator form of :meth:`add_step`."""
+
+        def wrap(func: Callable[[Dict[str, Any]], Dict[str, Any]]):
+            self.add_step(
+                WorkflowStep(
+                    name=name,
+                    func=func,
+                    inputs=tuple(inputs),
+                    outputs=tuple(outputs),
+                    description=description,
+                )
+            )
+            return func
+
+        return wrap
+
+    @property
+    def steps(self) -> List[WorkflowStep]:
+        return list(self._steps)
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self, initial_keys: Sequence[str] = ()) -> List[str]:
+        """Check the composition; returns the execution order (step names).
+
+        Raises :class:`WorkflowError` on duplicate producers, unsatisfied
+        inputs, or dependency cycles.
+        """
+        producers: Dict[str, str] = {}
+        for s in self._steps:
+            for out in s.outputs:
+                if out in producers:
+                    raise WorkflowError(
+                        f"key {out!r} produced by both {producers[out]!r} and {s.name!r}"
+                    )
+                producers[out] = s.name
+
+        available = set(initial_keys)
+        graph = nx.DiGraph()
+        for s in self._steps:
+            graph.add_node(s.name)
+            for inp in s.inputs:
+                if inp in producers:
+                    graph.add_edge(producers[inp], s.name)
+                elif inp not in available:
+                    raise WorkflowError(
+                        f"step {s.name!r} needs {inp!r}, which nothing produces"
+                    )
+        # Topological sort over dependencies, ties broken by insertion
+        # order (lexicographic topo sort keeps dependency constraints).
+        index = {s.name: i for i, s in enumerate(self._steps)}
+        try:
+            return list(nx.lexicographical_topological_sort(graph, key=lambda n: index[n]))
+        except nx.NetworkXUnfeasible as exc:
+            cycle = nx.find_cycle(graph)
+            raise WorkflowError(f"dependency cycle: {cycle}") from exc
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run(
+        self,
+        initial_context: Optional[Dict[str, Any]] = None,
+        *,
+        stop_on_error: bool = True,
+        resume: bool = False,
+    ) -> WorkflowRun:
+        """Execute all steps in dependency order.
+
+        With ``resume=True``, steps whose declared outputs are *all*
+        already present in the initial context are skipped — pass a
+        previous run's ``context`` to continue after a failure without
+        redoing completed work (checkpoint/restart, the standard HPC
+        workflow idiom).
+        """
+        context: Dict[str, Any] = dict(initial_context or {})
+        order = self.validate(initial_keys=list(context))
+        by_name = {s.name: s for s in self._steps}
+        provenance = ProvenanceLog()
+        results: List[StepResult] = []
+        failed = False
+
+        for name in order:
+            step = by_name[name]
+            if failed:
+                results.append(StepResult(name, 0.0, (), status="skipped"))
+                continue
+            if resume and step.outputs and all(k in context for k in step.outputs):
+                results.append(StepResult(name, 0.0, step.outputs, status="resumed"))
+                continue
+            missing = [k for k in step.inputs if k not in context]
+            if missing:
+                raise WorkflowError(f"step {name!r} missing inputs {missing} at runtime")
+            t0 = time.perf_counter()
+            try:
+                produced = step.func(context) or {}
+            except Exception as exc:
+                seconds = time.perf_counter() - t0
+                results.append(
+                    StepResult(name, seconds, (), status="failed", error=f"{type(exc).__name__}: {exc}")
+                )
+                if stop_on_error:
+                    failed = True
+                    continue
+                raise
+            seconds = time.perf_counter() - t0
+            absent = [k for k in step.outputs if k not in produced]
+            if absent:
+                raise WorkflowError(f"step {name!r} did not produce declared outputs {absent}")
+            context.update(produced)
+            provenance.record(
+                name,
+                inputs=list(step.inputs),
+                outputs=list(step.outputs),
+                params={"description": step.description} if step.description else None,
+            )
+            results.append(StepResult(name, seconds, tuple(produced), status="ok"))
+        return WorkflowRun(context=context, results=results, provenance=provenance)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Workflow({self.name!r}, steps={[s.name for s in self._steps]})"

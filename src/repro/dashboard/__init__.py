@@ -1,0 +1,44 @@
+"""Headless NSDF dashboard engine.
+
+§III-A describes the dashboard's feature set: dataset dropdown, time
+slider, horizontal/vertical slices, a snipping tool that yields "a NumPy
+array or a Python script for future data extraction", colour palettes
+with manual or dynamic ranges, resolution sliders, and playback with
+speed control.  §IV-D adds zoom/pan/crop over CONUS and Tennessee.
+
+Every one of those behaviours is implemented as a callable, assertable
+API (no GUI): widgets are state transitions on
+:class:`~repro.dashboard.state.DashboardState`, rendering produces RGB
+arrays, and :class:`~repro.dashboard.session.DashboardSession` is the
+user-facing facade the examples and benchmark F7 drive.
+"""
+
+from repro.dashboard.palettes import PALETTES, Palette, get_palette
+from repro.dashboard.render import render_raster, render_to_size
+from repro.dashboard.slicing import slice_horizontal, slice_vertical, slice_plane
+from repro.dashboard.snip import SnipResult, SnipTool
+from repro.dashboard.playback import Playback
+from repro.dashboard.state import DashboardState, RangeMode
+from repro.dashboard.session import DashboardSession
+from repro.dashboard.compare import blink, compare_frames, difference_view, side_by_side
+
+__all__ = [
+    "DashboardSession",
+    "blink",
+    "compare_frames",
+    "difference_view",
+    "side_by_side",
+    "DashboardState",
+    "PALETTES",
+    "Palette",
+    "Playback",
+    "RangeMode",
+    "SnipResult",
+    "SnipTool",
+    "get_palette",
+    "render_raster",
+    "render_to_size",
+    "slice_horizontal",
+    "slice_plane",
+    "slice_vertical",
+]

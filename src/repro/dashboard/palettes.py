@@ -1,0 +1,143 @@
+"""Colour palettes for raster rendering.
+
+"Users can select from various color palettes, improving the
+interpretability of complex datasets" (§III-A).  Each palette is a set
+of anchor colours interpolated linearly in RGB; ``apply`` maps float
+data through [vmin, vmax] to uint8 RGB with NaN rendered as a dedicated
+bad-colour.  Anchor tables approximate the familiar scientific maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["PALETTES", "Palette", "get_palette"]
+
+
+@dataclass(frozen=True)
+class Palette:
+    """Linear-interpolated colour map."""
+
+    name: str
+    anchors: Tuple[Tuple[float, float, float], ...]  # RGB in [0, 1], evenly spaced
+    bad_color: Tuple[int, int, int] = (30, 30, 30)
+
+    def __post_init__(self) -> None:
+        if len(self.anchors) < 2:
+            raise ValueError("palette needs at least 2 anchors")
+
+    def lut(self, size: int = 256) -> np.ndarray:
+        """(size, 3) uint8 lookup table."""
+        anchors = np.asarray(self.anchors, dtype=np.float64)
+        positions = np.linspace(0.0, 1.0, len(anchors))
+        xs = np.linspace(0.0, 1.0, size)
+        rgb = np.stack(
+            [np.interp(xs, positions, anchors[:, c]) for c in range(3)], axis=1
+        )
+        return np.clip(np.rint(rgb * 255), 0, 255).astype(np.uint8)
+
+    def apply(
+        self,
+        values: np.ndarray,
+        vmin: Optional[float] = None,
+        vmax: Optional[float] = None,
+    ) -> np.ndarray:
+        """Map values -> uint8 RGB (shape ``values.shape + (3,)``).
+
+        ``vmin``/``vmax`` default to the finite data range (the
+        dashboard's "dynamic" mode); out-of-range values clamp.
+        """
+        data = np.asarray(values, dtype=np.float64)
+        bad = ~np.isfinite(data)
+        finite = data[~bad]
+        if vmin is None:
+            vmin = float(finite.min()) if finite.size else 0.0
+        if vmax is None:
+            vmax = float(finite.max()) if finite.size else 1.0
+        if vmax <= vmin:
+            vmax = vmin + 1.0
+        norm = np.clip((data - vmin) / (vmax - vmin), 0.0, 1.0)
+        norm[bad] = 0.0
+        lut = self.lut()
+        idx = np.rint(norm * (len(lut) - 1)).astype(np.intp)
+        rgb = lut[idx]
+        if bad.any():
+            rgb[bad] = np.asarray(self.bad_color, dtype=np.uint8)
+        return rgb
+
+
+PALETTES: Dict[str, Palette] = {
+    "viridis": Palette(
+        "viridis",
+        (
+            (0.267, 0.005, 0.329),
+            (0.283, 0.141, 0.458),
+            (0.254, 0.265, 0.530),
+            (0.207, 0.372, 0.553),
+            (0.164, 0.471, 0.558),
+            (0.128, 0.567, 0.551),
+            (0.135, 0.659, 0.518),
+            (0.267, 0.749, 0.441),
+            (0.478, 0.821, 0.318),
+            (0.741, 0.873, 0.150),
+            (0.993, 0.906, 0.144),
+        ),
+    ),
+    "terrain": Palette(
+        "terrain",
+        (
+            (0.15, 0.30, 0.60),   # lowland water-blue
+            (0.10, 0.60, 0.40),   # coastal green
+            (0.45, 0.72, 0.35),   # plains
+            (0.85, 0.80, 0.45),   # foothills
+            (0.65, 0.45, 0.25),   # mountains
+            (0.95, 0.95, 0.95),   # snowcaps
+        ),
+    ),
+    "gray": Palette("gray", ((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))),
+    "magma": Palette(
+        "magma",
+        (
+            (0.001, 0.000, 0.014),
+            (0.251, 0.059, 0.418),
+            (0.550, 0.161, 0.506),
+            (0.846, 0.297, 0.383),
+            (0.989, 0.573, 0.318),
+            (0.987, 0.991, 0.750),
+        ),
+    ),
+    "coolwarm": Palette(
+        "coolwarm",
+        (
+            (0.230, 0.299, 0.754),
+            (0.552, 0.690, 0.996),
+            (0.866, 0.865, 0.865),
+            (0.958, 0.603, 0.482),
+            (0.706, 0.016, 0.150),
+        ),
+    ),
+    "aspect": Palette(
+        # Cyclic-ish palette for aspect (0-360 degrees wraps).
+        "aspect",
+        (
+            (0.85, 0.25, 0.25),
+            (0.85, 0.75, 0.25),
+            (0.25, 0.75, 0.35),
+            (0.25, 0.55, 0.85),
+            (0.55, 0.30, 0.80),
+            (0.85, 0.25, 0.25),
+        ),
+        bad_color=(60, 60, 60),
+    ),
+}
+
+
+def get_palette(name: str) -> Palette:
+    """Look up a palette by name (KeyError lists what exists)."""
+    try:
+        return PALETTES[name]
+    except KeyError:
+        raise KeyError(f"unknown palette {name!r}; available: {sorted(PALETTES)}") from None

@@ -1,0 +1,108 @@
+"""Temporal playback with speed control.
+
+"The playback functionality allows for automated data walkthroughs [...]
+The time speed control feature lets users adjust the pace of playback"
+(§III-A).  Playback is modelled headlessly: it schedules which timestep
+is visible at each wall-clock instant and can enumerate the frame
+sequence a renderer would draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["Playback"]
+
+
+@dataclass
+class _PlaybackState:
+    playing: bool = False
+    position: int = 0  # index into the timestep list
+    speed: float = 1.0  # timesteps per second of wall time
+    looping: bool = False
+
+
+class Playback:
+    """Deterministic playback controller over a timestep list."""
+
+    def __init__(self, timesteps: Sequence[int], *, fps: float = 1.0) -> None:
+        if not timesteps:
+            raise ValueError("playback needs at least one timestep")
+        self.timesteps: Tuple[int, ...] = tuple(int(t) for t in timesteps)
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        self._base_fps = float(fps)
+        self._state = _PlaybackState()
+
+    # -- transport controls ---------------------------------------------------
+
+    def play(self) -> None:
+        self._state.playing = True
+
+    def pause(self) -> None:
+        self._state.playing = False
+
+    def stop(self) -> None:
+        self._state.playing = False
+        self._state.position = 0
+
+    def set_speed(self, speed: float) -> None:
+        """Playback speed multiplier (0.25 = quarter speed, 4 = 4x)."""
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self._state.speed = float(speed)
+
+    def set_looping(self, looping: bool) -> None:
+        self._state.looping = bool(looping)
+
+    def seek(self, position: int) -> None:
+        if not 0 <= position < len(self.timesteps):
+            raise IndexError(f"position {position} out of range")
+        self._state.position = int(position)
+
+    def step(self, delta: int = 1) -> int:
+        """Advance by ``delta`` frames (clamping or looping); returns timestep."""
+        pos = self._state.position + delta
+        n = len(self.timesteps)
+        if self._state.looping:
+            pos %= n
+        else:
+            pos = min(max(pos, 0), n - 1)
+        self._state.position = pos
+        return self.timesteps[pos]
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def playing(self) -> bool:
+        return self._state.playing
+
+    @property
+    def speed(self) -> float:
+        return self._state.speed
+
+    @property
+    def current(self) -> int:
+        return self.timesteps[self._state.position]
+
+    def frame_at(self, wall_seconds: float) -> int:
+        """Timestep visible ``wall_seconds`` after pressing play."""
+        if wall_seconds < 0:
+            raise ValueError("wall_seconds must be non-negative")
+        advance = int(wall_seconds * self._base_fps * self._state.speed)
+        n = len(self.timesteps)
+        pos = self._state.position + advance
+        pos = pos % n if self._state.looping else min(pos, n - 1)
+        return self.timesteps[pos]
+
+    def schedule(self, duration_s: float, *, frame_interval_s: float = 1.0) -> List[Tuple[float, int]]:
+        """(wall_time, timestep) sequence for a ``duration_s`` walkthrough."""
+        if frame_interval_s <= 0:
+            raise ValueError("frame_interval_s must be positive")
+        out: List[Tuple[float, int]] = []
+        t = 0.0
+        while t <= duration_s:
+            out.append((t, self.frame_at(t)))
+            t += frame_interval_s
+        return out

@@ -1,0 +1,220 @@
+"""JSON command protocol over a dashboard session.
+
+Tutorial goal 3 is to "deploy NSDF services such as the NSDF-dashboard"
+(§II) — deployed dashboards are driven by a client/server message
+protocol (the real one speaks Bokeh/Panel websocket messages).  This
+module defines that seam: every widget interaction is a JSON-seriali-
+sable request, every response is a JSON-serialisable dict, so a session
+can sit behind any transport (websocket, HTTP, message queue) without
+touching dashboard logic.
+
+Request shape::
+
+    {"op": "zoom", "factor": 2.0, "center": [64, 64]}
+
+Response shape::
+
+    {"ok": true, "result": {...}}          on success
+    {"ok": false, "error": "..."}          on failure (always caught)
+
+Frames are returned as metadata plus (optionally) base64-encoded raw
+RGB so responses stay JSON-clean.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.dashboard.session import DashboardSession
+
+__all__ = ["DashboardProtocol"]
+
+
+class DashboardProtocol:
+    """Dispatches JSON requests onto a :class:`DashboardSession`."""
+
+    def __init__(self, session: Optional[DashboardSession] = None) -> None:
+        self.session = session if session is not None else DashboardSession()
+        self._ops: Dict[str, Callable[[Dict[str, Any]], Any]] = {
+            "list_datasets": self._op_list_datasets,
+            "describe": self._op_describe,
+            "select_dataset": self._op_select_dataset,
+            "select_field": self._op_select_field,
+            "set_time": self._op_set_time,
+            "set_palette": self._op_set_palette,
+            "set_range": self._op_set_range,
+            "set_range_dynamic": self._op_set_range_dynamic,
+            "set_resolution": self._op_set_resolution,
+            "zoom": self._op_zoom,
+            "pan": self._op_pan,
+            "crop": self._op_crop,
+            "reset_view": self._op_reset_view,
+            "render": self._op_render,
+            "fetch_stats": self._op_fetch_stats,
+            "slice": self._op_slice,
+            "snip": self._op_snip,
+            "state": self._op_state,
+            "timings": self._op_timings,
+        }
+
+    # -- dispatch -----------------------------------------------------------
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Process one request; never raises — errors come back in-band."""
+        try:
+            op = request.get("op")
+            if not isinstance(op, str):
+                raise ValueError("request must carry a string 'op'")
+            handler = self._ops.get(op)
+            if handler is None:
+                raise ValueError(f"unknown op {op!r}; have {sorted(self._ops)}")
+            result = handler(request)
+            response = {"ok": True, "result": result}
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        json.dumps(response)  # guarantee serialisability before returning
+        return response
+
+    def handle_json(self, payload: str) -> str:
+        """String-in/string-out variant for raw transports."""
+        try:
+            request = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            return json.dumps({"ok": False, "error": f"bad JSON: {exc}"})
+        return json.dumps(self.handle(request))
+
+    # -- op handlers -----------------------------------------------------------
+
+    def _op_list_datasets(self, req: Dict) -> Any:
+        return self.session.dataset_names
+
+    def _op_describe(self, req: Dict) -> Any:
+        ds = self.session.dataset
+        return {
+            "dims": list(ds.dims),
+            "fields": list(ds.fields),
+            "timesteps": list(ds.timesteps),
+            "maxh": ds.maxh,
+        }
+
+    def _op_select_dataset(self, req: Dict) -> Any:
+        self.session.select_dataset(req["name"])
+        return {"selected": req["name"]}
+
+    def _op_select_field(self, req: Dict) -> Any:
+        self.session.select_field(req["name"])
+        return {"field": req["name"]}
+
+    def _op_set_time(self, req: Dict) -> Any:
+        self.session.set_time(int(req["time"]))
+        return {"time": int(req["time"])}
+
+    def _op_set_palette(self, req: Dict) -> Any:
+        self.session.set_palette(req["name"])
+        return {"palette": req["name"]}
+
+    def _op_set_range(self, req: Dict) -> Any:
+        self.session.set_range(float(req["vmin"]), float(req["vmax"]))
+        return {"vmin": float(req["vmin"]), "vmax": float(req["vmax"])}
+
+    def _op_set_range_dynamic(self, req: Dict) -> Any:
+        self.session.set_range_dynamic()
+        return {"mode": "dynamic"}
+
+    def _op_set_resolution(self, req: Dict) -> Any:
+        level = req.get("level")
+        self.session.set_resolution(None if level is None else int(level))
+        return {"level": level, "effective": self.session.effective_resolution()}
+
+    def _op_zoom(self, req: Dict) -> Any:
+        center = req.get("center")
+        self.session.zoom(float(req["factor"]), center=center)
+        return self._view()
+
+    def _op_pan(self, req: Dict) -> Any:
+        self.session.pan(tuple(req["offsets"]))
+        return self._view()
+
+    def _op_crop(self, req: Dict) -> Any:
+        self.session.crop((tuple(req["lo"]), tuple(req["hi"])))
+        return self._view()
+
+    def _op_reset_view(self, req: Dict) -> Any:
+        self.session.reset_view()
+        return self._view()
+
+    def _op_render(self, req: Dict) -> Any:
+        frame = self.session.current_frame(fit_viewport=bool(req.get("fit_viewport", True)))
+        result = {
+            "shape": list(frame.shape),
+            "dtype": str(frame.dtype),
+            "mean_rgb": [float(frame[..., c].mean()) for c in range(3)],
+        }
+        if req.get("include_pixels"):
+            result["pixels_b64"] = base64.b64encode(frame.tobytes()).decode()
+        return result
+
+    def _op_fetch_stats(self, req: Dict) -> Any:
+        result = self.session.fetch_data()
+        data = result.data
+        finite = data[np.isfinite(data)] if data.dtype.kind == "f" else data.reshape(-1)
+        return {
+            "level": result.level,
+            "shape": list(data.shape),
+            "min": float(finite.min()),
+            "max": float(finite.max()),
+            "mean": float(finite.mean()),
+        }
+
+    def _op_slice(self, req: Dict) -> Any:
+        axis = req.get("axis", "horizontal")
+        index = int(req["index"])
+        if axis == "horizontal":
+            profile = self.session.slice_horizontal(index)
+        elif axis == "vertical":
+            profile = self.session.slice_vertical(index)
+        else:
+            raise ValueError(f"axis must be horizontal/vertical, got {axis!r}")
+        return {"axis": axis, "index": index, "values": [float(v) for v in profile]}
+
+    def _op_snip(self, req: Dict) -> Any:
+        result = self.session.snip(
+            (tuple(req["lo"]), tuple(req["hi"])),
+            resolution=req.get("resolution"),
+        )
+        return {
+            "shape": list(result.data.shape),
+            "level": result.level,
+            "data_b64": base64.b64encode(np.ascontiguousarray(result.data).tobytes()).decode(),
+            "dtype": str(result.data.dtype),
+            "script": result.extraction_script(),
+        }
+
+    def _op_state(self, req: Dict) -> Any:
+        state = self.session.state
+        return {
+            "dataset": state.dataset_name,
+            "field": state.field_name,
+            "time": state.time,
+            "palette": state.palette,
+            "range_mode": state.range_mode.value,
+            "resolution": state.resolution,
+            "view_box": None
+            if state.view_box is None
+            else {"lo": list(state.view_box.lo), "hi": list(state.view_box.hi)},
+            "ops_performed": state.ops_performed(),
+        }
+
+    def _op_timings(self, req: Dict) -> Any:
+        return {
+            op: {"count": count, "mean_ms": mean * 1e3}
+            for op, (count, mean) in self.session.timing_summary().items()
+        }
+
+    def _view(self) -> Dict[str, Any]:
+        box = self.session.state.view_box
+        return {"lo": list(box.lo), "hi": list(box.hi)}

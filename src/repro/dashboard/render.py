@@ -1,0 +1,77 @@
+"""Raster -> RGB rendering for the dashboard viewport.
+
+Rendering is palette application plus resolution management: the
+dashboard never pulls more samples than the viewport can show, which is
+the whole point of multiresolution streaming (§III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.dashboard.palettes import Palette, get_palette
+
+__all__ = ["render_raster", "render_to_size"]
+
+
+def render_raster(
+    data: np.ndarray,
+    *,
+    palette: "Palette | str" = "viridis",
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+) -> np.ndarray:
+    """Colour-map a 2-D raster to uint8 RGB."""
+    if data.ndim != 2:
+        raise ValueError(f"render_raster expects 2-D data, got ndim={data.ndim}")
+    pal = get_palette(palette) if isinstance(palette, str) else palette
+    return pal.apply(data, vmin=vmin, vmax=vmax)
+
+
+def render_to_size(
+    data: np.ndarray,
+    target: Tuple[int, int],
+    *,
+    palette: "Palette | str" = "viridis",
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+) -> np.ndarray:
+    """Render with nearest-neighbour resampling to ``target`` (h, w).
+
+    Upsampling repeats samples (the blocky look of an over-zoomed
+    coarse level — the dashboard's cue to raise the resolution slider);
+    downsampling takes strided picks.
+    """
+    if data.ndim != 2:
+        raise ValueError("render_to_size expects 2-D data")
+    th, tw = int(target[0]), int(target[1])
+    if th < 1 or tw < 1:
+        raise ValueError(f"bad target size {target}")
+    sh, sw = data.shape
+    rows = np.minimum((np.arange(th) * sh) // th, sh - 1)
+    cols = np.minimum((np.arange(tw) * sw) // tw, sw - 1)
+    resampled = data[rows[:, None], cols[None, :]]
+    return render_raster(resampled, palette=palette, vmin=vmin, vmax=vmax)
+
+
+def pick_resolution_for_viewport(
+    box_shape: Tuple[int, ...],
+    viewport: Tuple[int, int],
+    maxh: int,
+    level_strides_fn,
+) -> int:
+    """Lowest level whose sample count covers the viewport pixel count.
+
+    ``level_strides_fn(h)`` must return per-axis strides (the bitmask's
+    :meth:`~repro.idx.bitmask.Bitmask.level_strides`).  Streaming more
+    samples than pixels is wasted transfer, fewer is visible blur; this
+    picks the break-even level the resolution slider defaults to.
+    """
+    for h in range(maxh + 1):
+        strides = level_strides_fn(h)
+        counts = [max(1, (s + st - 1) // st) for s, st in zip(box_shape, strides)]
+        if counts[0] >= viewport[0] and counts[-1] >= viewport[1]:
+            return h
+    return maxh

@@ -1,0 +1,384 @@
+"""The user-facing dashboard facade (what a tutorial attendee drives).
+
+One :class:`DashboardSession` models one open dashboard tab: datasets are
+registered (local files or remote/cached access layers), widgets are
+methods, and :meth:`current_frame` produces the RGB image the GUI would
+show for the current state — by running a box query at the effective
+resolution and colour-mapping it.  Per-operation wall times are recorded
+for the interactivity benchmark (F7).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dashboard.palettes import PALETTES
+from repro.dashboard.playback import Playback
+from repro.dashboard.render import render_raster, render_to_size
+from repro.dashboard.slicing import slice_horizontal, slice_vertical
+from repro.dashboard.snip import SnipResult, SnipTool
+from repro.dashboard.state import DashboardState, RangeMode
+from repro.idx.dataset import IdxDataset
+from repro.idx.query import QueryResult
+from repro.util.arrays import Box, normalize_box
+
+__all__ = ["DashboardSession"]
+
+
+class DashboardSession:
+    """Headless NSDF dashboard."""
+
+    def __init__(self, *, viewport: Tuple[int, int] = (512, 512)) -> None:
+        self.state = DashboardState(viewport_px=(int(viewport[0]), int(viewport[1])))
+        self._datasets: Dict[str, IdxDataset] = {}
+        self.op_timings: List[Tuple[str, float]] = []
+
+    # -- timing helper -------------------------------------------------------
+
+    def _timed(self, op: str, fn, *args, **kwargs):
+        t0 = _time.perf_counter()
+        out = fn(*args, **kwargs)
+        self.op_timings.append((op, _time.perf_counter() - t0))
+        return out
+
+    # -- dataset management ----------------------------------------------------
+
+    def register_dataset(self, name: str, dataset: IdxDataset) -> None:
+        """Add a dataset to the dropdown (local, remote, or cached access)."""
+        if not name:
+            raise ValueError("dataset name must be non-empty")
+        self._datasets[name] = dataset
+        if self.state.dataset_name is None:
+            self.select_dataset(name)
+
+    def open_file(self, name: str, path: str) -> None:
+        """Register a local IDX file under ``name``."""
+        self.register_dataset(name, IdxDataset.open(path))
+
+    @property
+    def dataset_names(self) -> List[str]:
+        """The dataset dropdown's entries."""
+        return sorted(self._datasets)
+
+    @property
+    def dataset(self) -> IdxDataset:
+        if self.state.dataset_name is None:
+            raise RuntimeError("no dataset selected")
+        return self._datasets[self.state.dataset_name]
+
+    # -- widget: dropdowns -------------------------------------------------------
+
+    def select_dataset(self, name: str) -> None:
+        if name not in self._datasets:
+            raise KeyError(f"unknown dataset {name!r}; have {self.dataset_names}")
+        ds = self._datasets[name]
+        self.state.dataset_name = name
+        self.state.field_name = ds.fields[0]
+        self.state.time = ds.timesteps[0]
+        self.state.view_box = Box.from_shape(ds.dims)
+        self.state.resolution = None
+        if len(ds.dims) == 3:
+            # Volumes open on their central axis-0 plane (the standard
+            # volume-slicer default).
+            self.state.slice_axis = 0
+            self.state.slice_index = ds.dims[0] // 2
+        else:
+            self.state.slice_axis = None
+            self.state.slice_index = None
+        self.state.record("select_dataset", name=name)
+
+    # -- widget: volume slicer ----------------------------------------------
+
+    def set_slice(self, axis: int, index: int) -> None:
+        """Choose the axis-aligned plane a 3-D dataset displays (§III-A
+        slicing, volume form)."""
+        dims = self.dataset.dims
+        if len(dims) != 3:
+            raise ValueError("set_slice applies to 3-D datasets only")
+        if not 0 <= axis < 3:
+            raise ValueError("axis must be 0, 1, or 2")
+        if not 0 <= index < dims[axis]:
+            raise IndexError(f"index {index} out of range for axis {axis}")
+        self.state.slice_axis = int(axis)
+        self.state.slice_index = int(index)
+        self.state.record("set_slice", axis=int(axis), index=int(index))
+
+    def step_slice(self, delta: int = 1) -> int:
+        """Move the slice plane (the slice slider); returns the new index."""
+        if self.state.slice_axis is None:
+            raise RuntimeError("no slice axis set")
+        axis = self.state.slice_axis
+        limit = self.dataset.dims[axis]
+        index = min(max(0, (self.state.slice_index or 0) + int(delta)), limit - 1)
+        self.set_slice(axis, index)
+        return index
+
+    def select_field(self, name: str) -> None:
+        if name not in self.dataset.fields:
+            raise KeyError(f"unknown field {name!r}; have {self.dataset.fields}")
+        self.state.field_name = name
+        self.state.record("select_field", name=name)
+
+    # -- widget: time slider -------------------------------------------------------
+
+    def set_time(self, t: int) -> None:
+        if int(t) not in self.dataset.timesteps:
+            raise KeyError(f"timestep {t} not in {self.dataset.timesteps}")
+        self.state.time = int(t)
+        self.state.record("set_time", time=int(t))
+
+    def time_slider(self, index: int) -> int:
+        """Move the slider to position ``index``; returns the timestep."""
+        steps = self.dataset.timesteps
+        if not 0 <= index < len(steps):
+            raise IndexError(f"slider index {index} out of range")
+        self.set_time(steps[index])
+        return steps[index]
+
+    # -- widget: palette and range ---------------------------------------------------
+
+    def set_palette(self, name: str) -> None:
+        if name not in PALETTES:
+            raise KeyError(f"unknown palette {name!r}")
+        self.state.palette = name
+        self.state.record("set_palette", name=name)
+
+    def set_range(self, vmin: float, vmax: float) -> None:
+        self.state.set_manual_range(vmin, vmax)
+
+    def set_range_dynamic(self) -> None:
+        self.state.set_dynamic_range()
+
+    def seed_range_from_metadata(self) -> Tuple[float, float]:
+        """Fix the colormap range from per-block statistics — no data reads.
+
+        The block-stats manifest brackets the values in the current view,
+        so the first frame renders with a stable range instead of the
+        flicker of per-frame dynamic scaling.  Returns (vmin, vmax).
+        """
+        from repro.idx.blockstats import estimate_range
+
+        lo, hi = estimate_range(
+            self.dataset,
+            box=self._effective_box(),
+            field=self.state.field_name,
+            time=self.state.time,
+        )
+        if hi <= lo:
+            hi = lo + 1.0
+        self.set_range(lo, hi)
+        return (lo, hi)
+
+    # -- widget: resolution slider ------------------------------------------------------
+
+    def set_resolution(self, level: Optional[int]) -> None:
+        """Pin the HZ level (None returns to automatic selection)."""
+        if level is not None and not 0 <= int(level) <= self.dataset.maxh:
+            raise ValueError(f"resolution {level} out of [0, {self.dataset.maxh}]")
+        self.state.resolution = None if level is None else int(level)
+        self.state.record("set_resolution", level=self.state.resolution)
+
+    def resolution_slider(self, fraction: float) -> int:
+        """Set resolution as a 0..1 slider fraction of maxh; returns level."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        level = round(fraction * self.dataset.maxh)
+        self.set_resolution(level)
+        return level
+
+    def effective_resolution(self) -> int:
+        """The level a render will use (auto-picked unless pinned).
+
+        Auto-pick chooses the lowest level whose sample counts along the
+        *displayed* axes (the slice plane for 3-D volumes) cover the
+        viewport — streaming more samples than pixels is waste.
+        """
+        if self.state.resolution is not None:
+            return self.state.resolution
+        box = self._effective_box()
+        ndim = len(self.dataset.dims)
+        axes = [a for a in range(ndim) if a != self.state.slice_axis]
+        if len(axes) > 2:
+            axes = axes[:2]
+        vp = self.state.viewport_px
+        for h in range(self.dataset.maxh + 1):
+            strides = self.dataset.bitmask.level_strides(h)
+            counts = [max(1, -(-box.shape[a] // strides[a])) for a in axes]
+            if counts[0] >= vp[0] and counts[-1] >= vp[1]:
+                return h
+        return self.dataset.maxh
+
+    # -- widget: viewport (zoom / pan / crop) -----------------------------------------------
+
+    def _view_box(self) -> Box:
+        if self.state.view_box is None:
+            raise RuntimeError("no dataset selected")
+        return self.state.view_box
+
+    def reset_view(self) -> None:
+        self.state.view_box = Box.from_shape(self.dataset.dims)
+        self.state.record("reset_view")
+
+    def crop(self, box: "Box | Sequence[Sequence[int]]") -> None:
+        """Select a sub-region of interest (§IV-D 'select and crop')."""
+        full = Box.from_shape(self.dataset.dims)
+        new = normalize_box(box, len(self.dataset.dims)).clip(full)
+        if new.is_empty:
+            raise ValueError("crop box is empty")
+        self.state.view_box = new
+        self.state.record("crop", lo=new.lo, hi=new.hi)
+
+    def zoom(self, factor: float, center: Optional[Sequence[int]] = None) -> None:
+        """Zoom in (>1) or out (<1) about ``center`` (defaults to box centre)."""
+        if factor <= 0:
+            raise ValueError("zoom factor must be positive")
+        box = self._view_box()
+        dims = self.dataset.dims
+        if center is None:
+            center = [(l + h) // 2 for l, h in zip(box.lo, box.hi)]
+        lo, hi = [], []
+        for a in range(len(dims)):
+            half = max(1, int(round((box.hi[a] - box.lo[a]) / (2.0 * factor))))
+            c = int(center[a])
+            lo_a, hi_a = c - half, c + half
+            # Shift back inside the domain, then clip.
+            if lo_a < 0:
+                hi_a -= lo_a
+                lo_a = 0
+            if hi_a > dims[a]:
+                lo_a -= hi_a - dims[a]
+                hi_a = dims[a]
+            lo.append(max(0, lo_a))
+            hi.append(min(dims[a], hi_a))
+        self.state.view_box = Box(tuple(lo), tuple(hi))
+        self.state.record("zoom", factor=factor, center=tuple(int(c) for c in center))
+
+    def pan(self, offsets: Sequence[int]) -> None:
+        """Translate the viewport, clamped to the data bounds."""
+        box = self._view_box()
+        dims = self.dataset.dims
+        lo, hi = [], []
+        for a, d in enumerate(offsets):
+            lo_a = box.lo[a] + int(d)
+            hi_a = box.hi[a] + int(d)
+            if lo_a < 0:
+                hi_a -= lo_a
+                lo_a = 0
+            if hi_a > dims[a]:
+                lo_a -= hi_a - dims[a]
+                hi_a = dims[a]
+            lo.append(max(0, lo_a))
+            hi.append(min(dims[a], hi_a))
+        self.state.view_box = Box(tuple(lo), tuple(hi))
+        self.state.record("pan", offsets=tuple(int(d) for d in offsets))
+
+    # -- data and rendering -------------------------------------------------------------------
+
+    def _effective_box(self, resolution: Optional[int] = None) -> Box:
+        """The view box, with the slice plane applied for 3-D volumes.
+
+        At reduced resolution the requested plane may fall between the
+        level's lattice planes; like any volume slicer, the view snaps to
+        the nearest lattice plane at or below the requested index.
+        """
+        box = self._view_box()
+        if self.state.slice_axis is None:
+            return box
+        axis = self.state.slice_axis
+        index = int(self.state.slice_index or 0)
+        if resolution is not None:
+            stride = self.dataset.bitmask.level_strides(resolution)[axis]
+            index = (index // stride) * stride
+        lo = list(box.lo)
+        hi = list(box.hi)
+        lo[axis] = index
+        hi[axis] = index + 1
+        return Box(tuple(lo), tuple(hi))
+
+    def fetch_data(self) -> QueryResult:
+        """Run the box query the current state implies."""
+        resolution = self.effective_resolution()
+        return self._timed(
+            "fetch",
+            self.dataset.read_result,
+            box=self._effective_box(resolution),
+            resolution=resolution,
+            field=self.state.field_name,
+            time=self.state.time,
+        )
+
+    def current_frame(self, *, fit_viewport: bool = False) -> np.ndarray:
+        """RGB frame for the current widget state.
+
+        For 3-D datasets the active slice plane is rendered (the volume
+        slicer); the singleton axis is squeezed away.
+        """
+        result = self.fetch_data()
+        data = result.data
+        if data.ndim == 3 and self.state.slice_axis is not None:
+            data = np.squeeze(data, axis=self.state.slice_axis)
+        if data.ndim != 2:
+            raise RuntimeError("current_frame renders 2-D planes only")
+        vmin, vmax = self.state.vmin, self.state.vmax
+        if self.state.range_mode is RangeMode.DYNAMIC:
+            vmin = vmax = None
+        if fit_viewport:
+            return self._timed(
+                "render",
+                render_to_size,
+                data,
+                self.state.viewport_px,
+                palette=self.state.palette,
+                vmin=vmin,
+                vmax=vmax,
+            )
+        return self._timed(
+            "render", render_raster, data, palette=self.state.palette, vmin=vmin, vmax=vmax
+        )
+
+    # -- analysis tools ---------------------------------------------------------------------------
+
+    def slice_horizontal(self, row: int) -> np.ndarray:
+        data = self.fetch_data().data
+        self.state.record("slice_horizontal", row=row)
+        return slice_horizontal(data, row)
+
+    def slice_vertical(self, col: int) -> np.ndarray:
+        data = self.fetch_data().data
+        self.state.record("slice_vertical", col=col)
+        return slice_vertical(data, col)
+
+    def snip(
+        self,
+        box: "Box | Sequence[Sequence[int]]",
+        *,
+        resolution: Optional[int] = None,
+    ) -> SnipResult:
+        """Rectangle -> NumPy array + reproducible extraction script."""
+        tool = SnipTool(self.dataset)
+        result = self._timed(
+            "snip",
+            tool.snip,
+            box,
+            resolution=resolution,
+            field=self.state.field_name,
+            time=self.state.time,
+        )
+        self.state.record("snip", lo=result.box.lo, hi=result.box.hi, level=result.level)
+        return result
+
+    def playback(self, *, fps: float = 1.0) -> Playback:
+        """Playback controller over the current dataset's timesteps."""
+        return Playback(self.dataset.timesteps, fps=fps)
+
+    # -- reporting ------------------------------------------------------------------------------------
+
+    def timing_summary(self) -> Dict[str, Tuple[int, float]]:
+        """op -> (count, mean seconds)."""
+        agg: Dict[str, List[float]] = {}
+        for op, secs in self.op_timings:
+            agg.setdefault(op, []).append(secs)
+        return {op: (len(v), sum(v) / len(v)) for op, v in agg.items()}

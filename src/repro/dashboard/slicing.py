@@ -1,0 +1,43 @@
+"""Horizontal and vertical slicing tools.
+
+"The dashboard provides tools for taking horizontal and vertical slices
+of the data, which is beneficial for examining specific cross-sections"
+(§III-A).  For 2-D rasters a slice is a 1-D profile; for 3-D volumes,
+:func:`slice_plane` extracts an axis-aligned plane.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+__all__ = ["slice_horizontal", "slice_plane", "slice_vertical"]
+
+
+def slice_horizontal(data: np.ndarray, row: int) -> np.ndarray:
+    """Profile along a row (west-east cross-section of a raster)."""
+    if data.ndim != 2:
+        raise ValueError("slice_horizontal expects a 2-D raster")
+    if not 0 <= row < data.shape[0]:
+        raise IndexError(f"row {row} out of range [0, {data.shape[0]})")
+    return np.array(data[row, :])
+
+
+def slice_vertical(data: np.ndarray, col: int) -> np.ndarray:
+    """Profile along a column (north-south cross-section of a raster)."""
+    if data.ndim != 2:
+        raise ValueError("slice_vertical expects a 2-D raster")
+    if not 0 <= col < data.shape[1]:
+        raise IndexError(f"col {col} out of range [0, {data.shape[1]})")
+    return np.array(data[:, col])
+
+
+def slice_plane(volume: np.ndarray, axis: int, index: int) -> np.ndarray:
+    """Axis-aligned plane from a 3-D volume."""
+    if volume.ndim != 3:
+        raise ValueError("slice_plane expects a 3-D volume")
+    if not 0 <= axis < 3:
+        raise ValueError("axis must be 0, 1, or 2")
+    if not 0 <= index < volume.shape[axis]:
+        raise IndexError(f"index {index} out of range for axis {axis}")
+    return np.array(np.take(volume, index, axis=axis))

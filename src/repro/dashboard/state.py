@@ -1,0 +1,77 @@
+"""Dashboard widget state machine.
+
+Every widget of the NSDF dashboard (§III-A) is a field here, and every
+interaction is a validated transition recorded in ``events`` — so tests
+can assert on exactly what a GUI would have displayed:
+
+- dataset dropdown      -> ``dataset_name``
+- variable dropdown     -> ``field_name``
+- time slider           -> ``time``
+- colour palette menu   -> ``palette``
+- colormap range mode   -> ``range_mode`` + ``vmin``/``vmax``
+- resolution slider     -> ``resolution`` (HZ level; None = auto)
+- viewport (zoom/pan)   -> ``view_box``
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.util.arrays import Box
+
+__all__ = ["DashboardState", "RangeMode"]
+
+
+class RangeMode(enum.Enum):
+    """How the colormap range is determined."""
+
+    DYNAMIC = "dynamic"  # from the currently displayed samples
+    MANUAL = "manual"    # user-fixed vmin/vmax
+
+
+@dataclass
+class DashboardState:
+    """Complete widget state, plus the interaction event log."""
+
+    dataset_name: Optional[str] = None
+    field_name: Optional[str] = None
+    time: Optional[int] = None
+    palette: str = "viridis"
+    range_mode: RangeMode = RangeMode.DYNAMIC
+    vmin: Optional[float] = None
+    vmax: Optional[float] = None
+    resolution: Optional[int] = None  # None = auto-pick for viewport
+    view_box: Optional[Box] = None
+    viewport_px: Tuple[int, int] = (512, 512)
+    #: 3-D volumes: which axis-aligned plane is displayed.
+    slice_axis: Optional[int] = None
+    slice_index: Optional[int] = None
+    events: List[Tuple[str, Dict[str, Any]]] = field(default_factory=list)
+
+    def record(self, op: str, **params: Any) -> None:
+        """Append one interaction to the event log."""
+        self.events.append((op, params))
+
+    def set_manual_range(self, vmin: float, vmax: float) -> None:
+        if not vmin < vmax:
+            raise ValueError(f"need vmin < vmax, got [{vmin}, {vmax}]")
+        self.range_mode = RangeMode.MANUAL
+        self.vmin = float(vmin)
+        self.vmax = float(vmax)
+        self.record("set_range", mode="manual", vmin=vmin, vmax=vmax)
+
+    def set_dynamic_range(self) -> None:
+        self.range_mode = RangeMode.DYNAMIC
+        self.vmin = None
+        self.vmax = None
+        self.record("set_range", mode="dynamic")
+
+    def ops_performed(self) -> List[str]:
+        """Distinct operation names in the order first used."""
+        seen: List[str] = []
+        for op, _ in self.events:
+            if op not in seen:
+                seen.append(op)
+        return seen

@@ -1,0 +1,38 @@
+"""Container formats used by the tutorial workflow.
+
+Step 2 of the paper's workflow converts *TIFF* rasters (produced by
+GEOtiled) into the multiresolution *IDX* format, and notes that the
+conversion "is not limited to TIFF; it supports other data formats such as
+NetCDF, HDF5, RGB, raw/binary" (§IV-B).  This package supplies the
+non-IDX side of that conversion:
+
+- :mod:`repro.formats.tiff` — a real, byte-level TIFF 6.0 subset
+  (little-endian, strip-based, optional DEFLATE) so the size-reduction
+  claim is measured against a genuine container;
+- :mod:`repro.formats.rawbin` — raw binary dumps with JSON sidecars and
+  windowed (memory-mapped) reads;
+- :mod:`repro.formats.ncdf` — a NetCDF-classic (CDF-1) subset writer and
+  reader for gridded variables;
+- :mod:`repro.formats.metadata` — the dataset metadata record shared by
+  storage, catalog, and FAIR layers.
+"""
+
+from repro.formats.metadata import DatasetMetadata, GeoReference
+from repro.formats.rawbin import read_raw, read_raw_window, write_raw
+from repro.formats.tiff import TiffInfo, read_tiff, tiff_info, write_tiff
+from repro.formats.ncdf import NcdfFile, read_ncdf, write_ncdf
+
+__all__ = [
+    "DatasetMetadata",
+    "GeoReference",
+    "NcdfFile",
+    "TiffInfo",
+    "read_ncdf",
+    "read_raw",
+    "read_raw_window",
+    "read_tiff",
+    "tiff_info",
+    "write_ncdf",
+    "write_raw",
+    "write_tiff",
+]

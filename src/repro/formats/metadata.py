@@ -1,0 +1,117 @@
+"""Dataset metadata record shared across storage, catalog, and FAIR layers.
+
+The NSDF catalog indexes records about datasets; Dataverse attaches
+citation metadata; the FAIR-digital-object layer wraps both.  This module
+defines the single metadata schema they all exchange, plus the
+georeference record GEOtiled attaches to terrain rasters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["DatasetMetadata", "GeoReference"]
+
+
+@dataclass(frozen=True)
+class GeoReference:
+    """Affine georeference: raster pixel (row, col) -> model (x, y).
+
+    ``origin`` is the model-space coordinate of the *center* of pixel
+    (0, 0); ``pixel_size`` is (dx, dy) with dy conventionally negative for
+    north-up rasters (rows increase southward).  ``crs`` is a free-form
+    identifier (e.g. ``"EPSG:4326"``).
+    """
+
+    origin: Tuple[float, float]
+    pixel_size: Tuple[float, float]
+    crs: str = "EPSG:4326"
+
+    def pixel_to_model(self, row: float, col: float) -> Tuple[float, float]:
+        x = self.origin[0] + col * self.pixel_size[0]
+        y = self.origin[1] + row * self.pixel_size[1]
+        return (x, y)
+
+    def model_to_pixel(self, x: float, y: float) -> Tuple[float, float]:
+        col = (x - self.origin[0]) / self.pixel_size[0]
+        row = (y - self.origin[1]) / self.pixel_size[1]
+        return (row, col)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"origin": list(self.origin), "pixel_size": list(self.pixel_size), "crs": self.crs}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "GeoReference":
+        return cls(tuple(d["origin"]), tuple(d["pixel_size"]), d.get("crs", "EPSG:4326"))
+
+
+@dataclass
+class DatasetMetadata:
+    """Descriptive + structural metadata for one dataset.
+
+    Fields mirror what the tutorial's services need: identity (name,
+    version), structure (dims, dtype, fields/variables), science context
+    (title, description, keywords, region), and provenance (source,
+    creator, license).  ``extra`` is an open bag for service-specific
+    additions; it round-trips through :meth:`to_dict`.
+    """
+
+    name: str
+    dims: Tuple[int, ...] = ()
+    dtype: str = "float32"
+    fields: List[str] = field(default_factory=list)
+    title: str = ""
+    description: str = ""
+    keywords: List[str] = field(default_factory=list)
+    region: str = ""
+    resolution_m: Optional[float] = None
+    source: str = ""
+    creator: str = ""
+    license: str = "CC-BY-4.0"
+    version: int = 1
+    georef: Optional[GeoReference] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("dataset name must be non-empty")
+        self.dims = tuple(int(d) for d in self.dims)
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = asdict(self)
+        d["dims"] = list(self.dims)
+        d["georef"] = self.georef.to_dict() if self.georef else None
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "DatasetMetadata":
+        d = dict(d)
+        georef = d.pop("georef", None)
+        meta = cls(
+            name=d.pop("name"),
+            dims=tuple(d.pop("dims", ())),
+            dtype=d.pop("dtype", "float32"),
+            fields=list(d.pop("fields", [])),
+            title=d.pop("title", ""),
+            description=d.pop("description", ""),
+            keywords=list(d.pop("keywords", [])),
+            region=d.pop("region", ""),
+            resolution_m=d.pop("resolution_m", None),
+            source=d.pop("source", ""),
+            creator=d.pop("creator", ""),
+            license=d.pop("license", "CC-BY-4.0"),
+            version=int(d.pop("version", 1)),
+            georef=GeoReference.from_dict(georef) if georef else None,
+            extra=dict(d.pop("extra", {})),
+        )
+        # Tolerate and preserve unknown keys from newer writers.
+        meta.extra.update(d)
+        return meta
+
+    def search_text(self) -> str:
+        """Concatenated text the catalog tokenizer indexes."""
+        parts = [self.name, self.title, self.description, self.region, self.source, self.creator]
+        parts.extend(self.keywords)
+        parts.extend(self.fields)
+        return " ".join(p for p in parts if p)

@@ -1,0 +1,296 @@
+"""NetCDF classic (CDF-1) subset writer and reader.
+
+Implements the on-disk netCDF-3 "classic" format from the published spec,
+restricted to fixed-size dimensions (no record dimension): magic
+``CDF\\x01``, big-endian headers, dimension/attribute/variable lists, and
+4-byte-aligned variable data.  Files written here are genuine netCDF-3
+and open in standard tools for this feature subset.
+
+The conversion layer (§IV-B) lists NetCDF among the formats IDX ingestion
+supports; :mod:`repro.idx.convert` consumes these files.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["NcdfError", "NcdfFile", "read_ncdf", "write_ncdf"]
+
+
+class NcdfError(ValueError):
+    """Raised for malformed or unsupported CDF streams."""
+
+
+_MAGIC = b"CDF\x01"
+_ABSENT = (0, 0)
+_NC_DIMENSION = 0x0A
+_NC_VARIABLE = 0x0B
+_NC_ATTRIBUTE = 0x0C
+
+# nc_type -> (numpy dtype, size); all big-endian on disk.
+_NC_TYPES = {
+    1: np.dtype(">i1"),  # NC_BYTE
+    2: np.dtype("S1"),   # NC_CHAR
+    3: np.dtype(">i2"),  # NC_SHORT
+    4: np.dtype(">i4"),  # NC_INT
+    5: np.dtype(">f4"),  # NC_FLOAT
+    6: np.dtype(">f8"),  # NC_DOUBLE
+}
+_KIND_TO_NC = {("i", 1): 1, ("i", 2): 3, ("i", 4): 4, ("f", 4): 5, ("f", 8): 6}
+
+
+@dataclass
+class NcdfFile:
+    """In-memory model of a classic netCDF file (fixed dims only)."""
+
+    dims: Dict[str, int] = field(default_factory=dict)
+    variables: Dict[str, np.ndarray] = field(default_factory=dict)
+    var_dims: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    var_attrs: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def add_dim(self, name: str, length: int) -> None:
+        if name in self.dims and self.dims[name] != length:
+            raise NcdfError(f"dimension {name!r} redefined: {self.dims[name]} vs {length}")
+        if length <= 0:
+            raise NcdfError(f"dimension {name!r} must be positive")
+        self.dims[name] = int(length)
+
+    def add_variable(
+        self,
+        name: str,
+        dims: Tuple[str, ...],
+        array: np.ndarray,
+        attrs: "Dict[str, Any] | None" = None,
+    ) -> None:
+        """Attach a variable, registering its dimensions from the array shape."""
+        arr = np.ascontiguousarray(array)
+        if (arr.dtype.kind, arr.dtype.itemsize) not in _KIND_TO_NC:
+            raise NcdfError(f"dtype {arr.dtype} has no classic netCDF type")
+        if len(dims) != arr.ndim:
+            raise NcdfError(f"variable {name!r}: {len(dims)} dims for ndim={arr.ndim}")
+        for dim_name, length in zip(dims, arr.shape):
+            self.add_dim(dim_name, length)
+        self.variables[name] = arr
+        self.var_dims[name] = tuple(dims)
+        if attrs:
+            self.var_attrs[name] = dict(attrs)
+
+
+# ---------------------------------------------------------------------------
+# Encoding primitives (all big-endian, 4-byte aligned)
+# ---------------------------------------------------------------------------
+
+
+def _pack_name(name: str) -> bytes:
+    raw = name.encode()
+    pad = (4 - len(raw) % 4) % 4
+    return struct.pack(">I", len(raw)) + raw + b"\x00" * pad
+
+
+def _pack_attr_value(value: Any) -> Tuple[int, bytes, int]:
+    """Return (nc_type, payload-with-padding, nelems) for one attribute."""
+    if isinstance(value, str):
+        raw = value.encode()
+        pad = (4 - len(raw) % 4) % 4
+        return 2, raw + b"\x00" * pad, len(raw)
+    arr = np.atleast_1d(np.asarray(value))
+    if arr.dtype.kind == "f":
+        arr = arr.astype(">f8")
+        nc_type = 6
+    elif arr.dtype.kind in "iu":
+        arr = arr.astype(">i4")
+        nc_type = 4
+    else:
+        raise NcdfError(f"unsupported attribute type {type(value)}")
+    raw = arr.tobytes()
+    pad = (4 - len(raw) % 4) % 4
+    return nc_type, raw + b"\x00" * pad, arr.size
+
+
+def _pack_attr_list(attrs: Dict[str, Any]) -> bytes:
+    if not attrs:
+        return struct.pack(">II", *_ABSENT)
+    out = struct.pack(">II", _NC_ATTRIBUTE, len(attrs))
+    for name, value in attrs.items():
+        nc_type, payload, nelems = _pack_attr_value(value)
+        out += _pack_name(name) + struct.pack(">II", nc_type, nelems) + payload
+    return out
+
+
+def write_ncdf(path: str, nc: NcdfFile) -> int:
+    """Serialise ``nc`` as CDF-1; returns bytes written."""
+    dim_names = list(nc.dims)
+    dim_index = {name: i for i, name in enumerate(dim_names)}
+
+    header = _MAGIC + struct.pack(">I", 0)  # numrecs = 0 (no record dim)
+    if dim_names:
+        header += struct.pack(">II", _NC_DIMENSION, len(dim_names))
+        for name in dim_names:
+            header += _pack_name(name) + struct.pack(">I", nc.dims[name])
+    else:
+        header += struct.pack(">II", *_ABSENT)
+    header += _pack_attr_list(nc.attrs)
+
+    # Variable list: sizes and begin offsets need the header length, which
+    # itself depends on the variable list size — so build it with
+    # placeholder offsets first (fixed width), then patch.
+    var_names = list(nc.variables)
+    var_blobs: List[bytes] = []
+    data_blobs: List[bytes] = []
+    vsizes: List[int] = []
+    for name in var_names:
+        arr = nc.variables[name]
+        nc_type = _KIND_TO_NC[(arr.dtype.kind, arr.dtype.itemsize)]
+        disk = arr.astype(_NC_TYPES[nc_type], copy=False)
+        raw = disk.tobytes()
+        pad = (4 - len(raw) % 4) % 4
+        data_blobs.append(raw + b"\x00" * pad)
+        vsizes.append(len(raw) + pad)
+        blob = _pack_name(name)
+        dims = nc.var_dims[name]
+        blob += struct.pack(">I", len(dims))
+        for d in dims:
+            blob += struct.pack(">I", dim_index[d])
+        blob += _pack_attr_list(nc.var_attrs.get(name, {}))
+        blob += struct.pack(">II", nc_type, vsizes[-1])
+        var_blobs.append(blob)  # begin offset appended at patch time
+
+    if var_names:
+        var_list_size = 8 + sum(len(b) + 4 for b in var_blobs)  # +4: begin (CDF-1)
+    else:
+        var_list_size = 8
+    data_start = len(header) + var_list_size
+
+    out = bytearray(header)
+    if var_names:
+        out += struct.pack(">II", _NC_VARIABLE, len(var_names))
+        offset = data_start
+        for blob, vsize in zip(var_blobs, vsizes):
+            out += blob + struct.pack(">I", offset)
+            offset += vsize
+    else:
+        out += struct.pack(">II", *_ABSENT)
+    for blob in data_blobs:
+        out += blob
+
+    with open(path, "wb") as fh:
+        fh.write(out)
+    return len(out)
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise NcdfError("truncated CDF stream")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+    def name(self) -> str:
+        length = self.u32()
+        raw = self.take(length)
+        self.take((4 - length % 4) % 4)
+        return raw.decode()
+
+    def attr_list(self) -> Dict[str, Any]:
+        tag = self.u32()
+        count = self.u32()
+        if tag == 0:
+            if count != 0:
+                raise NcdfError("malformed ABSENT attribute list")
+            return {}
+        if tag != _NC_ATTRIBUTE:
+            raise NcdfError(f"expected NC_ATTRIBUTE, got {tag:#x}")
+        attrs: Dict[str, Any] = {}
+        for _ in range(count):
+            name = self.name()
+            nc_type = self.u32()
+            nelems = self.u32()
+            dtype = _NC_TYPES.get(nc_type)
+            if dtype is None:
+                raise NcdfError(f"unknown nc_type {nc_type}")
+            nbytes = dtype.itemsize * nelems
+            raw = self.take(nbytes)
+            self.take((4 - nbytes % 4) % 4)
+            if nc_type == 2:
+                attrs[name] = raw.decode(errors="replace")
+            else:
+                values = np.frombuffer(raw, dtype=dtype)
+                attrs[name] = values[0].item() if nelems == 1 else values.astype(dtype.newbyteorder("=")).tolist()
+        return attrs
+
+
+def read_ncdf(path: str) -> NcdfFile:
+    """Parse a CDF-1 file (fixed-size dims only) into :class:`NcdfFile`."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    r = _Reader(data)
+    if r.take(4) != _MAGIC:
+        raise NcdfError("not a CDF-1 file")
+    numrecs = r.u32()
+    if numrecs not in (0,):
+        raise NcdfError("record dimensions are not supported by this subset")
+
+    nc = NcdfFile()
+    tag = r.u32()
+    count = r.u32()
+    dim_names: List[str] = []
+    dim_lengths: List[int] = []
+    if tag == _NC_DIMENSION:
+        for _ in range(count):
+            name = r.name()
+            length = r.u32()
+            dim_names.append(name)
+            dim_lengths.append(length)
+            nc.dims[name] = length
+    elif (tag, count) != _ABSENT:
+        raise NcdfError(f"expected dimension list, got tag {tag:#x}")
+
+    nc.attrs = r.attr_list()
+
+    tag = r.u32()
+    count = r.u32()
+    if tag == _NC_VARIABLE:
+        for _ in range(count):
+            name = r.name()
+            ndims = r.u32()
+            dimids = [r.u32() for _ in range(ndims)]
+            var_attrs = r.attr_list()
+            nc_type = r.u32()
+            _vsize = r.u32()
+            begin = r.u32()
+            dtype = _NC_TYPES.get(nc_type)
+            if dtype is None:
+                raise NcdfError(f"unknown nc_type {nc_type}")
+            if any(i >= len(dim_lengths) for i in dimids):
+                raise NcdfError(f"variable {name!r} references unknown dimension id")
+            shape = tuple(dim_lengths[i] for i in dimids)
+            n_elem = int(np.prod(shape)) if shape else 1
+            nbytes = n_elem * dtype.itemsize
+            if begin + nbytes > len(data):
+                raise NcdfError(f"variable {name!r} data exceeds file size")
+            arr = np.frombuffer(data, dtype=dtype, count=n_elem, offset=begin).reshape(shape)
+            nc.variables[name] = np.ascontiguousarray(arr.astype(dtype.newbyteorder("=")))
+            nc.var_dims[name] = tuple(dim_names[i] for i in dimids)
+            if var_attrs:
+                nc.var_attrs[name] = var_attrs
+    elif (tag, count) != _ABSENT:
+        raise NcdfError(f"expected variable list, got tag {tag:#x}")
+    return nc

@@ -1,0 +1,83 @@
+"""Raw binary rasters with JSON sidecar metadata.
+
+The simplest of the formats the conversion step accepts ("raw/binary",
+§IV-B): a flat C-order dump of the array plus a ``.json`` sidecar holding
+dtype, shape, and free-form attributes.  Windowed reads use ``np.memmap``
+so sub-box extraction never materialises the full file — the out-of-core
+idiom the IDX layer generalises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.arrays import Box, normalize_box
+
+__all__ = ["read_raw", "read_raw_window", "write_raw", "sidecar_path"]
+
+
+def sidecar_path(path: str) -> str:
+    """Path of the JSON sidecar for a raw dump."""
+    return path + ".json"
+
+
+def write_raw(
+    path: str,
+    array: np.ndarray,
+    *,
+    attrs: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write a C-order little-endian dump plus sidecar; returns byte size."""
+    arr = np.ascontiguousarray(array)
+    le = arr.astype(arr.dtype.newbyteorder("<"), copy=False)
+    with open(path, "wb") as fh:
+        fh.write(le.tobytes())
+    meta = {
+        "dtype": np.dtype(arr.dtype).str.lstrip("<>=|"),
+        "shape": list(arr.shape),
+        "order": "C",
+        "byteorder": "little",
+        "attrs": attrs or {},
+    }
+    with open(sidecar_path(path), "w") as fh:
+        json.dump(meta, fh, indent=1, sort_keys=True)
+    return os.path.getsize(path)
+
+
+def _load_sidecar(path: str) -> Tuple[np.dtype, Tuple[int, ...], Dict[str, Any]]:
+    with open(sidecar_path(path)) as fh:
+        meta = json.load(fh)
+    dtype = np.dtype("<" + meta["dtype"])
+    shape = tuple(int(s) for s in meta["shape"])
+    return dtype, shape, meta.get("attrs", {})
+
+
+def read_raw(path: str, *, with_attrs: bool = False):
+    """Read the full array (native byte order)."""
+    dtype, shape, attrs = _load_sidecar(path)
+    arr = np.fromfile(path, dtype=dtype).reshape(shape)
+    arr = np.ascontiguousarray(arr.astype(dtype.newbyteorder("="), copy=False))
+    if with_attrs:
+        return arr, attrs
+    return arr
+
+
+def read_raw_window(path: str, box: "Box | Sequence[Sequence[int]]") -> np.ndarray:
+    """Read only the samples inside ``box`` via a memory map.
+
+    Bytes outside the requested window are never copied into Python-owned
+    memory (the OS pages in just the touched regions).
+    """
+    dtype, shape, _ = _load_sidecar(path)
+    box = normalize_box(box, len(shape))
+    full = Box.from_shape(shape)
+    if not full.contains_box(box):
+        raise ValueError(f"window {box} exceeds array bounds {shape}")
+    mm = np.memmap(path, dtype=dtype, mode="r", shape=shape)
+    window = np.array(mm[box.to_slices()])  # copy out of the map
+    del mm
+    return np.ascontiguousarray(window.astype(dtype.newbyteorder("="), copy=False))

@@ -1,0 +1,397 @@
+"""Minimal TIFF 6.0 reader/writer (little-endian, strip-based).
+
+This is a genuine byte-level implementation of the TIFF container — the
+files it writes open in standard tools for the supported feature subset:
+
+- single-image (one IFD) grayscale or RGB rasters,
+- sample formats: unsigned/signed integers and IEEE floats
+  (uint8/16/32, int8/16/32, float32/64),
+- strip storage with configurable ``rows_per_strip``,
+- compression: none (1) or Adobe DEFLATE (8, zlib),
+- optional GeoTIFF-style georeferencing via ModelPixelScale (33550) and
+  ModelTiepoint (33922), which GEOtiled emits for terrain tiles,
+- ImageDescription (270) free-text metadata.
+
+The tutorial's Step 2 reads these TIFFs "using Python functionalities and
+writ[es] them in IDX format" (§IV-B); :mod:`repro.idx.convert` builds on
+this module.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TiffError", "TiffInfo", "read_tiff", "tiff_info", "write_tiff"]
+
+
+class TiffError(ValueError):
+    """Raised for malformed or unsupported TIFF streams."""
+
+
+# TIFF tag ids used by this subset.
+TAG_IMAGE_WIDTH = 256
+TAG_IMAGE_LENGTH = 257
+TAG_BITS_PER_SAMPLE = 258
+TAG_COMPRESSION = 259
+TAG_PHOTOMETRIC = 262
+TAG_IMAGE_DESCRIPTION = 270
+TAG_STRIP_OFFSETS = 273
+TAG_SAMPLES_PER_PIXEL = 277
+TAG_ROWS_PER_STRIP = 278
+TAG_STRIP_BYTE_COUNTS = 279
+TAG_PLANAR_CONFIG = 284
+TAG_SAMPLE_FORMAT = 339
+TAG_MODEL_PIXEL_SCALE = 33550
+TAG_MODEL_TIEPOINT = 33922
+
+COMPRESSION_NONE = 1
+COMPRESSION_DEFLATE = 8
+
+# TIFF field types.
+TYPE_BYTE = 1
+TYPE_ASCII = 2
+TYPE_SHORT = 3
+TYPE_LONG = 4
+TYPE_RATIONAL = 5
+TYPE_DOUBLE = 12
+
+_TYPE_SIZE = {TYPE_BYTE: 1, TYPE_ASCII: 1, TYPE_SHORT: 2, TYPE_LONG: 4, TYPE_RATIONAL: 8, TYPE_DOUBLE: 8}
+_TYPE_FMT = {TYPE_BYTE: "B", TYPE_SHORT: "H", TYPE_LONG: "I", TYPE_DOUBLE: "d"}
+
+# SampleFormat tag values.
+SF_UINT = 1
+SF_INT = 2
+SF_FLOAT = 3
+
+_DTYPE_TO_SF = {
+    "u": SF_UINT,
+    "i": SF_INT,
+    "f": SF_FLOAT,
+}
+_SF_TO_KIND = {SF_UINT: "u", SF_INT: "i", SF_FLOAT: "f"}
+
+_SUPPORTED_DTYPES = {
+    np.dtype(np.uint8),
+    np.dtype(np.uint16),
+    np.dtype(np.uint32),
+    np.dtype(np.int8),
+    np.dtype(np.int16),
+    np.dtype(np.int32),
+    np.dtype(np.float32),
+    np.dtype(np.float64),
+}
+
+
+@dataclass
+class TiffInfo:
+    """Parsed structural description of a TIFF file."""
+
+    width: int
+    height: int
+    samples_per_pixel: int
+    dtype: np.dtype
+    compression: int
+    rows_per_strip: int
+    strip_offsets: Tuple[int, ...]
+    strip_byte_counts: Tuple[int, ...]
+    description: Optional[str] = None
+    pixel_scale: Optional[Tuple[float, float, float]] = None
+    tiepoint: Optional[Tuple[float, ...]] = None
+    extra_tags: Dict[int, tuple] = field(default_factory=dict)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        if self.samples_per_pixel == 1:
+            return (self.height, self.width)
+        return (self.height, self.width, self.samples_per_pixel)
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+def write_tiff(
+    path: str,
+    array: np.ndarray,
+    *,
+    compression: str = "none",
+    rows_per_strip: int = 64,
+    description: Optional[str] = None,
+    pixel_scale: Optional[Sequence[float]] = None,
+    tiepoint: Optional[Sequence[float]] = None,
+    zlib_level: int = 6,
+) -> int:
+    """Write ``array`` as a TIFF file; returns the byte size written.
+
+    ``array`` must be 2-D (grayscale) or 3-D with shape (h, w, 3) RGB.
+    ``compression`` is ``"none"`` or ``"deflate"``.  ``pixel_scale`` is the
+    GeoTIFF (sx, sy, sz) triple; ``tiepoint`` the 6-tuple
+    (i, j, k, x, y, z) anchoring raster to model space.
+    """
+    arr = np.ascontiguousarray(array)
+    if arr.ndim == 2:
+        samples = 1
+    elif arr.ndim == 3 and arr.shape[2] == 3:
+        samples = 3
+        if arr.dtype != np.uint8:
+            raise TiffError("RGB TIFF requires uint8 samples")
+    else:
+        raise TiffError(f"unsupported array shape {arr.shape}")
+    if arr.dtype not in _SUPPORTED_DTYPES:
+        raise TiffError(f"unsupported dtype {arr.dtype}")
+    if rows_per_strip < 1:
+        raise TiffError("rows_per_strip must be >= 1")
+    comp_mode = {"none": COMPRESSION_NONE, "deflate": COMPRESSION_DEFLATE, "zlib": COMPRESSION_DEFLATE}.get(
+        compression.lower()
+    )
+    if comp_mode is None:
+        raise TiffError(f"unknown compression {compression!r}")
+
+    height, width = arr.shape[0], arr.shape[1]
+    # Force little-endian sample layout, matching the 'II' header.
+    le_dtype = arr.dtype.newbyteorder("<")
+    data = np.ascontiguousarray(arr, dtype=le_dtype)
+
+    strips: List[bytes] = []
+    for row0 in range(0, height, rows_per_strip):
+        chunk = data[row0 : row0 + rows_per_strip].tobytes()
+        if comp_mode == COMPRESSION_DEFLATE:
+            chunk = zlib.compress(chunk, zlib_level)
+        strips.append(chunk)
+
+    entries: List[Tuple[int, int, int, bytes]] = []  # (tag, type, count, payload)
+
+    def add(tag: int, ftype: int, values: Sequence) -> None:
+        if ftype == TYPE_ASCII:
+            payload = bytes(values)  # already encoded, NUL-terminated
+            count = len(payload)
+        else:
+            fmt = "<" + _TYPE_FMT[ftype] * len(values)
+            payload = struct.pack(fmt, *values)
+            count = len(values)
+        entries.append((tag, ftype, count, payload))
+
+    add(TAG_IMAGE_WIDTH, TYPE_LONG, [width])
+    add(TAG_IMAGE_LENGTH, TYPE_LONG, [height])
+    add(TAG_BITS_PER_SAMPLE, TYPE_SHORT, [data.dtype.itemsize * 8] * samples)
+    add(TAG_COMPRESSION, TYPE_SHORT, [comp_mode])
+    add(TAG_PHOTOMETRIC, TYPE_SHORT, [2 if samples == 3 else 1])
+    if description is not None:
+        add(TAG_IMAGE_DESCRIPTION, TYPE_ASCII, description.encode() + b"\x00")
+    add(TAG_SAMPLES_PER_PIXEL, TYPE_SHORT, [samples])
+    add(TAG_ROWS_PER_STRIP, TYPE_LONG, [rows_per_strip])
+    add(TAG_STRIP_BYTE_COUNTS, TYPE_LONG, [len(s) for s in strips])
+    add(TAG_PLANAR_CONFIG, TYPE_SHORT, [1])
+    add(TAG_SAMPLE_FORMAT, TYPE_SHORT, [_DTYPE_TO_SF[data.dtype.kind]] * samples)
+    if pixel_scale is not None:
+        if len(pixel_scale) != 3:
+            raise TiffError("pixel_scale must have 3 entries")
+        add(TAG_MODEL_PIXEL_SCALE, TYPE_DOUBLE, [float(v) for v in pixel_scale])
+    if tiepoint is not None:
+        if len(tiepoint) % 6 != 0 or not tiepoint:
+            raise TiffError("tiepoint length must be a positive multiple of 6")
+        add(TAG_MODEL_TIEPOINT, TYPE_DOUBLE, [float(v) for v in tiepoint])
+    # StripOffsets goes in with placeholder values; its payload *size* is
+    # already final, so the layout computed below is stable and the real
+    # offsets are patched in just before writing.
+    add(TAG_STRIP_OFFSETS, TYPE_LONG, [0] * len(strips))
+    entries.sort(key=lambda e: e[0])
+
+    # Layout: header(8) | IFD | overflow payloads | strip data.
+    n_entries = len(entries)
+    ifd_offset = 8
+    ifd_size = 2 + n_entries * 12 + 4
+    cursor = ifd_offset + ifd_size
+    placements: List[int] = []  # overflow offset per entry, or -1 for inline
+    for _, _, _, payload in entries:
+        if len(payload) <= 4:
+            placements.append(-1)
+        else:
+            if cursor % 2:
+                cursor += 1
+            placements.append(cursor)
+            cursor += len(payload)
+    data_offset = cursor + (cursor % 2)
+
+    strip_offsets = []
+    pos = data_offset
+    for s in strips:
+        strip_offsets.append(pos)
+        pos += len(s)
+
+    # Patch the real strip offsets into the placeholder payload.
+    offsets_payload = struct.pack("<" + "I" * len(strip_offsets), *strip_offsets)
+    entries = [
+        (tag, ftype, count, offsets_payload if tag == TAG_STRIP_OFFSETS else payload)
+        for tag, ftype, count, payload in entries
+    ]
+
+    with open(path, "wb") as fh:
+        fh.write(struct.pack("<2sHI", b"II", 42, ifd_offset))
+        fh.write(struct.pack("<H", n_entries))
+        for (tag, ftype, count, payload), where in zip(entries, placements):
+            if where < 0:
+                fh.write(struct.pack("<HHI", tag, ftype, count) + payload.ljust(4, b"\x00"))
+            else:
+                fh.write(struct.pack("<HHII", tag, ftype, count, where))
+        fh.write(struct.pack("<I", 0))  # next-IFD pointer: none
+        for (tag, ftype, count, payload), where in zip(entries, placements):
+            if where < 0:
+                continue
+            if fh.tell() % 2:
+                fh.write(b"\x00")
+            assert fh.tell() == where, "overflow layout drifted"
+            fh.write(payload)
+        if fh.tell() < data_offset:
+            fh.write(b"\x00" * (data_offset - fh.tell()))
+        for s in strips:
+            fh.write(s)
+        size = fh.tell()
+    return size
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+
+def _read_ifd(fh: BinaryIO) -> Dict[int, tuple]:
+    header = fh.read(8)
+    if len(header) != 8:
+        raise TiffError("truncated TIFF header")
+    byte_order, magic, ifd_offset = struct.unpack("<2sHI", header)
+    if byte_order == b"II":
+        endian = "<"
+    elif byte_order == b"MM":
+        endian = ">"
+        magic, ifd_offset = struct.unpack(">2sHI", header)[1:]
+    else:
+        raise TiffError(f"bad TIFF byte-order mark {byte_order!r}")
+    if magic != 42:
+        raise TiffError(f"bad TIFF magic {magic}")
+
+    fh.seek(ifd_offset)
+    (n_entries,) = struct.unpack(endian + "H", fh.read(2))
+    raw_entries = []
+    for _ in range(n_entries):
+        tag, ftype, count, value_bytes = struct.unpack(endian + "HHI4s", fh.read(12))
+        raw_entries.append((tag, ftype, count, value_bytes))
+
+    tags: Dict[int, tuple] = {}
+    for tag, ftype, count, value_bytes in raw_entries:
+        if ftype not in _TYPE_SIZE:
+            continue  # skip unknown field types, per spec
+        nbytes = _TYPE_SIZE[ftype] * count
+        if nbytes <= 4:
+            payload = value_bytes[:nbytes]
+        else:
+            (offset,) = struct.unpack(endian + "I", value_bytes)
+            fh.seek(offset)
+            payload = fh.read(nbytes)
+            if len(payload) != nbytes:
+                raise TiffError(f"truncated payload for tag {tag}")
+        if ftype == TYPE_ASCII:
+            tags[tag] = (payload.rstrip(b"\x00").decode(errors="replace"),)
+        elif ftype == TYPE_RATIONAL:
+            vals = struct.unpack(endian + "II" * count, payload)
+            tags[tag] = tuple(vals[i] / max(1, vals[i + 1]) for i in range(0, len(vals), 2))
+        else:
+            fmt = endian + _TYPE_FMT[ftype] * count
+            tags[tag] = struct.unpack(fmt, payload)
+    tags[-1] = (endian,)  # stash endianness for the caller
+    return tags
+
+
+def tiff_info(path: str) -> TiffInfo:
+    """Parse structure (tags, strip layout) without decoding pixel data."""
+    with open(path, "rb") as fh:
+        tags = _read_ifd(fh)
+
+    def one(tag: int, default=None):
+        if tag in tags:
+            return tags[tag][0]
+        if default is None:
+            raise TiffError(f"missing required tag {tag}")
+        return default
+
+    width = int(one(TAG_IMAGE_WIDTH))
+    height = int(one(TAG_IMAGE_LENGTH))
+    samples = int(one(TAG_SAMPLES_PER_PIXEL, 1))
+    bits = tags.get(TAG_BITS_PER_SAMPLE, (8,))
+    if len(set(bits)) != 1:
+        raise TiffError("heterogeneous BitsPerSample is unsupported")
+    bit_depth = int(bits[0])
+    sf = int(tags.get(TAG_SAMPLE_FORMAT, (SF_UINT,))[0])
+    kind = _SF_TO_KIND.get(sf)
+    if kind is None:
+        raise TiffError(f"unsupported SampleFormat {sf}")
+    if bit_depth % 8 != 0:
+        raise TiffError(f"unsupported bit depth {bit_depth}")
+    endian = tags[-1][0]
+    dtype = np.dtype(f"{endian}{kind}{bit_depth // 8}")
+    compression = int(one(TAG_COMPRESSION, 1))
+    if compression not in (COMPRESSION_NONE, COMPRESSION_DEFLATE):
+        raise TiffError(f"unsupported compression {compression}")
+    rows_per_strip = int(one(TAG_ROWS_PER_STRIP, height))
+    offsets = tuple(int(v) for v in tags.get(TAG_STRIP_OFFSETS, ()))
+    counts = tuple(int(v) for v in tags.get(TAG_STRIP_BYTE_COUNTS, ()))
+    if len(offsets) != len(counts) or not offsets:
+        raise TiffError("inconsistent strip layout")
+    description = tags.get(TAG_IMAGE_DESCRIPTION, (None,))[0]
+    pixel_scale = tags.get(TAG_MODEL_PIXEL_SCALE)
+    tiepoint = tags.get(TAG_MODEL_TIEPOINT)
+    known = {
+        TAG_IMAGE_WIDTH, TAG_IMAGE_LENGTH, TAG_BITS_PER_SAMPLE, TAG_COMPRESSION,
+        TAG_PHOTOMETRIC, TAG_IMAGE_DESCRIPTION, TAG_STRIP_OFFSETS, TAG_SAMPLES_PER_PIXEL,
+        TAG_ROWS_PER_STRIP, TAG_STRIP_BYTE_COUNTS, TAG_PLANAR_CONFIG, TAG_SAMPLE_FORMAT,
+        TAG_MODEL_PIXEL_SCALE, TAG_MODEL_TIEPOINT, -1,
+    }
+    extra = {tag: vals for tag, vals in tags.items() if tag not in known}
+    return TiffInfo(
+        width=width,
+        height=height,
+        samples_per_pixel=samples,
+        dtype=dtype,
+        compression=compression,
+        rows_per_strip=rows_per_strip,
+        strip_offsets=offsets,
+        strip_byte_counts=counts,
+        description=description,
+        pixel_scale=tuple(float(v) for v in pixel_scale) if pixel_scale else None,
+        tiepoint=tuple(float(v) for v in tiepoint) if tiepoint else None,
+        extra_tags=extra,
+    )
+
+
+def read_tiff(path: str) -> np.ndarray:
+    """Decode the full raster (native byte order, C-contiguous)."""
+    info = tiff_info(path)
+    height, width, samples = info.height, info.width, info.samples_per_pixel
+    row_bytes = width * samples * info.dtype.itemsize
+    out = bytearray()
+    with open(path, "rb") as fh:
+        for i, (offset, count) in enumerate(zip(info.strip_offsets, info.strip_byte_counts)):
+            fh.seek(offset)
+            chunk = fh.read(count)
+            if len(chunk) != count:
+                raise TiffError(f"truncated strip {i}")
+            if info.compression == COMPRESSION_DEFLATE:
+                try:
+                    chunk = zlib.decompress(chunk)
+                except zlib.error as exc:
+                    raise TiffError(f"corrupt DEFLATE strip {i}: {exc}") from exc
+            rows_here = min(info.rows_per_strip, height - i * info.rows_per_strip)
+            expected = rows_here * row_bytes
+            if len(chunk) != expected:
+                raise TiffError(f"strip {i}: {len(chunk)} bytes, expected {expected}")
+            out += chunk
+    arr = np.frombuffer(bytes(out), dtype=info.dtype)
+    arr = arr.reshape(info.shape)
+    # Return native-endian for downstream arithmetic.
+    return np.ascontiguousarray(arr.astype(info.dtype.newbyteorder("=")))

@@ -1,0 +1,84 @@
+"""Multiresolution HZ-order data fabric (the OpenVisus/IDX analogue).
+
+This package is the technical heart of the reproduction.  The paper's
+dashboard and conversion steps are built on the ViSUS/OpenVisus framework
+(§III-A): data is reorganised along a Hierarchical Z-order (HZ-order)
+space-filling curve so that
+
+- coarse-to-fine *progressive* access is a contiguous-prefix read,
+- spatially close samples land close together on disk,
+- any rectangular subset at any resolution can be extracted by touching
+  only the blocks that contain its samples, and
+- per-block compression (zlib/lz4/zfp) and caching slot in transparently.
+
+Layout of the package:
+
+- :mod:`repro.idx.bitmask` — the V-bitmask describing the axis-split
+  schedule for (possibly anisotropic) power-of-two domains;
+- :mod:`repro.idx.hzorder` — vectorized Z interleave and HZ addressing;
+- :mod:`repro.idx.blocks` — HZ-space block partitioning;
+- :mod:`repro.idx.idxfile` — the on-disk container (header + block table
+  + compressed blocks);
+- :mod:`repro.idx.dataset` — user-facing create/write/read facade;
+- :mod:`repro.idx.query` — box queries at a resolution + progressive
+  refinement iterator;
+- :mod:`repro.idx.cache` — LRU block cache with hit/miss accounting;
+- :mod:`repro.idx.access` — local, cached, and remote (fetcher-backed)
+  block access layers;
+- :mod:`repro.idx.convert` — TIFF/NetCDF/raw <-> IDX conversion (Step 2);
+- :mod:`repro.idx.layout` — access-pattern-driven block reordering;
+- :mod:`repro.idx.stats` — per-field summary statistics.
+"""
+
+from repro.idx.bitmask import Bitmask
+from repro.idx.hzorder import HzOrder
+from repro.idx.blocks import BlockLayout
+from repro.idx.cache import BlockCache
+from repro.idx.dataset import IdxDataset
+from repro.idx.idxfile import IdxError, IdxHeader
+from repro.idx.query import BoxQuery, QueryResult
+from repro.idx.access import CachedAccess, LocalAccess, RemoteAccess
+from repro.idx.convert import (
+    idx_to_tiff,
+    ncdf_to_idx,
+    raw_to_idx,
+    tiff_to_idx,
+)
+from repro.idx.stats import FieldStats
+from repro.idx.timeseries import (
+    animate,
+    global_range,
+    prefetch_timestep,
+    temporal_difference,
+    temporal_stats,
+)
+from repro.idx.verify import VerificationReport, verify_dataset
+from repro.idx.blockstats import estimate_range
+
+__all__ = [
+    "animate",
+    "global_range",
+    "prefetch_timestep",
+    "temporal_difference",
+    "temporal_stats",
+    "Bitmask",
+    "BlockCache",
+    "BlockLayout",
+    "BoxQuery",
+    "CachedAccess",
+    "FieldStats",
+    "HzOrder",
+    "IdxDataset",
+    "IdxError",
+    "IdxHeader",
+    "LocalAccess",
+    "QueryResult",
+    "RemoteAccess",
+    "VerificationReport",
+    "estimate_range",
+    "idx_to_tiff",
+    "verify_dataset",
+    "ncdf_to_idx",
+    "raw_to_idx",
+    "tiff_to_idx",
+]

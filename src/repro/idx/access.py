@@ -1,0 +1,208 @@
+"""Block access layers: local, cached, and remote.
+
+The storage-oblivious query API of the paper (§III-A) "abstracts data
+storage and access complexities": a :class:`repro.idx.query.BoxQuery`
+only ever calls :meth:`Access.read_block`, so the same query code runs
+against
+
+- :class:`LocalAccess` — an IDX file on local disk,
+- :class:`RemoteAccess` — any :class:`~repro.idx.idxfile.ByteSource`,
+  e.g. an object in the simulated Seal/Dataverse store streamed over a
+  modelled network link, and
+- :class:`CachedAccess` — any of the above behind a shared
+  :class:`~repro.idx.cache.BlockCache`.
+
+Every layer counts blocks and bytes it actually touched, which the
+progressive-access and caching benchmarks (C2, C3) report.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.idx.cache import BlockCache
+from repro.idx.idxfile import ByteSource, FileByteSource, IdxBinaryReader, IdxHeader
+
+__all__ = ["Access", "AccessCounters", "CachedAccess", "LocalAccess", "RemoteAccess"]
+
+
+@dataclass
+class AccessCounters:
+    """I/O accounting for one access layer."""
+
+    blocks_read: int = 0
+    bytes_read: int = 0
+    absent_blocks: int = 0
+    access_log: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    def record(self, time_idx: int, field_idx: int, block_id: int, nbytes: int) -> None:
+        self.blocks_read += 1
+        self.bytes_read += nbytes
+        self.access_log.append((time_idx, field_idx, block_id))
+
+
+class Access(ABC):
+    """Abstract block provider for one IDX dataset."""
+
+    header: IdxHeader
+
+    def __init__(self) -> None:
+        self.counters = AccessCounters()
+
+    @abstractmethod
+    def read_block(self, time_idx: int, field_idx: int, block_id: int) -> np.ndarray:
+        """Decoded block (1-D, ``block_size`` samples, HZ order)."""
+
+    def prefetch(self, time_idx: int, field_idx: int, block_ids) -> None:
+        """Hint that the given blocks are about to be read.
+
+        Default is a no-op; remote layers override it to pipeline the
+        fetches into one round trip (what OpenVisus' async block queue
+        does), and the cache layer forwards only the missing ids.
+        """
+
+    @property
+    def uri(self) -> str:
+        """Stable identity used as the cache key prefix."""
+        return f"access:{id(self)}"
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+
+class _ReaderAccess(Access):
+    """Shared implementation over an :class:`IdxBinaryReader`."""
+
+    def __init__(self, reader: IdxBinaryReader, uri: str) -> None:
+        super().__init__()
+        self._reader = reader
+        self._uri = uri
+        self.header = reader.header
+        self.layout = reader.layout
+
+    def read_block(self, time_idx: int, field_idx: int, block_id: int) -> np.ndarray:
+        offset, length = self._reader.block_entry(time_idx, field_idx, block_id)
+        block = self._reader.read_block(time_idx, field_idx, block_id)
+        if length == 0:
+            self.counters.absent_blocks += 1
+        self.counters.record(time_idx, field_idx, block_id, length)
+        return block
+
+    def stored_bytes(self) -> int:
+        return self._reader.stored_bytes()
+
+    @property
+    def uri(self) -> str:
+        return self._uri
+
+
+class LocalAccess(_ReaderAccess):
+    """Blocks from an IDX file on local disk."""
+
+    def __init__(self, path: str) -> None:
+        self._source = FileByteSource(path)
+        super().__init__(IdxBinaryReader(self._source), uri=f"file://{path}")
+        self.path = path
+
+    def close(self) -> None:
+        self._source.close()
+
+
+class RemoteAccess(_ReaderAccess):
+    """Blocks streamed from an arbitrary byte source (e.g. cloud object).
+
+    The source decides what "remote" costs: the storage package wraps
+    object blobs in a latency/bandwidth-modelled source, so every block
+    fetch pays the simulated round trip exactly like a ranged HTTP GET
+    against Seal Storage in the tutorial.
+
+    :meth:`prefetch` pipelines multiple block fetches into a single
+    round trip when the source supports ``read_many`` (Seal does),
+    mirroring OpenVisus' asynchronous block queue.
+    """
+
+    def __init__(self, source: ByteSource, uri: str = "remote://object") -> None:
+        super().__init__(IdxBinaryReader(source), uri=uri)
+        self._source = source
+        self._staged: Dict[Tuple[int, int, int], np.ndarray] = {}
+
+    def prefetch(self, time_idx: int, field_idx: int, block_ids) -> None:
+        read_many = getattr(self._source, "read_many", None)
+        if read_many is None:
+            return  # plain sources fetch per block; nothing to pipeline
+        requested = {(time_idx, field_idx, int(bid)) for bid in block_ids}
+        # Staged blocks live for the duration of one query: every prefetch
+        # opens a new query scope, so earlier fetches are dropped.
+        # Re-serving old fetches for free is the cache layer's job, not
+        # the remote layer's.
+        self._staged.clear()
+        wanted: List[Tuple[int, int, int]] = []
+        ranges: List[Tuple[int, int]] = []
+        for key in sorted(requested):
+            if key in self._staged:
+                continue
+            offset, length = self._reader.block_entry(*key)
+            if length == 0:
+                continue  # absent blocks decode locally for free
+            wanted.append(key)
+            ranges.append((offset, length))
+        if not ranges:
+            return
+        blobs = read_many(ranges)
+        codec = self.header.codec_obj()
+        for key, blob in zip(wanted, blobs):
+            dtype = self.header.field_dtype(key[1])
+            self._staged[key] = codec.decode_array(blob, dtype, (self.layout.block_size,))
+
+    def read_block(self, time_idx: int, field_idx: int, block_id: int) -> np.ndarray:
+        staged = self._staged.get((time_idx, field_idx, block_id))
+        if staged is not None:
+            self.counters.record(time_idx, field_idx, block_id, int(staged.nbytes))
+            return staged
+        return super().read_block(time_idx, field_idx, block_id)
+
+
+class CachedAccess(Access):
+    """Cache-in-front-of-anything access layer.
+
+    Hits are served from the shared :class:`BlockCache` without touching
+    the inner access (and therefore without paying simulated network
+    time); misses are forwarded and the decoded block is retained.
+    """
+
+    def __init__(self, inner: Access, cache: Optional[BlockCache] = None) -> None:
+        super().__init__()
+        self.inner = inner
+        self.header = inner.header
+        self.cache = cache if cache is not None else BlockCache()
+
+    def read_block(self, time_idx: int, field_idx: int, block_id: int) -> np.ndarray:
+        key = (self.inner.uri, time_idx, field_idx, block_id)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.counters.record(time_idx, field_idx, block_id, 0)
+            return cached
+        block = self.inner.read_block(time_idx, field_idx, block_id)
+        self.cache.put(key, block)
+        self.counters.record(time_idx, field_idx, block_id, int(block.nbytes))
+        return block
+
+    def prefetch(self, time_idx: int, field_idx: int, block_ids) -> None:
+        missing = [
+            bid
+            for bid in block_ids
+            if not self.cache.contains((self.inner.uri, time_idx, field_idx, int(bid)))
+        ]
+        if missing:
+            self.inner.prefetch(time_idx, field_idx, missing)
+
+    @property
+    def uri(self) -> str:
+        return f"cached+{self.inner.uri}"
+
+    def close(self) -> None:
+        self.inner.close()

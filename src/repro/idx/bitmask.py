@@ -1,0 +1,182 @@
+"""The IDX V-bitmask: the axis-split schedule of the multiresolution hierarchy.
+
+An IDX dataset over a power-of-two domain ``pow2dims`` is described by a
+string like ``"V010101"``: after the leading ``V``, character ``i``
+(1-based position) names the axis that is *split* when refining from
+level ``i-1`` to level ``i``, ordered coarse → fine.  The bitmask fully
+determines
+
+- the number of levels ``maxh`` (= number of split characters),
+- the sampling lattice at every level ``h`` (per-axis strides), and
+- the bit-interleave pattern of the Z-order address
+  (:mod:`repro.idx.hzorder`).
+
+For anisotropic domains (e.g. 512 x 2048) the generator splits the axis
+with the largest remaining extent first, matching OpenVisus' default
+behaviour so that early levels reduce the domain toward a square.
+
+Axis convention: axis 0 is the slowest-varying array axis (rows), matching
+NumPy index order throughout the stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.arrays import next_power_of_two
+
+__all__ = ["Bitmask"]
+
+
+class Bitmask:
+    """Parsed V-bitmask with precomputed per-level lattice geometry."""
+
+    def __init__(self, pattern: str) -> None:
+        if not pattern or pattern[0] != "V":
+            raise ValueError(f"bitmask must start with 'V': {pattern!r}")
+        body = pattern[1:]
+        if not body:
+            raise ValueError("bitmask must have at least one split")
+        axes = []
+        for ch in body:
+            if not ch.isdigit():
+                raise ValueError(f"bad bitmask character {ch!r} in {pattern!r}")
+            axes.append(int(ch))
+        self.pattern = pattern
+        #: axis split at each position, coarse -> fine (index 0 = position 1)
+        self.splits: Tuple[int, ...] = tuple(axes)
+        self.maxh: int = len(axes)
+        self.ndim: int = max(axes) + 1
+        #: bits (== log2 extent) per axis
+        self.bits_per_axis: Tuple[int, ...] = tuple(
+            self.splits.count(a) for a in range(self.ndim)
+        )
+        if any(b == 0 for b in self.bits_per_axis):
+            raise ValueError(f"axis never split in bitmask {pattern!r}")
+        self.pow2dims: Tuple[int, ...] = tuple(1 << b for b in self.bits_per_axis)
+        self._level_counts = self._cumulative_counts()
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_dims(cls, dims: Sequence[int]) -> "Bitmask":
+        """Build the default bitmask for (padded) ``dims``.
+
+        Non-power-of-two extents are padded up; the split schedule always
+        halves the currently largest extent (ties broken by lowest axis),
+        recorded coarse → fine.
+        """
+        if not dims:
+            raise ValueError("dims must be non-empty")
+        extents = [next_power_of_two(max(2, int(d))) for d in dims]
+        order: List[int] = []
+        work = list(extents)
+        while any(e > 1 for e in work):
+            axis = int(np.argmax(work))
+            order.append(axis)
+            work[axis] //= 2
+        return cls("V" + "".join(str(a) for a in order))
+
+    # -- lattice geometry ---------------------------------------------------
+
+    def _cumulative_counts(self) -> np.ndarray:
+        """``counts[h, a]`` = splits of axis ``a`` among positions 1..h."""
+        counts = np.zeros((self.maxh + 1, self.ndim), dtype=np.int64)
+        for h, axis in enumerate(self.splits, start=1):
+            counts[h] = counts[h - 1]
+            counts[h, axis] += 1
+        return counts
+
+    def level_strides(self, h: int) -> Tuple[int, ...]:
+        """Per-axis sample stride of the lattice containing levels <= ``h``.
+
+        At ``h == maxh`` every stride is 1 (full resolution); each coarser
+        level doubles the stride along the axis it un-splits.
+        """
+        self._check_level(h)
+        counts = self._level_counts[h]
+        return tuple(
+            1 << (self.bits_per_axis[a] - int(counts[a])) for a in range(self.ndim)
+        )
+
+    def level_dims(self, h: int) -> Tuple[int, ...]:
+        """Number of lattice samples per axis at level ``h`` (pow2 domain)."""
+        self._check_level(h)
+        counts = self._level_counts[h]
+        return tuple(1 << int(counts[a]) for a in range(self.ndim))
+
+    def delta_lattice(self, h: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """(phase, stride) per axis of the samples *new* at level ``h``.
+
+        Level 0 contributes the single sample at the origin.  For
+        ``h >= 1``, the split axis takes odd multiples of its level-``h``
+        stride (phase = stride, step = 2*stride); other axes keep their
+        level-``h`` lattice (phase 0).
+        """
+        self._check_level(h)
+        if h == 0:
+            return tuple(0 for _ in range(self.ndim)), self.pow2dims
+        strides = self.level_strides(h)
+        split_axis = self.splits[h - 1]
+        phase = tuple(strides[a] if a == split_axis else 0 for a in range(self.ndim))
+        step = tuple(2 * strides[a] if a == split_axis else strides[a] for a in range(self.ndim))
+        return phase, step
+
+    def axis_bit_positions(self, axis: int) -> Tuple[Tuple[int, int], ...]:
+        """Interleave table for one axis: tuples ``(coord_bit, z_shift)``.
+
+        The *finest* occurrence of the axis in the bitmask carries the
+        coordinate's least-significant bit; bitmask position ``i`` maps to
+        Z-address bit ``maxh - i`` (position 1 is the most significant).
+        """
+        if not 0 <= axis < self.ndim:
+            raise ValueError(f"axis {axis} out of range for ndim={self.ndim}")
+        table: List[Tuple[int, int]] = []
+        coord_bit = 0
+        for i in range(self.maxh, 0, -1):  # fine -> coarse
+            if self.splits[i - 1] == axis:
+                table.append((coord_bit, self.maxh - i))
+                coord_bit += 1
+        return tuple(table)
+
+    def level_of_position(self, i: int) -> int:
+        """Identity helper kept for clarity: bitmask position == level."""
+        self._check_level(i)
+        return i
+
+    def _check_level(self, h: int) -> None:
+        if not 0 <= h <= self.maxh:
+            raise ValueError(f"level {h} out of range [0, {self.maxh}]")
+
+    # -- misc ---------------------------------------------------------------
+
+    def covers(self, dims: Sequence[int]) -> bool:
+        """True if the pow2 domain can hold logical ``dims``."""
+        return len(dims) == self.ndim and all(
+            int(d) <= p for d, p in zip(dims, self.pow2dims)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Bitmask) and other.pattern == self.pattern
+
+    def __hash__(self) -> int:
+        return hash(self.pattern)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Bitmask({self.pattern!r}, pow2dims={self.pow2dims})"
+
+
+def _self_check() -> None:
+    """Module self-test of the lattice identities (run by the test suite)."""
+    bm = Bitmask.from_dims((4, 8))
+    assert bm.pow2dims == (4, 8)
+    total = 0
+    for h in range(bm.maxh + 1):
+        phase, step = bm.delta_lattice(h)
+        n = 1
+        for p, s, d in zip(phase, step, bm.pow2dims):
+            n *= len(range(p, d, s))
+        total += n
+    assert total == 4 * 8, total

@@ -1,0 +1,70 @@
+"""Partitioning of HZ address space into fixed-size blocks.
+
+A block holds ``2**bits_per_block`` consecutive HZ addresses and is the
+unit of compression, disk I/O, network transfer, and caching — exactly
+the role OpenVisus blocks play.  Because HZ space is level-contiguous,
+block 0 contains the entire coarse prefix (levels 0..bits_per_block), and
+a query at resolution ``h`` never touches a block beyond
+``2**h / block_size``: progressive refinement is a growing prefix of the
+block sequence plus spatially-selected fine blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["BlockLayout"]
+
+
+class BlockLayout:
+    """Geometry of block partitioning for one dataset."""
+
+    def __init__(self, maxh: int, bits_per_block: int) -> None:
+        if bits_per_block < 1:
+            raise ValueError("bits_per_block must be >= 1")
+        # A dataset smaller than one block still gets exactly one block.
+        self.bits_per_block = min(int(bits_per_block), int(maxh))
+        self.maxh = int(maxh)
+        self.block_size: int = 1 << self.bits_per_block
+        self.total_samples: int = 1 << self.maxh
+        self.num_blocks: int = max(1, self.total_samples // self.block_size)
+
+    def block_of(self, hz: np.ndarray) -> np.ndarray:
+        """Block id containing each HZ address."""
+        return (np.asarray(hz, dtype=np.uint64) >> np.uint64(self.bits_per_block)).astype(
+            np.int64
+        )
+
+    def offset_in_block(self, hz: np.ndarray) -> np.ndarray:
+        """Sample offset of each HZ address within its block."""
+        mask = np.uint64(self.block_size - 1)
+        return (np.asarray(hz, dtype=np.uint64) & mask).astype(np.int64)
+
+    def hz_range_of_block(self, block_id: int) -> Tuple[int, int]:
+        """Half-open HZ range ``[lo, hi)`` covered by ``block_id``."""
+        if not 0 <= block_id < self.num_blocks:
+            raise ValueError(f"block {block_id} out of range [0, {self.num_blocks})")
+        lo = block_id * self.block_size
+        return lo, lo + self.block_size
+
+    def blocks_for_level(self, h: int) -> Tuple[int, int]:
+        """Half-open block-id range whose samples include level ``h``."""
+        if not 0 <= h <= self.maxh:
+            raise ValueError(f"level {h} out of range")
+        if h == 0:
+            return 0, 1
+        lo_hz = 1 << (h - 1)
+        hi_hz = 1 << h
+        return lo_hz // self.block_size, max(1, -(-hi_hz // self.block_size))
+
+    def max_block_for_resolution(self, h: int) -> int:
+        """Last block id (inclusive) any query at resolution ``h`` can touch."""
+        return self.blocks_for_level(h)[1] - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BlockLayout(maxh={self.maxh}, bits_per_block={self.bits_per_block}, "
+            f"num_blocks={self.num_blocks})"
+        )

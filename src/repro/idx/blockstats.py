@@ -1,0 +1,123 @@
+"""Per-block summary statistics: instant range queries without data reads.
+
+OpenVisus-style deployments keep per-block min/max so a dashboard can
+scale its colormap (and skip irrelevant blocks) before a single sample
+crosses the wire.  At finalize time the dataset embeds, for every stored
+block: its value range and its spatial bounding box (the block's HZ
+address range decoded back to coordinates).  :func:`estimate_range`
+then answers "what values live in this box?" from metadata alone —
+O(blocks) instead of O(samples), and exact whenever the box covers the
+blocks it touches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.idx.bitmask import Bitmask
+from repro.idx.blocks import BlockLayout
+from repro.idx.hzorder import HzOrder
+from repro.util.arrays import Box, normalize_box
+
+__all__ = ["block_manifest", "block_spatial_bounds", "estimate_range"]
+
+#: Header-metadata key holding the per-block stats.
+BLOCKSTATS_KEY = "block_stats"
+
+
+def block_spatial_bounds(bitmask: Bitmask, layout: BlockLayout) -> List[Tuple[List[int], List[int]]]:
+    """Spatial bounding box (lo, hi exclusive) of every block's samples.
+
+    Decodes each block's HZ address range back to coordinates once
+    (vectorized over the whole domain) and reduces per block.
+    """
+    hz = HzOrder(bitmask)
+    addresses = np.arange(hz.total_samples, dtype=np.uint64)
+    coords = hz.hz_to_point(addresses)
+    bounds: List[Tuple[List[int], List[int]]] = []
+    size = layout.block_size
+    for bid in range(layout.num_blocks):
+        sl = slice(bid * size, (bid + 1) * size)
+        lo = [int(c[sl].min()) for c in coords]
+        hi = [int(c[sl].max()) + 1 for c in coords]
+        bounds.append((lo, hi))
+    return bounds
+
+
+def block_manifest(
+    bitmask: Bitmask,
+    layout: BlockLayout,
+    buffers: Dict[Tuple[int, int], np.ndarray],
+    fill_value: float,
+) -> Dict[str, Dict]:
+    """Per-block stats for all written (time, field) buffers.
+
+    Returns a JSON-safe structure::
+
+        {"bounds": [[lo, hi], ...],            # per block, spatial
+         "ranges": {"t/f": [[min, max], ...]}} # per block, values (or null)
+    """
+    bounds = block_spatial_bounds(bitmask, layout)
+    ranges: Dict[str, List] = {}
+    size = layout.block_size
+    for (t_idx, f_idx), buf in buffers.items():
+        per_block: List = []
+        for bid in range(layout.num_blocks):
+            chunk = buf[bid * size : (bid + 1) * size]
+            if chunk.dtype.kind == "f":
+                finite = chunk[np.isfinite(chunk)]
+            else:
+                finite = chunk
+            if finite.size == 0 or bool((finite == fill_value).all()):
+                per_block.append(None)  # absent / all-fill block
+            else:
+                per_block.append([float(finite.min()), float(finite.max())])
+        ranges[f"{t_idx}/{f_idx}"] = per_block
+    return {"bounds": [[list(lo), list(hi)] for lo, hi in bounds], "ranges": ranges}
+
+
+def estimate_range(
+    dataset,
+    *,
+    box: "Box | Sequence[Sequence[int]] | None" = None,
+    field: Optional[str] = None,
+    time: Optional[int] = None,
+) -> Tuple[float, float]:
+    """(min, max) over a region from block metadata only (no data reads).
+
+    The estimate covers every block intersecting the box, so it brackets
+    the true range (possibly loosely at box edges) and equals it when
+    the box aligns with block geometry or spans the domain.
+    """
+    stats = dataset.header.metadata.get(BLOCKSTATS_KEY)
+    if not stats:
+        raise ValueError("dataset has no block statistics (finalized by an older writer?)")
+    f_idx = dataset.header.field_index(field)
+    t_idx = dataset.header.time_index(time)
+    per_block = stats["ranges"].get(f"{t_idx}/{f_idx}")
+    if per_block is None:
+        raise ValueError(f"no block stats for time={time}, field={field}")
+    bounds = stats["bounds"]
+
+    if box is None:
+        query = Box.from_shape(dataset.dims)
+    else:
+        query = normalize_box(box, len(dataset.dims)).clip(Box.from_shape(dataset.dims))
+    if query.is_empty:
+        raise ValueError("query box is empty")
+
+    lo_val = np.inf
+    hi_val = -np.inf
+    for (blo, bhi), rng in zip(bounds, per_block):
+        if rng is None:
+            continue
+        block_box = Box(tuple(blo), tuple(bhi))
+        if block_box.intersect(query).is_empty:
+            continue
+        lo_val = min(lo_val, rng[0])
+        hi_val = max(hi_val, rng[1])
+    if lo_val > hi_val:
+        raise ValueError("no stored samples intersect the query box")
+    return (float(lo_val), float(hi_val))

@@ -1,0 +1,114 @@
+"""LRU block cache with byte-budget eviction and hit/miss accounting.
+
+The paper highlights OpenVisus' "caching-enabled framework" (§III-A) as
+what makes remote streaming interactive: once a block has crossed the
+(slow, simulated) network it is served locally.  The cache is keyed by
+``(uri, timestep, field, block_id)`` so multiple datasets and access
+layers can share one budget, and exposes counters that the caching
+benchmark (C3) reports.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.util.units import parse_bytes
+
+__all__ = ["BlockCache", "CacheStats"]
+
+Key = Tuple[Hashable, ...]
+
+
+@dataclass
+class CacheStats:
+    """Cumulative cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserted_bytes: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class BlockCache:
+    """Byte-bounded LRU mapping block keys to decoded sample arrays.
+
+    Stored arrays are treated as immutable: :meth:`get` returns the cached
+    object itself, and callers must not write into it (query code always
+    gathers out of blocks into fresh output arrays).
+    """
+
+    def __init__(self, capacity: "int | str" = "64 MiB") -> None:
+        self.capacity = parse_bytes(capacity)
+        if self.capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self._entries: "OrderedDict[Key, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self.stats = CacheStats()
+
+    # -- core ops -----------------------------------------------------------
+
+    def get(self, key: Key) -> Optional[np.ndarray]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: Key, block: np.ndarray) -> None:
+        nbytes = int(block.nbytes)
+        if nbytes > self.capacity:
+            return  # would evict everything for one entry; skip caching
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= int(old.nbytes)
+        self._entries[key] = block
+        self._bytes += nbytes
+        self.stats.inserted_bytes += nbytes
+        while self._bytes > self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= int(evicted.nbytes)
+            self.stats.evictions += 1
+
+    def contains(self, key: Key) -> bool:
+        """Presence test that does not perturb LRU order or counters."""
+        return key in self._entries
+
+    def invalidate(self, key: Key) -> bool:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._bytes -= int(entry.nbytes)
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BlockCache({len(self)} blocks, {self._bytes}/{self.capacity} B, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )

@@ -1,0 +1,355 @@
+"""User-facing IDX dataset facade: create, write, read, progressive.
+
+Typical round trip (the tutorial's Step 2 in miniature)::
+
+    ds = IdxDataset.create("terrain.idx", dims=elev.shape,
+                           fields={"elevation": "float32"})
+    ds.write(elev, field="elevation")
+    ds.finalize()
+
+    ds = IdxDataset.open("terrain.idx")
+    coarse = ds.read(resolution=ds.maxh - 4)          # fast overview
+    window = ds.read(box=((512, 512), (1024, 1024)))  # full-res crop
+
+Writing scatters the array into HZ order level by level (vectorized),
+splits the HZ buffer into blocks, skips all-fill blocks, and encodes the
+rest with the dataset codec.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.idx.access import Access, LocalAccess
+from repro.idx.bitmask import Bitmask
+from repro.idx.hzorder import HzOrder
+from repro.idx.idxfile import IdxError, IdxHeader, write_idx_file
+from repro.idx.query import BoxQuery, QueryResult
+from repro.util.arrays import Box
+
+__all__ = ["IdxDataset"]
+
+FieldSpec = Union[str, Sequence[str], Dict[str, str], Sequence[Dict[str, str]]]
+
+
+def _normalize_fields(fields: FieldSpec) -> List[Dict[str, str]]:
+    if isinstance(fields, str):
+        return [{"name": fields, "dtype": "float32"}]
+    if isinstance(fields, dict):
+        return [{"name": n, "dtype": str(np.dtype(d))} for n, d in fields.items()]
+    out: List[Dict[str, str]] = []
+    for f in fields:
+        if isinstance(f, str):
+            out.append({"name": f, "dtype": "float32"})
+        else:
+            out.append({"name": f["name"], "dtype": str(np.dtype(f.get("dtype", "float32")))})
+    return out
+
+
+class IdxDataset:
+    """One IDX dataset, in either *write* or *read* mode."""
+
+    def __init__(
+        self,
+        header: IdxHeader,
+        *,
+        path: Optional[str] = None,
+        access: Optional[Access] = None,
+        writable: bool = False,
+    ) -> None:
+        self.header = header
+        self.path = path
+        self.bitmask = header.bitmask_obj()
+        self.hzorder = HzOrder(self.bitmask)
+        self.layout = header.layout()
+        self._access = access
+        self._writable = writable
+        self._buffers: Dict[Tuple[int, int], np.ndarray] = {}
+        self._finalized = not writable
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        dims: Sequence[int],
+        *,
+        fields: FieldSpec = "value",
+        timesteps: "int | Iterable[int]" = 1,
+        bits_per_block: int = 14,
+        codec: str = "zlib:level=6",
+        fill_value: float = 0.0,
+        bitmask: Optional[str] = None,
+        metadata: Optional[dict] = None,
+    ) -> "IdxDataset":
+        """Start a new dataset in write mode (call :meth:`finalize` to persist)."""
+        if isinstance(timesteps, int):
+            times = list(range(timesteps))
+        else:
+            times = [int(t) for t in timesteps]
+        bm = Bitmask(bitmask) if bitmask else Bitmask.from_dims(dims)
+        header = IdxHeader(
+            dims=tuple(int(d) for d in dims),
+            bitmask=bm.pattern,
+            bits_per_block=bits_per_block,
+            fields=_normalize_fields(fields),
+            timesteps=times,
+            codec=codec,
+            fill_value=fill_value,
+            metadata=metadata or {},
+        )
+        return cls(header, path=path, writable=True)
+
+    @classmethod
+    def open(cls, path: str) -> "IdxDataset":
+        """Open an existing IDX file for reading via local access."""
+        access = LocalAccess(path)
+        return cls(access.header, path=path, access=access)
+
+    @classmethod
+    def from_access(cls, access: Access) -> "IdxDataset":
+        """Wrap an arbitrary access layer (remote, cached, ...)."""
+        return cls(access.header, access=access)
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def dims(self) -> Tuple[int, ...]:
+        return self.header.dims
+
+    @property
+    def maxh(self) -> int:
+        return self.bitmask.maxh
+
+    @property
+    def fields(self) -> Tuple[str, ...]:
+        return tuple(f["name"] for f in self.header.fields)
+
+    @property
+    def timesteps(self) -> Tuple[int, ...]:
+        return tuple(self.header.timesteps)
+
+    @property
+    def access(self) -> Access:
+        if self._access is None:
+            raise IdxError("dataset has no access layer (write mode? call finalize+open)")
+        return self._access
+
+    # -- writing ---------------------------------------------------------------
+
+    def write(
+        self,
+        array: np.ndarray,
+        *,
+        field: Optional[str] = None,
+        time: Optional[int] = None,
+    ) -> None:
+        """Scatter a full-domain array into the HZ buffer of (time, field)."""
+        if not self._writable or self._finalized:
+            raise IdxError("dataset is not writable")
+        arr = np.ascontiguousarray(array)
+        if tuple(arr.shape) != self.dims:
+            raise IdxError(f"array shape {arr.shape} != dataset dims {self.dims}")
+        f_idx = self.header.field_index(field)
+        t_idx = self.header.time_index(time)
+        dtype = self.header.field_dtype(f_idx)
+        arr = arr.astype(dtype, copy=False)
+
+        buf = self._buffers.get((t_idx, f_idx))
+        if buf is None:
+            buf = np.full(self.hzorder.total_samples, self.header.fill_value, dtype=dtype)
+            self._buffers[(t_idx, f_idx)] = buf
+
+        for h in range(self.maxh + 1):
+            phase, step = self.bitmask.delta_lattice(h)
+            coords = [
+                np.arange(phase[a], self.dims[a], step[a], dtype=np.int64)
+                for a in range(self.bitmask.ndim)
+            ]
+            if any(c.size == 0 for c in coords):
+                continue
+            z = self.hzorder.axis_z_component(0, coords[0])
+            z = z.reshape(z.shape + (1,) * (self.bitmask.ndim - 1))
+            for a in range(1, self.bitmask.ndim):
+                comp = self.hzorder.axis_z_component(a, coords[a])
+                comp = comp.reshape((1,) * a + comp.shape + (1,) * (self.bitmask.ndim - 1 - a))
+                z = z | comp
+            hz_addr = self.hzorder.hz_for_level(h, z.ravel())
+            buf[hz_addr] = arr[np.ix_(*coords)].ravel()
+
+        self._update_stats(f_idx, arr)
+
+    def write_region(
+        self,
+        array: np.ndarray,
+        offset: Sequence[int],
+        *,
+        field: Optional[str] = None,
+        time: Optional[int] = None,
+    ) -> None:
+        """Scatter a sub-array at ``offset`` into the HZ buffer.
+
+        This is how tile-at-a-time producers (GEOtiled writing one tile
+        per worker) populate a dataset without assembling the full mosaic
+        in memory first.  Regions may be written in any order; later
+        writes overwrite overlapping samples.
+        """
+        if not self._writable or self._finalized:
+            raise IdxError("dataset is not writable")
+        arr = np.ascontiguousarray(array)
+        if arr.ndim != len(self.dims):
+            raise IdxError(f"region rank {arr.ndim} != dataset rank {len(self.dims)}")
+        offset = tuple(int(o) for o in offset)
+        region = Box(offset, tuple(o + s for o, s in zip(offset, arr.shape)))
+        if not Box.from_shape(self.dims).contains_box(region):
+            raise IdxError(f"region {region} exceeds dataset dims {self.dims}")
+        if region.is_empty:
+            return
+        f_idx = self.header.field_index(field)
+        t_idx = self.header.time_index(time)
+        dtype = self.header.field_dtype(f_idx)
+        arr = arr.astype(dtype, copy=False)
+
+        buf = self._buffers.get((t_idx, f_idx))
+        if buf is None:
+            buf = np.full(self.hzorder.total_samples, self.header.fill_value, dtype=dtype)
+            self._buffers[(t_idx, f_idx)] = buf
+
+        for h in range(self.maxh + 1):
+            phase, step = self.bitmask.delta_lattice(h)
+            coords = []
+            for a in range(self.bitmask.ndim):
+                lo, hi = region.lo[a], region.hi[a]
+                first = phase[a] if lo <= phase[a] else phase[a] + (
+                    -(-(lo - phase[a]) // step[a]) * step[a]
+                )
+                coords.append(np.arange(first, hi, step[a], dtype=np.int64))
+            if any(c.size == 0 for c in coords):
+                continue
+            z = self.hzorder.axis_z_component(0, coords[0])
+            z = z.reshape(z.shape + (1,) * (self.bitmask.ndim - 1))
+            for a in range(1, self.bitmask.ndim):
+                comp = self.hzorder.axis_z_component(a, coords[a])
+                comp = comp.reshape((1,) * a + comp.shape + (1,) * (self.bitmask.ndim - 1 - a))
+                z = z | comp
+            hz_addr = self.hzorder.hz_for_level(h, z.ravel())
+            local = tuple(c - region.lo[a] for a, c in enumerate(coords))
+            buf[hz_addr] = arr[np.ix_(*local)].ravel()
+
+        self._update_stats(f_idx, arr)
+
+    def _update_stats(self, f_idx: int, arr: np.ndarray) -> None:
+        stats = self.header.stats.setdefault(self.fields[f_idx], {})
+        finite = arr[np.isfinite(arr)] if arr.dtype.kind == "f" else arr
+        if finite.size:
+            lo, hi = float(finite.min()), float(finite.max())
+            stats["min"] = min(stats.get("min", lo), lo)
+            stats["max"] = max(stats.get("max", hi), hi)
+            stats["mean"] = float(finite.mean())
+
+    def finalize(self) -> str:
+        """Encode blocks and write the IDX file; returns the path."""
+        if not self._writable:
+            raise IdxError("dataset is read-only")
+        if self._finalized:
+            raise IdxError("dataset already finalized")
+        if self.path is None:
+            raise IdxError("no output path")
+        codec = self.header.codec_obj()
+        fill = self.header.fill_value
+        blocks: Dict[Tuple[int, int, int], bytes] = {}
+        bsize = self.layout.block_size
+        for (t_idx, f_idx), buf in self._buffers.items():
+            for bid in range(self.layout.num_blocks):
+                chunk = buf[bid * bsize : (bid + 1) * bsize]
+                if _all_fill(chunk, fill):
+                    continue
+                blocks[(t_idx, f_idx, bid)] = codec.encode_array(chunk)
+        # Embed the integrity manifest so readers can verify the payloads
+        # (see repro.idx.verify)...
+        from repro.idx.verify import MANIFEST_KEY, checksum_manifest
+
+        self.header.metadata[MANIFEST_KEY] = checksum_manifest(blocks)
+        # ...and the per-block stats that power instant range queries
+        # (see repro.idx.blockstats).
+        from repro.idx.blockstats import BLOCKSTATS_KEY, block_manifest
+
+        self.header.metadata[BLOCKSTATS_KEY] = block_manifest(
+            self.bitmask, self.layout, self._buffers, fill
+        )
+        write_idx_file(self.path, self.header, blocks)
+        self._buffers.clear()
+        self._finalized = True
+        self._access = LocalAccess(self.path)
+        return self.path
+
+    # -- reading -----------------------------------------------------------------
+
+    def query(
+        self,
+        *,
+        box: "Box | Sequence[Sequence[int]] | None" = None,
+        resolution: Optional[int] = None,
+        field: Optional[str] = None,
+        time: Optional[int] = None,
+        access: Optional[Access] = None,
+    ) -> BoxQuery:
+        """Build (but do not run) a box query against this dataset."""
+        return BoxQuery(
+            access if access is not None else self.access,
+            box=box,
+            resolution=resolution,
+            field=field,
+            time=time,
+        )
+
+    def read_result(self, **kwargs) -> QueryResult:
+        """Run a box query and return the full :class:`QueryResult`."""
+        return self.query(**kwargs).execute()
+
+    def read(self, **kwargs) -> np.ndarray:
+        """Run a box query and return just the sample array."""
+        return self.read_result(**kwargs).data
+
+    def progressive(
+        self,
+        *,
+        start_resolution: int = 0,
+        **kwargs,
+    ) -> Iterator[QueryResult]:
+        """Coarse-to-fine refinement of one box query."""
+        return self.query(**kwargs).progressive(start_resolution)
+
+    # -- introspection --------------------------------------------------------------
+
+    def stored_bytes(self) -> int:
+        """Encoded payload bytes on disk (excludes header/table)."""
+        access = self.access
+        if isinstance(access, LocalAccess):
+            return access.stored_bytes()
+        raise IdxError("stored_bytes requires local access")
+
+    def field_stats(self, field: Optional[str] = None) -> Dict[str, float]:
+        name = self.fields[self.header.field_index(field)]
+        return dict(self.header.stats.get(name, {}))
+
+    def close(self) -> None:
+        if self._access is not None:
+            self._access.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IdxDataset(dims={self.dims}, fields={self.fields}, "
+            f"timesteps={len(self.timesteps)}, maxh={self.maxh})"
+        )
+
+
+def _all_fill(chunk: np.ndarray, fill: float) -> bool:
+    """True if every sample equals the fill value (NaN-aware)."""
+    if chunk.dtype.kind == "f" and math.isnan(fill):
+        return bool(np.isnan(chunk).all())
+    return bool((chunk == fill).all())

@@ -1,0 +1,173 @@
+"""Vectorized Z-order and HZ-order address arithmetic.
+
+The HZ ("hierarchical Z") order is the key data reorganisation of the
+ViSUS framework (§III-A): samples are assigned addresses so that
+
+- all samples of resolution level ``h`` occupy the contiguous address
+  range ``[2**(h-1), 2**h)`` (level 0 is address 0), and
+- within a level, addresses follow Z-order, keeping spatial neighbours
+  adjacent.
+
+Definitions (with ``maxh`` bits in the bitmask):
+
+- ``z``: bits of the sample coordinates interleaved per the bitmask;
+  bitmask position 1 (coarsest split) is the *most* significant z bit.
+- ``hz = (z | 2**maxh) >> (ntz(z) + 1)`` where ``ntz`` is the number of
+  trailing zero bits (``ntz(0) := maxh``).  The level of a sample is
+  ``maxh - ntz(z)``.
+
+Everything operates on ``uint64`` NumPy arrays with no per-sample Python
+loops; per-bit loops are bounded by ``maxh <= 62``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.idx.bitmask import Bitmask
+
+__all__ = ["HzOrder"]
+
+_U64 = np.uint64
+_POW2 = (np.uint64(1) << np.arange(64, dtype=np.uint64)).astype(np.uint64)
+
+
+def _bit_length_u64(values: np.ndarray) -> np.ndarray:
+    """Exact per-element bit length of a uint64 array (0 -> 0)."""
+    return np.searchsorted(_POW2, values, side="right").astype(np.int64)
+
+
+class HzOrder:
+    """Address transforms for one bitmask."""
+
+    def __init__(self, bitmask: Bitmask) -> None:
+        self.bitmask = bitmask
+        self.maxh = bitmask.maxh
+        if self.maxh > 62:
+            raise ValueError(f"maxh={self.maxh} exceeds uint64 addressing budget")
+        # Per-axis interleave tables: arrays of (coord_bit, z_shift).
+        self._tables: Tuple[Tuple[np.ndarray, np.ndarray], ...] = tuple(
+            (
+                np.array([cb for cb, _ in bitmask.axis_bit_positions(a)], dtype=np.uint64),
+                np.array([zs for _, zs in bitmask.axis_bit_positions(a)], dtype=np.uint64),
+            )
+            for a in range(bitmask.ndim)
+        )
+
+    # -- Z interleave ------------------------------------------------------
+
+    def axis_z_component(self, axis: int, coords: np.ndarray) -> np.ndarray:
+        """Partial z address contributed by one axis' coordinate bits.
+
+        The full z of a point is the bitwise OR of its per-axis
+        components, so box queries compute 1-D components per axis and
+        combine them with a broadcasted OR (never materialising the
+        coordinate meshgrid).
+        """
+        coord_bits, z_shifts = self._tables[axis]
+        c = np.asarray(coords, dtype=np.uint64)
+        out = np.zeros_like(c)
+        one = _U64(1)
+        for cb, zs in zip(coord_bits, z_shifts):
+            out |= ((c >> cb) & one) << zs
+        return out
+
+    def interleave(self, coords: Sequence[np.ndarray]) -> np.ndarray:
+        """Z address of points given per-axis coordinate arrays (same shape)."""
+        if len(coords) != self.bitmask.ndim:
+            raise ValueError(f"expected {self.bitmask.ndim} coordinate arrays")
+        z = self.axis_z_component(0, coords[0]).copy()
+        for axis in range(1, self.bitmask.ndim):
+            z |= self.axis_z_component(axis, coords[axis])
+        return z
+
+    def deinterleave(self, z: np.ndarray) -> Tuple[np.ndarray, ...]:
+        """Recover per-axis coordinates from Z addresses."""
+        z = np.asarray(z, dtype=np.uint64)
+        one = _U64(1)
+        coords = []
+        for coord_bits, z_shifts in self._tables:
+            c = np.zeros_like(z)
+            for cb, zs in zip(coord_bits, z_shifts):
+                c |= ((z >> zs) & one) << cb
+            coords.append(c.astype(np.int64))
+        return tuple(coords)
+
+    # -- HZ transform --------------------------------------------------------
+
+    def hz_from_z(self, z: np.ndarray) -> np.ndarray:
+        """General (per-element trailing-zero-count) Z -> HZ transform."""
+        z = np.asarray(z, dtype=np.uint64)
+        sentinel = _U64(1) << _U64(self.maxh)
+        zs = z | sentinel  # makes ntz well-defined for z == 0 as well
+        lowest = zs & (~zs + _U64(1))
+        ntz = _bit_length_u64(lowest) - 1  # exact: lowest is a power of two
+        return zs >> (ntz + 1).astype(np.uint64)
+
+    def z_from_hz(self, hz: np.ndarray) -> np.ndarray:
+        """Inverse HZ transform."""
+        hz = np.asarray(hz, dtype=np.uint64)
+        if hz.size and int(hz.max()) >= (1 << self.maxh):
+            raise ValueError("hz address out of range")
+        levels = _bit_length_u64(hz)  # 0 for hz==0, else floor(log2)+1
+        z = np.zeros_like(hz)
+        nz = levels > 0
+        if np.any(nz):
+            h = levels[nz]
+            k = (self.maxh - h).astype(np.uint64)  # trailing zeros of z
+            m = hz[nz] - (_U64(1) << (h - 1).astype(np.uint64))
+            z[nz] = (m << (k + _U64(1))) | (_U64(1) << k)
+        return z
+
+    def level_of_hz(self, hz: np.ndarray) -> np.ndarray:
+        """Resolution level of each HZ address (0 for address 0)."""
+        return _bit_length_u64(np.asarray(hz, dtype=np.uint64))
+
+    # -- level-wise fast paths ------------------------------------------------
+
+    def level_range(self, h: int) -> Tuple[int, int]:
+        """Half-open contiguous HZ range ``[lo, hi)`` occupied by level ``h``."""
+        if not 0 <= h <= self.maxh:
+            raise ValueError(f"level {h} out of range")
+        if h == 0:
+            return (0, 1)
+        return (1 << (h - 1), 1 << h)
+
+    def hz_for_level(self, h: int, z: np.ndarray) -> np.ndarray:
+        """HZ of addresses known to sit exactly at level ``h``.
+
+        For level-``h`` samples ``ntz(z) = maxh - h`` is constant, so the
+        transform reduces to one shift and one OR — this is the hot path
+        used by every box query.
+        """
+        z = np.asarray(z, dtype=np.uint64)
+        if h == 0:
+            return np.zeros_like(z)
+        shift = _U64(self.maxh - h + 1)
+        return (z >> shift) | (_U64(1) << _U64(h - 1))
+
+    def z_for_level(self, h: int, hz: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`hz_for_level`."""
+        hz = np.asarray(hz, dtype=np.uint64)
+        if h == 0:
+            return np.zeros_like(hz)
+        k = _U64(self.maxh - h)
+        m = hz - (_U64(1) << _U64(h - 1))
+        return (m << (k + _U64(1))) | (_U64(1) << k)
+
+    # -- point-level conveniences ---------------------------------------------
+
+    def point_to_hz(self, coords: Sequence[np.ndarray]) -> np.ndarray:
+        """HZ addresses for arbitrary points (any mix of levels)."""
+        return self.hz_from_z(self.interleave(coords))
+
+    def hz_to_point(self, hz: np.ndarray) -> Tuple[np.ndarray, ...]:
+        """Coordinates of arbitrary HZ addresses."""
+        return self.deinterleave(self.z_from_hz(hz))
+
+    @property
+    def total_samples(self) -> int:
+        """Number of addresses in the pow2 domain (``2**maxh``)."""
+        return 1 << self.maxh

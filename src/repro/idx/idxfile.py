@@ -1,0 +1,276 @@
+"""On-disk IDX container: header + block table + compressed blocks.
+
+File layout (all little-endian):
+
+```
+bytes 0..3    magic  b"IDX1"
+bytes 4..7    uint32 header length N
+bytes 8..8+N  UTF-8 JSON header (structure, codec, fields, stats, metadata)
+  ...         block table: uint64[n_time, n_field, n_block, 2] = (offset, length)
+  ...         compressed block payloads (absolute offsets)
+```
+
+A table entry with ``length == 0`` marks an *absent* block: every sample
+in it equals the dataset fill value (common in the padded region of
+non-power-of-two domains), so it costs no bytes — the same trick
+OpenVisus uses for sparse/padded data.
+
+Readers are written against an abstract byte source (``read_at``), so the
+identical parsing code serves local files, the in-memory object store,
+and the simulated remote link.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.compression import Codec, get_codec
+from repro.idx.bitmask import Bitmask
+from repro.idx.blocks import BlockLayout
+
+__all__ = ["ByteSource", "FileByteSource", "IdxBinaryReader", "IdxError", "IdxHeader", "write_idx_file"]
+
+_MAGIC = b"IDX1"
+_PREFIX = struct.Struct("<4sI")
+
+
+class IdxError(ValueError):
+    """Raised for malformed IDX containers or inconsistent usage."""
+
+
+class ByteSource(Protocol):
+    """Random-access byte provider (local file, object blob, remote link)."""
+
+    def read_at(self, offset: int, length: int) -> bytes: ...
+
+    def size(self) -> int: ...
+
+
+class FileByteSource:
+    """ByteSource over a local file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "rb")
+        self._size = os.path.getsize(path)
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        self._fh.seek(offset)
+        data = self._fh.read(length)
+        if len(data) != length:
+            raise IdxError(f"short read at {offset}+{length} in {self.path}")
+        return data
+
+    def size(self) -> int:
+        return self._size
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+class BytesByteSource:
+    """ByteSource over an in-memory blob (used by the object store)."""
+
+    def __init__(self, blob: bytes) -> None:
+        self._blob = blob
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        if offset + length > len(self._blob):
+            raise IdxError("short read from in-memory blob")
+        return self._blob[offset : offset + length]
+
+    def size(self) -> int:
+        return len(self._blob)
+
+
+@dataclass
+class IdxHeader:
+    """Parsed IDX header."""
+
+    dims: Tuple[int, ...]
+    bitmask: str
+    bits_per_block: int
+    fields: List[Dict[str, str]]  # [{"name": ..., "dtype": ...}]
+    timesteps: List[int]
+    codec: str = "zlib:level=6"
+    fill_value: float = 0.0
+    version: int = 1
+    stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.dims = tuple(int(d) for d in self.dims)
+        bm = Bitmask(self.bitmask)
+        if not bm.covers(self.dims):
+            raise IdxError(f"bitmask {self.bitmask} cannot hold dims {self.dims}")
+        if not self.fields:
+            raise IdxError("at least one field is required")
+        names = [f["name"] for f in self.fields]
+        if len(set(names)) != len(names):
+            raise IdxError(f"duplicate field names: {names}")
+        if not self.timesteps:
+            raise IdxError("at least one timestep is required")
+
+    # -- derived geometry ---------------------------------------------------
+
+    def bitmask_obj(self) -> Bitmask:
+        return Bitmask(self.bitmask)
+
+    def layout(self) -> BlockLayout:
+        bm = self.bitmask_obj()
+        return BlockLayout(bm.maxh, self.bits_per_block)
+
+    def codec_obj(self) -> Codec:
+        return get_codec(self.codec)
+
+    def field_index(self, name: Optional[str]) -> int:
+        if name is None:
+            return 0
+        for i, f in enumerate(self.fields):
+            if f["name"] == name:
+                return i
+        raise IdxError(f"unknown field {name!r}; have {[f['name'] for f in self.fields]}")
+
+    def time_index(self, time: Optional[int]) -> int:
+        if time is None:
+            return 0
+        try:
+            return self.timesteps.index(int(time))
+        except ValueError:
+            raise IdxError(f"unknown timestep {time}; have {self.timesteps}") from None
+
+    def field_dtype(self, field_idx: int) -> np.dtype:
+        return np.dtype(self.fields[field_idx]["dtype"])
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": self.version,
+                "dims": list(self.dims),
+                "bitmask": self.bitmask,
+                "bits_per_block": self.bits_per_block,
+                "fields": self.fields,
+                "timesteps": self.timesteps,
+                "codec": self.codec,
+                "fill_value": self.fill_value,
+                "stats": self.stats,
+                "metadata": self.metadata,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "IdxHeader":
+        d = json.loads(text)
+        return cls(
+            dims=tuple(d["dims"]),
+            bitmask=d["bitmask"],
+            bits_per_block=int(d["bits_per_block"]),
+            fields=list(d["fields"]),
+            timesteps=list(d["timesteps"]),
+            codec=d.get("codec", "zlib:level=6"),
+            fill_value=float(d.get("fill_value", 0.0)),
+            version=int(d.get("version", 1)),
+            stats=dict(d.get("stats", {})),
+            metadata=dict(d.get("metadata", {})),
+        )
+
+
+def write_idx_file(
+    path: str,
+    header: IdxHeader,
+    blocks: Dict[Tuple[int, int, int], bytes],
+) -> int:
+    """Serialise a complete IDX file; returns bytes written.
+
+    ``blocks`` maps ``(time_idx, field_idx, block_id)`` to the *encoded*
+    payload; missing keys become absent (all-fill) blocks.
+    """
+    layout = header.layout()
+    n_time = len(header.timesteps)
+    n_field = len(header.fields)
+    n_block = layout.num_blocks
+
+    header_json = header.to_json().encode()
+    table = np.zeros((n_time, n_field, n_block, 2), dtype="<u8")
+    table_offset = _PREFIX.size + len(header_json)
+    data_offset = table_offset + table.nbytes
+
+    cursor = data_offset
+    ordered: List[bytes] = []
+    for key in sorted(blocks):
+        t, f, b = key
+        if not (0 <= t < n_time and 0 <= f < n_field and 0 <= b < n_block):
+            raise IdxError(f"block key {key} out of range")
+        payload = blocks[key]
+        if len(payload) == 0:
+            continue
+        table[t, f, b, 0] = cursor
+        table[t, f, b, 1] = len(payload)
+        ordered.append(payload)
+        cursor += len(payload)
+
+    with open(path, "wb") as fh:
+        fh.write(_PREFIX.pack(_MAGIC, len(header_json)))
+        fh.write(header_json)
+        fh.write(table.tobytes())
+        for payload in ordered:
+            fh.write(payload)
+        total = fh.tell()
+    return total
+
+
+class IdxBinaryReader:
+    """Parses an IDX container from any :class:`ByteSource`.
+
+    Decoded blocks are returned as 1-D arrays of ``block_size`` samples in
+    HZ order; absent blocks come back filled with the header fill value.
+    """
+
+    def __init__(self, source: ByteSource) -> None:
+        self.source = source
+        prefix = source.read_at(0, _PREFIX.size)
+        magic, header_len = _PREFIX.unpack(prefix)
+        if magic != _MAGIC:
+            raise IdxError(f"bad IDX magic {magic!r}")
+        self.header = IdxHeader.from_json(
+            source.read_at(_PREFIX.size, header_len).decode()
+        )
+        self.layout = self.header.layout()
+        n_time = len(self.header.timesteps)
+        n_field = len(self.header.fields)
+        table_offset = _PREFIX.size + header_len
+        table_shape = (n_time, n_field, self.layout.num_blocks, 2)
+        table_bytes = int(np.prod(table_shape)) * 8
+        raw = source.read_at(table_offset, table_bytes)
+        self.table = np.frombuffer(raw, dtype="<u8").reshape(table_shape)
+        self._codec = self.header.codec_obj()
+
+    def block_entry(self, time_idx: int, field_idx: int, block_id: int) -> Tuple[int, int]:
+        """(offset, length) of the encoded payload; length 0 = absent."""
+        entry = self.table[time_idx, field_idx, block_id]
+        return int(entry[0]), int(entry[1])
+
+    def read_block(self, time_idx: int, field_idx: int, block_id: int) -> np.ndarray:
+        offset, length = self.block_entry(time_idx, field_idx, block_id)
+        dtype = self.header.field_dtype(field_idx)
+        if length == 0:
+            return np.full(self.layout.block_size, self.header.fill_value, dtype=dtype)
+        payload = self.source.read_at(offset, length)
+        return self._codec.decode_array(payload, dtype, (self.layout.block_size,))
+
+    def stored_bytes(self) -> int:
+        """Total encoded payload bytes across all present blocks."""
+        return int(self.table[..., 1].sum())
+
+    def present_blocks(self, time_idx: int, field_idx: int) -> np.ndarray:
+        """Ids of blocks with stored payloads for one (time, field)."""
+        return np.flatnonzero(self.table[time_idx, field_idx, :, 1] > 0)

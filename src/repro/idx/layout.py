@@ -1,0 +1,151 @@
+"""Access-pattern-driven data layout reorganisation.
+
+§III-A: "By continuously analysing how data is accessed, OpenVisus can
+dynamically update the data layout to prioritize frequently accessed
+data."  This module reproduces that mechanism at block granularity:
+
+1. an :class:`~repro.idx.access.Access` layer records every block read in
+   ``counters.access_log``;
+2. :func:`access_histogram` turns logs into per-block heat;
+3. :func:`reorganize` rewrites the IDX file with the hottest blocks
+   packed first (ties broken by block id, preserving HZ prefix order);
+4. :class:`PagedByteSource` models page-granular remote reads (a ranged
+   GET fetches a whole aligned page), so packing hot blocks together
+   measurably reduces round trips — the effect benchmark C8 reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.idx.idxfile import ByteSource, FileByteSource, IdxBinaryReader, write_idx_file
+
+__all__ = ["PagedByteSource", "access_histogram", "reorganize"]
+
+BlockKey = Tuple[int, int, int]  # (time_idx, field_idx, block_id)
+
+
+def access_histogram(access_log: Iterable[BlockKey]) -> Dict[BlockKey, int]:
+    """Per-block access counts from one or more access logs."""
+    return dict(Counter(tuple(k) for k in access_log))
+
+
+def reorganize(
+    src_path: str,
+    dst_path: str,
+    access_log: Iterable[BlockKey],
+) -> Dict[str, int]:
+    """Rewrite ``src_path`` with hot blocks first; returns placement info.
+
+    The logical content is untouched (block table still addresses every
+    payload) — only the physical order of payloads changes, exactly like
+    an OpenVisus layout refresh.  Returns a small report dict with the
+    number of blocks moved into the hot prefix.
+    """
+    heat = access_histogram(access_log)
+    source = FileByteSource(src_path)
+    try:
+        reader = IdxBinaryReader(source)
+        header = reader.header
+        n_time = len(header.timesteps)
+        n_field = len(header.fields)
+        n_block = reader.layout.num_blocks
+
+        present: List[BlockKey] = []
+        for t in range(n_time):
+            for f in range(n_field):
+                for b in reader.present_blocks(t, f):
+                    present.append((t, f, int(b)))
+
+        # Hot blocks first (by descending heat), cold blocks keep HZ order.
+        ranked = sorted(present, key=lambda k: (-heat.get(k, 0), k))
+        blocks: Dict[BlockKey, bytes] = {}
+        payload_order: List[Tuple[BlockKey, bytes]] = []
+        for key in ranked:
+            offset, length = reader.block_entry(*key)
+            payload_order.append((key, source.read_at(offset, length)))
+        # write_idx_file sorts by key; to control physical order we write
+        # via the low-level path below instead.
+        hot = sum(1 for k in ranked if heat.get(k, 0) > 0)
+    finally:
+        source.close()
+
+    _write_ordered(dst_path, header, payload_order, n_time, n_field, n_block)
+    return {"blocks_total": len(payload_order), "blocks_hot": hot}
+
+
+def _write_ordered(
+    path: str,
+    header,
+    payload_order: List[Tuple[BlockKey, bytes]],
+    n_time: int,
+    n_field: int,
+    n_block: int,
+) -> None:
+    """Write an IDX file with payloads in the given physical order."""
+    import struct
+
+    header_json = header.to_json().encode()
+    prefix = struct.pack("<4sI", b"IDX1", len(header_json))
+    table = np.zeros((n_time, n_field, n_block, 2), dtype="<u8")
+    data_offset = len(prefix) + len(header_json) + table.nbytes
+    cursor = data_offset
+    for (t, f, b), payload in payload_order:
+        table[t, f, b, 0] = cursor
+        table[t, f, b, 1] = len(payload)
+        cursor += len(payload)
+    with open(path, "wb") as fh:
+        fh.write(prefix)
+        fh.write(header_json)
+        fh.write(table.tobytes())
+        for _, payload in payload_order:
+            fh.write(payload)
+
+
+class PagedByteSource:
+    """ByteSource decorator with page-granular fetches and a page cache.
+
+    Models object-store range reads: any byte touch fetches the whole
+    aligned ``page_size`` page (rounded out), and previously fetched pages
+    are free.  ``pages_fetched``/``bytes_fetched`` expose the transfer
+    cost a layout optimisation is trying to minimise.
+    """
+
+    def __init__(self, inner: ByteSource, page_size: int = 64 * 1024) -> None:
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self.inner = inner
+        self.page_size = int(page_size)
+        self._pages: Dict[int, bytes] = {}
+        self.pages_fetched = 0
+        self.bytes_fetched = 0
+
+    def size(self) -> int:
+        return self.inner.size()
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        end = offset + length
+        first = offset // self.page_size
+        last = (end - 1) // self.page_size if length else first
+        chunks: List[bytes] = []
+        for page in range(first, last + 1):
+            blob = self._pages.get(page)
+            if blob is None:
+                lo = page * self.page_size
+                hi = min(self.size(), lo + self.page_size)
+                blob = self.inner.read_at(lo, hi - lo)
+                self._pages[page] = blob
+                self.pages_fetched += 1
+                self.bytes_fetched += len(blob)
+            chunks.append(blob)
+        joined = b"".join(chunks)
+        start = offset - first * self.page_size
+        return joined[start : start + length]
+
+    def reset_counters(self) -> None:
+        self._pages.clear()
+        self.pages_fetched = 0
+        self.bytes_fetched = 0

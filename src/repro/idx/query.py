@@ -1,0 +1,228 @@
+"""Box queries at arbitrary resolution, and progressive refinement.
+
+This implements the paper's storage-oblivious API: "users [...] query
+specific data based on parameters such as region of interest, level of
+resolution, numerical precision, and amount of data" (§III-A).  A
+:class:`BoxQuery` names a region (box), a resolution (HZ level), a field,
+and a timestep; :meth:`BoxQuery.execute` returns the lattice of samples
+inside the box at that resolution, touching only the blocks that contain
+those samples.
+
+The per-level kernel is fully vectorized: per-axis delta-lattice
+coordinates are transformed to partial Z addresses independently and
+combined with a broadcasted OR, so the coordinate meshgrid is never
+materialised and the innermost work is a handful of uint64 array ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.idx.access import Access
+from repro.idx.hzorder import HzOrder
+from repro.util.arrays import Box, ceil_div, normalize_box
+
+__all__ = ["BoxQuery", "QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    """Samples of one box query at one resolution.
+
+    ``data[i0, i1, ...]`` is the sample at global coordinate
+    ``offsets[a] + i_a * strides[a]`` along each axis ``a``.  ``found``
+    counts samples actually present at this resolution (the rest keep the
+    fill value — relevant when the box is smaller than the level stride).
+    """
+
+    data: np.ndarray
+    level: int
+    box: Box
+    offsets: Tuple[int, ...]
+    strides: Tuple[int, ...]
+    field: str
+    time: int
+    found: int = 0
+
+    def axis_coords(self, axis: int) -> np.ndarray:
+        """Global coordinates of the result samples along ``axis``."""
+        n = self.data.shape[axis]
+        return self.offsets[axis] + self.strides[axis] * np.arange(n, dtype=np.int64)
+
+    @property
+    def resolution_fraction(self) -> float:
+        """Sample density relative to full resolution (1.0 = finest)."""
+        full = 1.0
+        for s in self.strides:
+            full /= s
+        return full
+
+
+def _first_on_lattice(lo: int, phase: int, step: int) -> int:
+    """Smallest ``c >= lo`` with ``c === phase (mod step)``."""
+    if lo <= phase:
+        return phase
+    return phase + ceil_div(lo - phase, step) * step
+
+
+class BoxQuery:
+    """A region-of-interest read against an :class:`Access` layer."""
+
+    def __init__(
+        self,
+        access: Access,
+        *,
+        box: "Box | Sequence[Sequence[int]] | None" = None,
+        resolution: Optional[int] = None,
+        field: Optional[str] = None,
+        time: Optional[int] = None,
+    ) -> None:
+        self.access = access
+        header = access.header
+        self.header = header
+        self.bitmask = header.bitmask_obj()
+        self.hz = HzOrder(self.bitmask)
+        self.layout = header.layout()
+        self.field_idx = header.field_index(field)
+        self.time_idx = header.time_index(time)
+        self.field_name = header.fields[self.field_idx]["name"]
+        self.time_value = header.timesteps[self.time_idx]
+
+        full = Box.from_shape(header.dims)
+        if box is None:
+            box = full
+        box = normalize_box(box, len(header.dims)).clip(full)
+        if box.is_empty:
+            raise ValueError(f"query box is empty after clipping to dims {header.dims}")
+        self.box = box
+
+        maxh = self.bitmask.maxh
+        self.end_resolution = maxh if resolution is None else int(resolution)
+        if not 0 <= self.end_resolution <= maxh:
+            raise ValueError(f"resolution {resolution} out of range [0, {maxh}]")
+
+    # -- gather machinery ---------------------------------------------------
+
+    def _delta_axis_coords(self, h: int) -> Optional[List[np.ndarray]]:
+        """Per-axis coordinates of level-``h`` delta samples inside the box."""
+        phase, step = self.bitmask.delta_lattice(h)
+        coords: List[np.ndarray] = []
+        for a in range(self.bitmask.ndim):
+            lo, hi = self.box.lo[a], self.box.hi[a]
+            first = _first_on_lattice(lo, phase[a], step[a])
+            c = np.arange(first, hi, step[a], dtype=np.int64)
+            if c.size == 0:
+                return None
+            coords.append(c)
+        return coords
+
+    def _gather(
+        self,
+        hz_flat: np.ndarray,
+        dtype: np.dtype,
+        memo: "dict[int, np.ndarray] | None" = None,
+    ) -> np.ndarray:
+        """Fetch samples for flat HZ addresses via block reads.
+
+        ``memo`` caches decoded blocks across the levels of one query —
+        coarse levels share block 0, so without it the same block would
+        be fetched and decoded once per level.
+        """
+        out = np.empty(hz_flat.shape, dtype=dtype)
+        bids = self.layout.block_of(hz_flat)
+        offs = self.layout.offset_in_block(hz_flat)
+        unique = np.unique(bids)
+        for bid in unique:
+            bid = int(bid)
+            block = memo.get(bid) if memo is not None else None
+            if block is None:
+                block = self.access.read_block(self.time_idx, self.field_idx, bid)
+                if memo is not None:
+                    memo[bid] = block
+            mask = bids == bid
+            out[mask] = block[offs[mask]]
+        return out
+
+    def _output_grid(self, h: int) -> Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]:
+        """(offsets, strides, shape) of the level-``h`` output lattice in the box."""
+        strides = self.bitmask.level_strides(h)
+        offsets = []
+        shape = []
+        for a in range(self.bitmask.ndim):
+            s = strides[a]
+            start = ceil_div(self.box.lo[a], s) * s
+            count = max(0, ceil_div(self.box.hi[a] - start, s)) if start < self.box.hi[a] else 0
+            offsets.append(start)
+            shape.append(count)
+        return tuple(offsets), tuple(strides), tuple(shape)
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, resolution: Optional[int] = None) -> QueryResult:
+        """Run the query; returns the sample lattice at ``resolution``.
+
+        Only blocks containing samples of levels ``0..resolution`` inside
+        the box are read, which is what makes coarse queries touch a tiny
+        fraction of the data (claim C2).
+        """
+        h_end = self.end_resolution if resolution is None else int(resolution)
+        if not 0 <= h_end <= self.bitmask.maxh:
+            raise ValueError(f"resolution {resolution} out of range")
+        dtype = self.header.field_dtype(self.field_idx)
+        offsets, strides, shape = self._output_grid(h_end)
+        data = np.full(shape, self.header.fill_value, dtype=dtype)
+        found = 0
+        if any(s == 0 for s in shape):
+            return QueryResult(
+                data, h_end, self.box, offsets, strides, self.field_name, self.time_value, 0
+            )
+        # Phase 1: compute every level's sample addresses, so one batched
+        # prefetch can pipeline all block fetches into a single round trip
+        # on remote access layers.
+        plan: List[Tuple[int, List[np.ndarray], np.ndarray]] = []
+        all_bids: List[np.ndarray] = []
+        for h in range(0, h_end + 1):
+            coords = self._delta_axis_coords(h)
+            if coords is None:
+                continue
+            # Broadcasted OR of per-axis partial z addresses.
+            z = self.hz.axis_z_component(0, coords[0])
+            z = z.reshape(z.shape + (1,) * (self.bitmask.ndim - 1))
+            for a in range(1, self.bitmask.ndim):
+                comp = self.hz.axis_z_component(a, coords[a])
+                comp = comp.reshape((1,) * a + comp.shape + (1,) * (self.bitmask.ndim - 1 - a))
+                z = z | comp
+            hz_addr = self.hz.hz_for_level(h, z.ravel())
+            plan.append((h, coords, hz_addr))
+            all_bids.append(self.layout.block_of(hz_addr))
+        if all_bids:
+            wanted = np.unique(np.concatenate(all_bids))
+            self.access.prefetch(self.time_idx, self.field_idx, wanted.tolist())
+
+        # Phase 2: gather and place each level's samples.
+        memo: dict = {}
+        for h, coords, hz_addr in plan:
+            values = self._gather(hz_addr, dtype, memo)
+            found += values.size
+            index = tuple(
+                (coords[a] - offsets[a]) // strides[a] for a in range(self.bitmask.ndim)
+            )
+            data[np.ix_(*index)] = values.reshape(tuple(len(c) for c in coords))
+        return QueryResult(
+            data, h_end, self.box, offsets, strides, self.field_name, self.time_value, found
+        )
+
+    def progressive(self, start_resolution: int = 0) -> Iterator[QueryResult]:
+        """Yield results coarse -> fine, one per level.
+
+        With a cached access layer, each refinement only transfers the
+        blocks new at that level; coarse blocks are cache hits.  This is
+        the interaction pattern of the dashboard resolution slider.
+        """
+        if not 0 <= start_resolution <= self.end_resolution:
+            raise ValueError("start_resolution out of range")
+        for h in range(start_resolution, self.end_resolution + 1):
+            yield self.execute(resolution=h)

@@ -1,0 +1,84 @@
+"""Per-field summary statistics over an IDX dataset.
+
+The dashboard needs value ranges to scale colormaps ("colormap ranges can
+be manually adjusted or set dynamically", §III-A) and the validation step
+compares per-region statistics.  Statistics can be computed *at reduced
+resolution* — an honest estimate from the coarse prefix, which is how a
+dashboard gets a usable range without a full-resolution scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.idx.dataset import IdxDataset
+from repro.util.arrays import Box
+
+__all__ = ["FieldStats", "compute_stats", "histogram"]
+
+
+@dataclass(frozen=True)
+class FieldStats:
+    """Summary of one field over one region at one resolution."""
+
+    field: str
+    level: int
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+
+    @property
+    def range(self) -> Tuple[float, float]:
+        return (self.minimum, self.maximum)
+
+
+def compute_stats(
+    dataset: IdxDataset,
+    *,
+    field: Optional[str] = None,
+    time: Optional[int] = None,
+    box: "Box | Sequence[Sequence[int]] | None" = None,
+    resolution: Optional[int] = None,
+) -> FieldStats:
+    """Streaming-friendly stats: reads only the requested resolution level."""
+    result = dataset.read_result(field=field, time=time, box=box, resolution=resolution)
+    data = result.data
+    if data.dtype.kind == "f":
+        finite = data[np.isfinite(data)]
+    else:
+        finite = data.reshape(-1)
+    if finite.size == 0:
+        raise ValueError("no finite samples in the requested region")
+    return FieldStats(
+        field=result.field,
+        level=result.level,
+        count=int(finite.size),
+        minimum=float(finite.min()),
+        maximum=float(finite.max()),
+        mean=float(finite.mean()),
+        std=float(finite.std()),
+    )
+
+
+def histogram(
+    dataset: IdxDataset,
+    *,
+    bins: int = 64,
+    field: Optional[str] = None,
+    time: Optional[int] = None,
+    box: "Box | Sequence[Sequence[int]] | None" = None,
+    resolution: Optional[int] = None,
+    value_range: Optional[Tuple[float, float]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(counts, bin_edges) of sample values at the chosen resolution."""
+    result = dataset.read_result(field=field, time=time, box=box, resolution=resolution)
+    data = result.data
+    values = data[np.isfinite(data)] if data.dtype.kind == "f" else data.reshape(-1)
+    if values.size == 0:
+        raise ValueError("no finite samples to histogram")
+    return np.histogram(values, bins=bins, range=value_range)

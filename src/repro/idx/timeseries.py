@@ -1,0 +1,117 @@
+"""Temporal utilities over multi-timestep IDX datasets.
+
+The dashboard's time slider and playback (§III-A) need efficient access
+across timesteps: per-step statistics for stable colormap ranges, frame
+sequences at bounded resolution, temporal differences for
+change detection, and look-ahead prefetch so playback never stalls on
+the (simulated) network.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.idx.dataset import IdxDataset
+from repro.idx.query import QueryResult
+from repro.idx.stats import FieldStats, compute_stats
+from repro.util.arrays import Box
+
+__all__ = [
+    "animate",
+    "global_range",
+    "prefetch_timestep",
+    "temporal_difference",
+    "temporal_stats",
+]
+
+
+def temporal_stats(
+    dataset: IdxDataset,
+    *,
+    field: Optional[str] = None,
+    box: "Box | Sequence[Sequence[int]] | None" = None,
+    resolution: Optional[int] = None,
+) -> List[FieldStats]:
+    """Per-timestep statistics (one :class:`FieldStats` per step)."""
+    return [
+        compute_stats(dataset, field=field, time=t, box=box, resolution=resolution)
+        for t in dataset.timesteps
+    ]
+
+
+def global_range(
+    dataset: IdxDataset,
+    *,
+    field: Optional[str] = None,
+    resolution: Optional[int] = None,
+) -> Tuple[float, float]:
+    """(min, max) across ALL timesteps — the playback-stable colormap range.
+
+    Computing it at reduced resolution makes it cheap; the range of a
+    coarse sample set brackets most of the data, which is exactly how
+    the dashboard seeds its dynamic colormap before playback.
+    """
+    stats = temporal_stats(dataset, field=field, resolution=resolution)
+    return (min(s.minimum for s in stats), max(s.maximum for s in stats))
+
+
+def temporal_difference(
+    dataset: IdxDataset,
+    t_from: int,
+    t_to: int,
+    *,
+    field: Optional[str] = None,
+    box: "Box | Sequence[Sequence[int]] | None" = None,
+    resolution: Optional[int] = None,
+) -> np.ndarray:
+    """Change raster ``data(t_to) - data(t_from)`` over one region."""
+    a = dataset.read(field=field, time=t_from, box=box, resolution=resolution)
+    b = dataset.read(field=field, time=t_to, box=box, resolution=resolution)
+    return (b.astype(np.float64) - a.astype(np.float64)).astype(np.float32)
+
+
+def prefetch_timestep(
+    dataset: IdxDataset,
+    time: int,
+    *,
+    field: Optional[str] = None,
+    box: "Box | Sequence[Sequence[int]] | None" = None,
+    resolution: Optional[int] = None,
+) -> int:
+    """Warm the access layer's cache with one timestep's blocks.
+
+    Running the exact query the next frame will issue pulls its blocks
+    through any :class:`~repro.idx.access.CachedAccess` in the stack, so
+    the visible frame switch is a pure cache hit.  Returns the number of
+    blocks touched.
+    """
+    query = dataset.query(field=field, time=time, box=box, resolution=resolution)
+    before = dataset.access.counters.blocks_read
+    query.execute()
+    return dataset.access.counters.blocks_read - before
+
+
+def animate(
+    dataset: IdxDataset,
+    *,
+    field: Optional[str] = None,
+    box: "Box | Sequence[Sequence[int]] | None" = None,
+    resolution: Optional[int] = None,
+    times: Optional[Sequence[int]] = None,
+    look_ahead: int = 1,
+) -> Iterator[QueryResult]:
+    """Yield one QueryResult per timestep, prefetching ``look_ahead`` steps.
+
+    This is the data path under the dashboard's playback: with a cached
+    access layer, the prefetch hides the per-frame fetch behind the
+    previous frame's display time.
+    """
+    order = list(times) if times is not None else list(dataset.timesteps)
+    if look_ahead < 0:
+        raise ValueError("look_ahead must be non-negative")
+    for i, t in enumerate(order):
+        for ahead in order[i + 1 : i + 1 + look_ahead]:
+            prefetch_timestep(dataset, ahead, field=field, box=box, resolution=resolution)
+        yield dataset.read_result(field=field, time=t, box=box, resolution=resolution)

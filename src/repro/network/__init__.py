@@ -1,0 +1,36 @@
+"""Simulated wide-area network fabric (NSDF-Plugin analogue).
+
+The NSDF-Plugin "provides network monitoring and high-performance data
+transfer solutions to identify throughput and latency constraints across
+eight diverse locations in the United States, leveraging resources like
+Internet2 and Open Science Grid" (§III-B).  Offline, the links are
+modelled rather than measured:
+
+- :mod:`repro.network.clock` — virtual time (no real sleeping);
+- :mod:`repro.network.links` — per-link latency/bandwidth/jitter models;
+- :mod:`repro.network.topology` — the 8-site US testbed graph with
+  Internet2-backbone-style links (networkx underneath);
+- :mod:`repro.network.transfer` — chunked transfer simulation, including
+  parallel streams;
+- :mod:`repro.network.monitor` — probe-based monitoring producing the
+  latency/throughput matrix benchmark C4 ranks.
+"""
+
+from repro.network.clock import SimClock
+from repro.network.links import LinkModel
+from repro.network.topology import NSDF_SITES, Site, Testbed, default_testbed
+from repro.network.transfer import TransferResult, TransferSimulator
+from repro.network.monitor import NetworkMonitor, ProbeStats
+
+__all__ = [
+    "LinkModel",
+    "NSDF_SITES",
+    "NetworkMonitor",
+    "ProbeStats",
+    "SimClock",
+    "Site",
+    "Testbed",
+    "TransferResult",
+    "TransferSimulator",
+    "default_testbed",
+]

@@ -1,0 +1,70 @@
+"""Per-link latency/bandwidth models.
+
+A link charges ``latency + bytes / bandwidth`` per request, with optional
+multiplicative jitter drawn from a seeded RNG — enough structure to
+reproduce the *orderings* the NSDF-Plugin measures (which site pairs are
+slow, where caching pays off) without pretending to model TCP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.units import parse_bytes
+
+__all__ = ["LinkModel"]
+
+
+@dataclass
+class LinkModel:
+    """One directed (or symmetric) network link.
+
+    ``latency_s`` is the one-way request latency; ``bandwidth_bps`` the
+    sustained throughput in *bytes* per second; ``jitter`` the relative
+    standard deviation applied to each transfer's duration.
+    """
+
+    latency_s: float = 0.020
+    bandwidth_bps: float = 125e6  # 1 Gbit/s
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self._rng = np.random.default_rng(self.seed)
+
+    def transfer_seconds(self, nbytes: "int | str") -> float:
+        """Virtual duration of one request moving ``nbytes``."""
+        n = parse_bytes(nbytes)
+        base = self.latency_s + n / self.bandwidth_bps
+        if self.jitter:
+            factor = 1.0 + self.jitter * float(self._rng.standard_normal())
+            base *= max(0.1, factor)
+        return base
+
+    def effective_bps(self, nbytes: "int | str") -> float:
+        """Goodput for one request of ``nbytes`` (latency amortised)."""
+        n = parse_bytes(nbytes)
+        return n / self.transfer_seconds(n) if n else 0.0
+
+    @classmethod
+    def lan(cls, seed: int = 0) -> "LinkModel":
+        """Local-network profile: 0.2 ms, 10 Gbit/s."""
+        return cls(latency_s=0.0002, bandwidth_bps=1.25e9, seed=seed)
+
+    @classmethod
+    def wan(cls, seed: int = 0) -> "LinkModel":
+        """Cross-country profile: 40 ms, 1 Gbit/s."""
+        return cls(latency_s=0.040, bandwidth_bps=125e6, seed=seed)
+
+    @classmethod
+    def cloud_object_store(cls, seed: int = 0) -> "LinkModel":
+        """Object-store GET profile: 15 ms first byte, 500 Mbit/s."""
+        return cls(latency_s=0.015, bandwidth_bps=62.5e6, seed=seed)

@@ -1,0 +1,109 @@
+"""Network monitoring probes (the NSDF-Plugin's measurement role).
+
+The plugin's job in the paper is "to identify throughput and latency
+constraints across eight diverse locations" (§III-B).  The monitor sends
+small latency probes and bulk throughput probes over the simulated
+testbed, aggregates per-pair statistics, and ranks the pairs — the
+matrix benchmark C4 prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.network.clock import SimClock
+from repro.network.topology import Testbed
+from repro.network.transfer import TransferSimulator
+
+__all__ = ["NetworkMonitor", "ProbeStats"]
+
+
+@dataclass(frozen=True)
+class ProbeStats:
+    """Aggregated measurements for one site pair."""
+
+    src: str
+    dst: str
+    rtt_ms_min: float
+    rtt_ms_mean: float
+    rtt_ms_max: float
+    throughput_bps: float
+    hops: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.src:<7s}->{self.dst:<7s} rtt {self.rtt_ms_mean:7.2f} ms "
+            f"({self.hops} hops)  throughput {self.throughput_bps * 8 / 1e9:6.2f} Gbit/s"
+        )
+
+
+class NetworkMonitor:
+    """Latency/throughput prober over a :class:`Testbed`."""
+
+    def __init__(self, testbed: Testbed, clock: Optional[SimClock] = None, seed: int = 0) -> None:
+        self.testbed = testbed
+        self.clock = clock if clock is not None else SimClock()
+        self.sim = TransferSimulator(testbed, self.clock)
+        self._rng = np.random.default_rng(seed)
+        self.history: List[ProbeStats] = []
+
+    def probe(
+        self,
+        src: str,
+        dst: str,
+        *,
+        repeats: int = 5,
+        probe_bytes: "int | str" = "32 MiB",
+    ) -> ProbeStats:
+        """Measure one pair: ``repeats`` RTT pings plus one bulk transfer."""
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        link = self.testbed.path_link(src, dst)
+        base_rtt = 2.0 * link.latency_s
+        # RTT samples with link jitter (multiplicative, seeded).
+        noise = 1.0 + link.jitter * self._rng.standard_normal(repeats)
+        samples = base_rtt * np.clip(noise, 0.5, 1.5)
+        for s in samples:
+            self.clock.advance(float(s), label=f"probe:{src}->{dst}")
+        bulk = self.sim.transfer(src, dst, probe_bytes, chunk_size="8 MiB")
+        stats = ProbeStats(
+            src=src,
+            dst=dst,
+            rtt_ms_min=float(samples.min() * 1e3),
+            rtt_ms_mean=float(samples.mean() * 1e3),
+            rtt_ms_max=float(samples.max() * 1e3),
+            throughput_bps=bulk.effective_bps,
+            hops=len(self.testbed.route(src, dst)) - 1,
+        )
+        self.history.append(stats)
+        return stats
+
+    def measure_all(
+        self,
+        *,
+        repeats: int = 3,
+        probe_bytes: "int | str" = "32 MiB",
+    ) -> List[ProbeStats]:
+        """Probe every site pair; returns stats sorted by mean RTT."""
+        results = [
+            self.probe(a, b, repeats=repeats, probe_bytes=probe_bytes)
+            for a, b in self.testbed.all_pairs()
+        ]
+        return sorted(results, key=lambda s: s.rtt_ms_mean)
+
+    def constraint_report(self, results: Optional[List[ProbeStats]] = None) -> Dict[str, Tuple[str, str]]:
+        """Identify the best/worst pairs by latency and throughput."""
+        data = results if results is not None else self.history
+        if not data:
+            raise ValueError("no probe results to analyse")
+        by_rtt = sorted(data, key=lambda s: s.rtt_ms_mean)
+        by_tp = sorted(data, key=lambda s: s.throughput_bps)
+        return {
+            "lowest_latency": (by_rtt[0].src, by_rtt[0].dst),
+            "highest_latency": (by_rtt[-1].src, by_rtt[-1].dst),
+            "lowest_throughput": (by_tp[0].src, by_tp[0].dst),
+            "highest_throughput": (by_tp[-1].src, by_tp[-1].dst),
+        }

@@ -1,0 +1,228 @@
+"""The 8-site NSDF testbed topology.
+
+The NSDF-Plugin monitors "eight diverse locations in the United States"
+(§III-B); the NSDF-services paper (ref. [2]) places testbed entry points
+at academic sites interconnected mostly over Internet2.  The simulated
+topology uses those sites with great-circle-scaled latencies over an
+Internet2-style backbone, so which pairs are near/far matches reality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.network.links import LinkModel
+
+__all__ = ["NSDF_SITES", "Site", "Testbed", "default_testbed"]
+
+
+@dataclass(frozen=True)
+class Site:
+    """One testbed location."""
+
+    name: str
+    institution: str
+    lat: float
+    lon: float
+    tier: str = "academic"  # academic | cloud | supercomputer
+
+
+#: The eight monitored locations (institution coordinates approximate).
+NSDF_SITES: Tuple[Site, ...] = (
+    Site("slc", "University of Utah (SCI)", 40.76, -111.85, "academic"),
+    Site("knox", "University of Tennessee Knoxville", 35.95, -83.93, "academic"),
+    Site("sdsc", "San Diego Supercomputer Center", 32.88, -117.24, "supercomputer"),
+    Site("umich", "University of Michigan (Materials Commons)", 42.28, -83.74, "academic"),
+    Site("jhu", "Johns Hopkins University", 39.33, -76.62, "academic"),
+    Site("mghpcc", "MGHPCC Holyoke", 42.20, -72.62, "supercomputer"),
+    Site("chi", "StarLight Chicago", 41.90, -87.63, "exchange"),
+    Site("udel", "University of Delaware", 39.68, -75.75, "academic"),
+)
+
+
+def _great_circle_km(a: Site, b: Site) -> float:
+    """Haversine distance between two sites in kilometres."""
+    r = 6371.0
+    phi1, phi2 = math.radians(a.lat), math.radians(b.lat)
+    dphi = phi2 - phi1
+    dlmb = math.radians(b.lon - a.lon)
+    h = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2) ** 2
+    return 2 * r * math.asin(math.sqrt(h))
+
+
+class Testbed:
+    """Site graph with per-edge :class:`LinkModel` annotations.
+
+    (``__test__ = False`` keeps pytest from collecting this class when it
+    is imported into test modules.)
+
+    Latency per edge is propagation (distance at ~2/3 c, doubled for the
+    usual fibre-path inflation) plus a fixed per-hop processing cost.
+    Routing is shortest-latency; an end-to-end path has the sum of edge
+    latencies and the minimum of edge bandwidths.
+    """
+
+    __test__ = False
+    PER_HOP_OVERHEAD_S = 0.002
+    FIBRE_KM_PER_S = 200_000.0 / 2.0  # 2/3 c, x2 path inflation
+
+    def __init__(self, sites: Iterable[Site] = NSDF_SITES) -> None:
+        self.sites: Dict[str, Site] = {s.name: s for s in sites}
+        self.graph = nx.Graph()
+        for s in self.sites.values():
+            self.graph.add_node(s.name, site=s)
+        self._failed: set = set()
+
+    # -- construction --------------------------------------------------------
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        *,
+        bandwidth_bps: float = 1.25e9,
+        latency_s: Optional[float] = None,
+        jitter: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        """Add a symmetric link; latency defaults to the distance model."""
+        if a not in self.sites or b not in self.sites:
+            raise KeyError(f"unknown site in ({a}, {b})")
+        if latency_s is None:
+            km = _great_circle_km(self.sites[a], self.sites[b])
+            latency_s = km / self.FIBRE_KM_PER_S + self.PER_HOP_OVERHEAD_S
+        link = LinkModel(
+            latency_s=latency_s,
+            bandwidth_bps=bandwidth_bps,
+            jitter=jitter,
+            seed=seed ^ hash((a, b)) % (2**31),
+        )
+        self.graph.add_edge(a, b, link=link, latency=latency_s)
+
+    # -- failure injection --------------------------------------------------
+
+    @staticmethod
+    def _edge_key(a: str, b: str):
+        return (a, b) if a <= b else (b, a)
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Take a link down; routing immediately avoids it."""
+        if not self.graph.has_edge(a, b):
+            raise KeyError(f"no link between {a} and {b}")
+        self._failed.add(self._edge_key(a, b))
+
+    def set_congestion(self, a: str, b: str, factor: float) -> None:
+        """Scale one link's effective load (1.0 = nominal).
+
+        Congestion multiplies latency and divides available bandwidth by
+        ``factor`` — the coarse model of a loaded path that the
+        NSDF-Plugin's measurements would surface as degradation.  Routing
+        weight follows the congested latency, so heavy congestion can
+        shift traffic onto detours just like a failure does (softly).
+        """
+        if not self.graph.has_edge(a, b):
+            raise KeyError(f"no link between {a} and {b}")
+        if factor < 1.0:
+            raise ValueError("congestion factor must be >= 1.0")
+        edge = self.graph.edges[a, b]
+        base: LinkModel = edge.get("base_link", edge["link"])
+        edge["base_link"] = base
+        congested = LinkModel(
+            latency_s=base.latency_s * factor,
+            bandwidth_bps=base.bandwidth_bps / factor,
+            jitter=base.jitter,
+            seed=base.seed,
+        )
+        edge["link"] = congested
+        edge["latency"] = congested.latency_s
+
+    def clear_congestion(self, a: str, b: str) -> None:
+        """Restore a link to its nominal parameters."""
+        if not self.graph.has_edge(a, b):
+            raise KeyError(f"no link between {a} and {b}")
+        edge = self.graph.edges[a, b]
+        base = edge.pop("base_link", None)
+        if base is not None:
+            edge["link"] = base
+            edge["latency"] = base.latency_s
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Bring a failed link back up (no-op if it was healthy)."""
+        if not self.graph.has_edge(a, b):
+            raise KeyError(f"no link between {a} and {b}")
+        self._failed.discard(self._edge_key(a, b))
+
+    @property
+    def failed_links(self) -> List[Tuple[str, str]]:
+        return sorted(self._failed)
+
+    def link_is_up(self, a: str, b: str) -> bool:
+        return self._edge_key(a, b) not in self._failed
+
+    def _healthy_view(self):
+        if not self._failed:
+            return self.graph
+        return nx.subgraph_view(
+            self.graph,
+            filter_edge=lambda u, v: self._edge_key(u, v) not in self._failed,
+        )
+
+    # -- routing ----------------------------------------------------------------
+
+    def route(self, src: str, dst: str) -> List[str]:
+        """Shortest-latency path between two sites over healthy links."""
+        try:
+            return nx.shortest_path(self._healthy_view(), src, dst, weight="latency")
+        except (nx.NodeNotFound, nx.NetworkXNoPath) as exc:
+            raise KeyError(f"no route {src} -> {dst}") from exc
+
+    def path_link(self, src: str, dst: str, *, seed: int = 0) -> LinkModel:
+        """Collapse the routed path into one effective link model."""
+        if src == dst:
+            return LinkModel.lan(seed=seed)
+        path = self.route(src, dst)
+        latency = 0.0
+        bandwidth = float("inf")
+        jitter = 0.0
+        for a, b in zip(path, path[1:]):
+            link: LinkModel = self.graph.edges[a, b]["link"]
+            latency += link.latency_s
+            bandwidth = min(bandwidth, link.bandwidth_bps)
+            jitter = max(jitter, link.jitter)
+        return LinkModel(latency_s=latency, bandwidth_bps=bandwidth, jitter=jitter, seed=seed)
+
+    def all_pairs(self) -> List[Tuple[str, str]]:
+        names = sorted(self.sites)
+        return [(a, b) for i, a in enumerate(names) for b in names[i + 1 :]]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Testbed({len(self.sites)} sites, {self.graph.number_of_edges()} links)"
+
+
+def default_testbed(seed: int = 0) -> Testbed:
+    """The Internet2-style backbone connecting the eight NSDF sites.
+
+    Backbone ring through Chicago/StarLight with regional spurs; Chicago
+    is the classic Internet2 interchange, so most cross-country paths
+    transit it — mirroring real route asymmetries the plugin observes.
+    """
+    tb = Testbed()
+    backbone = 10 * 1.25e8  # 10 Gbit/s in bytes/s
+    regional = 1.25e8       # 1 Gbit/s
+
+    # Backbone (Internet2-style): west <-> Chicago <-> east.
+    tb.connect("slc", "chi", bandwidth_bps=backbone, seed=seed)
+    tb.connect("sdsc", "slc", bandwidth_bps=backbone, seed=seed)
+    tb.connect("chi", "mghpcc", bandwidth_bps=backbone, seed=seed)
+    tb.connect("chi", "umich", bandwidth_bps=backbone, seed=seed)
+
+    # Regional spurs.
+    tb.connect("knox", "chi", bandwidth_bps=regional, seed=seed)
+    tb.connect("udel", "jhu", bandwidth_bps=regional, seed=seed)
+    tb.connect("jhu", "mghpcc", bandwidth_bps=regional, seed=seed)
+    tb.connect("umich", "knox", bandwidth_bps=regional, seed=seed)
+    return tb

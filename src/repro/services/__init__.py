@@ -1,0 +1,29 @@
+"""NSDF testbed composition: entry points, service registry, FAIR objects.
+
+§III: "Users can access NSDF computing, storage, and network services
+through its entry points, referring to the physical local nodes where a
+user or program begins data access and analysis [...] Entry points enable
+the interoperability of different applications and storage solutions
+[and] are also the natural location for integrating FAIR Digital Objects
+in NSDF."
+
+- :mod:`repro.services.entrypoint` — an entry point binds a testbed site
+  to the services reachable from it;
+- :mod:`repro.services.testbed` — assembles the full Fig. 2 structure
+  (8 sites, Seal + Dataverse + catalog + monitor + shared cache);
+- :mod:`repro.services.fair` — FAIR digital objects wrapping datasets
+  with persistent ids and a FAIRness self-check.
+"""
+
+from repro.services.entrypoint import EntryPoint, ServiceKind
+from repro.services.testbed import NsdfTestbed, build_default_testbed
+from repro.services.fair import FairDigitalObject, fair_assessment
+
+__all__ = [
+    "EntryPoint",
+    "FairDigitalObject",
+    "NsdfTestbed",
+    "ServiceKind",
+    "build_default_testbed",
+    "fair_assessment",
+]

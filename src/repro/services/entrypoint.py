@@ -1,0 +1,89 @@
+"""Entry points: where a user or program begins data access.
+
+An entry point is pinned to one testbed site and holds handles to the
+services a session there can reach.  Data operations routed through an
+entry point automatically carry the right ``from_site`` so the network
+simulation charges the correct link — which is exactly the
+location-dependence the NSDF entry-point design is about.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.idx.cache import BlockCache
+from repro.idx.dataset import IdxDataset
+from repro.network.clock import SimClock
+from repro.storage.dataverse import Dataverse
+from repro.storage.seal import SealStorage
+from repro.storage.transfer import open_remote_idx, upload_idx_to_seal
+
+__all__ = ["EntryPoint", "ServiceKind"]
+
+
+class ServiceKind(enum.Enum):
+    """Service categories of the NSDF testbed (Fig. 2)."""
+
+    STORAGE_PRIVATE = "storage-private"   # Seal
+    STORAGE_PUBLIC = "storage-public"     # Dataverse
+    CATALOG = "catalog"
+    NETWORK_MONITOR = "network-monitor"
+    DASHBOARD = "dashboard"
+    COMPUTE = "compute"
+
+
+class EntryPoint:
+    """One site-local access node."""
+
+    def __init__(self, site: str, *, clock: Optional[SimClock] = None) -> None:
+        self.site = site
+        self.clock = clock if clock is not None else SimClock()
+        self._services: Dict[ServiceKind, object] = {}
+        self.cache = BlockCache("128 MiB")
+
+    # -- service registry ----------------------------------------------------
+
+    def attach(self, kind: ServiceKind, service: object) -> None:
+        self._services[kind] = service
+
+    def service(self, kind: ServiceKind) -> object:
+        svc = self._services.get(kind)
+        if svc is None:
+            raise KeyError(f"entry point {self.site!r} has no {kind.value} service")
+        return svc
+
+    def has(self, kind: ServiceKind) -> bool:
+        return kind in self._services
+
+    @property
+    def services(self) -> Dict[ServiceKind, object]:
+        return dict(self._services)
+
+    # -- site-aware data operations --------------------------------------------
+
+    def seal(self) -> SealStorage:
+        return self.service(ServiceKind.STORAGE_PRIVATE)  # type: ignore[return-value]
+
+    def dataverse(self) -> Dataverse:
+        return self.service(ServiceKind.STORAGE_PUBLIC)  # type: ignore[return-value]
+
+    def upload_idx(self, idx_path: str, key: str, *, token: str) -> str:
+        """Upload an IDX file to private storage from this site."""
+        return upload_idx_to_seal(
+            idx_path, self.seal(), key, token=token, from_site=self.site
+        )
+
+    def stream_idx(self, key: str, *, token: str, cached: bool = True) -> IdxDataset:
+        """Open a sealed IDX dataset, streaming over this site's link."""
+        return open_remote_idx(
+            self.seal(),
+            key,
+            token=token,
+            from_site=self.site,
+            cache=self.cache if cached else None,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = sorted(k.value for k in self._services)
+        return f"EntryPoint({self.site!r}, services={kinds})"

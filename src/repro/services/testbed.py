@@ -1,0 +1,101 @@
+"""Full testbed assembly — the structure of Fig. 2.
+
+One :class:`NsdfTestbed` wires together the simulated network (8 sites),
+the storage services (one Seal region + one public Dataverse), the
+catalog, the network monitor, and an entry point per site, all sharing
+one virtual clock.  ``reachability_matrix`` verifies the Fig. 2 property
+that every service is usable from every entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.catalog.service import CatalogService
+from repro.network.clock import SimClock
+from repro.network.monitor import NetworkMonitor
+from repro.network.topology import Testbed, default_testbed
+from repro.services.entrypoint import EntryPoint, ServiceKind
+from repro.storage.dataverse import Dataverse
+from repro.storage.seal import SealStorage
+
+__all__ = ["NsdfTestbed", "build_default_testbed"]
+
+
+class NsdfTestbed:
+    """The composed cyber-ecosystem."""
+
+    def __init__(
+        self,
+        *,
+        network: Optional[Testbed] = None,
+        seal_site: str = "slc",
+        clock: Optional[SimClock] = None,
+        seed: int = 0,
+    ) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.network = network if network is not None else default_testbed(seed)
+        self.seal = SealStorage(site=seal_site, testbed=self.network, clock=self.clock)
+        self.dataverse = Dataverse(seed=seed)
+        self.catalog = CatalogService()
+        self.monitor = NetworkMonitor(self.network, self.clock, seed=seed)
+        self.entry_points: Dict[str, EntryPoint] = {}
+        for site in self.network.sites:
+            ep = EntryPoint(site, clock=self.clock)
+            ep.attach(ServiceKind.STORAGE_PRIVATE, self.seal)
+            ep.attach(ServiceKind.STORAGE_PUBLIC, self.dataverse)
+            ep.attach(ServiceKind.CATALOG, self.catalog)
+            ep.attach(ServiceKind.NETWORK_MONITOR, self.monitor)
+            self.entry_points[site] = ep
+
+    # -- structure queries ---------------------------------------------------
+
+    def entry_point(self, site: str) -> EntryPoint:
+        ep = self.entry_points.get(site)
+        if ep is None:
+            raise KeyError(f"no entry point at {site!r}; have {sorted(self.entry_points)}")
+        return ep
+
+    def reachability_matrix(self) -> Dict[str, Dict[str, bool]]:
+        """entry-point site -> service kind -> reachable?
+
+        "Reachable" means the entry point holds the service AND the
+        network can route from the site to the service's home (for
+        site-pinned services like Seal).
+        """
+        matrix: Dict[str, Dict[str, bool]] = {}
+        for site, ep in self.entry_points.items():
+            row: Dict[str, bool] = {}
+            for kind in ServiceKind:
+                if not ep.has(kind):
+                    row[kind.value] = False
+                    continue
+                if kind is ServiceKind.STORAGE_PRIVATE:
+                    try:
+                        self.network.route(site, self.seal.site)
+                        row[kind.value] = True
+                    except KeyError:
+                        row[kind.value] = False
+                else:
+                    row[kind.value] = True
+            matrix[site] = row
+        return matrix
+
+    def structure_summary(self) -> Dict[str, object]:
+        """The Fig. 2 inventory: sites, links, services."""
+        return {
+            "sites": sorted(self.network.sites),
+            "links": self.network.graph.number_of_edges(),
+            "entry_points": len(self.entry_points),
+            "services": {
+                "storage_private": f"seal@{self.seal.site}",
+                "storage_public": f"dataverse:{self.dataverse.name}",
+                "catalog": self.catalog.name,
+                "network_monitor": "nsdf-plugin",
+            },
+        }
+
+
+def build_default_testbed(seed: int = 0) -> NsdfTestbed:
+    """The standard 8-site testbed used by examples and benchmarks."""
+    return NsdfTestbed(seed=seed)

@@ -1,0 +1,51 @@
+"""SOMOSPIE analogue: modular soil-moisture spatial inference.
+
+SOMOSPIE (SOil MOisture SPatial Inference Engine, ref. [8]) is the Earth
+science application motivating the tutorial: it "accesses, handles, and
+analyzes raw data [...] into terrain and soil moisture data for precision
+agriculture, wildfire prevention, and hydrological ecosystems" (§I).
+Its modular pipeline downscales coarse satellite soil moisture using
+terrain covariates:
+
+- :mod:`repro.somospie.covariates` — assemble and normalise the terrain
+  covariate stack (elevation, slope, aspect, ...);
+- :mod:`repro.somospie.inference` — the spatial regressors (KNN — the
+  engine's signature method — plus IDW and ridge baselines);
+- :mod:`repro.somospie.gapfill` — gap-filling of masked satellite grids
+  with holdout evaluation (the Llamas et al. use case, refs. [11], [15]).
+"""
+
+from repro.somospie.covariates import CovariateStack, synthetic_soil_moisture
+from repro.somospie.inference import (
+    IdwRegressor,
+    KnnRegressor,
+    RidgeRegressor,
+    evaluate_regressor,
+)
+from repro.somospie.gapfill import GapFillReport, gap_fill, random_gap_mask
+from repro.somospie.pipeline import build_somospie_workflow
+from repro.somospie.crossval import (
+    CvResult,
+    compare_cv_strategies,
+    cross_validate,
+    random_folds,
+    spatial_block_folds,
+)
+
+__all__ = [
+    "CvResult",
+    "build_somospie_workflow",
+    "compare_cv_strategies",
+    "cross_validate",
+    "random_folds",
+    "spatial_block_folds",
+    "CovariateStack",
+    "GapFillReport",
+    "IdwRegressor",
+    "KnnRegressor",
+    "RidgeRegressor",
+    "evaluate_regressor",
+    "gap_fill",
+    "random_gap_mask",
+    "synthetic_soil_moisture",
+]

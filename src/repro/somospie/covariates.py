@@ -1,0 +1,113 @@
+"""Covariate stacks for spatial inference.
+
+SOMOSPIE predicts fine-resolution soil moisture from terrain covariates.
+A :class:`CovariateStack` bundles co-registered rasters, normalises them
+(z-score, computed once and reused for prediction), and exposes the
+(sample, feature) matrices regressors consume.  Aspect, being circular,
+is automatically decomposed into sin/cos components.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CovariateStack", "synthetic_soil_moisture"]
+
+
+class CovariateStack:
+    """Named, co-registered covariate rasters over one grid."""
+
+    def __init__(self, rasters: Dict[str, np.ndarray]) -> None:
+        if not rasters:
+            raise ValueError("at least one covariate raster is required")
+        shapes = {tuple(a.shape) for a in rasters.values()}
+        if len(shapes) != 1:
+            raise ValueError(f"covariates span multiple grids: {sorted(shapes)}")
+        self.shape: Tuple[int, int] = shapes.pop()
+        if len(self.shape) != 2:
+            raise ValueError("covariates must be 2-D rasters")
+        self.layers: Dict[str, np.ndarray] = {}
+        for name, arr in rasters.items():
+            arr = np.asarray(arr, dtype=np.float64)
+            if name == "aspect":
+                # Circular variable: encode as components so 1 deg and
+                # 359 deg end up close in feature space.
+                rad = np.radians(arr)
+                self.layers["aspect_sin"] = np.where(np.isfinite(rad), np.sin(rad), 0.0)
+                self.layers["aspect_cos"] = np.where(np.isfinite(rad), np.cos(rad), 0.0)
+            else:
+                self.layers[name] = arr
+        self.names: List[str] = sorted(self.layers)
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    # -- matrices ------------------------------------------------------------
+
+    def _raw_matrix(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return np.stack([self.layers[n][rows, cols] for n in self.names], axis=1)
+
+    def fit_normalisation(self) -> None:
+        """Compute per-feature z-score parameters over the full grid."""
+        full = np.stack([self.layers[n].ravel() for n in self.names], axis=1)
+        finite = np.isfinite(full).all(axis=1)
+        self._mean = full[finite].mean(axis=0)
+        self._std = full[finite].std(axis=0)
+        self._std[self._std == 0] = 1.0
+
+    def features_at(self, rows: np.ndarray, cols: np.ndarray, *, with_coords: bool = True) -> np.ndarray:
+        """(n, n_features) matrix at sample locations, normalised.
+
+        With ``with_coords`` the normalised grid coordinates join the
+        feature set — SOMOSPIE's KNN operates in a space blending
+        geography and terrain attributes.
+        """
+        if self._mean is None or self._std is None:
+            self.fit_normalisation()
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        feats = (self._raw_matrix(rows, cols) - self._mean) / self._std
+        if with_coords:
+            ny, nx = self.shape
+            coord = np.stack([rows / max(1, ny - 1), cols / max(1, nx - 1)], axis=1) * 2.0
+            feats = np.concatenate([coord, feats], axis=1)
+        return feats
+
+    def full_grid_features(self, *, with_coords: bool = True) -> np.ndarray:
+        """Feature matrix for every grid cell (row-major)."""
+        ny, nx = self.shape
+        rows, cols = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
+        return self.features_at(rows.ravel(), cols.ravel(), with_coords=with_coords)
+
+    @property
+    def n_features(self) -> int:
+        return len(self.names)
+
+
+def synthetic_soil_moisture(
+    dem: np.ndarray,
+    *,
+    seed: int = 0,
+    noise: float = 0.02,
+) -> np.ndarray:
+    """Plausible volumetric soil moisture (m3/m3) from terrain.
+
+    Encodes the standard hydrological relationships: moisture decreases
+    with elevation (drainage) and slope (runoff), with a north-facing
+    bonus (less evaporation in the northern hemisphere) and spatially
+    white measurement noise.  Output is clipped to the physical range
+    [0.02, 0.55].
+    """
+    from repro.terrain.parameters import aspect as _aspect
+    from repro.terrain.parameters import slope as _slope
+
+    dem = np.asarray(dem, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    z = (dem - dem.min()) / max(1e-9, dem.max() - dem.min())
+    s = _slope(dem) / 90.0
+    a = _aspect(dem)
+    north_facing = np.where(np.isfinite(a), np.cos(np.radians(a)), 0.0)
+    moisture = 0.38 - 0.22 * z - 0.25 * s + 0.03 * north_facing
+    moisture = moisture + rng.normal(0.0, noise, dem.shape)
+    return np.clip(moisture, 0.02, 0.55).astype(np.float32)

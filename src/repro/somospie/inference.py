@@ -1,0 +1,165 @@
+"""Spatial regressors: KNN (SOMOSPIE's signature), IDW, and ridge.
+
+All share a fit/predict interface over (n, d) feature matrices, so the
+modular-workflow examples can swap methods — the "data-driven decisions"
+of the SOMOSPIE paper title.  KNN uses a scipy cKDTree; IDW is KNN with
+inverse-distance weights; ridge is the linear baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = ["IdwRegressor", "KnnRegressor", "RidgeRegressor", "evaluate_regressor"]
+
+
+class KnnRegressor:
+    """k-nearest-neighbour regression (uniform or distance weights)."""
+
+    def __init__(self, k: int = 8, *, weights: str = "distance") -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.k = int(k)
+        self.weights = weights
+        self._tree: Optional[cKDTree] = None
+        self._values: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, values: np.ndarray) -> "KnnRegressor":
+        features = np.asarray(features, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if features.ndim != 2 or len(features) != len(values):
+            raise ValueError("features must be (n, d) aligned with values (n,)")
+        if len(values) == 0:
+            raise ValueError("cannot fit on zero samples")
+        self._tree = cKDTree(features)
+        self._values = values
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._tree is None or self._values is None:
+            raise RuntimeError("regressor is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        k = min(self.k, len(self._values))
+        dist, idx = self._tree.query(features, k=k)
+        if k == 1:
+            dist = dist[:, None]
+            idx = idx[:, None]
+        neigh = self._values[idx]
+        if self.weights == "uniform":
+            return neigh.mean(axis=1)
+        w = 1.0 / np.maximum(dist, 1e-12)
+        exact = dist[:, 0] == 0.0  # exact hits take their stored value
+        out = (neigh * w).sum(axis=1) / w.sum(axis=1)
+        out[exact] = neigh[exact, 0]
+        return out
+
+
+class IdwRegressor(KnnRegressor):
+    """Inverse-distance weighting with a power parameter (Shepard)."""
+
+    def __init__(self, k: int = 12, *, power: float = 2.0) -> None:
+        super().__init__(k=k, weights="distance")
+        if power <= 0:
+            raise ValueError("power must be positive")
+        self.power = float(power)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._tree is None or self._values is None:
+            raise RuntimeError("regressor is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        k = min(self.k, len(self._values))
+        dist, idx = self._tree.query(features, k=k)
+        if k == 1:
+            dist = dist[:, None]
+            idx = idx[:, None]
+        neigh = self._values[idx]
+        w = 1.0 / np.maximum(dist, 1e-12) ** self.power
+        exact = dist[:, 0] == 0.0
+        out = (neigh * w).sum(axis=1) / w.sum(axis=1)
+        out[exact] = neigh[exact, 0]
+        return out
+
+
+class RidgeRegressor:
+    """Linear ridge regression baseline (closed form, intercept included)."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = float(alpha)
+        self._coef: Optional[np.ndarray] = None
+        self._intercept: float = 0.0
+
+    def fit(self, features: np.ndarray, values: np.ndarray) -> "RidgeRegressor":
+        X = np.asarray(features, dtype=np.float64)
+        y = np.asarray(values, dtype=np.float64)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("features must be (n, d) aligned with values (n,)")
+        x_mean = X.mean(axis=0)
+        y_mean = y.mean()
+        Xc = X - x_mean
+        yc = y - y_mean
+        d = X.shape[1]
+        gram = Xc.T @ Xc + self.alpha * np.eye(d)
+        self._coef = np.linalg.solve(gram, Xc.T @ yc)
+        self._intercept = float(y_mean - x_mean @ self._coef)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._coef is None:
+            raise RuntimeError("regressor is not fitted")
+        X = np.asarray(features, dtype=np.float64)
+        return X @ self._coef + self._intercept
+
+
+@dataclass(frozen=True)
+class RegressionMetrics:
+    """Holdout evaluation of one regressor."""
+
+    rmse: float
+    mae: float
+    r2: float
+    n_train: int
+    n_test: int
+
+
+def evaluate_regressor(
+    regressor,
+    features: np.ndarray,
+    values: np.ndarray,
+    *,
+    train_fraction: float = 0.7,
+    seed: int = 0,
+) -> RegressionMetrics:
+    """Random-split holdout evaluation returning RMSE/MAE/R^2."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    X = np.asarray(features, dtype=np.float64)
+    y = np.asarray(values, dtype=np.float64)
+    n = len(y)
+    if n < 4:
+        raise ValueError("need at least 4 samples")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_train = max(2, int(n * train_fraction))
+    train, test = order[:n_train], order[n_train:]
+    if len(test) == 0:
+        raise ValueError("train_fraction leaves no test samples")
+    regressor.fit(X[train], y[train])
+    pred = regressor.predict(X[test])
+    err = pred - y[test]
+    ss_res = float((err**2).sum())
+    ss_tot = float(((y[test] - y[test].mean()) ** 2).sum())
+    return RegressionMetrics(
+        rmse=float(np.sqrt((err**2).mean())),
+        mae=float(np.abs(err).mean()),
+        r2=1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0,
+        n_train=len(train),
+        n_test=len(test),
+    )

@@ -1,0 +1,59 @@
+"""Storage services: object store, Seal (private), Dataverse (public), FUSE.
+
+The tutorial's goal 2 is to "upload, download, and stream data to and
+from both public and private storage solutions" (§II): Dataverse is the
+public commons used in Step 1, Seal Storage the private cloud used in
+Steps 3-4, and NSDF-FUSE the file-system bridge over S3-compatible
+object storage (§III-B).  All three are reproduced over one in-memory,
+S3-like object store with simulated network costs:
+
+- :mod:`repro.storage.object_store` — buckets, keys, etags, ranged GETs,
+  operation counters;
+- :mod:`repro.storage.seal` — token-authenticated private storage whose
+  reads/writes charge a simulated WAN link (ranged streaming included);
+- :mod:`repro.storage.dataverse` — DOI-issuing public repository with
+  draft/publish versioning and metadata search;
+- :mod:`repro.storage.fuse` — file views over object storage with
+  pluggable mapping packages (one-to-one, chunked, archive);
+- :mod:`repro.storage.transfer` — upload/download/stream helpers that
+  tie storage to the network fabric and IDX remote access.
+"""
+
+from repro.storage.object_store import Bucket, ObjectInfo, ObjectStore, StorageError
+from repro.storage.seal import SealByteSource, SealStorage
+from repro.storage.replication import ReplicatedSeal
+from repro.storage.dataverse import Dataverse, DataverseDataset
+from repro.storage.fuse import (
+    ArchiveMapping,
+    ChunkedMapping,
+    FuseMount,
+    MappingPackage,
+    OneToOneMapping,
+)
+from repro.storage.transfer import (
+    download_object,
+    open_remote_idx,
+    upload_file,
+    upload_idx_to_seal,
+)
+
+__all__ = [
+    "ArchiveMapping",
+    "Bucket",
+    "ChunkedMapping",
+    "Dataverse",
+    "DataverseDataset",
+    "FuseMount",
+    "MappingPackage",
+    "ObjectInfo",
+    "ObjectStore",
+    "OneToOneMapping",
+    "ReplicatedSeal",
+    "SealByteSource",
+    "SealStorage",
+    "StorageError",
+    "download_object",
+    "open_remote_idx",
+    "upload_file",
+    "upload_idx_to_seal",
+]

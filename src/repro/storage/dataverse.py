@@ -1,0 +1,170 @@
+"""Dataverse analogue: public research data repository with DOIs.
+
+Step 1 Option B of the tutorial accesses data "from Dataverse public
+commons, which provides a secure and accessible environment for sharing
+scientific information publicly" (§IV-A).  The analogue implements the
+Dataverse workflow shape: datasets are *drafts* until published, every
+publish mints a new version, files are immutable per version, DOIs look
+like real Dataverse handles (``doi:10.70122/FK2/XXXXXX``), and metadata
+is searchable.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.formats.metadata import DatasetMetadata
+from repro.storage.object_store import ObjectStore
+
+__all__ = ["Dataverse", "DataverseDataset", "DataverseError"]
+
+
+class DataverseError(ValueError):
+    """Workflow violations: publishing empty drafts, editing published files, ..."""
+
+
+@dataclass
+class DataverseDataset:
+    """One dataset: metadata plus per-version file manifests."""
+
+    doi: str
+    metadata: DatasetMetadata
+    owner: str
+    state: str = "draft"  # draft | published
+    version: int = 0  # last published version; 0 = never published
+    #: version -> sorted file names (version 0 is the working draft)
+    manifests: Dict[int, List[str]] = field(default_factory=lambda: {0: []})
+    downloads: int = 0
+
+    @property
+    def is_published(self) -> bool:
+        return self.version > 0
+
+    def files(self, version: Optional[int] = None) -> List[str]:
+        v = self.version if version is None else int(version)
+        if v not in self.manifests:
+            raise DataverseError(f"{self.doi} has no version {v}")
+        return list(self.manifests[v])
+
+
+class Dataverse:
+    """Public repository: draft/publish lifecycle, DOIs, search, downloads."""
+
+    def __init__(
+        self,
+        name: str = "nsdf-demo-dataverse",
+        *,
+        store: Optional[ObjectStore] = None,
+        authority: str = "10.70122",
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self.store = store if store is not None else ObjectStore(f"dataverse:{name}")
+        self.bucket = "dataverse"
+        self.store.ensure_bucket(self.bucket)
+        self.authority = authority
+        self._rng = np.random.default_rng(seed)
+        self._datasets: Dict[str, DataverseDataset] = {}
+
+    # -- dataset lifecycle --------------------------------------------------
+
+    def _mint_doi(self) -> str:
+        alphabet = string.ascii_uppercase + string.digits
+        while True:
+            tag = "".join(alphabet[int(i)] for i in self._rng.integers(0, len(alphabet), 6))
+            doi = f"doi:{self.authority}/FK2/{tag}"
+            if doi not in self._datasets:
+                return doi
+
+    def create_dataset(self, metadata: DatasetMetadata, *, owner: str) -> str:
+        """Register a new draft dataset; returns its DOI."""
+        doi = self._mint_doi()
+        self._datasets[doi] = DataverseDataset(doi=doi, metadata=metadata, owner=owner)
+        return doi
+
+    def _dataset(self, doi: str) -> DataverseDataset:
+        ds = self._datasets.get(doi)
+        if ds is None:
+            raise DataverseError(f"unknown DOI {doi}")
+        return ds
+
+    def upload_file(self, doi: str, name: str, data: bytes, *, owner: str) -> None:
+        """Add/replace a file in the working draft (owner only)."""
+        ds = self._dataset(doi)
+        if owner != ds.owner:
+            raise DataverseError(f"{owner!r} does not own {doi}")
+        if not name:
+            raise DataverseError("file name must be non-empty")
+        self.store.put(self.bucket, self._key(doi, 0, name), data)
+        draft = ds.manifests[0]
+        if name not in draft:
+            draft.append(name)
+            draft.sort()
+
+    def publish(self, doi: str, *, owner: str) -> int:
+        """Freeze the draft as the next version; returns the version number."""
+        ds = self._dataset(doi)
+        if owner != ds.owner:
+            raise DataverseError(f"{owner!r} does not own {doi}")
+        draft = ds.manifests[0]
+        if not draft:
+            raise DataverseError(f"cannot publish {doi}: draft has no files")
+        version = ds.version + 1
+        for name in draft:
+            blob = self.store.get(self.bucket, self._key(doi, 0, name))
+            self.store.put(self.bucket, self._key(doi, version, name), blob)
+        ds.manifests[version] = list(draft)
+        ds.version = version
+        ds.state = "published"
+        return version
+
+    # -- public access -----------------------------------------------------------
+
+    def get_file(
+        self, doi: str, name: str, *, version: Optional[int] = None, requester: str = "public"
+    ) -> bytes:
+        """Download a file; drafts are visible to their owner only."""
+        ds = self._dataset(doi)
+        v = ds.version if version is None else int(version)
+        if v == 0 and requester != ds.owner:
+            raise DataverseError(f"{doi} draft is not public")
+        if v == 0 and not ds.manifests[0]:
+            raise DataverseError(f"{doi} draft is empty")
+        if v > 0 and v not in ds.manifests:
+            raise DataverseError(f"{doi} has no version {v}")
+        if name not in ds.manifests[v]:
+            raise DataverseError(f"{doi} v{v} has no file {name!r}")
+        ds.downloads += 1
+        return self.store.get(self.bucket, self._key(doi, v, name))
+
+    def dataset_info(self, doi: str) -> DataverseDataset:
+        return self._dataset(doi)
+
+    def list_datasets(self, *, published_only: bool = True) -> List[str]:
+        return sorted(
+            doi
+            for doi, ds in self._datasets.items()
+            if ds.is_published or not published_only
+        )
+
+    def search(self, query: str, *, published_only: bool = True) -> List[str]:
+        """Token-AND search over dataset metadata text; returns DOIs."""
+        terms = [t for t in query.lower().split() if t]
+        if not terms:
+            return []
+        hits: List[Tuple[int, str]] = []
+        for doi, ds in self._datasets.items():
+            if published_only and not ds.is_published:
+                continue
+            text = ds.metadata.search_text().lower()
+            if all(t in text for t in terms):
+                hits.append((ds.downloads, doi))
+        # Most-downloaded first, then DOI for stability.
+        return [doi for _, doi in sorted(hits, key=lambda p: (-p[0], p[1]))]
+
+    def _key(self, doi: str, version: int, name: str) -> str:
+        return f"{doi.replace(':', '_')}/v{version}/{name}"

@@ -1,0 +1,300 @@
+"""NSDF-FUSE analogue: file views over S3-compatible object storage.
+
+§III-B: "NSDF-FUSE combines the flexibility of FUSE technology with the
+robustness of S3-compatible object storage.  Through customizable
+*mapping packages*, users can seamlessly integrate and manage data
+across various environments."  The kernel/FUSE plumbing is irrelevant to
+what the service studies — the interesting variable is the mapping of
+files onto objects — so this module implements the mapping packages as
+in-process strategies over :class:`~repro.storage.object_store.ObjectStore`:
+
+- :class:`OneToOneMapping` — one file = one object (simple; whole-object
+  rewrites, no ranged writes);
+- :class:`ChunkedMapping` — one file = N fixed-size chunk objects plus a
+  manifest (cheap ranged reads and partial updates; more objects);
+- :class:`ArchiveMapping` — many files packed into segment objects plus
+  an index (few objects, great for many small files; write
+  amplification on updates).
+
+:class:`FuseMount` is the filesystem facade; per-workload object-store
+operation counts (via ``store.stats``) are what benchmark C5 compares.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.object_store import ObjectStore, StorageError
+from repro.util.arrays import ceil_div
+from repro.util.units import parse_bytes
+
+__all__ = ["ArchiveMapping", "ChunkedMapping", "FuseMount", "MappingPackage", "OneToOneMapping"]
+
+
+class MappingPackage(ABC):
+    """Strategy mapping file paths/contents onto store objects."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def write_file(self, store: ObjectStore, bucket: str, path: str, data: bytes) -> None:
+        """Create or replace one file's contents."""
+
+    @abstractmethod
+    def read_file(self, store: ObjectStore, bucket: str, path: str) -> bytes:
+        """Return one file's full contents."""
+
+    @abstractmethod
+    def read_range(
+        self, store: ObjectStore, bucket: str, path: str, offset: int, length: int
+    ) -> bytes:
+        """Return ``length`` bytes of one file starting at ``offset``."""
+
+    @abstractmethod
+    def delete_file(self, store: ObjectStore, bucket: str, path: str) -> None:
+        """Remove one file."""
+
+    @abstractmethod
+    def list_files(self, store: ObjectStore, bucket: str, prefix: str = "") -> List[str]:
+        """File paths under ``prefix``."""
+
+    @abstractmethod
+    def file_size(self, store: ObjectStore, bucket: str, path: str) -> int:
+        """Logical size of one file in bytes."""
+
+
+def _check_path(path: str) -> str:
+    if not path or path.startswith("/") or ".." in path.split("/"):
+        raise StorageError(f"invalid file path {path!r}")
+    return path
+
+
+class OneToOneMapping(MappingPackage):
+    """file <-> object, the naive (and often fastest-to-implement) mapping."""
+
+    name = "one-to-one"
+    _PREFIX = "f/"
+
+    def write_file(self, store: ObjectStore, bucket: str, path: str, data: bytes) -> None:
+        store.put(bucket, self._PREFIX + _check_path(path), data)
+
+    def read_file(self, store: ObjectStore, bucket: str, path: str) -> bytes:
+        return store.get(bucket, self._PREFIX + _check_path(path))
+
+    def read_range(
+        self, store: ObjectStore, bucket: str, path: str, offset: int, length: int
+    ) -> bytes:
+        return store.get_range(bucket, self._PREFIX + _check_path(path), offset, length)
+
+    def delete_file(self, store: ObjectStore, bucket: str, path: str) -> None:
+        store.delete(bucket, self._PREFIX + _check_path(path))
+
+    def list_files(self, store: ObjectStore, bucket: str, prefix: str = "") -> List[str]:
+        plen = len(self._PREFIX)
+        return [o.key[plen:] for o in store.list(bucket, self._PREFIX + prefix)]
+
+    def file_size(self, store: ObjectStore, bucket: str, path: str) -> int:
+        return store.head(bucket, self._PREFIX + _check_path(path)).size
+
+
+class ChunkedMapping(MappingPackage):
+    """file -> manifest + fixed-size chunk objects.
+
+    Ranged reads touch only the covering chunks, so streaming a window of
+    a large file moves ~window bytes instead of the whole object.
+    """
+
+    name = "chunked"
+    _PREFIX = "c/"
+
+    def __init__(self, chunk_size: "int | str" = "4 MiB") -> None:
+        self.chunk_size = parse_bytes(chunk_size)
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+
+    def _manifest_key(self, path: str) -> str:
+        return f"{self._PREFIX}{path}/.manifest"
+
+    def _chunk_key(self, path: str, index: int) -> str:
+        return f"{self._PREFIX}{path}/{index:08d}"
+
+    def _manifest(self, store: ObjectStore, bucket: str, path: str) -> Dict:
+        return json.loads(store.get(bucket, self._manifest_key(path)).decode())
+
+    def write_file(self, store: ObjectStore, bucket: str, path: str, data: bytes) -> None:
+        path = _check_path(path)
+        n_chunks = ceil_div(len(data), self.chunk_size) if data else 0
+        # Remove stale chunks from a previous, longer version.
+        if store.exists(bucket, self._manifest_key(path)):
+            old = self._manifest(store, bucket, path)
+            for i in range(n_chunks, old["chunks"]):
+                store.delete(bucket, self._chunk_key(path, i))
+        for i in range(n_chunks):
+            store.put(
+                bucket,
+                self._chunk_key(path, i),
+                data[i * self.chunk_size : (i + 1) * self.chunk_size],
+            )
+        manifest = {"size": len(data), "chunks": n_chunks, "chunk_size": self.chunk_size}
+        store.put(bucket, self._manifest_key(path), json.dumps(manifest).encode())
+
+    def read_file(self, store: ObjectStore, bucket: str, path: str) -> bytes:
+        path = _check_path(path)
+        manifest = self._manifest(store, bucket, path)
+        parts = [
+            store.get(bucket, self._chunk_key(path, i)) for i in range(manifest["chunks"])
+        ]
+        return b"".join(parts)
+
+    def read_range(
+        self, store: ObjectStore, bucket: str, path: str, offset: int, length: int
+    ) -> bytes:
+        path = _check_path(path)
+        manifest = self._manifest(store, bucket, path)
+        if offset < 0 or length < 0 or offset + length > manifest["size"]:
+            raise StorageError(f"range {offset}+{length} out of bounds for {path}")
+        if length == 0:
+            return b""
+        cs = manifest["chunk_size"]
+        first = offset // cs
+        last = (offset + length - 1) // cs
+        parts = [store.get(bucket, self._chunk_key(path, i)) for i in range(first, last + 1)]
+        joined = b"".join(parts)
+        start = offset - first * cs
+        return joined[start : start + length]
+
+    def delete_file(self, store: ObjectStore, bucket: str, path: str) -> None:
+        path = _check_path(path)
+        manifest = self._manifest(store, bucket, path)
+        for i in range(manifest["chunks"]):
+            store.delete(bucket, self._chunk_key(path, i))
+        store.delete(bucket, self._manifest_key(path))
+
+    def list_files(self, store: ObjectStore, bucket: str, prefix: str = "") -> List[str]:
+        suffix = "/.manifest"
+        out = []
+        for obj in store.list(bucket, self._PREFIX + prefix):
+            if obj.key.endswith(suffix):
+                out.append(obj.key[len(self._PREFIX) : -len(suffix)])
+        return out
+
+    def file_size(self, store: ObjectStore, bucket: str, path: str) -> int:
+        return int(self._manifest(store, bucket, _check_path(path))["size"])
+
+
+class ArchiveMapping(MappingPackage):
+    """Many files packed into append-mostly segment objects plus an index.
+
+    Minimises object count (kind to object stores that charge per
+    request / per object) at the cost of read-modify-write amplification
+    when a segment is updated.
+    """
+
+    name = "archive"
+    _PREFIX = "a/"
+    _INDEX = "a/.index"
+
+    def __init__(self, segment_limit: "int | str" = "32 MiB") -> None:
+        self.segment_limit = parse_bytes(segment_limit)
+        if self.segment_limit <= 0:
+            raise ValueError("segment_limit must be positive")
+
+    def _load_index(self, store: ObjectStore, bucket: str) -> Dict:
+        if store.exists(bucket, self._INDEX):
+            return json.loads(store.get(bucket, self._INDEX).decode())
+        return {"files": {}, "segments": 0}
+
+    def _save_index(self, store: ObjectStore, bucket: str, index: Dict) -> None:
+        store.put(bucket, self._INDEX, json.dumps(index).encode())
+
+    def _segment_key(self, seg: int) -> str:
+        return f"{self._PREFIX}seg-{seg:06d}"
+
+    def write_file(self, store: ObjectStore, bucket: str, path: str, data: bytes) -> None:
+        path = _check_path(path)
+        index = self._load_index(store, bucket)
+        seg = max(0, index["segments"] - 1)
+        key = self._segment_key(seg)
+        current = store.get(bucket, key) if index["segments"] and store.exists(bucket, key) else b""
+        if index["segments"] == 0 or len(current) + len(data) > self.segment_limit:
+            seg = index["segments"]
+            index["segments"] = seg + 1
+            current = b""
+            key = self._segment_key(seg)
+        offset = len(current)
+        store.put(bucket, key, current + data)  # read-modify-write append
+        index["files"][path] = [seg, offset, len(data)]
+        self._save_index(store, bucket, index)
+
+    def _entry(self, store: ObjectStore, bucket: str, path: str) -> Tuple[int, int, int]:
+        index = self._load_index(store, bucket)
+        entry = index["files"].get(path)
+        if entry is None:
+            raise StorageError(f"no such file {path!r} in archive")
+        return int(entry[0]), int(entry[1]), int(entry[2])
+
+    def read_file(self, store: ObjectStore, bucket: str, path: str) -> bytes:
+        seg, offset, length = self._entry(store, bucket, _check_path(path))
+        return store.get_range(bucket, self._segment_key(seg), offset, length)
+
+    def read_range(
+        self, store: ObjectStore, bucket: str, path: str, offset: int, length: int
+    ) -> bytes:
+        seg, base, size = self._entry(store, bucket, _check_path(path))
+        if offset < 0 or length < 0 or offset + length > size:
+            raise StorageError(f"range {offset}+{length} out of bounds for {path}")
+        return store.get_range(bucket, self._segment_key(seg), base + offset, length)
+
+    def delete_file(self, store: ObjectStore, bucket: str, path: str) -> None:
+        path = _check_path(path)
+        index = self._load_index(store, bucket)
+        if path not in index["files"]:
+            raise StorageError(f"no such file {path!r} in archive")
+        del index["files"][path]  # space reclaimed only on repack
+        self._save_index(store, bucket, index)
+
+    def list_files(self, store: ObjectStore, bucket: str, prefix: str = "") -> List[str]:
+        index = self._load_index(store, bucket)
+        return sorted(p for p in index["files"] if p.startswith(prefix))
+
+    def file_size(self, store: ObjectStore, bucket: str, path: str) -> int:
+        return self._entry(store, bucket, _check_path(path))[2]
+
+
+class FuseMount:
+    """Filesystem facade over one bucket with a chosen mapping package."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        bucket: str,
+        mapping: Optional[MappingPackage] = None,
+    ) -> None:
+        self.store = store
+        self.bucket = bucket
+        store.ensure_bucket(bucket)
+        self.mapping = mapping if mapping is not None else OneToOneMapping()
+
+    def write_file(self, path: str, data: bytes) -> None:
+        self.mapping.write_file(self.store, self.bucket, path, data)
+
+    def read_file(self, path: str) -> bytes:
+        return self.mapping.read_file(self.store, self.bucket, path)
+
+    def read_range(self, path: str, offset: int, length: int) -> bytes:
+        return self.mapping.read_range(self.store, self.bucket, path, offset, length)
+
+    def delete(self, path: str) -> None:
+        self.mapping.delete_file(self.store, self.bucket, path)
+
+    def listdir(self, prefix: str = "") -> List[str]:
+        return self.mapping.list_files(self.store, self.bucket, prefix)
+
+    def stat_size(self, path: str) -> int:
+        return self.mapping.file_size(self.store, self.bucket, path)
+
+    def with_op_accounting(self):
+        """Snapshot store stats; use ``delta = snap.delta(before)`` after."""
+        return self.store.stats.snapshot()

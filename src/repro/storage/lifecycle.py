@@ -1,0 +1,190 @@
+"""Hot/cold storage tiering with access-driven migration.
+
+Archival object stores (the role Seal plays for >100 TB scientific
+holdings) are cheap but slow; interactive analysis wants data on a fast
+tier.  :class:`TieredStore` models the standard lifecycle: objects land
+on the tier the writer chooses, every access is counted, and a policy
+pass promotes hot objects to the fast tier and demotes idle ones —
+the storage-side complement of the block cache (which handles
+*intra*-dataset heat; tiering handles *whole-object* heat).
+
+All costs are virtual-clock charges, so tests can assert on exactly how
+much time a policy saves a workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.network.clock import SimClock
+from repro.network.links import LinkModel
+from repro.storage.object_store import ObjectInfo, ObjectStore, StorageError
+
+__all__ = ["TierPolicy", "TieredStore"]
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """When to move objects between tiers.
+
+    ``promote_after`` accesses since the last policy pass move an object
+    to the hot tier; objects with fewer than ``demote_below`` accesses
+    fall back to cold.  ``hot_capacity_bytes`` bounds the hot tier; when
+    full, the least-accessed hot objects are demoted first.
+    """
+
+    promote_after: int = 3
+    demote_below: int = 1
+    hot_capacity_bytes: int = 64 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.promote_after < 1:
+            raise ValueError("promote_after must be >= 1")
+        if self.demote_below < 0:
+            raise ValueError("demote_below must be non-negative")
+        if self.hot_capacity_bytes <= 0:
+            raise ValueError("hot_capacity_bytes must be positive")
+
+
+class TieredStore:
+    """Two-tier object storage with access accounting and migration."""
+
+    HOT = "hot"
+    COLD = "cold"
+
+    def __init__(
+        self,
+        *,
+        policy: Optional[TierPolicy] = None,
+        clock: Optional[SimClock] = None,
+        hot_link: Optional[LinkModel] = None,
+        cold_link: Optional[LinkModel] = None,
+    ) -> None:
+        self.policy = policy if policy is not None else TierPolicy()
+        self.clock = clock if clock is not None else SimClock()
+        # Hot: NVMe-cache-like (sub-ms); cold: archival object store.
+        self.hot_link = hot_link if hot_link is not None else LinkModel(
+            latency_s=0.0005, bandwidth_bps=2.5e9
+        )
+        self.cold_link = cold_link if cold_link is not None else LinkModel(
+            latency_s=0.050, bandwidth_bps=2.5e7
+        )
+        self._store = ObjectStore("tiered")
+        self._store.create_bucket(self.HOT)
+        self._store.create_bucket(self.COLD)
+        self._tier: Dict[str, str] = {}
+        self._accesses: Dict[str, int] = {}
+        self.promotions = 0
+        self.demotions = 0
+
+    # -- basics ---------------------------------------------------------------
+
+    def put(self, key: str, data: bytes, *, tier: str = COLD) -> ObjectInfo:
+        """Store an object on a tier (new data lands cold by default)."""
+        if tier not in (self.HOT, self.COLD):
+            raise StorageError(f"unknown tier {tier!r}")
+        link = self.hot_link if tier == self.HOT else self.cold_link
+        self.clock.advance(link.transfer_seconds(len(data)), label=f"tier:put:{tier}")
+        old_tier = self._tier.get(key)
+        if old_tier is not None and old_tier != tier:
+            self._store.delete(old_tier, key)
+        info = self._store.put(tier, key, data)
+        self._tier[key] = tier
+        self._accesses.setdefault(key, 0)
+        return info
+
+    def get(self, key: str) -> bytes:
+        """Fetch an object, paying its tier's link cost."""
+        tier = self._tier.get(key)
+        if tier is None:
+            raise StorageError(f"no such object {key!r}")
+        data = self._store.get(tier, key)
+        link = self.hot_link if tier == self.HOT else self.cold_link
+        self.clock.advance(link.transfer_seconds(len(data)), label=f"tier:get:{tier}")
+        self._accesses[key] = self._accesses.get(key, 0) + 1
+        return data
+
+    def delete(self, key: str) -> None:
+        tier = self._tier.pop(key, None)
+        if tier is None:
+            raise StorageError(f"no such object {key!r}")
+        self._store.delete(tier, key)
+        self._accesses.pop(key, None)
+
+    def tier_of(self, key: str) -> str:
+        tier = self._tier.get(key)
+        if tier is None:
+            raise StorageError(f"no such object {key!r}")
+        return tier
+
+    def access_count(self, key: str) -> int:
+        return self._accesses.get(key, 0)
+
+    def tier_bytes(self, tier: str) -> int:
+        return sum(
+            self._store.head(t, k).size for k, t in self._tier.items() if t == tier
+        )
+
+    # -- migration ---------------------------------------------------------------
+
+    def _migrate(self, key: str, target: str) -> None:
+        source = self._tier[key]
+        if source == target:
+            return
+        data = self._store.get(source, key)
+        # Migration pays the slower tier's transfer once (read+write
+        # overlap on the faster side).
+        slow = self.cold_link
+        self.clock.advance(slow.transfer_seconds(len(data)), label=f"tier:migrate:{target}")
+        self._store.put(target, key, data)
+        self._store.delete(source, key)
+        self._tier[key] = target
+        if target == self.HOT:
+            self.promotions += 1
+        else:
+            self.demotions += 1
+
+    def run_policy(self) -> Dict[str, List[str]]:
+        """One lifecycle pass; returns {'promoted': [...], 'demoted': [...]}.
+
+        Access counters reset afterwards, so each pass judges the traffic
+        of one policy window.
+        """
+        promoted: List[str] = []
+        demoted: List[str] = []
+
+        # Demotions first: free hot capacity before promoting into it.
+        for key, tier in list(self._tier.items()):
+            if tier == self.HOT and self._accesses.get(key, 0) < self.policy.demote_below:
+                self._migrate(key, self.COLD)
+                demoted.append(key)
+
+        # Promotion candidates, hottest first.
+        candidates = sorted(
+            (k for k, t in self._tier.items() if t == self.COLD),
+            key=lambda k: -self._accesses.get(k, 0),
+        )
+        for key in candidates:
+            if self._accesses.get(key, 0) < self.policy.promote_after:
+                break  # sorted: the rest are colder
+            size = self._store.head(self.COLD, key).size
+            if self.tier_bytes(self.HOT) + size > self.policy.hot_capacity_bytes:
+                # Evict the least-accessed hot objects until it fits.
+                hot_keys = sorted(
+                    (k for k, t in self._tier.items() if t == self.HOT),
+                    key=lambda k: self._accesses.get(k, 0),
+                )
+                for victim in hot_keys:
+                    if self.tier_bytes(self.HOT) + size <= self.policy.hot_capacity_bytes:
+                        break
+                    if self._accesses.get(victim, 0) >= self._accesses.get(key, 0):
+                        break  # nothing colder than the candidate remains
+                    self._migrate(victim, self.COLD)
+                    demoted.append(victim)
+            if self.tier_bytes(self.HOT) + size <= self.policy.hot_capacity_bytes:
+                self._migrate(key, self.HOT)
+                promoted.append(key)
+
+        self._accesses = {k: 0 for k in self._tier}
+        return {"promoted": promoted, "demoted": demoted}

@@ -1,0 +1,201 @@
+"""In-memory S3-like object store.
+
+The common substrate under Seal, Dataverse, and NSDF-FUSE: named buckets
+of immutable byte objects with etags, user metadata, ranged GETs, and
+prefix listing.  Operation counters expose the access patterns the FUSE
+mapping benchmark (C5) compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.hashing import etag_for
+
+__all__ = ["Bucket", "ObjectInfo", "ObjectStore", "StorageError", "StoreStats"]
+
+
+class StorageError(KeyError):
+    """Missing bucket/object, or an invalid operation."""
+
+
+@dataclass(frozen=True)
+class ObjectInfo:
+    """Metadata of one stored object."""
+
+    bucket: str
+    key: str
+    size: int
+    etag: str
+    content_type: str = "application/octet-stream"
+    metadata: Tuple[Tuple[str, str], ...] = ()
+    sequence: int = 0
+
+    def meta_dict(self) -> Dict[str, str]:
+        return dict(self.metadata)
+
+
+@dataclass
+class StoreStats:
+    """Cumulative operation counters."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    lists: int = 0
+    heads: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    def snapshot(self) -> "StoreStats":
+        return StoreStats(**vars(self))
+
+    def delta(self, earlier: "StoreStats") -> "StoreStats":
+        return StoreStats(**{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)})
+
+
+class Bucket:
+    """One namespace of objects."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._blobs: Dict[str, bytes] = {}
+        self._infos: Dict[str, ObjectInfo] = {}
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def keys(self) -> List[str]:
+        return sorted(self._blobs)
+
+    def total_bytes(self) -> int:
+        return sum(len(b) for b in self._blobs.values())
+
+
+class ObjectStore:
+    """Multi-bucket object store with S3-flavoured semantics."""
+
+    def __init__(self, name: str = "object-store") -> None:
+        self.name = name
+        self._buckets: Dict[str, Bucket] = {}
+        self._sequence = 0
+        self.stats = StoreStats()
+
+    # -- buckets ---------------------------------------------------------------
+
+    def create_bucket(self, name: str) -> Bucket:
+        if not name or "/" in name:
+            raise StorageError(f"invalid bucket name {name!r}")
+        if name in self._buckets:
+            raise StorageError(f"bucket {name!r} already exists")
+        bucket = Bucket(name)
+        self._buckets[name] = bucket
+        return bucket
+
+    def ensure_bucket(self, name: str) -> Bucket:
+        if name not in self._buckets:
+            return self.create_bucket(name)
+        return self._buckets[name]
+
+    def delete_bucket(self, name: str) -> None:
+        bucket = self._bucket(name)
+        if len(bucket):
+            raise StorageError(f"bucket {name!r} is not empty")
+        del self._buckets[name]
+
+    def buckets(self) -> List[str]:
+        return sorted(self._buckets)
+
+    def _bucket(self, name: str) -> Bucket:
+        bucket = self._buckets.get(name)
+        if bucket is None:
+            raise StorageError(f"no such bucket {name!r}")
+        return bucket
+
+    # -- objects ------------------------------------------------------------------
+
+    def put(
+        self,
+        bucket: str,
+        key: str,
+        data: bytes,
+        *,
+        content_type: str = "application/octet-stream",
+        metadata: Optional[Dict[str, str]] = None,
+    ) -> ObjectInfo:
+        if not key:
+            raise StorageError("object key must be non-empty")
+        b = self._bucket(bucket)
+        blob = bytes(data)
+        self._sequence += 1
+        info = ObjectInfo(
+            bucket=bucket,
+            key=key,
+            size=len(blob),
+            etag=etag_for(blob),
+            content_type=content_type,
+            metadata=tuple(sorted((metadata or {}).items())),
+            sequence=self._sequence,
+        )
+        b._blobs[key] = blob
+        b._infos[key] = info
+        self.stats.puts += 1
+        self.stats.bytes_in += len(blob)
+        return info
+
+    def get(self, bucket: str, key: str) -> bytes:
+        blob = self._blob(bucket, key)
+        self.stats.gets += 1
+        self.stats.bytes_out += len(blob)
+        return blob
+
+    def get_range(self, bucket: str, key: str, offset: int, length: int) -> bytes:
+        """Ranged GET; out-of-bounds ranges raise (matching S3 416)."""
+        blob = self._blob(bucket, key)
+        if offset < 0 or length < 0 or offset + length > len(blob):
+            raise StorageError(
+                f"range {offset}+{length} out of bounds for {bucket}/{key} ({len(blob)} B)"
+            )
+        self.stats.gets += 1
+        self.stats.bytes_out += length
+        return blob[offset : offset + length]
+
+    def head(self, bucket: str, key: str) -> ObjectInfo:
+        b = self._bucket(bucket)
+        info = b._infos.get(key)
+        if info is None:
+            raise StorageError(f"no such object {bucket}/{key}")
+        self.stats.heads += 1
+        return info
+
+    def exists(self, bucket: str, key: str) -> bool:
+        return key in self._bucket(bucket)._blobs
+
+    def delete(self, bucket: str, key: str) -> None:
+        b = self._bucket(bucket)
+        if key not in b._blobs:
+            raise StorageError(f"no such object {bucket}/{key}")
+        del b._blobs[key]
+        del b._infos[key]
+        self.stats.deletes += 1
+
+    def list(self, bucket: str, prefix: str = "") -> List[ObjectInfo]:
+        b = self._bucket(bucket)
+        self.stats.lists += 1
+        return [b._infos[k] for k in sorted(b._blobs) if k.startswith(prefix)]
+
+    def _blob(self, bucket: str, key: str) -> bytes:
+        b = self._bucket(bucket)
+        blob = b._blobs.get(key)
+        if blob is None:
+            raise StorageError(f"no such object {bucket}/{key}")
+        return blob
+
+    # -- introspection ----------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        return sum(b.total_bytes() for b in self._buckets.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ObjectStore({self.name!r}, {len(self._buckets)} buckets, {self.total_bytes()} B)"

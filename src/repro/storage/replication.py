@@ -1,0 +1,139 @@
+"""Geo-replication across Seal regions with nearest-replica reads.
+
+NSDF's mission is "democratizing data delivery" (§III): the same data
+should be fast from every entry point.  With a single Seal region,
+cross-country clients eat the full WAN; replicating hot datasets to a
+few regions and routing each read to the lowest-latency replica flattens
+the access-time map.  :class:`ReplicatedSeal` implements exactly that
+over per-site :class:`~repro.storage.seal.SealStorage` regions sharing
+one token registry and one virtual clock; the replication ablation
+benchmark sweeps replica count and measures worst-site access latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.clock import SimClock
+from repro.network.topology import Testbed, default_testbed
+from repro.storage.object_store import ObjectInfo, StorageError
+from repro.storage.seal import SealByteSource, SealStorage
+
+__all__ = ["ReplicatedSeal"]
+
+
+class ReplicatedSeal:
+    """A set of Seal regions with replicated writes and nearest reads."""
+
+    def __init__(
+        self,
+        *,
+        sites: Sequence[str] = ("slc", "chi", "mghpcc"),
+        testbed: Optional[Testbed] = None,
+        clock: Optional[SimClock] = None,
+    ) -> None:
+        if not sites:
+            raise ValueError("at least one replica site is required")
+        self.testbed = testbed if testbed is not None else default_testbed()
+        self.clock = clock if clock is not None else SimClock()
+        self._tokens: Dict = {}
+        self.regions: Dict[str, SealStorage] = {}
+        for site in sites:
+            self.regions[site] = SealStorage(
+                site=site,
+                testbed=self.testbed,
+                clock=self.clock,
+                token_registry=self._tokens,
+            )
+        #: key -> sites currently holding a replica
+        self._placement: Dict[str, List[str]] = {}
+
+    # -- auth (umbrella credentials valid at every region) -----------------
+
+    def issue_token(self, principal: str, scopes: Tuple[str, ...] = ("read",)) -> str:
+        return next(iter(self.regions.values())).issue_token(principal, scopes)
+
+    def revoke_token(self, token: str) -> bool:
+        return next(iter(self.regions.values())).revoke_token(token)
+
+    # -- placement ------------------------------------------------------------
+
+    @property
+    def sites(self) -> List[str]:
+        return sorted(self.regions)
+
+    def replica_sites(self, key: str) -> List[str]:
+        sites = self._placement.get(key)
+        if not sites:
+            raise StorageError(f"no replicas of {key!r}")
+        return list(sites)
+
+    def nearest_replica(self, key: str, from_site: str) -> str:
+        """The replica site with the lowest routed latency from the client."""
+        candidates = self.replica_sites(key)
+        return min(
+            candidates,
+            key=lambda s: self.testbed.path_link(from_site, s).latency_s,
+        )
+
+    # -- data operations ----------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        data: bytes,
+        *,
+        token: str,
+        from_site: str = "knox",
+        replicas: Optional[int] = None,
+        metadata: Optional[Dict[str, str]] = None,
+    ) -> List[str]:
+        """Write to the ``replicas`` nearest regions; returns the sites.
+
+        Each replica upload pays its own WAN cost (writes fan out from
+        the client, the simple NSDF push model).  ``replicas`` defaults
+        to all regions.
+        """
+        count = len(self.regions) if replicas is None else int(replicas)
+        if not 1 <= count <= len(self.regions):
+            raise ValueError(f"replicas must be in [1, {len(self.regions)}]")
+        targets = sorted(
+            self.regions,
+            key=lambda s: self.testbed.path_link(from_site, s).latency_s,
+        )[:count]
+        for site in targets:
+            self.regions[site].put(
+                key, data, token=token, from_site=from_site, metadata=metadata
+            )
+        self._placement[key] = targets
+        return list(targets)
+
+    def get(self, key: str, *, token: str, from_site: str = "knox") -> bytes:
+        site = self.nearest_replica(key, from_site)
+        return self.regions[site].get(key, token=token, from_site=from_site)
+
+    def head(self, key: str, *, token: str) -> ObjectInfo:
+        site = self.replica_sites(key)[0]
+        return self.regions[site].head(key, token=token)
+
+    def delete(self, key: str, *, token: str) -> None:
+        for site in self.replica_sites(key):
+            self.regions[site].delete(key, token=token)
+        del self._placement[key]
+
+    def byte_source(self, key: str, *, token: str, from_site: str = "knox") -> SealByteSource:
+        """Ranged-read source against the nearest replica (for IDX streaming)."""
+        site = self.nearest_replica(key, from_site)
+        return self.regions[site].byte_source(key, token=token, from_site=from_site)
+
+    def access_latency_map(self, key: str) -> Dict[str, float]:
+        """Per-client-site one-way latency to the nearest replica of ``key``.
+
+        The "tide that lifts all boats" picture: more replicas flatten
+        this map.
+        """
+        out = {}
+        for client in self.testbed.sites:
+            site = self.nearest_replica(key, client)
+            out[client] = self.testbed.path_link(client, site).latency_s
+        return out

@@ -1,0 +1,211 @@
+"""Seal Storage analogue: private, token-authenticated cloud object storage.
+
+In the tutorial, Seal Storage is the *private* option for Steps 3-4:
+validated IDX data lives in the cloud and the dashboard streams
+subregions from it without local copies (§IV-C/D).  The analogue wraps
+an :class:`~repro.storage.object_store.ObjectStore` with
+
+- bearer-token authentication (read/write scopes, revocation),
+- a home *site* on the simulated testbed, so every operation from a
+  client site charges the routed link's latency + serialisation time to
+  a shared :class:`~repro.network.clock.SimClock`, and
+- :meth:`SealStorage.byte_source` — a ranged-read view over one object
+  that plugs directly into :class:`repro.idx.access.RemoteAccess` for
+  block-granular IDX streaming (each block fetch pays one simulated
+  round trip, which is what makes the cache benchmark meaningful).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.clock import SimClock
+from repro.network.links import LinkModel
+from repro.network.topology import Testbed, default_testbed
+from repro.storage.object_store import ObjectInfo, ObjectStore, StorageError
+
+__all__ = ["AuthError", "SealByteSource", "SealStorage"]
+
+
+class AuthError(PermissionError):
+    """Missing, revoked, or under-scoped token."""
+
+
+@dataclass(frozen=True)
+class _TokenRecord:
+    principal: str
+    scopes: Tuple[str, ...]
+
+
+class SealStorage:
+    """Private object storage with auth and simulated WAN access costs."""
+
+    VALID_SCOPES = ("read", "write", "admin")
+
+    def __init__(
+        self,
+        *,
+        store: Optional[ObjectStore] = None,
+        site: str = "slc",
+        testbed: Optional[Testbed] = None,
+        clock: Optional[SimClock] = None,
+        bucket: str = "sealed",
+        token_registry: Optional[Dict[str, "_TokenRecord"]] = None,
+    ) -> None:
+        self.store = store if store is not None else ObjectStore("seal")
+        self.testbed = testbed if testbed is not None else default_testbed()
+        if site not in self.testbed.sites:
+            raise KeyError(f"unknown site {site!r}")
+        self.site = site
+        self.clock = clock if clock is not None else SimClock()
+        self.bucket = bucket
+        self.store.ensure_bucket(bucket)
+        # A shared registry lets a replication layer span regions with one
+        # credential set; by default each region stands alone.
+        self._tokens: Dict[str, _TokenRecord] = (
+            token_registry if token_registry is not None else {}
+        )
+
+    # -- auth ---------------------------------------------------------------
+
+    def issue_token(self, principal: str, scopes: Tuple[str, ...] = ("read",)) -> str:
+        """Mint a bearer token for ``principal`` with the given scopes."""
+        bad = set(scopes) - set(self.VALID_SCOPES)
+        if bad:
+            raise ValueError(f"unknown scopes {sorted(bad)}")
+        token = secrets.token_hex(16)
+        self._tokens[token] = _TokenRecord(principal, tuple(scopes))
+        return token
+
+    def revoke_token(self, token: str) -> bool:
+        return self._tokens.pop(token, None) is not None
+
+    def _auth(self, token: Optional[str], scope: str) -> _TokenRecord:
+        if token is None:
+            raise AuthError("Seal Storage requires a token")
+        record = self._tokens.get(token)
+        if record is None:
+            raise AuthError("invalid or revoked token")
+        if scope not in record.scopes and "admin" not in record.scopes:
+            raise AuthError(f"token lacks {scope!r} scope")
+        return record
+
+    # -- link accounting -------------------------------------------------------
+
+    def _link(self, from_site: str) -> LinkModel:
+        return self.testbed.path_link(from_site, self.site)
+
+    def _charge(self, from_site: str, nbytes: int, op: str) -> None:
+        seconds = self._link(from_site).transfer_seconds(nbytes)
+        self.clock.advance(seconds, label=f"seal:{op}:{from_site}->{self.site}")
+
+    # -- object operations ---------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        data: bytes,
+        *,
+        token: str,
+        from_site: str = "knox",
+        metadata: Optional[Dict[str, str]] = None,
+    ) -> ObjectInfo:
+        self._auth(token, "write")
+        self._charge(from_site, len(data), "put")
+        return self.store.put(self.bucket, key, data, metadata=metadata)
+
+    def get(self, key: str, *, token: str, from_site: str = "knox") -> bytes:
+        self._auth(token, "read")
+        blob = self.store.get(self.bucket, key)
+        self._charge(from_site, len(blob), "get")
+        return blob
+
+    def get_range(
+        self, key: str, offset: int, length: int, *, token: str, from_site: str = "knox"
+    ) -> bytes:
+        self._auth(token, "read")
+        chunk = self.store.get_range(self.bucket, key, offset, length)
+        self._charge(from_site, len(chunk), "get_range")
+        return chunk
+
+    def get_ranges(
+        self,
+        key: str,
+        ranges: List[Tuple[int, int]],
+        *,
+        token: str,
+        from_site: str = "knox",
+    ) -> List[bytes]:
+        """Pipelined multi-range GET: one round-trip latency for the batch.
+
+        Models an HTTP multi-range request (or HTTP/2 pipelining): the
+        link latency is paid once and the payloads share the
+        serialisation time — what makes batched block prefetch fast.
+        """
+        self._auth(token, "read")
+        chunks = [self.store.get_range(self.bucket, key, off, ln) for off, ln in ranges]
+        total = sum(len(c) for c in chunks)
+        self._charge(from_site, total, "get_ranges")
+        return chunks
+
+    def head(self, key: str, *, token: str) -> ObjectInfo:
+        self._auth(token, "read")
+        return self.store.head(self.bucket, key)
+
+    def delete(self, key: str, *, token: str) -> None:
+        self._auth(token, "write")
+        self.store.delete(self.bucket, key)
+
+    def list(self, prefix: str = "", *, token: str) -> List[ObjectInfo]:
+        self._auth(token, "read")
+        return self.store.list(self.bucket, prefix)
+
+    # -- streaming ---------------------------------------------------------------------
+
+    def byte_source(self, key: str, *, token: str, from_site: str = "knox") -> "SealByteSource":
+        """Ranged-read view over one object for IDX remote streaming."""
+        self._auth(token, "read")
+        size = self.store.head(self.bucket, key).size
+        return SealByteSource(self, key, token, from_site, size)
+
+
+class SealByteSource:
+    """:class:`repro.idx.idxfile.ByteSource` over one sealed object.
+
+    Every ``read_at`` is a ranged GET with full simulated network cost —
+    the access pattern a :class:`~repro.idx.access.CachedAccess` is meant
+    to amortise.
+    """
+
+    def __init__(
+        self, seal: SealStorage, key: str, token: str, from_site: str, size: int
+    ) -> None:
+        self._seal = seal
+        self._key = key
+        self._token = token
+        self._from_site = from_site
+        self._size = size
+        self.requests = 0
+        self.bytes_transferred = 0
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        chunk = self._seal.get_range(
+            self._key, offset, length, token=self._token, from_site=self._from_site
+        )
+        self.requests += 1
+        self.bytes_transferred += len(chunk)
+        return chunk
+
+    def read_many(self, ranges: List[Tuple[int, int]]) -> List[bytes]:
+        """Batched ranged reads: one round trip for the whole list."""
+        chunks = self._seal.get_ranges(
+            self._key, ranges, token=self._token, from_site=self._from_site
+        )
+        self.requests += 1
+        self.bytes_transferred += sum(len(c) for c in chunks)
+        return chunks
+
+    def size(self) -> int:
+        return self._size

@@ -1,0 +1,83 @@
+"""Upload / download / stream helpers tying storage to the data fabric.
+
+These are the verbs of tutorial goal 2 ("upload, download, and stream
+data to and from both public and private storage solutions", §II) plus
+the streaming entry point Step 4 uses: open an IDX dataset that physically
+lives in Seal Storage and read it block-by-block over the simulated WAN,
+optionally through a shared block cache.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.idx.access import CachedAccess, RemoteAccess
+from repro.idx.cache import BlockCache
+from repro.idx.dataset import IdxDataset
+from repro.storage.object_store import ObjectStore
+from repro.storage.seal import SealStorage
+
+__all__ = ["download_object", "open_remote_idx", "upload_file", "upload_idx_to_seal"]
+
+
+def upload_file(
+    local_path: str,
+    store: ObjectStore,
+    bucket: str,
+    key: Optional[str] = None,
+    *,
+    metadata: Optional[dict] = None,
+) -> str:
+    """Upload a local file to a (public) object store; returns the key."""
+    key = key or os.path.basename(local_path)
+    with open(local_path, "rb") as fh:
+        data = fh.read()
+    store.ensure_bucket(bucket)
+    store.put(bucket, key, data, metadata={k: str(v) for k, v in (metadata or {}).items()})
+    return key
+
+
+def upload_idx_to_seal(
+    idx_path: str,
+    seal: SealStorage,
+    key: Optional[str] = None,
+    *,
+    token: str,
+    from_site: str = "knox",
+) -> str:
+    """Upload an IDX file into private Seal Storage (charges the WAN link)."""
+    key = key or os.path.basename(idx_path)
+    with open(idx_path, "rb") as fh:
+        data = fh.read()
+    seal.put(key, data, token=token, from_site=from_site)
+    return key
+
+
+def download_object(store: ObjectStore, bucket: str, key: str, dest_path: str) -> int:
+    """Download an object to a local file; returns bytes written."""
+    data = store.get(bucket, key)
+    with open(dest_path, "wb") as fh:
+        fh.write(data)
+    return len(data)
+
+
+def open_remote_idx(
+    seal: SealStorage,
+    key: str,
+    *,
+    token: str,
+    from_site: str = "knox",
+    cache: Optional[BlockCache] = None,
+) -> IdxDataset:
+    """Open an IDX dataset streamed from Seal Storage (Step 4, Option B).
+
+    Every block read pays the simulated ranged-GET cost; pass a
+    :class:`BlockCache` to amortise repeated interaction (the dashboard's
+    normal operating mode).
+    """
+    source = seal.byte_source(key, token=token, from_site=from_site)
+    access = RemoteAccess(source, uri=f"seal://{seal.site}/{seal.bucket}/{key}")
+    if cache is not None:
+        access = CachedAccess(access, cache)
+    return IdxDataset.from_access(access)

@@ -1,0 +1,42 @@
+"""Survey and participation data — the paper's evaluation (§V).
+
+The evaluation of this experience paper is Table I (participants per
+venue) and Fig. 8 (four Likert survey charts).  Table I is transcribed
+verbatim; the Fig. 8 charts carry no numeric labels in the paper, so the
+distributions here are documented *estimates* consistent with the
+reported qualitative outcome ("overwhelmingly positive") — see
+EXPERIMENTS.md for the substitution note.
+
+- :mod:`repro.survey.roster` — Table I as data, with aggregations;
+- :mod:`repro.survey.likert` — Likert-scale machinery;
+- :mod:`repro.survey.results` — the Fig. 8 questions and distributions;
+- :mod:`repro.survey.simulate` — per-respondent record synthesis that
+  reproduces the marginals exactly.
+"""
+
+from repro.survey.likert import LIKERT_LEVELS, Distribution, LikertLevel
+from repro.survey.roster import TABLE1_ROWS, TutorialVenue, total_participants, by_modality, by_audience
+from repro.survey.results import (
+    FIG8_QUESTIONS,
+    PARTICIPANT_QUOTES,
+    SurveyQuestion,
+    fig8_distributions,
+)
+from repro.survey.simulate import SurveyResponse, simulate_responses
+
+__all__ = [
+    "Distribution",
+    "FIG8_QUESTIONS",
+    "LIKERT_LEVELS",
+    "LikertLevel",
+    "PARTICIPANT_QUOTES",
+    "SurveyQuestion",
+    "SurveyResponse",
+    "TABLE1_ROWS",
+    "TutorialVenue",
+    "by_audience",
+    "by_modality",
+    "fig8_distributions",
+    "simulate_responses",
+    "total_participants",
+]

@@ -1,0 +1,105 @@
+"""Likert-scale machinery for the tutorial surveys."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["Distribution", "LIKERT_LEVELS", "LikertLevel"]
+
+
+class LikertLevel(enum.IntEnum):
+    """Standard five-point agreement scale (ordering is meaningful)."""
+
+    STRONGLY_DISAGREE = 1
+    DISAGREE = 2
+    NEUTRAL = 3
+    AGREE = 4
+    STRONGLY_AGREE = 5
+
+    @property
+    def label(self) -> str:
+        return self.name.replace("_", " ").title()
+
+
+LIKERT_LEVELS: Tuple[LikertLevel, ...] = tuple(LikertLevel)
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Counts per Likert level for one question."""
+
+    counts: Tuple[int, ...]  # aligned with LIKERT_LEVELS
+
+    def __post_init__(self) -> None:
+        if len(self.counts) != len(LIKERT_LEVELS):
+            raise ValueError(f"need {len(LIKERT_LEVELS)} counts, got {len(self.counts)}")
+        if any(c < 0 for c in self.counts):
+            raise ValueError("counts must be non-negative")
+
+    @classmethod
+    def from_responses(cls, responses: Iterable[LikertLevel]) -> "Distribution":
+        counts = [0] * len(LIKERT_LEVELS)
+        for r in responses:
+            counts[int(r) - 1] += 1
+        return cls(tuple(counts))
+
+    @classmethod
+    def from_dict(cls, d: Dict[LikertLevel, int]) -> "Distribution":
+        return cls(tuple(int(d.get(level, 0)) for level in LIKERT_LEVELS))
+
+    # -- statistics ------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def count(self, level: LikertLevel) -> int:
+        return self.counts[int(level) - 1]
+
+    @property
+    def percent_positive(self) -> float:
+        """Share of Agree + Strongly Agree (the headline survey number)."""
+        if self.total == 0:
+            return 0.0
+        pos = self.count(LikertLevel.AGREE) + self.count(LikertLevel.STRONGLY_AGREE)
+        return 100.0 * pos / self.total
+
+    @property
+    def percent_negative(self) -> float:
+        if self.total == 0:
+            return 0.0
+        neg = self.count(LikertLevel.DISAGREE) + self.count(LikertLevel.STRONGLY_DISAGREE)
+        return 100.0 * neg / self.total
+
+    @property
+    def mean_score(self) -> float:
+        """Mean on the 1-5 scale."""
+        if self.total == 0:
+            return 0.0
+        return sum(int(lvl) * c for lvl, c in zip(LIKERT_LEVELS, self.counts)) / self.total
+
+    @property
+    def mode(self) -> LikertLevel:
+        if self.total == 0:
+            raise ValueError("empty distribution has no mode")
+        best = max(range(len(self.counts)), key=lambda i: self.counts[i])
+        return LIKERT_LEVELS[best]
+
+    def combine(self, other: "Distribution") -> "Distribution":
+        return Distribution(tuple(a + b for a, b in zip(self.counts, other.counts)))
+
+    def as_percentages(self) -> Tuple[float, ...]:
+        if self.total == 0:
+            return tuple(0.0 for _ in self.counts)
+        return tuple(100.0 * c / self.total for c in self.counts)
+
+    def bar_chart(self, width: int = 40) -> str:
+        """ASCII rendering of the distribution (the Fig. 8 chart shape)."""
+        lines: List[str] = []
+        peak = max(self.counts) or 1
+        for level, count in zip(LIKERT_LEVELS, self.counts):
+            bar = "#" * round(width * count / peak)
+            lines.append(f"{level.label:<18s} {count:4d} {bar}")
+        return "\n".join(lines)

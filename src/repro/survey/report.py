@@ -1,0 +1,94 @@
+"""Evaluation report generator — the §V narrative as a derived artifact.
+
+Renders the paper's Results section from the data modules: Table I
+participation, Fig. 8 distributions with ASCII charts, participant
+quotes, and computed key findings.  Used by the CLI (``repro report``)
+and by instructors running new tutorial sessions who want the same
+report over their own gradebook.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.survey.likert import Distribution
+from repro.survey.results import FIG8_QUESTIONS, PARTICIPANT_QUOTES, fig8_distributions
+from repro.survey.roster import TABLE1_ROWS, by_audience, by_modality, total_participants
+
+__all__ = ["evaluation_report", "key_findings"]
+
+
+def key_findings(distributions: Optional[Dict[str, Distribution]] = None) -> List[str]:
+    """Computed one-line findings, mirroring the §V claims."""
+    dists = distributions if distributions is not None else fig8_distributions()
+    findings = [
+        f"{total_participants()} participants across {len(TABLE1_ROWS)} venues "
+        f"({by_modality()['In-person']} in person, {by_modality()['Virtual']} virtual)."
+    ]
+    worst = min(dists.items(), key=lambda kv: kv[1].percent_positive)
+    best = max(dists.items(), key=lambda kv: kv[1].percent_positive)
+    findings.append(
+        f"Every survey dimension rated positively by >{worst[1].percent_positive:.0f}% "
+        f"of respondents (range {worst[1].percent_positive:.1f}%–"
+        f"{best[1].percent_positive:.1f}%)."
+    )
+    mean_of_means = sum(d.mean_score for d in dists.values()) / len(dists)
+    findings.append(f"Mean agreement {mean_of_means:.2f} on the 1–5 scale across all questions.")
+    top_q = next(q for q in FIG8_QUESTIONS if q.qid == best[0])
+    findings.append(f'Strongest result: "{top_q.statement}" ({best[1].percent_positive:.1f}% positive).')
+    audiences = by_audience()
+    largest = max(audiences.items(), key=lambda kv: kv[1])
+    findings.append(
+        f"Broadest audience segment: {largest[0].lower()} ({largest[1]} participants)."
+    )
+    return findings
+
+
+def evaluation_report(
+    *,
+    distributions: Optional[Dict[str, Distribution]] = None,
+    chart_width: int = 32,
+) -> str:
+    """The full Results-section report as formatted text."""
+    dists = distributions if distributions is not None else fig8_distributions()
+    lines: List[str] = []
+    bar = "=" * 70
+
+    lines += [bar, "NSDF TUTORIAL EVALUATION REPORT", bar, ""]
+
+    lines.append("1. PARTICIPATION (Table I)")
+    lines.append("-" * 70)
+    for row in TABLE1_ROWS:
+        lines.append(f"  {row.participants:>3d}  {row.modality:<10s} {row.audience:<38s}")
+        lines.append(f"       {row.venue}")
+    lines.append(f"  {total_participants():>3d}  TOTAL")
+    lines.append("")
+
+    lines.append("2. SURVEY RESULTS (Fig. 8; distributions are estimates)")
+    lines.append("-" * 70)
+    for q in FIG8_QUESTIONS:
+        dist = dists[q.qid]
+        lines.append(f"({q.qid}) {q.statement}")
+        lines.append(f"    category: {q.category}")
+        for chart_line in dist.bar_chart(width=chart_width).split("\n"):
+            lines.append("    " + chart_line)
+        lines.append(
+            f"    positive {dist.percent_positive:.1f}% | "
+            f"negative {dist.percent_negative:.1f}% | "
+            f"mean {dist.mean_score:.2f}/5 | mode {dist.mode.label}"
+        )
+        lines.append("")
+
+    lines.append("3. PARTICIPANT FEEDBACK (verbatim, from the paper)")
+    lines.append("-" * 70)
+    for role, quote in PARTICIPANT_QUOTES:
+        lines.append(f'  "{quote}" — {role}')
+    lines.append("")
+
+    lines.append("4. KEY FINDINGS")
+    lines.append("-" * 70)
+    for finding in key_findings(dists):
+        lines.append(f"  * {finding}")
+    lines.append("")
+    lines.append(bar)
+    return "\n".join(lines)

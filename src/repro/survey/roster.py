@@ -1,0 +1,77 @@
+"""Table I: participants and professional backgrounds per venue.
+
+Transcribed verbatim from the paper.  (Note: §II's prose gives slightly
+different per-venue counts — 35 at the All Hands Meeting, 12 at Delaware,
+37 at the webinar — an internal inconsistency of the paper; Table I is
+taken as canonical since the paper's own total of 108 matches it.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["TABLE1_ROWS", "TutorialVenue", "by_audience", "by_modality", "total_participants"]
+
+
+@dataclass(frozen=True)
+class TutorialVenue:
+    """One row of Table I."""
+
+    venue: str
+    modality: str  # "In-person" | "Virtual"
+    audience: str
+    participants: int
+
+    def __post_init__(self) -> None:
+        if self.modality not in ("In-person", "Virtual"):
+            raise ValueError(f"unknown modality {self.modality!r}")
+        if self.participants <= 0:
+            raise ValueError("participants must be positive")
+
+
+TABLE1_ROWS: Tuple[TutorialVenue, ...] = (
+    TutorialVenue(
+        "National Science Data Fabric All Hands Meeting, San Diego Supercomputer Center",
+        "In-person",
+        "Computer science experts",
+        25,
+    ),
+    TutorialVenue(
+        "Research group, University of Delaware",
+        "Virtual",
+        "Domain science experts",
+        15,
+    ),
+    TutorialVenue(
+        "National Science Data Fabric Webinar",
+        "Virtual",
+        "General public",
+        36,
+    ),
+    TutorialVenue(
+        "Class at the University of Tennessee Knoxville (undergraduate and graduate students)",
+        "In-person",
+        "Undergraduate and graduate students",
+        32,
+    ),
+)
+
+
+def total_participants(rows: Tuple[TutorialVenue, ...] = TABLE1_ROWS) -> int:
+    """The paper's bottom-line: 108 across all sessions."""
+    return sum(r.participants for r in rows)
+
+
+def by_modality(rows: Tuple[TutorialVenue, ...] = TABLE1_ROWS) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for r in rows:
+        out[r.modality] = out.get(r.modality, 0) + r.participants
+    return out
+
+
+def by_audience(rows: Tuple[TutorialVenue, ...] = TABLE1_ROWS) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for r in rows:
+        out[r.audience] = out.get(r.audience, 0) + r.participants
+    return out

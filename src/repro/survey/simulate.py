@@ -1,0 +1,99 @@
+"""Per-respondent survey record synthesis.
+
+The paper reports aggregates; downstream analyses (per-venue breakdowns,
+cross-tabs) need respondent-level records.  :func:`simulate_responses`
+synthesises one record per Table I participant whose per-question
+aggregate *exactly* equals the target distributions — the level labels
+are dealt out to match the marginal counts and shuffled with a seeded
+RNG, so every re-aggregation in tests is deterministic and lossless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.survey.likert import Distribution, LIKERT_LEVELS, LikertLevel
+from repro.survey.results import fig8_distributions
+from repro.survey.roster import TABLE1_ROWS, TutorialVenue
+
+__all__ = ["SurveyResponse", "simulate_responses", "aggregate"]
+
+
+@dataclass(frozen=True)
+class SurveyResponse:
+    """One respondent's answers."""
+
+    respondent_id: int
+    venue: str
+    modality: str
+    audience: str
+    answers: Tuple[Tuple[str, LikertLevel], ...]
+
+    def answer(self, qid: str) -> LikertLevel:
+        for q, level in self.answers:
+            if q == qid:
+                return level
+        raise KeyError(f"no answer for question {qid!r}")
+
+
+def _deal_levels(dist: Distribution, rng: np.random.Generator) -> List[LikertLevel]:
+    """Expand a distribution into a shuffled list of level labels."""
+    deck: List[LikertLevel] = []
+    for level, count in zip(LIKERT_LEVELS, dist.counts):
+        deck.extend([level] * count)
+    order = rng.permutation(len(deck))
+    return [deck[i] for i in order]
+
+
+def simulate_responses(
+    *,
+    seed: int = 0,
+    distributions: Optional[Dict[str, Distribution]] = None,
+    rows: Tuple[TutorialVenue, ...] = TABLE1_ROWS,
+) -> List[SurveyResponse]:
+    """One record per participant, exactly matching the marginals."""
+    dists = distributions if distributions is not None else fig8_distributions()
+    total = sum(r.participants for r in rows)
+    for qid, dist in dists.items():
+        if dist.total != total:
+            raise ValueError(
+                f"question {qid!r} distribution covers {dist.total} respondents, roster has {total}"
+            )
+    rng = np.random.default_rng(seed)
+    decks = {qid: _deal_levels(dist, rng) for qid, dist in dists.items()}
+
+    responses: List[SurveyResponse] = []
+    idx = 0
+    for row in rows:
+        for _ in range(row.participants):
+            answers = tuple((qid, decks[qid][idx]) for qid in sorted(decks))
+            responses.append(
+                SurveyResponse(
+                    respondent_id=idx,
+                    venue=row.venue,
+                    modality=row.modality,
+                    audience=row.audience,
+                    answers=answers,
+                )
+            )
+            idx += 1
+    return responses
+
+
+def aggregate(
+    responses: List[SurveyResponse],
+    qid: str,
+    *,
+    venue: Optional[str] = None,
+    modality: Optional[str] = None,
+) -> Distribution:
+    """Re-aggregate respondent records into a distribution (with filters)."""
+    levels = [
+        r.answer(qid)
+        for r in responses
+        if (venue is None or r.venue == venue) and (modality is None or r.modality == modality)
+    ]
+    return Distribution.from_responses(levels)

@@ -1,0 +1,60 @@
+"""Terrain generation and terrain-parameter computation (GEOtiled analogue).
+
+Step 1 of the tutorial generates "high-resolution terrain parameters using
+DEMs and leverages data partitioning to accelerate computation while
+preserving accuracy" (§IV-A).  The USGS source DEMs are substituted by
+seeded synthetic generators (see DESIGN.md); the parameter kernels and the
+partition → compute → mosaic pipeline are faithful implementations:
+
+- :mod:`repro.terrain.dem` — synthetic DEMs (spectral fBm,
+  diamond-square, composable landforms);
+- :mod:`repro.terrain.parameters` — slope, aspect, hillshade (Horn 1981),
+  plus roughness/TPI extras, all vectorized;
+- :mod:`repro.terrain.geotiled` — tile partitioning with halos, parallel
+  per-tile computation, exact mosaicking;
+- :mod:`repro.terrain.crs` — the tutorial's geographic regions (CONUS,
+  Tennessee) and grid helpers;
+- :mod:`repro.terrain.quality` — tiled-vs-global accuracy analysis.
+"""
+
+from repro.terrain.dem import (
+    composite_terrain,
+    diamond_square,
+    gaussian_hills,
+    spectral_fbm,
+)
+from repro.terrain.parameters import (
+    TERRAIN_PARAMETERS,
+    aspect,
+    compute_parameter,
+    hillshade,
+    roughness,
+    slope,
+    tpi,
+)
+from repro.terrain.geotiled import GeoTiler, TileSpec, compute_tiled, partition
+from repro.terrain.crs import REGIONS, Region, grid_shape_for_region
+from repro.terrain.quality import seam_report, tiled_accuracy
+
+__all__ = [
+    "GeoTiler",
+    "REGIONS",
+    "Region",
+    "TERRAIN_PARAMETERS",
+    "TileSpec",
+    "aspect",
+    "composite_terrain",
+    "compute_parameter",
+    "compute_tiled",
+    "diamond_square",
+    "gaussian_hills",
+    "grid_shape_for_region",
+    "hillshade",
+    "partition",
+    "roughness",
+    "seam_report",
+    "slope",
+    "spectral_fbm",
+    "tiled_accuracy",
+    "tpi",
+]

@@ -1,0 +1,91 @@
+"""Geographic regions and grid helpers for the tutorial datasets.
+
+The tutorial "visualizes and analyzes two specific geographical regions:
+the State of Tennessee and the Contiguous United States (CONUS), both at
+a 30-meter resolution" (§IV-D).  At 30 m the CONUS grid is ~150k x 90k
+samples; :func:`grid_shape_for_region` applies a scale divisor so the
+same geometry runs at laptop size while keeping the regions' true aspect
+ratios and georeferencing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.formats.metadata import GeoReference
+
+__all__ = ["REGIONS", "Region", "grid_shape_for_region"]
+
+#: Metres per degree of latitude (spherical approximation).
+M_PER_DEG_LAT = 111_320.0
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named lon/lat bounding box (degrees, WGS84)."""
+
+    name: str
+    west: float
+    south: float
+    east: float
+    north: float
+
+    def __post_init__(self) -> None:
+        if not (self.west < self.east and self.south < self.north):
+            raise ValueError(f"degenerate region bounds for {self.name}")
+
+    @property
+    def center_lat(self) -> float:
+        return 0.5 * (self.south + self.north)
+
+    def extent_m(self) -> Tuple[float, float]:
+        """(north-south, east-west) extent in metres at the centre latitude."""
+        ns = (self.north - self.south) * M_PER_DEG_LAT
+        ew = (self.east - self.west) * M_PER_DEG_LAT * math.cos(math.radians(self.center_lat))
+        return ns, ew
+
+    def grid_shape(self, resolution_m: float = 30.0) -> Tuple[int, int]:
+        """(rows, cols) of the raster covering the region at ``resolution_m``."""
+        if resolution_m <= 0:
+            raise ValueError("resolution must be positive")
+        ns, ew = self.extent_m()
+        return max(1, round(ns / resolution_m)), max(1, round(ew / resolution_m))
+
+    def georeference(self, resolution_m: float = 30.0) -> GeoReference:
+        """North-up georeference anchored at the region's northwest corner."""
+        deg_per_m_lat = 1.0 / M_PER_DEG_LAT
+        deg_per_m_lon = 1.0 / (M_PER_DEG_LAT * math.cos(math.radians(self.center_lat)))
+        return GeoReference(
+            origin=(self.west, self.north),
+            pixel_size=(resolution_m * deg_per_m_lon, -resolution_m * deg_per_m_lat),
+            crs="EPSG:4326",
+        )
+
+
+#: The two tutorial regions plus the full-CONUS context they sit in.
+REGIONS: Dict[str, Region] = {
+    "conus": Region("conus", west=-124.8, south=24.4, east=-66.9, north=49.4),
+    "tennessee": Region("tennessee", west=-90.31, south=34.98, east=-81.65, north=36.68),
+}
+
+
+def grid_shape_for_region(
+    region: "Region | str",
+    *,
+    resolution_m: float = 30.0,
+    scale_divisor: int = 1,
+) -> Tuple[int, int]:
+    """Raster shape for a region, optionally scaled down for laptop runs.
+
+    ``scale_divisor`` divides both dimensions (e.g. 512 turns the 30 m
+    CONUS grid of ~93k x 155k into ~182 x 303) while the benchmark
+    harness reports the equivalent full-scale numbers.
+    """
+    if isinstance(region, str):
+        region = REGIONS[region]
+    if scale_divisor < 1:
+        raise ValueError("scale_divisor must be >= 1")
+    rows, cols = region.grid_shape(resolution_m)
+    return max(2, rows // scale_divisor), max(2, cols // scale_divisor)

@@ -1,0 +1,127 @@
+"""Hydrological terrain parameters: D8 flow direction, accumulation,
+and watershed labelling.
+
+The GEOtiled paper (ref. [26]) computes hydrology-relevant terrain
+parameters for "precision agriculture, wildfire prevention, and
+hydrological ecosystems" (§I); flow accumulation is the canonical one
+(it is how channel networks are extracted from DEMs).  Implemented here:
+
+- :func:`flow_direction` — D8: each cell drains to its steepest
+  downslope neighbour (the standard O'Callaghan & Mark 1984 scheme);
+- :func:`flow_accumulation` — number of upstream cells draining
+  through each cell, computed by processing cells in descending
+  elevation order (an O(n log n) topological sweep, loop-free in the
+  graph sense because water only flows downhill);
+- :func:`watersheds` — connected drainage basins labelled by following
+  each cell's flow path to its terminal sink.
+
+Flow accumulation cannot use a halo of fixed width (its footprint is
+the whole upstream area), so it is the example of a parameter GEOtiled
+must compute globally — asserted by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["D8_OFFSETS", "flow_accumulation", "flow_direction", "watersheds"]
+
+#: D8 neighbour offsets, indexed by direction code 0..7
+#: (E, SE, S, SW, W, NW, N, NE — the ESRI-style ordering).
+D8_OFFSETS: Tuple[Tuple[int, int], ...] = (
+    (0, 1), (1, 1), (1, 0), (1, -1), (0, -1), (-1, -1), (-1, 0), (-1, 1),
+)
+
+#: Flat/sink marker in the direction raster.
+SINK = -1
+
+
+def flow_direction(dem: np.ndarray, cellsize: float = 30.0) -> np.ndarray:
+    """D8 direction codes (0..7 per :data:`D8_OFFSETS`; -1 for sinks).
+
+    Each cell points at the neighbour with the steepest positive
+    downslope gradient (diagonal distances scaled by sqrt(2)); cells
+    with no lower neighbour (pits, flats, and cells draining off the
+    raster edge) are marked ``SINK``.
+    """
+    z = np.asarray(dem, dtype=np.float64)
+    if z.ndim != 2:
+        raise ValueError("flow_direction expects a 2-D DEM")
+    if cellsize <= 0:
+        raise ValueError("cellsize must be positive")
+    ny, nx = z.shape
+    best_drop = np.zeros((ny, nx), dtype=np.float64)
+    direction = np.full((ny, nx), SINK, dtype=np.int8)
+    padded = np.pad(z, 1, mode="constant", constant_values=np.inf)
+    for code, (dy, dx) in enumerate(D8_OFFSETS):
+        neighbour = padded[1 + dy : 1 + dy + ny, 1 + dx : 1 + dx + nx]
+        dist = cellsize * (np.sqrt(2.0) if dy and dx else 1.0)
+        drop = (z - neighbour) / dist
+        better = drop > best_drop
+        direction[better] = code
+        best_drop[better] = drop[better]
+    return direction
+
+
+def flow_accumulation(dem: np.ndarray, cellsize: float = 30.0) -> np.ndarray:
+    """Upstream cell count per cell (each cell counts itself once).
+
+    Cells are swept from highest to lowest; by the time a cell is
+    processed every upstream contributor has already pushed its count,
+    so one pass suffices.  Ties in elevation are broken by index, which
+    is safe because D8 only drains to *strictly* lower neighbours.
+    """
+    z = np.asarray(dem, dtype=np.float64)
+    direction = flow_direction(z, cellsize)
+    ny, nx = z.shape
+    acc = np.ones((ny, nx), dtype=np.int64)
+
+    order = np.argsort(z, axis=None)[::-1]  # high -> low
+    rows, cols = np.unravel_index(order, z.shape)
+    dirs_flat = direction[rows, cols]
+    for i in range(order.size):
+        code = dirs_flat[i]
+        if code < 0:
+            continue
+        dy, dx = D8_OFFSETS[code]
+        r, c = rows[i] + dy, cols[i] + dx
+        if 0 <= r < ny and 0 <= c < nx:
+            acc[r, c] += acc[rows[i], cols[i]]
+    return acc
+
+
+def watersheds(dem: np.ndarray, cellsize: float = 30.0) -> np.ndarray:
+    """Label each cell with the id of the sink it ultimately drains to.
+
+    Labels are assigned by path compression: every cell follows its D8
+    pointer chain to a terminal sink; all cells sharing a sink share a
+    basin id (0..n_basins-1, ordered by sink flat-index).
+    """
+    z = np.asarray(dem, dtype=np.float64)
+    direction = flow_direction(z, cellsize)
+    ny, nx = z.shape
+    # next_cell[i] = flat index this cell drains to (itself if sink/edge).
+    flat_dir = direction.reshape(-1)
+    idx = np.arange(ny * nx, dtype=np.int64)
+    rows, cols = np.divmod(idx, nx)
+    next_cell = idx.copy()
+    for code, (dy, dx) in enumerate(D8_OFFSETS):
+        mask = flat_dir == code
+        r = rows[mask] + dy
+        c = cols[mask] + dx
+        inside = (r >= 0) & (r < ny) & (c >= 0) & (c < nx)
+        target = np.where(inside, r * nx + c, idx[mask])
+        next_cell[mask] = target
+
+    # Pointer doubling: next_cell converges to each cell's terminal sink
+    # in O(log path-length) rounds (paths are acyclic: strictly downhill).
+    while True:
+        jumped = next_cell[next_cell]
+        if np.array_equal(jumped, next_cell):
+            break
+        next_cell = jumped
+
+    sinks, labels = np.unique(next_cell, return_inverse=True)
+    return labels.reshape(ny, nx).astype(np.int32)

@@ -1,0 +1,41 @@
+"""Shared low-level utilities for the NSDF reproduction stack.
+
+Nothing in this package knows about IDX, terrain, or storage; it is the
+dependency-free bottom layer: array/box helpers, content hashing, timers,
+byte-size units, and a tiny structured logger.
+"""
+
+from repro.util.arrays import (
+    Box,
+    as_float_raster,
+    assert_shape,
+    block_iter,
+    ceil_div,
+    is_power_of_two,
+    next_power_of_two,
+    normalize_box,
+)
+from repro.util.hashing import content_digest, etag_for, stable_hash
+from repro.util.logging import get_logger
+from repro.util.timer import Stopwatch, format_seconds
+from repro.util.units import format_bytes, format_rate, parse_bytes
+
+__all__ = [
+    "Box",
+    "Stopwatch",
+    "as_float_raster",
+    "assert_shape",
+    "block_iter",
+    "ceil_div",
+    "content_digest",
+    "etag_for",
+    "format_bytes",
+    "format_rate",
+    "format_seconds",
+    "get_logger",
+    "is_power_of_two",
+    "next_power_of_two",
+    "normalize_box",
+    "parse_bytes",
+    "stable_hash",
+]

@@ -1,0 +1,219 @@
+"""Array and box helpers used across the stack.
+
+A *box* is a half-open axis-aligned region ``[lo, hi)`` over an
+n-dimensional integer lattice, stored as two equal-length integer tuples.
+Boxes are the currency of the IDX query layer, the dashboard viewport, and
+the GEOtiled partitioner, so the arithmetic lives here once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Box",
+    "as_float_raster",
+    "assert_shape",
+    "block_iter",
+    "ceil_div",
+    "is_power_of_two",
+    "next_power_of_two",
+    "normalize_box",
+]
+
+
+@dataclass(frozen=True)
+class Box:
+    """Half-open axis-aligned box ``[lo, hi)`` on an integer lattice.
+
+    ``lo`` and ``hi`` are tuples with one entry per axis, in array index
+    order (axis 0 is the slowest-varying array axis).  An empty box (any
+    ``hi[i] <= lo[i]``) is legal and behaves as the additive identity for
+    :meth:`union`.
+    """
+
+    lo: Tuple[int, ...]
+    hi: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError(f"box rank mismatch: lo={self.lo} hi={self.hi}")
+        object.__setattr__(self, "lo", tuple(int(v) for v in self.lo))
+        object.__setattr__(self, "hi", tuple(int(v) for v in self.hi))
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_shape(cls, shape: Sequence[int]) -> "Box":
+        """The box covering a full array of the given shape."""
+        return cls(tuple(0 for _ in shape), tuple(int(s) for s in shape))
+
+    @classmethod
+    def from_slices(cls, slices: Sequence[slice], shape: Sequence[int]) -> "Box":
+        """Resolve a tuple of slices (no step) against ``shape``."""
+        lo, hi = [], []
+        for sl, n in zip(slices, shape):
+            if sl.step not in (None, 1):
+                raise ValueError("Box.from_slices does not support strided slices")
+            start, stop, _ = sl.indices(int(n))
+            lo.append(start)
+            hi.append(stop)
+        return cls(tuple(lo), tuple(hi))
+
+    # -- queries ------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(max(0, h - l) for l, h in zip(self.lo, self.hi))
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def is_empty(self) -> bool:
+        return any(h <= l for l, h in zip(self.lo, self.hi))
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        return all(l <= p < h for l, p, h in zip(self.lo, point, self.hi))
+
+    def contains_box(self, other: "Box") -> bool:
+        if other.is_empty:
+            return True
+        return all(
+            sl <= ol and oh <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    # -- algebra ------------------------------------------------------
+
+    def intersect(self, other: "Box") -> "Box":
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        return Box(lo, hi)
+
+    def union(self, other: "Box") -> "Box":
+        """Smallest box containing both (empty boxes are ignored)."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        lo = tuple(min(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(max(a, b) for a, b in zip(self.hi, other.hi))
+        return Box(lo, hi)
+
+    def translate(self, offset: Sequence[int]) -> "Box":
+        return Box(
+            tuple(l + int(o) for l, o in zip(self.lo, offset)),
+            tuple(h + int(o) for h, o in zip(self.hi, offset)),
+        )
+
+    def dilate(self, margin: int | Sequence[int]) -> "Box":
+        """Grow by ``margin`` on every face (per-axis if a sequence)."""
+        if isinstance(margin, int):
+            margin = [margin] * self.ndim
+        return Box(
+            tuple(l - int(m) for l, m in zip(self.lo, margin)),
+            tuple(h + int(m) for h, m in zip(self.hi, margin)),
+        )
+
+    def clip(self, bounds: "Box") -> "Box":
+        return self.intersect(bounds)
+
+    # -- conversion ---------------------------------------------------
+
+    def to_slices(self) -> Tuple[slice, ...]:
+        return tuple(slice(l, h) for l, h in zip(self.lo, self.hi))
+
+    def coords(self) -> Tuple[np.ndarray, ...]:
+        """Per-axis coordinate arrays (open mesh) covering the box."""
+        return tuple(
+            np.arange(l, h, dtype=np.int64) for l, h in zip(self.lo, self.hi)
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ",".join(f"{l}:{h}" for l, h in zip(self.lo, self.hi))
+        return f"Box[{parts}]"
+
+
+def normalize_box(box: "Box | Sequence[Sequence[int]]", ndim: int) -> Box:
+    """Coerce ``box`` (a :class:`Box` or a ``(lo, hi)`` pair) to a Box.
+
+    Raises ``ValueError`` if the rank does not match ``ndim``.
+    """
+    if not isinstance(box, Box):
+        lo, hi = box
+        box = Box(tuple(lo), tuple(hi))
+    if box.ndim != ndim:
+        raise ValueError(f"expected rank-{ndim} box, got rank-{box.ndim}")
+    return box
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError("ceil_div divisor must be positive")
+    return -(-a // b)
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two ``>= n`` (``n >= 1``)."""
+    if n < 1:
+        raise ValueError("next_power_of_two requires n >= 1")
+    return 1 << (int(n) - 1).bit_length()
+
+
+def assert_shape(array: np.ndarray, shape: Sequence[int], name: str = "array") -> None:
+    """Raise ``ValueError`` unless ``array.shape`` equals ``shape``."""
+    if tuple(array.shape) != tuple(shape):
+        raise ValueError(f"{name}: expected shape {tuple(shape)}, got {array.shape}")
+
+
+def as_float_raster(array: np.ndarray, dtype: np.dtype | str = np.float32) -> np.ndarray:
+    """Coerce a 2-D raster to a float dtype without copying when possible."""
+    arr = np.asarray(array)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D raster, got ndim={arr.ndim}")
+    return np.ascontiguousarray(arr, dtype=dtype)
+
+
+def block_iter(shape: Sequence[int], block: Sequence[int]) -> Iterator[Box]:
+    """Yield boxes tiling ``shape`` in row-major order with block size ``block``.
+
+    Edge blocks are clipped to the array bounds, so the union of all yielded
+    boxes is exactly ``Box.from_shape(shape)`` and they are pairwise disjoint.
+    """
+    shape = tuple(int(s) for s in shape)
+    block = tuple(int(b) for b in block)
+    if len(shape) != len(block):
+        raise ValueError("shape/block rank mismatch")
+    if any(b <= 0 for b in block):
+        raise ValueError("block sizes must be positive")
+    counts = [ceil_div(s, b) for s, b in zip(shape, block)]
+    total = 1
+    for c in counts:
+        total *= c
+    for flat in range(total):
+        idx = []
+        rem = flat
+        for c in reversed(counts):
+            idx.append(rem % c)
+            rem //= c
+        idx.reverse()
+        lo = tuple(i * b for i, b in zip(idx, block))
+        hi = tuple(min(s, (i + 1) * b) for i, b, s in zip(idx, block, shape))
+        yield Box(lo, hi)

@@ -1,0 +1,64 @@
+"""Content hashing helpers.
+
+The object store, catalog, and provenance tracker all need stable content
+identifiers.  Everything funnels through BLAKE2b so digests are consistent
+across the stack and cheap to compute on large NumPy buffers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["content_digest", "etag_for", "stable_hash"]
+
+
+def content_digest(data: bytes | bytearray | memoryview | np.ndarray, *, length: int = 20) -> str:
+    """Hex digest of raw bytes or an ndarray's buffer (C-contiguous view).
+
+    ``length`` is the digest size in bytes (default 20 → 40 hex chars).
+    """
+    h = hashlib.blake2b(digest_size=length)
+    if isinstance(data, np.ndarray):
+        arr = np.ascontiguousarray(data)
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.view(np.uint8).reshape(-1).data)
+    else:
+        h.update(bytes(data))
+    return h.hexdigest()
+
+
+def etag_for(data: bytes | np.ndarray) -> str:
+    """Short opaque entity tag, S3-style, for object-store versioning."""
+    return content_digest(data, length=8)
+
+
+def _canonical(obj: Any) -> Any:
+    """Recursively convert ``obj`` into a JSON-serialisable canonical form."""
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": content_digest(obj)}
+    if isinstance(obj, bytes):
+        return {"__bytes__": content_digest(obj)}
+    return obj
+
+
+def stable_hash(obj: Any, *, length: int = 16) -> str:
+    """Deterministic hash of a JSON-able structure (dicts key-sorted).
+
+    Used for cache keys and provenance ids; independent of dict insertion
+    order and of the Python process (``PYTHONHASHSEED``-proof).
+    """
+    payload = json.dumps(_canonical(obj), separators=(",", ":"), sort_keys=True)
+    return hashlib.blake2b(payload.encode(), digest_size=length).hexdigest()

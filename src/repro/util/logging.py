@@ -1,0 +1,38 @@
+"""Tiny logger facade.
+
+Wraps :mod:`logging` with a namespaced hierarchy (``repro.*``) and a
+one-call setup so library modules never configure global logging state.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_ROOT = "repro"
+_configured = False
+
+
+def _ensure_configured() -> None:
+    global _configured
+    if _configured:
+        return
+    logger = logging.getLogger(_ROOT)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s", "%H:%M:%S")
+        )
+        logger.addHandler(handler)
+        logger.setLevel(logging.WARNING)
+        logger.propagate = False
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger under the ``repro`` namespace (e.g. ``get_logger('idx')``)."""
+    _ensure_configured()
+    if name.startswith(_ROOT):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")

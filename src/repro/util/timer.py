@@ -1,0 +1,95 @@
+"""Wall-clock stopwatch used by benchmarks and the workflow engine.
+
+Distinct from :mod:`repro.network.clock`, which is *simulated* time; this
+module measures real elapsed seconds for reporting step durations.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["Stopwatch", "format_seconds"]
+
+
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    >>> sw = Stopwatch()
+    >>> with sw.lap("convert"):
+    ...     pass
+    >>> "convert" in sw.laps
+    True
+    """
+
+    def __init__(self) -> None:
+        self._laps: Dict[str, float] = {}
+        self._order: List[str] = []
+        self._started: Optional[float] = None
+
+    # -- whole-watch interface ----------------------------------------
+
+    def start(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("stopwatch not started")
+        elapsed = time.perf_counter() - self._started
+        self._started = None
+        return elapsed
+
+    # -- lap interface --------------------------------------------------
+
+    def lap(self, name: str) -> "_Lap":
+        return _Lap(self, name)
+
+    def record(self, name: str, seconds: float) -> None:
+        if name not in self._laps:
+            self._order.append(name)
+            self._laps[name] = 0.0
+        self._laps[name] += float(seconds)
+
+    @property
+    def laps(self) -> Dict[str, float]:
+        return dict(self._laps)
+
+    @property
+    def total(self) -> float:
+        return sum(self._laps.values())
+
+    def report(self) -> str:
+        """Multi-line human report, laps in first-recorded order."""
+        lines = [f"{name:<28s} {format_seconds(self._laps[name])}" for name in self._order]
+        lines.append(f"{'total':<28s} {format_seconds(self.total)}")
+        return "\n".join(lines)
+
+
+class _Lap:
+    """Context manager recording one lap into a parent stopwatch."""
+
+    def __init__(self, parent: Stopwatch, name: str) -> None:
+        self._parent = parent
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Lap":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._parent.record(self._name, time.perf_counter() - self._t0)
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with an adaptive unit (ns → s)."""
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"

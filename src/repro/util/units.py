@@ -1,0 +1,68 @@
+"""Byte-size and data-rate formatting/parsing.
+
+Storage and network modules report sizes and throughputs constantly; this
+keeps the notation consistent (binary prefixes for sizes, decimal bits/s
+for link rates, matching networking convention).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["format_bytes", "format_rate", "parse_bytes"]
+
+_BINARY_UNITS = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"]
+
+_PARSE_RE = re.compile(
+    r"^\s*([0-9]*\.?[0-9]+)\s*(B|KB|MB|GB|TB|PB|KiB|MiB|GiB|TiB|PiB)?\s*$",
+    re.IGNORECASE,
+)
+
+_DECIMAL = {"b": 1, "kb": 10**3, "mb": 10**6, "gb": 10**9, "tb": 10**12, "pb": 10**15}
+_BINARY = {"kib": 2**10, "mib": 2**20, "gib": 2**30, "tib": 2**40, "pib": 2**50}
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count with binary prefixes (1536 → '1.50 KiB')."""
+    if n < 0:
+        raise ValueError("byte count must be non-negative")
+    value = float(n)
+    for unit in _BINARY_UNITS:
+        if value < 1024.0 or unit == _BINARY_UNITS[-1]:
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Data rate in network convention: decimal bits per second."""
+    if bytes_per_second < 0:
+        raise ValueError("rate must be non-negative")
+    bits = bytes_per_second * 8.0
+    for unit, scale in [("Gbit/s", 1e9), ("Mbit/s", 1e6), ("kbit/s", 1e3)]:
+        if bits >= scale:
+            return f"{bits / scale:.2f} {unit}"
+    return f"{bits:.0f} bit/s"
+
+
+def parse_bytes(text: str | int | float) -> int:
+    """Parse '64 MiB', '1.5GB', or a bare number into a byte count.
+
+    Decimal suffixes (KB/MB/...) use powers of 1000, binary suffixes
+    (KiB/MiB/...) powers of 1024, matching their standard meanings.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError("byte count must be non-negative")
+        return int(text)
+    m = _PARSE_RE.match(text)
+    if not m:
+        raise ValueError(f"cannot parse byte size: {text!r}")
+    value = float(m.group(1))
+    unit = (m.group(2) or "B").lower()
+    scale = _DECIMAL.get(unit) or _BINARY.get(unit)
+    if scale is None:
+        raise ValueError(f"unknown unit in {text!r}")
+    return int(value * scale)

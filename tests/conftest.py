@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.idx.dataset import IdxDataset
+from repro.terrain.dem import composite_terrain
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dem() -> np.ndarray:
+    """A 96x128 deterministic terrain raster in metres."""
+    return composite_terrain((96, 128), seed=7)
+
+
+@pytest.fixture
+def random_raster(rng) -> np.ndarray:
+    """Incompressible float32 noise, 64x64."""
+    return rng.random((64, 64), dtype=np.float64).astype(np.float32)
+
+
+@pytest.fixture
+def idx_factory(tmp_path):
+    """Factory building finalized single-field IDX datasets in tmp_path."""
+
+    counter = {"n": 0}
+
+    def build(
+        array: np.ndarray,
+        *,
+        field: str = "value",
+        codec: str = "zlib:level=6",
+        bits_per_block: int = 8,
+        timesteps: int = 1,
+        fill_value: float = 0.0,
+    ) -> IdxDataset:
+        counter["n"] += 1
+        path = str(tmp_path / f"ds{counter['n']}.idx")
+        ds = IdxDataset.create(
+            path,
+            dims=array.shape,
+            fields={field: str(array.dtype)},
+            codec=codec,
+            bits_per_block=bits_per_block,
+            timesteps=timesteps,
+            fill_value=fill_value,
+        )
+        for t in range(timesteps):
+            ds.write(array, field=field, time=t)
+        ds.finalize()
+        return IdxDataset.open(path)
+
+    return build

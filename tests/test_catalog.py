@@ -1,0 +1,230 @@
+"""Tests for the catalog: records, inverted index, service, harvesters."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import (
+    CatalogRecord,
+    CatalogService,
+    InvertedIndex,
+    harvest_dataverse,
+    harvest_object_store,
+    harvest_seal,
+    tokenize,
+)
+from repro.formats.metadata import DatasetMetadata
+from repro.storage import Dataverse, ObjectStore, SealStorage
+
+
+class TestTokenize:
+    def test_lowercase_alnum(self):
+        assert tokenize("Terrain-Slope_30m CONUS!") == ["terrain", "slope", "30m", "conus"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("---") == []
+
+
+class TestCatalogRecord:
+    def test_identity_stable(self):
+        r1 = CatalogRecord.build("a.idx", "seal:slc", checksum="c1")
+        r2 = CatalogRecord.build("a.idx", "seal:slc", checksum="c1")
+        r3 = CatalogRecord.build("a.idx", "seal:slc", checksum="c2")
+        assert r1.record_id == r2.record_id != r3.record_id
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CatalogRecord.build("", "src")
+        with pytest.raises(ValueError):
+            CatalogRecord.build("n", "")
+        with pytest.raises(ValueError):
+            CatalogRecord.build("n", "s", size=-1)
+
+    def test_index_text_covers_fields(self):
+        r = CatalogRecord.build(
+            "slope.idx",
+            "dataverse:demo",
+            keywords=("terrain",),
+            description="Tennessee slope",
+            attributes={"doi": "doi:10.1/X"},
+        )
+        text = r.index_text()
+        for token in ("slope.idx", "terrain", "Tennessee", "doi"):
+            assert token in text
+
+
+class TestInvertedIndex:
+    @pytest.fixture
+    def index(self):
+        idx = InvertedIndex()
+        idx.add(0, "terrain slope tennessee")
+        idx.add(1, "terrain elevation conus")
+        idx.add(2, "soil moisture tennessee")
+        return idx
+
+    def test_and_semantics(self, index):
+        assert index.search("terrain").tolist() == [0, 1]
+        assert index.search("terrain tennessee").tolist() == [0]
+        assert index.search("terrain moisture").tolist() == []
+
+    def test_prefix_search(self, index):
+        assert index.search("terr*").tolist() == [0, 1]
+        assert index.search("t*").tolist() == [0, 1, 2]
+
+    def test_empty_query(self, index):
+        assert index.search("").size == 0
+
+    def test_unknown_token(self, index):
+        assert index.search("volcano").size == 0
+
+    def test_facet_counts(self, index):
+        sources = ["a", "b", "a"]
+        ids = index.search("tennessee")
+        assert index.facet_counts(ids.tolist(), sources) == {"a": 2}
+
+    def test_duplicate_adds_idempotent_postings(self):
+        idx = InvertedIndex()
+        idx.add(0, "x x x")
+        assert idx.search("x").tolist() == [0]
+
+    def test_vocabulary_and_doc_count(self, index):
+        assert index.vocabulary_size == 7
+        assert index.document_count == 3
+
+    def test_negative_doc_id(self):
+        with pytest.raises(ValueError):
+            InvertedIndex().add(-1, "x")
+
+
+class TestCatalogService:
+    def test_dedup_on_ingest(self):
+        cat = CatalogService()
+        r = CatalogRecord.build("a", "s", checksum="c")
+        assert cat.ingest(r)
+        assert not cat.ingest(r)
+        assert cat.duplicates_rejected == 1
+        assert len(cat) == 1
+
+    def test_search_ranking_prefers_dense_matches(self):
+        cat = CatalogService()
+        cat.ingest(CatalogRecord.build("slope.idx", "s", keywords=("slope",)))
+        cat.ingest(
+            CatalogRecord.build(
+                "misc.idx",
+                "s",
+                description="contains slope plus many many other unrelated words here",
+            )
+        )
+        hits = cat.search("slope")
+        assert hits[0].record.name == "slope.idx"
+
+    def test_filters(self):
+        cat = CatalogService()
+        cat.ingest(CatalogRecord.build("a", "seal:slc", size=100, keywords=("x",)))
+        cat.ingest(CatalogRecord.build("b", "dataverse:d", size=10, keywords=("x",)))
+        assert len(cat.search("x")) == 2
+        assert len(cat.search("x", source="seal:slc")) == 1
+        assert len(cat.search("x", min_size=50)) == 1
+
+    def test_limit(self):
+        cat = CatalogService()
+        for i in range(30):
+            cat.ingest(CatalogRecord.build(f"f{i}", "s", keywords=("common",)))
+        assert len(cat.search("common", limit=5)) == 5
+
+    def test_facets_by_source(self):
+        cat = CatalogService()
+        cat.ingest(CatalogRecord.build("a", "s1", keywords=("k",)))
+        cat.ingest(CatalogRecord.build("b", "s1", keywords=("k",)))
+        cat.ingest(CatalogRecord.build("c", "s2", keywords=("k",)))
+        assert cat.facets_by_source("k") == {"s1": 2, "s2": 1}
+
+    def test_get_by_id(self):
+        cat = CatalogService()
+        r = CatalogRecord.build("a", "s")
+        cat.ingest(r)
+        assert cat.get(r.record_id).name == "a"
+        with pytest.raises(KeyError):
+            cat.get("missing")
+
+    def test_stats(self):
+        cat = CatalogService()
+        cat.ingest(CatalogRecord.build("a", "s1", size=10))
+        cat.ingest(CatalogRecord.build("b", "s2", size=20))
+        stats = cat.stats()
+        assert stats["records"] == 2
+        assert stats["unique_sources"] == 2
+        assert stats["total_bytes"] == 30
+
+    def test_search_scales_sublinearly(self):
+        """Doubling corpus size must not double search time materially."""
+        import time
+
+        def build(n):
+            cat = CatalogService()
+            rng = np.random.default_rng(0)
+            words = [f"w{i}" for i in range(200)]
+            for i in range(n):
+                kw = tuple(words[j] for j in rng.integers(0, 200, 4))
+                cat.ingest(CatalogRecord.build(f"f{i}", "s", keywords=kw))
+            return cat
+
+        small, large = build(500), build(4000)
+        # warmup freezes postings
+        small.search("w5")
+        large.search("w5")
+        t0 = time.perf_counter()
+        for _ in range(20):
+            small.search("w5 w6")
+        t_small = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(20):
+            large.search("w5 w6")
+        t_large = time.perf_counter() - t0
+        assert t_large < t_small * 8 + 0.05  # 8x corpus, far less than 8x time
+
+
+class TestHarvesters:
+    def test_object_store(self):
+        store = ObjectStore("os")
+        store.create_bucket("b")
+        store.put("b", "x.tif", b"123", metadata={"region": "conus"})
+        store.put("b", "y.idx", b"4567")
+        records = harvest_object_store(store, "b")
+        assert len(records) == 2
+        by_name = {r.name: r for r in records}
+        assert by_name["x.tif"].mime == "image/tiff"
+        assert by_name["y.idx"].mime == "application/x-idx"
+        assert by_name["x.tif"].attr_dict()["region"] == "conus"
+
+    def test_dataverse_published_only(self):
+        dv = Dataverse(seed=1)
+        meta = DatasetMetadata(name="d", title="T", keywords=["k"])
+        doi = dv.create_dataset(meta, owner="o")
+        dv.upload_file(doi, "f.idx", b"x", owner="o")
+        assert harvest_dataverse(dv) == []  # draft invisible
+        dv.publish(doi, owner="o")
+        records = harvest_dataverse(dv)
+        assert len(records) == 1
+        assert records[0].attr_dict()["doi"] == doi
+        assert "k" in records[0].keywords
+
+    def test_seal_requires_token(self):
+        seal = SealStorage(site="slc")
+        token = seal.issue_token("u", ("read", "write"))
+        seal.put("private.idx", b"x", token=token)
+        records = harvest_seal(seal, token=token)
+        assert len(records) == 1
+        assert records[0].source == "seal:slc/sealed"
+
+    def test_end_to_end_discovery(self):
+        dv = Dataverse(seed=2)
+        meta = DatasetMetadata(name="tn", title="Tennessee slope", keywords=["slope"])
+        doi = dv.create_dataset(meta, owner="o")
+        dv.upload_file(doi, "slope.idx", b"x", owner="o")
+        dv.publish(doi, owner="o")
+        cat = CatalogService()
+        cat.ingest_many(harvest_dataverse(dv))
+        hits = cat.search("tennessee slope")
+        assert len(hits) == 1
+        assert hits[0].record.attr_dict()["doi"] == doi

@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.formats.tiff import write_tiff
+from repro.terrain.dem import composite_terrain
+
+
+@pytest.fixture
+def tiff_file(tmp_path):
+    path = str(tmp_path / "t.tif")
+    write_tiff(path, composite_terrain((48, 48), seed=1))
+    return path
+
+
+class TestDemo:
+    def test_demo_runs(self, tmp_path, capsys):
+        rc = main(["demo", "--workdir", str(tmp_path), "--size", "48"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "step1-generate" in out
+        assert "reduction" in out
+
+
+class TestConvert:
+    def test_tiff(self, tiff_file, tmp_path, capsys):
+        dest = str(tmp_path / "o.idx")
+        assert main(["convert", tiff_file, dest]) == 0
+        assert "reduction" in capsys.readouterr().out
+
+    def test_raw(self, tmp_path, capsys):
+        from repro.formats.rawbin import write_raw
+
+        src = str(tmp_path / "a.raw")
+        write_raw(src, composite_terrain((32, 32), seed=2))
+        assert main(["convert", src, str(tmp_path / "a.idx")]) == 0
+
+    def test_ncdf(self, tmp_path):
+        from repro.formats.ncdf import NcdfFile, write_ncdf
+
+        nc = NcdfFile()
+        nc.add_variable("v", ("y", "x"), composite_terrain((16, 16), seed=3))
+        src = str(tmp_path / "a.nc")
+        write_ncdf(src, nc)
+        assert main(["convert", src, str(tmp_path / "a.idx")]) == 0
+
+    def test_unknown_extension(self, tmp_path, capsys):
+        src = str(tmp_path / "a.xyz")
+        open(src, "w").close()
+        assert main(["convert", src, str(tmp_path / "a.idx")]) == 2
+        assert "unsupported" in capsys.readouterr().err
+
+
+class TestInfoAndRead:
+    @pytest.fixture
+    def idx_file(self, tiff_file, tmp_path):
+        dest = str(tmp_path / "d.idx")
+        main(["convert", tiff_file, dest])
+        return dest
+
+    def test_info(self, idx_file, capsys):
+        assert main(["info", idx_file]) == 0
+        out = capsys.readouterr().out
+        assert "dims        : (48, 48)" in out
+        assert "shuffle" in out
+        assert "stats[value]" in out
+
+    def test_read_full(self, idx_file, tmp_path, capsys):
+        out_npy = str(tmp_path / "full.npy")
+        assert main(["read", idx_file, out_npy]) == 0
+        assert np.load(out_npy).shape == (48, 48)
+
+    def test_read_box_and_resolution(self, idx_file, tmp_path):
+        out_npy = str(tmp_path / "crop.npy")
+        assert main(["read", idx_file, out_npy, "--box", "8,8,24,40"]) == 0
+        assert np.load(out_npy).shape == (16, 32)
+        assert main(["read", idx_file, out_npy, "--resolution", "6"]) == 0
+        assert np.load(out_npy).size <= 64
+
+    def test_read_bad_box(self, idx_file, tmp_path, capsys):
+        assert main(["read", idx_file, str(tmp_path / "x.npy"), "--box", "1,2,3"]) == 2
+
+
+class TestOtherCommands:
+    def test_network(self, capsys):
+        assert main(["network"]) == 0
+        out = capsys.readouterr().out
+        assert "rtt" in out
+        assert "highest_latency" in out
+
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "EVALUATION REPORT" in out
+        assert "108" in out
+
+    def test_grade(self, tmp_path, capsys):
+        assert main(["grade", "--workdir", str(tmp_path), "--size", "48",
+                     "--participant", "zoe"]) == 0
+        out = capsys.readouterr().out
+        assert "zoe: 45/50" in out
+        assert "PASSED" in out
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestVerify:
+    def test_verify_ok(self, tiff_file, tmp_path, capsys):
+        dest = str(tmp_path / "v.idx")
+        main(["convert", tiff_file, dest])
+        capsys.readouterr()
+        assert main(["verify", dest]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_detects_corruption(self, tiff_file, tmp_path, capsys):
+        dest = str(tmp_path / "v.idx")
+        main(["convert", tiff_file, dest])
+        with open(dest, "rb") as fh:
+            data = bytearray(fh.read())
+        data[-20] ^= 0xFF  # flip a byte inside the last block payload
+        bad = str(tmp_path / "bad.idx")
+        with open(bad, "wb") as fh:
+            fh.write(bytes(data))
+        capsys.readouterr()
+        assert main(["verify", bad]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out
+        assert "corrupted block" in captured.err

@@ -1,0 +1,129 @@
+"""Tests for the zlib, rle, and lz4 byte codecs."""
+
+import numpy as np
+import pytest
+
+from repro.compression import CodecError, Lz4Codec, RleCodec, ZlibCodec, get_codec
+
+LOSSLESS = ["zlib", "zlib:level=1", "zlib:level=9", "rle", "lz4", "lz4:accel=4", "identity"]
+
+PAYLOADS = {
+    "empty": b"",
+    "single": b"x",
+    "short": b"abc",
+    "zeros": bytes(10_000),
+    "runs": b"a" * 300 + b"b" * 5 + b"c" * 1000,
+    "text": b"the quick brown fox jumps over the lazy dog. " * 200,
+    "binary": np.random.default_rng(0).integers(0, 256, 5000).astype(np.uint8).tobytes(),
+}
+
+
+@pytest.mark.parametrize("spec", LOSSLESS)
+@pytest.mark.parametrize("name", sorted(PAYLOADS))
+def test_round_trip_bytes(spec, name):
+    codec = get_codec(spec)
+    data = PAYLOADS[name]
+    assert codec.decode_bytes(codec.encode_bytes(data)) == data
+
+
+@pytest.mark.parametrize("spec", LOSSLESS)
+def test_round_trip_arrays(spec):
+    codec = get_codec(spec)
+    rng = np.random.default_rng(1)
+    for dtype in (np.uint8, np.int16, np.float32, np.float64):
+        a = (rng.random((17, 23)) * 100).astype(dtype)
+        out = codec.decode_array(codec.encode_array(a), a.dtype, a.shape)
+        assert np.array_equal(out, a), (spec, dtype)
+
+
+class TestZlib:
+    def test_level_bounds(self):
+        with pytest.raises(CodecError):
+            ZlibCodec(level=10)
+        with pytest.raises(CodecError):
+            ZlibCodec(level=-1)
+
+    def test_level9_not_larger_than_level1(self):
+        data = PAYLOADS["text"]
+        e1 = ZlibCodec(1).encode_bytes(data)
+        e9 = ZlibCodec(9).encode_bytes(data)
+        assert len(e9) <= len(e1)
+
+    def test_corrupt_stream(self):
+        with pytest.raises(CodecError):
+            ZlibCodec().decode_bytes(b"not zlib at all")
+
+    def test_spec_round_trip(self):
+        assert get_codec(ZlibCodec(7).spec()).level == 7
+
+    def test_compresses_redundant_data(self):
+        data = PAYLOADS["runs"]
+        assert len(ZlibCodec().encode_bytes(data)) < len(data) // 4
+
+
+class TestRle:
+    def test_compresses_runs_dramatically(self):
+        data = PAYLOADS["zeros"]
+        encoded = RleCodec().encode_bytes(data)
+        assert len(encoded) < 50
+
+    def test_expands_random_data_gracefully(self):
+        data = PAYLOADS["binary"]
+        codec = RleCodec()
+        assert codec.decode_bytes(codec.encode_bytes(data)) == data
+
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            RleCodec().decode_bytes(b"XXXX" + bytes(8))
+
+    def test_truncated_header(self):
+        with pytest.raises(CodecError):
+            RleCodec().decode_bytes(b"RR")
+
+    def test_long_run_over_255(self):
+        data = b"z" * 100_000
+        codec = RleCodec()
+        encoded = codec.encode_bytes(data)
+        assert len(encoded) < 30  # single run, uint32 length
+        assert codec.decode_bytes(encoded) == data
+
+
+class TestLz4:
+    def test_accel_validation(self):
+        with pytest.raises(CodecError):
+            Lz4Codec(accel=0)
+
+    def test_compresses_repetitive_text(self):
+        data = PAYLOADS["text"]
+        encoded = Lz4Codec().encode_bytes(data)
+        assert len(encoded) < len(data) // 10
+
+    def test_overlapping_match_rle_trick(self):
+        # offset < match length forces the byte-ordered overlap copy path.
+        data = b"ab" * 5000
+        codec = Lz4Codec()
+        assert codec.decode_bytes(codec.encode_bytes(data)) == data
+
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            Lz4Codec().decode_bytes(b"ZZZZ" + bytes(8))
+
+    def test_truncated_stream(self):
+        codec = Lz4Codec()
+        encoded = codec.encode_bytes(PAYLOADS["text"])
+        with pytest.raises(CodecError):
+            codec.decode_bytes(encoded[:-10])
+
+    def test_invalid_offset_rejected(self):
+        import struct
+
+        # token: 0 literals + match, offset 7 with empty history.
+        payload = struct.pack("<4sQ", b"RLZ4", 100) + bytes([0x00]) + struct.pack("<H", 7)
+        with pytest.raises(CodecError):
+            Lz4Codec().decode_bytes(payload)
+
+    def test_long_literal_extension(self):
+        # > 15 literals with no matches exercises the 255-extension path.
+        data = np.random.default_rng(2).integers(0, 256, 5000).astype(np.uint8).tobytes()
+        codec = Lz4Codec()
+        assert codec.decode_bytes(codec.encode_bytes(data)) == data

@@ -1,0 +1,69 @@
+"""Property-based tests (hypothesis) for the codec suite."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import Lz4Codec, RleCodec, ZfpCodec, ZlibCodec
+
+_byte_payloads = st.binary(min_size=0, max_size=4096)
+
+# Payloads with structure (runs + repeats) exercise match paths harder.
+_structured = st.lists(
+    st.tuples(st.integers(0, 255), st.integers(1, 200)), min_size=0, max_size=40
+).map(lambda runs: b"".join(bytes([v]) * n for v, n in runs))
+
+
+@given(_byte_payloads)
+@settings(max_examples=60)
+def test_zlib_round_trip(data):
+    codec = ZlibCodec()
+    assert codec.decode_bytes(codec.encode_bytes(data)) == data
+
+
+@given(_byte_payloads | _structured)
+@settings(max_examples=60)
+def test_rle_round_trip(data):
+    codec = RleCodec()
+    assert codec.decode_bytes(codec.encode_bytes(data)) == data
+
+
+@given(_byte_payloads | _structured)
+@settings(max_examples=60, deadline=2000)
+def test_lz4_round_trip(data):
+    codec = Lz4Codec()
+    assert codec.decode_bytes(codec.encode_bytes(data)) == data
+
+
+@given(
+    st.lists(
+        st.floats(
+            min_value=-1e6,
+            max_value=1e6,
+            allow_nan=False,
+            allow_infinity=False,
+            width=32,
+        ),
+        min_size=1,
+        max_size=300,
+    ),
+    st.integers(min_value=4, max_value=24),
+)
+@settings(max_examples=60, deadline=2000)
+def test_zfp_error_bound_holds(values, precision):
+    data = np.asarray(values, dtype=np.float32)
+    codec = ZfpCodec(precision=precision)
+    back = codec.decode_array(codec.encode_array(data), data.dtype, data.shape)
+    err = np.max(np.abs(data.astype(np.float64) - back.astype(np.float64)))
+    assert err <= codec.tolerance_for(data) + 1e-12
+
+
+@given(st.lists(st.floats(-1e4, 1e4, allow_nan=False, width=32), min_size=1, max_size=200))
+@settings(max_examples=40)
+def test_zfp_idempotent_on_own_output(values):
+    """Re-encoding an already-quantised signal is (near-)lossless."""
+    data = np.asarray(values, dtype=np.float32)
+    codec = ZfpCodec(precision=20)
+    once = codec.decode_array(codec.encode_array(data), data.dtype, data.shape)
+    twice = codec.decode_array(codec.encode_array(once), once.dtype, once.shape)
+    err = np.max(np.abs(once.astype(np.float64) - twice.astype(np.float64)))
+    assert err <= codec.tolerance_for(once) + 1e-12

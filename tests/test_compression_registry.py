@@ -1,0 +1,73 @@
+"""Tests for the codec registry and spec parsing."""
+
+import numpy as np
+import pytest
+
+from repro.compression import Codec, CodecError, available_codecs, get_codec
+from repro.compression.registry import IdentityCodec, parse_codec_spec, register_codec
+
+
+class TestSpecParsing:
+    def test_bare_name(self):
+        assert parse_codec_spec("zlib") == ("zlib", {})
+
+    def test_params(self):
+        name, params = parse_codec_spec("zfp:precision=16,block=64")
+        assert name == "zfp"
+        assert params == {"precision": "16", "block": "64"}
+
+    def test_whitespace_and_case(self):
+        assert parse_codec_spec(" ZLIB : level = 9 ")[0] == "zlib"
+
+    def test_malformed_param(self):
+        with pytest.raises(CodecError):
+            parse_codec_spec("zlib:level9")
+
+
+class TestRegistry:
+    def test_known_codecs_registered(self):
+        names = available_codecs()
+        for expected in ("identity", "zlib", "zip", "rle", "lz4", "zfp", "raw"):
+            assert expected in names
+
+    def test_get_codec_idempotent_on_instances(self):
+        codec = get_codec("zlib:level=3")
+        assert get_codec(codec) is codec
+
+    def test_unknown_codec(self):
+        with pytest.raises(CodecError, match="unknown codec"):
+            get_codec("snappy")
+
+    def test_bad_params_reported(self):
+        with pytest.raises(CodecError):
+            get_codec("zlib:bogus=1")
+
+    def test_register_custom(self):
+        class Upper(IdentityCodec):
+            name = "custom-test"
+
+        register_codec("custom-test", Upper)
+        assert isinstance(get_codec("custom-test"), Upper)
+
+
+class TestIdentity:
+    def test_round_trip_bytes(self):
+        c = get_codec("identity")
+        assert c.decode_bytes(c.encode_bytes(b"abc")) == b"abc"
+
+    def test_round_trip_array(self):
+        c = get_codec("identity")
+        a = np.arange(12, dtype=np.int16).reshape(3, 4)
+        out = c.decode_array(c.encode_array(a), a.dtype, a.shape)
+        assert np.array_equal(out, a)
+
+    def test_decode_shape_mismatch(self):
+        c = get_codec("identity")
+        blob = c.encode_array(np.zeros(4, dtype=np.float32))
+        with pytest.raises(CodecError):
+            c.decode_array(blob, np.float32, (5,))
+
+    def test_lossless_flag(self):
+        assert get_codec("identity").lossless
+        assert get_codec("zlib").lossless
+        assert not get_codec("zfp").lossless

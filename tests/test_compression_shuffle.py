@@ -1,0 +1,94 @@
+"""Tests for the byte-shuffle codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import CodecError, ShuffleCodec, get_codec
+from repro.compression.shuffle_codec import shuffle_bytes, unshuffle_bytes
+from repro.terrain.dem import composite_terrain
+
+
+class TestShuffleTransform:
+    @pytest.mark.parametrize("itemsize", [1, 2, 4, 8])
+    def test_round_trip(self, itemsize, rng):
+        data = rng.integers(0, 256, 333, dtype=np.uint8).tobytes()
+        shuffled = shuffle_bytes(data, itemsize)
+        assert unshuffle_bytes(shuffled, itemsize, len(data)) == data
+
+    def test_itemsize_one_is_identity(self):
+        assert shuffle_bytes(b"abc", 1) == b"abc"
+
+    def test_known_transpose(self):
+        # Two 2-byte samples AB CD -> AC BD.
+        assert shuffle_bytes(b"ABCD", 2) == b"ACBD"
+
+    def test_trailing_remainder_preserved(self):
+        # 5 bytes with itemsize 2: last byte passes through untouched.
+        data = b"ABCDE"
+        shuffled = shuffle_bytes(data, 2)
+        assert shuffled[-1:] == b"E"
+        assert unshuffle_bytes(shuffled, 2, 5) == data
+
+
+class TestShuffleCodec:
+    def test_registered(self):
+        assert isinstance(get_codec("shuffle"), ShuffleCodec)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int16, np.uint8])
+    def test_array_round_trip(self, dtype, rng):
+        a = (rng.random((31, 17)) * 100).astype(dtype)
+        codec = get_codec("shuffle")
+        out = codec.decode_array(codec.encode_array(a), a.dtype, a.shape)
+        assert np.array_equal(out, a)
+
+    def test_beats_plain_zlib_on_terrain(self):
+        dem = composite_terrain((128, 128), seed=3)
+        plain = len(get_codec("zlib:level=6").encode_array(dem))
+        shuffled = len(get_codec("shuffle:level=6").encode_array(dem))
+        assert shuffled < plain
+
+    def test_inner_codec_selection(self):
+        codec = get_codec("shuffle:inner=lz4")
+        assert codec.inner.name == "lz4"
+        dem = composite_terrain((32, 32), seed=1)
+        out = codec.decode_array(codec.encode_array(dem), dem.dtype, dem.shape)
+        assert np.array_equal(out, dem)
+
+    def test_lossy_inner_rejected(self):
+        with pytest.raises(CodecError):
+            ShuffleCodec(inner="zfp:precision=16")
+
+    def test_dtype_itemsize_checked(self):
+        codec = get_codec("shuffle")
+        blob = codec.encode_array(np.zeros(8, dtype=np.float32))
+        with pytest.raises(CodecError):
+            codec.decode_array(blob, np.float64, (8,))
+
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            get_codec("shuffle").decode_array(b"XXXX" + bytes(16), np.float32, (2,))
+
+    def test_spec_round_trip(self):
+        codec = get_codec("shuffle:level=9")
+        again = get_codec(codec.spec())
+        assert again.inner.spec() == codec.inner.spec()
+
+    def test_idx_integration(self, tmp_path, rng):
+        from repro.idx import IdxDataset
+
+        a = rng.random((48, 48)).astype(np.float32)
+        path = str(tmp_path / "s.idx")
+        ds = IdxDataset.create(path, dims=a.shape, codec="shuffle:level=6")
+        ds.write(a)
+        ds.finalize()
+        assert np.array_equal(IdxDataset.open(path).read(), a)
+
+
+@given(
+    st.binary(min_size=0, max_size=2000),
+    st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=60)
+def test_property_shuffle_round_trip(data, itemsize):
+    assert unshuffle_bytes(shuffle_bytes(data, itemsize), itemsize, len(data)) == data

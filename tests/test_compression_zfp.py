@@ -1,0 +1,139 @@
+"""Tests for the zfp-like lossy float codec and its error bound."""
+
+import numpy as np
+import pytest
+
+from repro.compression import CodecError, ZfpCodec
+from repro.compression.zfp_codec import _forward_lift, _inverse_lift
+
+
+class TestLiftingTransform:
+    def test_exact_inverse_random_ints(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(-(2**23), 2**23, size=(10, 64)).astype(np.int64)
+        original = blocks.copy()
+        _forward_lift(blocks)
+        assert not np.array_equal(blocks, original)  # it does something
+        _inverse_lift(blocks)
+        assert np.array_equal(blocks, original)
+
+    def test_exact_inverse_negative_odd_values(self):
+        blocks = np.arange(-32, 32, dtype=np.int64).reshape(1, 64)
+        original = blocks.copy()
+        _forward_lift(blocks)
+        _inverse_lift(blocks)
+        assert np.array_equal(blocks, original)
+
+    def test_smooth_data_decorrelates(self):
+        # A linear ramp concentrates energy in the coarse coefficients:
+        # the typical (median) coefficient magnitude ends up far below the
+        # signal's peak magnitude, which is what zlib then exploits.
+        ramp = np.arange(64, dtype=np.int64).reshape(1, 64) * 1000
+        blocks = ramp.copy()
+        _forward_lift(blocks)
+        mags = np.abs(blocks)
+        assert np.median(mags) < ramp.max() / 20
+        assert mags.max() < 2 * ramp.max()  # no blow-up either
+
+
+class TestZfpCodec:
+    def test_precision_bounds(self):
+        with pytest.raises(CodecError):
+            ZfpCodec(precision=1)
+        with pytest.raises(CodecError):
+            ZfpCodec(precision=25)
+
+    @pytest.mark.parametrize("precision", [4, 8, 12, 16, 20, 24])
+    def test_error_within_tolerance(self, precision):
+        rng = np.random.default_rng(precision)
+        data = (rng.random((33, 47)) * 2000 - 500).astype(np.float32)
+        codec = ZfpCodec(precision=precision)
+        back = codec.decode_array(codec.encode_array(data), data.dtype, data.shape)
+        err = np.max(np.abs(data.astype(np.float64) - back.astype(np.float64)))
+        assert err <= codec.tolerance_for(data)
+
+    def test_higher_precision_means_lower_error(self):
+        rng = np.random.default_rng(3)
+        data = rng.random((64, 64)).astype(np.float64) * 100
+        errors = []
+        for p in (6, 12, 20):
+            codec = ZfpCodec(precision=p)
+            back = codec.decode_array(codec.encode_array(data), data.dtype, data.shape)
+            errors.append(np.max(np.abs(data - back)))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_higher_precision_means_larger_stream(self):
+        rng = np.random.default_rng(4)
+        data = rng.random(4096).astype(np.float32)
+        sizes = [len(ZfpCodec(precision=p).encode_array(data)) for p in (6, 12, 20)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_smooth_data_compresses_well(self):
+        x = np.linspace(0, 10, 128)
+        smooth = np.sin(x[:, None]) * np.cos(x[None, :]).astype(np.float64)
+        codec = ZfpCodec(precision=12)
+        encoded = codec.encode_array(smooth.astype(np.float32))
+        assert len(encoded) < smooth.astype(np.float32).nbytes / 2
+
+    def test_zero_array_exact(self):
+        z = np.zeros((16, 16), dtype=np.float32)
+        codec = ZfpCodec()
+        back = codec.decode_array(codec.encode_array(z), z.dtype, z.shape)
+        assert np.array_equal(back, z)
+        assert codec.tolerance_for(z) == 0.0
+
+    def test_empty_array(self):
+        e = np.empty((0,), dtype=np.float32)
+        codec = ZfpCodec()
+        back = codec.decode_array(codec.encode_array(e), e.dtype, e.shape)
+        assert back.shape == (0,)
+
+    def test_non_multiple_of_block(self):
+        data = np.arange(100, dtype=np.float64) / 7.0
+        codec = ZfpCodec(precision=20)
+        back = codec.decode_array(codec.encode_array(data), data.dtype, data.shape)
+        assert np.max(np.abs(back - data)) <= codec.tolerance_for(data)
+
+    def test_3d_shape_preserved(self):
+        rng = np.random.default_rng(5)
+        data = rng.random((4, 8, 16)).astype(np.float32)
+        codec = ZfpCodec(precision=16)
+        back = codec.decode_array(codec.encode_array(data), data.dtype, data.shape)
+        assert back.shape == data.shape
+
+    def test_rejects_non_float(self):
+        with pytest.raises(CodecError):
+            ZfpCodec().encode_array(np.arange(10, dtype=np.int32))
+
+    def test_rejects_nan(self):
+        data = np.array([1.0, np.nan], dtype=np.float32)
+        with pytest.raises(CodecError):
+            ZfpCodec().encode_array(data)
+
+    def test_dtype_mismatch_on_decode(self):
+        codec = ZfpCodec()
+        blob = codec.encode_array(np.ones(8, dtype=np.float32))
+        with pytest.raises(CodecError):
+            codec.decode_array(blob, np.float64, (8,))
+
+    def test_shape_mismatch_on_decode(self):
+        codec = ZfpCodec()
+        blob = codec.encode_array(np.ones(8, dtype=np.float32))
+        with pytest.raises(CodecError):
+            codec.decode_array(blob, np.float32, (9,))
+
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            ZfpCodec().decode_array(b"XXXX" + bytes(20), np.float32, (4,))
+
+    def test_negative_values_bounded(self):
+        data = -np.abs(np.random.default_rng(6).random(256).astype(np.float64)) * 1e6
+        codec = ZfpCodec(precision=16)
+        back = codec.decode_array(codec.encode_array(data), data.dtype, data.shape)
+        assert np.max(np.abs(back - data)) <= codec.tolerance_for(data)
+
+    def test_spec_round_trip(self):
+        from repro.compression import get_codec
+
+        codec = get_codec(ZfpCodec(precision=10).spec())
+        assert codec.precision == 10

@@ -1,0 +1,120 @@
+"""Tests for tutorial exercises and the gradebook."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CheckResult,
+    Exercise,
+    Gradebook,
+    build_tutorial_workflow,
+    default_exercises,
+    grade_run,
+)
+
+
+@pytest.fixture(scope="module")
+def good_context(tmp_path_factory):
+    """A completed workflow run (local mode, so ex6-cloud fails)."""
+    out = str(tmp_path_factory.mktemp("grade"))
+    return build_tutorial_workflow(out, shape=(48, 48), grid=(1, 1)).run().context
+
+
+class TestExerciseSet:
+    def test_six_default_exercises(self):
+        exercises = default_exercises()
+        assert len(exercises) == 6
+        assert {ex.step for ex in exercises} == {1, 2, 3, 4}
+
+    def test_points_total(self):
+        assert sum(ex.points for ex in default_exercises()) == 50
+
+    def test_good_run_passes_core_exercises(self, good_context):
+        results = grade_run(good_context)
+        for ex_id in ("ex1-generate", "ex2-convert", "ex3-validate",
+                      "ex4-interact", "ex5-snip-script"):
+            assert results[ex_id].passed, (ex_id, results[ex_id].feedback)
+
+    def test_cloud_exercise_needs_seal(self, good_context):
+        results = grade_run(good_context)
+        assert not results["ex6-cloud"].passed  # local-mode run
+
+    def test_empty_workspace_fails_everything(self):
+        results = grade_run({})
+        assert not any(r.passed for r in results.values())
+        assert all(r.points_awarded == 0 for r in results.values())
+
+    def test_feedback_is_actionable(self):
+        results = grade_run({})
+        assert "Step 1" in results["ex1-generate"].feedback
+        assert "Step 2" in results["ex2-convert"].feedback
+
+    def test_checker_crash_is_failure_not_error(self):
+        bad = Exercise("boom", 1, "t", "p", 5, lambda ctx: 1 / 0)
+        result = bad.check({})
+        assert not result.passed
+        assert "ZeroDivisionError" in result.feedback
+
+    def test_corrupted_products_detected(self, good_context):
+        ctx = dict(good_context)
+        products = dict(ctx["products"])
+        products["slope"] = products["slope"] + 500.0  # out of [0, 90)
+        ctx["products"] = products
+        results = grade_run(ctx)
+        assert not results["ex1-generate"].passed
+
+    def test_missing_product_detected(self, good_context):
+        ctx = dict(good_context)
+        products = dict(ctx["products"])
+        del products["aspect"]
+        ctx["products"] = products
+        results = grade_run(ctx)
+        assert not results["ex1-generate"].passed
+        assert "aspect" in results["ex1-generate"].feedback
+
+
+class TestGradebook:
+    def test_scores_and_pass(self, good_context):
+        gb = Gradebook()
+        gb.grade("alice", good_context)
+        gb.grade("bob", {})
+        assert gb.score("alice") == 45  # everything except ex6-cloud
+        assert gb.score("bob") == 0
+        assert gb.passed("alice")
+        assert not gb.passed("bob")
+
+    def test_max_points(self):
+        assert Gradebook().max_points == 50
+
+    def test_unknown_participant(self):
+        with pytest.raises(KeyError):
+            Gradebook().score("ghost")
+
+    def test_summary_sorted_best_first(self, good_context):
+        gb = Gradebook()
+        gb.grade("zoe", good_context)
+        gb.grade("amy", {})
+        summary = gb.summary()
+        assert summary[0][0] == "zoe"
+        assert summary[0][1] > summary[1][1]
+
+    def test_exercise_pass_rates(self, good_context):
+        gb = Gradebook()
+        gb.grade("a", good_context)
+        gb.grade("b", {})
+        rates = gb.exercise_pass_rates()
+        assert rates["ex1-generate"] == 0.5
+        assert rates["ex6-cloud"] == 0.0
+
+    def test_custom_exercise_set(self, good_context):
+        always = Exercise("free", 1, "t", "p", 7, lambda ctx: CheckResult(True, "ok", 7))
+        gb = Gradebook([always])
+        gb.grade("x", {})
+        assert gb.score("x") == 7
+        assert gb.max_points == 7
+
+    def test_threshold_parameter(self, good_context):
+        gb = Gradebook()
+        gb.grade("alice", good_context)  # 45/50 = 0.9
+        assert gb.passed("alice", threshold=0.9)
+        assert not gb.passed("alice", threshold=0.95)

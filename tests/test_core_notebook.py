@@ -1,0 +1,142 @@
+"""Tests for the notebook model, runner, and tutorial notebooks."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.notebook import (
+    Cell,
+    Notebook,
+    NotebookRunner,
+    build_tutorial_notebooks,
+)
+
+
+class TestNotebookModel:
+    def test_cell_kinds(self):
+        with pytest.raises(ValueError):
+            Cell("graph", "x")
+
+    def test_builder_api(self):
+        nb = Notebook("t").md("# hi").code("x = 1").code("y = x + 1")
+        assert len(nb.cells) == 3
+        assert len(nb.code_cells) == 2
+
+    def test_nbformat_structure(self):
+        doc = Notebook("t").md("# hi").code("print(1)").to_ipynb()
+        assert doc["nbformat"] == 4
+        assert doc["cells"][0]["cell_type"] == "markdown"
+        assert doc["cells"][1]["cell_type"] == "code"
+        assert doc["cells"][1]["outputs"] == []
+
+    def test_save_load_round_trip(self, tmp_path):
+        nb = Notebook("round trip").md("intro").code("a = 42")
+        path = nb.save(str(tmp_path / "nb.ipynb"))
+        loaded = Notebook.load(path)
+        assert loaded.title == "round trip"
+        assert [c.kind for c in loaded.cells] == ["markdown", "code"]
+        assert loaded.code_cells[0].source == "a = 42"
+
+    def test_saved_file_is_valid_json(self, tmp_path):
+        path = Notebook("x").code("pass").save(str(tmp_path / "nb.ipynb"))
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert "cells" in doc
+
+
+class TestNotebookRunner:
+    def test_shared_namespace(self):
+        nb = Notebook("t").code("x = 10").code("y = x * 2")
+        run = NotebookRunner().run(nb)
+        assert run.ok
+        assert run.namespace["y"] == 20
+
+    def test_stdout_captured_per_cell(self):
+        nb = Notebook("t").code("print('first')").code("print('second')")
+        run = NotebookRunner().run(nb)
+        assert run.results[0].stdout == "first\n"
+        assert run.results[1].stdout == "second\n"
+        assert "first" in run.stdout and "second" in run.stdout
+
+    def test_parameters_injected(self):
+        nb = Notebook("t").code("result = base + 1")
+        run = NotebookRunner().run(nb, parameters={"base": 41})
+        assert run.namespace["result"] == 42
+
+    def test_error_stops_execution(self):
+        nb = Notebook("t").code("raise ValueError('boom')").code("after = True")
+        run = NotebookRunner().run(nb)
+        assert not run.ok
+        assert "ValueError: boom" in run.first_error()
+        assert "after" not in run.namespace
+        assert len(run.results) == 1
+
+    def test_continue_on_error(self):
+        nb = Notebook("t").code("1/0").code("after = True")
+        run = NotebookRunner().run(nb, stop_on_error=False)
+        assert not run.ok
+        assert run.namespace.get("after") is True
+
+    def test_markdown_cells_skipped(self):
+        nb = Notebook("t").md("# doc only")
+        run = NotebookRunner().run(nb)
+        assert run.ok
+        assert run.results == []
+
+
+class TestTutorialNotebooks:
+    @pytest.fixture(scope="class")
+    def executed(self, tmp_path_factory):
+        """Generate the four notebooks and run them in sequence."""
+        nb_dir = str(tmp_path_factory.mktemp("notebooks"))
+        workdir = str(tmp_path_factory.mktemp("nbwork"))
+        paths = build_tutorial_notebooks(nb_dir)
+        runner = NotebookRunner()
+        namespace = {"workdir": workdir}
+        runs = {}
+        for name in ("step1", "step2", "step3", "step4"):
+            nb = Notebook.load(paths[name])
+            run = runner.run(nb, parameters=namespace)
+            assert run.ok, (name, run.first_error())
+            namespace = run.namespace  # hand artifacts to the next step
+            runs[name] = run
+        return paths, runs, namespace, workdir
+
+    def test_four_notebooks_generated(self, executed):
+        paths, _, _, _ = executed
+        assert sorted(paths) == ["step1", "step2", "step3", "step4"]
+        for path in paths.values():
+            assert os.path.exists(path)
+
+    def test_step1_products(self, executed):
+        _, runs, ns, _ = executed
+        assert set(ns["products"]) == {"elevation", "aspect", "slope", "hillshade"}
+        assert "workspace:" in runs["step1"].stdout
+
+    def test_step2_reductions_printed(self, executed):
+        _, runs, ns, _ = executed
+        assert len(ns["idx_paths"]) == 4
+        assert "%" in runs["step2"].stdout
+
+    def test_step3_validation_passed(self, executed):
+        _, _, ns, _ = executed
+        assert all(r.passed for r in ns["validation"].values())
+        assert ns["montage"].ndim == 3
+
+    def test_step4_artifacts_on_disk(self, executed):
+        _, _, ns, workdir = executed
+        assert os.path.exists(os.path.join(workdir, "region.npy"))
+        assert os.path.exists(os.path.join(workdir, "extract_region.py"))
+        region = np.load(os.path.join(workdir, "region.npy"))
+        assert region.shape == (64, 64)
+
+    def test_notebooks_are_openable_nbformat(self, executed):
+        paths, _, _, _ = executed
+        for path in paths.values():
+            with open(path) as fh:
+                doc = json.load(fh)
+            assert doc["nbformat"] == 4
+            kinds = {c["cell_type"] for c in doc["cells"]}
+            assert kinds <= {"markdown", "code"}

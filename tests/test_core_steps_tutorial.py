@@ -1,0 +1,143 @@
+"""Tests for the four canonical steps and the tutorial plan."""
+
+import numpy as np
+import pytest
+
+from repro.core.steps import build_tutorial_workflow, make_step1_generate
+from repro.core.tutorial import Session, TutorialPlan, default_tutorial_plan
+from repro.core.workflow import Workflow
+from repro.network.clock import SimClock
+from repro.storage.seal import SealStorage
+
+
+@pytest.fixture(scope="module")
+def run(tmp_path_factory):
+    """One shared local-mode workflow run (Option A)."""
+    out = str(tmp_path_factory.mktemp("wf"))
+    wf = build_tutorial_workflow(out, shape=(64, 96), seed=1, grid=(2, 2))
+    return wf.run()
+
+
+class TestWorkflowAssembly:
+    def test_execution_order(self, tmp_path):
+        wf = build_tutorial_workflow(str(tmp_path))
+        assert wf.validate() == [
+            "step1-generate",
+            "step2-convert",
+            "step3-validate",
+            "step4-interactive",
+        ]
+
+    def test_run_ok(self, run):
+        assert run.ok, [r.error for r in run.results if r.error]
+
+    def test_step1_products(self, run):
+        assert set(run.context["products"]) == {"elevation", "aspect", "slope", "hillshade"}
+        assert run.context["dem"].shape == (64, 96)
+        for path in run.context["tiff_paths"].values():
+            import os
+
+            assert os.path.exists(path)
+
+    def test_step2_conversion(self, run):
+        reports = run.context["conversion_reports"]
+        assert set(reports) == set(run.context["idx_paths"])
+        for report in reports.values():
+            assert report.idx_bytes > 0
+
+    def test_step3_validation_lossless(self, run):
+        for name, report in run.context["validation_reports"].items():
+            assert report.identical, name
+            assert report.passed, name
+        for name, (img_tiff, img_idx) in run.context["static_images"].items():
+            assert np.array_equal(img_tiff, img_idx), name
+
+    def test_step4_interactions(self, run):
+        session = run.context["dashboard_session"]
+        ops = session.state.ops_performed()
+        for op in ("select_dataset", "zoom", "pan", "set_palette", "snip"):
+            assert op in ops
+        snip = run.context["snip_result"]
+        assert snip.data.size > 0
+        frames = run.context["frames"]
+        assert frames["overview"].shape == (256, 256, 3)
+
+    def test_provenance_chain(self, run):
+        chain = [r.activity for r in run.provenance.lineage("validation_reports")]
+        assert chain == ["step1-generate", "step2-convert", "step3-validate"]
+
+    def test_geotiff_tags_written(self, run):
+        from repro.formats.tiff import tiff_info
+
+        info = tiff_info(run.context["tiff_paths"]["elevation"])
+        assert info.pixel_scale is not None
+        assert info.tiepoint is not None
+        assert "tennessee" in (info.description or "")
+
+
+class TestSealOptionB:
+    def test_upload_and_stream_via_seal(self, tmp_path):
+        clock = SimClock()
+        seal = SealStorage(site="slc", clock=clock)
+        token = seal.issue_token("trainee", ("read", "write"))
+        wf = build_tutorial_workflow(str(tmp_path), shape=(32, 32), grid=(1, 1))
+        run = wf.run({"seal": seal, "seal_token": token, "client_site": "knox"})
+        assert run.ok
+        assert set(run.context["seal_keys"]) == set(run.context["idx_paths"])
+        assert clock.now > 0  # WAN paid for upload + interactive streaming
+        # Sealed objects really exist.
+        listed = {o.key for o in seal.list(token=token)}
+        assert "elevation.idx" in listed
+
+
+class TestStep1Standalone:
+    def test_custom_parameters(self, tmp_path):
+        wf = Workflow()
+        wf.add_step(
+            make_step1_generate(
+                str(tmp_path), shape=(32, 32), parameters=("slope", "tpi"), grid=(1, 1)
+            )
+        )
+        run = wf.run()
+        assert set(run.context["products"]) == {"slope", "tpi"}
+
+
+class TestTutorialPlan:
+    def test_default_plan_valid(self):
+        plan = default_tutorial_plan()
+        plan.validate()
+
+    def test_paper_structure(self):
+        plan = default_tutorial_plan()
+        assert len(plan.goals) == 3
+        assert plan.total_minutes == 120
+        assert plan.is_half_day
+        assert [s.minutes for s in plan.sessions] == [30, 60, 30]
+        assert plan.level_split == {"beginner": 0.30, "intermediate": 0.40, "advanced": 0.30}
+        assert set(plan.audiences) == {"researchers", "students", "developers", "scientists"}
+
+    def test_agenda_rendering(self):
+        agenda = default_tutorial_plan().agenda()
+        assert len(agenda) == 3
+        assert "30 min" in agenda[0]
+
+    def test_summary(self):
+        summary = default_tutorial_plan().summary()
+        assert summary["total_minutes"] == 120
+        assert len(summary["goals"]) == 3
+
+    def test_invalid_split_rejected(self):
+        plan = default_tutorial_plan()
+        plan.level_split = {"beginner": 0.5, "advanced": 0.6}
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_session_validation(self):
+        with pytest.raises(ValueError):
+            Session("bad", 0, ())
+
+    def test_empty_goals_rejected(self):
+        plan = default_tutorial_plan()
+        plan.goals = []
+        with pytest.raises(ValueError):
+            plan.validate()

@@ -1,0 +1,123 @@
+"""Tests for the Step 3 validation metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.validation import (
+    compare_rasters,
+    max_abs_error,
+    psnr,
+    rmse,
+    ssim,
+    validate_conversion,
+)
+
+
+@pytest.fixture
+def pair(rng):
+    a = rng.random((32, 32)) * 100
+    return a, a + rng.normal(0, 0.5, a.shape)
+
+
+class TestBasicMetrics:
+    def test_identical_rasters(self, rng):
+        a = rng.random((16, 16))
+        assert rmse(a, a) == 0.0
+        assert max_abs_error(a, a) == 0.0
+        assert math.isinf(psnr(a, a))
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_rmse_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 3.0)
+        assert rmse(a, b) == pytest.approx(3.0)
+
+    def test_max_abs_error_localised(self):
+        a = np.zeros((4, 4))
+        b = a.copy()
+        b[2, 3] = -7.0
+        assert max_abs_error(a, b) == 7.0
+
+    def test_psnr_decreases_with_noise(self, rng):
+        a = rng.random((32, 32))
+        little = a + rng.normal(0, 0.001, a.shape)
+        lots = a + rng.normal(0, 0.1, a.shape)
+        assert psnr(a, little) > psnr(a, lots)
+
+    def test_psnr_data_range_override(self, rng):
+        a = rng.random((8, 8))
+        b = a + 0.01
+        assert psnr(a, b, data_range=10.0) > psnr(a, b, data_range=1.0)
+
+    def test_ssim_sensitive_to_structure(self, rng):
+        a = rng.random((64, 64))
+        shuffled = rng.permutation(a.ravel()).reshape(a.shape)
+        assert ssim(a, shuffled) < 0.5
+
+    def test_ssim_parameters(self, rng):
+        a = rng.random((16, 16))
+        with pytest.raises(ValueError):
+            ssim(a, a, window=4)
+        with pytest.raises(ValueError):
+            ssim(a, a, window=1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros((0,)), np.zeros((0,)))
+
+
+class TestCompareRasters:
+    def test_report_fields(self, pair):
+        a, b = pair
+        report = compare_rasters(a, b, tolerance=2.0)
+        assert report.rmse > 0
+        assert report.max_abs_error > 0
+        assert report.ssim < 1.0
+        assert not report.identical
+
+    def test_tolerance_gate(self, pair):
+        a, b = pair
+        err = max_abs_error(a, b)
+        assert compare_rasters(a, b, tolerance=err).passed
+        assert not compare_rasters(a, b, tolerance=err / 2).passed
+
+    def test_identical_always_passes(self, rng):
+        a = rng.random((8, 8))
+        report = compare_rasters(a, a.copy())
+        assert report.identical
+        assert report.passed
+
+
+class TestValidateConversion:
+    def test_lossless_passes(self, tmp_path, small_dem):
+        from repro.formats.tiff import write_tiff
+        from repro.idx.convert import tiff_to_idx
+
+        tiff = str(tmp_path / "a.tif")
+        idx = str(tmp_path / "a.idx")
+        write_tiff(tiff, small_dem)
+        tiff_to_idx(tiff, idx)
+        report = validate_conversion(tiff, idx)
+        assert report.identical
+        assert report.passed
+
+    def test_zfp_passes_with_codec_tolerance(self, tmp_path, small_dem):
+        from repro.compression import ZfpCodec
+        from repro.formats.tiff import write_tiff
+        from repro.idx.convert import tiff_to_idx
+
+        tiff = str(tmp_path / "a.tif")
+        idx = str(tmp_path / "a.idx")
+        write_tiff(tiff, small_dem)
+        tiff_to_idx(tiff, idx, codec="zfp:precision=16")
+        tol = ZfpCodec(precision=16).tolerance_for(small_dem)
+        report = validate_conversion(tiff, idx, tolerance=tol)
+        assert not report.identical
+        assert report.passed
+        assert report.ssim > 0.99  # visually indistinguishable

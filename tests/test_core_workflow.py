@@ -1,0 +1,167 @@
+"""Tests for the modular workflow engine and provenance."""
+
+import pytest
+
+from repro.core.provenance import ProvenanceLog
+from repro.core.workflow import Workflow, WorkflowError, WorkflowStep
+
+
+def step(name, inputs=(), outputs=(), fn=None):
+    def default(ctx):
+        return {out: f"{name}:{out}" for out in outputs}
+
+    return WorkflowStep(name=name, func=fn or default, inputs=inputs, outputs=outputs)
+
+
+class TestComposition:
+    def test_duplicate_step_names(self):
+        wf = Workflow()
+        wf.add_step(step("a"))
+        with pytest.raises(WorkflowError):
+            wf.add_step(step("a"))
+
+    def test_duplicate_producers(self):
+        wf = Workflow()
+        wf.add_step(step("a", outputs=("x",)))
+        wf.add_step(step("b", outputs=("x",)))
+        with pytest.raises(WorkflowError, match="produced by both"):
+            wf.validate()
+
+    def test_unsatisfied_input(self):
+        wf = Workflow()
+        wf.add_step(step("a", inputs=("missing",)))
+        with pytest.raises(WorkflowError, match="nothing produces"):
+            wf.validate()
+
+    def test_initial_context_satisfies(self):
+        wf = Workflow()
+        wf.add_step(step("a", inputs=("given",), outputs=("x",)))
+        assert wf.validate(initial_keys=["given"]) == ["a"]
+
+    def test_topological_order(self):
+        wf = Workflow()
+        wf.add_step(step("c", inputs=("x2",), outputs=("x3",)))
+        wf.add_step(step("a", outputs=("x1",)))
+        wf.add_step(step("b", inputs=("x1",), outputs=("x2",)))
+        assert wf.validate() == ["a", "b", "c"]
+
+    def test_cycle_detected(self):
+        wf = Workflow()
+        wf.add_step(step("a", inputs=("y",), outputs=("x",)))
+        wf.add_step(step("b", inputs=("x",), outputs=("y",)))
+        with pytest.raises(WorkflowError, match="cycle"):
+            wf.validate()
+
+    def test_decorator_form(self):
+        wf = Workflow()
+
+        @wf.step("gen", outputs=("data",))
+        def gen(ctx):
+            return {"data": [1, 2, 3]}
+
+        @wf.step("sum", inputs=("data",), outputs=("total",))
+        def total(ctx):
+            return {"total": sum(ctx["data"])}
+
+        run = wf.run()
+        assert run.context["total"] == 6
+
+    def test_empty_step_name(self):
+        with pytest.raises(WorkflowError):
+            WorkflowStep(name="", func=lambda ctx: {})
+
+
+class TestExecution:
+    def test_context_flows(self):
+        wf = Workflow()
+        wf.add_step(step("a", outputs=("x",), fn=lambda ctx: {"x": 5}))
+        wf.add_step(step("b", inputs=("x",), outputs=("y",), fn=lambda ctx: {"y": ctx["x"] * 2}))
+        run = wf.run()
+        assert run.ok
+        assert run.context["y"] == 10
+
+    def test_missing_declared_output(self):
+        wf = Workflow()
+        wf.add_step(step("a", outputs=("x",), fn=lambda ctx: {}))
+        with pytest.raises(WorkflowError, match="did not produce"):
+            wf.run()
+
+    def test_failure_skips_downstream(self):
+        def boom(ctx):
+            raise RuntimeError("kaput")
+
+        wf = Workflow()
+        wf.add_step(step("a", outputs=("x",), fn=boom))
+        wf.add_step(step("b", inputs=("x",), outputs=("y",)))
+        run = wf.run()
+        assert not run.ok
+        statuses = {r.name: r.status for r in run.results}
+        assert statuses == {"a": "failed", "b": "skipped"}
+        assert "kaput" in run.results[0].error
+
+    def test_failure_reraises_when_requested(self):
+        def boom(ctx):
+            raise ValueError("no")
+
+        wf = Workflow()
+        wf.add_step(step("a", outputs=("x",), fn=boom))
+        with pytest.raises(ValueError):
+            wf.run(stop_on_error=False)
+
+    def test_timings_recorded(self):
+        wf = Workflow()
+        wf.add_step(step("a", outputs=("x",)))
+        run = wf.run()
+        assert run.total_seconds >= 0
+        assert "a" in run.step_seconds()
+
+    def test_provenance_recorded(self):
+        wf = Workflow()
+        wf.add_step(step("gen", outputs=("x",)))
+        wf.add_step(step("use", inputs=("x",), outputs=("y",)))
+        run = wf.run()
+        assert len(run.provenance) == 2
+        producer = run.provenance.producer_of("y")
+        assert producer.activity == "use"
+        lineage = run.provenance.lineage("y")
+        assert [r.activity for r in lineage] == ["gen", "use"]
+
+    def test_initial_context_not_mutated(self):
+        wf = Workflow()
+        wf.add_step(step("a", outputs=("x",)))
+        initial = {"seed": 1}
+        wf.run(initial)
+        assert initial == {"seed": 1}
+
+
+class TestProvenanceLog:
+    def test_record_ids_unique(self):
+        log = ProvenanceLog()
+        r1 = log.record("a", outputs=["x"])
+        r2 = log.record("a", outputs=["x"])
+        assert r1.record_id != r2.record_id  # sequence disambiguates
+
+    def test_producer_of_latest_wins(self):
+        log = ProvenanceLog()
+        log.record("old", outputs=["x"])
+        newer = log.record("new", outputs=["x"])
+        assert log.producer_of("x") is newer
+
+    def test_lineage_transitive(self):
+        log = ProvenanceLog()
+        log.record("s1", outputs=["a"])
+        log.record("s2", inputs=["a"], outputs=["b"])
+        log.record("s3", inputs=["b"], outputs=["c"])
+        assert [r.activity for r in log.lineage("c")] == ["s1", "s2", "s3"]
+
+    def test_lineage_unknown_output(self):
+        assert ProvenanceLog().lineage("ghost") == []
+
+    def test_json_export(self):
+        import json
+
+        log = ProvenanceLog()
+        log.record("a", outputs=["x"], params={"k": 1})
+        data = json.loads(log.to_json())
+        assert data[0]["activity"] == "a"
+        assert data[0]["params"]["k"] == "1"

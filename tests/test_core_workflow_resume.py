@@ -1,0 +1,106 @@
+"""Tests for workflow checkpoint/resume."""
+
+import pytest
+
+from repro.core.workflow import Workflow, WorkflowStep
+
+
+def counting_step(name, counter, inputs=(), outputs=(), fail=False):
+    def fn(ctx):
+        counter[name] = counter.get(name, 0) + 1
+        if fail:
+            raise RuntimeError("boom")
+        return {out: f"{name}-value" for out in outputs}
+
+    return WorkflowStep(name=name, func=fn, inputs=inputs, outputs=outputs)
+
+
+class TestResume:
+    def test_resume_skips_completed_steps(self):
+        counter = {}
+        wf = Workflow()
+        wf.add_step(counting_step("a", counter, outputs=("x",)))
+        wf.add_step(counting_step("b", counter, inputs=("x",), outputs=("y",)))
+        first = wf.run()
+        assert first.ok
+        second = wf.run(first.context, resume=True)
+        assert second.ok
+        assert counter == {"a": 1, "b": 1}  # nothing re-ran
+        statuses = {r.name: r.status for r in second.results}
+        assert statuses == {"a": "resumed", "b": "resumed"}
+
+    def test_resume_after_failure_continues(self):
+        counter = {}
+        flaky = {"fail": True}
+
+        def sometimes(ctx):
+            counter["b"] = counter.get("b", 0) + 1
+            if flaky["fail"]:
+                raise RuntimeError("transient")
+            return {"y": 1}
+
+        wf = Workflow()
+        wf.add_step(counting_step("a", counter, outputs=("x",)))
+        wf.add_step(WorkflowStep("b", sometimes, ("x",), ("y",)))
+        wf.add_step(counting_step("c", counter, inputs=("y",), outputs=("z",)))
+
+        first = wf.run()
+        assert not first.ok
+        assert {r.name: r.status for r in first.results} == {
+            "a": "ok", "b": "failed", "c": "skipped",
+        }
+
+        flaky["fail"] = False
+        second = wf.run(first.context, resume=True)
+        assert second.ok
+        assert counter["a"] == 1  # step a never re-ran
+        assert counter["b"] == 2  # retried
+        assert counter["c"] == 1
+
+    def test_resume_false_reruns_everything(self):
+        counter = {}
+        wf = Workflow()
+        wf.add_step(counting_step("a", counter, outputs=("x",)))
+        first = wf.run()
+        wf.run(first.context, resume=False)
+        assert counter["a"] == 2
+
+    def test_partial_outputs_force_rerun(self):
+        counter = {}
+        wf = Workflow()
+        wf.add_step(counting_step("a", counter, outputs=("x", "w")))
+        first = wf.run()
+        ctx = dict(first.context)
+        del ctx["w"]  # one declared output missing -> must re-run
+        second = wf.run(ctx, resume=True)
+        assert counter["a"] == 2
+        assert second.ok
+
+    def test_steps_without_outputs_always_run(self):
+        counter = {}
+        wf = Workflow()
+        wf.add_step(counting_step("side-effect", counter))
+        wf.run({}, resume=True)
+        wf.run({}, resume=True)
+        assert counter["side-effect"] == 2
+
+    def test_resumed_counts_as_ok(self):
+        wf = Workflow()
+        wf.add_step(counting_step("a", {}, outputs=("x",)))
+        run = wf.run({"x": "precomputed"}, resume=True)
+        assert run.ok
+        assert run.results[0].status == "resumed"
+        assert run.total_seconds == 0.0
+
+
+class TestTutorialResume:
+    def test_four_step_resume_after_step3(self, tmp_path):
+        from repro.core import build_tutorial_workflow
+
+        wf = build_tutorial_workflow(str(tmp_path), shape=(32, 32), grid=(1, 1))
+        first = wf.run()
+        assert first.ok
+        # Re-running with resume redoes nothing but step 4 I/O-free checks.
+        second = wf.run(first.context, resume=True)
+        statuses = [r.status for r in second.results]
+        assert statuses == ["resumed"] * 4

@@ -1,0 +1,122 @@
+"""Tests for the comparison views."""
+
+import numpy as np
+import pytest
+
+from repro.dashboard import blink, compare_frames, difference_view, side_by_side
+
+
+@pytest.fixture
+def pair(rng):
+    a = rng.random((24, 36)) * 100
+    b = a + rng.normal(0, 1.0, a.shape)
+    return a, b
+
+
+class TestCompareFrames:
+    def test_shared_range(self, rng):
+        # Left spans [0, 1], right spans [10, 11]: with a shared range the
+        # left render must be darker overall (gray palette).
+        left = rng.random((16, 16))
+        right = left + 10.0
+        img_l, img_r = compare_frames(left, right, palette="gray")
+        assert img_l.mean() < img_r.mean()
+        # Identical values map to identical pixels across the two frames.
+        il2, ir2 = compare_frames(left, left.copy(), palette="gray")
+        assert np.array_equal(il2, ir2)
+
+    def test_explicit_range(self, pair):
+        a, b = pair
+        img_l, img_r = compare_frames(a, b, vmin=0.0, vmax=100.0)
+        assert img_l.shape == a.shape + (3,)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            compare_frames(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_all_nan_rejected(self):
+        nan = np.full((4, 4), np.nan)
+        with pytest.raises(ValueError):
+            compare_frames(nan, nan)
+
+
+class TestDifferenceView:
+    def test_zero_difference_is_midpoint(self, rng):
+        a = rng.random((8, 8))
+        img, peak = difference_view(a, a.copy())
+        assert peak == 0.0
+        # coolwarm midpoint is a light gray: channels roughly equal.
+        assert np.allclose(img[..., 0], img[..., 2], atol=2)
+
+    def test_peak_reported(self):
+        a = np.zeros((4, 4))
+        b = a.copy()
+        b[1, 1] = 5.0
+        b[2, 2] = -3.0
+        _, peak = difference_view(a, b)
+        assert peak == 5.0
+
+    def test_symmetric_centering(self):
+        a = np.zeros((4, 4))
+        b = a.copy()
+        b[0, 0] = 4.0  # positive-only difference
+        img_sym, _ = difference_view(a, b, symmetric=True)
+        # Unchanged cells stay at the neutral midpoint under symmetric mode.
+        assert abs(int(img_sym[3, 3, 0]) - int(img_sym[3, 3, 2])) < 10
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            difference_view(np.zeros((2, 2)), np.zeros((4, 4)))
+
+
+class TestMontageAndBlink:
+    def test_side_by_side_geometry(self, pair):
+        a, b = pair
+        img_l, img_r = compare_frames(a, b)
+        montage = side_by_side(img_l, img_r, separator_px=6)
+        assert montage.shape == (24, 36 * 2 + 6, 3)
+        assert (montage[:, 36:42] == 255).all()  # white bar
+
+    def test_zero_separator(self, pair):
+        a, b = pair
+        img_l, img_r = compare_frames(a, b)
+        montage = side_by_side(img_l, img_r, separator_px=0)
+        assert montage.shape == (24, 72, 3)
+
+    def test_height_mismatch(self):
+        with pytest.raises(ValueError):
+            side_by_side(np.zeros((4, 4, 3), np.uint8), np.zeros((5, 4, 3), np.uint8))
+
+    def test_blink_alternates(self, pair):
+        a, b = pair
+        img_l, img_r = compare_frames(a, b)
+        frames = list(blink(img_l, img_r, cycles=3))
+        assert len(frames) == 6
+        assert np.array_equal(frames[0], img_l)
+        assert np.array_equal(frames[1], img_r)
+        assert np.array_equal(frames[4], img_l)
+
+    def test_blink_validation(self, pair):
+        a, b = pair
+        img_l, img_r = compare_frames(a, b)
+        with pytest.raises(ValueError):
+            list(blink(img_l, img_r, cycles=0))
+        with pytest.raises(ValueError):
+            list(blink(img_l, img_r[:-1], cycles=1))
+
+
+class TestStep3Integration:
+    def test_lossless_conversion_blink_is_static(self, tmp_path, small_dem):
+        """Blinking original vs lossless IDX round trip shows no change."""
+        from repro.formats.tiff import write_tiff
+        from repro.idx import IdxDataset, tiff_to_idx
+
+        tiff = str(tmp_path / "a.tif")
+        idx = str(tmp_path / "a.idx")
+        write_tiff(tiff, small_dem)
+        tiff_to_idx(tiff, idx)
+        converted = IdxDataset.open(idx).read()
+        img_l, img_r = compare_frames(small_dem, converted, palette="terrain")
+        assert np.array_equal(img_l, img_r)
+        _, peak = difference_view(small_dem, converted)
+        assert peak == 0.0

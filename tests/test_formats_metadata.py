@@ -1,0 +1,73 @@
+"""Tests for dataset metadata and georeferencing."""
+
+import pytest
+
+from repro.formats.metadata import DatasetMetadata, GeoReference
+
+
+class TestGeoReference:
+    def test_pixel_to_model(self):
+        g = GeoReference(origin=(-90.0, 36.0), pixel_size=(0.01, -0.01))
+        assert g.pixel_to_model(0, 0) == (-90.0, 36.0)
+        x, y = g.pixel_to_model(10, 20)
+        assert x == pytest.approx(-89.8)
+        assert y == pytest.approx(35.9)
+
+    def test_model_to_pixel_inverse(self):
+        g = GeoReference(origin=(-90.0, 36.0), pixel_size=(0.01, -0.01))
+        row, col = g.model_to_pixel(*g.pixel_to_model(7.0, 13.0))
+        assert row == pytest.approx(7.0)
+        assert col == pytest.approx(13.0)
+
+    def test_dict_round_trip(self):
+        g = GeoReference(origin=(1.0, 2.0), pixel_size=(0.5, -0.5), crs="EPSG:32616")
+        g2 = GeoReference.from_dict(g.to_dict())
+        assert g2 == g
+
+
+class TestDatasetMetadata:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            DatasetMetadata(name="")
+
+    def test_dims_coerced_to_ints(self):
+        m = DatasetMetadata(name="x", dims=(3.0, 4.0))
+        assert m.dims == (3, 4)
+
+    def test_round_trip(self):
+        m = DatasetMetadata(
+            name="conus-slope",
+            dims=(100, 200),
+            fields=["slope"],
+            title="CONUS slope",
+            keywords=["terrain", "slope"],
+            region="CONUS",
+            resolution_m=30.0,
+            georef=GeoReference((-124.8, 49.4), (0.0003, -0.0003)),
+            extra={"pipeline": "geotiled"},
+        )
+        m2 = DatasetMetadata.from_dict(m.to_dict())
+        assert m2.name == m.name
+        assert m2.dims == m.dims
+        assert m2.georef == m.georef
+        assert m2.extra["pipeline"] == "geotiled"
+
+    def test_unknown_keys_preserved(self):
+        d = DatasetMetadata(name="x").to_dict()
+        d["future_field"] = 42
+        m = DatasetMetadata.from_dict(d)
+        assert m.extra["future_field"] == 42
+
+    def test_search_text_includes_keywords_and_fields(self):
+        m = DatasetMetadata(
+            name="tn", title="Tennessee", keywords=["terrain"], fields=["slope"]
+        )
+        text = m.search_text()
+        for token in ("tn", "Tennessee", "terrain", "slope"):
+            assert token in text
+
+    def test_defaults(self):
+        m = DatasetMetadata(name="x")
+        assert m.version == 1
+        assert m.license == "CC-BY-4.0"
+        assert m.georef is None

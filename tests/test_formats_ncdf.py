@@ -1,0 +1,128 @@
+"""Tests for the NetCDF classic (CDF-1) subset."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.formats.ncdf import NcdfError, NcdfFile, read_ncdf, write_ncdf
+
+
+@pytest.fixture
+def sample(rng):
+    nc = NcdfFile(attrs={"title": "terrain test", "resolution": 30.0, "count": 4})
+    nc.add_variable(
+        "elevation",
+        ("y", "x"),
+        rng.random((12, 18)).astype(np.float32),
+        attrs={"units": "m", "valid_max": 9000.0},
+    )
+    nc.add_variable("slope", ("y", "x"), rng.random((12, 18)).astype(np.float64))
+    nc.add_variable("profile", ("x",), np.arange(18, dtype=np.int32))
+    return nc
+
+
+class TestRoundTrip:
+    def test_dims(self, tmp_path, sample):
+        path = str(tmp_path / "t.nc")
+        write_ncdf(path, sample)
+        back = read_ncdf(path)
+        assert back.dims == {"y": 12, "x": 18}
+
+    def test_variables(self, tmp_path, sample):
+        path = str(tmp_path / "t.nc")
+        write_ncdf(path, sample)
+        back = read_ncdf(path)
+        for name in sample.variables:
+            assert np.allclose(back.variables[name], sample.variables[name]), name
+            assert back.var_dims[name] == sample.var_dims[name]
+
+    def test_exact_dtypes(self, tmp_path, sample):
+        path = str(tmp_path / "t.nc")
+        write_ncdf(path, sample)
+        back = read_ncdf(path)
+        assert back.variables["elevation"].dtype == np.float32
+        assert back.variables["slope"].dtype == np.float64
+        assert back.variables["profile"].dtype == np.int32
+
+    def test_global_attrs(self, tmp_path, sample):
+        path = str(tmp_path / "t.nc")
+        write_ncdf(path, sample)
+        back = read_ncdf(path)
+        assert back.attrs["title"] == "terrain test"
+        assert back.attrs["resolution"] == pytest.approx(30.0)
+        assert back.attrs["count"] == 4
+
+    def test_var_attrs(self, tmp_path, sample):
+        path = str(tmp_path / "t.nc")
+        write_ncdf(path, sample)
+        back = read_ncdf(path)
+        assert back.var_attrs["elevation"]["units"] == "m"
+        assert back.var_attrs["elevation"]["valid_max"] == pytest.approx(9000.0)
+
+    def test_empty_file(self, tmp_path):
+        path = str(tmp_path / "e.nc")
+        write_ncdf(path, NcdfFile())
+        back = read_ncdf(path)
+        assert back.dims == {} and back.variables == {}
+
+    def test_int16_variable(self, tmp_path):
+        nc = NcdfFile()
+        nc.add_variable("v", ("n",), np.arange(7, dtype=np.int16))
+        path = str(tmp_path / "i.nc")
+        write_ncdf(path, nc)
+        assert np.array_equal(read_ncdf(path).variables["v"], np.arange(7, dtype=np.int16))
+
+
+class TestFormatCompliance:
+    def test_magic_bytes(self, tmp_path, sample):
+        path = str(tmp_path / "t.nc")
+        write_ncdf(path, sample)
+        with open(path, "rb") as fh:
+            assert fh.read(4) == b"CDF\x01"
+
+    def test_big_endian_data(self, tmp_path):
+        nc = NcdfFile()
+        nc.add_variable("v", ("n",), np.array([1], dtype=np.int32))
+        path = str(tmp_path / "t.nc")
+        write_ncdf(path, nc)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        # The int32 value 1 must appear big-endian in the data section.
+        assert data.endswith(struct.pack(">i", 1))
+
+
+class TestValidation:
+    def test_dim_conflict(self):
+        nc = NcdfFile()
+        nc.add_variable("a", ("y", "x"), np.zeros((3, 4), dtype=np.float32))
+        with pytest.raises(NcdfError):
+            nc.add_variable("b", ("y", "x"), np.zeros((5, 4), dtype=np.float32))
+
+    def test_dims_ndim_mismatch(self):
+        nc = NcdfFile()
+        with pytest.raises(NcdfError):
+            nc.add_variable("a", ("y",), np.zeros((3, 4), dtype=np.float32))
+
+    def test_unsupported_dtype(self):
+        nc = NcdfFile()
+        with pytest.raises(NcdfError):
+            nc.add_variable("a", ("n",), np.zeros(4, dtype=np.uint64))
+
+    def test_not_cdf(self, tmp_path):
+        path = str(tmp_path / "x.nc")
+        with open(path, "wb") as fh:
+            fh.write(b"HDF5 file maybe?")
+        with pytest.raises(NcdfError):
+            read_ncdf(path)
+
+    def test_truncated(self, tmp_path, sample):
+        path = str(tmp_path / "t.nc")
+        write_ncdf(path, sample)
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        bad = str(tmp_path / "bad.nc")
+        with open(bad, "wb") as fh:
+            fh.write(blob[:40])
+        with pytest.raises(NcdfError):
+            read_ncdf(bad)

@@ -1,0 +1,69 @@
+"""Tests for raw binary dumps with sidecars."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.formats.rawbin import read_raw, read_raw_window, sidecar_path, write_raw
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dtype", [np.uint8, np.int16, np.float32, np.float64])
+    def test_dtypes(self, tmp_path, rng, dtype):
+        path = str(tmp_path / "a.raw")
+        a = (rng.random((13, 21)) * 100).astype(dtype)
+        write_raw(path, a)
+        assert np.array_equal(read_raw(path), a)
+
+    def test_3d(self, tmp_path, rng):
+        path = str(tmp_path / "v.raw")
+        v = rng.random((4, 6, 8)).astype(np.float32)
+        write_raw(path, v)
+        assert np.array_equal(read_raw(path), v)
+
+    def test_attrs_round_trip(self, tmp_path):
+        path = str(tmp_path / "a.raw")
+        write_raw(path, np.zeros((2, 2)), attrs={"units": "m", "region": "conus"})
+        _, attrs = read_raw(path, with_attrs=True)
+        assert attrs == {"units": "m", "region": "conus"}
+
+    def test_sidecar_is_json(self, tmp_path):
+        path = str(tmp_path / "a.raw")
+        write_raw(path, np.zeros((3, 5), dtype=np.float32))
+        with open(sidecar_path(path)) as fh:
+            meta = json.load(fh)
+        assert meta["shape"] == [3, 5]
+        assert meta["dtype"] == "f4"
+
+    def test_size_returned(self, tmp_path):
+        a = np.zeros((10, 10), dtype=np.float64)
+        assert write_raw(str(tmp_path / "a.raw"), a) == a.nbytes
+
+
+class TestWindowedRead:
+    def test_window_matches_slice(self, tmp_path, rng):
+        path = str(tmp_path / "a.raw")
+        a = rng.random((50, 60)).astype(np.float32)
+        write_raw(path, a)
+        w = read_raw_window(path, ((10, 20), (30, 45)))
+        assert np.array_equal(w, a[10:30, 20:45])
+
+    def test_full_window(self, tmp_path, rng):
+        path = str(tmp_path / "a.raw")
+        a = rng.random((8, 8)).astype(np.float64)
+        write_raw(path, a)
+        assert np.array_equal(read_raw_window(path, ((0, 0), (8, 8))), a)
+
+    def test_out_of_bounds_rejected(self, tmp_path):
+        path = str(tmp_path / "a.raw")
+        write_raw(path, np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            read_raw_window(path, ((0, 0), (5, 4)))
+
+    def test_3d_window(self, tmp_path, rng):
+        path = str(tmp_path / "v.raw")
+        v = rng.random((6, 7, 8)).astype(np.float32)
+        write_raw(path, v)
+        w = read_raw_window(path, ((1, 2, 3), (4, 5, 6)))
+        assert np.array_equal(w, v[1:4, 2:5, 3:6])

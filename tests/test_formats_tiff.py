@@ -1,0 +1,173 @@
+"""Tests for the minimal TIFF 6.0 reader/writer."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.formats.tiff import TiffError, read_tiff, tiff_info, write_tiff
+
+DTYPES = [np.uint8, np.uint16, np.uint32, np.int8, np.int16, np.int32, np.float32, np.float64]
+
+
+@pytest.fixture
+def raster(rng):
+    return (rng.random((61, 83)) * 250).astype(np.float32)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("compression", ["none", "deflate"])
+    def test_all_dtypes(self, tmp_path, rng, dtype, compression):
+        path = str(tmp_path / "t.tif")
+        a = (rng.random((40, 33)) * 200).astype(dtype)
+        write_tiff(path, a, compression=compression)
+        assert np.array_equal(read_tiff(path), a)
+
+    @pytest.mark.parametrize("rows_per_strip", [1, 7, 40, 64, 1000])
+    def test_strip_sizes(self, tmp_path, raster, rows_per_strip):
+        path = str(tmp_path / "t.tif")
+        write_tiff(path, raster, rows_per_strip=rows_per_strip)
+        assert np.array_equal(read_tiff(path), raster)
+
+    def test_rgb(self, tmp_path, rng):
+        path = str(tmp_path / "rgb.tif")
+        rgb = (rng.random((20, 30, 3)) * 255).astype(np.uint8)
+        write_tiff(path, rgb, compression="deflate")
+        assert np.array_equal(read_tiff(path), rgb)
+
+    def test_single_pixel(self, tmp_path):
+        path = str(tmp_path / "one.tif")
+        write_tiff(path, np.array([[42.5]], dtype=np.float64))
+        assert read_tiff(path)[0, 0] == 42.5
+
+    def test_returned_size_matches_file(self, tmp_path, raster):
+        import os
+
+        path = str(tmp_path / "t.tif")
+        size = write_tiff(path, raster)
+        assert size == os.path.getsize(path)
+
+
+class TestMetadataTags:
+    def test_description(self, tmp_path, raster):
+        path = str(tmp_path / "t.tif")
+        write_tiff(path, raster, description="slope raster (Tennessee)")
+        assert tiff_info(path).description == "slope raster (Tennessee)"
+
+    def test_geotiff_tags(self, tmp_path, raster):
+        path = str(tmp_path / "t.tif")
+        write_tiff(
+            path,
+            raster,
+            pixel_scale=(30.0, 30.0, 0.0),
+            tiepoint=(0, 0, 0, -90.31, 36.68, 0),
+        )
+        info = tiff_info(path)
+        assert info.pixel_scale == (30.0, 30.0, 0.0)
+        assert info.tiepoint == (0.0, 0.0, 0.0, -90.31, 36.68, 0.0)
+
+    def test_info_structure(self, tmp_path, raster):
+        path = str(tmp_path / "t.tif")
+        write_tiff(path, raster, compression="deflate", rows_per_strip=16)
+        info = tiff_info(path)
+        assert (info.height, info.width) == raster.shape
+        assert info.shape == raster.shape
+        assert info.samples_per_pixel == 1
+        assert info.rows_per_strip == 16
+        assert len(info.strip_offsets) == len(info.strip_byte_counts) == -(-61 // 16)
+
+    def test_compression_reduces_smooth_raster(self, tmp_path):
+        from scipy.ndimage import gaussian_filter
+
+        smooth = gaussian_filter(
+            np.random.default_rng(0).random((128, 128)), 6
+        ).astype(np.float32)
+        p1 = str(tmp_path / "raw.tif")
+        p2 = str(tmp_path / "def.tif")
+        s1 = write_tiff(p1, smooth, compression="none")
+        s2 = write_tiff(p2, smooth, compression="deflate")
+        assert s2 < s1
+
+
+class TestValidation:
+    def test_bad_shape(self, tmp_path):
+        with pytest.raises(TiffError):
+            write_tiff(str(tmp_path / "x.tif"), np.zeros((2, 2, 2)))
+
+    def test_rgb_must_be_uint8(self, tmp_path):
+        with pytest.raises(TiffError):
+            write_tiff(str(tmp_path / "x.tif"), np.zeros((4, 4, 3), dtype=np.float32))
+
+    def test_unknown_compression(self, tmp_path):
+        with pytest.raises(TiffError):
+            write_tiff(str(tmp_path / "x.tif"), np.zeros((4, 4)), compression="jpeg")
+
+    def test_bad_rows_per_strip(self, tmp_path):
+        with pytest.raises(TiffError):
+            write_tiff(str(tmp_path / "x.tif"), np.zeros((4, 4)), rows_per_strip=0)
+
+    def test_unsupported_dtype(self, tmp_path):
+        with pytest.raises(TiffError):
+            write_tiff(str(tmp_path / "x.tif"), np.zeros((4, 4), dtype=np.complex64))
+
+    def test_truncated_file(self, tmp_path, raster):
+        path = str(tmp_path / "t.tif")
+        write_tiff(path, raster)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        bad = str(tmp_path / "bad.tif")
+        with open(bad, "wb") as fh:
+            fh.write(data[: len(data) // 2])
+        with pytest.raises(TiffError):
+            read_tiff(bad)
+
+    def test_not_a_tiff(self, tmp_path):
+        path = str(tmp_path / "no.tif")
+        with open(path, "wb") as fh:
+            fh.write(b"PNG not really a tiff file content here")
+        with pytest.raises(TiffError):
+            tiff_info(path)
+
+    def test_bad_magic_number(self, tmp_path):
+        path = str(tmp_path / "no.tif")
+        with open(path, "wb") as fh:
+            fh.write(struct.pack("<2sHI", b"II", 43, 8) + bytes(100))
+        with pytest.raises(TiffError, match="magic"):
+            tiff_info(path)
+
+
+class TestByteLevelFormat:
+    """The files must be genuine little-endian classic TIFF."""
+
+    def test_header_bytes(self, tmp_path, raster):
+        path = str(tmp_path / "t.tif")
+        write_tiff(path, raster)
+        with open(path, "rb") as fh:
+            header = fh.read(8)
+        order, magic, ifd = struct.unpack("<2sHI", header)
+        assert order == b"II"
+        assert magic == 42
+        assert ifd == 8
+
+    def test_ifd_entries_sorted_by_tag(self, tmp_path, raster):
+        path = str(tmp_path / "t.tif")
+        write_tiff(path, raster, description="x", pixel_scale=(1, 1, 0))
+        with open(path, "rb") as fh:
+            fh.seek(8)
+            (n,) = struct.unpack("<H", fh.read(2))
+            tags = []
+            for _ in range(n):
+                entry = fh.read(12)
+                tags.append(struct.unpack("<H", entry[:2])[0])
+        assert tags == sorted(tags)
+
+    def test_strip_offsets_point_at_data(self, tmp_path, raster):
+        path = str(tmp_path / "t.tif")
+        write_tiff(path, raster, rows_per_strip=61)  # single strip
+        info = tiff_info(path)
+        with open(path, "rb") as fh:
+            fh.seek(info.strip_offsets[0])
+            strip = fh.read(info.strip_byte_counts[0])
+        expected = raster.astype("<f4").tobytes()
+        assert strip == expected

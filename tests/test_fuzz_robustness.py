@@ -1,0 +1,156 @@
+"""Corruption-fuzz tests: malformed inputs must raise typed errors,
+never crash with arbitrary exceptions or return silently-wrong data.
+
+The stack moves bytes across (simulated) networks, caches, and format
+conversions; every parser boundary is fuzzed here with truncations and
+random byte flips.
+"""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.compression import CodecError, get_codec
+from repro.formats.ncdf import NcdfError, NcdfFile, read_ncdf, write_ncdf
+from repro.formats.tiff import TiffError, read_tiff, write_tiff
+from repro.idx import IdxDataset, verify_dataset
+from repro.idx.idxfile import BytesByteSource, IdxBinaryReader, IdxError
+
+ACCEPTABLE_IDX = (IdxError, CodecError, ValueError, KeyError, json.JSONDecodeError)
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """One valid instance of each on-disk artifact."""
+    tmp = tmp_path_factory.mktemp("fuzz")
+    rng = np.random.default_rng(0)
+    raster = rng.random((24, 24)).astype(np.float32)
+
+    tiff_path = str(tmp / "a.tif")
+    write_tiff(tiff_path, raster, compression="deflate")
+
+    nc = NcdfFile(attrs={"t": "x"})
+    nc.add_variable("v", ("y", "x"), raster)
+    nc_path = str(tmp / "a.nc")
+    write_ncdf(nc_path, nc)
+
+    idx_path = str(tmp / "a.idx")
+    ds = IdxDataset.create(idx_path, dims=raster.shape, bits_per_block=6)
+    ds.write(raster)
+    ds.finalize()
+
+    blobs = {}
+    for name, path in (("tiff", tiff_path), ("ncdf", nc_path), ("idx", idx_path)):
+        with open(path, "rb") as fh:
+            blobs[name] = fh.read()
+    return tmp, blobs
+
+
+def _write(tmp, name, data):
+    path = str(tmp / f"fuzz-{name}-{len(data)}.bin")
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return path
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("fraction", [0.0, 0.1, 0.5, 0.9, 0.99])
+    def test_tiff_truncation(self, artifacts, fraction):
+        tmp, blobs = artifacts
+        data = blobs["tiff"][: int(len(blobs["tiff"]) * fraction)]
+        path = _write(tmp, "tif", data)
+        with pytest.raises((TiffError, ValueError)):
+            read_tiff(path)
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.1, 0.5, 0.9])
+    def test_ncdf_truncation(self, artifacts, fraction):
+        tmp, blobs = artifacts
+        data = blobs["ncdf"][: int(len(blobs["ncdf"]) * fraction)]
+        path = _write(tmp, "nc", data)
+        with pytest.raises((NcdfError, ValueError)):
+            read_ncdf(path)
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.05, 0.3, 0.8])
+    def test_idx_truncation(self, artifacts, fraction):
+        _, blobs = artifacts
+        data = blobs["idx"][: int(len(blobs["idx"]) * fraction)]
+        source = BytesByteSource(data)
+        try:
+            reader = IdxBinaryReader(source)
+            # Header may have survived; block reads must then fail cleanly.
+            for b in reader.present_blocks(0, 0):
+                reader.read_block(0, 0, int(b))
+        except ACCEPTABLE_IDX:
+            return
+        # Extremely high truncation fractions can leave the file intact
+        # enough to read fully — that's fine too, but only if content
+        # verification also passes.
+        report = verify_dataset(BytesByteSource(data))
+        assert report.ok
+
+
+class TestBitFlips:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_idx_random_flips_detected_or_clean_error(self, artifacts, seed):
+        """Any single-byte flip either (a) raises a typed error, (b) is
+        caught by verify_dataset, or (c) hits ignorable metadata."""
+        _, blobs = artifacts
+        data = bytearray(blobs["idx"])
+        rng = np.random.default_rng(seed)
+        pos = int(rng.integers(0, len(data)))
+        data[pos] ^= 0x40
+        source = BytesByteSource(bytes(data))
+        try:
+            report = verify_dataset(source)
+        except ACCEPTABLE_IDX:
+            return  # header/table parse failed loudly: acceptable
+        if report.ok:
+            # The flip landed somewhere the manifest doesn't cover (header
+            # text, table slack); reading must still behave sanely.
+            try:
+                reader = IdxBinaryReader(BytesByteSource(bytes(data)))
+                for b in reader.present_blocks(0, 0):
+                    reader.read_block(0, 0, int(b))
+            except ACCEPTABLE_IDX:
+                pass
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_tiff_random_flips(self, artifacts, seed):
+        tmp, blobs = artifacts
+        data = bytearray(blobs["tiff"])
+        rng = np.random.default_rng(100 + seed)
+        for pos in rng.integers(0, len(data), 4):
+            data[int(pos)] ^= 0xFF
+        path = _write(tmp, f"flip{seed}.tif", bytes(data))
+        try:
+            read_tiff(path)  # may survive if flips hit pixel data
+        except (TiffError, ValueError, OverflowError, MemoryError):
+            pass  # typed failure is acceptable
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_ncdf_random_flips(self, artifacts, seed):
+        tmp, blobs = artifacts
+        data = bytearray(blobs["ncdf"])
+        rng = np.random.default_rng(200 + seed)
+        for pos in rng.integers(0, len(data), 4):
+            data[int(pos)] ^= 0xFF
+        path = _write(tmp, f"flip{seed}.nc", bytes(data))
+        try:
+            read_ncdf(path)
+        except (NcdfError, ValueError, UnicodeDecodeError, MemoryError):
+            pass
+
+
+class TestCodecGarbage:
+    @pytest.mark.parametrize("spec", ["zlib", "lz4", "rle", "zfp", "shuffle"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_bytes_never_crash_decoders(self, spec, seed):
+        codec = get_codec(spec)
+        rng = np.random.default_rng(seed)
+        garbage = rng.integers(0, 256, int(rng.integers(0, 300)), dtype=np.uint8).tobytes()
+        try:
+            codec.decode_array(garbage, np.float32, (8, 8))
+        except (CodecError, ValueError):
+            pass  # typed rejection

@@ -1,0 +1,148 @@
+"""Tests for the V-bitmask and its lattice geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.idx.bitmask import Bitmask
+
+
+class TestConstruction:
+    def test_parse_pattern(self):
+        bm = Bitmask("V0101")
+        assert bm.maxh == 4
+        assert bm.ndim == 2
+        assert bm.pow2dims == (4, 4)
+
+    def test_requires_v_prefix(self):
+        with pytest.raises(ValueError):
+            Bitmask("0101")
+
+    def test_requires_body(self):
+        with pytest.raises(ValueError):
+            Bitmask("V")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Bitmask("V01a1")
+
+    def test_rejects_unused_axis(self):
+        # Axis 1 appears, axis 0 never does -> ndim 2 but axis 0 unsplit.
+        with pytest.raises(ValueError):
+            Bitmask("V11").__class__("V1")  # "V1": ndim=2, axis 0 never split
+        with pytest.raises(ValueError):
+            Bitmask("V1")
+
+    def test_from_dims_square(self):
+        bm = Bitmask.from_dims((8, 8))
+        assert bm.pow2dims == (8, 8)
+        assert bm.maxh == 6
+
+    def test_from_dims_pads_to_pow2(self):
+        bm = Bitmask.from_dims((5, 9))
+        assert bm.pow2dims == (8, 16)
+
+    def test_from_dims_anisotropic_splits_largest_first(self):
+        bm = Bitmask.from_dims((4, 64))
+        # The first splits must all be along axis 1 until extents equalise.
+        lead = bm.splits[: 4]
+        assert all(a == 1 for a in lead)
+
+    def test_from_dims_3d(self):
+        bm = Bitmask.from_dims((4, 4, 4))
+        assert bm.ndim == 3
+        assert bm.maxh == 6
+
+    def test_equality_and_hash(self):
+        assert Bitmask("V0101") == Bitmask("V0101")
+        assert hash(Bitmask("V0101")) == hash(Bitmask("V0101"))
+        assert Bitmask("V0101") != Bitmask("V0110")
+
+
+class TestLatticeGeometry:
+    def test_level_strides_monotone(self):
+        bm = Bitmask.from_dims((16, 16))
+        prev = None
+        for h in range(bm.maxh + 1):
+            strides = bm.level_strides(h)
+            if prev is not None:
+                assert all(s <= p for s, p in zip(strides, prev))
+            prev = strides
+        assert bm.level_strides(bm.maxh) == (1, 1)
+
+    def test_level_dims_double_per_level(self):
+        bm = Bitmask.from_dims((8, 8))
+        sizes = [int(np.prod(bm.level_dims(h))) for h in range(bm.maxh + 1)]
+        assert sizes == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_level_zero_single_sample(self):
+        bm = Bitmask.from_dims((32, 8))
+        phase, step = bm.delta_lattice(0)
+        assert phase == (0, 0)
+        assert step == bm.pow2dims
+
+    def test_delta_lattices_partition_domain(self):
+        for dims in [(8, 8), (4, 16), (8, 2), (4, 4, 4), (2, 4, 8)]:
+            bm = Bitmask.from_dims(dims)
+            seen = np.zeros(bm.pow2dims, dtype=int)
+            for h in range(bm.maxh + 1):
+                phase, step = bm.delta_lattice(h)
+                slices = tuple(slice(p, None, s) for p, s in zip(phase, step))
+                seen[slices] += 1
+            assert (seen == 1).all(), dims
+
+    def test_delta_count_matches_level_size(self):
+        bm = Bitmask.from_dims((16, 16))
+        for h in range(1, bm.maxh + 1):
+            phase, step = bm.delta_lattice(h)
+            count = 1
+            for p, s, d in zip(phase, step, bm.pow2dims):
+                count *= len(range(p, d, s))
+            assert count == 1 << (h - 1), h
+
+    def test_axis_bit_positions_complete(self):
+        bm = Bitmask.from_dims((8, 32))
+        all_z_shifts = []
+        for a in range(bm.ndim):
+            table = bm.axis_bit_positions(a)
+            coord_bits = [cb for cb, _ in table]
+            assert coord_bits == list(range(bm.bits_per_axis[a]))
+            all_z_shifts.extend(zs for _, zs in table)
+        assert sorted(all_z_shifts) == list(range(bm.maxh))
+
+    def test_axis_bit_positions_bad_axis(self):
+        with pytest.raises(ValueError):
+            Bitmask("V01").axis_bit_positions(2)
+
+    def test_level_out_of_range(self):
+        bm = Bitmask("V01")
+        with pytest.raises(ValueError):
+            bm.level_strides(3)
+        with pytest.raises(ValueError):
+            bm.delta_lattice(-1)
+
+    def test_covers(self):
+        bm = Bitmask.from_dims((5, 9))
+        assert bm.covers((5, 9))
+        assert bm.covers((8, 16))
+        assert not bm.covers((9, 16))
+        assert not bm.covers((8,))
+
+
+@given(
+    st.lists(st.integers(min_value=2, max_value=64), min_size=1, max_size=3)
+)
+def test_property_from_dims_covers_and_partitions(dims):
+    bm = Bitmask.from_dims(dims)
+    assert bm.covers(dims)
+    total = 0
+    for h in range(bm.maxh + 1):
+        phase, step = bm.delta_lattice(h)
+        n = 1
+        for p, s, d in zip(phase, step, bm.pow2dims):
+            n *= len(range(p, d, s))
+        total += n
+    expected = 1
+    for d in bm.pow2dims:
+        expected *= d
+    assert total == expected

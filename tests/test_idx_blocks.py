@@ -1,0 +1,81 @@
+"""Tests for HZ-space block partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.idx.blocks import BlockLayout
+
+
+class TestGeometry:
+    def test_basic_counts(self):
+        layout = BlockLayout(maxh=10, bits_per_block=4)
+        assert layout.block_size == 16
+        assert layout.total_samples == 1024
+        assert layout.num_blocks == 64
+
+    def test_small_dataset_single_block(self):
+        layout = BlockLayout(maxh=3, bits_per_block=10)
+        assert layout.bits_per_block == 3  # clamped to maxh
+        assert layout.num_blocks == 1
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            BlockLayout(maxh=8, bits_per_block=0)
+
+    def test_block_of_and_offset(self):
+        layout = BlockLayout(maxh=8, bits_per_block=4)
+        hz = np.array([0, 15, 16, 17, 255], dtype=np.uint64)
+        assert layout.block_of(hz).tolist() == [0, 0, 1, 1, 15]
+        assert layout.offset_in_block(hz).tolist() == [0, 15, 0, 1, 15]
+
+    def test_hz_range_of_block(self):
+        layout = BlockLayout(maxh=8, bits_per_block=4)
+        assert layout.hz_range_of_block(0) == (0, 16)
+        assert layout.hz_range_of_block(15) == (240, 256)
+        with pytest.raises(ValueError):
+            layout.hz_range_of_block(16)
+
+    def test_block_ranges_tile_address_space(self):
+        layout = BlockLayout(maxh=9, bits_per_block=5)
+        covered = []
+        for b in range(layout.num_blocks):
+            lo, hi = layout.hz_range_of_block(b)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(layout.total_samples))
+
+
+class TestLevelMapping:
+    def test_block_zero_contains_coarse_prefix(self):
+        layout = BlockLayout(maxh=12, bits_per_block=6)
+        # Levels 0..6 all fall inside block 0 (hz < 64).
+        for h in range(7):
+            lo, hi = layout.blocks_for_level(h)
+            assert (lo, hi) == (0, 1), h
+
+    def test_fine_levels_span_more_blocks(self):
+        layout = BlockLayout(maxh=12, bits_per_block=6)
+        lo, hi = layout.blocks_for_level(12)
+        assert lo == 32 and hi == 64
+
+    def test_max_block_for_resolution_monotone(self):
+        layout = BlockLayout(maxh=10, bits_per_block=3)
+        last = -1
+        for h in range(layout.maxh + 1):
+            m = layout.max_block_for_resolution(h)
+            assert m >= last
+            last = m
+        assert last == layout.num_blocks - 1
+
+    def test_level_out_of_range(self):
+        layout = BlockLayout(maxh=6, bits_per_block=3)
+        with pytest.raises(ValueError):
+            layout.blocks_for_level(7)
+
+    def test_progressive_prefix_property(self):
+        """A query at resolution h never touches blocks beyond 2^h/B."""
+        layout = BlockLayout(maxh=14, bits_per_block=8)
+        for h in range(layout.maxh + 1):
+            hi_block = layout.blocks_for_level(h)[1]
+            # All addresses of levels <= h live below that block boundary.
+            max_addr = (1 << h) - 1 if h else 0
+            assert layout.block_of(np.array([max_addr], dtype=np.uint64))[0] < hi_block

@@ -1,0 +1,116 @@
+"""Tests for per-block statistics and metadata-only range queries."""
+
+import numpy as np
+import pytest
+
+from repro.idx import IdxDataset, estimate_range, LocalAccess
+from repro.idx.bitmask import Bitmask
+from repro.idx.blocks import BlockLayout
+from repro.idx.blockstats import BLOCKSTATS_KEY, block_spatial_bounds
+
+
+@pytest.fixture
+def gradient_dataset(tmp_path):
+    """Values equal to row index: ranges are spatially predictable."""
+    a = np.broadcast_to(
+        np.arange(64, dtype=np.float32)[:, None], (64, 64)
+    ).copy()
+    path = str(tmp_path / "g.idx")
+    ds = IdxDataset.create(path, dims=a.shape, bits_per_block=6)
+    ds.write(a)
+    ds.finalize()
+    return IdxDataset.open(path), a
+
+
+class TestBlockSpatialBounds:
+    def test_bounds_cover_domain_exactly(self):
+        bm = Bitmask.from_dims((16, 16))
+        layout = BlockLayout(bm.maxh, 4)
+        bounds = block_spatial_bounds(bm, layout)
+        assert len(bounds) == layout.num_blocks
+        # Union of all block boxes covers the domain; each within it.
+        for lo, hi in bounds:
+            assert all(0 <= l < h <= 16 for l, h in zip(lo, hi))
+        # Block 0 holds the coarse prefix: its lattice starts at the
+        # origin and spans most of the domain (coarse samples sit at
+        # stride-4 lattice points, so the farthest is coordinate 12).
+        assert bounds[0][0] == [0, 0]
+        assert bounds[0][1][0] >= 13 and bounds[0][1][1] >= 13
+
+    def test_fine_blocks_are_localised(self):
+        bm = Bitmask.from_dims((32, 32))
+        layout = BlockLayout(bm.maxh, 4)
+        bounds = block_spatial_bounds(bm, layout)
+        # The last block (finest level, end of HZ space) is a small patch.
+        lo, hi = bounds[-1]
+        area = (hi[0] - lo[0]) * (hi[1] - lo[1])
+        assert area < 32 * 32 / 4
+
+
+class TestEstimateRange:
+    def test_full_domain_exact(self, gradient_dataset):
+        ds, a = gradient_dataset
+        lo, hi = estimate_range(ds)
+        assert lo == float(a.min())
+        assert hi == float(a.max())
+
+    def test_region_brackets_truth(self, gradient_dataset):
+        ds, a = gradient_dataset
+        box = ((10, 0), (20, 64))
+        lo, hi = estimate_range(ds, box=box)
+        true_lo, true_hi = float(a[10:20].min()), float(a[10:20].max())
+        assert lo <= true_lo
+        assert hi >= true_hi
+        # Block granularity keeps the bracket reasonably tight.
+        assert hi - lo < (a.max() - a.min())
+
+    def test_no_data_reads(self, gradient_dataset):
+        ds, _ = gradient_dataset
+        access = LocalAccess(ds.path)
+        probe = IdxDataset.from_access(access)
+        estimate_range(probe, box=((0, 0), (16, 16)))
+        assert access.counters.blocks_read == 0  # metadata only
+
+    def test_multi_timestep(self, tmp_path, rng):
+        a = rng.random((16, 16)).astype(np.float32)
+        path = str(tmp_path / "t.idx")
+        ds = IdxDataset.create(path, dims=a.shape, timesteps=2, bits_per_block=5)
+        ds.write(a, time=0)
+        ds.write(a + 100, time=1)
+        ds.finalize()
+        out = IdxDataset.open(path)
+        lo0, hi0 = estimate_range(out, time=0)
+        lo1, hi1 = estimate_range(out, time=1)
+        assert lo1 == pytest.approx(lo0 + 100, abs=1e-4)
+        assert hi1 == pytest.approx(hi0 + 100, abs=1e-4)
+
+    def test_nan_samples_ignored(self, tmp_path):
+        a = np.ones((16, 16), dtype=np.float32)
+        a[0, 0] = np.nan
+        a[3, 3] = 7.0
+        path = str(tmp_path / "n.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=5)
+        ds.write(a)
+        ds.finalize()
+        lo, hi = estimate_range(IdxDataset.open(path))
+        assert lo == 1.0 and hi == 7.0
+
+    def test_empty_box_rejected(self, gradient_dataset):
+        ds, _ = gradient_dataset
+        with pytest.raises(ValueError):
+            estimate_range(ds, box=((64, 64), (70, 70)))
+
+    def test_missing_stats_rejected(self, gradient_dataset):
+        ds, _ = gradient_dataset
+        ds.header.metadata.pop(BLOCKSTATS_KEY)
+        with pytest.raises(ValueError, match="no block statistics"):
+            estimate_range(ds)
+
+    def test_dashboard_range_seeding_use_case(self, gradient_dataset):
+        """The intended consumer: a colormap range before any fetch."""
+        from repro.dashboard import render_raster
+
+        ds, a = gradient_dataset
+        lo, hi = estimate_range(ds, box=((0, 0), (32, 64)))
+        frame = render_raster(a[:32], palette="viridis", vmin=lo, vmax=hi)
+        assert frame.shape == (32, 64, 3)

@@ -1,0 +1,93 @@
+"""Tests for the LRU block cache."""
+
+import numpy as np
+import pytest
+
+from repro.idx.cache import BlockCache
+
+
+def block(value: float, n: int = 256) -> np.ndarray:
+    return np.full(n, value, dtype=np.float32)  # 1 KiB each
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = BlockCache("4 KiB")
+        assert cache.get(("a", 0)) is None
+        cache.put(("a", 0), block(1))
+        got = cache.get(("a", 0))
+        assert got is not None and got[0] == 1
+
+    def test_stats_counting(self):
+        cache = BlockCache("4 KiB")
+        cache.get(("x",))
+        cache.put(("x",), block(2))
+        cache.get(("x",))
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_contains_does_not_touch_stats(self):
+        cache = BlockCache("4 KiB")
+        cache.put(("k",), block(1))
+        assert cache.contains(("k",))
+        assert not cache.contains(("nope",))
+        assert cache.stats.requests == 0
+
+    def test_invalidate(self):
+        cache = BlockCache("4 KiB")
+        cache.put(("k",), block(1))
+        assert cache.invalidate(("k",))
+        assert not cache.invalidate(("k",))
+        assert cache.get(("k",)) is None
+
+    def test_clear(self):
+        cache = BlockCache("8 KiB")
+        cache.put(("a",), block(1))
+        cache.put(("b",), block(2))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BlockCache(0)
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        cache = BlockCache(3 * 1024)  # fits 3 blocks
+        for i in range(3):
+            cache.put((i,), block(i))
+        cache.get((0,))  # 0 is now most recent
+        cache.put((3,), block(3))  # evicts 1 (least recent)
+        assert cache.contains((0,))
+        assert not cache.contains((1,))
+        assert cache.contains((2,))
+        assert cache.contains((3,))
+        assert cache.stats.evictions == 1
+
+    def test_byte_budget_respected(self):
+        cache = BlockCache(10 * 1024)
+        for i in range(100):
+            cache.put((i,), block(i))
+        assert cache.used_bytes <= 10 * 1024
+
+    def test_oversized_entry_skipped(self):
+        cache = BlockCache(512)  # smaller than one block
+        cache.put(("big",), block(1))
+        assert len(cache) == 0
+
+    def test_replacement_updates_bytes(self):
+        cache = BlockCache("8 KiB")
+        cache.put(("k",), block(1, n=256))
+        cache.put(("k",), block(2, n=512))  # replace with bigger
+        assert len(cache) == 1
+        assert cache.used_bytes == 512 * 4
+        assert cache.get(("k",))[0] == 2
+
+    def test_inserted_bytes_accumulates(self):
+        cache = BlockCache("8 KiB")
+        cache.put(("a",), block(1))
+        cache.put(("b",), block(2))
+        assert cache.stats.inserted_bytes == 2 * 1024

@@ -1,0 +1,178 @@
+"""Tests for IdxDataset create/write/read round trips."""
+
+import numpy as np
+import pytest
+
+from repro.idx import IdxDataset, IdxError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("shape", [(8, 8), (64, 64), (50, 70), (33, 129), (17, 3)])
+    def test_full_read_matches(self, tmp_path, rng, shape):
+        a = rng.random(shape).astype(np.float32)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=shape, bits_per_block=6)
+        ds.write(a)
+        ds.finalize()
+        assert np.array_equal(IdxDataset.open(path).read(), a)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int32, np.uint16, np.uint8])
+    def test_dtypes(self, tmp_path, rng, dtype):
+        a = (rng.random((32, 32)) * 100).astype(dtype)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=a.shape, fields={"v": str(np.dtype(dtype))})
+        ds.write(a, field="v")
+        ds.finalize()
+        out = IdxDataset.open(path).read(field="v")
+        assert out.dtype == dtype
+        assert np.array_equal(out, a)
+
+    @pytest.mark.parametrize("codec", ["identity", "zlib", "rle", "lz4"])
+    def test_lossless_codecs(self, tmp_path, rng, codec):
+        a = (rng.random((40, 40)) * 50).astype(np.float32)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=a.shape, codec=codec, bits_per_block=7)
+        ds.write(a)
+        ds.finalize()
+        assert np.array_equal(IdxDataset.open(path).read(), a)
+
+    def test_zfp_codec_bounded_error(self, tmp_path, rng):
+        from repro.compression import ZfpCodec
+
+        a = (rng.random((64, 64)) * 1000).astype(np.float32)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=a.shape, codec="zfp:precision=16")
+        ds.write(a)
+        ds.finalize()
+        out = IdxDataset.open(path).read()
+        tol = ZfpCodec(precision=16).tolerance_for(a)
+        assert np.max(np.abs(out.astype(np.float64) - a.astype(np.float64))) <= tol
+
+    def test_3d(self, tmp_path, rng):
+        v = rng.random((8, 16, 12)).astype(np.float32)
+        path = str(tmp_path / "v.idx")
+        ds = IdxDataset.create(path, dims=v.shape, bits_per_block=8)
+        ds.write(v)
+        ds.finalize()
+        assert np.array_equal(IdxDataset.open(path).read(), v)
+
+    def test_multi_field_multi_time(self, tmp_path, rng):
+        a = rng.random((16, 16)).astype(np.float32)
+        b = (a * 7).astype(np.float64)
+        path = str(tmp_path / "m.idx")
+        ds = IdxDataset.create(
+            path, dims=a.shape, fields={"u": "float32", "w": "float64"}, timesteps=[0, 5]
+        )
+        ds.write(a, field="u", time=0)
+        ds.write(a + 1, field="u", time=5)
+        ds.write(b, field="w", time=0)
+        ds.write(b - 1, field="w", time=5)
+        ds.finalize()
+        out = IdxDataset.open(path)
+        assert np.array_equal(out.read(field="u", time=0), a)
+        assert np.array_equal(out.read(field="u", time=5), a + 1)
+        assert np.array_equal(out.read(field="w", time=5), b - 1)
+
+    def test_custom_fill_value(self, tmp_path):
+        path = str(tmp_path / "f.idx")
+        # Non-pow2 dims: padded region uses the fill value internally, and
+        # coarse queries over small boxes surface it when no sample lands.
+        a = np.ones((5, 5), dtype=np.float32)
+        ds = IdxDataset.create(path, dims=a.shape, fill_value=-9999.0)
+        ds.write(a)
+        ds.finalize()
+        assert np.array_equal(IdxDataset.open(path).read(), a)
+
+
+class TestMetadataAndStats:
+    def test_metadata_persisted(self, tmp_path):
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(
+            path, dims=(8, 8), metadata={"region": "tennessee", "resolution_m": 30}
+        )
+        ds.write(np.zeros((8, 8), dtype=np.float32))
+        ds.finalize()
+        out = IdxDataset.open(path)
+        assert out.header.metadata["region"] == "tennessee"
+
+    def test_field_stats(self, tmp_path):
+        path = str(tmp_path / "d.idx")
+        a = np.arange(64, dtype=np.float32).reshape(8, 8)
+        ds = IdxDataset.create(path, dims=a.shape)
+        ds.write(a)
+        ds.finalize()
+        stats = IdxDataset.open(path).field_stats()
+        assert stats["min"] == 0.0
+        assert stats["max"] == 63.0
+        assert stats["mean"] == pytest.approx(31.5)
+
+    def test_stored_bytes_positive(self, tmp_path, rng):
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=(32, 32))
+        ds.write(rng.random((32, 32)).astype(np.float32))
+        ds.finalize()
+        out = IdxDataset.open(path)
+        assert 0 < out.stored_bytes() <= 32 * 32 * 4 * 1.5
+
+    def test_all_fill_blocks_cost_nothing(self, tmp_path):
+        path = str(tmp_path / "z.idx")
+        ds = IdxDataset.create(path, dims=(64, 64), codec="identity", bits_per_block=6)
+        ds.write(np.zeros((64, 64), dtype=np.float32))
+        ds.finalize()
+        assert IdxDataset.open(path).stored_bytes() == 0
+
+    def test_properties(self, tmp_path):
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=(10, 20), fields=["a", "b"], timesteps=3)
+        assert ds.dims == (10, 20)
+        assert ds.fields == ("a", "b")
+        assert ds.timesteps == (0, 1, 2)
+        assert ds.maxh == 9  # 16 x 32 pow2 domain
+
+
+class TestErrors:
+    def test_write_wrong_shape(self, tmp_path):
+        ds = IdxDataset.create(str(tmp_path / "d.idx"), dims=(8, 8))
+        with pytest.raises(IdxError):
+            ds.write(np.zeros((8, 9), dtype=np.float32))
+
+    def test_write_unknown_field(self, tmp_path):
+        ds = IdxDataset.create(str(tmp_path / "d.idx"), dims=(8, 8))
+        with pytest.raises(IdxError):
+            ds.write(np.zeros((8, 8), dtype=np.float32), field="nope")
+
+    def test_write_unknown_time(self, tmp_path):
+        ds = IdxDataset.create(str(tmp_path / "d.idx"), dims=(8, 8))
+        with pytest.raises(IdxError):
+            ds.write(np.zeros((8, 8), dtype=np.float32), time=9)
+
+    def test_write_after_finalize(self, tmp_path):
+        ds = IdxDataset.create(str(tmp_path / "d.idx"), dims=(8, 8))
+        ds.write(np.zeros((8, 8), dtype=np.float32))
+        ds.finalize()
+        with pytest.raises(IdxError):
+            ds.write(np.zeros((8, 8), dtype=np.float32))
+
+    def test_double_finalize(self, tmp_path):
+        ds = IdxDataset.create(str(tmp_path / "d.idx"), dims=(8, 8))
+        ds.write(np.zeros((8, 8), dtype=np.float32))
+        ds.finalize()
+        with pytest.raises(IdxError):
+            ds.finalize()
+
+    def test_read_requires_access(self, tmp_path):
+        ds = IdxDataset.create(str(tmp_path / "d.idx"), dims=(8, 8))
+        with pytest.raises(IdxError):
+            ds.read()
+
+    def test_duplicate_field_names(self, tmp_path):
+        with pytest.raises(IdxError):
+            IdxDataset.create(str(tmp_path / "d.idx"), dims=(8, 8), fields=["a", "a"])
+
+    def test_read_after_finalize_without_reopen(self, tmp_path):
+        """finalize() attaches local access, so reads work immediately."""
+        a = np.ones((8, 8), dtype=np.float32)
+        ds = IdxDataset.create(str(tmp_path / "d.idx"), dims=(8, 8))
+        ds.write(a)
+        ds.finalize()
+        assert np.array_equal(ds.read(), a)

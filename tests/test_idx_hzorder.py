@@ -1,0 +1,160 @@
+"""Tests for vectorized Z/HZ address arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.idx.bitmask import Bitmask
+from repro.idx.hzorder import HzOrder
+
+
+def full_grid(dims):
+    grids = np.meshgrid(*[np.arange(d) for d in dims], indexing="ij")
+    return tuple(g.ravel() for g in grids)
+
+
+@pytest.fixture(params=[(8, 8), (4, 16), (16, 2), (4, 4, 4), (2, 8, 4)])
+def hz(request):
+    return HzOrder(Bitmask.from_dims(request.param))
+
+
+class TestBijections:
+    def test_interleave_bijective(self, hz):
+        coords = full_grid(hz.bitmask.pow2dims)
+        z = hz.interleave(coords)
+        assert sorted(z.tolist()) == list(range(hz.total_samples))
+
+    def test_deinterleave_inverse(self, hz):
+        coords = full_grid(hz.bitmask.pow2dims)
+        back = hz.deinterleave(hz.interleave(coords))
+        for a, b in zip(coords, back):
+            assert np.array_equal(a, b)
+
+    def test_hz_bijective(self, hz):
+        z = np.arange(hz.total_samples, dtype=np.uint64)
+        h = hz.hz_from_z(z)
+        assert sorted(h.tolist()) == list(range(hz.total_samples))
+
+    def test_z_from_hz_inverse(self, hz):
+        z = np.arange(hz.total_samples, dtype=np.uint64)
+        assert np.array_equal(hz.z_from_hz(hz.hz_from_z(z)), z)
+
+    def test_point_round_trip(self, hz):
+        coords = full_grid(hz.bitmask.pow2dims)
+        back = hz.hz_to_point(hz.point_to_hz(coords))
+        for a, b in zip(coords, back):
+            assert np.array_equal(a, b)
+
+
+class TestLevelStructure:
+    def test_level_ranges_partition_address_space(self, hz):
+        covered = []
+        for h in range(hz.maxh + 1):
+            lo, hi = hz.level_range(h)
+            covered.extend(range(lo, hi))
+        assert sorted(covered) == list(range(hz.total_samples))
+
+    def test_level_of_hz_matches_ranges(self, hz):
+        addr = np.arange(hz.total_samples, dtype=np.uint64)
+        levels = hz.level_of_hz(addr)
+        for h in range(hz.maxh + 1):
+            lo, hi = hz.level_range(h)
+            assert (levels[lo:hi] == h).all()
+
+    def test_delta_samples_fill_their_level_range(self, hz):
+        bm = hz.bitmask
+        for h in range(bm.maxh + 1):
+            phase, step = bm.delta_lattice(h)
+            axes = [np.arange(p, d, s) for p, s, d in zip(phase, step, bm.pow2dims)]
+            grids = np.meshgrid(*axes, indexing="ij")
+            z = hz.interleave(tuple(g.ravel() for g in grids))
+            addr = hz.hz_for_level(h, z)
+            lo, hi = hz.level_range(h)
+            assert sorted(addr.tolist()) == list(range(lo, hi)), h
+
+    def test_hz_for_level_matches_general_transform(self, hz):
+        bm = hz.bitmask
+        for h in range(bm.maxh + 1):
+            phase, step = bm.delta_lattice(h)
+            axes = [np.arange(p, d, s) for p, s, d in zip(phase, step, bm.pow2dims)]
+            grids = np.meshgrid(*axes, indexing="ij")
+            z = hz.interleave(tuple(g.ravel() for g in grids))
+            assert np.array_equal(hz.hz_for_level(h, z), hz.hz_from_z(z)), h
+
+    def test_z_for_level_inverse(self, hz):
+        for h in range(hz.maxh + 1):
+            lo, hi = hz.level_range(h)
+            addr = np.arange(lo, hi, dtype=np.uint64)
+            z = hz.z_for_level(h, addr)
+            assert np.array_equal(hz.hz_for_level(h, z), addr)
+
+    def test_level_range_bounds(self, hz):
+        with pytest.raises(ValueError):
+            hz.level_range(hz.maxh + 1)
+        with pytest.raises(ValueError):
+            hz.level_range(-1)
+
+    def test_z_from_hz_range_check(self, hz):
+        with pytest.raises(ValueError):
+            hz.z_from_hz(np.array([hz.total_samples], dtype=np.uint64))
+
+
+class TestSpatialLocality:
+    def test_coarse_prefix_is_coarse_grid(self):
+        """The first 2^h HZ addresses decode to exactly the level-h lattice."""
+        bm = Bitmask.from_dims((16, 16))
+        hz = HzOrder(bm)
+        for h in range(bm.maxh + 1):
+            addr = np.arange(1 << h, dtype=np.uint64)
+            coords = hz.hz_to_point(addr)
+            strides = bm.level_strides(h)
+            for c, s in zip(coords, strides):
+                assert (c % s == 0).all(), h
+
+    def test_axis_z_component_composes(self):
+        bm = Bitmask.from_dims((8, 8))
+        hz = HzOrder(bm)
+        ys = np.arange(8)
+        xs = np.arange(8)
+        zy = hz.axis_z_component(0, ys)
+        zx = hz.axis_z_component(1, xs)
+        combined = zy[:, None] | zx[None, :]
+        grids = np.meshgrid(ys, xs, indexing="ij")
+        direct = hz.interleave(tuple(g.ravel() for g in grids)).reshape(8, 8)
+        assert np.array_equal(combined, direct)
+
+    def test_interleave_wrong_arity(self):
+        hz = HzOrder(Bitmask.from_dims((4, 4)))
+        with pytest.raises(ValueError):
+            hz.interleave((np.arange(4),))
+
+
+class TestScalability:
+    def test_large_bitmask(self):
+        """26-level (8192x8192) addressing stays exact in uint64."""
+        bm = Bitmask.from_dims((8192, 8192))
+        hz = HzOrder(bm)
+        rng = np.random.default_rng(0)
+        ys = rng.integers(0, 8192, 1000)
+        xs = rng.integers(0, 8192, 1000)
+        addr = hz.point_to_hz((ys, xs))
+        by, bx = hz.hz_to_point(addr)
+        assert np.array_equal(by, ys)
+        assert np.array_equal(bx, xs)
+
+    def test_maxh_limit(self):
+        with pytest.raises(ValueError):
+            HzOrder(Bitmask("V" + "01" * 32))  # maxh = 64 > 62
+
+
+@given(st.integers(2, 6), st.integers(2, 6), st.integers(0, 10_000))
+@settings(max_examples=50)
+def test_property_hz_round_trip(by, bx, seed):
+    bm = Bitmask.from_dims((1 << by, 1 << bx))
+    hz = HzOrder(bm)
+    rng = np.random.default_rng(seed)
+    ys = rng.integers(0, 1 << by, 64)
+    xs = rng.integers(0, 1 << bx, 64)
+    ry, rx = hz.hz_to_point(hz.point_to_hz((ys, xs)))
+    assert np.array_equal(ry, ys)
+    assert np.array_equal(rx, xs)

@@ -1,0 +1,163 @@
+"""Tests for the on-disk IDX container format."""
+
+import numpy as np
+import pytest
+
+from repro.idx.idxfile import (
+    BytesByteSource,
+    FileByteSource,
+    IdxBinaryReader,
+    IdxError,
+    IdxHeader,
+    write_idx_file,
+)
+
+
+@pytest.fixture
+def header():
+    return IdxHeader(
+        dims=(16, 16),
+        bitmask="V01010101",
+        bits_per_block=4,
+        fields=[{"name": "v", "dtype": "float32"}],
+        timesteps=[0],
+        codec="zlib:level=6",
+    )
+
+
+class TestHeader:
+    def test_json_round_trip(self, header):
+        back = IdxHeader.from_json(header.to_json())
+        assert back.dims == header.dims
+        assert back.bitmask == header.bitmask
+        assert back.fields == header.fields
+        assert back.codec == header.codec
+
+    def test_bitmask_must_cover_dims(self):
+        with pytest.raises(IdxError):
+            IdxHeader(
+                dims=(32, 32),
+                bitmask="V01",  # 2x2 only
+                bits_per_block=4,
+                fields=[{"name": "v", "dtype": "float32"}],
+                timesteps=[0],
+            )
+
+    def test_requires_fields_and_timesteps(self):
+        with pytest.raises(IdxError):
+            IdxHeader(dims=(4, 4), bitmask="V0101", bits_per_block=2, fields=[], timesteps=[0])
+        with pytest.raises(IdxError):
+            IdxHeader(
+                dims=(4, 4),
+                bitmask="V0101",
+                bits_per_block=2,
+                fields=[{"name": "v", "dtype": "float32"}],
+                timesteps=[],
+            )
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(IdxError):
+            IdxHeader(
+                dims=(4, 4),
+                bitmask="V0101",
+                bits_per_block=2,
+                fields=[{"name": "v", "dtype": "float32"}] * 2,
+                timesteps=[0],
+            )
+
+    def test_field_and_time_index(self, header):
+        assert header.field_index(None) == 0
+        assert header.field_index("v") == 0
+        with pytest.raises(IdxError):
+            header.field_index("nope")
+        assert header.time_index(0) == 0
+        with pytest.raises(IdxError):
+            header.time_index(3)
+
+
+class TestContainer:
+    def test_write_and_read_blocks(self, tmp_path, header):
+        codec = header.codec_obj()
+        rng = np.random.default_rng(0)
+        blocks = {}
+        expected = {}
+        for bid in range(header.layout().num_blocks):
+            data = rng.random(header.layout().block_size).astype(np.float32)
+            blocks[(0, 0, bid)] = codec.encode_array(data)
+            expected[bid] = data
+        path = str(tmp_path / "c.idx")
+        total = write_idx_file(path, header, blocks)
+        assert total > 0
+
+        reader = IdxBinaryReader(FileByteSource(path))
+        for bid, data in expected.items():
+            assert np.array_equal(reader.read_block(0, 0, bid), data)
+
+    def test_absent_block_returns_fill(self, tmp_path, header):
+        path = str(tmp_path / "c.idx")
+        write_idx_file(path, header, {})
+        reader = IdxBinaryReader(FileByteSource(path))
+        block = reader.read_block(0, 0, 0)
+        assert (block == header.fill_value).all()
+        assert reader.stored_bytes() == 0
+
+    def test_present_blocks_listing(self, tmp_path, header):
+        codec = header.codec_obj()
+        data = np.ones(header.layout().block_size, dtype=np.float32)
+        blocks = {(0, 0, 3): codec.encode_array(data), (0, 0, 7): codec.encode_array(data)}
+        path = str(tmp_path / "c.idx")
+        write_idx_file(path, header, blocks)
+        reader = IdxBinaryReader(FileByteSource(path))
+        assert reader.present_blocks(0, 0).tolist() == [3, 7]
+
+    def test_block_key_out_of_range(self, tmp_path, header):
+        with pytest.raises(IdxError):
+            write_idx_file(str(tmp_path / "c.idx"), header, {(0, 0, 9999): b"x"})
+
+    def test_bad_magic(self, tmp_path):
+        path = str(tmp_path / "bad.idx")
+        with open(path, "wb") as fh:
+            fh.write(b"NOPE" + bytes(100))
+        with pytest.raises(IdxError):
+            IdxBinaryReader(FileByteSource(path))
+
+    def test_bytes_source_equivalent_to_file(self, tmp_path, header):
+        codec = header.codec_obj()
+        data = np.arange(header.layout().block_size, dtype=np.float32)
+        blocks = {(0, 0, 0): codec.encode_array(data)}
+        path = str(tmp_path / "c.idx")
+        write_idx_file(path, header, blocks)
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        r1 = IdxBinaryReader(FileByteSource(path))
+        r2 = IdxBinaryReader(BytesByteSource(blob))
+        assert np.array_equal(r1.read_block(0, 0, 0), r2.read_block(0, 0, 0))
+
+    def test_short_read_detected(self, tmp_path, header):
+        path = str(tmp_path / "c.idx")
+        write_idx_file(path, header, {})
+        src = FileByteSource(path)
+        with pytest.raises(IdxError):
+            src.read_at(src.size() - 4, 100)
+
+    def test_multi_time_field_table(self, tmp_path):
+        header = IdxHeader(
+            dims=(8, 8),
+            bitmask="V010101",
+            bits_per_block=3,
+            fields=[{"name": "a", "dtype": "float32"}, {"name": "b", "dtype": "int16"}],
+            timesteps=[0, 1, 2],
+        )
+        codec = header.codec_obj()
+        size = header.layout().block_size
+        blocks = {
+            (2, 1, 5): codec.encode_array(np.full(size, 3, dtype=np.int16)),
+        }
+        path = str(tmp_path / "m.idx")
+        write_idx_file(path, header, blocks)
+        reader = IdxBinaryReader(FileByteSource(path))
+        out = reader.read_block(2, 1, 5)
+        assert out.dtype == np.int16
+        assert (out == 3).all()
+        # Untouched slots come back as fill.
+        assert (reader.read_block(0, 0, 5) == 0).all()

@@ -1,0 +1,135 @@
+"""Tests for layout reorganisation and dataset statistics."""
+
+import numpy as np
+import pytest
+
+from repro.idx import IdxDataset, LocalAccess
+from repro.idx.idxfile import FileByteSource, IdxBinaryReader
+from repro.idx.layout import PagedByteSource, access_histogram, reorganize
+from repro.idx.stats import compute_stats, histogram
+
+
+@pytest.fixture
+def hot_workload(tmp_path, rng):
+    """A dataset plus an access log concentrated on one corner region."""
+    a = rng.random((128, 128)).astype(np.float32)
+    path = str(tmp_path / "d.idx")
+    ds = IdxDataset.create(path, dims=a.shape, bits_per_block=5)
+    ds.write(a)
+    ds.finalize()
+    access = LocalAccess(path)
+    hot = IdxDataset.from_access(access)
+    for _ in range(10):
+        hot.read(box=((96, 96), (128, 128)))  # hot corner at full res
+    return path, a, access.counters.access_log
+
+
+class TestAccessHistogram:
+    def test_counts(self):
+        log = [(0, 0, 1), (0, 0, 1), (0, 0, 2)]
+        hist = access_histogram(log)
+        assert hist[(0, 0, 1)] == 2
+        assert hist[(0, 0, 2)] == 1
+
+
+class TestReorganize:
+    def test_content_identical_after_reorg(self, hot_workload, tmp_path):
+        path, a, log = hot_workload
+        dst = str(tmp_path / "hot.idx")
+        info = reorganize(path, dst, log)
+        assert info["blocks_total"] > 0
+        assert 0 < info["blocks_hot"] <= info["blocks_total"]
+        assert np.array_equal(IdxDataset.open(dst).read(), a)
+
+    def test_hot_blocks_packed_first(self, hot_workload, tmp_path):
+        path, _, log = hot_workload
+        dst = str(tmp_path / "hot.idx")
+        reorganize(path, dst, log)
+        reader = IdxBinaryReader(FileByteSource(dst))
+        hist = access_histogram(log)
+        # Physical offset order: every hot block must precede every cold one.
+        entries = []
+        for b in reader.present_blocks(0, 0):
+            offset, _ = reader.block_entry(0, 0, int(b))
+            entries.append((offset, hist.get((0, 0, int(b)), 0) > 0))
+        entries.sort()
+        hotness = [h for _, h in entries]
+        first_cold = hotness.index(False) if False in hotness else len(hotness)
+        assert all(not h for h in hotness[first_cold:])
+
+    def test_fewer_pages_for_hot_workload(self, hot_workload, tmp_path):
+        """After reorg, the hot working set spans fewer 16 KiB pages."""
+        path, _, log = hot_workload
+        dst = str(tmp_path / "hot.idx")
+        reorganize(path, dst, log)
+
+        def pages_touched(p):
+            src = PagedByteSource(FileByteSource(p), page_size=16 * 1024)
+            reader = IdxBinaryReader(src)
+            src.reset_counters()
+            for key in set(log):
+                reader.read_block(*key)
+            return src.pages_fetched
+
+        assert pages_touched(dst) <= pages_touched(path)
+
+
+class TestPagedByteSource:
+    def test_reads_correct_bytes(self, tmp_path):
+        path = str(tmp_path / "blob.bin")
+        blob = bytes(range(256)) * 64
+        with open(path, "wb") as fh:
+            fh.write(blob)
+        src = PagedByteSource(FileByteSource(path), page_size=1024)
+        assert src.read_at(100, 50) == blob[100:150]
+        assert src.read_at(1000, 200) == blob[1000:1200]  # spans 2 pages
+
+    def test_page_cache_counts(self, tmp_path):
+        path = str(tmp_path / "blob.bin")
+        with open(path, "wb") as fh:
+            fh.write(bytes(8192))
+        src = PagedByteSource(FileByteSource(path), page_size=1024)
+        src.read_at(0, 10)
+        src.read_at(100, 10)  # same page: free
+        assert src.pages_fetched == 1
+        src.read_at(5000, 10)
+        assert src.pages_fetched == 2
+
+    def test_invalid_page_size(self, tmp_path):
+        path = str(tmp_path / "b.bin")
+        with open(path, "wb") as fh:
+            fh.write(b"x")
+        with pytest.raises(ValueError):
+            PagedByteSource(FileByteSource(path), page_size=0)
+
+
+class TestStats:
+    def test_full_resolution_stats(self, idx_factory):
+        a = np.arange(256, dtype=np.float32).reshape(16, 16)
+        ds = idx_factory(a)
+        stats = compute_stats(ds)
+        assert stats.minimum == 0.0
+        assert stats.maximum == 255.0
+        assert stats.mean == pytest.approx(127.5)
+        assert stats.count == 256
+
+    def test_coarse_stats_approximate(self, idx_factory, rng):
+        a = rng.normal(100.0, 10.0, (64, 64)).astype(np.float32)
+        ds = idx_factory(a)
+        coarse = compute_stats(ds, resolution=ds.maxh - 4)
+        assert coarse.count < 64 * 64 / 8
+        assert abs(coarse.mean - a.mean()) < 5.0
+
+    def test_region_stats(self, idx_factory):
+        a = np.zeros((32, 32), dtype=np.float32)
+        a[:16, :] = 50.0
+        ds = idx_factory(a)
+        north = compute_stats(ds, box=((0, 0), (16, 32)))
+        assert north.minimum == north.maximum == 50.0
+
+    def test_histogram(self, idx_factory, rng):
+        a = rng.random((32, 32)).astype(np.float32)
+        ds = idx_factory(a)
+        counts, edges = histogram(ds, bins=10, value_range=(0.0, 1.0))
+        assert counts.sum() == a.size
+        assert len(edges) == 11

@@ -1,0 +1,87 @@
+"""Dimensionality coverage: the HZ machinery is rank-generic (1-D..4-D)."""
+
+import numpy as np
+import pytest
+
+from repro.idx import Bitmask, HzOrder, IdxDataset
+
+
+class TestOneDimensional:
+    def test_round_trip(self, tmp_path, rng):
+        a = rng.random(200).astype(np.float32)
+        path = str(tmp_path / "d1.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=5)
+        ds.write(a)
+        ds.finalize()
+        assert np.array_equal(IdxDataset.open(path).read(), a)
+
+    def test_window(self, tmp_path, rng):
+        a = rng.random(128).astype(np.float32)
+        path = str(tmp_path / "d1.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=4)
+        ds.write(a)
+        ds.finalize()
+        out = IdxDataset.open(path)
+        assert np.array_equal(out.read(box=((30,), (90,))), a[30:90])
+
+    def test_coarse_levels(self, tmp_path, rng):
+        a = rng.random(64).astype(np.float32)
+        path = str(tmp_path / "d1.idx")
+        ds = IdxDataset.create(path, dims=a.shape)
+        ds.write(a)
+        ds.finalize()
+        out = IdxDataset.open(path)
+        for h in range(out.maxh + 1):
+            result = out.read_result(resolution=h)
+            assert np.array_equal(result.data, a[result.axis_coords(0)])
+
+
+class TestFourDimensional:
+    def test_hz_bijection_4d(self):
+        bm = Bitmask.from_dims((4, 4, 4, 4))
+        hz = HzOrder(bm)
+        grids = np.meshgrid(*[np.arange(4)] * 4, indexing="ij")
+        coords = tuple(g.ravel() for g in grids)
+        addr = hz.point_to_hz(coords)
+        assert sorted(addr.tolist()) == list(range(256))
+        back = hz.hz_to_point(addr)
+        for a, b in zip(coords, back):
+            assert np.array_equal(a, b)
+
+    def test_round_trip_4d(self, tmp_path, rng):
+        v = rng.random((4, 6, 8, 5)).astype(np.float32)
+        path = str(tmp_path / "d4.idx")
+        ds = IdxDataset.create(path, dims=v.shape, bits_per_block=7)
+        ds.write(v)
+        ds.finalize()
+        assert np.array_equal(IdxDataset.open(path).read(), v)
+
+    def test_box_query_4d(self, tmp_path, rng):
+        v = rng.random((4, 8, 8, 4)).astype(np.float32)
+        path = str(tmp_path / "d4.idx")
+        ds = IdxDataset.create(path, dims=v.shape, bits_per_block=6)
+        ds.write(v)
+        ds.finalize()
+        out = IdxDataset.open(path)
+        window = out.read(box=((1, 2, 3, 0), (3, 7, 8, 2)))
+        assert np.array_equal(window, v[1:3, 2:7, 3:8, 0:2])
+
+    def test_coarse_level_4d(self, tmp_path, rng):
+        v = rng.random((8, 8, 8, 8)).astype(np.float32)
+        path = str(tmp_path / "d4.idx")
+        ds = IdxDataset.create(path, dims=v.shape, bits_per_block=8)
+        ds.write(v)
+        ds.finalize()
+        out = IdxDataset.open(path)
+        result = out.read_result(resolution=out.maxh - 4)
+        sub = v[np.ix_(*(result.axis_coords(a) for a in range(4)))]
+        assert np.array_equal(result.data, sub)
+
+    def test_write_region_4d(self, tmp_path, rng):
+        v = rng.random((4, 4, 8, 8)).astype(np.float32)
+        path = str(tmp_path / "d4.idx")
+        ds = IdxDataset.create(path, dims=v.shape, bits_per_block=6)
+        ds.write_region(v[:2], (0, 0, 0, 0))
+        ds.write_region(v[2:], (2, 0, 0, 0))
+        ds.finalize()
+        assert np.array_equal(IdxDataset.open(path).read(), v)

@@ -1,0 +1,205 @@
+"""Tests for box queries, resolution levels, and progressive refinement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.idx import BoxQuery, IdxDataset
+from repro.idx.query import _first_on_lattice
+from repro.util.arrays import Box
+
+
+@pytest.fixture
+def dataset(idx_factory, rng):
+    return idx_factory(rng.random((64, 96)).astype(np.float32))
+
+
+class TestFirstOnLattice:
+    @pytest.mark.parametrize(
+        "lo,phase,step,expected",
+        [(0, 0, 4, 0), (1, 0, 4, 4), (4, 0, 4, 4), (5, 2, 4, 6), (7, 2, 4, 10), (2, 2, 4, 2)],
+    )
+    def test_values(self, lo, phase, step, expected):
+        first = _first_on_lattice(lo, phase, step)
+        assert first == expected
+        assert first >= lo
+        assert (first - phase) % step == 0
+
+
+class TestBoxReads:
+    def test_full_box_full_resolution(self, dataset, rng):
+        result = dataset.read_result()
+        assert result.data.shape == dataset.dims
+        assert result.strides == (1, 1)
+        assert result.found == 64 * 96
+
+    @pytest.mark.parametrize(
+        "box",
+        [
+            ((0, 0), (1, 1)),
+            ((10, 20), (11, 21)),
+            ((0, 0), (64, 96)),
+            ((13, 17), (51, 83)),
+            ((63, 95), (64, 96)),
+        ],
+    )
+    def test_window_matches_numpy_slice(self, dataset, box):
+        full = dataset.read()
+        window = dataset.read(box=box)
+        (ly, lx), (hy, hx) = box
+        assert np.array_equal(window, full[ly:hy, lx:hx])
+
+    def test_box_clipped_to_dims(self, dataset):
+        window = dataset.read(box=((50, 80), (100, 200)))
+        assert window.shape == (14, 16)
+
+    def test_empty_after_clip_raises(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.read(box=((64, 96), (70, 100)))
+
+    def test_box_object_accepted(self, dataset):
+        full = dataset.read()
+        window = dataset.read(box=Box((1, 2), (5, 9)))
+        assert np.array_equal(window, full[1:5, 2:9])
+
+
+class TestResolutionLevels:
+    def test_each_level_is_strided_subsample(self, dataset):
+        full = dataset.read()
+        for h in range(dataset.maxh + 1):
+            result = dataset.read_result(resolution=h)
+            sub = full[np.ix_(result.axis_coords(0), result.axis_coords(1))]
+            assert np.array_equal(result.data, sub), h
+
+    def test_level_zero_single_sample(self, dataset):
+        result = dataset.read_result(resolution=0)
+        assert result.data.shape == (1, 1)
+        assert result.data[0, 0] == dataset.read()[0, 0]
+
+    def test_coarse_box_query_consistent(self, dataset):
+        full = dataset.read()
+        result = dataset.read_result(box=((8, 8), (40, 72)), resolution=dataset.maxh - 3)
+        ys = result.axis_coords(0)
+        xs = result.axis_coords(1)
+        assert (ys >= 8).all() and (ys < 40).all()
+        assert np.array_equal(result.data, full[np.ix_(ys, xs)])
+
+    def test_resolution_out_of_range(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.read(resolution=dataset.maxh + 1)
+        with pytest.raises(ValueError):
+            dataset.read(resolution=-1)
+
+    def test_resolution_fraction(self, dataset):
+        full = dataset.read_result()
+        coarse = dataset.read_result(resolution=dataset.maxh - 4)
+        assert full.resolution_fraction == 1.0
+        assert coarse.resolution_fraction == pytest.approx(1 / 16)
+
+    def test_strides_consistent_with_level(self, dataset):
+        for h in (0, 3, dataset.maxh):
+            result = dataset.read_result(resolution=h)
+            assert result.strides == dataset.bitmask.level_strides(h)
+
+
+class TestProgressive:
+    def test_levels_ascend_and_end_full(self, dataset):
+        results = list(dataset.progressive(box=((0, 0), (32, 32))))
+        assert [r.level for r in results] == list(range(dataset.maxh + 1))
+        full = dataset.read(box=((0, 0), (32, 32)))
+        assert np.array_equal(results[-1].data, full)
+
+    def test_each_refinement_consistent(self, dataset):
+        """Every coarse sample must persist (same coord, same value)."""
+        full = dataset.read()
+        for result in dataset.progressive(box=((4, 4), (28, 60)), start_resolution=5):
+            sub = full[np.ix_(result.axis_coords(0), result.axis_coords(1))]
+            assert np.array_equal(result.data, sub)
+
+    def test_start_resolution_respected(self, dataset):
+        levels = [r.level for r in dataset.progressive(start_resolution=7)]
+        assert levels[0] == 7
+
+    def test_bad_start_resolution(self, dataset):
+        with pytest.raises(ValueError):
+            list(dataset.query().progressive(start_resolution=99))
+
+
+class TestBlockTouchEfficiency:
+    def test_coarse_query_touches_fewer_blocks(self, tmp_path, rng):
+        a = rng.random((128, 128)).astype(np.float32)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=8)
+        ds.write(a)
+        ds.finalize()
+
+        ds_coarse = IdxDataset.open(path)
+        ds_coarse.read(resolution=6)
+        coarse_blocks = ds_coarse.access.counters.blocks_read
+
+        ds_full = IdxDataset.open(path)
+        ds_full.read()
+        full_blocks = ds_full.access.counters.blocks_read
+        assert coarse_blocks < full_blocks / 8
+
+    def test_small_box_touches_fewer_blocks_than_full(self, tmp_path, rng):
+        a = rng.random((128, 128)).astype(np.float32)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=6)
+        ds.write(a)
+        ds.finalize()
+
+        d1 = IdxDataset.open(path)
+        d1.read(box=((0, 0), (16, 16)))
+        d2 = IdxDataset.open(path)
+        d2.read()
+        assert d1.access.counters.blocks_read < d2.access.counters.blocks_read / 2
+
+
+class TestFieldTimeSelection:
+    def test_unknown_field(self, dataset):
+        with pytest.raises(Exception):
+            dataset.read(field="missing")
+
+    def test_unknown_time(self, dataset):
+        with pytest.raises(Exception):
+            dataset.read(time=42)
+
+    def test_result_carries_identity(self, idx_factory, rng):
+        ds = idx_factory(rng.random((16, 16)).astype(np.float32), field="slope", timesteps=2)
+        result = ds.read_result(field="slope", time=1)
+        assert result.field == "slope"
+        assert result.time == 1
+
+
+@given(
+    st.integers(0, 63),
+    st.integers(0, 95),
+    st.integers(1, 64),
+    st.integers(1, 96),
+)
+@settings(max_examples=40, deadline=5000)
+def test_property_any_box_matches_slice(ly, lx, height, width):
+    """Random boxes at full resolution always equal the NumPy slice."""
+    rng = np.random.default_rng(99)
+    a = rng.random((64, 96)).astype(np.float32)
+    ds = _cached_dataset(a)
+    hy, hx = min(64, ly + height), min(96, lx + width)
+    window = ds.read(box=((ly, lx), (hy, hx)))
+    assert np.array_equal(window, a[ly:hy, lx:hx])
+
+
+_CACHE = {}
+
+
+def _cached_dataset(a: np.ndarray) -> IdxDataset:
+    key = a.shape
+    if key not in _CACHE:
+        import tempfile
+
+        path = tempfile.mktemp(suffix=".idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=7)
+        ds.write(a)
+        ds.finalize()
+        _CACHE[key] = IdxDataset.open(path)
+    return _CACHE[key]

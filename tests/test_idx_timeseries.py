@@ -1,0 +1,115 @@
+"""Tests for temporal utilities over multi-timestep datasets."""
+
+import numpy as np
+import pytest
+
+from repro.idx import (
+    BlockCache,
+    CachedAccess,
+    IdxDataset,
+    LocalAccess,
+    animate,
+    global_range,
+    prefetch_timestep,
+    temporal_difference,
+    temporal_stats,
+)
+
+
+@pytest.fixture
+def series(tmp_path, rng):
+    """4-step series: base terrain rising 10 units per step."""
+    base = rng.random((32, 48)).astype(np.float32) * 100
+    path = str(tmp_path / "ts.idx")
+    ds = IdxDataset.create(path, dims=base.shape, timesteps=4, bits_per_block=7)
+    for t in range(4):
+        ds.write(base + 10.0 * t, time=t)
+    ds.finalize()
+    return IdxDataset.open(path), base
+
+
+class TestTemporalStats:
+    def test_one_entry_per_timestep(self, series):
+        ds, _ = series
+        stats = temporal_stats(ds)
+        assert len(stats) == 4
+
+    def test_means_rise_with_time(self, series):
+        ds, _ = series
+        stats = temporal_stats(ds)
+        means = [s.mean for s in stats]
+        assert means == sorted(means)
+        assert means[3] - means[0] == pytest.approx(30.0, abs=0.5)
+
+    def test_coarse_stats_cheaper(self, series):
+        ds, _ = series
+        coarse = temporal_stats(ds, resolution=ds.maxh - 4)
+        assert all(s.count < 32 * 48 / 8 for s in coarse)
+
+
+class TestGlobalRange:
+    def test_brackets_all_steps(self, series):
+        ds, base = series
+        lo, hi = global_range(ds)
+        assert lo == pytest.approx(float(base.min()))
+        assert hi == pytest.approx(float(base.max()) + 30.0)
+
+    def test_coarse_range_within_exact(self, series):
+        ds, _ = series
+        lo_c, hi_c = global_range(ds, resolution=ds.maxh - 3)
+        lo, hi = global_range(ds)
+        assert lo <= lo_c and hi_c <= hi
+
+
+class TestTemporalDifference:
+    def test_constant_shift(self, series):
+        ds, _ = series
+        diff = temporal_difference(ds, 0, 3)
+        assert np.allclose(diff, 30.0)
+
+    def test_reversed_sign(self, series):
+        ds, _ = series
+        assert np.allclose(temporal_difference(ds, 3, 0), -30.0)
+
+    def test_boxed_difference(self, series):
+        ds, _ = series
+        diff = temporal_difference(ds, 1, 2, box=((4, 4), (12, 20)))
+        assert diff.shape == (8, 16)
+        assert np.allclose(diff, 10.0)
+
+
+class TestPrefetchAndAnimate:
+    def test_prefetch_warms_cache(self, series, tmp_path):
+        ds, _ = series
+        inner = LocalAccess(ds.path)
+        cached = IdxDataset.from_access(CachedAccess(inner, BlockCache("8 MiB")))
+        touched = prefetch_timestep(cached, 1, resolution=6)
+        assert touched > 0
+        before = inner.counters.blocks_read
+        cached.read(time=1, resolution=6)
+        assert inner.counters.blocks_read == before  # pure cache hits
+
+    def test_animate_yields_all_frames(self, series):
+        ds, base = series
+        frames = list(animate(ds, resolution=ds.maxh))
+        assert [f.time for f in frames] == [0, 1, 2, 3]
+        assert np.array_equal(frames[0].data, base)
+
+    def test_animate_custom_order_and_lookahead(self, series):
+        ds, _ = series
+        frames = list(animate(ds, times=[3, 1], look_ahead=0))
+        assert [f.time for f in frames] == [3, 1]
+        with pytest.raises(ValueError):
+            list(animate(ds, look_ahead=-1))
+
+    def test_animate_with_cache_prefetch_hides_fetches(self, series):
+        ds, _ = series
+        inner = LocalAccess(ds.path)
+        cached = IdxDataset.from_access(CachedAccess(inner, BlockCache("8 MiB")))
+        reads_at_frame = []
+        for _ in animate(cached, resolution=6, look_ahead=1):
+            reads_at_frame.append(inner.counters.blocks_read)
+        # After the first frame (which prefetches frame 2), the visible
+        # read for each subsequent frame adds no inner fetches beyond the
+        # look-ahead's own.
+        assert reads_at_frame[-1] == reads_at_frame[-2]

@@ -1,0 +1,158 @@
+"""Tests for IDX integrity verification."""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.idx import IdxDataset, verify_dataset
+from repro.idx.idxfile import BytesByteSource, FileByteSource, IdxBinaryReader
+from repro.idx.verify import MANIFEST_KEY
+
+
+@pytest.fixture
+def dataset_path(tmp_path, rng):
+    a = rng.random((48, 48)).astype(np.float32)
+    path = str(tmp_path / "d.idx")
+    ds = IdxDataset.create(path, dims=a.shape, bits_per_block=7)
+    ds.write(a)
+    ds.finalize()
+    return path
+
+
+class TestHappyPath:
+    def test_fresh_dataset_verifies(self, dataset_path):
+        report = verify_dataset(dataset_path)
+        assert report.ok
+        assert report.blocks_checked > 0
+        assert "OK" in str(report)
+
+    def test_manifest_embedded(self, dataset_path):
+        ds = IdxDataset.open(dataset_path)
+        manifest = ds.header.metadata.get(MANIFEST_KEY)
+        assert manifest
+        assert all("/" in k for k in manifest)
+
+    def test_remote_source_verifiable(self, dataset_path):
+        with open(dataset_path, "rb") as fh:
+            blob = fh.read()
+        report = verify_dataset(BytesByteSource(blob))
+        assert report.ok
+
+    def test_multi_field_time(self, tmp_path, rng):
+        a = rng.random((16, 16)).astype(np.float32)
+        path = str(tmp_path / "m.idx")
+        ds = IdxDataset.create(path, dims=a.shape, fields=["u", "w"], timesteps=2,
+                               bits_per_block=5)
+        for f in ("u", "w"):
+            for t in (0, 1):
+                ds.write(a, field=f, time=t)
+        ds.finalize()
+        report = verify_dataset(path)
+        assert report.ok
+        assert report.blocks_checked >= 4
+
+
+class TestCorruptionDetection:
+    def _flip_byte_in_block(self, path, tmp_path):
+        """Flip one byte inside the first stored block payload."""
+        reader = IdxBinaryReader(FileByteSource(path))
+        bid = int(reader.present_blocks(0, 0)[0])
+        offset, length = reader.block_entry(0, 0, bid)
+        with open(path, "rb") as fh:
+            data = bytearray(fh.read())
+        data[offset + length // 2] ^= 0xFF
+        bad = str(tmp_path / "bad.idx")
+        with open(bad, "wb") as fh:
+            fh.write(bytes(data))
+        return bad
+
+    def test_bit_flip_detected(self, dataset_path, tmp_path):
+        bad = self._flip_byte_in_block(dataset_path, tmp_path)
+        report = verify_dataset(bad)
+        assert not report.ok
+        assert len(report.corrupted) == 1
+        assert "FAILED" in str(report)
+
+    def test_truncation_detected(self, dataset_path, tmp_path):
+        with open(dataset_path, "rb") as fh:
+            data = fh.read()
+        bad = str(tmp_path / "trunc.idx")
+        with open(bad, "wb") as fh:
+            fh.write(data[: len(data) - 100])
+        report = verify_dataset(bad)
+        assert not report.ok
+        assert report.corrupted  # short read on the tail block
+
+    def test_missing_manifest_flagged(self, dataset_path, tmp_path):
+        # Rewrite the header without the manifest key.
+        with open(dataset_path, "rb") as fh:
+            data = fh.read()
+        magic, hlen = struct.unpack_from("<4sI", data)
+        header = json.loads(data[8 : 8 + hlen])
+        header["metadata"].pop(MANIFEST_KEY)
+        new_json = json.dumps(header, sort_keys=True).encode()
+        # Header length changes; rebuild with padding via metadata filler
+        # so offsets stay valid.
+        pad = hlen - len(new_json)
+        assert pad >= 0
+        header["metadata"]["_pad"] = "x" * max(0, pad - len('"_pad": "", ') - 2)
+        new_json = json.dumps(header, sort_keys=True).encode()
+        while len(new_json) < hlen:
+            header["metadata"]["_pad"] += "x"
+            new_json = json.dumps(header, sort_keys=True).encode()
+        new_json = new_json[:hlen] if len(new_json) > hlen else new_json
+        if len(new_json) != hlen:
+            pytest.skip("could not repad header deterministically")
+        bad = str(tmp_path / "nomanifest.idx")
+        with open(bad, "wb") as fh:
+            fh.write(struct.pack("<4sI", magic, hlen) + new_json + data[8 + hlen :])
+        report = verify_dataset(bad)
+        assert not report.has_manifest
+        assert not report.ok
+
+    def test_unmanifested_block_flagged(self, dataset_path, tmp_path):
+        """A block present in the table but absent from the manifest."""
+        # Simulate by deleting one manifest entry (same-length header trick
+        # is brittle, so go through the reader and rebuild the file).
+        reader = IdxBinaryReader(FileByteSource(dataset_path))
+        header = reader.header
+        manifest = dict(header.metadata[MANIFEST_KEY])
+        victim = sorted(manifest)[0]
+        removed = manifest.pop(victim)
+        header.metadata[MANIFEST_KEY] = manifest
+
+        from repro.idx.idxfile import write_idx_file
+
+        blocks = {}
+        for t in range(len(header.timesteps)):
+            for f in range(len(header.fields)):
+                for b in reader.present_blocks(t, f):
+                    offset, length = reader.block_entry(t, f, int(b))
+                    blocks[(t, f, int(b))] = FileByteSource(dataset_path).read_at(
+                        offset, length
+                    )
+        bad = str(tmp_path / "partial.idx")
+        write_idx_file(bad, header, blocks)
+        report = verify_dataset(bad)
+        assert report.missing_from_manifest == [victim]
+        assert not report.ok
+
+    def test_missing_block_flagged(self, dataset_path, tmp_path):
+        """A manifest entry whose block vanished from the table."""
+        reader = IdxBinaryReader(FileByteSource(dataset_path))
+        header = reader.header
+        from repro.idx.idxfile import write_idx_file
+
+        blocks = {}
+        for b in reader.present_blocks(0, 0):
+            offset, length = reader.block_entry(0, 0, int(b))
+            blocks[(0, 0, int(b))] = FileByteSource(dataset_path).read_at(offset, length)
+        dropped = sorted(blocks)[0]
+        del blocks[dropped]
+        bad = str(tmp_path / "dropped.idx")
+        write_idx_file(bad, header, blocks)
+        report = verify_dataset(bad)
+        assert report.missing_from_file
+        assert not report.ok

@@ -1,0 +1,122 @@
+"""Tests for partial (region) writes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.idx import IdxDataset, IdxError
+from repro.util.arrays import block_iter
+
+
+class TestWriteRegion:
+    def test_tiles_reassemble_exactly(self, tmp_path, rng):
+        a = rng.random((64, 96)).astype(np.float32)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=7)
+        for box in block_iter(a.shape, (16, 32)):
+            ds.write_region(a[box.to_slices()], box.lo)
+        ds.finalize()
+        assert np.array_equal(IdxDataset.open(path).read(), a)
+
+    def test_out_of_order_tiles(self, tmp_path, rng):
+        a = rng.random((32, 32)).astype(np.float32)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=6)
+        boxes = list(block_iter(a.shape, (8, 8)))
+        rng.shuffle(boxes)
+        for box in boxes:
+            ds.write_region(a[box.to_slices()], box.lo)
+        ds.finalize()
+        assert np.array_equal(IdxDataset.open(path).read(), a)
+
+    def test_overlapping_writes_last_wins(self, tmp_path):
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=(16, 16), bits_per_block=5)
+        ds.write_region(np.full((16, 16), 1.0, dtype=np.float32), (0, 0))
+        ds.write_region(np.full((8, 8), 2.0, dtype=np.float32), (4, 4))
+        ds.finalize()
+        out = IdxDataset.open(path).read()
+        assert (out[4:12, 4:12] == 2.0).all()
+        assert out[0, 0] == 1.0
+
+    def test_unwritten_region_holds_fill(self, tmp_path):
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=(16, 16), fill_value=-1.0, bits_per_block=5)
+        ds.write_region(np.zeros((4, 4), dtype=np.float32), (0, 0))
+        ds.finalize()
+        out = IdxDataset.open(path).read()
+        assert (out[:4, :4] == 0.0).all()
+        assert (out[8:, 8:] == -1.0).all()
+
+    def test_region_at_non_pow2_edge(self, tmp_path, rng):
+        a = rng.random((50, 70)).astype(np.float32)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=6)
+        ds.write_region(a[:25], (0, 0))
+        ds.write_region(a[25:], (25, 0))
+        ds.finalize()
+        assert np.array_equal(IdxDataset.open(path).read(), a)
+
+    def test_3d_regions(self, tmp_path, rng):
+        v = rng.random((8, 16, 16)).astype(np.float32)
+        path = str(tmp_path / "v.idx")
+        ds = IdxDataset.create(path, dims=v.shape, bits_per_block=7)
+        ds.write_region(v[:4], (0, 0, 0))
+        ds.write_region(v[4:], (4, 0, 0))
+        ds.finalize()
+        assert np.array_equal(IdxDataset.open(path).read(), v)
+
+    def test_mixed_full_and_region_writes(self, tmp_path, rng):
+        a = rng.random((16, 16)).astype(np.float32)
+        patch = np.full((4, 4), 99.0, dtype=np.float32)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=5)
+        ds.write(a)
+        ds.write_region(patch, (6, 6))
+        ds.finalize()
+        out = IdxDataset.open(path).read()
+        expected = a.copy()
+        expected[6:10, 6:10] = 99.0
+        assert np.array_equal(out, expected)
+
+    def test_empty_region_noop(self, tmp_path):
+        ds = IdxDataset.create(str(tmp_path / "d.idx"), dims=(8, 8))
+        ds.write_region(np.zeros((0, 4), dtype=np.float32), (0, 0))  # no crash
+
+    def test_bounds_checked(self, tmp_path):
+        ds = IdxDataset.create(str(tmp_path / "d.idx"), dims=(8, 8))
+        with pytest.raises(IdxError):
+            ds.write_region(np.zeros((4, 4), dtype=np.float32), (6, 6))
+        with pytest.raises(IdxError):
+            ds.write_region(np.zeros((4,), dtype=np.float32), (0,))
+
+    def test_not_writable_after_finalize(self, tmp_path):
+        ds = IdxDataset.create(str(tmp_path / "d.idx"), dims=(8, 8))
+        ds.write(np.zeros((8, 8), dtype=np.float32))
+        ds.finalize()
+        with pytest.raises(IdxError):
+            ds.write_region(np.zeros((2, 2), dtype=np.float32), (0, 0))
+
+
+@given(
+    st.integers(0, 40), st.integers(0, 40), st.integers(1, 24), st.integers(1, 24)
+)
+@settings(max_examples=30, deadline=5000)
+def test_property_single_region_write(oy, ox, h, w):
+    """Writing any single region leaves exactly that box non-fill."""
+    import tempfile
+
+    dims = (48, 48)
+    hy, hx = min(dims[0], oy + h), min(dims[1], ox + w)
+    if hy <= oy or hx <= ox:
+        return
+    patch = np.full((hy - oy, hx - ox), 5.0, dtype=np.float32)
+    path = tempfile.mktemp(suffix=".idx")
+    ds = IdxDataset.create(path, dims=dims, fill_value=0.0, bits_per_block=6)
+    ds.write_region(patch, (oy, ox))
+    ds.finalize()
+    out = IdxDataset.open(path).read()
+    assert (out[oy:hy, ox:hx] == 5.0).all()
+    mask = np.zeros(dims, dtype=bool)
+    mask[oy:hy, ox:hx] = True
+    assert (out[~mask] == 0.0).all()

@@ -1,0 +1,187 @@
+"""Cross-module integration tests: the scenarios the tutorial teaches."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.catalog import CatalogService, harvest_dataverse, harvest_seal
+from repro.core import build_tutorial_workflow, validate_conversion
+from repro.dashboard import DashboardSession
+from repro.formats.metadata import DatasetMetadata
+from repro.formats.tiff import write_tiff
+from repro.idx import BlockCache, IdxDataset, tiff_to_idx
+from repro.services import FairDigitalObject, build_default_testbed, fair_assessment
+from repro.somospie import CovariateStack, KnnRegressor, synthetic_soil_moisture
+from repro.storage import Dataverse, open_remote_idx, upload_idx_to_seal
+from repro.terrain import GeoTiler, composite_terrain
+
+
+class TestEndToEndTutorial:
+    """The complete Fig. 4 pipeline plus discovery and FAIR publication."""
+
+    def test_full_pipeline_with_services(self, tmp_path):
+        testbed = build_default_testbed(seed=0)
+        token = testbed.seal.issue_token("trainee", ("read", "write"))
+
+        # Steps 1-4 against the shared testbed (Option B everywhere).
+        wf = build_tutorial_workflow(str(tmp_path), shape=(64, 64), grid=(2, 2))
+        run = wf.run({"seal": testbed.seal, "seal_token": token, "client_site": "knox"})
+        assert run.ok
+
+        # Publish the converted data to Dataverse.
+        meta = DatasetMetadata(
+            name="workshop-terrain",
+            title="Workshop terrain parameters",
+            keywords=["terrain", "workshop"],
+        )
+        doi = testbed.dataverse.create_dataset(meta, owner="trainee")
+        for name, idx_path in run.context["idx_paths"].items():
+            with open(idx_path, "rb") as fh:
+                testbed.dataverse.upload_file(doi, f"{name}.idx", fh.read(), owner="trainee")
+        testbed.dataverse.publish(doi, owner="trainee")
+
+        # Harvest everything into the catalog and discover it.
+        testbed.catalog.ingest_many(harvest_dataverse(testbed.dataverse))
+        testbed.catalog.ingest_many(harvest_seal(testbed.seal, token=token))
+        hits = testbed.catalog.search("terrain workshop")
+        assert hits
+        facets = testbed.catalog.facets_by_source("idx")
+        assert len(facets) == 2  # both providers contribute
+
+        # Mint a FAIR object for the published slope product.
+        info = testbed.dataverse.dataset_info(doi)
+        etag = testbed.dataverse.store.head(
+            testbed.dataverse.bucket, testbed.dataverse._key(doi, info.version, "slope.idx")
+        ).etag
+        fdo = FairDigitalObject.mint(
+            meta, checksum=etag, access_url=f"dataverse://x/{doi}/slope.idx"
+        )
+        fdo.add_provenance("nsdf-tutorial-workflow")
+        assert fair_assessment(fdo)["fair"]
+
+    def test_dashboard_over_remote_seal_data(self, tmp_path):
+        """Step 4 Option B: the dashboard streams from Seal with a cache."""
+        testbed = build_default_testbed(seed=1)
+        token = testbed.seal.issue_token("t", ("read", "write"))
+
+        dem = composite_terrain((128, 128), seed=5)
+        path = str(tmp_path / "dem.idx")
+        ds = IdxDataset.create(path, dims=dem.shape, fields={"elevation": "float32"},
+                               bits_per_block=8)
+        ds.write(dem, field="elevation")
+        ds.finalize()
+        upload_idx_to_seal(path, testbed.seal, "dem.idx", token=token, from_site="knox")
+
+        cache = BlockCache("32 MiB")
+        remote = open_remote_idx(testbed.seal, "dem.idx", token=token,
+                                 from_site="knox", cache=cache)
+        session = DashboardSession(viewport=(64, 64))
+        session.register_dataset("remote-dem", remote)
+
+        frame1 = session.current_frame()
+        t_cold = testbed.clock.now
+        session.zoom(2.0)
+        session.current_frame()
+        session.zoom(0.5)  # back out: coarse blocks already cached
+        frame2 = session.current_frame()
+        assert frame2.shape == frame1.shape
+        # The zoom-out refresh must be cheaper than the initial load.
+        assert testbed.clock.now - t_cold < t_cold * 2
+        assert cache.stats.hits > 0
+
+    def test_somospie_consumes_idx_products(self, tmp_path):
+        """SOMOSPIE reads its covariates out of IDX datasets (streamed)."""
+        dem = composite_terrain((64, 64), seed=9)
+        products = GeoTiler(grid=(2, 2)).compute(
+            dem, parameters=("elevation", "slope", "aspect")
+        )
+        # Store products as a multi-field IDX dataset and read them back.
+        path = str(tmp_path / "cov.idx")
+        ds = IdxDataset.create(
+            path, dims=dem.shape, fields={k: "float32" for k in products}
+        )
+        for name, raster in products.items():
+            ds.write(raster, field=name)
+        ds.finalize()
+        loaded = IdxDataset.open(path)
+        stack = CovariateStack({name: loaded.read(field=name) for name in loaded.fields})
+
+        truth = synthetic_soil_moisture(dem, seed=9, noise=0.0)
+        rng = np.random.default_rng(0)
+        rows, cols = rng.integers(0, 64, 200), rng.integers(0, 64, 200)
+        knn = KnnRegressor(k=8).fit(stack.features_at(rows, cols), truth[rows, cols])
+        pred = knn.predict(stack.full_grid_features()).reshape(dem.shape)
+        rmse = float(np.sqrt(np.mean((pred - truth) ** 2)))
+        assert rmse < 0.05  # m3/m3
+
+    def test_conversion_validation_over_three_formats(self, tmp_path, small_dem):
+        """TIFF, raw, and NetCDF all convert to bit-identical IDX."""
+        from repro.formats.ncdf import NcdfFile, write_ncdf
+        from repro.formats.rawbin import write_raw
+        from repro.idx import ncdf_to_idx, raw_to_idx
+
+        tiff = str(tmp_path / "a.tif")
+        write_tiff(tiff, small_dem)
+        r1 = tiff_to_idx(tiff, str(tmp_path / "a.idx"))
+
+        raw = str(tmp_path / "b.raw")
+        write_raw(raw, small_dem)
+        r2 = raw_to_idx(raw, str(tmp_path / "b.idx"))
+
+        nc = NcdfFile()
+        nc.add_variable("value", ("y", "x"), small_dem)
+        ncp = str(tmp_path / "c.nc")
+        write_ncdf(ncp, nc)
+        r3 = ncdf_to_idx(ncp, str(tmp_path / "c.idx"))
+
+        for rep in (r1, r2, r3):
+            ds = IdxDataset.open(rep.idx_path)
+            assert np.array_equal(ds.read(field=rep.fields[0]), small_dem)
+
+        report = validate_conversion(tiff, r1.idx_path)
+        assert report.identical
+
+    def test_multi_user_isolation_via_tokens(self):
+        """Two trainees cannot touch each other's sealed data without scopes."""
+        testbed = build_default_testbed(seed=2)
+        alice_rw = testbed.seal.issue_token("alice", ("read", "write"))
+        bob_r = testbed.seal.issue_token("bob", ("read",))
+
+        testbed.seal.put("alice/data.idx", b"alice-bytes", token=alice_rw)
+        # Bob can read (shared read scope on the bucket model)...
+        assert testbed.seal.get("alice/data.idx", token=bob_r) == b"alice-bytes"
+        # ...but cannot write or delete.
+        from repro.storage.seal import AuthError
+
+        with pytest.raises(AuthError):
+            testbed.seal.put("alice/data.idx", b"overwrite", token=bob_r)
+        with pytest.raises(AuthError):
+            testbed.seal.delete("alice/data.idx", token=bob_r)
+
+
+class TestCrossRegionWorkloads:
+    def test_tennessee_and_conus_shapes(self, tmp_path):
+        """The two tutorial regions at laptop scale keep their aspect ratios."""
+        from repro.terrain import REGIONS, grid_shape_for_region
+
+        tn = grid_shape_for_region("tennessee", scale_divisor=32)
+        conus = grid_shape_for_region("conus", scale_divisor=512)
+        assert tn[1] / tn[0] == pytest.approx(
+            REGIONS["tennessee"].grid_shape()[1] / REGIONS["tennessee"].grid_shape()[0],
+            rel=0.2,
+        )
+        # Build a small dataset per region and view both in one dashboard.
+        session = DashboardSession(viewport=(32, 32))
+        for region, shape in (("tennessee", tn), ("conus", conus)):
+            dem = composite_terrain(shape, seed=hash(region) % 100)
+            path = str(tmp_path / f"{region}.idx")
+            ds = IdxDataset.create(path, dims=dem.shape, fields={"elevation": "float32"})
+            ds.write(dem, field="elevation")
+            ds.finalize()
+            session.open_file(region, path)
+        assert session.dataset_names == ["conus", "tennessee"]
+        session.select_dataset("tennessee")
+        assert session.current_frame().shape[2] == 3
+        session.select_dataset("conus")
+        assert session.current_frame().shape[2] == 3

@@ -1,0 +1,207 @@
+"""Tests for the simulated network fabric (clock, links, topology,
+transfers, monitoring)."""
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    LinkModel,
+    NSDF_SITES,
+    NetworkMonitor,
+    SimClock,
+    Testbed,
+    TransferSimulator,
+    default_testbed,
+)
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.now == 0.0
+        clock.advance(1.5)
+        clock.advance(0.5, label="x")
+        assert clock.now == pytest.approx(2.0)
+
+    def test_no_backwards(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_events_and_totals(self):
+        clock = SimClock()
+        clock.advance(1.0, label="transfer:a->b")
+        clock.advance(2.0, label="transfer:a->c")
+        clock.advance(0.5, label="probe:x")
+        assert clock.total_for("transfer:") == pytest.approx(3.0)
+        assert clock.total_for("probe:") == pytest.approx(0.5)
+        assert len(clock.events) == 3
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(5, label="x")
+        clock.reset()
+        assert clock.now == 0.0 and clock.events == []
+
+
+class TestLinkModel:
+    def test_transfer_seconds_formula(self):
+        link = LinkModel(latency_s=0.01, bandwidth_bps=1e6, jitter=0.0)
+        assert link.transfer_seconds(1_000_000) == pytest.approx(1.01)
+        assert link.transfer_seconds(0) == pytest.approx(0.01)
+
+    def test_string_sizes_accepted(self):
+        link = LinkModel(latency_s=0.0, bandwidth_bps=1024, jitter=0.0)
+        assert link.transfer_seconds("1 KiB") == pytest.approx(1.0)
+
+    def test_effective_bps_below_line_rate(self):
+        link = LinkModel(latency_s=0.1, bandwidth_bps=1e9, jitter=0.0)
+        assert link.effective_bps(1000) < 1e9
+
+    def test_jitter_deterministic_per_seed(self):
+        l1 = LinkModel(latency_s=0.01, bandwidth_bps=1e6, jitter=0.2, seed=5)
+        l2 = LinkModel(latency_s=0.01, bandwidth_bps=1e6, jitter=0.2, seed=5)
+        assert [l1.transfer_seconds(1000) for _ in range(5)] == [
+            l2.transfer_seconds(1000) for _ in range(5)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(latency_s=-1)
+        with pytest.raises(ValueError):
+            LinkModel(bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            LinkModel(jitter=1.5)
+
+    def test_profiles_ordered(self):
+        lan = LinkModel.lan()
+        wan = LinkModel.wan()
+        assert lan.latency_s < wan.latency_s
+        assert lan.bandwidth_bps > wan.bandwidth_bps
+
+
+class TestTopology:
+    def test_eight_sites(self):
+        assert len(NSDF_SITES) == 8
+        tb = default_testbed()
+        assert len(tb.sites) == 8
+
+    def test_all_pairs_routable(self):
+        tb = default_testbed()
+        for a, b in tb.all_pairs():
+            path = tb.route(a, b)
+            assert path[0] == a and path[-1] == b
+
+    def test_unknown_site(self):
+        tb = default_testbed()
+        with pytest.raises(KeyError):
+            tb.route("slc", "mars")
+
+    def test_path_link_aggregation(self):
+        tb = default_testbed()
+        # sdsc -> udel transits multiple hops; its latency must exceed
+        # any single constituent edge.
+        long = tb.path_link("sdsc", "udel")
+        short = tb.path_link("jhu", "udel")
+        assert long.latency_s > short.latency_s
+        # Bottleneck bandwidth: min over edges, so <= backbone rate.
+        assert long.bandwidth_bps <= 10 * 1.25e8
+
+    def test_same_site_is_lan(self):
+        tb = default_testbed()
+        link = tb.path_link("slc", "slc")
+        assert link.latency_s < 0.001
+
+    def test_distance_drives_latency(self):
+        tb = default_testbed()
+        coast_to_coast = tb.path_link("sdsc", "mghpcc").latency_s
+        regional = tb.path_link("umich", "chi").latency_s
+        assert coast_to_coast > 2 * regional
+
+    def test_connect_validates_sites(self):
+        tb = Testbed()
+        with pytest.raises(KeyError):
+            tb.connect("slc", "nowhere")
+
+
+class TestTransferSimulator:
+    def test_charges_clock(self):
+        tb = default_testbed()
+        sim = TransferSimulator(tb)
+        result = sim.transfer("knox", "slc", "100 MiB")
+        assert result.seconds > 0
+        assert sim.clock.now == pytest.approx(result.seconds)
+
+    def test_effective_bps(self):
+        tb = default_testbed()
+        sim = TransferSimulator(tb)
+        result = sim.transfer("knox", "slc", "1 GiB", chunk_size="64 MiB")
+        assert 0 < result.effective_bps <= 10 * 1.25e8
+
+    def test_parallel_streams_help_latency_bound(self):
+        tb = default_testbed()
+        s1 = TransferSimulator(tb, SimClock())
+        s8 = TransferSimulator(tb, SimClock())
+        # Many small chunks over a long path: latency dominated.
+        r1 = s1.transfer("sdsc", "udel", "64 MiB", chunk_size="1 MiB", streams=1)
+        r8 = s8.transfer("sdsc", "udel", "64 MiB", chunk_size="1 MiB", streams=8)
+        assert r8.seconds < r1.seconds
+
+    def test_zero_bytes(self):
+        sim = TransferSimulator(default_testbed())
+        result = sim.transfer("knox", "slc", 0)
+        assert result.seconds > 0  # still one round of latency
+
+    def test_validation(self):
+        sim = TransferSimulator(default_testbed())
+        with pytest.raises(ValueError):
+            sim.transfer("knox", "slc", 10, chunk_size=0)
+        with pytest.raises(ValueError):
+            sim.transfer("knox", "slc", 10, streams=0)
+
+    def test_round_trip(self):
+        sim = TransferSimulator(default_testbed())
+        rtt = sim.round_trip("knox", "slc")
+        assert rtt > 0
+        assert sim.clock.total_for("rtt:") == pytest.approx(rtt)
+
+
+class TestNetworkMonitor:
+    def test_probe_stats_shape(self):
+        mon = NetworkMonitor(default_testbed())
+        stats = mon.probe("knox", "slc", repeats=5)
+        assert stats.rtt_ms_min <= stats.rtt_ms_mean <= stats.rtt_ms_max
+        assert stats.throughput_bps > 0
+        assert stats.hops >= 1
+
+    def test_measure_all_sorted(self):
+        mon = NetworkMonitor(default_testbed())
+        results = mon.measure_all(repeats=2, probe_bytes="1 MiB")
+        assert len(results) == 28  # C(8, 2)
+        rtts = [r.rtt_ms_mean for r in results]
+        assert rtts == sorted(rtts)
+
+    def test_constraint_report(self):
+        mon = NetworkMonitor(default_testbed())
+        results = mon.measure_all(repeats=2, probe_bytes="1 MiB")
+        report = mon.constraint_report(results)
+        assert set(report) == {
+            "lowest_latency",
+            "highest_latency",
+            "lowest_throughput",
+            "highest_throughput",
+        }
+        # Cross-country pairs should be the worst latency.
+        worst = set(report["highest_latency"])
+        assert worst & {"sdsc", "slc"}  # west coast endpoint involved
+
+    def test_empty_report_rejected(self):
+        mon = NetworkMonitor(default_testbed())
+        with pytest.raises(ValueError):
+            mon.constraint_report()
+
+    def test_deterministic_with_seed(self):
+        m1 = NetworkMonitor(default_testbed(), seed=3)
+        m2 = NetworkMonitor(default_testbed(), seed=3)
+        s1 = m1.probe("knox", "udel")
+        s2 = m2.probe("knox", "udel")
+        assert s1.rtt_ms_mean == pytest.approx(s2.rtt_ms_mean)

@@ -1,0 +1,81 @@
+"""Tests for link congestion modelling."""
+
+import pytest
+
+from repro.network import NetworkMonitor, default_testbed
+
+
+class TestCongestion:
+    def test_latency_scales(self):
+        # jhu-udel is udel's only link: no detour can mask the congestion.
+        tb = default_testbed()
+        before = tb.path_link("jhu", "udel").latency_s
+        tb.set_congestion("jhu", "udel", 3.0)
+        after = tb.path_link("jhu", "udel").latency_s
+        assert after == pytest.approx(3.0 * before)
+
+    def test_moderate_congestion_can_shift_routing(self):
+        """Congesting knox-chi makes the knox->chi route prefer the
+        umich detour once the scaled latency exceeds the alternative."""
+        tb = default_testbed()
+        assert tb.route("knox", "chi") == ["knox", "chi"]
+        tb.set_congestion("knox", "chi", 3.0)
+        assert tb.route("knox", "chi") == ["knox", "umich", "chi"]
+
+    def test_bandwidth_divides(self):
+        tb = default_testbed()
+        before = tb.path_link("jhu", "udel").bandwidth_bps
+        tb.set_congestion("jhu", "udel", 4.0)
+        assert tb.path_link("jhu", "udel").bandwidth_bps == pytest.approx(before / 4)
+
+    def test_clear_restores_nominal(self):
+        tb = default_testbed()
+        nominal = tb.path_link("knox", "chi").latency_s
+        tb.set_congestion("knox", "chi", 5.0)
+        tb.clear_congestion("knox", "chi")
+        assert tb.path_link("knox", "chi").latency_s == pytest.approx(nominal)
+
+    def test_clear_without_congestion_noop(self):
+        tb = default_testbed()
+        tb.clear_congestion("knox", "chi")  # never congested
+
+    def test_repeated_congestion_from_base(self):
+        """Setting congestion twice scales from nominal, not cumulatively."""
+        tb = default_testbed()
+        nominal = tb.path_link("jhu", "udel").latency_s
+        tb.set_congestion("jhu", "udel", 2.0)
+        tb.set_congestion("jhu", "udel", 2.0)
+        assert tb.path_link("jhu", "udel").latency_s == pytest.approx(2.0 * nominal)
+
+    def test_validation(self):
+        tb = default_testbed()
+        with pytest.raises(KeyError):
+            tb.set_congestion("knox", "sdsc", 2.0)  # no direct edge
+        with pytest.raises(ValueError):
+            tb.set_congestion("knox", "chi", 0.5)
+
+    def test_heavy_congestion_triggers_detour(self):
+        tb = default_testbed()
+        assert tb.route("knox", "chi") == ["knox", "chi"]
+        tb.set_congestion("knox", "chi", 50.0)
+        detour = tb.route("knox", "chi")
+        assert len(detour) > 2  # via umich
+
+    def test_monitor_observes_congestion(self):
+        tb = default_testbed()
+        monitor = NetworkMonitor(tb, seed=2)
+        before = monitor.probe("jhu", "udel", repeats=3)
+        tb.set_congestion("jhu", "udel", 8.0)
+        after = monitor.probe("jhu", "udel", repeats=3)
+        assert after.rtt_ms_mean > 4 * before.rtt_ms_mean
+        assert after.throughput_bps < before.throughput_bps
+
+    def test_congestion_and_failure_compose(self):
+        tb = default_testbed()
+        tb.set_congestion("knox", "chi", 2.0)
+        tb.fail_link("knox", "umich")
+        # Still routable via the (congested) direct link.
+        path = tb.route("knox", "chi")
+        assert path == ["knox", "chi"]
+        tb.restore_link("knox", "umich")
+        tb.clear_congestion("knox", "chi")

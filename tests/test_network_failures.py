@@ -1,0 +1,92 @@
+"""Tests for link-failure injection and rerouting."""
+
+import pytest
+
+from repro.network import NetworkMonitor, SimClock, TransferSimulator, default_testbed
+from repro.storage import SealStorage
+
+
+class TestFailureInjection:
+    def test_reroute_around_failed_link(self):
+        tb = default_testbed()
+        direct = tb.route("knox", "chi")
+        assert direct == ["knox", "chi"]
+        tb.fail_link("knox", "chi")
+        detour = tb.route("knox", "chi")
+        assert len(detour) > 2
+        assert all(tb.link_is_up(a, b) for a, b in zip(detour, detour[1:]))
+
+    def test_failed_links_listing(self):
+        tb = default_testbed()
+        tb.fail_link("knox", "chi")
+        tb.fail_link("jhu", "udel")
+        assert tb.failed_links == [("chi", "knox"), ("jhu", "udel")]
+
+    def test_restore(self):
+        tb = default_testbed()
+        before = tb.route("knox", "slc")
+        tb.fail_link("knox", "chi")
+        assert tb.route("knox", "slc") != before
+        tb.restore_link("knox", "chi")
+        assert tb.route("knox", "slc") == before
+
+    def test_restore_is_idempotent(self):
+        tb = default_testbed()
+        tb.restore_link("knox", "chi")  # never failed: no-op
+        assert tb.failed_links == []
+
+    def test_unknown_link_rejected(self):
+        tb = default_testbed()
+        with pytest.raises(KeyError):
+            tb.fail_link("knox", "sdsc")  # no direct edge
+        with pytest.raises(KeyError):
+            tb.restore_link("knox", "mars")
+
+    def test_partition_raises_no_route(self):
+        tb = default_testbed()
+        # udel hangs off jhu alone; cutting jhu-udel isolates it.
+        tb.fail_link("udel", "jhu")
+        with pytest.raises(KeyError):
+            tb.route("udel", "slc")
+
+    def test_symmetric_failure(self):
+        tb = default_testbed()
+        tb.fail_link("chi", "knox")  # declared in either order
+        assert not tb.link_is_up("knox", "chi")
+
+
+class TestFailureImpact:
+    def test_detour_costs_more_latency(self):
+        tb = default_testbed()
+        healthy = tb.path_link("knox", "chi").latency_s
+        tb.fail_link("knox", "chi")
+        degraded = tb.path_link("knox", "chi").latency_s
+        assert degraded > healthy
+
+    def test_transfer_simulator_follows_reroute(self):
+        tb = default_testbed()
+        sim = TransferSimulator(tb, SimClock())
+        t_ok = sim.transfer("knox", "slc", "64 MiB").seconds
+        tb.fail_link("knox", "chi")
+        t_fail = sim.transfer("knox", "slc", "64 MiB").seconds
+        assert t_fail > t_ok
+
+    def test_monitor_observes_degradation(self):
+        tb = default_testbed()
+        monitor = NetworkMonitor(tb, seed=1)
+        before = monitor.probe("knox", "slc", repeats=3)
+        tb.fail_link("knox", "chi")
+        after = monitor.probe("knox", "slc", repeats=3)
+        assert after.rtt_ms_mean > before.rtt_ms_mean
+        assert after.hops > before.hops
+
+    def test_seal_access_survives_failover(self):
+        tb = default_testbed()
+        clock = SimClock()
+        seal = SealStorage(site="slc", testbed=tb, clock=clock)
+        token = seal.issue_token("u", ("read", "write"))
+        seal.put("k", b"data", token=token, from_site="knox")
+        t0 = clock.now
+        tb.fail_link("knox", "chi")
+        assert seal.get("k", token=token, from_site="knox") == b"data"
+        assert clock.now > t0  # served, just slower via the detour

@@ -1,0 +1,212 @@
+"""Cross-module property-based tests (metamorphic and algebraic laws).
+
+These complement the per-module suites with properties that span
+subsystem boundaries: the IDX query oracle in 3-D, container-format
+round trips over generated arrays, codec determinism, metric axioms,
+and box algebra laws.
+"""
+
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.compression import get_codec
+from repro.core.validation import max_abs_error, psnr, rmse
+from repro.formats.tiff import read_tiff, write_tiff
+from repro.idx import IdxDataset
+from repro.util.arrays import Box
+
+# ---------------------------------------------------------------------------
+# Box algebra laws
+# ---------------------------------------------------------------------------
+
+_boxes = st.builds(
+    lambda lo0, lo1, s0, s1: Box((lo0, lo1), (lo0 + s0, lo1 + s1)),
+    st.integers(-20, 20),
+    st.integers(-20, 20),
+    st.integers(0, 25),
+    st.integers(0, 25),
+)
+
+
+@given(_boxes, _boxes)
+def test_intersect_commutative(a, b):
+    x = a.intersect(b)
+    y = b.intersect(a)
+    assert x.is_empty == y.is_empty
+    if not x.is_empty:
+        assert x == y
+
+
+@given(_boxes, _boxes, _boxes)
+def test_intersect_associative_on_nonempty(a, b, c):
+    left = a.intersect(b).intersect(c)
+    right = a.intersect(b.intersect(c))
+    assert left.is_empty == right.is_empty
+    if not left.is_empty:
+        assert left == right
+
+
+@given(_boxes, _boxes)
+def test_union_contains_both(a, b):
+    u = a.union(b)
+    assert u.contains_box(a)
+    assert u.contains_box(b)
+
+
+@given(_boxes)
+def test_intersect_idempotent(a):
+    assert a.intersect(a) == a
+
+
+@given(_boxes, st.integers(0, 5))
+def test_dilate_then_clip_contains_original(a, margin):
+    assume(not a.is_empty)
+    grown = a.dilate(margin)
+    assert grown.contains_box(a)
+    assert grown.clip(a) == a
+
+
+# ---------------------------------------------------------------------------
+# Metric axioms
+# ---------------------------------------------------------------------------
+
+_rasters = st.integers(0, 10_000).map(
+    lambda seed: np.random.default_rng(seed).random((12, 15)) * 100
+)
+
+
+@given(_rasters, st.integers(0, 100))
+def test_rmse_triangle_inequality(a, seed):
+    rng = np.random.default_rng(seed)
+    b = a + rng.normal(0, 1, a.shape)
+    c = b + rng.normal(0, 1, a.shape)
+    assert rmse(a, c) <= rmse(a, b) + rmse(b, c) + 1e-9
+
+
+@given(_rasters)
+def test_metrics_identity(a):
+    assert rmse(a, a) == 0.0
+    assert max_abs_error(a, a) == 0.0
+    assert psnr(a, a) == float("inf")
+
+
+@given(_rasters, st.floats(0.01, 5.0))
+def test_psnr_monotone_in_noise(a, sigma):
+    rng = np.random.default_rng(0)
+    noise = rng.normal(0, 1, a.shape)
+    small = a + sigma * noise
+    large = a + 3 * sigma * noise
+    assert psnr(a, small) >= psnr(a, large)
+
+
+@given(_rasters, st.integers(0, 50))
+def test_rmse_symmetry(a, seed):
+    b = a + np.random.default_rng(seed).normal(0, 2, a.shape)
+    assert rmse(a, b) == pytest.approx(rmse(b, a))
+
+
+# ---------------------------------------------------------------------------
+# Codec determinism (encode is a pure function of the input)
+# ---------------------------------------------------------------------------
+
+
+@given(st.binary(min_size=0, max_size=1500), st.sampled_from(["zlib", "lz4", "rle"]))
+@settings(max_examples=50)
+def test_codec_encoding_deterministic(data, spec):
+    codec = get_codec(spec)
+    assert codec.encode_bytes(data) == codec.encode_bytes(data)
+
+
+@given(st.binary(min_size=1, max_size=1500), st.sampled_from(["zlib", "lz4", "rle"]))
+@settings(max_examples=50)
+def test_codec_decode_encode_fixed_point(data, spec):
+    """Re-encoding a decode of an encode reproduces the same stream."""
+    codec = get_codec(spec)
+    once = codec.encode_bytes(data)
+    again = codec.encode_bytes(codec.decode_bytes(once))
+    assert once == again
+
+
+# ---------------------------------------------------------------------------
+# TIFF round trip over generated arrays
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(1, 40),
+    st.integers(1, 40),
+    st.sampled_from([np.uint8, np.int16, np.uint16, np.float32]),
+    st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=4000)
+def test_tiff_round_trip_any_shape(ny, nx, dtype, seed):
+    rng = np.random.default_rng(seed)
+    a = (rng.random((ny, nx)) * 200).astype(dtype)
+    path = tempfile.mktemp(suffix=".tif")
+    write_tiff(path, a, compression="deflate", rows_per_strip=max(1, ny // 3))
+    assert np.array_equal(read_tiff(path), a)
+
+
+# ---------------------------------------------------------------------------
+# IDX 3-D query oracle
+# ---------------------------------------------------------------------------
+
+_VOLUME = None
+
+
+def _volume():
+    global _VOLUME
+    if _VOLUME is None:
+        rng = np.random.default_rng(7)
+        v = rng.random((16, 24, 20)).astype(np.float32)
+        path = tempfile.mktemp(suffix=".idx")
+        ds = IdxDataset.create(path, dims=v.shape, bits_per_block=8)
+        ds.write(v)
+        ds.finalize()
+        _VOLUME = (IdxDataset.open(path), v)
+    return _VOLUME
+
+
+@given(
+    st.integers(0, 15), st.integers(0, 23), st.integers(0, 19),
+    st.integers(1, 16), st.integers(1, 24), st.integers(1, 20),
+)
+@settings(max_examples=40, deadline=5000)
+def test_property_3d_box_matches_slice(z0, y0, x0, dz, dy, dx):
+    ds, v = _volume()
+    z1, y1, x1 = min(16, z0 + dz), min(24, y0 + dy), min(20, x0 + dx)
+    window = ds.read(box=((z0, y0, x0), (z1, y1, x1)))
+    assert np.array_equal(window, v[z0:z1, y0:y1, x0:x1])
+
+
+@given(st.integers(0, 12))
+@settings(max_examples=13, deadline=5000)
+def test_property_3d_levels_are_strided_subsamples(h):
+    ds, v = _volume()
+    assume(h <= ds.maxh)
+    result = ds.read_result(resolution=h)
+    sub = v[np.ix_(result.axis_coords(0), result.axis_coords(1), result.axis_coords(2))]
+    assert np.array_equal(result.data, sub)
+
+
+# ---------------------------------------------------------------------------
+# Survey partition property over arbitrary filters
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(0, 500), st.sampled_from(["a", "b", "c", "d"]))
+@settings(max_examples=20, deadline=4000)
+def test_property_survey_partition_by_venue(seed, qid):
+    from repro.survey import TABLE1_ROWS, simulate_responses
+    from repro.survey.simulate import aggregate
+
+    responses = simulate_responses(seed=seed)
+    total = aggregate(responses, qid)
+    combined = None
+    for row in TABLE1_ROWS:
+        part = aggregate(responses, qid, venue=row.venue)
+        combined = part if combined is None else combined.combine(part)
+    assert combined.counts == total.counts

@@ -1,0 +1,165 @@
+"""Tests for entry points, testbed composition, and FAIR objects."""
+
+import numpy as np
+import pytest
+
+from repro.formats.metadata import DatasetMetadata
+from repro.idx import IdxDataset
+from repro.services import (
+    EntryPoint,
+    FairDigitalObject,
+    NsdfTestbed,
+    ServiceKind,
+    build_default_testbed,
+    fair_assessment,
+)
+
+
+@pytest.fixture
+def testbed():
+    return build_default_testbed(seed=0)
+
+
+class TestEntryPoint:
+    def test_attach_and_resolve(self, testbed):
+        ep = testbed.entry_point("knox")
+        assert ep.has(ServiceKind.STORAGE_PRIVATE)
+        assert ep.service(ServiceKind.CATALOG) is testbed.catalog
+
+    def test_missing_service(self):
+        ep = EntryPoint("knox")
+        with pytest.raises(KeyError):
+            ep.service(ServiceKind.DASHBOARD)
+
+    def test_unknown_entry_point(self, testbed):
+        with pytest.raises(KeyError):
+            testbed.entry_point("mars")
+
+    def test_site_aware_upload_and_stream(self, testbed, tmp_path, rng):
+        a = rng.random((32, 32)).astype(np.float32)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=6)
+        ds.write(a)
+        ds.finalize()
+
+        token = testbed.seal.issue_token("u", ("read", "write"))
+        ep = testbed.entry_point("knox")
+        key = ep.upload_idx(path, "d.idx", token=token)
+        remote = ep.stream_idx(key, token=token)
+        assert np.array_equal(remote.read(), a)
+        assert testbed.clock.now > 0
+
+    def test_entry_point_cache_shared_across_streams(self, testbed, tmp_path, rng):
+        a = rng.random((32, 32)).astype(np.float32)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=6)
+        ds.write(a)
+        ds.finalize()
+        token = testbed.seal.issue_token("u", ("read", "write"))
+        ep = testbed.entry_point("knox")
+        key = ep.upload_idx(path, "d.idx", token=token)
+        t0 = testbed.clock.now
+        ep.stream_idx(key, token=token).read()
+        first_cost = testbed.clock.now - t0
+        # A second stream handle re-parses the remote header (small cost)
+        # but every block read hits the entry point's shared cache.
+        t0 = testbed.clock.now
+        ep.stream_idx(key, token=token).read()
+        second_cost = testbed.clock.now - t0
+        assert second_cost < first_cost
+
+    def test_entry_point_location_matters(self, testbed, tmp_path, rng):
+        a = rng.random((64, 64)).astype(np.float32)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=6)
+        ds.write(a)
+        ds.finalize()
+        token = testbed.seal.issue_token("u", ("read", "write"))
+
+        t0 = testbed.clock.now
+        testbed.entry_point("slc").upload_idx(path, "near.idx", token=token)
+        near_cost = testbed.clock.now - t0
+        t0 = testbed.clock.now
+        testbed.entry_point("udel").upload_idx(path, "far.idx", token=token)
+        far_cost = testbed.clock.now - t0
+        assert far_cost > near_cost
+
+
+class TestNsdfTestbed:
+    def test_eight_entry_points(self, testbed):
+        assert len(testbed.entry_points) == 8
+
+    def test_reachability_matrix_all_true_for_attached(self, testbed):
+        matrix = testbed.reachability_matrix()
+        for site, row in matrix.items():
+            assert row["storage-private"], site
+            assert row["storage-public"], site
+            assert row["catalog"], site
+            assert row["network-monitor"], site
+            assert not row["dashboard"]  # not attached by default
+
+    def test_structure_summary(self, testbed):
+        summary = testbed.structure_summary()
+        assert len(summary["sites"]) == 8
+        assert summary["entry_points"] == 8
+        assert summary["services"]["storage_private"] == "seal@slc"
+
+    def test_shared_clock(self, testbed):
+        token = testbed.seal.issue_token("u", ("read", "write"))
+        testbed.seal.put("k", b"x" * 1000, token=token, from_site="knox")
+        assert testbed.clock.now > 0
+        testbed.monitor.probe("knox", "slc")
+        # Monitor and seal charge the same clock.
+        assert testbed.clock.total_for("probe:") > 0
+        assert testbed.clock.total_for("seal:") > 0
+
+
+class TestFair:
+    @pytest.fixture
+    def good_object(self):
+        meta = DatasetMetadata(
+            name="tn-slope", title="Tennessee slope", keywords=["slope"], license="CC-BY-4.0"
+        )
+        obj = FairDigitalObject.mint(
+            meta, checksum="abc123", access_url="seal://slc/sealed/tn.idx"
+        )
+        obj.add_provenance("geotiled")
+        return obj
+
+    def test_mint_pid_format(self, good_object):
+        assert good_object.pid.startswith("hdl:20.500.12345/")
+
+    def test_mint_deterministic(self):
+        meta = DatasetMetadata(name="x", title="X", keywords=["k"])
+        a = FairDigitalObject.mint(meta, checksum="c", access_url="file://x")
+        b = FairDigitalObject.mint(meta, checksum="c", access_url="file://x")
+        assert a.pid == b.pid
+
+    def test_fully_fair(self, good_object):
+        result = fair_assessment(good_object)
+        assert result["fair"]
+        assert result["score"] == 1.0
+        assert result["reasons"] == {}
+
+    def test_missing_title_breaks_findable(self, good_object):
+        good_object.metadata.title = ""
+        result = fair_assessment(good_object)
+        assert not result["pillars"]["findable"]
+        assert "missing title" in result["reasons"]["findable"]
+
+    def test_bad_scheme_breaks_accessible(self, good_object):
+        good_object.access_url = "gopher://ancient/path"
+        result = fair_assessment(good_object)
+        assert not result["pillars"]["accessible"]
+
+    def test_closed_format_breaks_interoperable(self, good_object):
+        good_object.mime = "application/x-proprietary"
+        result = fair_assessment(good_object)
+        assert not result["pillars"]["interoperable"]
+
+    def test_no_provenance_breaks_reusable(self):
+        meta = DatasetMetadata(name="x", title="X", keywords=["k"])
+        obj = FairDigitalObject.mint(meta, checksum="c", access_url="file://x")
+        result = fair_assessment(obj)
+        assert not result["pillars"]["reusable"]
+        assert result["score"] == 0.75

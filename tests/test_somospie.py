@@ -1,0 +1,197 @@
+"""Tests for the SOMOSPIE spatial-inference engine."""
+
+import numpy as np
+import pytest
+
+from repro.somospie import (
+    CovariateStack,
+    IdwRegressor,
+    KnnRegressor,
+    RidgeRegressor,
+    evaluate_regressor,
+    gap_fill,
+    random_gap_mask,
+    synthetic_soil_moisture,
+)
+from repro.terrain.dem import composite_terrain
+from repro.terrain.parameters import aspect, slope
+
+
+@pytest.fixture(scope="module")
+def terrain():
+    dem = composite_terrain((64, 64), seed=11)
+    return {
+        "elevation": dem,
+        "slope": slope(dem),
+        "aspect": aspect(dem),
+    }
+
+
+@pytest.fixture(scope="module")
+def stack(terrain):
+    return CovariateStack(dict(terrain))
+
+
+class TestCovariateStack:
+    def test_aspect_decomposed(self, stack):
+        assert "aspect_sin" in stack.names
+        assert "aspect_cos" in stack.names
+        assert "aspect" not in stack.names
+
+    def test_shape_consistency_enforced(self, terrain):
+        bad = dict(terrain)
+        bad["extra"] = np.zeros((10, 10))
+        with pytest.raises(ValueError):
+            CovariateStack(bad)
+
+    def test_requires_rasters(self):
+        with pytest.raises(ValueError):
+            CovariateStack({})
+        with pytest.raises(ValueError):
+            CovariateStack({"v": np.zeros(5)})
+
+    def test_features_at_shape(self, stack):
+        rows = np.array([0, 5, 10])
+        cols = np.array([1, 6, 11])
+        feats = stack.features_at(rows, cols)
+        # 2 coord features + elevation + slope + aspect_sin + aspect_cos.
+        assert feats.shape == (3, 6)
+
+    def test_normalisation_zero_mean_unit_std(self, stack):
+        feats = stack.full_grid_features(with_coords=False)
+        assert np.allclose(feats.mean(axis=0), 0.0, atol=0.2)
+        assert np.allclose(feats.std(axis=0), 1.0, atol=0.3)
+
+    def test_without_coords(self, stack):
+        feats = stack.features_at(np.array([0]), np.array([0]), with_coords=False)
+        assert feats.shape == (1, 4)
+
+
+class TestSyntheticSoilMoisture:
+    def test_physical_range(self, terrain):
+        sm = synthetic_soil_moisture(terrain["elevation"], seed=0)
+        assert sm.min() >= 0.02
+        assert sm.max() <= 0.55
+
+    def test_deterministic(self, terrain):
+        dem = terrain["elevation"]
+        assert np.array_equal(
+            synthetic_soil_moisture(dem, seed=1), synthetic_soil_moisture(dem, seed=1)
+        )
+
+    def test_elevation_effect(self):
+        """Higher cells are drier on average."""
+        dem = composite_terrain((64, 64), seed=2)
+        sm = synthetic_soil_moisture(dem, seed=2, noise=0.0)
+        high = sm[dem > np.quantile(dem, 0.8)].mean()
+        low = sm[dem < np.quantile(dem, 0.2)].mean()
+        assert high < low
+
+
+class TestRegressors:
+    @pytest.fixture(scope="class")
+    def samples(self, stack, terrain):
+        truth = synthetic_soil_moisture(terrain["elevation"], seed=3, noise=0.005)
+        rng = np.random.default_rng(4)
+        rows = rng.integers(0, 64, 300)
+        cols = rng.integers(0, 64, 300)
+        return stack.features_at(rows, cols), truth[rows, cols]
+
+    @pytest.mark.parametrize(
+        "regressor",
+        [KnnRegressor(k=8), KnnRegressor(k=1), IdwRegressor(k=10), RidgeRegressor(1.0)],
+        ids=["knn8", "knn1", "idw", "ridge"],
+    )
+    def test_beats_mean_predictor(self, regressor, samples):
+        X, y = samples
+        metrics = evaluate_regressor(regressor, X, y, seed=0)
+        assert metrics.r2 > 0.3, type(regressor).__name__
+        assert metrics.rmse < y.std()
+
+    def test_knn_exact_at_training_points(self, samples):
+        X, y = samples
+        knn = KnnRegressor(k=5, weights="distance").fit(X, y)
+        pred = knn.predict(X[:20])
+        assert np.allclose(pred, y[:20])
+
+    def test_knn_k_larger_than_data(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 1.0])
+        knn = KnnRegressor(k=50).fit(X, y)
+        assert knn.predict(np.array([[0.5]])).shape == (1,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            KnnRegressor().predict(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError):
+            RidgeRegressor().predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KnnRegressor(k=0)
+        with pytest.raises(ValueError):
+            KnnRegressor(weights="cosine")
+        with pytest.raises(ValueError):
+            IdwRegressor(power=0)
+        with pytest.raises(ValueError):
+            RidgeRegressor(alpha=-1)
+        with pytest.raises(ValueError):
+            KnnRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_ridge_recovers_linear_function(self):
+        rng = np.random.default_rng(5)
+        X = rng.random((200, 3))
+        y = 2.0 * X[:, 0] - 1.0 * X[:, 1] + 0.5 + rng.normal(0, 0.001, 200)
+        metrics = evaluate_regressor(RidgeRegressor(alpha=1e-6), X, y, seed=1)
+        assert metrics.r2 > 0.99
+
+    def test_evaluate_validation(self, samples):
+        X, y = samples
+        with pytest.raises(ValueError):
+            evaluate_regressor(KnnRegressor(), X, y, train_fraction=1.5)
+        with pytest.raises(ValueError):
+            evaluate_regressor(KnnRegressor(), X[:2], y[:2])
+
+
+class TestGapFill:
+    def test_mask_properties(self):
+        mask = random_gap_mask((64, 64), gap_fraction=0.3, seed=0)
+        assert mask.shape == (64, 64)
+        assert 0.25 < mask.mean() < 0.35
+
+    def test_mask_is_clumped(self):
+        """Gap cells neighbour other gap cells far more than random."""
+        mask = random_gap_mask((64, 64), gap_fraction=0.3, seed=1)
+        inside = mask[1:-1, 1:-1]
+        neighbour_same = (mask[:-2, 1:-1] == inside).mean()
+        assert neighbour_same > 0.9
+
+    def test_mask_validation(self):
+        with pytest.raises(ValueError):
+            random_gap_mask((8, 8), gap_fraction=0.0)
+
+    def test_fill_accuracy(self, stack, terrain):
+        truth = synthetic_soil_moisture(terrain["elevation"], seed=6, noise=0.0)
+        mask = random_gap_mask((64, 64), gap_fraction=0.3, seed=7)
+        observed = np.where(mask, 0.0, truth)
+        filled, report = gap_fill(observed, mask, stack, truth=truth)
+        assert report.filled_cells == int(mask.sum())
+        assert report.r2_vs_truth > 0.5
+        # Observed cells are untouched.
+        assert np.array_equal(filled[~mask], truth[~mask].astype(np.float32))
+
+    def test_custom_regressor(self, stack, terrain):
+        truth = synthetic_soil_moisture(terrain["elevation"], seed=8, noise=0.0)
+        mask = random_gap_mask((64, 64), gap_fraction=0.2, seed=9)
+        filled, report = gap_fill(
+            np.where(mask, 0, truth), mask, stack, regressor=RidgeRegressor(0.1), truth=truth
+        )
+        assert report.rmse_vs_truth is not None
+
+    def test_fully_masked_rejected(self, stack):
+        with pytest.raises(ValueError):
+            gap_fill(np.zeros((64, 64)), np.ones((64, 64), dtype=bool), stack)
+
+    def test_shape_mismatch_rejected(self, stack):
+        with pytest.raises(ValueError):
+            gap_fill(np.zeros((10, 10)), np.zeros((10, 10), dtype=bool), stack)

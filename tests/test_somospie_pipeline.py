@@ -1,0 +1,64 @@
+"""Tests for the SOMOSPIE modular workflow."""
+
+import numpy as np
+import pytest
+
+from repro.somospie import build_somospie_workflow
+
+
+class TestSomospieWorkflow:
+    def test_step_order(self):
+        wf = build_somospie_workflow()
+        assert wf.validate() == [
+            "somospie-terrain",
+            "somospie-covariates",
+            "somospie-observe",
+            "somospie-predict",
+            "somospie-evaluate",
+        ]
+
+    def test_runs_and_scores_well(self):
+        run = build_somospie_workflow(shape=(48, 48), seed=3, n_probes=250).run()
+        assert run.ok
+        metrics = run.context["inference_metrics"]
+        assert metrics["method"] == "knn"
+        assert metrics["r2"] > 0.3
+        assert metrics["rmse"] < 0.06
+        assert metrics["cells_scored"] + 0 < 48 * 48  # probes excluded
+
+    def test_prediction_grid_shape(self):
+        run = build_somospie_workflow(shape=(32, 40), n_probes=150).run()
+        assert run.context["prediction"].shape == (32, 40)
+        assert run.context["prediction"].dtype == np.float32
+
+    @pytest.mark.parametrize("method", ["knn", "idw", "ridge"])
+    def test_all_methods(self, method):
+        run = build_somospie_workflow(
+            shape=(32, 32), seed=1, n_probes=150, method=method
+        ).run()
+        assert run.ok
+        assert run.context["inference_metrics"]["method"] == method
+        assert run.context["inference_metrics"]["r2"] > 0.0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            build_somospie_workflow(method="deep-learning")
+
+    def test_deterministic(self):
+        m1 = build_somospie_workflow(shape=(32, 32), seed=5).run().context["inference_metrics"]
+        m2 = build_somospie_workflow(shape=(32, 32), seed=5).run().context["inference_metrics"]
+        assert m1 == m2
+
+    def test_more_probes_help(self):
+        few = build_somospie_workflow(shape=(48, 48), seed=2, n_probes=60).run()
+        many = build_somospie_workflow(shape=(48, 48), seed=2, n_probes=600).run()
+        assert (
+            many.context["inference_metrics"]["rmse"]
+            < few.context["inference_metrics"]["rmse"]
+        )
+
+    def test_provenance_chain(self):
+        run = build_somospie_workflow(shape=(32, 32)).run()
+        chain = [r.activity for r in run.provenance.lineage("inference_metrics")]
+        assert chain[0] == "somospie-terrain"
+        assert chain[-1] == "somospie-evaluate"

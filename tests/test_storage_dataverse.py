@@ -1,0 +1,127 @@
+"""Tests for the Dataverse public repository analogue."""
+
+import pytest
+
+from repro.formats.metadata import DatasetMetadata
+from repro.storage.dataverse import Dataverse, DataverseError
+
+
+@pytest.fixture
+def dv():
+    return Dataverse("test-dv", seed=0)
+
+
+@pytest.fixture
+def meta():
+    return DatasetMetadata(
+        name="tn-terrain",
+        title="Tennessee terrain 30m",
+        keywords=["terrain", "tennessee"],
+        region="tennessee",
+    )
+
+
+class TestLifecycle:
+    def test_doi_format(self, dv, meta):
+        doi = dv.create_dataset(meta, owner="lab")
+        assert doi.startswith("doi:10.70122/FK2/")
+        assert len(doi.split("/")[-1]) == 6
+
+    def test_dois_unique(self, dv, meta):
+        dois = {dv.create_dataset(meta, owner="lab") for _ in range(50)}
+        assert len(dois) == 50
+
+    def test_draft_not_public(self, dv, meta):
+        doi = dv.create_dataset(meta, owner="lab")
+        dv.upload_file(doi, "f.bin", b"x", owner="lab")
+        with pytest.raises(DataverseError):
+            dv.get_file(doi, "f.bin", requester="public")
+        # The owner can read their own draft.
+        assert dv.get_file(doi, "f.bin", version=0, requester="lab") == b"x"
+
+    def test_publish_makes_public(self, dv, meta):
+        doi = dv.create_dataset(meta, owner="lab")
+        dv.upload_file(doi, "f.bin", b"x", owner="lab")
+        assert dv.publish(doi, owner="lab") == 1
+        assert dv.get_file(doi, "f.bin") == b"x"
+
+    def test_publish_empty_draft_rejected(self, dv, meta):
+        doi = dv.create_dataset(meta, owner="lab")
+        with pytest.raises(DataverseError):
+            dv.publish(doi, owner="lab")
+
+    def test_versioning(self, dv, meta):
+        doi = dv.create_dataset(meta, owner="lab")
+        dv.upload_file(doi, "f.bin", b"v1", owner="lab")
+        dv.publish(doi, owner="lab")
+        dv.upload_file(doi, "f.bin", b"v2", owner="lab")
+        dv.upload_file(doi, "g.bin", b"new", owner="lab")
+        assert dv.publish(doi, owner="lab") == 2
+        # Old version remains immutable and retrievable.
+        assert dv.get_file(doi, "f.bin", version=1) == b"v1"
+        assert dv.get_file(doi, "f.bin", version=2) == b"v2"
+        assert dv.get_file(doi, "g.bin") == b"new"
+        assert dv.dataset_info(doi).files(1) == ["f.bin"]
+        assert dv.dataset_info(doi).files(2) == ["f.bin", "g.bin"]
+
+    def test_ownership_enforced(self, dv, meta):
+        doi = dv.create_dataset(meta, owner="lab")
+        with pytest.raises(DataverseError):
+            dv.upload_file(doi, "f", b"x", owner="intruder")
+        dv.upload_file(doi, "f", b"x", owner="lab")
+        with pytest.raises(DataverseError):
+            dv.publish(doi, owner="intruder")
+
+    def test_unknown_doi(self, dv):
+        with pytest.raises(DataverseError):
+            dv.get_file("doi:10.70122/FK2/XXXXXX", "f")
+
+    def test_missing_file_and_version(self, dv, meta):
+        doi = dv.create_dataset(meta, owner="lab")
+        dv.upload_file(doi, "f", b"x", owner="lab")
+        dv.publish(doi, owner="lab")
+        with pytest.raises(DataverseError):
+            dv.get_file(doi, "missing")
+        with pytest.raises(DataverseError):
+            dv.get_file(doi, "f", version=9)
+
+
+class TestDiscovery:
+    def test_search_requires_all_terms(self, dv, meta):
+        doi = dv.create_dataset(meta, owner="lab")
+        dv.upload_file(doi, "f", b"x", owner="lab")
+        dv.publish(doi, owner="lab")
+        assert dv.search("tennessee terrain") == [doi]
+        assert dv.search("tennessee mars") == []
+
+    def test_search_excludes_drafts(self, dv, meta):
+        dv.create_dataset(meta, owner="lab")  # draft only
+        assert dv.search("tennessee") == []
+
+    def test_search_ranked_by_downloads(self, dv):
+        m1 = DatasetMetadata(name="a", title="terrain set one", keywords=["terrain"])
+        m2 = DatasetMetadata(name="b", title="terrain set two", keywords=["terrain"])
+        d1 = dv.create_dataset(m1, owner="lab")
+        d2 = dv.create_dataset(m2, owner="lab")
+        for doi in (d1, d2):
+            dv.upload_file(doi, "f", b"x", owner="lab")
+            dv.publish(doi, owner="lab")
+        for _ in range(3):
+            dv.get_file(d2, "f")
+        assert dv.search("terrain") == [d2, d1]
+
+    def test_list_datasets(self, dv, meta):
+        doi = dv.create_dataset(meta, owner="lab")
+        assert dv.list_datasets() == []
+        assert dv.list_datasets(published_only=False) == [doi]
+        dv.upload_file(doi, "f", b"x", owner="lab")
+        dv.publish(doi, owner="lab")
+        assert dv.list_datasets() == [doi]
+
+    def test_download_counter(self, dv, meta):
+        doi = dv.create_dataset(meta, owner="lab")
+        dv.upload_file(doi, "f", b"x", owner="lab")
+        dv.publish(doi, owner="lab")
+        dv.get_file(doi, "f")
+        dv.get_file(doi, "f")
+        assert dv.dataset_info(doi).downloads == 2

@@ -1,0 +1,156 @@
+"""Tests for hot/cold tiering and lifecycle policies."""
+
+import pytest
+
+from repro.network.clock import SimClock
+from repro.storage.lifecycle import TierPolicy, TieredStore
+from repro.storage.object_store import StorageError
+
+
+@pytest.fixture
+def store():
+    return TieredStore(
+        policy=TierPolicy(promote_after=3, demote_below=1, hot_capacity_bytes=10_000),
+        clock=SimClock(),
+    )
+
+
+class TestBasics:
+    def test_put_get_round_trip(self, store):
+        store.put("k", b"payload")
+        assert store.get("k") == b"payload"
+        assert store.tier_of("k") == TieredStore.COLD
+
+    def test_put_to_hot(self, store):
+        store.put("k", b"x", tier=TieredStore.HOT)
+        assert store.tier_of("k") == TieredStore.HOT
+
+    def test_unknown_key(self, store):
+        with pytest.raises(StorageError):
+            store.get("ghost")
+        with pytest.raises(StorageError):
+            store.tier_of("ghost")
+        with pytest.raises(StorageError):
+            store.delete("ghost")
+
+    def test_bad_tier(self, store):
+        with pytest.raises(StorageError):
+            store.put("k", b"x", tier="lukewarm")
+
+    def test_overwrite_across_tiers(self, store):
+        store.put("k", b"old", tier=TieredStore.HOT)
+        store.put("k", b"new", tier=TieredStore.COLD)
+        assert store.tier_of("k") == TieredStore.COLD
+        assert store.get("k") == b"new"
+
+    def test_delete(self, store):
+        store.put("k", b"x")
+        store.delete("k")
+        with pytest.raises(StorageError):
+            store.get("k")
+
+    def test_access_counting(self, store):
+        store.put("k", b"x")
+        assert store.access_count("k") == 0
+        store.get("k")
+        store.get("k")
+        assert store.access_count("k") == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            TierPolicy(promote_after=0)
+        with pytest.raises(ValueError):
+            TierPolicy(hot_capacity_bytes=0)
+
+
+class TestCosts:
+    def test_cold_reads_slower(self):
+        store = TieredStore(clock=SimClock())
+        store.put("cold", b"x" * 10_000, tier=TieredStore.COLD)
+        store.put("hot", b"x" * 10_000, tier=TieredStore.HOT)
+        t0 = store.clock.now
+        store.get("cold")
+        cold_cost = store.clock.now - t0
+        t0 = store.clock.now
+        store.get("hot")
+        hot_cost = store.clock.now - t0
+        assert cold_cost > 20 * hot_cost
+
+
+class TestPolicy:
+    def test_hot_object_promoted(self, store):
+        store.put("popular", b"x" * 100)
+        for _ in range(3):
+            store.get("popular")
+        moved = store.run_policy()
+        assert moved["promoted"] == ["popular"]
+        assert store.tier_of("popular") == TieredStore.HOT
+        assert store.promotions == 1
+
+    def test_cold_object_stays(self, store):
+        store.put("ignored", b"x")
+        store.get("ignored")  # below the threshold of 3
+        moved = store.run_policy()
+        assert moved["promoted"] == []
+        assert store.tier_of("ignored") == TieredStore.COLD
+
+    def test_idle_hot_object_demoted(self, store):
+        store.put("was-hot", b"x", tier=TieredStore.HOT)
+        moved = store.run_policy()  # zero accesses < demote_below=1
+        assert moved["demoted"] == ["was-hot"]
+        assert store.tier_of("was-hot") == TieredStore.COLD
+
+    def test_capacity_enforced(self, store):
+        # Hot capacity 10 kB; two 6 kB objects cannot both be hot.
+        store.put("a", b"x" * 6_000)
+        store.put("b", b"y" * 6_000)
+        for _ in range(3):
+            store.get("a")
+        for _ in range(4):
+            store.get("b")
+        store.run_policy()
+        hot = [k for k in ("a", "b") if store.tier_of(k) == TieredStore.HOT]
+        assert hot == ["b"]  # the hotter one wins the capacity
+        assert store.tier_bytes(TieredStore.HOT) <= 10_000
+
+    def test_eviction_prefers_colder_victims(self, store):
+        store.put("old-hot", b"x" * 6_000, tier=TieredStore.HOT)
+        store.put("rising", b"y" * 6_000)
+        store.get("old-hot")  # 1 access: stays above demote_below
+        for _ in range(5):
+            store.get("rising")
+        store.run_policy()
+        assert store.tier_of("rising") == TieredStore.HOT
+        assert store.tier_of("old-hot") == TieredStore.COLD
+
+    def test_counters_reset_per_window(self, store):
+        store.put("k", b"x" * 100)
+        for _ in range(3):
+            store.get("k")
+        store.run_policy()
+        assert store.access_count("k") == 0
+        # With no fresh accesses, the next pass demotes it again.
+        store.run_policy()
+        assert store.tier_of("k") == TieredStore.COLD
+
+    def test_workload_speedup(self):
+        """Tiering pays: a skewed workload runs faster after one policy pass."""
+        def run(with_policy: bool) -> float:
+            store = TieredStore(
+                policy=TierPolicy(promote_after=2, demote_below=1,
+                                  hot_capacity_bytes=1_000_000),
+                clock=SimClock(),
+            )
+            for i in range(8):
+                store.put(f"obj{i}", bytes(50_000))
+            # Warmup window: object 0 is hot.
+            for _ in range(3):
+                store.get("obj0")
+            if with_policy:
+                store.run_policy()
+            t0 = store.clock.now
+            for _ in range(10):
+                store.get("obj0")
+            return store.clock.now - t0
+
+        assert run(True) < run(False) / 10

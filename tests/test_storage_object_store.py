@@ -1,0 +1,132 @@
+"""Tests for the S3-like object store."""
+
+import pytest
+
+from repro.storage.object_store import ObjectStore, StorageError
+
+
+@pytest.fixture
+def store():
+    s = ObjectStore("test")
+    s.create_bucket("data")
+    return s
+
+
+class TestBuckets:
+    def test_create_and_list(self, store):
+        store.create_bucket("other")
+        assert store.buckets() == ["data", "other"]
+
+    def test_duplicate_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.create_bucket("data")
+
+    def test_invalid_names(self, store):
+        with pytest.raises(StorageError):
+            store.create_bucket("")
+        with pytest.raises(StorageError):
+            store.create_bucket("a/b")
+
+    def test_ensure_bucket_idempotent(self, store):
+        b1 = store.ensure_bucket("data")
+        b2 = store.ensure_bucket("data")
+        assert b1 is b2
+
+    def test_delete_empty_only(self, store):
+        store.put("data", "k", b"x")
+        with pytest.raises(StorageError):
+            store.delete_bucket("data")
+        store.delete("data", "k")
+        store.delete_bucket("data")
+        assert "data" not in store.buckets()
+
+
+class TestObjects:
+    def test_put_get(self, store):
+        info = store.put("data", "a/b.bin", b"hello")
+        assert info.size == 5
+        assert store.get("data", "a/b.bin") == b"hello"
+
+    def test_etag_content_addressed(self, store):
+        i1 = store.put("data", "x", b"same")
+        i2 = store.put("data", "y", b"same")
+        i3 = store.put("data", "z", b"different")
+        assert i1.etag == i2.etag != i3.etag
+
+    def test_overwrite_updates(self, store):
+        store.put("data", "k", b"v1")
+        store.put("data", "k", b"v2")
+        assert store.get("data", "k") == b"v2"
+
+    def test_metadata(self, store):
+        store.put("data", "k", b"x", metadata={"region": "conus"})
+        assert store.head("data", "k").meta_dict() == {"region": "conus"}
+
+    def test_missing_object(self, store):
+        with pytest.raises(StorageError):
+            store.get("data", "nope")
+        with pytest.raises(StorageError):
+            store.head("data", "nope")
+        with pytest.raises(StorageError):
+            store.delete("data", "nope")
+
+    def test_missing_bucket(self, store):
+        with pytest.raises(StorageError):
+            store.get("void", "k")
+
+    def test_empty_key_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.put("data", "", b"x")
+
+    def test_exists(self, store):
+        store.put("data", "k", b"x")
+        assert store.exists("data", "k")
+        assert not store.exists("data", "nope")
+
+    def test_sequence_monotone(self, store):
+        i1 = store.put("data", "a", b"1")
+        i2 = store.put("data", "b", b"2")
+        assert i2.sequence > i1.sequence
+
+
+class TestRangedGets:
+    def test_range(self, store):
+        store.put("data", "k", bytes(range(100)))
+        assert store.get_range("data", "k", 10, 5) == bytes(range(10, 15))
+
+    def test_zero_length(self, store):
+        store.put("data", "k", b"abc")
+        assert store.get_range("data", "k", 1, 0) == b""
+
+    def test_out_of_bounds(self, store):
+        store.put("data", "k", b"abc")
+        with pytest.raises(StorageError):
+            store.get_range("data", "k", 2, 5)
+        with pytest.raises(StorageError):
+            store.get_range("data", "k", -1, 1)
+
+
+class TestListingAndStats:
+    def test_prefix_listing(self, store):
+        for k in ("a/1", "a/2", "b/1"):
+            store.put("data", k, b"x")
+        assert [o.key for o in store.list("data", "a/")] == ["a/1", "a/2"]
+        assert len(store.list("data")) == 3
+
+    def test_stats_counters(self, store):
+        before = store.stats.snapshot()
+        store.put("data", "k", b"12345")
+        store.get("data", "k")
+        store.get_range("data", "k", 0, 2)
+        store.list("data")
+        delta = store.stats.delta(before)
+        assert delta.puts == 1
+        assert delta.gets == 2
+        assert delta.lists == 1
+        assert delta.bytes_in == 5
+        assert delta.bytes_out == 7
+
+    def test_total_bytes(self, store):
+        store.put("data", "a", b"xx")
+        store.put("data", "b", b"yyy")
+        assert store.total_bytes() == 5

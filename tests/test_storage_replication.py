@@ -1,0 +1,124 @@
+"""Tests for geo-replicated Seal storage."""
+
+import numpy as np
+import pytest
+
+from repro.idx import IdxDataset, RemoteAccess
+from repro.network import SimClock, default_testbed
+from repro.storage import ReplicatedSeal
+from repro.storage.object_store import StorageError
+from repro.storage.seal import AuthError
+
+
+@pytest.fixture
+def rseal():
+    return ReplicatedSeal(sites=("slc", "chi", "mghpcc"), clock=SimClock())
+
+
+@pytest.fixture
+def token(rseal):
+    return rseal.issue_token("user", ("read", "write"))
+
+
+class TestPlacement:
+    def test_put_replicates_to_nearest_sites(self, rseal, token):
+        sites = rseal.put("k", b"data", token=token, from_site="knox", replicas=2)
+        assert len(sites) == 2
+        # knox's two nearest of {slc, chi, mghpcc} are chi then mghpcc/slc.
+        assert "chi" in sites
+
+    def test_default_replicates_everywhere(self, rseal, token):
+        sites = rseal.put("k", b"data", token=token)
+        assert sorted(sites) == ["chi", "mghpcc", "slc"]
+
+    def test_replica_count_validated(self, rseal, token):
+        with pytest.raises(ValueError):
+            rseal.put("k", b"x", token=token, replicas=0)
+        with pytest.raises(ValueError):
+            rseal.put("k", b"x", token=token, replicas=9)
+
+    def test_missing_key(self, rseal, token):
+        with pytest.raises(StorageError):
+            rseal.replica_sites("ghost")
+        with pytest.raises(StorageError):
+            rseal.get("ghost", token=token)
+
+    def test_delete_removes_all_replicas(self, rseal, token):
+        rseal.put("k", b"x", token=token)
+        rseal.delete("k", token=token)
+        with pytest.raises(StorageError):
+            rseal.replica_sites("k")
+        for region in rseal.regions.values():
+            assert not region.store.exists(region.bucket, "k")
+
+
+class TestNearestReplicaReads:
+    def test_nearest_selection(self, rseal, token):
+        rseal.put("k", b"x", token=token, replicas=3)
+        # A client in Utah should read from the Utah replica.
+        assert rseal.nearest_replica("k", "slc") == "slc"
+        # An east-coast client should pick an eastern replica.
+        assert rseal.nearest_replica("k", "udel") == "mghpcc"
+
+    def test_get_returns_content(self, rseal, token):
+        rseal.put("k", b"payload", token=token)
+        for client in ("slc", "udel", "sdsc"):
+            assert rseal.get("k", token=token, from_site=client) == b"payload"
+
+    def test_more_replicas_flatten_latency_map(self, token):
+        one = ReplicatedSeal(sites=("slc",), clock=SimClock())
+        three = ReplicatedSeal(sites=("slc", "chi", "mghpcc"), clock=SimClock())
+        t1 = one.issue_token("u", ("read", "write"))
+        t3 = three.issue_token("u", ("read", "write"))
+        one.put("k", b"x", token=t1)
+        three.put("k", b"x", token=t3)
+        worst_one = max(one.access_latency_map("k").values())
+        worst_three = max(three.access_latency_map("k").values())
+        assert worst_three < worst_one
+
+    def test_auth_shared_across_regions(self, rseal, token):
+        rseal.put("k", b"x", token=token)
+        read_only = rseal.issue_token("reader", ("read",))
+        assert rseal.get("k", token=read_only) == b"x"
+        with pytest.raises(AuthError):
+            rseal.put("k2", b"y", token=read_only)
+        rseal.revoke_token(read_only)
+        with pytest.raises(AuthError):
+            rseal.get("k", token=read_only)
+
+
+class TestReplicatedStreaming:
+    def test_idx_streaming_from_nearest(self, rseal, token, tmp_path, rng):
+        a = rng.random((32, 32)).astype(np.float32)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=6)
+        ds.write(a)
+        ds.finalize()
+        with open(path, "rb") as fh:
+            rseal.put("d.idx", fh.read(), token=token, from_site="knox")
+
+        source = rseal.byte_source("d.idx", token=token, from_site="udel")
+        remote = IdxDataset.from_access(RemoteAccess(source))
+        assert np.array_equal(remote.read(), a)
+
+    def test_streaming_cheaper_from_near_replica(self, token, tmp_path, rng):
+        a = rng.random((64, 64)).astype(np.float32)
+        path = str(tmp_path / "d.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=8)
+        ds.write(a)
+        ds.finalize()
+        blob = open(path, "rb").read()
+
+        def stream_cost(sites, client):
+            clock = SimClock()
+            rs = ReplicatedSeal(sites=sites, clock=clock)
+            tok = rs.issue_token("u", ("read", "write"))
+            rs.put("d.idx", blob, token=tok, from_site=client)
+            t0 = clock.now
+            src = rs.byte_source("d.idx", token=tok, from_site=client)
+            IdxDataset.from_access(RemoteAccess(src)).read()
+            return clock.now - t0
+
+        far = stream_cost(("slc",), "udel")
+        near = stream_cost(("slc", "mghpcc"), "udel")
+        assert near < far

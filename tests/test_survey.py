@@ -1,0 +1,173 @@
+"""Tests for the survey/evaluation data (Table I, Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.survey import (
+    FIG8_QUESTIONS,
+    LIKERT_LEVELS,
+    PARTICIPANT_QUOTES,
+    TABLE1_ROWS,
+    Distribution,
+    LikertLevel,
+    by_audience,
+    by_modality,
+    fig8_distributions,
+    simulate_responses,
+    total_participants,
+)
+from repro.survey.simulate import aggregate
+
+
+class TestTable1:
+    def test_total_is_108(self):
+        """The paper's headline participation number."""
+        assert total_participants() == 108
+
+    def test_four_venues(self):
+        assert len(TABLE1_ROWS) == 4
+
+    def test_row_values_match_paper(self):
+        counts = {r.audience: r.participants for r in TABLE1_ROWS}
+        assert counts["Computer science experts"] == 25
+        assert counts["Domain science experts"] == 15
+        assert counts["General public"] == 36
+        assert counts["Undergraduate and graduate students"] == 32
+
+    def test_modality_split(self):
+        split = by_modality()
+        assert split == {"In-person": 57, "Virtual": 51}
+        assert sum(split.values()) == 108
+
+    def test_audience_split_covers_all(self):
+        assert sum(by_audience().values()) == 108
+
+    def test_row_validation(self):
+        from repro.survey.roster import TutorialVenue
+
+        with pytest.raises(ValueError):
+            TutorialVenue("v", "Hybrid", "a", 5)
+        with pytest.raises(ValueError):
+            TutorialVenue("v", "Virtual", "a", 0)
+
+
+class TestLikert:
+    def test_five_levels_ordered(self):
+        assert len(LIKERT_LEVELS) == 5
+        assert LikertLevel.STRONGLY_DISAGREE < LikertLevel.STRONGLY_AGREE
+
+    def test_distribution_from_responses(self):
+        d = Distribution.from_responses(
+            [LikertLevel.AGREE, LikertLevel.AGREE, LikertLevel.NEUTRAL]
+        )
+        assert d.count(LikertLevel.AGREE) == 2
+        assert d.total == 3
+
+    def test_percent_positive(self):
+        d = Distribution((0, 0, 2, 3, 5))
+        assert d.percent_positive == pytest.approx(80.0)
+        assert d.percent_negative == 0.0
+
+    def test_mean_score(self):
+        d = Distribution((1, 1, 1, 1, 1))
+        assert d.mean_score == pytest.approx(3.0)
+
+    def test_mode(self):
+        d = Distribution((0, 0, 1, 5, 3))
+        assert d.mode is LikertLevel.AGREE
+
+    def test_combine(self):
+        a = Distribution((1, 0, 0, 0, 0))
+        b = Distribution((0, 0, 0, 0, 2))
+        assert a.combine(b).counts == (1, 0, 0, 0, 2)
+
+    def test_percentages_sum_to_100(self):
+        d = Distribution((2, 3, 5, 7, 11))
+        assert sum(d.as_percentages()) == pytest.approx(100.0)
+
+    def test_bar_chart_renders(self):
+        chart = Distribution((0, 1, 2, 3, 4)).bar_chart()
+        assert "Strongly Agree" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Distribution((1, 2, 3))
+        with pytest.raises(ValueError):
+            Distribution((1, 2, 3, 4, -1))
+        with pytest.raises(ValueError):
+            Distribution((0, 0, 0, 0, 0)).mode
+
+
+class TestFig8:
+    def test_four_questions(self):
+        assert [q.qid for q in FIG8_QUESTIONS] == ["a", "b", "c", "d"]
+
+    def test_all_marked_estimated(self):
+        """No one can mistake the synthesised counts for published data."""
+        assert all(q.estimated for q in FIG8_QUESTIONS)
+
+    def test_totals_match_roster(self):
+        for qid, dist in fig8_distributions().items():
+            assert dist.total == 108, qid
+
+    def test_overwhelmingly_positive(self):
+        """The paper's qualitative claim, quantified."""
+        for qid, dist in fig8_distributions().items():
+            assert dist.percent_positive > 85.0, qid
+            assert dist.percent_negative < 5.0, qid
+            assert dist.mode in (LikertLevel.AGREE, LikertLevel.STRONGLY_AGREE)
+
+    def test_quotes_present(self):
+        assert len(PARTICIPANT_QUOTES) == 5
+        roles = {role for role, _ in PARTICIPANT_QUOTES}
+        assert "domain scientist" in roles
+        assert "undergraduate student" in roles
+
+
+class TestSimulate:
+    def test_one_record_per_participant(self):
+        responses = simulate_responses(seed=0)
+        assert len(responses) == 108
+        assert len({r.respondent_id for r in responses}) == 108
+
+    def test_reaggregation_exact(self):
+        """Synthesised records re-aggregate to the target marginals exactly."""
+        responses = simulate_responses(seed=3)
+        for qid, dist in fig8_distributions().items():
+            assert aggregate(responses, qid).counts == dist.counts, qid
+
+    def test_venue_assignment_matches_roster(self):
+        responses = simulate_responses(seed=0)
+        by_venue = {}
+        for r in responses:
+            by_venue[r.venue] = by_venue.get(r.venue, 0) + 1
+        for row in TABLE1_ROWS:
+            assert by_venue[row.venue] == row.participants
+
+    def test_deterministic_in_seed(self):
+        a = simulate_responses(seed=5)
+        b = simulate_responses(seed=5)
+        assert a == b
+        c = simulate_responses(seed=6)
+        assert a != c
+
+    def test_filtered_aggregation_partitions(self):
+        responses = simulate_responses(seed=1)
+        for qid in ("a", "b", "c", "d"):
+            full = aggregate(responses, qid)
+            in_person = aggregate(responses, qid, modality="In-person")
+            virtual = aggregate(responses, qid, modality="Virtual")
+            assert in_person.combine(virtual).counts == full.counts
+
+    def test_mismatched_distribution_rejected(self):
+        from repro.survey.likert import Distribution
+
+        with pytest.raises(ValueError):
+            simulate_responses(distributions={"a": Distribution((1, 0, 0, 0, 0))})
+
+    def test_answer_lookup(self):
+        responses = simulate_responses(seed=0)
+        r = responses[0]
+        assert r.answer("a") in LIKERT_LEVELS
+        with pytest.raises(KeyError):
+            r.answer("z")

@@ -1,0 +1,59 @@
+"""Tests for the evaluation report generator."""
+
+import pytest
+
+from repro.survey.likert import Distribution
+from repro.survey.report import evaluation_report, key_findings
+
+
+class TestKeyFindings:
+    def test_participation_headline(self):
+        findings = key_findings()
+        assert any("108 participants" in f for f in findings)
+        assert any("4 venues" in f for f in findings)
+
+    def test_positivity_range(self):
+        findings = key_findings()
+        positive = [f for f in findings if "rated positively" in f]
+        assert len(positive) == 1
+
+    def test_custom_distributions(self):
+        flat = {q: Distribution((20, 20, 20, 24, 24)) for q in "abcd"}
+        findings = key_findings(flat)
+        assert any("44" in f for f in findings)  # 44.4% positive rounds into text
+
+
+class TestEvaluationReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return evaluation_report()
+
+    def test_sections_present(self, report):
+        for section in (
+            "1. PARTICIPATION",
+            "2. SURVEY RESULTS",
+            "3. PARTICIPANT FEEDBACK",
+            "4. KEY FINDINGS",
+        ):
+            assert section in report
+
+    def test_all_venues_listed(self, report):
+        assert "San Diego Supercomputer Center" in report
+        assert "University of Delaware" in report
+        assert "Webinar" in report
+        assert "University of Tennessee Knoxville" in report
+
+    def test_all_questions_charted(self, report):
+        for qid in ("(a)", "(b)", "(c)", "(d)"):
+            assert qid in report
+        assert report.count("Strongly Agree") >= 4
+
+    def test_quotes_included(self, report):
+        assert "very easy to follow" in report
+        assert "domain scientist" in report
+
+    def test_totals(self, report):
+        assert "108  TOTAL" in report
+
+    def test_renders_without_trailing_whitespace_explosion(self, report):
+        assert len(report.splitlines()) < 120

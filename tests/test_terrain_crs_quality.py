@@ -1,0 +1,123 @@
+"""Tests for geographic regions and tiled-accuracy analysis."""
+
+import numpy as np
+import pytest
+
+from repro.terrain.crs import M_PER_DEG_LAT, REGIONS, Region, grid_shape_for_region
+from repro.terrain.geotiled import compute_tiled
+from repro.terrain.parameters import slope
+from repro.terrain.quality import seam_report, tiled_accuracy
+
+
+class TestRegion:
+    def test_tutorial_regions_exist(self):
+        assert "conus" in REGIONS
+        assert "tennessee" in REGIONS
+
+    def test_conus_30m_grid_is_huge(self):
+        """The paper's CONUS at 30 m: order 100k x 150k samples."""
+        rows, cols = REGIONS["conus"].grid_shape(30.0)
+        assert 50_000 < rows < 150_000
+        assert 100_000 < cols < 250_000
+
+    def test_tennessee_smaller_than_conus(self):
+        tn = REGIONS["tennessee"].grid_shape(30.0)
+        conus = REGIONS["conus"].grid_shape(30.0)
+        assert tn[0] < conus[0] and tn[1] < conus[1]
+
+    def test_extent_positive(self):
+        ns, ew = REGIONS["tennessee"].extent_m()
+        assert ns > 0 and ew > 0
+        # Tennessee is much wider than tall.
+        assert ew > 3 * ns
+
+    def test_degenerate_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Region("bad", west=10, south=5, east=10, north=6)
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            REGIONS["conus"].grid_shape(0)
+
+    def test_georeference_round_trip(self):
+        g = REGIONS["tennessee"].georeference(30.0)
+        # Pixel (0,0) center sits at the NW corner.
+        x, y = g.pixel_to_model(0, 0)
+        assert x == pytest.approx(REGIONS["tennessee"].west)
+        assert y == pytest.approx(REGIONS["tennessee"].north)
+        # One pixel south decreases latitude.
+        _, y1 = g.pixel_to_model(1, 0)
+        assert y1 < y
+
+    def test_pixel_size_approximates_30m(self):
+        g = REGIONS["tennessee"].georeference(30.0)
+        assert abs(g.pixel_size[1]) * M_PER_DEG_LAT == pytest.approx(30.0, rel=1e-6)
+
+
+class TestGridShapeForRegion:
+    def test_scale_divisor(self):
+        full = grid_shape_for_region("conus", scale_divisor=1)
+        scaled = grid_shape_for_region("conus", scale_divisor=512)
+        assert scaled[0] == max(2, full[0] // 512)
+
+    def test_accepts_region_object(self):
+        shape = grid_shape_for_region(REGIONS["tennessee"], scale_divisor=64)
+        assert shape[0] >= 2 and shape[1] >= 2
+
+    def test_bad_divisor(self):
+        with pytest.raises(ValueError):
+            grid_shape_for_region("conus", scale_divisor=0)
+
+
+class TestTiledAccuracy:
+    def test_exact_report(self, small_dem):
+        ref = slope(small_dem)
+        report = tiled_accuracy(ref.copy(), ref)
+        assert report.exact
+        assert report.max_abs_error == 0.0
+        assert report.mismatched_fraction == 0.0
+
+    def test_detects_differences(self, small_dem):
+        ref = slope(small_dem)
+        bad = ref.copy()
+        bad[10, 10] += 1.0
+        report = tiled_accuracy(bad, ref)
+        assert not report.exact
+        assert report.max_abs_error == pytest.approx(1.0)
+        assert 0 < report.mismatched_fraction < 0.01
+
+    def test_nan_aware(self):
+        a = np.array([[np.nan, 1.0], [2.0, 3.0]])
+        assert tiled_accuracy(a, a.copy()).exact
+        b = a.copy()
+        b[0, 0] = 5.0  # NaN vs value = mismatch
+        report = tiled_accuracy(b, a)
+        assert not report.exact
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            tiled_accuracy(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestSeamReport:
+    def test_zero_halo_errors_live_on_seams(self, small_dem):
+        kernel = lambda t: slope(t, 30.0)  # noqa: E731
+        ref = kernel(small_dem)
+        bad = compute_tiled(small_dem, kernel, grid=(3, 4), halo=0)
+        report = seam_report(bad, ref, (3, 4))
+        assert report["interior_mae"] == pytest.approx(0.0, abs=1e-12)
+        assert report["seam_mae"] > 0.0
+        assert report["seam_max"] > report["seam_mae"]
+
+    def test_exact_tiling_no_seam_error(self, small_dem):
+        kernel = lambda t: slope(t, 30.0)  # noqa: E731
+        ref = kernel(small_dem)
+        good = compute_tiled(small_dem, kernel, grid=(3, 4), halo=1)
+        report = seam_report(good, ref, (3, 4))
+        assert report["seam_mae"] == 0.0
+        assert report["seam_max"] == 0.0
+
+    def test_seam_fraction_reasonable(self, small_dem):
+        ref = slope(small_dem)
+        report = seam_report(ref, ref, (4, 4), band=2)
+        assert 0.0 < report["seam_fraction"] < 0.5

@@ -1,0 +1,118 @@
+"""Tests for synthetic DEM generators."""
+
+import numpy as np
+import pytest
+
+from repro.terrain.dem import composite_terrain, diamond_square, gaussian_hills, spectral_fbm
+
+
+class TestSpectralFbm:
+    def test_shape_and_dtype(self):
+        out = spectral_fbm((40, 60), seed=1)
+        assert out.shape == (40, 60)
+        assert out.dtype == np.float32
+
+    def test_deterministic_in_seed(self):
+        assert np.array_equal(spectral_fbm((32, 32), seed=5), spectral_fbm((32, 32), seed=5))
+        assert not np.array_equal(spectral_fbm((32, 32), seed=5), spectral_fbm((32, 32), seed=6))
+
+    def test_amplitude_controls_std(self):
+        out = spectral_fbm((128, 128), seed=2, amplitude=3.0)
+        assert out.std() == pytest.approx(3.0, rel=0.01)
+
+    def test_higher_beta_smoother(self):
+        """Smoothness measured by mean squared first difference."""
+        rough = spectral_fbm((128, 128), seed=3, beta=1.0)
+        smooth = spectral_fbm((128, 128), seed=3, beta=3.0)
+        d_rough = np.mean(np.diff(rough, axis=0) ** 2) / rough.var()
+        d_smooth = np.mean(np.diff(smooth, axis=0) ** 2) / smooth.var()
+        assert d_smooth < d_rough
+
+    def test_zero_mean(self):
+        out = spectral_fbm((64, 64), seed=4)
+        assert abs(out.mean()) < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spectral_fbm((1, 10))
+        with pytest.raises(ValueError):
+            spectral_fbm((10, 10), beta=-1)
+
+
+class TestDiamondSquare:
+    def test_grid_size(self):
+        for n in (3, 5, 7):
+            assert diamond_square(n, seed=0).shape == ((1 << n) + 1,) * 2
+
+    def test_deterministic(self):
+        assert np.array_equal(diamond_square(5, seed=9), diamond_square(5, seed=9))
+
+    def test_no_unset_cells(self):
+        """Every lattice point must be touched (no zeros from init)."""
+        out = diamond_square(6, seed=1)
+        # A zero could legitimately occur, but a big block of exact zeros
+        # means the fill missed cells; count exact zeros instead.
+        assert np.count_nonzero(out == 0.0) < 5
+
+    def test_rougher_parameter(self):
+        smooth = diamond_square(6, seed=2, roughness=0.3)
+        rough = diamond_square(6, seed=2, roughness=0.8)
+        d_s = np.mean(np.diff(smooth, axis=0) ** 2) / smooth.var()
+        d_r = np.mean(np.diff(rough, axis=0) ** 2) / rough.var()
+        assert d_s < d_r
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diamond_square(0)
+        with pytest.raises(ValueError):
+            diamond_square(5, roughness=1.5)
+
+
+class TestGaussianHills:
+    def test_shape(self):
+        assert gaussian_hills((30, 50), seed=0).shape == (30, 50)
+
+    def test_peak_amplitude(self):
+        out = gaussian_hills((64, 64), seed=1, amplitude=5.0)
+        assert np.abs(out).max() == pytest.approx(5.0, rel=1e-5)
+
+    def test_smoothness(self):
+        out = gaussian_hills((64, 64), seed=2)
+        grad = np.abs(np.diff(out, axis=0)).max()
+        assert grad < 0.2  # no cliffs
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_hills((10, 10), n_hills=0)
+
+
+class TestCompositeTerrain:
+    def test_elevation_range(self):
+        dem = composite_terrain((100, 100), seed=0, relief_m=1500.0, base_elevation_m=100.0)
+        assert dem.min() == pytest.approx(100.0, abs=1.0)
+        assert dem.max() == pytest.approx(1600.0, abs=1.0)
+
+    def test_sea_level_clamp(self):
+        dem = composite_terrain((100, 100), seed=0, base_elevation_m=-200.0, sea_level_m=0.0)
+        assert dem.min() >= 0.0
+        assert (dem == 0.0).sum() > 0  # some water exists
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            composite_terrain((50, 50), seed=3), composite_terrain((50, 50), seed=3)
+        )
+
+    def test_float32(self):
+        assert composite_terrain((16, 16), seed=0).dtype == np.float32
+
+    def test_compressibility(self):
+        """Terrain must compress notably better than white noise (the
+        property behind the paper's ~20% size-reduction claim)."""
+        import zlib
+
+        dem = composite_terrain((128, 128), seed=5)
+        noise = np.random.default_rng(0).random((128, 128)).astype(np.float32)
+        r_dem = len(zlib.compress(dem.tobytes(), 6)) / dem.nbytes
+        r_noise = len(zlib.compress(noise.tobytes(), 6)) / noise.nbytes
+        # float32 mantissas keep raw ratios close; terrain must still win.
+        assert r_dem < r_noise

@@ -1,0 +1,145 @@
+"""Tests for D8 flow direction, accumulation, and watersheds."""
+
+import numpy as np
+import pytest
+
+from repro.terrain.dem import composite_terrain
+from repro.terrain.flow import D8_OFFSETS, SINK, flow_accumulation, flow_direction, watersheds
+from repro.terrain.geotiled import GeoTiler
+
+
+def plane_east(ny=6, nx=8):
+    """Elevation strictly decreasing eastward."""
+    _, x = np.mgrid[0:ny, 0:nx]
+    return (nx - 1 - x).astype(np.float64) * 10.0
+
+
+class TestFlowDirection:
+    def test_plane_drains_east(self):
+        d = flow_direction(plane_east(), 1.0)
+        assert (d[:, :-1] == 0).all()  # code 0 = east
+
+    def test_east_edge_is_sink(self):
+        d = flow_direction(plane_east(), 1.0)
+        assert (d[:, -1] == SINK).all()
+
+    def test_flat_is_all_sinks(self):
+        d = flow_direction(np.full((5, 5), 3.0), 1.0)
+        assert (d == SINK).all()
+
+    def test_pit_is_sink(self):
+        dem = np.full((5, 5), 10.0)
+        dem[2, 2] = 1.0
+        d = flow_direction(dem, 1.0)
+        assert d[2, 2] == SINK
+        # Every neighbour of the pit drains into it.
+        for code, (dy, dx) in enumerate(D8_OFFSETS):
+            r, c = 2 - dy, 2 - dx
+            assert d[r, c] == code, (r, c)
+
+    def test_diagonal_distance_matters(self):
+        # A cell with a slightly lower diagonal neighbour but a much
+        # lower cardinal one must pick the cardinal (steeper per metre).
+        dem = np.array([[10.0, 9.9], [7.0, 9.8]])
+        d = flow_direction(dem, 1.0)
+        assert d[0, 0] == 2  # south (drop 3/1) beats southeast (0.2/sqrt2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flow_direction(np.zeros(5))
+        with pytest.raises(ValueError):
+            flow_direction(np.zeros((4, 4)), cellsize=0)
+
+
+class TestFlowAccumulation:
+    def test_plane_accumulates_linearly(self):
+        acc = flow_accumulation(plane_east(), 1.0)
+        _, x = np.mgrid[0:6, 0:8]
+        assert (acc == x + 1).all()
+
+    def test_minimum_is_one(self, small_dem):
+        acc = flow_accumulation(small_dem)
+        assert acc.min() == 1
+
+    def test_conservation_invariant(self):
+        """acc(cell) == 1 + sum of acc over cells draining into it."""
+        dem = composite_terrain((48, 48), seed=9).astype(np.float64)
+        d = flow_direction(dem)
+        acc = flow_accumulation(dem)
+        ny, nx = dem.shape
+        check = np.ones_like(acc)
+        for code, (dy, dx) in enumerate(D8_OFFSETS):
+            rs, cs = np.nonzero(d == code)
+            r2, c2 = rs + dy, cs + dx
+            ok = (r2 >= 0) & (r2 < ny) & (c2 >= 0) & (c2 < nx)
+            np.add.at(check, (r2[ok], c2[ok]), acc[rs[ok], cs[ok]])
+        assert np.array_equal(check, acc)
+
+    def test_valley_concentrates_flow(self):
+        _, x = np.mgrid[0:16, 0:17]
+        y, _ = np.mgrid[0:16, 0:17]
+        dem = np.abs(x - 8).astype(np.float64) * 5 + 0.001 * y
+        acc = flow_accumulation(dem, 1.0)
+        assert acc[:, 8].max() > 5 * acc[:, 0].max()
+
+    def test_accumulation_bounded_by_domain(self, small_dem):
+        acc = flow_accumulation(small_dem)
+        assert acc.max() <= small_dem.size
+
+
+class TestWatersheds:
+    def test_plane_one_basin_per_row(self):
+        w = watersheds(plane_east(6, 8), 1.0)
+        assert len(np.unique(w)) == 6
+        for r in range(6):
+            assert len(np.unique(w[r])) == 1
+
+    def test_labels_contiguous_from_zero(self, small_dem):
+        w = watersheds(small_dem)
+        labels = np.unique(w)
+        assert labels[0] == 0
+        assert np.array_equal(labels, np.arange(len(labels)))
+
+    def test_two_pits_two_basins(self):
+        dem = np.full((7, 7), 10.0)
+        dem[1, 1] = 0.0
+        dem[5, 5] = 0.0
+        # Break the flat ambiguity with a saddle ridge down the middle.
+        dem += np.abs(np.arange(7)[:, None] + np.arange(7)[None, :] - 6) * 0.1
+        w = watersheds(dem, 1.0)
+        assert w[1, 1] != w[5, 5]
+
+    def test_basin_ids_consistent_with_flow(self, small_dem):
+        """A cell and the cell it drains into share a basin."""
+        d = flow_direction(small_dem)
+        w = watersheds(small_dem)
+        ny, nx = small_dem.shape
+        for code, (dy, dx) in enumerate(D8_OFFSETS):
+            rs, cs = np.nonzero(d == code)
+            r2, c2 = rs + dy, cs + dx
+            ok = (r2 >= 0) & (r2 < ny) & (c2 >= 0) & (c2 < nx)
+            assert (w[rs[ok], cs[ok]] == w[r2[ok], c2[ok]]).all()
+
+
+class TestGeotiledIntegration:
+    def test_flow_accumulation_computed_globally(self, small_dem):
+        """GEOtiled must not tile unbounded-footprint parameters."""
+        from repro.terrain.flow import flow_accumulation as direct
+
+        tiler = GeoTiler(grid=(4, 4))
+        products = tiler.compute(small_dem, parameters=("flow_accumulation",))
+        assert np.array_equal(
+            products["flow_accumulation"], direct(small_dem, 30.0).astype(np.float32)
+        )
+
+    def test_naive_tiling_would_be_wrong(self, small_dem):
+        """Demonstrate WHY: tiled flow accumulation with any fixed halo
+        disagrees with the global computation."""
+        from repro.terrain.flow import flow_accumulation as direct
+        from repro.terrain.geotiled import compute_tiled
+
+        global_acc = direct(small_dem, 30.0)
+        tiled = compute_tiled(
+            small_dem, lambda t: direct(t, 30.0).astype(np.float64), grid=(3, 3), halo=4
+        )
+        assert not np.array_equal(tiled, global_acc)

@@ -1,0 +1,105 @@
+"""Tests for the GEOtiled partition -> compute -> mosaic pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.terrain.geotiled import GeoTiler, TileSpec, compute_tiled, partition
+from repro.terrain.parameters import aspect, hillshade, slope
+from repro.util.arrays import Box
+
+
+class TestPartition:
+    def test_cores_partition_raster(self):
+        tiles = partition((100, 140), (3, 4), halo=2)
+        seen = np.zeros((100, 140), dtype=int)
+        for t in tiles:
+            seen[t.core.to_slices()] += 1
+        assert (seen == 1).all()
+
+    def test_padded_boxes_clipped(self):
+        tiles = partition((50, 50), (2, 2), halo=3)
+        full = Box.from_shape((50, 50))
+        for t in tiles:
+            assert full.contains_box(t.padded)
+            assert t.padded.contains_box(t.core)
+
+    def test_halo_offset(self):
+        tiles = partition((64, 64), (2, 2), halo=2)
+        interior = [t for t in tiles if t.index == (1, 1)][0]
+        assert interior.halo_offset == (2, 2)
+        corner = [t for t in tiles if t.index == (0, 0)][0]
+        assert corner.halo_offset == (0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition((10, 10), (0, 2))
+        with pytest.raises(ValueError):
+            partition((10, 10), (2, 2), halo=-1)
+        with pytest.raises(ValueError):
+            partition((3, 3), (5, 5))
+
+    @given(
+        st.tuples(st.integers(4, 80), st.integers(4, 80)),
+        st.tuples(st.integers(1, 4), st.integers(1, 4)),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=40)
+    def test_property_partition_is_exact_cover(self, shape, grid, halo):
+        grid = (min(grid[0], shape[0]), min(grid[1], shape[1]))
+        seen = np.zeros(shape, dtype=int)
+        for t in partition(shape, grid, halo=halo):
+            seen[t.core.to_slices()] += 1
+        assert (seen == 1).all()
+
+
+class TestComputeTiled:
+    @pytest.mark.parametrize("grid", [(1, 1), (2, 2), (3, 5), (4, 1)])
+    def test_exact_with_sufficient_halo(self, small_dem, grid):
+        kernel = lambda t: slope(t, 30.0)  # noqa: E731
+        tiled = compute_tiled(small_dem, kernel, grid=grid, halo=1)
+        assert np.array_equal(tiled, kernel(small_dem))
+
+    def test_zero_halo_breaks_seams(self, small_dem):
+        kernel = lambda t: slope(t, 30.0)  # noqa: E731
+        tiled = compute_tiled(small_dem, kernel, grid=(3, 3), halo=0)
+        assert not np.array_equal(tiled, kernel(small_dem))
+
+    def test_threaded_matches_serial(self, small_dem):
+        kernel = lambda t: hillshade(t, 30.0)  # noqa: E731
+        serial = compute_tiled(small_dem, kernel, grid=(2, 4), halo=1, workers=1)
+        threaded = compute_tiled(small_dem, kernel, grid=(2, 4), halo=1, workers=4)
+        assert np.array_equal(serial, threaded)
+
+    def test_output_dtype_follows_kernel(self, small_dem):
+        out = compute_tiled(small_dem, lambda t: (t > 500).astype(np.uint8), grid=(2, 2))
+        assert out.dtype == np.uint8
+
+
+class TestGeoTiler:
+    def test_products_match_global(self, small_dem):
+        tiler = GeoTiler(grid=(2, 3), workers=2, cellsize=30.0)
+        params = ("elevation", "aspect", "slope", "hillshade", "roughness", "tpi")
+        tiled = tiler.compute(small_dem, parameters=params)
+        glob = tiler.compute_global(small_dem, parameters=params)
+        for name in params:
+            t, g = tiled[name], glob[name]
+            both_nan = np.isnan(t) & np.isnan(g)
+            assert np.array_equal(t[~both_nan], g[~both_nan]), name
+
+    def test_halo_floor_enforced(self, small_dem):
+        """Requesting halo=0 must still use the parameter's stencil radius."""
+        tiler = GeoTiler(grid=(3, 3))
+        tiled = tiler.compute(small_dem, parameters=("slope",), halo=0)
+        glob = tiler.compute_global(small_dem, parameters=("slope",))
+        assert np.array_equal(tiled["slope"], glob["slope"])
+
+    def test_unknown_parameter_rejected(self, small_dem):
+        with pytest.raises(ValueError):
+            GeoTiler().compute(small_dem, parameters=("volcano",))
+
+    def test_kernel_kwargs_forwarded(self, small_dem):
+        tiler = GeoTiler(grid=(2, 2))
+        bright = tiler.compute(small_dem, parameters=("hillshade",), altitude_deg=80.0)
+        low = tiler.compute(small_dem, parameters=("hillshade",), altitude_deg=20.0)
+        assert bright["hillshade"].mean() > low["hillshade"].mean()

@@ -1,0 +1,159 @@
+"""Tests for terrain-parameter kernels (Horn's method)."""
+
+import numpy as np
+import pytest
+
+from repro.terrain.parameters import (
+    TERRAIN_PARAMETERS,
+    aspect,
+    compute_parameter,
+    hillshade,
+    horn_gradient,
+    roughness,
+    slope,
+    tpi,
+)
+
+
+def plane(ny, nx, dy, dx, cellsize=1.0):
+    """A tilted plane with gradient (dy, dx) per cell."""
+    y = np.arange(ny)[:, None] * dy
+    x = np.arange(nx)[None, :] * dx
+    return (y + x).astype(np.float64)
+
+
+class TestHornGradient:
+    def test_flat_surface_zero(self):
+        ge, gs = horn_gradient(np.full((10, 10), 7.0), cellsize=30.0)
+        assert np.allclose(ge, 0) and np.allclose(gs, 0)
+
+    def test_tilted_plane_exact(self):
+        # dz/dx = 2 per cell, cellsize 10 -> gradient 0.2 eastward.
+        dem = plane(12, 12, 0.0, 2.0)
+        ge, gs = horn_gradient(dem, cellsize=10.0)
+        interior = (slice(1, -1), slice(1, -1))
+        assert np.allclose(ge[interior], 0.2)
+        assert np.allclose(gs[interior], 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            horn_gradient(np.zeros(5))
+        with pytest.raises(ValueError):
+            horn_gradient(np.zeros((5, 5)), cellsize=0)
+
+
+class TestSlope:
+    def test_flat_is_zero(self):
+        assert np.allclose(slope(np.full((8, 8), 100.0)), 0.0)
+
+    def test_45_degree_plane(self):
+        # dz/dy = cellsize -> tan(slope) = 1 -> 45 degrees.
+        dem = plane(16, 16, 30.0, 0.0)
+        s = slope(dem, cellsize=30.0)
+        assert np.allclose(s[1:-1, 1:-1], 45.0, atol=1e-4)
+
+    def test_range(self, small_dem):
+        s = slope(small_dem)
+        assert s.min() >= 0.0
+        assert s.max() < 90.0
+
+    def test_steeper_means_higher(self):
+        gentle = slope(plane(10, 10, 1.0, 0.0), cellsize=30.0)
+        steep = slope(plane(10, 10, 10.0, 0.0), cellsize=30.0)
+        assert steep[5, 5] > gentle[5, 5]
+
+
+class TestAspect:
+    @pytest.mark.parametrize(
+        "dy,dx,expected",
+        [
+            (-1.0, 0.0, 180.0),  # rises northward -> faces south
+            (1.0, 0.0, 0.0),     # rises southward -> faces north
+            (0.0, -1.0, 90.0),   # rises westward -> faces east
+            (0.0, 1.0, 270.0),   # rises eastward -> faces west
+        ],
+    )
+    def test_cardinal_directions(self, dy, dx, expected):
+        dem = plane(12, 12, dy, dx)
+        a = aspect(dem)
+        interior = a[2:-2, 2:-2]
+        assert np.allclose(interior, expected, atol=1e-4), (dy, dx)
+
+    def test_flat_is_nan(self):
+        a = aspect(np.full((8, 8), 5.0))
+        assert np.isnan(a).all()
+
+    def test_range(self, small_dem):
+        a = aspect(small_dem)
+        finite = a[np.isfinite(a)]
+        assert finite.min() >= 0.0
+        assert finite.max() < 360.0
+
+    def test_diagonal(self):
+        # Rises toward the southeast -> faces northwest (315 deg).
+        dem = plane(12, 12, 1.0, 1.0)
+        a = aspect(dem)
+        assert np.allclose(a[2:-2, 2:-2], 315.0, atol=1e-4)
+
+
+class TestHillshade:
+    def test_range(self, small_dem):
+        h = hillshade(small_dem)
+        assert h.min() >= 0.0
+        assert h.max() <= 255.0
+
+    def test_flat_fully_lit_by_vertical_sun(self):
+        h = hillshade(np.full((8, 8), 10.0), altitude_deg=90.0)
+        assert np.allclose(h, 255.0)
+
+    def test_sun_facing_slope_brighter(self):
+        # NW sun (315 deg): a NW-facing slope outshines a SE-facing one.
+        nw_facing = plane(16, 16, 1.0, 1.0)   # aspect 315
+        se_facing = plane(16, 16, -1.0, -1.0)  # aspect 135
+        h_nw = hillshade(nw_facing, cellsize=1.0, azimuth_deg=315.0)
+        h_se = hillshade(se_facing, cellsize=1.0, azimuth_deg=315.0)
+        assert h_nw[8, 8] > h_se[8, 8]
+
+    def test_altitude_validation(self):
+        with pytest.raises(ValueError):
+            hillshade(np.zeros((4, 4)), altitude_deg=0.0)
+
+    def test_z_factor_exaggerates(self, small_dem):
+        # Stronger relief exaggeration steepens every slope, so more of
+        # the scene falls into shadow and mean brightness drops.
+        h1 = hillshade(small_dem, z_factor=1.0)
+        h5 = hillshade(small_dem, z_factor=5.0)
+        assert h5.mean() < h1.mean()
+        assert not np.array_equal(h1, h5)
+
+
+class TestRoughnessTpi:
+    def test_flat_zero(self):
+        assert np.allclose(roughness(np.full((6, 6), 3.0)), 0.0)
+        assert np.allclose(tpi(np.full((6, 6), 3.0)), 0.0)
+
+    def test_single_peak(self):
+        dem = np.zeros((9, 9))
+        dem[4, 4] = 10.0
+        r = roughness(dem)
+        assert r[4, 4] == 10.0
+        t = tpi(dem)
+        assert t[4, 4] > 0  # peak sits above its neighbourhood mean
+        assert t[4, 3] < 0  # neighbours sit below theirs
+
+
+class TestDispatch:
+    def test_all_parameters_run(self, small_dem):
+        for name in TERRAIN_PARAMETERS:
+            out = compute_parameter(name, small_dem, 30.0)
+            assert out.shape == small_dem.shape
+            assert out.dtype == np.float32
+
+    def test_elevation_is_copy(self, small_dem):
+        out = compute_parameter("elevation", small_dem)
+        out[0, 0] = -1
+        assert small_dem[0, 0] != -1
+
+    def test_unknown_parameter(self, small_dem):
+        with pytest.raises(ValueError, match="unknown terrain parameter"):
+            compute_parameter("curvature9000", small_dem)

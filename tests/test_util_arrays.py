@@ -1,0 +1,195 @@
+"""Tests for repro.util.arrays (Box algebra and helpers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.arrays import (
+    Box,
+    as_float_raster,
+    assert_shape,
+    block_iter,
+    ceil_div,
+    is_power_of_two,
+    next_power_of_two,
+    normalize_box,
+)
+
+
+class TestBoxBasics:
+    def test_shape_and_size(self):
+        box = Box((1, 2), (4, 7))
+        assert box.shape == (3, 5)
+        assert box.size == 15
+        assert not box.is_empty
+
+    def test_empty_box(self):
+        assert Box((3, 3), (3, 5)).is_empty
+        assert Box((4, 0), (2, 5)).is_empty
+        assert Box((4, 0), (2, 5)).size == 0
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Box((0,), (1, 2))
+
+    def test_from_shape(self):
+        assert Box.from_shape((5, 6)) == Box((0, 0), (5, 6))
+
+    def test_from_slices(self):
+        box = Box.from_slices((slice(1, 4), slice(None)), (10, 8))
+        assert box == Box((1, 0), (4, 8))
+
+    def test_from_slices_rejects_step(self):
+        with pytest.raises(ValueError):
+            Box.from_slices((slice(0, 4, 2),), (8,))
+
+    def test_contains_point(self):
+        box = Box((0, 0), (4, 4))
+        assert box.contains_point((0, 0))
+        assert box.contains_point((3, 3))
+        assert not box.contains_point((4, 0))
+
+    def test_contains_box(self):
+        outer = Box((0, 0), (10, 10))
+        assert outer.contains_box(Box((2, 2), (5, 5)))
+        assert not outer.contains_box(Box((5, 5), (11, 6)))
+        assert outer.contains_box(Box((5, 5), (5, 5)))  # empty always fits
+
+
+class TestBoxAlgebra:
+    def test_intersect(self):
+        a = Box((0, 0), (5, 5))
+        b = Box((3, 2), (8, 4))
+        assert a.intersect(b) == Box((3, 2), (5, 4))
+
+    def test_intersect_disjoint_is_empty(self):
+        a = Box((0, 0), (2, 2))
+        b = Box((3, 3), (4, 4))
+        assert a.intersect(b).is_empty
+
+    def test_union(self):
+        a = Box((0, 0), (2, 2))
+        b = Box((3, 3), (4, 4))
+        assert a.union(b) == Box((0, 0), (4, 4))
+
+    def test_union_with_empty_is_identity(self):
+        a = Box((1, 1), (3, 3))
+        empty = Box((0, 0), (0, 0))
+        assert a.union(empty) == a
+        assert empty.union(a) == a
+
+    def test_translate(self):
+        assert Box((1, 1), (2, 3)).translate((10, -1)) == Box((11, 0), (12, 2))
+
+    def test_dilate_scalar_and_per_axis(self):
+        box = Box((5, 5), (10, 10))
+        assert box.dilate(2) == Box((3, 3), (12, 12))
+        assert box.dilate((1, 0)) == Box((4, 5), (11, 10))
+
+    def test_to_slices_round_trip(self):
+        box = Box((1, 2), (4, 6))
+        arr = np.arange(48).reshape(6, 8)
+        assert arr[box.to_slices()].shape == box.shape
+
+    def test_coords(self):
+        ys, xs = Box((2, 5), (4, 8)).coords()
+        assert ys.tolist() == [2, 3]
+        assert xs.tolist() == [5, 6, 7]
+
+
+class TestNormalizeBox:
+    def test_passthrough(self):
+        box = Box((0,), (3,))
+        assert normalize_box(box, 1) is box
+
+    def test_from_pair(self):
+        assert normalize_box(((1, 2), (3, 4)), 2) == Box((1, 2), (3, 4))
+
+    def test_rank_check(self):
+        with pytest.raises(ValueError):
+            normalize_box(((0,), (1,)), 2)
+
+
+class TestScalarHelpers:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(0, 4, 0), (1, 4, 1), (4, 4, 1), (5, 4, 2), (8, 4, 2)]
+    )
+    def test_ceil_div(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_ceil_div_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ceil_div(3, 0)
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (3, 4), (1000, 1024)])
+    def test_next_power_of_two(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+    def test_next_power_of_two_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_next_power_of_two_properties(self, n):
+        p = next_power_of_two(n)
+        assert p >= n
+        assert is_power_of_two(p)
+        assert p // 2 < n  # minimality
+
+
+class TestArrayHelpers:
+    def test_assert_shape_ok(self):
+        assert_shape(np.zeros((2, 3)), (2, 3))
+
+    def test_assert_shape_raises(self):
+        with pytest.raises(ValueError, match="expected shape"):
+            assert_shape(np.zeros((2, 3)), (3, 2), name="thing")
+
+    def test_as_float_raster(self):
+        out = as_float_raster(np.arange(6).reshape(2, 3))
+        assert out.dtype == np.float32
+        assert out.flags.c_contiguous
+
+    def test_as_float_raster_rejects_1d(self):
+        with pytest.raises(ValueError):
+            as_float_raster(np.arange(5))
+
+
+class TestBlockIter:
+    def test_exact_tiling(self):
+        boxes = list(block_iter((4, 6), (2, 3)))
+        assert len(boxes) == 4
+        assert sum(b.size for b in boxes) == 24
+
+    def test_edge_clipping(self):
+        boxes = list(block_iter((5, 5), (2, 2)))
+        assert sum(b.size for b in boxes) == 25
+        assert boxes[-1] == Box((4, 4), (5, 5))
+
+    def test_disjoint_cover(self):
+        seen = np.zeros((7, 9), dtype=int)
+        for b in block_iter((7, 9), (3, 4)):
+            seen[b.to_slices()] += 1
+        assert (seen == 1).all()
+
+    def test_rank_and_validity_checks(self):
+        with pytest.raises(ValueError):
+            list(block_iter((4,), (2, 2)))
+        with pytest.raises(ValueError):
+            list(block_iter((4, 4), (0, 2)))
+
+    @given(
+        st.tuples(st.integers(1, 30), st.integers(1, 30)),
+        st.tuples(st.integers(1, 10), st.integers(1, 10)),
+    )
+    def test_property_cover_is_partition(self, shape, block):
+        seen = np.zeros(shape, dtype=int)
+        for b in block_iter(shape, block):
+            seen[b.to_slices()] += 1
+        assert (seen == 1).all()

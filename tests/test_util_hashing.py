@@ -1,0 +1,64 @@
+"""Tests for repro.util.hashing."""
+
+import numpy as np
+import pytest
+
+from repro.util.hashing import content_digest, etag_for, stable_hash
+
+
+class TestContentDigest:
+    def test_deterministic(self):
+        assert content_digest(b"hello") == content_digest(b"hello")
+
+    def test_distinguishes_content(self):
+        assert content_digest(b"a") != content_digest(b"b")
+
+    def test_length_parameter(self):
+        assert len(content_digest(b"x", length=8)) == 16  # hex chars
+
+    def test_ndarray_includes_dtype_and_shape(self):
+        a = np.arange(6, dtype=np.int32)
+        b = a.astype(np.int64)
+        c = a.reshape(2, 3)
+        assert content_digest(a) != content_digest(b)
+        assert content_digest(a) != content_digest(c)
+
+    def test_ndarray_noncontiguous_equals_contiguous(self):
+        base = np.arange(20).reshape(4, 5)
+        view = base[:, ::2]
+        assert content_digest(view) == content_digest(np.ascontiguousarray(view))
+
+    def test_memoryview_accepted(self):
+        assert content_digest(memoryview(b"abc")) == content_digest(b"abc")
+
+
+class TestEtag:
+    def test_short_and_stable(self):
+        tag = etag_for(b"payload")
+        assert len(tag) == 16
+        assert tag == etag_for(b"payload")
+
+
+class TestStableHash:
+    def test_dict_key_order_invariant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_nested_structures(self):
+        h1 = stable_hash({"x": [1, 2, {"y": (3, 4)}]})
+        h2 = stable_hash({"x": [1, 2, {"y": [3, 4]}]})  # tuple == list canonically
+        assert h1 == h2
+
+    def test_numpy_scalars_coerced(self):
+        assert stable_hash({"n": np.int64(5)}) == stable_hash({"n": 5})
+        assert stable_hash({"f": np.float64(0.5)}) == stable_hash({"f": 0.5})
+
+    def test_arrays_hashed_by_content(self):
+        a = np.arange(4)
+        assert stable_hash({"a": a}) == stable_hash({"a": a.copy()})
+        assert stable_hash({"a": a}) != stable_hash({"a": a + 1})
+
+    def test_bytes_supported(self):
+        assert stable_hash({"b": b"xy"}) == stable_hash({"b": b"xy"})
+
+    def test_different_values_differ(self):
+        assert stable_hash([1, 2, 3]) != stable_hash([1, 2, 4])

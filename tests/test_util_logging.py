@@ -1,0 +1,34 @@
+"""Tests for the logger facade."""
+
+import logging
+
+from repro.util.logging import get_logger
+
+
+class TestGetLogger:
+    def test_namespaced_under_repro(self):
+        logger = get_logger("idx")
+        assert logger.name == "repro.idx"
+
+    def test_already_namespaced_passthrough(self):
+        logger = get_logger("repro.network")
+        assert logger.name == "repro.network"
+
+    def test_root_configured_once(self):
+        get_logger("a")
+        root = logging.getLogger("repro")
+        handlers_before = list(root.handlers)
+        get_logger("b")
+        assert logging.getLogger("repro").handlers == handlers_before
+        assert len(handlers_before) == 1
+
+    def test_no_propagation_to_global_root(self):
+        get_logger("x")
+        assert logging.getLogger("repro").propagate is False
+
+    def test_same_name_same_instance(self):
+        assert get_logger("cache") is get_logger("cache")
+
+    def test_default_level_quiet(self):
+        get_logger("y")
+        assert logging.getLogger("repro").level == logging.WARNING

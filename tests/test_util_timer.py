@@ -1,0 +1,57 @@
+"""Tests for repro.util.timer."""
+
+import pytest
+
+from repro.util.timer import Stopwatch, format_seconds
+
+
+class TestStopwatch:
+    def test_start_stop_positive(self):
+        sw = Stopwatch().start()
+        assert sw.stop() >= 0.0
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_lap_records(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        assert "a" in sw.laps
+        assert sw.laps["a"] >= 0.0
+
+    def test_laps_accumulate(self):
+        sw = Stopwatch()
+        sw.record("x", 1.0)
+        sw.record("x", 2.0)
+        assert sw.laps["x"] == pytest.approx(3.0)
+
+    def test_total(self):
+        sw = Stopwatch()
+        sw.record("a", 1.0)
+        sw.record("b", 0.5)
+        assert sw.total == pytest.approx(1.5)
+
+    def test_report_contains_all_laps(self):
+        sw = Stopwatch()
+        sw.record("alpha", 0.1)
+        sw.record("beta", 0.2)
+        report = sw.report()
+        assert "alpha" in report and "beta" in report and "total" in report
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value,unit",
+        [(5e-10, "ns"), (5e-7, "ns"), (5e-5, "us"), (5e-2, "ms"), (2.5, "s")],
+    )
+    def test_units(self, value, unit):
+        assert unit in format_seconds(value)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+
+    def test_boundary_one_second(self):
+        assert format_seconds(1.0) == "1.000 s"

@@ -1,0 +1,78 @@
+"""Tests for repro.util.units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import format_bytes, format_rate, parse_bytes
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (1024, "1.00 KiB"),
+            (1536, "1.50 KiB"),
+            (1024**2, "1.00 MiB"),
+            (5 * 1024**3, "5.00 GiB"),
+        ],
+    )
+    def test_values(self, n, expected):
+        assert format_bytes(n) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatRate:
+    def test_gigabit(self):
+        assert format_rate(1.25e9) == "10.00 Gbit/s"
+
+    def test_megabit(self):
+        assert format_rate(125_000) == "1.00 Mbit/s"
+
+    def test_tiny(self):
+        assert "bit/s" in format_rate(10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_rate(-5)
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0),
+            ("123", 123),
+            ("1 KiB", 1024),
+            ("1KB", 1000),
+            ("1.5 MiB", int(1.5 * 1024**2)),
+            ("2GB", 2 * 10**9),
+            ("64 mib", 64 * 1024**2),
+        ],
+    )
+    def test_values(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_numeric_passthrough(self):
+        assert parse_bytes(4096) == 4096
+        assert parse_bytes(1.5) == 1
+
+    def test_negative_number_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bytes(-1)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "12 XB", "1..5 MB"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_bytes(bad)
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_format_parse_round_trip_binary(self, n):
+        # format_bytes rounds to 2 decimals, so round-trip is approximate:
+        # within 1% or 1 byte.
+        parsed = parse_bytes(format_bytes(n))
+        assert abs(parsed - n) <= max(1, int(0.01 * n))
