@@ -1,0 +1,98 @@
+"""Ablation — parallel block-fetch pipeline: worker count vs streaming cost.
+
+Sweeps the fetch/decode pool size for a remote (simulated Seal WAN)
+full-resolution read and for the dashboard's progressive resolution-
+slider workload, with and without a shared block cache.  Shape: simulated
+WAN seconds fall ~linearly with workers while per-block round trips are
+latency-dominated, results stay bit-identical, and the cache composes
+with the pipeline (revisits stay free regardless of pool size).
+"""
+
+import time
+
+import numpy as np
+import pytest
+from conftest import print_header
+
+from repro.idx import BlockCache
+from repro.network import SimClock
+from repro.storage import SealStorage, open_remote_idx, upload_idx_to_seal
+
+WORKER_SWEEP = [1, 2, 4, 8, 16]
+
+
+@pytest.fixture(scope="module")
+def sealed(terrain_idx):
+    def make():
+        clock = SimClock()
+        seal = SealStorage(site="slc", clock=clock)
+        token = seal.issue_token("bench", ("read", "write"))
+        upload_idx_to_seal(
+            terrain_idx, seal, "terrain.idx", token=token, from_site="knox"
+        )
+        return seal, token, clock
+
+    return make
+
+
+def test_ablation_workers_full_read(benchmark, sealed):
+    rows = []
+    baseline = None
+    baseline_sim = None
+    for workers in WORKER_SWEEP:
+        seal, token, clock = sealed()
+        ds = open_remote_idx(seal, "terrain.idx", token=token, workers=workers)
+        t0 = clock.now
+        w0 = time.perf_counter()
+        out = ds.read(field="elevation")
+        real = time.perf_counter() - w0
+        sim = clock.now - t0
+        fetcher = ds.access.fetcher
+        rows.append((workers, sim, real, fetcher.stats.submitted))
+        if baseline is None:
+            baseline, baseline_sim = out, sim
+        else:
+            assert np.array_equal(out, baseline)
+
+    def timed():
+        seal, token, _ = sealed()
+        ds = open_remote_idx(seal, "terrain.idx", token=token, workers=8)
+        return ds.read(field="elevation")
+
+    benchmark(timed)
+
+    print_header("Ablation: fetch/decode pool size, remote full read (256x256)")
+    print(f"{'workers':>7s} {'sim WAN s':>10s} {'speedup':>8s} {'real s':>8s} {'blocks':>7s}")
+    for workers, sim, real, blocks in rows:
+        print(f"{workers:>7d} {sim:>10.4f} {baseline_sim / sim:>7.2f}x {real:>8.4f} {blocks:>7d}")
+
+    # Monotone non-increasing simulated cost as lanes are added.
+    sims = [sim for _, sim, _, _ in rows]
+    for earlier, later in zip(sims, sims[1:]):
+        assert later <= earlier * 1.001
+    assert sims[-1] < sims[0] / 4  # 16 lanes >= 4x over serial
+
+
+def test_ablation_workers_compose_with_cache(sealed):
+    """Pipeline + cache: the cold pass parallelises, revisits stay free."""
+    rows = []
+    for workers in (1, 8):
+        seal, token, clock = sealed()
+        cache = BlockCache("64 MiB")
+        ds = open_remote_idx(seal, "terrain.idx", token=token, cache=cache, workers=workers)
+        t0 = clock.now
+        ds.read(field="elevation")
+        cold = clock.now - t0
+        t0 = clock.now
+        ds.read(field="elevation")
+        warm = clock.now - t0
+        rows.append((workers, cold, warm, cache.stats.hit_rate))
+
+    print_header("Ablation: parallel fetch composed with the block cache")
+    print(f"{'workers':>7s} {'cold s':>9s} {'warm s':>9s} {'hit rate':>9s}")
+    for workers, cold, warm, rate in rows:
+        print(f"{workers:>7d} {cold:>9.4f} {warm:>9.4f} {rate:>8.2f}")
+
+    (w1, cold1, warm1, _), (w8, cold8, warm8, _) = rows
+    assert cold8 < cold1 / 2.5  # parallel cold pass wins
+    assert warm1 < cold1 / 100 and warm8 < cold8 / 100  # revisits ~free

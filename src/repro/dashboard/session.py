@@ -58,6 +58,33 @@ class DashboardSession:
         """Register a local IDX file under ``name``."""
         self.register_dataset(name, IdxDataset.open(path))
 
+    def open_remote(
+        self,
+        name: str,
+        seal,
+        key: str,
+        *,
+        token: str,
+        from_site: str = "knox",
+        cache=None,
+        workers: int = 0,
+    ) -> None:
+        """Register a dataset streamed from Seal Storage (Step 4, Option B).
+
+        ``workers >= 1`` streams blocks through the concurrent fetch
+        pipeline, so resolution-slider refinements overlap their
+        per-block round trips instead of paying them serially; pass a
+        :class:`~repro.idx.cache.BlockCache` to keep revisits free.
+        """
+        from repro.storage.transfer import open_remote_idx
+
+        self.register_dataset(
+            name,
+            open_remote_idx(
+                seal, key, token=token, from_site=from_site, cache=cache, workers=workers
+            ),
+        )
+
     @property
     def dataset_names(self) -> List[str]:
         """The dataset dropdown's entries."""

@@ -22,9 +22,12 @@ Layout of the package:
 - :mod:`repro.idx.dataset` — user-facing create/write/read facade;
 - :mod:`repro.idx.query` — box queries at a resolution + progressive
   refinement iterator;
-- :mod:`repro.idx.cache` — LRU block cache with hit/miss accounting;
+- :mod:`repro.idx.cache` — thread-safe LRU block cache with hit/miss
+  accounting and coalescing ``get_or_load``;
 - :mod:`repro.idx.access` — local, cached, and remote (fetcher-backed)
   block access layers;
+- :mod:`repro.idx.parallel` — bounded thread-pool block fetch/decode
+  pipeline with an in-flight futures table;
 - :mod:`repro.idx.convert` — TIFF/NetCDF/raw <-> IDX conversion (Step 2);
 - :mod:`repro.idx.layout` — access-pattern-driven block reordering;
 - :mod:`repro.idx.stats` — per-field summary statistics.
@@ -38,6 +41,7 @@ from repro.idx.dataset import IdxDataset
 from repro.idx.idxfile import IdxError, IdxHeader
 from repro.idx.query import BoxQuery, QueryResult
 from repro.idx.access import CachedAccess, LocalAccess, RemoteAccess
+from repro.idx.parallel import ParallelFetcher
 from repro.idx.convert import (
     idx_to_tiff,
     ncdf_to_idx,
@@ -72,6 +76,7 @@ __all__ = [
     "IdxError",
     "IdxHeader",
     "LocalAccess",
+    "ParallelFetcher",
     "QueryResult",
     "RemoteAccess",
     "VerificationReport",

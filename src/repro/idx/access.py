@@ -14,6 +14,16 @@ against
 
 Every layer counts blocks and bytes it actually touched, which the
 progressive-access and caching benchmarks (C2, C3) report.
+``bytes_read`` always counts *stored* (encoded) bytes for remote/local
+layers, whether a block arrived via :meth:`Access.prefetch` or a direct
+read, so pipelined and serial sessions report identical traffic.
+
+``RemoteAccess(workers=N)`` with ``N >= 1`` routes prefetch through a
+:class:`~repro.idx.parallel.ParallelFetcher`: block fetch+decode overlap
+across a bounded thread pool, ``read_block`` joins in-flight fetches
+instead of re-issuing them, and simulated latency is charged as the
+slowest worker's total (see :mod:`repro.network.clock`).  ``workers=1``
+is the exact serial baseline with identical results.
 """
 
 from __future__ import annotations
@@ -26,23 +36,38 @@ import numpy as np
 
 from repro.idx.cache import BlockCache
 from repro.idx.idxfile import ByteSource, FileByteSource, IdxBinaryReader, IdxHeader
+from repro.idx.parallel import ParallelFetcher
 
 __all__ = ["Access", "AccessCounters", "CachedAccess", "LocalAccess", "RemoteAccess"]
+
+#: Default bound on ``AccessCounters.access_log`` length.
+DEFAULT_LOG_LIMIT = 4096
 
 
 @dataclass
 class AccessCounters:
-    """I/O accounting for one access layer."""
+    """I/O accounting for one access layer.
+
+    ``access_log`` is capped at ``log_limit`` entries so long-running
+    dashboard sessions don't grow memory without bound; once the cap is
+    hit, new entries are dropped and ``truncated`` flips to True while
+    the scalar counters keep counting exactly.
+    """
 
     blocks_read: int = 0
     bytes_read: int = 0
     absent_blocks: int = 0
     access_log: List[Tuple[int, int, int]] = field(default_factory=list)
+    log_limit: int = DEFAULT_LOG_LIMIT
+    truncated: bool = False
 
     def record(self, time_idx: int, field_idx: int, block_id: int, nbytes: int) -> None:
         self.blocks_read += 1
         self.bytes_read += nbytes
-        self.access_log.append((time_idx, field_idx, block_id))
+        if len(self.access_log) < self.log_limit:
+            self.access_log.append((time_idx, field_idx, block_id))
+        else:
+            self.truncated = True
 
 
 class Access(ABC):
@@ -61,8 +86,18 @@ class Access(ABC):
         """Hint that the given blocks are about to be read.
 
         Default is a no-op; remote layers override it to pipeline the
-        fetches into one round trip (what OpenVisus' async block queue
-        does), and the cache layer forwards only the missing ids.
+        fetches — into one round trip (what OpenVisus' async block queue
+        does) or across a worker pool — and the cache layer forwards only
+        the missing ids.
+        """
+
+    def release_prefetched(self) -> None:
+        """Drop per-query prefetch state (staged blocks, futures table).
+
+        Called by :meth:`repro.idx.query.BoxQuery.execute` when a query
+        finishes so prefetched blocks don't outlive the query that asked
+        for them.  Re-serving old fetches for free is the cache layer's
+        job, not the remote layer's.  Default is a no-op.
         """
 
     @property
@@ -120,50 +155,99 @@ class RemoteAccess(_ReaderAccess):
     fetch pays the simulated round trip exactly like a ranged HTTP GET
     against Seal Storage in the tutorial.
 
-    :meth:`prefetch` pipelines multiple block fetches into a single
-    round trip when the source supports ``read_many`` (Seal does),
-    mirroring OpenVisus' asynchronous block queue.
+    :meth:`prefetch` pipelines multiple block fetches.  With the default
+    ``workers=0`` and a source that supports ``read_many`` (Seal does),
+    the whole batch becomes a single multi-range round trip.  With
+    ``workers >= 1`` each block is fetched and decoded as its own task on
+    a bounded thread pool (OpenVisus' asynchronous block queue):
+    per-block round trips overlap each other *and* the codec decode, and
+    :meth:`read_block` waits on the in-flight future instead of
+    re-issuing the fetch.  ``workers=1`` is the serial baseline of that
+    pipeline — identical code path and results, latencies summed.
     """
 
-    def __init__(self, source: ByteSource, uri: str = "remote://object") -> None:
+    def __init__(
+        self,
+        source: ByteSource,
+        uri: str = "remote://object",
+        *,
+        workers: int = 0,
+        clock=None,
+    ) -> None:
         super().__init__(IdxBinaryReader(source), uri=uri)
         self._source = source
-        self._staged: Dict[Tuple[int, int, int], np.ndarray] = {}
+        # key -> (decoded block, stored payload bytes): one query's stage.
+        self._staged: Dict[Tuple[int, int, int], Tuple[np.ndarray, int]] = {}
+        self._fetcher: Optional[ParallelFetcher] = None
+        if workers:
+            if clock is None:
+                clock = getattr(source, "clock", None)
+            self._fetcher = ParallelFetcher(
+                self._fetch_decode, workers=int(workers), clock=clock
+            )
+
+    @property
+    def fetcher(self) -> Optional[ParallelFetcher]:
+        """The parallel pipeline, if ``workers >= 1`` was requested."""
+        return self._fetcher
+
+    def _fetch_decode(self, key: Tuple[int, int, int]) -> np.ndarray:
+        """Worker task: ranged fetch + codec decode of one block."""
+        return self._reader.read_block(*key)
 
     def prefetch(self, time_idx: int, field_idx: int, block_ids) -> None:
-        read_many = getattr(self._source, "read_many", None)
-        if read_many is None:
-            return  # plain sources fetch per block; nothing to pipeline
         requested = {(time_idx, field_idx, int(bid)) for bid in block_ids}
-        # Staged blocks live for the duration of one query: every prefetch
-        # opens a new query scope, so earlier fetches are dropped.
-        # Re-serving old fetches for free is the cache layer's job, not
-        # the remote layer's.
-        self._staged.clear()
         wanted: List[Tuple[int, int, int]] = []
         ranges: List[Tuple[int, int]] = []
         for key in sorted(requested):
             if key in self._staged:
-                continue
+                continue  # already fetched earlier in this query
             offset, length = self._reader.block_entry(*key)
             if length == 0:
                 continue  # absent blocks decode locally for free
             wanted.append(key)
             ranges.append((offset, length))
-        if not ranges:
+        if not wanted:
             return
+        if self._fetcher is not None:
+            self._fetcher.prefetch(wanted)
+            return
+        read_many = getattr(self._source, "read_many", None)
+        if read_many is None:
+            return  # plain sources fetch per block; nothing to pipeline
         blobs = read_many(ranges)
         codec = self.header.codec_obj()
-        for key, blob in zip(wanted, blobs):
+        for key, (offset, length), blob in zip(wanted, ranges, blobs):
             dtype = self.header.field_dtype(key[1])
-            self._staged[key] = codec.decode_array(blob, dtype, (self.layout.block_size,))
+            decoded = codec.decode_array(blob, dtype, (self.layout.block_size,))
+            self._staged[key] = (decoded, length)
 
     def read_block(self, time_idx: int, field_idx: int, block_id: int) -> np.ndarray:
-        staged = self._staged.get((time_idx, field_idx, block_id))
+        key = (time_idx, field_idx, block_id)
+        staged = self._staged.get(key)
         if staged is not None:
-            self.counters.record(time_idx, field_idx, block_id, int(staged.nbytes))
-            return staged
+            block, stored_length = staged
+            # Stored (encoded) bytes, the same quantity the direct path
+            # records — not the decoded array size.
+            self.counters.record(time_idx, field_idx, block_id, stored_length)
+            return block
+        if self._fetcher is not None:
+            block = self._fetcher.get(key)
+            if block is not None:
+                _, length = self._reader.block_entry(*key)
+                self.counters.record(time_idx, field_idx, block_id, length)
+                return block
         return super().read_block(time_idx, field_idx, block_id)
+
+    def release_prefetched(self) -> None:
+        self._staged.clear()
+        if self._fetcher is not None:
+            self._fetcher.release()
+
+    def close(self) -> None:
+        if self._fetcher is not None:
+            self._fetcher.close()
+        super().close()
 
 
 class CachedAccess(Access):
@@ -171,7 +255,10 @@ class CachedAccess(Access):
 
     Hits are served from the shared :class:`BlockCache` without touching
     the inner access (and therefore without paying simulated network
-    time); misses are forwarded and the decoded block is retained.
+    time); misses are forwarded through the cache's atomic
+    :meth:`~repro.idx.cache.BlockCache.get_or_load`, so concurrent
+    sessions sharing one cache coalesce simultaneous misses for the same
+    block into a single inner fetch.
     """
 
     def __init__(self, inner: Access, cache: Optional[BlockCache] = None) -> None:
@@ -182,13 +269,19 @@ class CachedAccess(Access):
 
     def read_block(self, time_idx: int, field_idx: int, block_id: int) -> np.ndarray:
         key = (self.inner.uri, time_idx, field_idx, block_id)
-        cached = self.cache.get(key)
-        if cached is not None:
-            self.counters.record(time_idx, field_idx, block_id, 0)
-            return cached
-        block = self.inner.read_block(time_idx, field_idx, block_id)
-        self.cache.put(key, block)
-        self.counters.record(time_idx, field_idx, block_id, int(block.nbytes))
+        loaded: List[np.ndarray] = []
+
+        def load() -> np.ndarray:
+            block = self.inner.read_block(time_idx, field_idx, block_id)
+            loaded.append(block)
+            return block
+
+        block = self.cache.get_or_load(key, load)
+        # Bytes are charged only when this call caused the inner read;
+        # hits and coalesced waits cost nothing.
+        self.counters.record(
+            time_idx, field_idx, block_id, int(block.nbytes) if loaded else 0
+        )
         return block
 
     def prefetch(self, time_idx: int, field_idx: int, block_ids) -> None:
@@ -199,6 +292,14 @@ class CachedAccess(Access):
         ]
         if missing:
             self.inner.prefetch(time_idx, field_idx, missing)
+
+    def release_prefetched(self) -> None:
+        self.inner.release_prefetched()
+
+    @property
+    def fetcher(self):
+        """The inner access's parallel fetcher, or ``None``."""
+        return getattr(self.inner, "fetcher", None)
 
     @property
     def uri(self) -> str:

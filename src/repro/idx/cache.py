@@ -6,13 +6,22 @@ what makes remote streaming interactive: once a block has crossed the
 ``(uri, timestep, field, block_id)`` so multiple datasets and access
 layers can share one budget, and exposes counters that the caching
 benchmark (C3) reports.
+
+The cache is thread-safe: a single :class:`threading.RLock` guards the
+entry map, byte tally, and stats, so many dashboard sessions (or the
+parallel block fetcher's worker threads) can share one budget.  For
+concurrent miss traffic use :meth:`BlockCache.get_or_load`: simultaneous
+misses for the same key coalesce into exactly one loader call, with the
+other threads blocking on the winner's result instead of re-fetching the
+block over the (simulated) network.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
@@ -25,12 +34,25 @@ Key = Tuple[Hashable, ...]
 
 @dataclass
 class CacheStats:
-    """Cumulative cache counters."""
+    """Cumulative cache counters.
+
+    ``hits``/``misses`` count lookups (a ``get_or_load`` that triggers
+    its loader is one miss).  ``coalesced`` counts ``get_or_load`` calls
+    that piggybacked on another thread's in-flight load — they are
+    neither hits nor misses, since they neither found a resident entry
+    nor caused a fetch.  ``inserted_bytes`` is the cumulative volume
+    admitted into the cache; replacing a key charges only the size
+    *delta* (re-inserting an identical block is free), so the counter is
+    exact rather than double-counting replacements.  All counters are
+    cumulative for the cache's lifetime and survive :meth:`BlockCache.clear`.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     inserted_bytes: int = 0
+    replacements: int = 0
+    coalesced: int = 0
 
     @property
     def requests(self) -> int:
@@ -39,6 +61,30 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.requests if self.requests else 0.0
+
+
+class _PendingLoad:
+    """One in-flight loader another thread can wait on."""
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._result: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+
+    def set_result(self, block: np.ndarray) -> None:
+        self._result = block
+        self._done.set()
+
+    def set_error(self, exc: BaseException) -> None:
+        self._error = exc
+        self._done.set()
+
+    def wait(self) -> np.ndarray:
+        self._done.wait()
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
 
 
 class BlockCache:
@@ -55,60 +101,128 @@ class BlockCache:
             raise ValueError("cache capacity must be positive")
         self._entries: "OrderedDict[Key, np.ndarray]" = OrderedDict()
         self._bytes = 0
+        self._lock = threading.RLock()
+        self._loading: Dict[Key, _PendingLoad] = {}
         self.stats = CacheStats()
 
     # -- core ops -----------------------------------------------------------
 
     def get(self, key: Key) -> Optional[np.ndarray]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
     def put(self, key: Key, block: np.ndarray) -> None:
+        with self._lock:
+            self._put_locked(key, block)
+
+    def _put_locked(self, key: Key, block: np.ndarray) -> None:
         nbytes = int(block.nbytes)
         if nbytes > self.capacity:
             return  # would evict everything for one entry; skip caching
         old = self._entries.pop(key, None)
         if old is not None:
-            self._bytes -= int(old.nbytes)
+            old_nbytes = int(old.nbytes)
+            self._bytes -= old_nbytes
+            self.stats.replacements += 1
+            # Replacement charges only the growth: the old payload's bytes
+            # were already counted when it was first admitted.
+            self.stats.inserted_bytes += nbytes - old_nbytes
+        else:
+            self.stats.inserted_bytes += nbytes
         self._entries[key] = block
         self._bytes += nbytes
-        self.stats.inserted_bytes += nbytes
         while self._bytes > self.capacity:
             _, evicted = self._entries.popitem(last=False)
             self._bytes -= int(evicted.nbytes)
             self.stats.evictions += 1
 
+    def get_or_load(self, key: Key, loader: Callable[[], np.ndarray]) -> np.ndarray:
+        """Atomic get-or-insert: return the cached block, loading it at
+        most once across all threads.
+
+        On a hit the resident entry is returned (and counted as a hit).
+        On a miss, exactly one caller — the first to arrive — runs
+        ``loader`` *outside* the cache lock and inserts the result;
+        concurrent callers for the same key block on that load and share
+        its result (counted as ``coalesced``).  If the loader raises, the
+        error propagates to every waiter and nothing is cached, so a
+        later call retries the load.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+            pending = self._loading.get(key)
+            if pending is None:
+                pending = _PendingLoad()
+                self._loading[key] = pending
+                leader = True
+                self.stats.misses += 1
+            else:
+                leader = False
+                self.stats.coalesced += 1
+        if not leader:
+            return pending.wait()
+        try:
+            block = loader()
+        except BaseException as exc:
+            with self._lock:
+                self._loading.pop(key, None)
+            pending.set_error(exc)
+            raise
+        with self._lock:
+            self._put_locked(key, block)
+            self._loading.pop(key, None)
+        pending.set_result(block)
+        return block
+
     def contains(self, key: Key) -> bool:
         """Presence test that does not perturb LRU order or counters."""
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def invalidate(self, key: Key) -> bool:
-        entry = self._entries.pop(key, None)
-        if entry is None:
-            return False
-        self._bytes -= int(entry.nbytes)
-        return True
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._bytes -= int(entry.nbytes)
+            return True
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._bytes = 0
+        """Drop every resident entry and reset ``used_bytes`` to zero.
+
+        Cumulative :class:`CacheStats` counters (hits, misses, evictions,
+        inserted_bytes, replacements, coalesced) deliberately survive a
+        ``clear()`` — they describe the cache's lifetime traffic, not its
+        current contents.  Dropped entries are *not* counted as
+        evictions, which are reserved for capacity pressure.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
 
     # -- introspection ---------------------------------------------------------
 
     @property
     def used_bytes(self) -> int:
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"BlockCache({len(self)} blocks, {self._bytes}/{self.capacity} B, "
+            f"BlockCache({len(self)} blocks, {self.used_bytes}/{self.capacity} B, "
             f"hit_rate={self.stats.hit_rate:.2f})"
         )

@@ -202,15 +202,21 @@ class BoxQuery:
             wanted = np.unique(np.concatenate(all_bids))
             self.access.prefetch(self.time_idx, self.field_idx, wanted.tolist())
 
-        # Phase 2: gather and place each level's samples.
-        memo: dict = {}
-        for h, coords, hz_addr in plan:
-            values = self._gather(hz_addr, dtype, memo)
-            found += values.size
-            index = tuple(
-                (coords[a] - offsets[a]) // strides[a] for a in range(self.bitmask.ndim)
-            )
-            data[np.ix_(*index)] = values.reshape(tuple(len(c) for c in coords))
+        # Phase 2: gather and place each level's samples.  Prefetched
+        # blocks (staged decodes or in-flight parallel fetches) live
+        # exactly as long as this query; the finally drops the stage so
+        # nothing fetched here outlives its query scope.
+        try:
+            memo: dict = {}
+            for h, coords, hz_addr in plan:
+                values = self._gather(hz_addr, dtype, memo)
+                found += values.size
+                index = tuple(
+                    (coords[a] - offsets[a]) // strides[a] for a in range(self.bitmask.ndim)
+                )
+                data[np.ix_(*index)] = values.reshape(tuple(len(c) for c in coords))
+        finally:
+            self.access.release_prefetched()
         return QueryResult(
             data, h_end, self.box, offsets, strides, self.field_name, self.time_value, found
         )

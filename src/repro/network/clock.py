@@ -3,11 +3,22 @@
 All simulated latencies are *accounted*, never slept: components charge
 durations to a shared :class:`SimClock`, tests assert on the totals, and
 a benchmark run over a "slow" link completes in real milliseconds.
+
+The clock is thread-safe and *concurrency-aware*.  Serial code charges
+time with :meth:`SimClock.advance` exactly as before.  Code that models
+parallel work (the parallel block fetcher, multi-stream transfers) opens
+a :meth:`SimClock.concurrent` region: while the region is open, each
+thread's charges accumulate privately, and when the region closes the
+clock advances by the *maximum* per-thread total — concurrent fetches
+overlap their latency instead of double-charging wall time, exactly like
+``streams > 1`` in :class:`~repro.network.transfer.TransferSimulator`.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import threading
+from contextlib import contextmanager
+from typing import Dict, Hashable, Iterator, List, Tuple
 
 __all__ = ["SimClock"]
 
@@ -16,35 +27,139 @@ class SimClock:
     """Monotonic virtual clock with an event trace."""
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._now = 0.0
         self._events: List[Tuple[float, str, float]] = []
+        # Concurrent-region state: while _region_depth > 0, advances are
+        # pooled per lane (explicitly bound, or the OS thread by default)
+        # instead of moving _now.
+        self._region_depth = 0
+        self._region_start = 0.0
+        self._region_charges: Dict[Hashable, float] = {}
+        self._local = threading.local()
 
     @property
     def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._now
+        """Current virtual time in seconds.
+
+        Inside a concurrent region this is the region's start time; the
+        pooled charges land when the region closes.
+        """
+        with self._lock:
+            return self._now
 
     def advance(self, seconds: float, label: str = "") -> float:
-        """Charge ``seconds`` of virtual time; returns the new now."""
+        """Charge ``seconds`` of virtual time; returns the new now.
+
+        Inside a concurrent region the charge accumulates on the calling
+        thread's private tally (a thread's own work is still serial) and
+        the returned "now" is the thread's local virtual time; the shared
+        clock only moves — by the max per-thread tally — when the region
+        closes.
+        """
         if seconds < 0:
             raise ValueError("cannot advance time backwards")
-        self._now += seconds
-        if label:
-            self._events.append((self._now, label, seconds))
-        return self._now
+        with self._lock:
+            if self._region_depth > 0:
+                lane = getattr(self._local, "lane", None)
+                key = ("lane", lane) if lane is not None else ("tid", threading.get_ident())
+                total = self._region_charges.get(key, 0.0) + seconds
+                self._region_charges[key] = total
+                local_now = self._region_start + total
+                if label:
+                    self._events.append((local_now, label, seconds))
+                return local_now
+            self._now += seconds
+            if label:
+                self._events.append((self._now, label, seconds))
+            return self._now
+
+    # -- concurrent regions -----------------------------------------------
+
+    def begin_concurrent(self) -> None:
+        """Open (or nest into) a concurrent-charging region."""
+        with self._lock:
+            if self._region_depth == 0:
+                self._region_start = self._now
+                self._region_charges = {}
+            self._region_depth += 1
+
+    def end_concurrent(self, label: str = "") -> float:
+        """Close one level of concurrent region; returns the new now.
+
+        When the outermost level closes, the clock advances by the
+        maximum per-thread charge accumulated since the region opened —
+        the wall time of the slowest parallel worker.
+        """
+        with self._lock:
+            if self._region_depth <= 0:
+                raise RuntimeError("end_concurrent without begin_concurrent")
+            self._region_depth -= 1
+            if self._region_depth == 0:
+                duration = max(self._region_charges.values(), default=0.0)
+                self._now += duration
+                if label:
+                    self._events.append((self._now, label, duration))
+                self._region_charges = {}
+            return self._now
+
+    @contextmanager
+    def concurrent(self, label: str = "") -> Iterator["SimClock"]:
+        """Context manager over ``begin_concurrent``/``end_concurrent``."""
+        self.begin_concurrent()
+        try:
+            yield self
+        finally:
+            self.end_concurrent(label)
+
+    @contextmanager
+    def lane(self, lane_id: Hashable) -> Iterator[None]:
+        """Bind this thread's in-region charges to an explicit lane.
+
+        Simulated tasks finish in near-zero real time, so OS thread
+        scheduling can pile many of them onto one worker and skew the
+        per-thread max.  A caller that knows its ideal parallel shape
+        (e.g. the block fetcher's round-robin over ``workers`` slots)
+        binds each task to a lane, making the overlap deterministic —
+        the same ``ceil(n / streams)`` model TransferSimulator uses.
+        """
+        prev = getattr(self._local, "lane", None)
+        self._local.lane = lane_id
+        try:
+            yield
+        finally:
+            self._local.lane = prev
+
+    @property
+    def in_concurrent_region(self) -> bool:
+        with self._lock:
+            return self._region_depth > 0
+
+    # -- introspection ----------------------------------------------------
 
     def elapsed_since(self, t0: float) -> float:
-        return self._now - t0
+        return self.now - t0
 
     @property
     def events(self) -> List[Tuple[float, str, float]]:
-        """(timestamp, label, duration) trace of labelled charges."""
-        return list(self._events)
+        """(timestamp, label, duration) trace of labelled charges.
+
+        Events recorded inside a concurrent region carry the charging
+        thread's local virtual timestamp, so their sum (``total_for``)
+        still reflects work performed, which can exceed the wall-clock
+        advance of the region.
+        """
+        with self._lock:
+            return list(self._events)
 
     def total_for(self, label_prefix: str) -> float:
         """Sum of durations whose label starts with ``label_prefix``."""
-        return sum(d for _, lbl, d in self._events if lbl.startswith(label_prefix))
+        with self._lock:
+            return sum(d for _, lbl, d in self._events if lbl.startswith(label_prefix))
 
     def reset(self) -> None:
-        self._now = 0.0
-        self._events.clear()
+        with self._lock:
+            if self._region_depth:
+                raise RuntimeError("cannot reset inside a concurrent region")
+            self._now = 0.0
+            self._events.clear()

@@ -8,6 +8,7 @@ mapping benchmark (C5) compares.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -80,6 +81,9 @@ class ObjectStore:
         self.name = name
         self._buckets: Dict[str, Bucket] = {}
         self._sequence = 0
+        # Ranged GETs arrive concurrently from the parallel block
+        # fetcher; counter read-modify-writes need the lock.
+        self._stats_lock = threading.Lock()
         self.stats = StoreStats()
 
     # -- buckets ---------------------------------------------------------------
@@ -146,8 +150,9 @@ class ObjectStore:
 
     def get(self, bucket: str, key: str) -> bytes:
         blob = self._blob(bucket, key)
-        self.stats.gets += 1
-        self.stats.bytes_out += len(blob)
+        with self._stats_lock:
+            self.stats.gets += 1
+            self.stats.bytes_out += len(blob)
         return blob
 
     def get_range(self, bucket: str, key: str, offset: int, length: int) -> bytes:
@@ -157,8 +162,9 @@ class ObjectStore:
             raise StorageError(
                 f"range {offset}+{length} out of bounds for {bucket}/{key} ({len(blob)} B)"
             )
-        self.stats.gets += 1
-        self.stats.bytes_out += length
+        with self._stats_lock:
+            self.stats.gets += 1
+            self.stats.bytes_out += length
         return blob[offset : offset + length]
 
     def head(self, bucket: str, key: str) -> ObjectInfo:

@@ -18,6 +18,7 @@ an :class:`~repro.storage.object_store.ObjectStore` with
 from __future__ import annotations
 
 import secrets
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -176,7 +177,9 @@ class SealByteSource:
 
     Every ``read_at`` is a ranged GET with full simulated network cost —
     the access pattern a :class:`~repro.idx.access.CachedAccess` is meant
-    to amortise.
+    to amortise.  The source may be shared by the parallel block
+    fetcher's worker threads, so transfer counters are updated under a
+    lock (``+=`` on an attribute is not atomic in CPython).
     """
 
     def __init__(
@@ -187,15 +190,22 @@ class SealByteSource:
         self._token = token
         self._from_site = from_site
         self._size = size
+        self._counter_lock = threading.Lock()
         self.requests = 0
         self.bytes_transferred = 0
+
+    @property
+    def clock(self) -> SimClock:
+        """The storage's clock (lets access layers charge overlapped time)."""
+        return self._seal.clock
 
     def read_at(self, offset: int, length: int) -> bytes:
         chunk = self._seal.get_range(
             self._key, offset, length, token=self._token, from_site=self._from_site
         )
-        self.requests += 1
-        self.bytes_transferred += len(chunk)
+        with self._counter_lock:
+            self.requests += 1
+            self.bytes_transferred += len(chunk)
         return chunk
 
     def read_many(self, ranges: List[Tuple[int, int]]) -> List[bytes]:
@@ -203,8 +213,9 @@ class SealByteSource:
         chunks = self._seal.get_ranges(
             self._key, ranges, token=self._token, from_site=self._from_site
         )
-        self.requests += 1
-        self.bytes_transferred += sum(len(c) for c in chunks)
+        with self._counter_lock:
+            self.requests += 1
+            self.bytes_transferred += sum(len(c) for c in chunks)
         return chunks
 
     def size(self) -> int:

@@ -69,15 +69,25 @@ def open_remote_idx(
     token: str,
     from_site: str = "knox",
     cache: Optional[BlockCache] = None,
+    workers: int = 0,
 ) -> IdxDataset:
     """Open an IDX dataset streamed from Seal Storage (Step 4, Option B).
 
     Every block read pays the simulated ranged-GET cost; pass a
     :class:`BlockCache` to amortise repeated interaction (the dashboard's
-    normal operating mode).
+    normal operating mode).  ``workers >= 1`` services prefetch through
+    the concurrent block pipeline: per-block ranged GETs and decodes
+    overlap across a bounded thread pool, and their simulated latencies
+    are charged as the slowest worker's total rather than summed
+    (``workers=1`` is the serial baseline of the same path).
     """
     source = seal.byte_source(key, token=token, from_site=from_site)
-    access = RemoteAccess(source, uri=f"seal://{seal.site}/{seal.bucket}/{key}")
+    access = RemoteAccess(
+        source,
+        uri=f"seal://{seal.site}/{seal.bucket}/{key}",
+        workers=workers,
+        clock=seal.clock,
+    )
     if cache is not None:
         access = CachedAccess(access, cache)
     return IdxDataset.from_access(access)

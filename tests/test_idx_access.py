@@ -130,3 +130,81 @@ class TestRemoteAccess:
         batches_after_first = src.batch_reads
         ds.read(resolution=6)  # fully cached: no new batch
         assert src.batch_reads == batches_after_first
+
+    def test_prefetched_and_direct_bytes_read_agree(self, idx_path):
+        """Regression: the staged (prefetched) path must record stored
+        (compressed) bytes like the direct path, not decoded bytes."""
+        path, a = idx_path
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        # Prefetched session: read_many available, so the query pipeline
+        # stages every block and read_block serves from the stage.
+        staged = RemoteAccess(_CountingSource(blob))
+        out_staged = IdxDataset.from_access(staged).read()
+        # Direct session: a plain source has no read_many, so prefetch is
+        # a no-op and every block takes the direct read path.
+        direct = RemoteAccess(BytesByteSource(blob))
+        out_direct = IdxDataset.from_access(direct).read()
+        assert np.array_equal(out_staged, out_direct)
+        # zlib-compressed float noise: decoded size != stored size, so
+        # this catches decoded-bytes bookkeeping on either path.
+        assert staged.counters.bytes_read > 0
+        assert staged.counters.bytes_read == direct.counters.bytes_read
+        assert staged.counters.blocks_read == direct.counters.blocks_read
+
+    def test_parallel_and_direct_bytes_read_agree(self, idx_path):
+        """The thread-pool pipeline records the same stored bytes too."""
+        path, _ = idx_path
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        parallel = RemoteAccess(BytesByteSource(blob), workers=3)
+        IdxDataset.from_access(parallel).read()
+        direct = RemoteAccess(BytesByteSource(blob))
+        IdxDataset.from_access(direct).read()
+        assert parallel.counters.bytes_read == direct.counters.bytes_read
+        parallel.close()
+
+    def test_stage_dropped_when_query_finishes(self, idx_path):
+        path, a = idx_path
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        access = RemoteAccess(_CountingSource(blob))
+        ds = IdxDataset.from_access(access)
+        ds.read()
+        assert access._staged == {}  # nothing retained after the query
+
+    def test_repeated_prefetch_within_query_scope_not_refetched(self, idx_path):
+        path, _ = idx_path
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        src = _CountingSource(blob)
+        access = RemoteAccess(src)
+        bids = [0, 1]
+        access.prefetch(0, 0, bids)
+        batches = src.batch_reads
+        access.prefetch(0, 0, bids)  # same query scope: already staged
+        assert src.batch_reads == batches
+        access.release_prefetched()
+        access.prefetch(0, 0, bids)  # new scope: fetched again
+        assert src.batch_reads == batches + 1
+
+
+class TestAccessLogCap:
+    def test_log_capped_with_truncated_flag(self, idx_path):
+        path, _ = idx_path
+        access = LocalAccess(path)
+        access.counters.log_limit = 5
+        ds = IdxDataset.from_access(access)
+        ds.read()  # touches more than 5 blocks
+        assert access.counters.blocks_read > 5
+        assert len(access.counters.access_log) == 5
+        assert access.counters.truncated
+        # Scalar counters keep exact totals past the cap.
+        assert access.counters.bytes_read > 0
+
+    def test_default_cap_not_hit_by_small_reads(self, idx_path):
+        path, _ = idx_path
+        access = LocalAccess(path)
+        IdxDataset.from_access(access).read()
+        assert not access.counters.truncated
+        assert len(access.counters.access_log) == access.counters.blocks_read

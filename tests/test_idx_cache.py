@@ -91,3 +91,34 @@ class TestEviction:
         cache.put(("a",), block(1))
         cache.put(("b",), block(2))
         assert cache.stats.inserted_bytes == 2 * 1024
+
+    def test_replacement_does_not_double_count_inserted_bytes(self):
+        """Regression: re-putting a key must not inflate inserted_bytes."""
+        cache = BlockCache("8 KiB")
+        cache.put(("k",), block(1))
+        cache.put(("k",), block(2))  # same size: free
+        assert cache.stats.inserted_bytes == 1024
+        assert cache.stats.replacements == 1
+        cache.put(("k",), block(3, n=512))  # grows by 1 KiB
+        assert cache.stats.inserted_bytes == 2048
+        assert cache.used_bytes == 2048
+
+    def test_replacement_with_smaller_block_reduces_inserted(self):
+        cache = BlockCache("8 KiB")
+        cache.put(("k",), block(1, n=512))  # 2 KiB
+        cache.put(("k",), block(2, n=256))  # shrink to 1 KiB
+        assert cache.stats.inserted_bytes == 1024  # net volume admitted
+        assert cache.used_bytes == 1024
+
+    def test_clear_preserves_cumulative_stats(self):
+        cache = BlockCache("8 KiB")
+        cache.put(("a",), block(1))
+        cache.get(("a",))
+        cache.get(("missing",))
+        cache.clear()
+        assert len(cache) == 0 and cache.used_bytes == 0
+        # Lifetime counters survive; clears are not evictions.
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.inserted_bytes == 1024
+        assert cache.stats.evictions == 0

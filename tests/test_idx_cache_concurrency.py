@@ -1,0 +1,188 @@
+"""Concurrency stress tests for the thread-safe block cache."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.idx.cache import BlockCache
+
+
+def block(value: float, n: int = 256) -> np.ndarray:
+    return np.full(n, value, dtype=np.float32)  # 1 KiB each
+
+
+class TestGetOrLoad:
+    def test_hit_returns_resident_entry(self):
+        cache = BlockCache("4 KiB")
+        cache.put(("k",), block(7))
+        calls = []
+        got = cache.get_or_load(("k",), lambda: calls.append(1) or block(9))
+        assert got[0] == 7
+        assert calls == []
+        assert cache.stats.hits == 1
+
+    def test_miss_loads_once_and_caches(self):
+        cache = BlockCache("4 KiB")
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return block(3)
+
+        got = cache.get_or_load(("k",), loader)
+        again = cache.get_or_load(("k",), loader)
+        assert got[0] == 3 and again[0] == 3
+        assert len(calls) == 1
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_loader_error_propagates_and_is_not_cached(self):
+        cache = BlockCache("4 KiB")
+
+        def boom():
+            raise RuntimeError("fetch failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_load(("k",), boom)
+        # The failed load left nothing behind; a later load retries.
+        got = cache.get_or_load(("k",), lambda: block(5))
+        assert got[0] == 5
+
+    def test_concurrent_misses_coalesce_to_one_load(self):
+        cache = BlockCache("64 KiB")
+        gate = threading.Event()
+        load_count = []
+        lock = threading.Lock()
+
+        def slow_loader():
+            gate.wait(timeout=5)
+            with lock:
+                load_count.append(1)
+            return block(1)
+
+        n_threads = 8
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            futures = [
+                pool.submit(cache.get_or_load, ("hot",), slow_loader)
+                for _ in range(n_threads)
+            ]
+            # Let every thread reach the cache before the load resolves.
+            import time
+
+            deadline = time.monotonic() + 5
+            while cache.stats.misses + cache.stats.coalesced < n_threads:
+                assert time.monotonic() < deadline, "threads never arrived"
+                time.sleep(0.001)
+            gate.set()
+            results = [f.result(timeout=5) for f in futures]
+
+        assert len(load_count) == 1  # exactly one inner fetch
+        assert all(r[0] == 1 for r in results)
+        assert cache.stats.misses == 1
+        assert cache.stats.coalesced == n_threads - 1
+
+
+class TestStress:
+    def test_hammer_overlapping_keys(self):
+        """N threads over overlapping keys: no double-loads, budget held,
+        counters exact."""
+        capacity = 32 * 1024  # fits 32 of the 1 KiB blocks
+        cache = BlockCache(capacity)
+        n_keys = 16  # all resident: every key must load exactly once
+        n_threads = 8
+        rounds = 50
+        loads = {k: 0 for k in range(n_keys)}
+        loads_lock = threading.Lock()
+
+        def loader_for(k):
+            def load():
+                with loads_lock:
+                    loads[k] += 1
+                return block(k)
+
+            return load
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(rounds):
+                k = int(rng.integers(n_keys))
+                got = cache.get_or_load((k,), loader_for(k))
+                assert got[0] == k
+                assert cache.used_bytes <= capacity
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(worker, range(n_threads)))
+
+        # Every key fits in the budget, so nothing was evicted and each
+        # key was loaded exactly once no matter how many threads raced.
+        assert all(count == 1 for count in loads.values()), loads
+        stats = cache.stats
+        assert stats.misses == n_keys
+        assert stats.evictions == 0
+        # Exact bookkeeping: every request is accounted as exactly one of
+        # hit / miss / coalesced.
+        assert stats.hits + stats.misses + stats.coalesced == n_threads * rounds
+        assert stats.inserted_bytes == n_keys * 1024
+        assert cache.used_bytes == n_keys * 1024
+
+    def test_hammer_with_eviction_pressure(self):
+        """Working set larger than the budget: the byte bound must hold at
+        every moment and accounting must balance at the end."""
+        capacity = 8 * 1024  # 8 blocks resident max
+        cache = BlockCache(capacity)
+        n_keys = 64
+        n_threads = 6
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(100):
+                k = int(rng.integers(n_keys))
+                got = cache.get_or_load((k,), lambda k=k: block(k))
+                assert got[0] == k
+                assert cache.used_bytes <= capacity
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(worker, range(n_threads)))
+
+        assert cache.used_bytes <= capacity
+        assert len(cache) <= capacity // 1024
+        # inserted = still resident + evicted (all blocks are 1 KiB).
+        stats = cache.stats
+        assert stats.inserted_bytes == cache.used_bytes + stats.evictions * 1024
+
+    def test_mixed_get_put_invalidate_threads(self):
+        cache = BlockCache("16 KiB")
+        stop = threading.Event()
+        errors = []
+
+        def churn(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                while not stop.is_set():
+                    k = int(rng.integers(8))
+                    op = int(rng.integers(4))
+                    if op == 0:
+                        cache.put((k,), block(k))
+                    elif op == 1:
+                        got = cache.get((k,))
+                        if got is not None:
+                            assert got[0] == k
+                    elif op == 2:
+                        cache.invalidate((k,))
+                    else:
+                        cache.contains((k,))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn, args=(s,)) for s in range(6)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert not errors
+        assert cache.used_bytes <= cache.capacity

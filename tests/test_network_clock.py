@@ -1,0 +1,123 @@
+"""Tests for the concurrency-aware simulated clock."""
+
+import threading
+
+import pytest
+
+from repro.network import SimClock
+
+
+class TestSerialClock:
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5, "a")
+        clock.advance(0.5, "b")
+        assert clock.now == pytest.approx(2.0)
+        assert clock.total_for("a") == pytest.approx(1.5)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(3, "x")
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.events == []
+
+
+class TestConcurrentRegion:
+    def test_overlapped_charges_take_max(self):
+        """Parallel charges advance the clock by the slowest lane, not the sum."""
+        clock = SimClock()
+        # The barrier keeps all three threads alive at once: a thread id
+        # reused after an earlier worker exits would (correctly) be
+        # charged as serial work on the same lane.
+        barrier = threading.Barrier(3)
+
+        def worker(seconds):
+            barrier.wait(timeout=5)
+            clock.advance(seconds, "fetch")
+            barrier.wait(timeout=5)
+
+        with clock.concurrent("batch"):
+            threads = [
+                threading.Thread(target=worker, args=(s,)) for s in (1.0, 2.0, 3.0)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert clock.now == pytest.approx(3.0)  # max, not 6.0
+        # The per-charge trace still sums the work performed.
+        assert clock.total_for("fetch") == pytest.approx(6.0)
+
+    def test_same_thread_charges_add_within_region(self):
+        """One thread's serial work inside a region still sums."""
+        clock = SimClock()
+        with clock.concurrent():
+            clock.advance(1.0)
+            clock.advance(2.0)
+        assert clock.now == pytest.approx(3.0)
+
+    def test_lanes_make_overlap_deterministic(self):
+        """Charges bound to distinct lanes overlap even from one thread."""
+        clock = SimClock()
+        with clock.concurrent():
+            with clock.lane(0):
+                clock.advance(2.0)
+            with clock.lane(1):
+                clock.advance(2.0)
+            with clock.lane(0):
+                clock.advance(1.0)
+        # lane 0 totals 3.0, lane 1 totals 2.0 -> wall time is 3.0.
+        assert clock.now == pytest.approx(3.0)
+
+    def test_nested_regions_flatten(self):
+        clock = SimClock()
+        clock.begin_concurrent()
+        clock.begin_concurrent()
+        clock.advance(2.0)
+        clock.end_concurrent()
+        assert clock.now == 0.0  # still open: charges not landed yet
+        clock.end_concurrent()
+        assert clock.now == pytest.approx(2.0)
+
+    def test_unbalanced_end_raises(self):
+        with pytest.raises(RuntimeError):
+            SimClock().end_concurrent()
+
+    def test_empty_region_is_free(self):
+        clock = SimClock()
+        with clock.concurrent():
+            pass
+        assert clock.now == 0.0
+
+    def test_now_inside_region_is_region_start(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        with clock.concurrent():
+            clock.advance(1.0)
+            assert clock.now == pytest.approx(5.0)
+            assert clock.in_concurrent_region
+        assert clock.now == pytest.approx(6.0)
+        assert not clock.in_concurrent_region
+
+    def test_reset_inside_region_rejected(self):
+        clock = SimClock()
+        clock.begin_concurrent()
+        with pytest.raises(RuntimeError):
+            clock.reset()
+        clock.end_concurrent()
+
+    def test_region_label_records_wall_duration(self):
+        clock = SimClock()
+        with clock.concurrent("batch"):
+            with clock.lane(0):
+                clock.advance(1.0)
+            with clock.lane(1):
+                clock.advance(4.0)
+        batch_events = [e for e in clock.events if e[1] == "batch"]
+        assert len(batch_events) == 1
+        assert batch_events[0][2] == pytest.approx(4.0)
