@@ -4,6 +4,8 @@ Commands mirror what a tutorial attendee does from a terminal:
 
 - ``demo``      run the four-step workflow end-to-end and summarise it
 - ``convert``   convert a TIFF / NetCDF / raw file to IDX (by extension)
+- ``batch-convert``  convert many source files concurrently (convert_many)
+- ``ingest``    stream GEOtiled terrain products straight into IDX
 - ``info``      describe an IDX dataset (dims, fields, codec, stats)
 - ``read``      extract a box/resolution from an IDX dataset to ``.npy``
 - ``network``   print the simulated 8-site probe matrix
@@ -46,15 +48,68 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     src = args.source
     ext = os.path.splitext(src)[1].lower()
     if ext in (".tif", ".tiff"):
-        report = tiff_to_idx(src, args.dest, codec=args.codec)
+        report = tiff_to_idx(src, args.dest, codec=args.codec, workers=args.workers)
     elif ext == ".nc":
-        report = ncdf_to_idx(src, args.dest, codec=args.codec)
+        report = ncdf_to_idx(src, args.dest, codec=args.codec, workers=args.workers)
     elif ext == ".raw":
-        report = raw_to_idx(src, args.dest, codec=args.codec)
+        report = raw_to_idx(src, args.dest, codec=args.codec, workers=args.workers)
     else:
         print(f"unsupported source extension {ext!r}", file=sys.stderr)
         return 2
     print(report)
+    if report.encode_stats is not None and args.workers > 1:
+        s = report.encode_stats
+        print(f"  encode: {s.blocks_encoded} blocks ({s.blocks_skipped_fill} all-fill skipped) "
+              f"on {s.workers} workers in {s.wall_seconds * 1e3:.1f} ms")
+    return 0
+
+
+def _cmd_batch_convert(args: argparse.Namespace) -> int:
+    from repro.idx.convert import convert_many
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    jobs = []
+    for src in args.sources:
+        stem = os.path.splitext(os.path.basename(src))[0]
+        jobs.append((src, os.path.join(args.out_dir, f"{stem}.idx")))
+    batch = convert_many(jobs, workers=args.workers, codec=args.codec)
+    for job, report, error in zip(batch.jobs, batch.reports, batch.errors):
+        if error is not None:
+            print(f"FAILED {os.path.basename(job.source_path)}: {error}", file=sys.stderr)
+        else:
+            print(report)
+    print(batch)
+    return 0 if batch.ok else 1
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.idx.convert import geotiled_to_idx
+    from repro.terrain.dem import composite_terrain
+
+    if args.dem:
+        from repro.formats.tiff import read_tiff
+
+        dem = read_tiff(args.dem)
+    else:
+        dem = composite_terrain((args.size, args.size), seed=args.seed)
+    grid = tuple(int(v) for v in args.grid.split(","))
+    if len(grid) != 2:
+        print("--grid needs two integers, e.g. 4,4", file=sys.stderr)
+        return 2
+    reports = geotiled_to_idx(
+        dem,
+        args.out_dir,
+        parameters=tuple(args.parameters.split(",")),
+        grid=grid,
+        tile_workers=args.workers,
+        encode_workers=args.workers,
+        codec=args.codec,
+    )
+    for name in sorted(reports):
+        report = reports[name]
+        s = report.encode_stats
+        print(f"{name:<12s} -> {report.idx_path}  ({report.idx_bytes} bytes, "
+              f"{s.blocks_encoded} blocks encoded in {s.wall_seconds * 1e3:.1f} ms)")
     return 0
 
 
@@ -170,7 +225,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("source")
     p.add_argument("dest")
     p.add_argument("--codec", default="shuffle:level=6")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel block-encode workers for finalize")
     p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser("batch-convert", help="convert many files to IDX concurrently")
+    p.add_argument("sources", nargs="+", help="TIFF/NetCDF/raw source files")
+    p.add_argument("--out-dir", required=True)
+    p.add_argument("--codec", default="shuffle:level=6")
+    p.add_argument("--workers", type=int, default=4, help="concurrent conversions")
+    p.set_defaults(func=_cmd_batch_convert)
+
+    p = sub.add_parser("ingest", help="stream GEOtiled terrain products into IDX")
+    p.add_argument("--out-dir", required=True)
+    p.add_argument("--dem", default=None, help="DEM TIFF (default: synthesise one)")
+    p.add_argument("--size", type=int, default=256, help="synthetic DEM size")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--parameters", default="elevation,aspect,slope,hillshade")
+    p.add_argument("--grid", default="4,4", help="tile grid, e.g. 4,4")
+    p.add_argument("--workers", type=int, default=4,
+                   help="tile-compute and block-encode workers")
+    p.add_argument("--codec", default="shuffle:level=6")
+    p.set_defaults(func=_cmd_ingest)
 
     p = sub.add_parser("info", help="describe an IDX dataset")
     p.add_argument("dataset")

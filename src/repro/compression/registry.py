@@ -36,6 +36,14 @@ class Codec(ABC):
 
     name: str = "abstract"
     lossless: bool = True
+    #: Encode/decode are reentrant: one instance may be driven from many
+    #: threads at once (the parallel-finalize encode pool and the parallel
+    #: block-fetch pipeline both share a single codec object).  Every
+    #: built-in codec keeps only immutable configuration on ``self`` and so
+    #: declares ``True``; a stateful subclass must set ``False``, which
+    #: makes ``IdxDataset.finalize(workers=N)`` fall back to the serial
+    #: encode path instead of corrupting streams.
+    thread_safe: bool = True
 
     # -- byte-level interface (default raises; byte codecs override) ----
 

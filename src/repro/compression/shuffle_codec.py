@@ -61,9 +61,10 @@ class ShuffleCodec(Codec):
             self.inner = get_codec(f"zlib:level={int(level)}")
         if not self.inner.lossless:
             raise CodecError("shuffle requires a lossless inner codec")
-        self._itemsize = 1  # refined per-array in encode_array
 
-    # Byte-level API assumes itemsize already known; array API sets it.
+    # The itemsize travels in the stream header, never on ``self`` — the
+    # codec stays stateless after __init__, which is what lets one instance
+    # serve concurrent encodes (Codec.thread_safe).
 
     def encode_array(self, array: np.ndarray) -> bytes:
         arr = np.ascontiguousarray(array)

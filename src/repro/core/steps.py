@@ -37,7 +37,7 @@ from repro.core.workflow import Workflow, WorkflowStep
 from repro.dashboard.render import render_raster
 from repro.dashboard.session import DashboardSession
 from repro.formats.tiff import write_tiff
-from repro.idx.convert import tiff_to_idx
+from repro.idx.convert import ConversionJob, convert_many
 from repro.idx.dataset import IdxDataset
 from repro.storage.transfer import open_remote_idx, upload_idx_to_seal
 from repro.terrain.crs import REGIONS
@@ -102,30 +102,45 @@ def make_step2_convert(
     *,
     codec: str = "zlib:level=6",
     bits_per_block: int = 12,
+    workers: int = 1,
+    encode_workers: int = 1,
 ) -> WorkflowStep:
-    """Step 2: Conversion to IDX — TIFF -> IDX, optional Seal upload."""
+    """Step 2: Conversion to IDX — batched TIFF -> IDX, optional Seal upload.
+
+    ``workers`` converts that many TIFFs concurrently through
+    :func:`~repro.idx.convert.convert_many`; ``encode_workers``
+    parallelises each dataset's block encode.  Any failed conversion
+    fails the step with every job's error collected, not just the first.
+    """
 
     def func(ctx: Dict) -> Dict:
         os.makedirs(out_dir, exist_ok=True)
-        idx_paths: Dict[str, str] = {}
-        reports: Dict[str, object] = {}
+        names = sorted(ctx["tiff_paths"])
+        jobs = [
+            ConversionJob.make(
+                ctx["tiff_paths"][name],
+                os.path.join(out_dir, f"{name}.idx"),
+                field_name=name,
+                codec=codec,
+                bits_per_block=bits_per_block,
+                workers=encode_workers,
+            )
+            for name in names
+        ]
+        batch = convert_many(jobs, workers=workers)
+        if not batch.ok:
+            failures = "; ".join(f"{os.path.basename(j.source_path)}: {e}" for j, e in batch.failed)
+            raise ValueError(f"conversion failed for {len(batch.failed)} file(s): {failures}")
+        idx_paths = {name: job.idx_path for name, job in zip(names, jobs)}
+        reports = {name: report for name, report in zip(names, batch.reports)}
         seal_keys: Dict[str, str] = {}
         seal = ctx.get("seal")
         token = ctx.get("seal_token")
         site = ctx.get("client_site", "knox")
-        for name, tiff_path in ctx["tiff_paths"].items():
-            idx_path = os.path.join(out_dir, f"{name}.idx")
-            reports[name] = tiff_to_idx(
-                tiff_path,
-                idx_path,
-                field_name=name,
-                codec=codec,
-                bits_per_block=bits_per_block,
-            )
-            idx_paths[name] = idx_path
-            if seal is not None and token is not None:
+        if seal is not None and token is not None:
+            for name in names:
                 seal_keys[name] = upload_idx_to_seal(
-                    idx_path, seal, f"{name}.idx", token=token, from_site=site
+                    idx_paths[name], seal, f"{name}.idx", token=token, from_site=site
                 )
         return {"idx_paths": idx_paths, "conversion_reports": reports, "seal_keys": seal_keys}
 
@@ -241,11 +256,17 @@ def build_tutorial_workflow(
     parameters: Sequence[str] = DEFAULT_PARAMETERS,
     grid: Tuple[int, int] = (2, 2),
     workers: int = 1,
+    convert_workers: int = 1,
     codec: str = "zlib:level=6",
     tolerance: float = 0.0,
     viewport: Tuple[int, int] = (256, 256),
 ) -> Workflow:
-    """The assembled four-step tutorial workflow (Fig. 4)."""
+    """The assembled four-step tutorial workflow (Fig. 4).
+
+    ``workers`` parallelises Step 1's tile kernels; ``convert_workers``
+    parallelises Step 2 across files (per-file conversions of a small
+    batch, so per-block encode stays serial within each file).
+    """
     wf = Workflow("nsdf-tutorial")
     wf.add_step(
         make_step1_generate(
@@ -257,7 +278,9 @@ def build_tutorial_workflow(
             workers=workers,
         )
     )
-    wf.add_step(make_step2_convert(os.path.join(out_dir, "idx"), codec=codec))
+    wf.add_step(
+        make_step2_convert(os.path.join(out_dir, "idx"), codec=codec, workers=convert_workers)
+    )
     wf.add_step(make_step3_validate(tolerance=tolerance))
     wf.add_step(make_step4_interactive(viewport=viewport))
     return wf

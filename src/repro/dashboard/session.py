@@ -58,6 +58,44 @@ class DashboardSession:
         """Register a local IDX file under ``name``."""
         self.register_dataset(name, IdxDataset.open(path))
 
+    def import_files(
+        self,
+        sources: Dict[str, str],
+        out_dir: str,
+        *,
+        workers: int = 1,
+        codec: str = "zlib:level=6",
+    ):
+        """Convert raw source files (TIFF/NetCDF/raw) and register the results.
+
+        This is the dashboard's drag-a-folder-in path: ``sources`` maps
+        dataset names to source paths, conversions run ``workers`` at a
+        time through :func:`~repro.idx.convert.convert_many`, and every
+        *successful* conversion is registered — a corrupt file fails only
+        its own entry.  Returns the
+        :class:`~repro.idx.convert.BatchConversionReport` so callers can
+        surface per-file errors.
+        """
+        import os
+
+        from repro.idx.convert import ConversionJob, convert_many
+
+        os.makedirs(out_dir, exist_ok=True)
+        names = sorted(sources)
+        jobs = []
+        for name in names:
+            opts = {"codec": codec}
+            if os.path.splitext(sources[name])[1].lower() != ".nc":
+                opts["field_name"] = name  # netCDF keeps its variable names
+            jobs.append(
+                ConversionJob.make(sources[name], os.path.join(out_dir, f"{name}.idx"), **opts)
+            )
+        batch = self._timed("import_files", convert_many, jobs, workers=workers)
+        for name, job, report in zip(names, jobs, batch.reports):
+            if report is not None:
+                self.open_file(name, job.idx_path)
+        return batch
+
     def open_remote(
         self,
         name: str,

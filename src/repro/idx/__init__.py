@@ -43,11 +43,17 @@ from repro.idx.query import BoxQuery, QueryResult
 from repro.idx.access import CachedAccess, LocalAccess, RemoteAccess
 from repro.idx.parallel import ParallelFetcher
 from repro.idx.convert import (
+    BatchConversionReport,
+    ConversionJob,
+    ConversionReport,
+    convert_many,
+    geotiled_to_idx,
     idx_to_tiff,
     ncdf_to_idx,
     raw_to_idx,
     tiff_to_idx,
 )
+from repro.idx.dataset import EncodeStats
 from repro.idx.stats import FieldStats
 from repro.idx.timeseries import (
     animate,
@@ -65,11 +71,15 @@ __all__ = [
     "prefetch_timestep",
     "temporal_difference",
     "temporal_stats",
+    "BatchConversionReport",
     "Bitmask",
     "BlockCache",
     "BlockLayout",
     "BoxQuery",
     "CachedAccess",
+    "ConversionJob",
+    "ConversionReport",
+    "EncodeStats",
     "FieldStats",
     "HzOrder",
     "IdxDataset",
@@ -80,7 +90,9 @@ __all__ = [
     "QueryResult",
     "RemoteAccess",
     "VerificationReport",
+    "convert_many",
     "estimate_range",
+    "geotiled_to_idx",
     "idx_to_tiff",
     "verify_dataset",
     "ncdf_to_idx",

@@ -62,18 +62,22 @@ def block_manifest(
     bounds = block_spatial_bounds(bitmask, layout)
     ranges: Dict[str, List] = {}
     size = layout.block_size
+    memo: Dict[int, List] = {}  # replicated timesteps share one buffer scan
     for (t_idx, f_idx), buf in buffers.items():
-        per_block: List = []
-        for bid in range(layout.num_blocks):
-            chunk = buf[bid * size : (bid + 1) * size]
-            if chunk.dtype.kind == "f":
-                finite = chunk[np.isfinite(chunk)]
-            else:
-                finite = chunk
-            if finite.size == 0 or bool((finite == fill_value).all()):
-                per_block.append(None)  # absent / all-fill block
-            else:
-                per_block.append([float(finite.min()), float(finite.max())])
+        per_block = memo.get(id(buf))
+        if per_block is None:
+            per_block = []
+            for bid in range(layout.num_blocks):
+                chunk = buf[bid * size : (bid + 1) * size]
+                if chunk.dtype.kind == "f":
+                    finite = chunk[np.isfinite(chunk)]
+                else:
+                    finite = chunk
+                if finite.size == 0 or bool((finite == fill_value).all()):
+                    per_block.append(None)  # absent / all-fill block
+                else:
+                    per_block.append([float(finite.min()), float(finite.max())])
+            memo[id(buf)] = per_block
         ranges[f"{t_idx}/{f_idx}"] = per_block
     return {"bounds": [[list(lo), list(hi)] for lo, hi in bounds], "ranges": ranges}
 

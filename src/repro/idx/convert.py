@@ -11,18 +11,30 @@ size-reduction benchmark (C1) prints.
 from __future__ import annotations
 
 import os
+import time as _time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.formats.ncdf import read_ncdf
 from repro.formats.rawbin import read_raw, sidecar_path
 from repro.formats.tiff import read_tiff, tiff_info, write_tiff
-from repro.idx.dataset import IdxDataset
+from repro.idx.dataset import EncodeStats, IdxDataset
 from repro.idx.idxfile import IdxError
 
-__all__ = ["ConversionReport", "idx_to_tiff", "ncdf_to_idx", "raw_to_idx", "tiff_to_idx"]
+__all__ = [
+    "BatchConversionReport",
+    "ConversionJob",
+    "ConversionReport",
+    "convert_many",
+    "geotiled_to_idx",
+    "idx_to_tiff",
+    "ncdf_to_idx",
+    "raw_to_idx",
+    "tiff_to_idx",
+]
 
 
 @dataclass
@@ -36,6 +48,7 @@ class ConversionReport:
     fields: List[str] = field(default_factory=list)
     dims: Tuple[int, ...] = ()
     codec: str = ""
+    encode_stats: Optional[EncodeStats] = None
 
     @property
     def ratio(self) -> float:
@@ -63,11 +76,13 @@ def tiff_to_idx(
     codec: str = "zlib:level=6",
     bits_per_block: int = 14,
     fill_value: float = 0.0,
+    workers: int = 1,
 ) -> ConversionReport:
     """Convert a single-band TIFF raster into a one-field IDX dataset.
 
     GeoTIFF georeferencing tags (pixel scale / tiepoint) and the image
-    description are preserved in the IDX metadata block.
+    description are preserved in the IDX metadata block.  ``workers``
+    parallelises the per-block encode (see ``IdxDataset.finalize``).
     """
     info = tiff_info(tiff_path)
     if info.samples_per_pixel != 1:
@@ -91,7 +106,7 @@ def tiff_to_idx(
         metadata=metadata,
     )
     ds.write(array, field=field_name)
-    ds.finalize()
+    ds.finalize(workers=workers)
     return ConversionReport(
         source_path=tiff_path,
         idx_path=idx_path,
@@ -100,6 +115,7 @@ def tiff_to_idx(
         fields=[field_name],
         dims=tuple(array.shape),
         codec=codec,
+        encode_stats=ds.last_encode_stats,
     )
 
 
@@ -142,6 +158,7 @@ def raw_to_idx(
     field_name: str = "value",
     codec: str = "zlib:level=6",
     bits_per_block: int = 14,
+    workers: int = 1,
 ) -> ConversionReport:
     """Convert a raw binary dump (plus sidecar) into IDX."""
     array, attrs = read_raw(raw_path, with_attrs=True)
@@ -154,7 +171,7 @@ def raw_to_idx(
         metadata={"source_format": "raw", "attrs": attrs},
     )
     ds.write(array, field=field_name)
-    ds.finalize()
+    ds.finalize(workers=workers)
     source_bytes = os.path.getsize(raw_path) + os.path.getsize(sidecar_path(raw_path))
     return ConversionReport(
         source_path=raw_path,
@@ -164,6 +181,7 @@ def raw_to_idx(
         fields=[field_name],
         dims=tuple(array.shape),
         codec=codec,
+        encode_stats=ds.last_encode_stats,
     )
 
 
@@ -175,6 +193,7 @@ def ncdf_to_idx(
     codec: str = "zlib:level=6",
     bits_per_block: int = 14,
     time_dimension: str = "time",
+    workers: int = 1,
 ) -> ConversionReport:
     """Convert netCDF variables (same grid) into a multi-field IDX dataset.
 
@@ -221,10 +240,12 @@ def ncdf_to_idx(
             for t in range(n_time):
                 ds.write(nc.variables[n][t], field=n, time=t)
         else:
-            # Static variables repeat across the shared time axis.
-            for t in range(n_time):
-                ds.write(nc.variables[n], field=n, time=t)
-    ds.finalize()
+            # Static variables repeat across the shared time axis: scatter
+            # into HZ order once, then alias the buffer to the remaining
+            # timesteps so the blocks are encoded (and stored) once.
+            ds.write(nc.variables[n], field=n, time=0)
+            ds.replicate_timestep(field=n, from_time=0, to_times=range(1, n_time))
+    ds.finalize(workers=workers)
     return ConversionReport(
         source_path=ncdf_path,
         idx_path=idx_path,
@@ -233,4 +254,212 @@ def ncdf_to_idx(
         fields=names,
         dims=dims,
         codec=codec,
+        encode_stats=ds.last_encode_stats,
     )
+
+
+# -- batch conversion ----------------------------------------------------------
+
+
+def _converter_for(source_path: str) -> Callable[..., ConversionReport]:
+    ext = os.path.splitext(source_path)[1].lower()
+    if ext in (".tif", ".tiff"):
+        return tiff_to_idx
+    if ext == ".nc":
+        return ncdf_to_idx
+    if ext == ".raw":
+        return raw_to_idx
+    raise IdxError(f"no converter for source extension {ext!r} ({source_path})")
+
+
+@dataclass(frozen=True)
+class ConversionJob:
+    """One source file to convert; ``options`` are converter kwargs."""
+
+    source_path: str
+    idx_path: str
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, source_path: str, idx_path: str, **options) -> "ConversionJob":
+        return cls(source_path, idx_path, tuple(sorted(options.items())))
+
+    def run(self) -> ConversionReport:
+        return _converter_for(self.source_path)(
+            self.source_path, self.idx_path, **dict(self.options)
+        )
+
+
+@dataclass
+class BatchConversionReport:
+    """Per-job outcomes plus the aggregate byte accounting of one batch.
+
+    ``reports[i]`` is the :class:`ConversionReport` of ``jobs[i]`` or
+    ``None`` when that job failed; the failure's message is then in
+    ``errors[i]``.  One bad source fails its own job only — the batch
+    always runs to completion.
+    """
+
+    jobs: List[ConversionJob] = field(default_factory=list)
+    reports: List[Optional[ConversionReport]] = field(default_factory=list)
+    errors: List[Optional[str]] = field(default_factory=list)
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def succeeded(self) -> List[ConversionReport]:
+        return [r for r in self.reports if r is not None]
+
+    @property
+    def failed(self) -> List[Tuple[ConversionJob, str]]:
+        return [(j, e) for j, e in zip(self.jobs, self.errors) if e is not None]
+
+    @property
+    def ok(self) -> bool:
+        return not any(e is not None for e in self.errors)
+
+    @property
+    def source_bytes(self) -> int:
+        return sum(r.source_bytes for r in self.succeeded)
+
+    @property
+    def idx_bytes(self) -> int:
+        return sum(r.idx_bytes for r in self.succeeded)
+
+    @property
+    def ratio(self) -> float:
+        return self.idx_bytes / self.source_bytes if self.source_bytes else float("nan")
+
+    @property
+    def reduction_percent(self) -> float:
+        return 100.0 * (1.0 - self.ratio)
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        return self.source_bytes / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"batch: {len(self.succeeded)}/{len(self.jobs)} converted, "
+            f"{self.source_bytes} -> {self.idx_bytes} bytes "
+            f"({self.reduction_percent:+.1f}%) in {self.wall_seconds:.3f}s "
+            f"with {self.workers} workers"
+        )
+
+
+JobLike = Union[ConversionJob, Tuple[str, str]]
+
+
+def convert_many(
+    jobs: Sequence[JobLike],
+    *,
+    workers: int = 1,
+    **options,
+) -> BatchConversionReport:
+    """Convert a batch of source files to IDX, ``workers`` at a time.
+
+    ``jobs`` are :class:`ConversionJob` instances or plain
+    ``(source_path, idx_path)`` pairs (converter chosen by extension;
+    ``options`` apply to every pair-built job).  Jobs run on a bounded
+    thread pool — each conversion is read + HZ scatter + encode, all
+    NumPy/zlib-heavy work that releases the GIL — and results keep the
+    input order.  A failing job captures its error and leaves the other
+    jobs untouched.
+    """
+    if workers < 1:
+        raise IdxError("workers must be >= 1")
+    normalized: List[ConversionJob] = []
+    for job in jobs:
+        if isinstance(job, ConversionJob):
+            normalized.append(job)
+        else:
+            src, dst = job
+            normalized.append(ConversionJob.make(src, dst, **options))
+    batch = BatchConversionReport(jobs=normalized, workers=workers)
+    batch.reports = [None] * len(normalized)
+    batch.errors = [None] * len(normalized)
+
+    def run_one(job: ConversionJob) -> Tuple[Optional[ConversionReport], Optional[str]]:
+        try:
+            return job.run(), None
+        except Exception as exc:  # per-job isolation: capture, don't raise
+            return None, f"{type(exc).__name__}: {exc}"
+
+    t0 = _time.perf_counter()
+    if workers == 1 or len(normalized) <= 1:
+        outcomes = [run_one(j) for j in normalized]
+    else:
+        with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="idx-convert") as pool:
+            outcomes = list(pool.map(run_one, normalized))
+    batch.wall_seconds = _time.perf_counter() - t0
+    for i, (report, error) in enumerate(outcomes):
+        batch.reports[i] = report
+        batch.errors[i] = error
+    return batch
+
+
+# -- streaming GEOtiled ingest -------------------------------------------------
+
+
+def geotiled_to_idx(
+    dem: np.ndarray,
+    out_dir: str,
+    *,
+    parameters: Sequence[str] = ("elevation", "aspect", "slope", "hillshade"),
+    grid: Tuple[int, int] = (4, 4),
+    tile_workers: int = 1,
+    encode_workers: int = 1,
+    cellsize: float = 30.0,
+    codec: str = "zlib:level=6",
+    bits_per_block: int = 14,
+    fill_value: float = 0.0,
+) -> Dict[str, ConversionReport]:
+    """Stream GEOtiled terrain products straight into IDX datasets.
+
+    The mosaic-free Step 1→2 path: tiles computed by
+    :meth:`~repro.terrain.geotiled.GeoTiler.stream` flow into
+    ``IdxDataset.write_region`` as they complete, so terrain computation
+    overlaps the HZ scatter and no full-raster intermediate (mosaic or
+    TIFF) is materialised.  Output and stats are identical to the
+    mosaic-first ``compute`` → ``write`` path — tiles cover the domain
+    disjointly, so the running-mean accounting sees every sample once.
+
+    Returns one :class:`ConversionReport` per parameter;
+    ``source_bytes`` is the in-memory DEM size (there is no source file).
+    """
+    from repro.terrain.geotiled import GeoTiler
+
+    dem = np.asarray(dem)
+    os.makedirs(out_dir, exist_ok=True)
+    tiler = GeoTiler(grid=grid, workers=tile_workers, cellsize=cellsize)
+    datasets: Dict[str, IdxDataset] = {}
+    paths: Dict[str, str] = {}
+    for name, tile, core in tiler.stream(dem, parameters=parameters):
+        ds = datasets.get(name)
+        if ds is None:
+            paths[name] = os.path.join(out_dir, f"{name}.idx")
+            ds = IdxDataset.create(
+                paths[name],
+                dims=dem.shape,
+                fields={name: str(core.dtype)},
+                codec=codec,
+                bits_per_block=bits_per_block,
+                fill_value=fill_value,
+                metadata={"source_format": "geotiled", "grid": list(grid)},
+            )
+            datasets[name] = ds
+        ds.write_region(core, tile.core.lo, field=name)
+    reports: Dict[str, ConversionReport] = {}
+    for name, ds in datasets.items():
+        ds.finalize(workers=encode_workers)
+        reports[name] = ConversionReport(
+            source_path="<geotiled dem>",
+            idx_path=paths[name],
+            source_bytes=int(dem.nbytes),
+            idx_bytes=os.path.getsize(paths[name]),
+            fields=[name],
+            dims=tuple(dem.shape),
+            codec=codec,
+            encode_stats=ds.last_encode_stats,
+        )
+    return reports

@@ -19,6 +19,9 @@ rest with the dataset codec.
 from __future__ import annotations
 
 import math
+import time as _time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -30,7 +33,40 @@ from repro.idx.idxfile import IdxError, IdxHeader, write_idx_file
 from repro.idx.query import BoxQuery, QueryResult
 from repro.util.arrays import Box
 
-__all__ = ["IdxDataset"]
+__all__ = ["EncodeStats", "IdxDataset"]
+
+
+@dataclass
+class EncodeStats:
+    """Accounting for one :meth:`IdxDataset.finalize` encode pass.
+
+    ``wall_seconds`` is elapsed time over the whole encode; ``cpu_seconds``
+    is process CPU time over the same span (summed across threads), so a
+    parallel encode shows ``cpu_seconds > wall_seconds`` while ``workers=1``
+    keeps them roughly equal.
+    """
+
+    workers: int = 1
+    blocks_total: int = 0
+    blocks_encoded: int = 0
+    blocks_skipped_fill: int = 0
+    blocks_shared: int = 0  # reused encodes from replicated timesteps
+    encoded_bytes: int = 0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-safe view (used by benchmark emitters and reports)."""
+        return {
+            "workers": self.workers,
+            "blocks_total": self.blocks_total,
+            "blocks_encoded": self.blocks_encoded,
+            "blocks_skipped_fill": self.blocks_skipped_fill,
+            "blocks_shared": self.blocks_shared,
+            "encoded_bytes": self.encoded_bytes,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+        }
 
 FieldSpec = Union[str, Sequence[str], Dict[str, str], Sequence[Dict[str, str]]]
 
@@ -68,7 +104,9 @@ class IdxDataset:
         self._access = access
         self._writable = writable
         self._buffers: Dict[Tuple[int, int], np.ndarray] = {}
+        self._stat_accum: Dict[int, Tuple[int, float]] = {}  # f_idx -> (count, sum)
         self._finalized = not writable
+        self.last_encode_stats: Optional[EncodeStats] = None
 
     # -- construction --------------------------------------------------------
 
@@ -159,26 +197,13 @@ class IdxDataset:
         dtype = self.header.field_dtype(f_idx)
         arr = arr.astype(dtype, copy=False)
 
-        buf = self._buffers.get((t_idx, f_idx))
-        if buf is None:
-            buf = np.full(self.hzorder.total_samples, self.header.fill_value, dtype=dtype)
-            self._buffers[(t_idx, f_idx)] = buf
-
+        buf = self._buffer_for(t_idx, f_idx, dtype)
+        full = Box.from_shape(self.dims)
         for h in range(self.maxh + 1):
-            phase, step = self.bitmask.delta_lattice(h)
-            coords = [
-                np.arange(phase[a], self.dims[a], step[a], dtype=np.int64)
-                for a in range(self.bitmask.ndim)
-            ]
-            if any(c.size == 0 for c in coords):
+            plan = self.hzorder.level_plan(h, full)
+            if plan is None:
                 continue
-            z = self.hzorder.axis_z_component(0, coords[0])
-            z = z.reshape(z.shape + (1,) * (self.bitmask.ndim - 1))
-            for a in range(1, self.bitmask.ndim):
-                comp = self.hzorder.axis_z_component(a, coords[a])
-                comp = comp.reshape((1,) * a + comp.shape + (1,) * (self.bitmask.ndim - 1 - a))
-                z = z | comp
-            hz_addr = self.hzorder.hz_for_level(h, z.ravel())
+            coords, hz_addr = plan
             buf[hz_addr] = arr[np.ix_(*coords)].ravel()
 
         self._update_stats(f_idx, arr)
@@ -214,33 +239,54 @@ class IdxDataset:
         dtype = self.header.field_dtype(f_idx)
         arr = arr.astype(dtype, copy=False)
 
-        buf = self._buffers.get((t_idx, f_idx))
-        if buf is None:
-            buf = np.full(self.hzorder.total_samples, self.header.fill_value, dtype=dtype)
-            self._buffers[(t_idx, f_idx)] = buf
-
+        buf = self._buffer_for(t_idx, f_idx, dtype)
         for h in range(self.maxh + 1):
-            phase, step = self.bitmask.delta_lattice(h)
-            coords = []
-            for a in range(self.bitmask.ndim):
-                lo, hi = region.lo[a], region.hi[a]
-                first = phase[a] if lo <= phase[a] else phase[a] + (
-                    -(-(lo - phase[a]) // step[a]) * step[a]
-                )
-                coords.append(np.arange(first, hi, step[a], dtype=np.int64))
-            if any(c.size == 0 for c in coords):
+            plan = self.hzorder.level_plan(h, region)
+            if plan is None:
                 continue
-            z = self.hzorder.axis_z_component(0, coords[0])
-            z = z.reshape(z.shape + (1,) * (self.bitmask.ndim - 1))
-            for a in range(1, self.bitmask.ndim):
-                comp = self.hzorder.axis_z_component(a, coords[a])
-                comp = comp.reshape((1,) * a + comp.shape + (1,) * (self.bitmask.ndim - 1 - a))
-                z = z | comp
-            hz_addr = self.hzorder.hz_for_level(h, z.ravel())
+            coords, hz_addr = plan
             local = tuple(c - region.lo[a] for a, c in enumerate(coords))
             buf[hz_addr] = arr[np.ix_(*local)].ravel()
 
         self._update_stats(f_idx, arr)
+
+    def _buffer_for(self, t_idx: int, f_idx: int, dtype: np.dtype) -> np.ndarray:
+        """HZ buffer of (time, field), materialising a private copy when the
+        buffer is shared with a replicated timestep (copy-on-write)."""
+        key = (t_idx, f_idx)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.full(self.hzorder.total_samples, self.header.fill_value, dtype=dtype)
+            self._buffers[key] = buf
+        elif any(other is buf for k, other in self._buffers.items() if k != key):
+            buf = buf.copy()
+            self._buffers[key] = buf
+        return buf
+
+    def replicate_timestep(
+        self,
+        *,
+        field: Optional[str] = None,
+        from_time: Optional[int] = None,
+        to_times: Iterable[int] = (),
+    ) -> None:
+        """Share one timestep's written HZ buffer with other timesteps.
+
+        The scatter work (and, at finalize, the per-block encode and the
+        on-disk payload bytes) happens once; the target timesteps alias the
+        source buffer until one of them is written again, at which point it
+        gets a private copy (copy-on-write).  This is how converters ingest
+        *static* variables on a shared time axis without repeating the HZ
+        scatter once per timestep.
+        """
+        if not self._writable or self._finalized:
+            raise IdxError("dataset is not writable")
+        f_idx = self.header.field_index(field)
+        src = self._buffers.get((self.header.time_index(from_time), f_idx))
+        if src is None:
+            raise IdxError(f"timestep {from_time} of field {field!r} has not been written")
+        for t in to_times:
+            self._buffers[(self.header.time_index(t), f_idx)] = src
 
     def _update_stats(self, f_idx: int, arr: np.ndarray) -> None:
         stats = self.header.stats.setdefault(self.fields[f_idx], {})
@@ -249,26 +295,108 @@ class IdxDataset:
             lo, hi = float(finite.min()), float(finite.max())
             stats["min"] = min(stats.get("min", lo), lo)
             stats["max"] = max(stats.get("max", hi), hi)
-            stats["mean"] = float(finite.mean())
+            # Running (count, sum) so tile-at-a-time ingest reports the true
+            # mean over everything written, not the last tile's mean.
+            count, total = self._stat_accum.get(f_idx, (0, 0.0))
+            count += int(finite.size)
+            total += float(finite.sum(dtype=np.float64))
+            self._stat_accum[f_idx] = (count, total)
+            stats["mean"] = total / count
 
-    def finalize(self) -> str:
-        """Encode blocks and write the IDX file; returns the path."""
+    # -- finalize --------------------------------------------------------------
+
+    def _encode_jobs(self) -> Tuple[List[Tuple[Tuple[int, int], np.ndarray]], Dict[Tuple[int, int], Tuple[int, int]]]:
+        """Distinct buffers to encode, plus the alias map for shared ones.
+
+        Replicated timesteps alias the same ndarray; encoding it once and
+        sharing the payload objects keeps both the encode work and (via
+        payload dedup in :func:`write_idx_file`) the file bytes shared.
+        """
+        originals: List[Tuple[Tuple[int, int], np.ndarray]] = []
+        aliases: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        by_id: Dict[int, Tuple[int, int]] = {}
+        for key in sorted(self._buffers):
+            buf = self._buffers[key]
+            canonical = by_id.get(id(buf))
+            if canonical is None:
+                by_id[id(buf)] = key
+                originals.append((key, buf))
+            else:
+                aliases[key] = canonical
+        return originals, aliases
+
+    def finalize(self, *, workers: int = 1) -> str:
+        """Encode blocks and write the IDX file; returns the path.
+
+        ``workers > 1`` fans the per-block codec encodes over a bounded
+        thread pool (zlib/DEFLATE release the GIL); submission is chunked so
+        at most ``8 * workers`` encodes are in flight.  The output file is
+        byte-identical to ``workers=1`` at any worker count: each block is
+        encoded independently and written in the same sorted order.  The
+        encode accounting lands in :attr:`last_encode_stats`.
+        """
         if not self._writable:
             raise IdxError("dataset is read-only")
         if self._finalized:
             raise IdxError("dataset already finalized")
         if self.path is None:
             raise IdxError("no output path")
+        if workers < 1:
+            raise IdxError("workers must be >= 1")
         codec = self.header.codec_obj()
+        if workers > 1 and not getattr(codec, "thread_safe", False):
+            workers = 1  # non-reentrant codec: keep the exact serial path
         fill = self.header.fill_value
-        blocks: Dict[Tuple[int, int, int], bytes] = {}
         bsize = self.layout.block_size
-        for (t_idx, f_idx), buf in self._buffers.items():
+        stats = EncodeStats(workers=workers)
+        wall0 = _time.perf_counter()
+        cpu0 = _time.process_time()
+
+        originals, aliases = self._encode_jobs()
+        jobs: List[Tuple[Tuple[int, int, int], np.ndarray]] = [
+            ((t, f, bid), buf[bid * bsize : (bid + 1) * bsize])
+            for (t, f), buf in originals
+            for bid in range(self.layout.num_blocks)
+        ]
+        stats.blocks_total = len(jobs) + len(aliases) * self.layout.num_blocks
+
+        def encode(job: Tuple[Tuple[int, int, int], np.ndarray]) -> Optional[bytes]:
+            _, chunk = job
+            if _all_fill(chunk, fill):
+                return None
+            return codec.encode_array(chunk)
+
+        blocks: Dict[Tuple[int, int, int], bytes] = {}
+        if workers == 1:
+            encoded = map(encode, jobs)
+            for (key, _), payload in zip(jobs, encoded):
+                if payload is not None:
+                    blocks[key] = payload
+        else:
+            chunk_size = 8 * workers  # bounds in-flight payloads/futures
+            with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="idx-encode") as pool:
+                for start in range(0, len(jobs), chunk_size):
+                    window = jobs[start : start + chunk_size]
+                    for (key, _), payload in zip(window, pool.map(encode, window)):
+                        if payload is not None:
+                            blocks[key] = payload
+        stats.blocks_encoded = len(blocks)
+        # Replicated timesteps reuse the canonical payload *objects*:
+        # write_idx_file dedups identical objects, so shared blocks cost
+        # neither encode time nor file bytes.
+        for key, canonical in aliases.items():
+            t, f = key
+            ct, cf = canonical
             for bid in range(self.layout.num_blocks):
-                chunk = buf[bid * bsize : (bid + 1) * bsize]
-                if _all_fill(chunk, fill):
-                    continue
-                blocks[(t_idx, f_idx, bid)] = codec.encode_array(chunk)
+                payload = blocks.get((ct, cf, bid))
+                if payload is not None:
+                    blocks[(t, f, bid)] = payload
+                    stats.blocks_shared += 1
+        stats.blocks_skipped_fill = stats.blocks_total - stats.blocks_encoded - stats.blocks_shared
+        stats.encoded_bytes = sum(len(p) for p in blocks.values())
+        stats.cpu_seconds = _time.process_time() - cpu0
+        stats.wall_seconds = _time.perf_counter() - wall0
+        self.last_encode_stats = stats
         # Embed the integrity manifest so readers can verify the payloads
         # (see repro.idx.verify)...
         from repro.idx.verify import MANIFEST_KEY, checksum_manifest

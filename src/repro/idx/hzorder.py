@@ -22,11 +22,12 @@ loops; per-bit loops are bounded by ``maxh <= 62``.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.idx.bitmask import Bitmask
+from repro.util.arrays import Box, ceil_div
 
 __all__ = ["HzOrder"]
 
@@ -156,6 +157,41 @@ class HzOrder:
         k = _U64(self.maxh - h)
         m = hz - (_U64(1) << _U64(h - 1))
         return (m << (k + _U64(1))) | (_U64(1) << k)
+
+    # -- level-wise scatter/gather planning ------------------------------------
+
+    def level_plan(
+        self, h: int, box: Box
+    ) -> Optional[Tuple[List[np.ndarray], np.ndarray]]:
+        """Per-axis lattice coords of level-``h`` delta samples inside ``box``
+        and their flat HZ addresses.
+
+        This is the one shared planner behind every HZ scatter and gather:
+        ``IdxDataset.write`` / ``write_region`` use it to place samples into
+        the HZ buffer, and ``BoxQuery.execute`` uses it to locate the samples
+        to fetch.  The per-axis coordinates are combined into Z addresses by
+        a broadcasted OR of 1-D partial components, so the coordinate
+        meshgrid is never materialised; ``hz`` is returned raveled in the
+        same C order as ``arr[np.ix_(*coords)].ravel()``.
+
+        Returns ``None`` when the box contains no level-``h`` delta samples.
+        """
+        phase, step = self.bitmask.delta_lattice(h)
+        coords: List[np.ndarray] = []
+        for a in range(self.bitmask.ndim):
+            lo, hi = box.lo[a], box.hi[a]
+            first = phase[a] if lo <= phase[a] else phase[a] + ceil_div(lo - phase[a], step[a]) * step[a]
+            c = np.arange(first, hi, step[a], dtype=np.int64)
+            if c.size == 0:
+                return None
+            coords.append(c)
+        z = self.axis_z_component(0, coords[0])
+        z = z.reshape(z.shape + (1,) * (self.bitmask.ndim - 1))
+        for a in range(1, self.bitmask.ndim):
+            comp = self.axis_z_component(a, coords[a])
+            comp = comp.reshape((1,) * a + comp.shape + (1,) * (self.bitmask.ndim - 1 - a))
+            z = z | comp
+        return coords, self.hz_for_level(h, z.ravel())
 
     # -- point-level conveniences ---------------------------------------------
 

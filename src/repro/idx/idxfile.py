@@ -206,6 +206,9 @@ def write_idx_file(
 
     cursor = data_offset
     ordered: List[bytes] = []
+    # Identical payload *objects* (replicated timesteps sharing encoded
+    # blocks) are stored once; their table entries point at the same span.
+    placed: Dict[int, Tuple[int, int]] = {}
     for key in sorted(blocks):
         t, f, b = key
         if not (0 <= t < n_time and 0 <= f < n_field and 0 <= b < n_block):
@@ -213,10 +216,14 @@ def write_idx_file(
         payload = blocks[key]
         if len(payload) == 0:
             continue
-        table[t, f, b, 0] = cursor
-        table[t, f, b, 1] = len(payload)
-        ordered.append(payload)
-        cursor += len(payload)
+        span = placed.get(id(payload))
+        if span is None:
+            span = (cursor, len(payload))
+            placed[id(payload)] = span
+            ordered.append(payload)
+            cursor += len(payload)
+        table[t, f, b, 0] = span[0]
+        table[t, f, b, 1] = span[1]
 
     with open(path, "wb") as fh:
         fh.write(_PREFIX.pack(_MAGIC, len(header_json)))

@@ -106,19 +106,6 @@ class BoxQuery:
 
     # -- gather machinery ---------------------------------------------------
 
-    def _delta_axis_coords(self, h: int) -> Optional[List[np.ndarray]]:
-        """Per-axis coordinates of level-``h`` delta samples inside the box."""
-        phase, step = self.bitmask.delta_lattice(h)
-        coords: List[np.ndarray] = []
-        for a in range(self.bitmask.ndim):
-            lo, hi = self.box.lo[a], self.box.hi[a]
-            first = _first_on_lattice(lo, phase[a], step[a])
-            c = np.arange(first, hi, step[a], dtype=np.int64)
-            if c.size == 0:
-                return None
-            coords.append(c)
-        return coords
-
     def _gather(
         self,
         hz_flat: np.ndarray,
@@ -185,17 +172,10 @@ class BoxQuery:
         plan: List[Tuple[int, List[np.ndarray], np.ndarray]] = []
         all_bids: List[np.ndarray] = []
         for h in range(0, h_end + 1):
-            coords = self._delta_axis_coords(h)
-            if coords is None:
+            level = self.hz.level_plan(h, self.box)
+            if level is None:
                 continue
-            # Broadcasted OR of per-axis partial z addresses.
-            z = self.hz.axis_z_component(0, coords[0])
-            z = z.reshape(z.shape + (1,) * (self.bitmask.ndim - 1))
-            for a in range(1, self.bitmask.ndim):
-                comp = self.hz.axis_z_component(a, coords[a])
-                comp = comp.reshape((1,) * a + comp.shape + (1,) * (self.bitmask.ndim - 1 - a))
-                z = z | comp
-            hz_addr = self.hz.hz_for_level(h, z.ravel())
+            coords, hz_addr = level
             plan.append((h, coords, hz_addr))
             all_bids.append(self.layout.block_of(hz_addr))
         if all_bids:

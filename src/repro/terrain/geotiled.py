@@ -15,9 +15,9 @@ release the GIL in their inner loops).
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from repro.terrain.parameters import (
 )
 from repro.util.arrays import Box, ceil_div
 
-__all__ = ["GeoTiler", "TileSpec", "compute_tiled", "partition"]
+__all__ = ["GeoTiler", "TileSpec", "compute_tiled", "iter_tiles", "partition"]
 
 
 @dataclass(frozen=True)
@@ -84,6 +84,42 @@ def partition(
     return tiles
 
 
+def iter_tiles(
+    dem: np.ndarray,
+    kernel: Callable[[np.ndarray], np.ndarray],
+    *,
+    grid: Tuple[int, int] = (4, 4),
+    halo: int = 1,
+    workers: int = 1,
+) -> Iterator[Tuple[TileSpec, np.ndarray]]:
+    """Yield ``(tile, core)`` pairs as tiles finish computing.
+
+    This is the streaming form of :func:`compute_tiled`: instead of
+    mosaicking the full raster first, each halo-cropped core is handed to
+    the consumer as soon as its kernel completes, so a downstream writer
+    (e.g. ``IdxDataset.write_region``) can scatter tile ``i`` while tile
+    ``i+1`` is still computing.  With ``workers > 1`` tiles arrive in
+    completion order; with ``workers <= 1`` in partition order.  Peak
+    memory is one padded tile per in-flight worker, never the mosaic.
+    """
+    dem = np.asarray(dem)
+    tiles = partition(dem.shape, grid, halo=halo)
+
+    def run(tile: TileSpec) -> Tuple[TileSpec, np.ndarray]:
+        padded = kernel(dem[tile.padded.to_slices()])
+        oy, ox = tile.halo_offset
+        ch, cw = tile.core.shape
+        return tile, padded[oy : oy + ch, ox : ox + cw]
+
+    if workers <= 1:
+        yield from map(run, tiles)
+        return
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(run, tile) for tile in tiles]
+        for fut in as_completed(futures):
+            yield fut.result()
+
+
 def compute_tiled(
     dem: np.ndarray,
     kernel: Callable[[np.ndarray], np.ndarray],
@@ -103,19 +139,7 @@ def compute_tiled(
     tiles = partition(dem.shape, grid, halo=halo)
     probe = kernel(dem[tiles[0].padded.to_slices()][:3, :3])
     out = np.empty(dem.shape, dtype=probe.dtype)
-
-    def run(tile: TileSpec) -> Tuple[TileSpec, np.ndarray]:
-        padded = kernel(dem[tile.padded.to_slices()])
-        oy, ox = tile.halo_offset
-        ch, cw = tile.core.shape
-        return tile, padded[oy : oy + ch, ox : ox + cw]
-
-    if workers <= 1:
-        results = map(run, tiles)
-    else:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(run, tiles))
-    for tile, core in results:
+    for tile, core in iter_tiles(dem, kernel, grid=grid, halo=halo, workers=workers):
         out[tile.core.to_slices()] = core
     return out
 
@@ -171,6 +195,42 @@ class GeoTiler:
                 dem, kernel, grid=self.grid, halo=use_halo, workers=self.workers
             )
         return products
+
+    def stream(
+        self,
+        dem: np.ndarray,
+        *,
+        parameters: Sequence[str] = ("elevation", "aspect", "slope", "hillshade"),
+        halo: Optional[int] = None,
+        **kernel_kwargs,
+    ) -> Iterator[Tuple[str, TileSpec, np.ndarray]]:
+        """Yield ``(parameter, tile, core)`` triples as tiles complete.
+
+        The streaming form of :meth:`compute`: no per-parameter mosaic is
+        assembled, so a consumer scattering tiles into an IDX dataset
+        overlaps terrain computation (Step 1) with HZ ingest (Step 2).
+        Unbounded-footprint parameters (flow accumulation) have no
+        exactness-preserving halo; they arrive as one full-domain "tile".
+        """
+        dem = np.asarray(dem)
+        unknown = set(parameters) - set(TERRAIN_PARAMETERS)
+        if unknown:
+            raise ValueError(f"unknown parameters: {sorted(unknown)}")
+        full = Box.from_shape(dem.shape)
+        for name in parameters:
+            needed = PARAMETER_STENCIL_RADIUS[name]
+            if needed == GLOBAL_STENCIL:
+                raster = compute_parameter(name, dem, self.cellsize, **kernel_kwargs)
+                yield name, TileSpec((0, 0), full, full), raster
+                continue
+            use_halo = needed if halo is None else max(halo, needed)
+            kernel = lambda tile, _n=name: compute_parameter(  # noqa: E731
+                _n, tile, self.cellsize, **kernel_kwargs
+            )
+            for tile, core in iter_tiles(
+                dem, kernel, grid=self.grid, halo=use_halo, workers=self.workers
+            ):
+                yield name, tile, core
 
     def compute_global(
         self,

@@ -1,0 +1,198 @@
+"""Tests for batched conversion (convert_many) and its wiring through the
+workflow step, the CLI, and the dashboard session."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.dashboard.session import DashboardSession
+from repro.formats.ncdf import NcdfFile, write_ncdf
+from repro.formats.tiff import write_tiff
+from repro.idx import ConversionJob, IdxDataset, convert_many, ncdf_to_idx
+from repro.idx.idxfile import IdxError
+
+
+@pytest.fixture
+def tiff_batch(tmp_path, rng):
+    """Four valid TIFFs, returned as (source, dest) job pairs."""
+    jobs = []
+    for i in range(4):
+        a = rng.random((48, 64)).astype(np.float32) + i
+        src = str(tmp_path / f"t{i}.tif")
+        write_tiff(src, a)
+        jobs.append((src, str(tmp_path / f"t{i}.idx")))
+    return jobs
+
+
+class TestConvertMany:
+    def test_all_jobs_convert(self, tiff_batch):
+        batch = convert_many(tiff_batch, workers=3)
+        assert batch.ok and len(batch.succeeded) == 4
+        for (src, dst), report in zip(tiff_batch, batch.reports):
+            assert report.idx_path == dst
+            assert os.path.exists(dst)
+            assert report.idx_bytes == os.path.getsize(dst)
+
+    def test_results_keep_input_order(self, tiff_batch):
+        batch = convert_many(tiff_batch, workers=4)
+        assert [r.source_path for r in batch.reports] == [src for src, _ in tiff_batch]
+
+    def test_partial_failure_isolated(self, tmp_path, tiff_batch):
+        bad = str(tmp_path / "bad.tif")
+        with open(bad, "wb") as fh:
+            fh.write(b"garbage")
+        jobs = tiff_batch[:2] + [(bad, str(tmp_path / "bad.idx"))] + tiff_batch[2:]
+        batch = convert_many(jobs, workers=3)
+        assert not batch.ok
+        assert len(batch.succeeded) == 4
+        assert batch.errors[2] is not None and "TiffError" in batch.errors[2]
+        assert [i for i, e in enumerate(batch.errors) if e is not None] == [2]
+        assert len(batch.failed) == 1
+
+    def test_serial_and_parallel_agree(self, tiff_batch):
+        serial = convert_many(tiff_batch, workers=1)
+        parallel = convert_many(tiff_batch, workers=4)
+        assert serial.ok and parallel.ok
+        assert [r.idx_bytes for r in serial.reports] == [r.idx_bytes for r in parallel.reports]
+
+    def test_aggregate_accounting(self, tiff_batch):
+        batch = convert_many(tiff_batch, workers=2)
+        assert batch.source_bytes == sum(r.source_bytes for r in batch.reports)
+        assert batch.idx_bytes == sum(r.idx_bytes for r in batch.reports)
+        assert batch.ratio == pytest.approx(batch.idx_bytes / batch.source_bytes)
+        assert batch.wall_seconds > 0
+        assert batch.throughput_bytes_per_s > 0
+
+    def test_job_options_flow_to_converter(self, tiff_batch):
+        src, dst = tiff_batch[0]
+        job = ConversionJob.make(src, dst, field_name="elevation", codec="lz4")
+        batch = convert_many([job])
+        assert batch.ok
+        ds = IdxDataset.open(dst)
+        assert ds.fields == ("elevation",)
+        assert ds.header.codec == "lz4"
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        src = str(tmp_path / "x.bin")
+        with open(src, "wb") as fh:
+            fh.write(b"\x00")
+        batch = convert_many([(src, str(tmp_path / "x.idx"))])
+        assert not batch.ok and "IdxError" in batch.errors[0]
+
+    def test_workers_validated(self, tiff_batch):
+        with pytest.raises(IdxError):
+            convert_many(tiff_batch, workers=0)
+
+
+class TestNcdfStaticReplication:
+    def _write_nc(self, path, n_time=6):
+        nc = NcdfFile()
+        nc.add_dim("time", n_time)
+        nc.add_dim("y", 16)
+        nc.add_dim("x", 16)
+        temp = np.arange(n_time * 16 * 16, dtype=np.float32).reshape(n_time, 16, 16)
+        elev = np.linspace(0, 100, 256, dtype=np.float32).reshape(16, 16)
+        nc.add_variable("temperature", ("time", "y", "x"), temp)
+        nc.add_variable("elevation", ("y", "x"), elev)
+        write_ncdf(path, nc)
+        return temp, elev
+
+    def test_static_variable_replicated_not_rescattered(self, tmp_path):
+        src = str(tmp_path / "c.nc")
+        dst = str(tmp_path / "c.idx")
+        temp, elev = self._write_nc(src)
+        report = ncdf_to_idx(src, dst, bits_per_block=6)
+        ds = IdxDataset.open(dst)
+        for t in range(6):
+            assert np.array_equal(ds.read(field="elevation", time=t), elev)
+            assert np.array_equal(ds.read(field="temperature", time=t), temp[t])
+        # The static field's blocks were encoded once and shared 5 times.
+        assert report.encode_stats.blocks_shared > 0
+
+    def test_replication_shrinks_file(self, tmp_path, rng):
+        # Same data, two write strategies: replicate_timestep stores the
+        # payload once; an explicit per-timestep write stores it n times.
+        a = rng.random((32, 32)).astype(np.float32)
+        n_time = 12
+        rep, exp = str(tmp_path / "rep.idx"), str(tmp_path / "exp.idx")
+        ds = IdxDataset.create(rep, dims=a.shape, timesteps=n_time, bits_per_block=6)
+        ds.write(a, time=0)
+        ds.replicate_timestep(from_time=0, to_times=range(1, n_time))
+        ds.finalize()
+        ds = IdxDataset.create(exp, dims=a.shape, timesteps=n_time, bits_per_block=6)
+        for t in range(n_time):
+            ds.write(a, time=t)
+        ds.finalize()
+        assert os.path.getsize(rep) < 0.5 * os.path.getsize(exp)
+        assert np.array_equal(IdxDataset.open(rep).read(time=7), IdxDataset.open(exp).read(time=7))
+
+
+class TestStepAndSessionWiring:
+    def test_step2_parallel_matches_serial(self, tmp_path, rng):
+        from repro.core.steps import make_step1_generate, make_step2_convert
+
+        ctx = make_step1_generate(str(tmp_path / "tiff"), shape=(64, 64)).func({})
+        out_s = make_step2_convert(str(tmp_path / "ser"), workers=1).func(dict(ctx))
+        out_p = make_step2_convert(str(tmp_path / "par"), workers=4).func(dict(ctx))
+        assert sorted(out_s["idx_paths"]) == sorted(out_p["idx_paths"])
+        for name in out_s["idx_paths"]:
+            a = IdxDataset.open(out_s["idx_paths"][name]).read(field=name)
+            b = IdxDataset.open(out_p["idx_paths"][name]).read(field=name)
+            assert np.array_equal(a, b)
+
+    def test_step2_surfaces_all_failures(self, tmp_path):
+        from repro.core.steps import make_step2_convert
+
+        bad1 = str(tmp_path / "bad1.tif")
+        bad2 = str(tmp_path / "bad2.tif")
+        for p in (bad1, bad2):
+            with open(p, "wb") as fh:
+                fh.write(b"junk")
+        step = make_step2_convert(str(tmp_path / "out"), workers=2)
+        with pytest.raises(ValueError) as err:
+            step.func({"tiff_paths": {"b1": bad1, "b2": bad2}})
+        assert "2 file(s)" in str(err.value)
+
+    def test_session_import_files(self, tmp_path, tiff_batch):
+        session = DashboardSession(viewport=(64, 64))
+        sources = {f"layer{i}": src for i, (src, _) in enumerate(tiff_batch)}
+        sources["broken"] = str(tmp_path / "nope.tif")
+        batch = session.import_files(sources, str(tmp_path / "imported"), workers=3)
+        assert len(batch.succeeded) == 4 and len(batch.failed) == 1
+        assert sorted(session.dataset_names) == [f"layer{i}" for i in range(4)]
+        frame = session.current_frame()
+        assert frame.ndim == 3
+
+
+class TestCliBatch:
+    def test_batch_convert_command(self, tmp_path, tiff_batch, capsys):
+        sources = [src for src, _ in tiff_batch]
+        out_dir = str(tmp_path / "cli-out")
+        assert main(["batch-convert", *sources, "--out-dir", out_dir, "--workers", "2"]) == 0
+        assert "batch: 4/4 converted" in capsys.readouterr().out
+        assert len(os.listdir(out_dir)) == 4
+
+    def test_batch_convert_failure_exit_code(self, tmp_path, capsys):
+        bad = str(tmp_path / "bad.tif")
+        with open(bad, "wb") as fh:
+            fh.write(b"nope")
+        assert main(["batch-convert", bad, "--out-dir", str(tmp_path / "o")]) == 1
+
+    def test_convert_workers_flag(self, tmp_path, tiff_batch, capsys):
+        src, _ = tiff_batch[0]
+        dst = str(tmp_path / "w.idx")
+        assert main(["convert", src, dst, "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "encode:" in out
+
+    def test_ingest_command(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "ingest")
+        rc = main([
+            "ingest", "--out-dir", out_dir, "--size", "64", "--grid", "2,2",
+            "--workers", "2", "--parameters", "slope,hillshade",
+        ])
+        assert rc == 0
+        assert sorted(os.listdir(out_dir)) == ["hillshade.idx", "slope.idx"]
+        assert "blocks encoded" in capsys.readouterr().out

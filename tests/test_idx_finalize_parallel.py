@@ -1,0 +1,202 @@
+"""Tests for the parallel write path: finalize(workers=N), encode stats,
+timestep replication, and the running-mean field statistics."""
+
+import hashlib
+import os
+
+import numpy as np
+import pytest
+
+from repro.compression.registry import Codec, register_codec
+from repro.idx import IdxDataset
+from repro.idx.idxfile import IdxError
+from repro.util.arrays import block_iter
+
+
+def _file_digest(path: str) -> str:
+    with open(path, "rb") as fh:
+        return hashlib.sha256(fh.read()).hexdigest()
+
+
+def _build(path, array, *, codec="zlib:level=6", timesteps=1, workers=1, bits_per_block=7):
+    ds = IdxDataset.create(
+        path,
+        dims=array.shape,
+        fields={"value": str(array.dtype)},
+        codec=codec,
+        bits_per_block=bits_per_block,
+        timesteps=timesteps,
+    )
+    for t in range(timesteps):
+        ds.write(array + t, time=t)
+    ds.finalize(workers=workers)
+    return ds
+
+
+class TestParallelFinalizeByteIdentity:
+    @pytest.mark.parametrize("codec", ["zlib:level=6", "shuffle:level=6", "lz4", "identity", "rle"])
+    def test_workers_byte_identical_across_codecs(self, tmp_path, rng, codec):
+        a = rng.random((80, 120)).astype(np.float32)
+        digests = set()
+        for w in (1, 2, 4, 8):
+            path = str(tmp_path / f"{codec.split(':')[0]}-{w}.idx")
+            _build(path, a, codec=codec, workers=w)
+            digests.add(_file_digest(path))
+        assert len(digests) == 1
+
+    def test_multi_time_multi_field_identity(self, tmp_path, rng):
+        a = rng.random((48, 48)).astype(np.float32)
+        b = (rng.random((48, 48)) * 100).astype(np.float32)
+        digests = set()
+        for w in (1, 4):
+            path = str(tmp_path / f"mtf-{w}.idx")
+            ds = IdxDataset.create(
+                path, dims=a.shape, fields={"u": "float32", "v": "float32"},
+                timesteps=3, bits_per_block=6,
+            )
+            for t in range(3):
+                ds.write(a * (t + 1), field="u", time=t)
+                ds.write(b - t, field="v", time=t)
+            ds.finalize(workers=w)
+            digests.add(_file_digest(path))
+        assert len(digests) == 1
+
+    def test_parallel_output_reads_back(self, tmp_path, rng):
+        a = rng.random((64, 96)).astype(np.float32)
+        path = str(tmp_path / "p.idx")
+        _build(path, a, workers=4)
+        assert np.array_equal(IdxDataset.open(path).read(), a)
+
+    def test_workers_validated(self, tmp_path):
+        ds = IdxDataset.create(str(tmp_path / "w.idx"), dims=(8, 8))
+        ds.write(np.zeros((8, 8), dtype=np.float32))
+        with pytest.raises(IdxError):
+            ds.finalize(workers=0)
+
+
+class TestEncodeStats:
+    def test_counts_and_timing(self, tmp_path, rng):
+        a = rng.random((64, 64)).astype(np.float32)
+        path = str(tmp_path / "s.idx")
+        ds = _build(path, a, workers=2, bits_per_block=6)
+        s = ds.last_encode_stats
+        assert s is not None and s.workers == 2
+        # 64x64 = 4096 samples = 64 blocks of 64; all non-fill.
+        assert s.blocks_total == 64
+        assert s.blocks_encoded + s.blocks_skipped_fill + s.blocks_shared == s.blocks_total
+        assert s.blocks_encoded > 0 and s.encoded_bytes > 0
+        assert s.wall_seconds > 0 and s.cpu_seconds >= 0
+        assert set(s.to_dict()) >= {"workers", "blocks_encoded", "wall_seconds"}
+
+    def test_fill_blocks_skipped(self, tmp_path):
+        path = str(tmp_path / "f.idx")
+        ds = IdxDataset.create(path, dims=(64, 64), bits_per_block=6, fill_value=0.0)
+        patch = np.ones((4, 4), dtype=np.float32)
+        ds.write_region(patch, (0, 0))
+        ds.finalize()
+        s = ds.last_encode_stats
+        assert s.blocks_skipped_fill > 0
+        assert s.blocks_encoded < s.blocks_total
+
+    def test_non_thread_safe_codec_falls_back_to_serial(self, tmp_path, rng):
+        class StatefulCodec(Codec):
+            name = "stateful-test"
+            lossless = True
+            thread_safe = False
+
+            def encode_bytes(self, data: bytes) -> bytes:
+                return bytes(data)
+
+            def decode_bytes(self, data: bytes) -> bytes:
+                return bytes(data)
+
+        register_codec("stateful-test", StatefulCodec)
+        a = rng.random((32, 32)).astype(np.float32)
+        path = str(tmp_path / "nts.idx")
+        ds = _build(path, a, codec="stateful-test", workers=8, bits_per_block=6)
+        assert ds.last_encode_stats.workers == 1  # fell back
+        assert np.array_equal(IdxDataset.open(path).read(), a)
+
+
+class TestReplicateTimestep:
+    def test_replicated_reads_equal(self, tmp_path, rng):
+        a = rng.random((32, 32)).astype(np.float32)
+        path = str(tmp_path / "r.idx")
+        ds = IdxDataset.create(path, dims=a.shape, timesteps=4, bits_per_block=6)
+        ds.write(a, time=0)
+        ds.replicate_timestep(from_time=0, to_times=[1, 2, 3])
+        ds.finalize()
+        out = IdxDataset.open(path)
+        for t in range(4):
+            assert np.array_equal(out.read(time=t), a)
+
+    def test_blocks_encoded_once_and_stored_once(self, tmp_path, rng):
+        a = rng.random((32, 32)).astype(np.float32)
+        rep = str(tmp_path / "rep.idx")
+        ds = IdxDataset.create(rep, dims=a.shape, timesteps=8, bits_per_block=6)
+        ds.write(a, time=0)
+        ds.replicate_timestep(from_time=0, to_times=range(1, 8))
+        ds.finalize()
+        s = ds.last_encode_stats
+        assert s.blocks_shared == 7 * s.blocks_encoded
+
+        # Every replica re-encoded/stored separately would multiply payload
+        # bytes by 8; sharing keeps the file close to the 1-timestep size
+        # (the block table still grows with timesteps).
+        solo = str(tmp_path / "solo.idx")
+        ds1 = IdxDataset.create(solo, dims=a.shape, timesteps=1, bits_per_block=6)
+        ds1.write(a)
+        ds1.finalize()
+        payload = os.path.getsize(solo)
+        assert os.path.getsize(rep) < payload + 7 * (payload // 2)
+
+    def test_copy_on_write_after_replicate(self, tmp_path, rng):
+        a = rng.random((32, 32)).astype(np.float32)
+        b = rng.random((32, 32)).astype(np.float32)
+        path = str(tmp_path / "cow.idx")
+        ds = IdxDataset.create(path, dims=a.shape, timesteps=3, bits_per_block=6)
+        ds.write(a, time=0)
+        ds.replicate_timestep(from_time=0, to_times=[1, 2])
+        ds.write(b, time=1)  # must not clobber timesteps 0 and 2
+        ds.finalize()
+        out = IdxDataset.open(path)
+        assert np.array_equal(out.read(time=0), a)
+        assert np.array_equal(out.read(time=1), b)
+        assert np.array_equal(out.read(time=2), a)
+
+    def test_replicate_requires_written_source(self, tmp_path):
+        ds = IdxDataset.create(str(tmp_path / "e.idx"), dims=(8, 8), timesteps=2)
+        with pytest.raises(IdxError):
+            ds.replicate_timestep(from_time=0, to_times=[1])
+
+
+class TestRunningMeanStats:
+    def test_tilewise_ingest_reports_true_mean(self, tmp_path, rng):
+        a = rng.random((64, 96)).astype(np.float32) * 100
+        path = str(tmp_path / "m.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=7)
+        for box in block_iter(a.shape, (16, 32)):
+            ds.write_region(a[box.to_slices()], box.lo)
+        ds.finalize()
+        stats = IdxDataset.open(path).field_stats()
+        assert stats["mean"] == pytest.approx(float(a.mean()), rel=1e-5)
+        assert stats["min"] == pytest.approx(float(a.min()))
+        assert stats["max"] == pytest.approx(float(a.max()))
+
+    def test_mean_not_last_tile_mean(self, tmp_path):
+        path = str(tmp_path / "m2.idx")
+        ds = IdxDataset.create(path, dims=(32, 32), bits_per_block=6)
+        ds.write_region(np.zeros((32, 16), dtype=np.float32), (0, 0))
+        ds.write_region(np.full((32, 16), 10.0, dtype=np.float32), (0, 16))
+        ds.finalize()
+        stats = IdxDataset.open(path).field_stats()
+        assert stats["mean"] == pytest.approx(5.0)  # not 10.0
+
+    def test_nan_samples_excluded(self, tmp_path):
+        a = np.full((16, 16), 4.0, dtype=np.float32)
+        a[:8] = np.nan
+        path = str(tmp_path / "m3.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=6)
+        ds.write(a)
+        ds.finalize()
+        assert IdxDataset.open(path).field_stats()["mean"] == pytest.approx(4.0)

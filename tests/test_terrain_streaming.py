@@ -1,0 +1,115 @@
+"""Tests for the streaming GEOtiled→IDX ingest path (tiles flow into
+write_region as they complete, no mosaic intermediate)."""
+
+import numpy as np
+import pytest
+
+from repro.idx import IdxDataset, geotiled_to_idx
+from repro.terrain.dem import composite_terrain
+from repro.terrain.geotiled import GeoTiler, compute_tiled, iter_tiles
+from repro.terrain.parameters import compute_parameter
+
+
+@pytest.fixture
+def dem():
+    return composite_terrain((96, 128), seed=3)
+
+
+def _slope(tile):
+    return compute_parameter("slope", tile, 30.0)
+
+
+class TestIterTiles:
+    def test_cores_cover_domain_disjointly(self, dem):
+        seen = np.zeros(dem.shape, dtype=int)
+        for tile, core in iter_tiles(dem, _slope, grid=(3, 4), halo=1):
+            assert core.shape == tile.core.shape
+            seen[tile.core.to_slices()] += 1
+        assert (seen == 1).all()
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_matches_compute_tiled(self, dem, workers):
+        mosaic = compute_tiled(dem, _slope, grid=(2, 3), halo=1, workers=1)
+        out = np.empty_like(mosaic)
+        for tile, core in iter_tiles(dem, _slope, grid=(2, 3), halo=1, workers=workers):
+            out[tile.core.to_slices()] = core
+        assert np.array_equal(out, mosaic)
+
+    def test_parallel_yields_all_tiles(self, dem):
+        tiles = list(iter_tiles(dem, _slope, grid=(4, 4), halo=1, workers=8))
+        assert len(tiles) == 16
+        assert len({t.index for t, _ in tiles}) == 16
+
+
+class TestGeoTilerStream:
+    def test_stream_covers_all_parameters(self, dem):
+        tiler = GeoTiler(grid=(2, 2), workers=2)
+        names = set()
+        seen = {}
+        for name, tile, core in tiler.stream(dem, parameters=("slope", "aspect")):
+            names.add(name)
+            seen.setdefault(name, np.zeros(dem.shape, dtype=int))
+            seen[name][tile.core.to_slices()] += 1
+        assert names == {"slope", "aspect"}
+        for cover in seen.values():
+            assert (cover == 1).all()
+
+    def test_stream_reassembles_to_compute(self, dem):
+        tiler = GeoTiler(grid=(3, 2), workers=1)
+        products = tiler.compute(dem, parameters=("hillshade",))
+        out = np.empty_like(products["hillshade"])
+        for _, tile, core in tiler.stream(dem, parameters=("hillshade",)):
+            out[tile.core.to_slices()] = core
+        assert np.array_equal(out, products["hillshade"])
+
+    def test_global_stencil_parameter_arrives_whole(self, dem):
+        tiler = GeoTiler(grid=(2, 2))
+        chunks = list(tiler.stream(dem, parameters=("flow_accumulation",)))
+        assert len(chunks) == 1
+        name, tile, core = chunks[0]
+        assert name == "flow_accumulation"
+        assert core.shape == dem.shape
+        assert tile.core.shape == dem.shape
+
+    def test_unknown_parameter_rejected(self, dem):
+        with pytest.raises(ValueError):
+            list(GeoTiler().stream(dem, parameters=("bogus",)))
+
+
+class TestStreamingIngestEquivalence:
+    @pytest.mark.parametrize("tile_workers,encode_workers", [(1, 1), (4, 2)])
+    def test_streaming_equals_mosaic_first(self, tmp_path, dem, tile_workers, encode_workers):
+        reports = geotiled_to_idx(
+            dem,
+            str(tmp_path / "stream"),
+            parameters=("slope", "aspect"),
+            grid=(2, 3),
+            tile_workers=tile_workers,
+            encode_workers=encode_workers,
+            bits_per_block=8,
+        )
+        tiler = GeoTiler(grid=(2, 3), workers=1)
+        products = tiler.compute(dem, parameters=("slope", "aspect"))
+        for name in ("slope", "aspect"):
+            streamed = IdxDataset.open(reports[name].idx_path).read(field=name)
+            assert np.array_equal(streamed, products[name])
+
+    def test_reports_and_stats(self, tmp_path, dem):
+        reports = geotiled_to_idx(
+            dem, str(tmp_path / "r"), parameters=("slope",), grid=(2, 2),
+            bits_per_block=8,
+        )
+        report = reports["slope"]
+        assert report.source_bytes == dem.nbytes
+        assert report.idx_bytes > 0
+        assert report.encode_stats is not None
+        assert report.encode_stats.blocks_encoded > 0
+        # The running-mean fix: tile-at-a-time ingest records the true mean.
+        ds = IdxDataset.open(report.idx_path)
+        expected = compute_tiled(dem, _slope, grid=(2, 2), halo=1)
+        assert ds.field_stats("slope")["mean"] == pytest.approx(float(expected.mean()), rel=1e-5)
+
+    def test_streaming_ingest_field_dtype(self, tmp_path, dem):
+        reports = geotiled_to_idx(dem, str(tmp_path / "d"), parameters=("elevation",), grid=(2, 2))
+        ds = IdxDataset.open(reports["elevation"].idx_path)
+        assert ds.header.field_dtype(0) == np.float32
