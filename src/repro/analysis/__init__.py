@@ -1,0 +1,50 @@
+"""repro-lint: AST-based static analysis for the repro codebase.
+
+PRs 1–2 made the block-I/O and ingest paths heavily concurrent, which
+introduced invariants that pytest alone cannot enforce: state guarded by
+``self._lock`` must only be touched under the lock, codecs advertising
+``thread_safe=True`` must not mutate instance state in ``encode``/``decode``,
+and no two code paths may acquire locks in inverted order.  This package
+encodes those invariants as machine-checked rules:
+
+- :mod:`repro.analysis.core` — ``Finding``/``Rule`` model, rule registry,
+  per-rule suppression comments (``# repro-lint: disable=<rule>``).
+- :mod:`repro.analysis.rules` — the built-in rule set (lock discipline,
+  codec purity, lock ordering, swallowed exceptions, executor hygiene).
+- :mod:`repro.analysis.runner` — file collection and rule driving.
+- :mod:`repro.analysis.reporters` — text and JSON output.
+- :mod:`repro.analysis.sanitizer` — the *runtime* companion: an
+  instrumented lock wrapper that detects lock-order inversions and long
+  hold times while the concurrency stress tests run
+  (``REPRO_SANITIZE=1``).
+
+Run it as ``python -m repro.analysis src/repro`` or ``repro lint``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+)
+from repro.analysis.runner import LintResult, collect_files, load_module, run_lint
+
+# Importing the rules package registers every built-in rule.
+from repro.analysis import rules as _rules  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "collect_files",
+    "get_rule",
+    "load_module",
+    "register_rule",
+    "run_lint",
+]

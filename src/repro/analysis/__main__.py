@@ -1,0 +1,69 @@
+"""``python -m repro.analysis`` — run repro-lint from the command line.
+
+Exit codes: 0 clean, 1 findings, 2 internal error (unreadable path,
+unknown rule, rule crash).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import traceback
+from typing import List, Optional
+
+__all__ = ["build_parser", "main"]
+
+
+def _default_target() -> str:
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based concurrency & invariant linter for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        from repro.analysis import all_rules, run_lint
+        from repro.analysis.reporters import render_json, render_text
+
+        if args.list_rules:
+            for rule in all_rules():
+                print(f"{rule.name:<22s} {rule.description}")
+            return 0
+        paths = args.paths or [_default_target()]
+        rules = [r.strip() for r in args.rules.split(",")] if args.rules else None
+        result = run_lint(paths, rules=rules)
+        print(render_json(result) if args.json else render_text(result))
+        return 0 if result.ok else 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        raise
+    except Exception:
+        traceback.print_exc()
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    raise SystemExit(main())

@@ -1,0 +1,232 @@
+"""Core model for repro-lint: findings, rules, registry, suppressions.
+
+A :class:`Rule` inspects one parsed module (``scope = "module"``) or the
+whole module set at once (``scope = "project"``, used by cross-module
+analyses like lock ordering) and yields :class:`Finding` objects.  The
+runner filters findings through suppression comments before reporting.
+
+Suppression syntax, checked per rule name::
+
+    self._bytes += n  # repro-lint: disable=lock-discipline
+
+    # repro-lint: disable=swallowed-exception
+    except CorruptBlock:
+        pass
+
+A trailing comment suppresses its own line; a comment-only line
+suppresses the line below it.  ``disable=all`` silences every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "Suppressions",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\-\s]+)")
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class Suppressions:
+    """Per-line suppression map parsed from ``# repro-lint:`` comments."""
+
+    def __init__(self, lines: Sequence[str]) -> None:
+        self._by_line: Dict[int, Set[str]] = {}
+        for lineno, text in enumerate(lines, start=1):
+            m = _SUPPRESS_RE.search(text)
+            if not m:
+                continue
+            names = {part.strip() for part in m.group(1).split(",") if part.strip()}
+            # A comment-only line shields the next line; a trailing
+            # comment shields its own.
+            target = lineno + 1 if _COMMENT_ONLY_RE.match(text) else lineno
+            self._by_line.setdefault(target, set()).update(names)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        names = self._by_line.get(line)
+        if not names:
+            return False
+        return rule in names or "all" in names
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file handed to rules."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    _suppressions: Optional[Suppressions] = None
+
+    @property
+    def suppressions(self) -> Suppressions:
+        if self._suppressions is None:
+            self._suppressions = Suppressions(self.lines)
+        return self._suppressions
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleInfo":
+        tree = ast.parse(source, filename=path)
+        return cls(path=path, source=source, tree=tree, lines=source.splitlines())
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``name`` (the registry key used by suppressions and
+    ``--rules``), ``description``, and ``scope``; module rules implement
+    :meth:`check`, project rules :meth:`check_project`.
+    """
+
+    name: str = "abstract"
+    description: str = ""
+    #: "module" rules see one file at a time; "project" rules see them all.
+    scope: str = "module"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check_project(self, modules: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # -- helpers shared by the concurrency rules -----------------------------
+
+    @staticmethod
+    def self_attr(node: ast.AST) -> Optional[str]:
+        """``self.X`` -> ``"X"``, else None."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (idempotent by name)."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError(f"rule {cls!r} needs a non-default name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by name."""
+    return [_REGISTRY[name]() for name in sorted(_REGISTRY)]
+
+
+def get_rule(name: str) -> Rule:
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def iter_lock_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Names of ``self.X`` attributes bound to ``threading.Lock()``/``RLock()``.
+
+    Recognised forms: ``self.X = threading.Lock()``, ``= threading.RLock()``,
+    ``= Lock()``, ``= RLock()`` anywhere in the class body.
+    """
+    locks: Set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        func = node.value.func
+        callee = None
+        if isinstance(func, ast.Attribute):
+            callee = func.attr
+        elif isinstance(func, ast.Name):
+            callee = func.id
+        if callee not in ("Lock", "RLock"):
+            continue
+        for target in node.targets:
+            attr = Rule.self_attr(target)
+            if attr is not None:
+                locks.add(attr)
+    return locks
+
+
+def with_lock_attrs(node: ast.With, lock_attrs: Set[str]) -> List[str]:
+    """Lock attributes acquired by a ``with`` statement's items."""
+    acquired: List[str] = []
+    for item in node.items:
+        attr = Rule.self_attr(item.context_expr)
+        if attr is not None and attr in lock_attrs:
+            acquired.append(attr)
+    return acquired
+
+
+def iter_methods(cls: ast.ClassDef) -> Iterator["ast.FunctionDef | ast.AsyncFunctionDef"]:
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def iter_classes(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    """Top-level and nested class definitions."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def dump_location(module: ModuleInfo, node: ast.AST) -> str:
+    return f"{module.path}:{getattr(node, 'lineno', 0)}"
+
+
+def filter_suppressed(
+    findings: Iterable[Finding], modules_by_path: Dict[str, ModuleInfo]
+) -> List[Finding]:
+    kept: List[Finding] = []
+    for f in findings:
+        module = modules_by_path.get(f.path)
+        if module is not None and module.suppressions.is_suppressed(f.rule, f.line):
+            continue
+        kept.append(f)
+    return kept

@@ -1,0 +1,39 @@
+"""Text and JSON rendering for lint results."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.runner import LintResult
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(result: LintResult) -> str:
+    """Compiler-style ``path:line:col: rule: message`` lines plus a summary."""
+    lines = [f.format() for f in result.findings]
+    counts = result.counts_by_rule()
+    if result.findings:
+        breakdown = ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
+        lines.append(
+            f"{len(result.findings)} finding(s) in {len(result.files)} file(s) "
+            f"({breakdown})"
+        )
+    else:
+        lines.append(
+            f"clean: {len(result.files)} file(s), "
+            f"{len(result.rules)} rule(s) ({', '.join(result.rules)})"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "version": 1,
+        "ok": result.ok,
+        "files_scanned": len(result.files),
+        "rules": list(result.rules),
+        "counts": result.counts_by_rule(),
+        "findings": [f.to_dict() for f in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,27 @@
+"""Built-in repro-lint rules.
+
+Importing this package registers every rule with the
+:mod:`repro.analysis.core` registry:
+
+- ``lock-discipline``     state guarded by ``self._lock`` stays under it
+- ``codec-purity``        ``thread_safe`` codecs never mutate ``self``
+- ``lock-order``          the static lock-acquisition graph is acyclic
+- ``swallowed-exception`` no bare/blind ``except: pass``
+- ``executor-hygiene``    executors are shut down, futures are consumed
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.codec_purity import CodecPurityRule
+from repro.analysis.rules.lock_order import LockOrderRule
+from repro.analysis.rules.swallowed_exceptions import SwallowedExceptionRule
+from repro.analysis.rules.executor_hygiene import ExecutorHygieneRule
+
+__all__ = [
+    "CodecPurityRule",
+    "ExecutorHygieneRule",
+    "LockDisciplineRule",
+    "LockOrderRule",
+    "SwallowedExceptionRule",
+]

@@ -1,0 +1,113 @@
+"""codec-purity: thread-safe codecs never mutate instance state.
+
+``IdxDataset.finalize(workers=N)`` and the parallel block fetcher both
+drive a *single* codec instance from many threads at once; the
+``Codec.thread_safe`` contract says that is sound because encode/decode
+keep all state on the stack.  This rule machine-checks the contract: in
+any class that looks like a codec (a base class named ``*Codec`` or an
+explicit class-level ``thread_safe`` attribute) and does **not** opt out
+with ``thread_safe = False``, the ``encode*``/``decode*`` methods must
+not write ``self.*`` — no assignments, no item stores, no in-place
+mutator calls.
+
+A codec that genuinely needs per-call state must either keep it local,
+or declare ``thread_safe = False`` (which makes ``finalize`` fall back
+to the exact serial path instead of corrupting streams).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    iter_classes,
+    iter_methods,
+    register_rule,
+)
+from repro.analysis.rules.lock_discipline import MUTATOR_METHODS, _write_targets
+
+__all__ = ["CodecPurityRule"]
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _declared_thread_safe(cls: ast.ClassDef) -> Optional[bool]:
+    """The class-level ``thread_safe`` value, if syntactically constant."""
+    for node in cls.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        if (
+            isinstance(target, ast.Name)
+            and target.id == "thread_safe"
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, bool)
+        ):
+            return value.value
+    return None
+
+
+def _is_codec_class(cls: ast.ClassDef) -> bool:
+    if _declared_thread_safe(cls) is not None:
+        return True
+    for base in cls.bases:
+        name = _base_name(base)
+        if name is not None and name.endswith("Codec"):
+            return True
+    return False
+
+
+@register_rule
+class CodecPurityRule(Rule):
+    name = "codec-purity"
+    description = (
+        "classes with thread_safe=True must not mutate self in encode*/decode*"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for cls in iter_classes(module.tree):
+            if not _is_codec_class(cls):
+                continue
+            # Explicit opt-out: the serial fallback handles the rest.
+            if _declared_thread_safe(cls) is False:
+                continue
+            yield from self._check_codec(module, cls)
+
+    def _check_codec(self, module: ModuleInfo, cls: ast.ClassDef) -> Iterator[Finding]:
+        for method in iter_methods(cls):
+            if not (method.name.startswith("encode") or method.name.startswith("decode")):
+                continue
+            for node in ast.walk(method):
+                for attr in _write_targets(node, self.self_attr):
+                    verb = (
+                        "mutates"
+                        if isinstance(node, ast.Call)
+                        else "assigns"
+                    )
+                    yield Finding(
+                        rule=self.name,
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"codec {cls.name} is thread_safe but {verb} "
+                            f"self.{attr} in {method.name}; keep state local or "
+                            f"declare thread_safe = False"
+                        ),
+                    )
+
+    # Re-export for introspection/tests.
+    MUTATORS = MUTATOR_METHODS

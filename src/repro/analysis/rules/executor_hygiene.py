@@ -1,0 +1,183 @@
+"""executor-hygiene: pools are shut down and futures are consumed.
+
+A ``ThreadPoolExecutor`` that is never shut down leaks worker threads
+for the process lifetime (and under the simulated clock, leaks pending
+charges); a ``submit`` whose future is discarded loses both the result
+*and the exception* — the classic silent-failure mode of concurrent
+code.  The rule enforces:
+
+- every ``ThreadPoolExecutor(...)``/``ProcessPoolExecutor(...)`` is
+  either used as a ``with`` context manager, or bound to a name/attr on
+  which ``.shutdown(...)`` is called within the enclosing scope (the
+  whole class for ``self._pool = ...``);
+- ``pool.submit(...)`` is never a bare expression statement (the future
+  must be stored, awaited, returned or passed on);
+- ``pool.map(...)`` / ``executor.map(...)`` is never a bare expression
+  statement (the lazy iterator would never run to completion).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register_rule
+
+__all__ = ["ExecutorHygieneRule"]
+
+_EXECUTOR_NAMES = frozenset({"ThreadPoolExecutor", "ProcessPoolExecutor"})
+_POOLISH = ("pool", "executor")
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _parents(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _enclosing(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST], kinds: tuple
+) -> Optional[ast.AST]:
+    cur = parents.get(node)
+    while cur is not None:
+        if isinstance(cur, kinds):
+            return cur
+        cur = parents.get(cur)
+    return None
+
+
+def _shutdown_called_on_name(scope: ast.AST, name: str) -> bool:
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "shutdown"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        ):
+            return True
+        # `with pool:` later in the scope also guarantees shutdown.
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Name) and item.context_expr.id == name:
+                    return True
+    return False
+
+
+def _shutdown_called_on_self_attr(scope: ast.AST, attr: str) -> bool:
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "shutdown"
+        ):
+            owner = node.func.value
+            if Rule.self_attr(owner) == attr:
+                return True
+    return False
+
+
+@register_rule
+class ExecutorHygieneRule(Rule):
+    name = "executor-hygiene"
+    description = "executors must be shut down; submitted futures must be consumed"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        parents = _parents(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name in _EXECUTOR_NAMES:
+                    yield from self._check_executor(module, node, parents)
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                yield from self._check_discard(module, node.value)
+
+    # -- executor lifetime ---------------------------------------------------
+
+    def _check_executor(
+        self, module: ModuleInfo, call: ast.Call, parents: Dict[ast.AST, ast.AST]
+    ) -> Iterator[Finding]:
+        parent = parents.get(call)
+        if isinstance(parent, ast.withitem):
+            return  # `with ThreadPoolExecutor(...) as pool:` cleans up itself
+        if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+            target = parent.targets[0]
+            if isinstance(target, ast.Name):
+                scope = _enclosing(
+                    call, parents, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) or module.tree
+                if _shutdown_called_on_name(scope, target.id):
+                    return
+                yield self._finding(
+                    module,
+                    call,
+                    f"executor bound to {target.id!r} is never shut down; use "
+                    f"`with` or call .shutdown()",
+                )
+                return
+            attr = self.self_attr(target)
+            if attr is not None:
+                scope = _enclosing(call, parents, (ast.ClassDef,)) or module.tree
+                if _shutdown_called_on_self_attr(scope, attr):
+                    return
+                yield self._finding(
+                    module,
+                    call,
+                    f"executor bound to self.{attr} is never shut down anywhere "
+                    f"in the class; call .shutdown() in a close()/`__exit__`",
+                )
+                return
+        yield self._finding(
+            module,
+            call,
+            "executor created without a `with` block or a binding that is "
+            "shut down; worker threads would leak",
+        )
+
+    # -- future consumption --------------------------------------------------
+
+    def _check_discard(self, module: ModuleInfo, call: ast.Call) -> Iterator[Finding]:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr == "submit":
+            yield self._finding(
+                module,
+                call,
+                "future returned by .submit() is discarded; errors in the task "
+                "would vanish — store or consume it",
+            )
+        elif func.attr == "map":
+            owner = func.value
+            owner_name = ""
+            if isinstance(owner, ast.Name):
+                owner_name = owner.id
+            else:
+                owner_name = self.self_attr(owner) or ""
+            if any(p in owner_name.lower() for p in _POOLISH):
+                yield self._finding(
+                    module,
+                    call,
+                    f"lazy iterator from {owner_name}.map() is discarded; the "
+                    f"mapped tasks never run to completion",
+                )
+
+    def _finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=module.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )

@@ -1,0 +1,243 @@
+"""lock-discipline: lock-guarded state stays under the lock.
+
+For every class that owns a ``threading.Lock``/``RLock`` attribute, the
+rule first *discovers* which instance attributes the lock guards: any
+attribute **written** inside a ``with self._lock`` block (or inside a
+``*_locked`` method, whose contract is "caller holds the lock") is
+guarded.  Writes include plain and augmented assignment, item stores
+(``self.x[k] = v``), nested-attribute stores (``self.x.y += 1``) and
+calls to known mutators (``self.x.pop(...)``).
+
+It then *checks* that every access — read or write — of a guarded
+attribute happens either under a ``with self._lock`` block or inside a
+``*_locked`` method, and that ``*_locked`` helpers themselves are only
+called while the lock is held.  ``__init__``/``__new__``/``__del__``
+are exempt (construction and teardown are single-threaded by contract).
+
+Code defined in nested functions or lambdas is treated as running
+*outside* any enclosing ``with`` block: a closure created under the lock
+usually executes later, on another thread.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    iter_classes,
+    iter_lock_attrs,
+    iter_methods,
+    register_rule,
+    with_lock_attrs,
+)
+
+__all__ = ["LockDisciplineRule", "MUTATOR_METHODS"]
+
+#: Method names whose call mutates the receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+_EXEMPT_METHODS = frozenset({"__init__", "__new__", "__del__"})
+
+_FuncLike = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _locked_method(name: str) -> bool:
+    return name.endswith("_locked")
+
+
+def _walk_with_lock_state(
+    body: List[ast.stmt],
+    lock_attrs: Set[str],
+    locked: bool,
+    callback: Callable[[ast.AST, bool], None],
+) -> None:
+    """Drive ``callback(node, locked)`` over ``body`` in execution order.
+
+    ``with self._lock`` bodies flip ``locked`` on; nested function/lambda
+    bodies flip it off (they run later, not under the enclosing lock).
+    """
+
+    def visit(node: ast.AST, locked: bool) -> None:
+        if isinstance(node, _FuncLike):
+            for child in ast.iter_child_nodes(node):
+                visit(child, False)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = with_lock_attrs(node, lock_attrs)
+            for item in node.items:
+                visit(item, locked)
+            inner = locked or bool(acquired)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        callback(node, locked)
+        for child in ast.iter_child_nodes(node):
+            visit(child, locked)
+
+    for stmt in body:
+        visit(stmt, locked)
+
+
+def _write_targets(node: ast.AST, self_attr: Callable[[ast.AST], Optional[str]]) -> Iterator[str]:
+    """Attribute names of ``self`` written by an assignment-like node."""
+    targets: List[ast.AST] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
+            attr = self_attr(func.value)
+            if attr is not None:
+                yield attr
+        return
+    for target in targets:
+        stack = [target]
+        while stack:
+            t = stack.pop()
+            if isinstance(t, (ast.Tuple, ast.List)):
+                stack.extend(t.elts)
+                continue
+            if isinstance(t, ast.Starred):
+                stack.append(t.value)
+                continue
+            attr = self_attr(t)
+            if attr is not None:
+                yield attr
+                continue
+            # self.x[k] = v  and  self.x.y = v  both mutate self.x
+            if isinstance(t, (ast.Subscript, ast.Attribute)):
+                base = self_attr(t.value)
+                if base is not None:
+                    yield base
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "attributes written under `with self._lock` may only be accessed "
+        "under the lock or in *_locked methods"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for cls in iter_classes(module.tree):
+            yield from self._check_class(module, cls)
+
+    # -- per-class analysis --------------------------------------------------
+
+    def _check_class(self, module: ModuleInfo, cls: ast.ClassDef) -> Iterator[Finding]:
+        lock_attrs = iter_lock_attrs(cls)
+        if not lock_attrs:
+            return
+
+        guarded = self._discover_guarded(cls, lock_attrs)
+        guarded -= lock_attrs
+        if not guarded and not any(
+            _locked_method(m.name) for m in iter_methods(cls)
+        ):
+            return
+
+        for method in iter_methods(cls):
+            if method.name in _EXEMPT_METHODS or _locked_method(method.name):
+                continue
+            yield from self._check_method(module, cls, method, lock_attrs, guarded)
+
+    def _discover_guarded(self, cls: ast.ClassDef, lock_attrs: Set[str]) -> Set[str]:
+        guarded: Set[str] = set()
+
+        def record(node: ast.AST, locked: bool) -> None:
+            if not locked:
+                return
+            for attr in _write_targets(node, self.self_attr):
+                guarded.add(attr)
+
+        for method in iter_methods(cls):
+            if method.name in ("__init__", "__new__"):
+                continue
+            _walk_with_lock_state(
+                method.body, lock_attrs, _locked_method(method.name), record
+            )
+        return guarded
+
+    def _check_method(
+        self,
+        module: ModuleInfo,
+        cls: ast.ClassDef,
+        method: "ast.FunctionDef | ast.AsyncFunctionDef",
+        lock_attrs: Set[str],
+        guarded: Set[str],
+    ) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        seen: Set[Tuple[int, int, str]] = set()
+
+        def record(node: ast.AST, locked: bool) -> None:
+            if locked:
+                return
+            # Unlocked call of a *_locked helper breaks its contract.
+            if isinstance(node, ast.Call):
+                callee = self.self_attr(node.func)
+                if callee is not None and _locked_method(callee):
+                    key = (node.lineno, node.col_offset, callee)
+                    if key not in seen:
+                        seen.add(key)
+                        findings.append(
+                            Finding(
+                                rule=self.name,
+                                path=module.path,
+                                line=node.lineno,
+                                col=node.col_offset,
+                                message=(
+                                    f"{cls.name}.{method.name} calls self.{callee}() "
+                                    f"without holding the lock "
+                                    f"({'/'.join(sorted(lock_attrs))})"
+                                ),
+                            )
+                        )
+            attr = self.self_attr(node)
+            if attr is not None and attr in guarded:
+                key = (node.lineno, node.col_offset, attr)
+                if key not in seen:
+                    seen.add(key)
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=module.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                f"{cls.name}.{method.name} accesses lock-guarded "
+                                f"self.{attr} outside `with self."
+                                f"{'/'.join(sorted(lock_attrs))}`"
+                            ),
+                        )
+                    )
+
+        _walk_with_lock_state(method.body, lock_attrs, False, record)
+        yield from findings

@@ -1,0 +1,353 @@
+"""lock-order: the static lock-acquisition graph must be acyclic.
+
+Deadlock needs a cycle: thread 1 holds A and wants B while thread 2
+holds B and wants A.  This rule derives a conservative lock-acquisition
+graph for the whole analysed tree and flags any cycle, so an inverted
+ordering between e.g. ``BlockCache._lock`` and ``SimClock._lock`` is
+caught at lint time instead of as a rare CI hang.
+
+The analysis is class-level and two-phase:
+
+1. For every class, collect its lock attributes and a best-effort type
+   map for instance attributes (``self._cache = BlockCache(...)`` in
+   ``__init__``, or ``self._clock = clock`` where the parameter is
+   annotated ``SimClock`` / ``Optional[SimClock]``).  Then compute, to a
+   fixed point, the set of lock *nodes* (``Class._lockattr``) each
+   method may acquire — directly via ``with self._lock`` or transitively
+   through ``self.method()`` and ``self.attr.method()`` calls.
+
+2. Re-walk every method tracking the stack of locks textually held; each
+   acquisition (direct or via a resolvable call) while other locks are
+   held adds ``held -> acquired`` edges.  Re-acquiring a held node is
+   ignored (RLock reentrancy).  A cycle among the edges is reported once
+   per strongly-connected component, anchored at the first edge's
+   location.
+
+The graph is conservative in the usual static-analysis sense: calls it
+cannot resolve (free functions, duck-typed attributes) contribute no
+edges, so a clean report means "no ordering violation *visible* to the
+analysis", while any reported cycle is worth a human look — suppress
+with ``# repro-lint: disable=lock-order`` only with a written argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    iter_classes,
+    iter_lock_attrs,
+    iter_methods,
+    register_rule,
+)
+
+__all__ = ["LockOrderRule"]
+
+_FuncLike = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    lock_attrs: Set[str] = field(default_factory=set)
+    methods: Dict[str, ast.AST] = field(default_factory=dict)
+    #: instance attribute -> class name (best effort)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+def _annotation_names(node: Optional[ast.expr]) -> Iterator[str]:
+    """Class names mentioned in an annotation (handles Optional[X], "X")."""
+    if node is None:
+        return
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            # String annotation: last dotted component of each token.
+            for token in sub.value.replace("[", " ").replace("]", " ").split():
+                yield token.split(".")[-1].strip('"\',')
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _collect_classes(modules: Sequence[ModuleInfo]) -> Dict[str, _ClassInfo]:
+    classes: Dict[str, _ClassInfo] = {}
+    for module in modules:
+        for cls in iter_classes(module.tree):
+            info = _ClassInfo(name=cls.name, module=module, node=cls)
+            info.lock_attrs = iter_lock_attrs(cls)
+            for method in iter_methods(cls):
+                info.methods[method.name] = method
+            classes[cls.name] = info
+    return classes
+
+
+def _infer_attr_types(info: _ClassInfo, classes: Dict[str, _ClassInfo]) -> None:
+    init = info.methods.get("__init__")
+    if init is None or not isinstance(init, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return
+    param_types: Dict[str, str] = {}
+    for arg in list(init.args.args) + list(init.args.kwonlyargs):
+        for name in _annotation_names(arg.annotation):
+            if name in classes:
+                param_types[arg.arg] = name
+                break
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        attr = Rule.self_attr(node.targets[0])
+        if attr is None:
+            continue
+        value = node.value
+        if isinstance(value, ast.Call):
+            callee = _callee_name(value)
+            if callee in classes:
+                info.attr_types[attr] = callee
+        elif isinstance(value, ast.Name) and value.id in param_types:
+            info.attr_types[attr] = param_types[value.id]
+
+
+class _Graph:
+    def __init__(self) -> None:
+        self.edges: Dict[str, Set[str]] = {}
+        self.sites: Dict[Tuple[str, str], Tuple[str, int]] = {}
+
+    def add(self, a: str, b: str, site: Tuple[str, int]) -> None:
+        if a == b:
+            return
+        self.edges.setdefault(a, set()).add(b)
+        self.sites.setdefault((a, b), site)
+
+
+@register_rule
+class LockOrderRule(Rule):
+    name = "lock-order"
+    description = "no cycles in the static lock-acquisition graph"
+    scope = "project"
+
+    def check_project(self, modules: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        classes = _collect_classes(modules)
+        for info in classes.values():
+            _infer_attr_types(info, classes)
+
+        may_acquire = self._fixed_point(classes)
+        graph = _Graph()
+        for info in classes.values():
+            for method in iter_methods(info.node):
+                self._collect_edges(info, method, classes, may_acquire, graph)
+        yield from self._report_cycles(graph)
+
+    # -- phase 1: what can each method acquire? ------------------------------
+
+    def _fixed_point(
+        self, classes: Dict[str, _ClassInfo]
+    ) -> Dict[Tuple[str, str], Set[str]]:
+        may: Dict[Tuple[str, str], Set[str]] = {
+            (info.name, m): set() for info in classes.values() for m in info.methods
+        }
+        changed = True
+        while changed:
+            changed = False
+            for info in classes.values():
+                for mname, method in info.methods.items():
+                    acquired = may[(info.name, mname)]
+                    before = len(acquired)
+                    for node in ast.walk(method):
+                        if isinstance(node, (ast.With, ast.AsyncWith)):
+                            for item in node.items:
+                                attr = self.self_attr(item.context_expr)
+                                if attr in info.lock_attrs:
+                                    acquired.add(f"{info.name}.{attr}")
+                        if isinstance(node, ast.Call):
+                            callee = self._resolve_call(info, node, classes)
+                            if callee is not None and callee in may:
+                                acquired |= may[callee]
+                    if len(acquired) != before:
+                        changed = True
+        return may
+
+    def _resolve_call(
+        self, info: _ClassInfo, call: ast.Call, classes: Dict[str, _ClassInfo]
+    ) -> Optional[Tuple[str, str]]:
+        """``self.m()`` -> (cls, m); ``self.attr.m()`` -> (type(attr), m)."""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        owner = func.value
+        attr = self.self_attr(owner)
+        if attr is not None:
+            # self.attr.m() where attr has an inferred class type
+            type_name = info.attr_types.get(attr)
+            if type_name is not None and func.attr in classes[type_name].methods:
+                return (type_name, func.attr)
+            return None
+        if isinstance(owner, ast.Name) and owner.id == "self":
+            if func.attr in info.methods:
+                return (info.name, func.attr)
+        return None
+
+    # -- phase 2: edges while locks are held ---------------------------------
+
+    def _collect_edges(
+        self,
+        info: _ClassInfo,
+        method: "ast.FunctionDef | ast.AsyncFunctionDef",
+        classes: Dict[str, _ClassInfo],
+        may_acquire: Dict[Tuple[str, str], Set[str]],
+        graph: _Graph,
+    ) -> None:
+        path = info.module.path
+
+        def visit(node: ast.AST, held: List[str]) -> None:
+            if isinstance(node, _FuncLike):
+                # A closure created under the lock runs later: analyse its
+                # body with an empty held-stack.
+                for child in ast.iter_child_nodes(node):
+                    visit(child, [])
+                return
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                acquired: List[str] = []
+                for item in node.items:
+                    visit(item, held)
+                    attr = self.self_attr(item.context_expr)
+                    if attr in info.lock_attrs:
+                        acquired.append(f"{info.name}.{attr}")
+                site = (path, node.lineno)
+                for lock in acquired:
+                    if lock in held:
+                        continue  # RLock reentrancy: no new edge
+                    for h in held:
+                        graph.add(h, lock, site)
+                inner = held + [l for l in acquired if l not in held]
+                for stmt in node.body:
+                    visit(stmt, inner)
+                return
+            if isinstance(node, ast.Call) and held:
+                callee = self._resolve_call(info, node, classes)
+                if callee is not None:
+                    site = (path, node.lineno)
+                    for lock in may_acquire.get(callee, ()):
+                        if lock in held:
+                            continue
+                        for h in held:
+                            graph.add(h, lock, site)
+            for child in ast.iter_child_nodes(node):
+                visit(child, held)
+
+        for stmt in method.body:
+            visit(stmt, [])
+
+    # -- cycle reporting -----------------------------------------------------
+
+    def _report_cycles(self, graph: _Graph) -> Iterator[Finding]:
+        cycles = _find_cycles(graph.edges)
+        for cycle in cycles:
+            # Anchor the finding at the first recorded edge of the cycle.
+            hops = list(zip(cycle, cycle[1:] + cycle[:1]))
+            sites = [graph.sites.get(hop) for hop in hops]
+            anchor = next((s for s in sites if s is not None), ("<unknown>", 0))
+            described = " -> ".join(
+                f"{a} (at {graph.sites[(a, b)][0]}:{graph.sites[(a, b)][1]})"
+                if (a, b) in graph.sites
+                else a
+                for a, b in hops
+            )
+            yield Finding(
+                rule=self.name,
+                path=anchor[0],
+                line=anchor[1],
+                col=0,
+                message=f"lock-order cycle: {described} -> {cycle[0]}",
+            )
+
+
+def _find_cycles(edges: Dict[str, Set[str]]) -> List[List[str]]:
+    """One representative cycle per strongly-connected component (Tarjan)."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    sccs: List[List[str]] = []
+    nodes = sorted(set(edges) | {b for bs in edges.values() for b in bs})
+
+    def strongconnect(v: str) -> None:
+        # Iterative Tarjan to dodge recursion limits on big graphs.
+        work: List[Tuple[str, Iterator[str]]] = [(v, iter(sorted(edges.get(v, ()))))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(edges.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == node:
+                        break
+                if len(component) > 1:
+                    sccs.append(component)
+
+    for v in nodes:
+        if v not in index:
+            strongconnect(v)
+
+    cycles: List[List[str]] = []
+    for component in sccs:
+        members = set(component)
+        start = min(component)
+        # Walk edges inside the component to produce a concrete cycle path.
+        cycle = [start]
+        seen = {start}
+        node = start
+        while True:
+            nxt = next(
+                (w for w in sorted(edges.get(node, ())) if w in members), None
+            )
+            if nxt is None or nxt == start:
+                break
+            if nxt in seen:
+                cycle = cycle[cycle.index(nxt):]
+                break
+            cycle.append(nxt)
+            seen.add(nxt)
+            node = nxt
+        cycles.append(cycle)
+    return cycles

@@ -1,0 +1,63 @@
+"""swallowed-exception: no bare or blind ``except ...: pass``.
+
+A handler whose body does nothing (only ``pass``, ``...`` or a string)
+erases the failure entirely — in the concurrent paths that means a
+worker dies silently and a query returns short data with no trace.
+Handlers must either handle (do something), annotate (record/convert),
+or re-raise.  Bare ``except:`` is flagged regardless of body because it
+also captures ``KeyboardInterrupt``/``SystemExit``.
+
+Intentional drops (e.g. best-effort cache invalidation) stay possible
+via the suppression comment, which doubles as documentation::
+
+    except OSError:  # repro-lint: disable=swallowed-exception (best-effort cleanup)
+        pass
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register_rule
+
+__all__ = ["SwallowedExceptionRule"]
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, ast.Pass):
+        return True
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+        return True  # docstring or `...`
+    return False
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    name = "swallowed-exception"
+    description = "no bare `except:` and no exception handler whose body is only pass"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message="bare `except:` also catches KeyboardInterrupt/SystemExit; "
+                    "name the exception type",
+                )
+                continue
+            if all(_is_noop(stmt) for stmt in node.body):
+                caught = ast.unparse(node.type)
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=f"`except {caught}` swallows the error without handling it; "
+                    "handle, log, or re-raise",
+                )

@@ -1,0 +1,110 @@
+"""File collection and rule driving for repro-lint."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    all_rules,
+    filter_suppressed,
+    get_rule,
+)
+
+__all__ = ["LintResult", "collect_files", "load_module", "run_lint"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run over a set of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files: List[str] = field(default_factory=list)
+    rules: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return counts
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        if not os.path.isdir(path):
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for root, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if not d.startswith("."))
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    files.append(os.path.join(root, name))
+    return sorted(dict.fromkeys(files))
+
+
+def load_module(path: str) -> "ModuleInfo | Finding":
+    """Parse one file; a syntax error becomes a ``parse-error`` finding."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        return ModuleInfo.parse(path, source)
+    except SyntaxError as exc:
+        return Finding(
+            rule="parse-error",
+            path=path,
+            line=exc.lineno or 0,
+            col=exc.offset or 0,
+            message=f"cannot parse: {exc.msg}",
+        )
+
+
+def run_lint(paths: Sequence[str], rules: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint ``paths`` with the given rule names (default: all registered).
+
+    Findings are suppression-filtered and sorted by location.  Internal
+    errors (unreadable paths, rule crashes) propagate to the caller —
+    the CLI maps them to exit code 2.
+    """
+    files = collect_files(paths)
+    modules: List[ModuleInfo] = []
+    findings: List[Finding] = []
+    for path in files:
+        loaded = load_module(path)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+        else:
+            modules.append(loaded)
+
+    rule_objs: List[Rule]
+    if rules:
+        rule_objs = [get_rule(name) for name in rules]
+    else:
+        rule_objs = all_rules()
+
+    for rule in rule_objs:
+        if rule.scope == "project":
+            findings.extend(rule.check_project(modules))
+        else:
+            for module in modules:
+                findings.extend(rule.check(module))
+
+    by_path = {m.path: m for m in modules}
+    findings = filter_suppressed(findings, by_path)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintResult(
+        findings=findings,
+        files=files,
+        rules=[r.name for r in rule_objs],
+    )

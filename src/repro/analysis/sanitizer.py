@@ -1,0 +1,389 @@
+"""Runtime lock-order sanitizer: the dynamic companion to ``lock-order``.
+
+The static rule sees locks acquired through ``self``; this module sees
+what actually happens at run time.  A :class:`LockOrderSanitizer` hands
+out instrumented ``Lock``/``RLock`` wrappers (or, via :meth:`install`,
+monkeypatches ``threading.Lock``/``threading.RLock`` so every lock
+created afterwards is instrumented) and records, per thread, the stack
+of locks held at each acquisition.  Acquiring ``B`` while holding ``A``
+adds the edge ``A -> B`` to a global order graph; the first edge that
+closes a cycle is recorded as an :class:`Inversion` — a potential
+deadlock, caught even when the interleaving that would actually hang
+never happens in the test run.  Releases also measure hold time, and
+holds longer than ``hold_threshold`` seconds are recorded as
+:class:`LongHold` diagnostics (a long hold under the block-cache lock
+is a throughput bug even when it is not a deadlock).
+
+Enabled for the test suite with ``REPRO_SANITIZE=1`` (see
+``tests/conftest.py``): the session installs a sanitizer, runs the
+concurrency stress tests under it, and fails if any inversion was
+observed.  The wrappers create their underlying locks from the *real*
+factories captured at import time, so a locally-constructed sanitizer
+(as used by the provocation tests) stays invisible to an installed one.
+
+The wrappers implement the private ``_is_owned`` / ``_release_save`` /
+``_acquire_restore`` protocol that ``threading.Condition`` probes for,
+so stdlib machinery built on patched locks (``Future``'s condition,
+``queue.Queue``, ``threading.Event``) keeps working — ``wait()`` drops
+the lock from the sanitizer's held-stack and re-adds it on wakeup.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "Inversion",
+    "LockOrderSanitizer",
+    "LongHold",
+    "SanitizerReport",
+    "TrackedLock",
+]
+
+# Real factories, captured before any install() can patch threading.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+_THIS_FILE = __file__
+
+
+def _call_site() -> str:
+    """First stack frame outside this module, as ``file.py:lineno``."""
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_code.co_filename == _THIS_FILE:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - defensive
+        return "<unknown>"
+    filename = frame.f_code.co_filename
+    return f"{filename.rsplit('/', 1)[-1]}:{frame.f_lineno}"
+
+
+@dataclass(frozen=True)
+class Inversion:
+    """A cycle in the observed lock-acquisition order."""
+
+    cycle: Tuple[str, ...]  # lock names; acquiring cycle[-1] closed the loop
+    thread: str
+    location: str
+
+    def __str__(self) -> str:
+        return (
+            f"lock-order inversion at {self.location} [{self.thread}]: "
+            + " -> ".join(self.cycle)
+            + f" -> {self.cycle[0]}"
+        )
+
+
+@dataclass(frozen=True)
+class LongHold:
+    """A lock held longer than the configured threshold."""
+
+    name: str
+    seconds: float
+    thread: str
+
+    def __str__(self) -> str:
+        return f"long hold: {self.name} held {self.seconds * 1e3:.1f} ms [{self.thread}]"
+
+
+@dataclass
+class SanitizerReport:
+    inversions: List[Inversion] = field(default_factory=list)
+    long_holds: List[LongHold] = field(default_factory=list)
+    locks_created: int = 0
+    edges_observed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.inversions
+
+    def summary(self) -> str:
+        lines = [
+            f"sanitizer: {self.locks_created} lock(s), "
+            f"{self.edges_observed} order edge(s), "
+            f"{len(self.inversions)} inversion(s), "
+            f"{len(self.long_holds)} long hold(s)"
+        ]
+        lines.extend(str(i) for i in self.inversions)
+        lines.extend(str(h) for h in self.long_holds)
+        return "\n".join(lines)
+
+
+class TrackedLock:
+    """Drop-in ``Lock``/``RLock`` wrapper reporting to a sanitizer.
+
+    The underlying primitive comes from the real factories captured at
+    module import, so tracked locks never nest inside another
+    sanitizer's instrumentation.
+    """
+
+    __slots__ = ("_san", "_inner", "_reentrant", "name", "lid")
+
+    def __init__(self, sanitizer: "LockOrderSanitizer", name: str, reentrant: bool) -> None:
+        self._san = sanitizer
+        self._reentrant = reentrant
+        self._inner = _REAL_RLOCK() if reentrant else _REAL_LOCK()
+        self.name = name
+        self.lid = sanitizer._register(self)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._san._note_acquire(self)
+        return got
+
+    def release(self) -> None:
+        self._san._note_release(self)
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        self.acquire()
+        return True
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        probe = getattr(self._inner, "locked", None)
+        if probe is not None:
+            return bool(probe())
+        # RLock before 3.13 has no locked(); fall back to a non-blocking probe.
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    # -- threading.Condition protocol ---------------------------------------
+    # Condition lifts these from its lock when present.  Without them it
+    # falls back to a non-blocking acquire probe, which is wrong for a
+    # reentrant lock (the owner's probe *succeeds*), and to single-level
+    # release in wait().  Each wait() brackets _release_save/_acquire_restore,
+    # so the sanitizer drops and re-adds the held-stack entry around it.
+
+    def _is_owned(self) -> bool:
+        if self._reentrant:
+            return self._inner._is_owned()
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def _release_save(self):
+        count = self._san._forget(self)
+        if self._reentrant:
+            return (self._inner._release_save(), count)
+        self._inner.release()
+        return (None, count)
+
+    def _acquire_restore(self, saved) -> None:
+        state, count = saved
+        if self._reentrant:
+            self._inner._acquire_restore(state)
+        else:
+            self._inner.acquire()
+        self._san._restore(self, count)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "RLock" if self._reentrant else "Lock"
+        return f"<Tracked{kind} {self.name!r}>"
+
+
+class LockOrderSanitizer:
+    """Global acquisition-order graph over instrumented locks."""
+
+    def __init__(self, hold_threshold: float = 0.5, max_long_holds: int = 100) -> None:
+        self.hold_threshold = float(hold_threshold)
+        self.max_long_holds = int(max_long_holds)
+        self._state_lock = _REAL_LOCK()  # never held while acquiring user locks
+        self._ids = itertools.count(1)
+        self._names: Dict[int, str] = {}
+        self._edges: Dict[int, Set[int]] = {}
+        self._inversions: List[Inversion] = []
+        self._long_holds: List[LongHold] = []
+        self._reported_cycles: Set[frozenset] = set()
+        self._tls = threading.local()
+        self._installed = False
+        self._saved: Optional[Tuple[object, object]] = None
+
+    # -- lock construction ---------------------------------------------------
+
+    def lock(self, name: Optional[str] = None) -> TrackedLock:
+        """A tracked non-reentrant lock."""
+        return TrackedLock(self, name or _call_site(), reentrant=False)
+
+    def rlock(self, name: Optional[str] = None) -> TrackedLock:
+        """A tracked reentrant lock."""
+        return TrackedLock(self, name or _call_site(), reentrant=True)
+
+    def install(self) -> None:
+        """Monkeypatch ``threading.Lock``/``RLock`` to create tracked locks.
+
+        Saves whatever factories were active, so installs nest: an inner
+        install/uninstall pair restores the outer sanitizer.
+        """
+        if self._installed:
+            return
+        self._saved = (threading.Lock, threading.RLock)
+        threading.Lock = self.lock  # type: ignore[assignment]
+        threading.RLock = self.rlock  # type: ignore[assignment]
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        assert self._saved is not None
+        threading.Lock, threading.RLock = self._saved  # type: ignore[assignment]
+        self._saved = None
+        self._installed = False
+
+    def __enter__(self) -> "LockOrderSanitizer":
+        self.install()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.uninstall()
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _register(self, lock: TrackedLock) -> int:
+        with self._state_lock:
+            lid = next(self._ids)
+            self._names[lid] = lock.name
+            return lid
+
+    def _held(self) -> List[List[object]]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = []
+            self._tls.held = held
+        return held
+
+    def _note_acquire(self, lock: TrackedLock) -> None:
+        held = self._held()
+        for entry in held:
+            if entry[0] is lock:  # reentrant re-acquire: no new edges
+                entry[1] += 1
+                return
+        if held:
+            site = _call_site()
+            thread = threading.current_thread().name
+            with self._state_lock:
+                for entry in held:
+                    self._add_edge_locked(entry[0], lock, site, thread)
+        held.append([lock, 1, time.monotonic()])
+
+    def _note_release(self, lock: TrackedLock) -> None:
+        held = getattr(self._tls, "held", None)
+        if not held:
+            return
+        for i in range(len(held) - 1, -1, -1):
+            entry = held[i]
+            if entry[0] is not lock:
+                continue
+            entry[1] -= 1
+            if entry[1] == 0:
+                del held[i]
+                self._maybe_long_hold(lock, entry[2])
+            return
+        # Released a lock acquired before instrumentation began: ignore.
+
+    def _forget(self, lock: TrackedLock) -> int:
+        """Drop ``lock`` from the held-stack (Condition.wait released it).
+
+        Returns the recursion count so ``_restore`` can reinstate it.
+        """
+        held = getattr(self._tls, "held", None)
+        if held:
+            for i in range(len(held) - 1, -1, -1):
+                entry = held[i]
+                if entry[0] is lock:
+                    del held[i]
+                    self._maybe_long_hold(lock, entry[2])
+                    return entry[1]
+        return 1
+
+    def _restore(self, lock: TrackedLock, count: int) -> None:
+        """Re-add ``lock`` after Condition.wait reacquired it."""
+        held = self._held()
+        for entry in held:
+            if entry[0] is lock:
+                entry[1] += count
+                return
+        if held:
+            site = _call_site()
+            thread = threading.current_thread().name
+            with self._state_lock:
+                for entry in held:
+                    self._add_edge_locked(entry[0], lock, site, thread)
+        held.append([lock, max(1, count), time.monotonic()])
+
+    def _maybe_long_hold(self, lock: TrackedLock, t0: float) -> None:
+        duration = time.monotonic() - t0
+        if duration <= self.hold_threshold:
+            return
+        with self._state_lock:
+            if len(self._long_holds) < self.max_long_holds:
+                self._long_holds.append(
+                    LongHold(
+                        name=lock.name,
+                        seconds=duration,
+                        thread=threading.current_thread().name,
+                    )
+                )
+
+    def _add_edge_locked(
+        self, held: TrackedLock, acquired: TrackedLock, site: str, thread: str
+    ) -> None:
+        if held is acquired:
+            return
+        targets = self._edges.setdefault(held.lid, set())
+        if acquired.lid in targets:
+            return
+        targets.add(acquired.lid)
+        path = self._find_path_locked(acquired.lid, held.lid)
+        if path is None:
+            return
+        cycle_ids = frozenset(path)
+        if cycle_ids in self._reported_cycles:
+            return
+        self._reported_cycles.add(cycle_ids)
+        names = tuple(self._names.get(lid, f"lock#{lid}") for lid in path)
+        self._inversions.append(Inversion(cycle=names, thread=thread, location=site))
+
+    def _find_path_locked(self, start: int, goal: int) -> Optional[List[int]]:
+        """DFS path ``start -> ... -> goal`` in the edge graph, if any."""
+        stack: List[Tuple[int, List[int]]] = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for nxt in self._edges.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> SanitizerReport:
+        with self._state_lock:
+            return SanitizerReport(
+                inversions=list(self._inversions),
+                long_holds=list(self._long_holds),
+                locks_created=len(self._names),
+                edges_observed=sum(len(v) for v in self._edges.values()),
+            )
+
+    def reset(self) -> None:
+        """Drop all recorded edges and diagnostics (locks stay tracked)."""
+        with self._state_lock:
+            self._edges.clear()
+            self._inversions.clear()
+            self._long_holds.clear()
+            self._reported_cycles.clear()

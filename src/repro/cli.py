@@ -8,6 +8,7 @@ Commands mirror what a tutorial attendee does from a terminal:
 - ``ingest``    stream GEOtiled terrain products straight into IDX
 - ``info``      describe an IDX dataset (dims, fields, codec, stats)
 - ``read``      extract a box/resolution from an IDX dataset to ``.npy``
+- ``lint``      run repro-lint (the AST concurrency/invariant linter)
 - ``network``   print the simulated 8-site probe matrix
 - ``report``    print the survey evaluation report
 - ``grade``     run the workflow and grade the default exercises
@@ -171,6 +172,21 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Same engine and exit-code semantics as `python -m repro.analysis`:
+    # 0 clean, 1 findings, 2 internal error.
+    from repro.analysis.__main__ import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    if args.json:
+        argv.append("--json")
+    if args.rules:
+        argv.extend(["--rules", args.rules])
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def _cmd_network(args: argparse.Namespace) -> int:
     from repro.network import NetworkMonitor, default_testbed
 
@@ -264,6 +280,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify", help="check an IDX dataset's integrity")
     p.add_argument("dataset")
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("lint", help="run repro-lint over source paths")
+    p.add_argument("paths", nargs="*",
+                   help="files/dirs to lint (default: the repro package)")
+    p.add_argument("--json", action="store_true", help="emit a JSON report")
+    p.add_argument("--rules", default=None, help="comma-separated rule names")
+    p.add_argument("--list-rules", action="store_true")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("network", help="print the 8-site probe matrix")
     p.add_argument("--seed", type=int, default=0)

@@ -222,7 +222,11 @@ class BlockCache:
             return len(self._entries)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        # Racy-but-benign display read: counters are monotonic ints and a
+        # slightly stale hit_rate in a repr is fine; taking the lock here
+        # would make logging under load contend with the hot path.
+        hit_rate = self.stats.hit_rate  # repro-lint: disable=lock-discipline
         return (
             f"BlockCache({len(self)} blocks, {self.used_bytes}/{self.capacity} B, "
-            f"hit_rate={self.stats.hit_rate:.2f})"
+            f"hit_rate={hit_rate:.2f})"
         )

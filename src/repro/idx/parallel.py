@@ -85,9 +85,9 @@ class ParallelFetcher:
         are coalesced instead of re-issued.  The call never blocks on the
         fetches themselves.
         """
-        if self._closed:
-            raise RuntimeError("fetcher is closed")
         with self._lock:
+            if self._closed:
+                raise RuntimeError("fetcher is closed")
             fresh = []
             for key in keys:
                 if key in self._inflight:
@@ -143,10 +143,10 @@ class ParallelFetcher:
         """
         with self._lock:
             fut = self._inflight.get(key)
+            if fut is not None and not fut.done():
+                self.stats.waited += 1
         if fut is None:
             return None
-        if not fut.done():
-            self.stats.waited += 1
         try:
             return fut.result()
         except BaseException:
@@ -165,10 +165,11 @@ class ParallelFetcher:
             self._inflight.clear()
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        self.release()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._inflight.clear()
         self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "ParallelFetcher":

@@ -132,7 +132,9 @@ class ObjectStore:
             raise StorageError("object key must be non-empty")
         b = self._bucket(bucket)
         blob = bytes(data)
-        self._sequence += 1
+        with self._stats_lock:
+            self._sequence += 1
+            sequence = self._sequence
         info = ObjectInfo(
             bucket=bucket,
             key=key,
@@ -140,12 +142,13 @@ class ObjectStore:
             etag=etag_for(blob),
             content_type=content_type,
             metadata=tuple(sorted((metadata or {}).items())),
-            sequence=self._sequence,
+            sequence=sequence,
         )
         b._blobs[key] = blob
         b._infos[key] = info
-        self.stats.puts += 1
-        self.stats.bytes_in += len(blob)
+        with self._stats_lock:
+            self.stats.puts += 1
+            self.stats.bytes_in += len(blob)
         return info
 
     def get(self, bucket: str, key: str) -> bytes:
@@ -172,7 +175,8 @@ class ObjectStore:
         info = b._infos.get(key)
         if info is None:
             raise StorageError(f"no such object {bucket}/{key}")
-        self.stats.heads += 1
+        with self._stats_lock:
+            self.stats.heads += 1
         return info
 
     def exists(self, bucket: str, key: str) -> bool:
@@ -184,11 +188,13 @@ class ObjectStore:
             raise StorageError(f"no such object {bucket}/{key}")
         del b._blobs[key]
         del b._infos[key]
-        self.stats.deletes += 1
+        with self._stats_lock:
+            self.stats.deletes += 1
 
     def list(self, bucket: str, prefix: str = "") -> List[ObjectInfo]:
         b = self._bucket(bucket)
-        self.stats.lists += 1
+        with self._stats_lock:
+            self.stats.lists += 1
         return [b._infos[k] for k in sorted(b._blobs) if k.startswith(prefix)]
 
     def _blob(self, bucket: str, key: str) -> bytes:

@@ -13,13 +13,11 @@ __all__ = ["format_bytes", "format_rate", "parse_bytes"]
 
 _BINARY_UNITS = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"]
 
-_PARSE_RE = re.compile(
-    r"^\s*([0-9]*\.?[0-9]+)\s*(B|KB|MB|GB|TB|PB|KiB|MiB|GiB|TiB|PiB)?\s*$",
-    re.IGNORECASE,
-)
+_PARSE_RE = re.compile(r"^\s*([+-]?[0-9]*\.?[0-9]+)\s*([A-Za-z]+)?\s*$")
 
 _DECIMAL = {"b": 1, "kb": 10**3, "mb": 10**6, "gb": 10**9, "tb": 10**12, "pb": 10**15}
 _BINARY = {"kib": 2**10, "mib": 2**20, "gib": 2**30, "tib": 2**40, "pib": 2**50}
+_KNOWN_UNITS = "B, KB/MB/GB/TB/PB (decimal), KiB/MiB/GiB/TiB/PiB (binary)"
 
 
 def format_bytes(n: float) -> str:
@@ -52,17 +50,27 @@ def parse_bytes(text: str | int | float) -> int:
 
     Decimal suffixes (KB/MB/...) use powers of 1000, binary suffixes
     (KiB/MiB/...) powers of 1024, matching their standard meanings.
+    Negative counts are rejected with an explicit message, and an
+    unrecognised suffix names itself and the accepted units rather than
+    failing as generic "cannot parse".
     """
     if isinstance(text, (int, float)):
         if text < 0:
-            raise ValueError("byte count must be non-negative")
+            raise ValueError(f"byte count must be non-negative, got {text!r}")
         return int(text)
     m = _PARSE_RE.match(text)
     if not m:
         raise ValueError(f"cannot parse byte size: {text!r}")
     value = float(m.group(1))
+    if value < 0:
+        raise ValueError(f"byte count must be non-negative, got {text!r}")
     unit = (m.group(2) or "B").lower()
-    scale = _DECIMAL.get(unit) or _BINARY.get(unit)
-    if scale is None:
-        raise ValueError(f"unknown unit in {text!r}")
+    if unit in _DECIMAL:
+        scale = _DECIMAL[unit]
+    elif unit in _BINARY:
+        scale = _BINARY[unit]
+    else:
+        raise ValueError(
+            f"unknown unit {m.group(2)!r} in {text!r}; expected one of {_KNOWN_UNITS}"
+        )
     return int(value * scale)

@@ -2,11 +2,34 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.idx.dataset import IdxDataset
 from repro.terrain.dem import composite_terrain
+
+if os.environ.get("REPRO_SANITIZE") == "1":
+    # Runtime lock-order sanitizer (see repro.analysis.sanitizer): every
+    # threading.Lock/RLock created during the session is instrumented, and
+    # the session fails if any lock-order inversion was observed.  Long
+    # holds are reported but not fatal (CI boxes stall unpredictably).
+    from repro.analysis.sanitizer import LockOrderSanitizer
+
+    _session_sanitizer = LockOrderSanitizer(
+        hold_threshold=float(os.environ.get("REPRO_SANITIZE_HOLD_S", "0.5"))
+    )
+
+    @pytest.fixture(autouse=True, scope="session")
+    def _lock_order_sanitizer():
+        _session_sanitizer.install()
+        yield
+        _session_sanitizer.uninstall()
+        report = _session_sanitizer.report()
+        for hold in report.long_holds:
+            print(f"[repro-sanitize] {hold}")
+        assert report.ok, "lock-order inversions detected:\n" + report.summary()
 
 
 @pytest.fixture

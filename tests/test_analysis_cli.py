@@ -1,0 +1,127 @@
+"""CLI surfaces for repro-lint: `repro lint`, `python -m repro.analysis`,
+exit-code semantics (0 clean / 1 findings / 2 internal error), and the
+self-application guarantee that the shipped tree lints clean."""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+import repro
+from repro.analysis.__main__ import main as analysis_main
+from repro.cli import main as cli_main
+
+CLEAN_SNIPPET = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.total = 0
+
+        def add(self, n):
+            with self._lock:
+                self.total += n
+"""
+
+DIRTY_SNIPPET = CLEAN_SNIPPET + """
+        def racy(self):
+            return self.total
+"""
+
+
+def write(tmp_path, name, content):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(content))
+    return str(path)
+
+
+def test_module_main_clean_exits_zero(tmp_path, capsys):
+    target = write(tmp_path, "clean.py", CLEAN_SNIPPET)
+    assert analysis_main([target]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_module_main_findings_exit_one(tmp_path, capsys):
+    target = write(tmp_path, "dirty.py", DIRTY_SNIPPET)
+    assert analysis_main([target]) == 1
+    out = capsys.readouterr().out
+    assert "lock-discipline" in out
+
+
+def test_module_main_internal_error_exits_two(tmp_path, capsys):
+    assert analysis_main([str(tmp_path / "does-not-exist")]) == 2
+
+
+def test_module_main_unknown_rule_exits_two(tmp_path):
+    target = write(tmp_path, "clean.py", CLEAN_SNIPPET)
+    assert analysis_main([target, "--rules", "no-such-rule"]) == 2
+
+
+def test_module_main_json_report(tmp_path, capsys):
+    target = write(tmp_path, "dirty.py", DIRTY_SNIPPET)
+    assert analysis_main([target, "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["ok"] is False
+    assert payload["counts"]["lock-discipline"] == 1
+    finding = payload["findings"][0]
+    assert finding["rule"] == "lock-discipline"
+    assert finding["path"].endswith("dirty.py")
+    assert finding["line"] > 0
+
+
+def test_module_main_rule_selection(tmp_path):
+    target = write(tmp_path, "dirty.py", DIRTY_SNIPPET)
+    # The violation is lock-discipline; running only codec-purity is clean.
+    assert analysis_main([target, "--rules", "codec-purity"]) == 0
+    assert analysis_main([target, "--rules", "lock-discipline"]) == 1
+
+
+def test_module_main_list_rules(capsys):
+    assert analysis_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in (
+        "lock-discipline",
+        "codec-purity",
+        "lock-order",
+        "swallowed-exception",
+        "executor-hygiene",
+    ):
+        assert rule in out
+
+
+def test_module_main_parse_error_is_a_finding(tmp_path, capsys):
+    target = write(tmp_path, "broken.py", "def broken(:\n")
+    assert analysis_main([target]) == 1
+    assert "parse-error" in capsys.readouterr().out
+
+
+def test_repro_cli_lint_subcommand(tmp_path, capsys):
+    clean = write(tmp_path, "clean.py", CLEAN_SNIPPET)
+    dirty = write(tmp_path, "dirty.py", DIRTY_SNIPPET)
+    assert cli_main(["lint", clean]) == 0
+    capsys.readouterr()
+    assert cli_main(["lint", dirty, "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+
+
+def test_repro_cli_lint_defaults_to_package(capsys):
+    # `repro lint` with no paths lints the installed repro package — the
+    # self-application acceptance criterion as a permanent regression test.
+    assert cli_main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_self_application_whole_tree_is_clean():
+    from repro.analysis import run_lint
+
+    pkg = os.path.dirname(os.path.abspath(repro.__file__))
+    result = run_lint([pkg])
+    assert result.findings == [], "\n".join(f.format() for f in result.findings)
+    assert len(result.rules) >= 5
+    assert len(result.files) > 50

@@ -1,0 +1,457 @@
+"""Fixture-driven tests for every repro-lint rule: snippets that must
+flag, snippets that must not, and suppression-comment behaviour."""
+
+from __future__ import annotations
+
+import textwrap
+
+import repro.analysis  # noqa: F401  (registers the built-in rules)
+from repro.analysis.core import ModuleInfo, filter_suppressed, get_rule
+
+
+def lint_snippet(source: str, rule_name: str, path: str = "<snippet>.py"):
+    """Run one rule over a dedented source string, suppressions applied."""
+    module = ModuleInfo.parse(path, textwrap.dedent(source))
+    rule = get_rule(rule_name)
+    if rule.scope == "project":
+        findings = list(rule.check_project([module]))
+    else:
+        findings = list(rule.check(module))
+    return filter_suppressed(findings, {module.path: module})
+
+
+# -- lock-discipline ---------------------------------------------------------
+
+
+LOCKED_COUNTER_OK = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.total = 0
+
+        def add(self, n):
+            with self._lock:
+                self.total += n
+
+        def snapshot(self):
+            with self._lock:
+                return self.total
+"""
+
+LOCKED_COUNTER_BAD_READ = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.total = 0
+
+        def add(self, n):
+            with self._lock:
+                self.total += n
+
+        def snapshot(self):
+            return self.total
+"""
+
+
+def test_lock_discipline_clean_class_passes():
+    assert lint_snippet(LOCKED_COUNTER_OK, "lock-discipline") == []
+
+
+def test_lock_discipline_flags_unlocked_read():
+    findings = lint_snippet(LOCKED_COUNTER_BAD_READ, "lock-discipline")
+    assert len(findings) == 1
+    assert "self.total" in findings[0].message
+    assert findings[0].line == 14
+
+
+def test_lock_discipline_flags_unlocked_write_and_mutator():
+    src = """
+        import threading
+
+        class Registry:
+            def __init__(self):
+                self._lock = threading.RLock()
+                self._items = {}
+
+            def put(self, k, v):
+                with self._lock:
+                    self._items[k] = v
+
+            def drop(self, k):
+                self._items.pop(k, None)
+    """
+    findings = lint_snippet(src, "lock-discipline")
+    assert len(findings) == 1
+    assert "_items" in findings[0].message
+
+
+def test_lock_discipline_flags_locked_helper_called_without_lock():
+    src = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def _put_locked(self, k, v):
+                self._data[k] = v
+
+            def put(self, k, v):
+                self._put_locked(k, v)
+    """
+    findings = lint_snippet(src, "lock-discipline")
+    assert len(findings) == 1
+    assert "_put_locked" in findings[0].message
+
+
+def test_lock_discipline_locked_helper_under_lock_is_clean():
+    src = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def _put_locked(self, k, v):
+                self._data[k] = v
+
+            def put(self, k, v):
+                with self._lock:
+                    self._put_locked(k, v)
+    """
+    assert lint_snippet(src, "lock-discipline") == []
+
+
+def test_lock_discipline_init_is_exempt():
+    src = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.value = 0
+                self.value += 1
+
+            def bump(self):
+                with self._lock:
+                    self.value += 1
+    """
+    assert lint_snippet(src, "lock-discipline") == []
+
+
+def test_lock_discipline_closure_under_lock_is_not_locked():
+    # A lambda/def created under the lock runs later on another thread:
+    # its unlocked access must still be flagged.
+    src = """
+        import threading
+
+        class Sched:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._jobs = []
+
+            def add(self, j):
+                with self._lock:
+                    self._jobs.append(j)
+
+            def task(self):
+                with self._lock:
+                    return lambda: self._jobs.pop()
+    """
+    findings = lint_snippet(src, "lock-discipline")
+    assert len(findings) == 1
+    assert "_jobs" in findings[0].message
+
+
+def test_lock_discipline_suppression_trailing_comment():
+    src = LOCKED_COUNTER_BAD_READ.replace(
+        "return self.total",
+        "return self.total  # repro-lint: disable=lock-discipline",
+    )
+    assert lint_snippet(src, "lock-discipline") == []
+
+
+def test_lock_discipline_suppression_line_above():
+    src = LOCKED_COUNTER_BAD_READ.replace(
+        "            return self.total",
+        "            # repro-lint: disable=lock-discipline\n"
+        "            return self.total",
+    )
+    assert lint_snippet(src, "lock-discipline") == []
+
+
+def test_lock_discipline_suppression_for_other_rule_does_not_apply():
+    src = LOCKED_COUNTER_BAD_READ.replace(
+        "return self.total",
+        "return self.total  # repro-lint: disable=codec-purity",
+    )
+    assert len(lint_snippet(src, "lock-discipline")) == 1
+
+
+def test_lock_discipline_class_without_lock_is_ignored():
+    src = """
+        class Plain:
+            def __init__(self):
+                self.total = 0
+
+            def add(self, n):
+                self.total += n
+    """
+    assert lint_snippet(src, "lock-discipline") == []
+
+
+# -- codec-purity ------------------------------------------------------------
+
+
+def test_codec_purity_flags_self_write_in_encode():
+    src = """
+        class StatsCodec(Codec):
+            name = "stats"
+
+            def encode_bytes(self, data):
+                self.last_size = len(data)
+                return data
+    """
+    findings = lint_snippet(src, "codec-purity")
+    assert len(findings) == 1
+    assert "last_size" in findings[0].message
+
+
+def test_codec_purity_flags_mutator_call_in_decode():
+    src = """
+        class HistoryCodec(Codec):
+            name = "history"
+
+            def __init__(self):
+                self.seen = []
+
+            def decode_bytes(self, data):
+                self.seen.append(len(data))
+                return data
+    """
+    findings = lint_snippet(src, "codec-purity")
+    assert len(findings) == 1
+    assert "seen" in findings[0].message
+
+
+def test_codec_purity_thread_unsafe_optout_is_exempt():
+    src = """
+        class StatefulCodec(Codec):
+            name = "stateful"
+            thread_safe = False
+
+            def encode_bytes(self, data):
+                self.last = data
+                return data
+    """
+    assert lint_snippet(src, "codec-purity") == []
+
+
+def test_codec_purity_explicit_thread_safe_true_without_codec_base():
+    src = """
+        class Transform:
+            thread_safe = True
+
+            def encode(self, data):
+                self.cache = data
+                return data
+    """
+    assert len(lint_snippet(src, "codec-purity")) == 1
+
+
+def test_codec_purity_pure_codec_passes():
+    src = """
+        class CleanCodec(Codec):
+            name = "clean"
+
+            def encode_bytes(self, data):
+                buf = bytes(data)
+                return buf
+
+            def decode_bytes(self, data):
+                return bytes(data)
+    """
+    assert lint_snippet(src, "codec-purity") == []
+
+
+def test_codec_purity_non_codec_class_untouched():
+    src = """
+        class Writer:
+            def encode_header(self, data):
+                self.header = data
+    """
+    assert lint_snippet(src, "codec-purity") == []
+
+
+# -- swallowed-exception -----------------------------------------------------
+
+
+def test_swallowed_exception_flags_pass_body():
+    src = """
+        def load(path):
+            try:
+                return open(path).read()
+            except OSError:
+                pass
+    """
+    findings = lint_snippet(src, "swallowed-exception")
+    assert len(findings) == 1
+    assert "OSError" in findings[0].message
+
+
+def test_swallowed_exception_flags_bare_except():
+    src = """
+        def load(path):
+            try:
+                return open(path).read()
+            except:
+                return None
+    """
+    findings = lint_snippet(src, "swallowed-exception")
+    assert len(findings) == 1
+    assert "bare" in findings[0].message
+
+
+def test_swallowed_exception_handled_is_clean():
+    src = """
+        def load(path):
+            try:
+                return open(path).read()
+            except OSError as exc:
+                raise RuntimeError(str(exc)) from exc
+    """
+    assert lint_snippet(src, "swallowed-exception") == []
+
+
+def test_swallowed_exception_suppression():
+    src = """
+        def cleanup(path):
+            try:
+                remove(path)
+            # repro-lint: disable=swallowed-exception (best-effort cleanup)
+            except OSError:
+                pass
+    """
+    assert lint_snippet(src, "swallowed-exception") == []
+
+
+# -- executor-hygiene --------------------------------------------------------
+
+
+def test_executor_hygiene_with_block_is_clean():
+    src = """
+        from concurrent.futures import ThreadPoolExecutor
+
+        def run(jobs):
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                return list(pool.map(str, jobs))
+    """
+    assert lint_snippet(src, "executor-hygiene") == []
+
+
+def test_executor_hygiene_flags_unshutdown_local():
+    src = """
+        from concurrent.futures import ThreadPoolExecutor
+
+        def run(jobs):
+            pool = ThreadPoolExecutor(max_workers=4)
+            return [pool.submit(str, j).result() for j in jobs]
+    """
+    findings = lint_snippet(src, "executor-hygiene")
+    assert len(findings) == 1
+    assert "shut down" in findings[0].message
+
+
+def test_executor_hygiene_local_with_shutdown_is_clean():
+    src = """
+        from concurrent.futures import ThreadPoolExecutor
+
+        def run(jobs):
+            pool = ThreadPoolExecutor(max_workers=4)
+            try:
+                return [f.result() for f in [pool.submit(str, j) for j in jobs]]
+            finally:
+                pool.shutdown(wait=True)
+    """
+    assert lint_snippet(src, "executor-hygiene") == []
+
+
+def test_executor_hygiene_attr_with_class_shutdown_is_clean():
+    src = """
+        from concurrent.futures import ThreadPoolExecutor
+
+        class Engine:
+            def __init__(self):
+                self._pool = ThreadPoolExecutor(max_workers=2)
+
+            def close(self):
+                self._pool.shutdown(wait=True)
+    """
+    assert lint_snippet(src, "executor-hygiene") == []
+
+
+def test_executor_hygiene_flags_attr_without_shutdown():
+    src = """
+        from concurrent.futures import ThreadPoolExecutor
+
+        class Engine:
+            def __init__(self):
+                self._pool = ThreadPoolExecutor(max_workers=2)
+    """
+    findings = lint_snippet(src, "executor-hygiene")
+    assert len(findings) == 1
+    assert "self._pool" in findings[0].message
+
+
+def test_executor_hygiene_flags_discarded_future():
+    src = """
+        def fire_and_forget(pool, job):
+            pool.submit(job)
+    """
+    findings = lint_snippet(src, "executor-hygiene")
+    assert len(findings) == 1
+    assert "discarded" in findings[0].message
+
+
+def test_executor_hygiene_flags_discarded_lazy_map():
+    src = """
+        def run(pool, jobs):
+            pool.map(str, jobs)
+    """
+    findings = lint_snippet(src, "executor-hygiene")
+    assert len(findings) == 1
+    assert "map" in findings[0].message
+
+
+def test_executor_hygiene_consumed_submit_is_clean():
+    src = """
+        def run(pool, jobs):
+            futs = [pool.submit(str, j) for j in jobs]
+            return [f.result() for f in futs]
+    """
+    assert lint_snippet(src, "executor-hygiene") == []
+
+
+def test_executor_hygiene_suppression():
+    src = """
+        def fire_and_forget(pool, job):
+            pool.submit(job)  # repro-lint: disable=executor-hygiene
+    """
+    assert lint_snippet(src, "executor-hygiene") == []
+
+
+# -- suppression edge cases --------------------------------------------------
+
+
+def test_disable_all_suppresses_every_rule():
+    src = LOCKED_COUNTER_BAD_READ.replace(
+        "return self.total",
+        "return self.total  # repro-lint: disable=all",
+    )
+    assert lint_snippet(src, "lock-discipline") == []

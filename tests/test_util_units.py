@@ -70,6 +70,33 @@ class TestParseBytes:
         with pytest.raises(ValueError):
             parse_bytes(bad)
 
+    @pytest.mark.parametrize("text", ["-1", "-1 MiB", "-0.5KB", "- 3 GiB"])
+    def test_negative_string_rejected_with_clear_message(self, text):
+        with pytest.raises(ValueError, match="non-negative|cannot parse"):
+            parse_bytes(text)
+
+    def test_negative_string_names_negativity(self):
+        # "-1 MiB" parses syntactically; the error must say *negative*,
+        # not the generic "cannot parse".
+        with pytest.raises(ValueError, match="non-negative"):
+            parse_bytes("-1 MiB")
+
+    @pytest.mark.parametrize("text,unit", [("12 XB", "XB"), ("3 kbps", "kbps"), ("1 qib", "qib")])
+    def test_unknown_unit_named_in_error(self, text, unit):
+        with pytest.raises(ValueError, match=f"unknown unit '{unit}'"):
+            parse_bytes(text)
+
+    def test_unknown_unit_error_lists_accepted_units(self):
+        with pytest.raises(ValueError, match="KiB/MiB"):
+            parse_bytes("7 foo")
+
+    def test_explicit_plus_sign_accepted(self):
+        assert parse_bytes("+1.5KiB") == 1536
+
+    def test_negative_float_passthrough_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            parse_bytes(-0.5)
+
     @given(st.integers(min_value=0, max_value=2**50))
     def test_format_parse_round_trip_binary(self, n):
         # format_bytes rounds to 2 decimals, so round-trip is approximate:
