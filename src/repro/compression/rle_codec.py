@@ -19,6 +19,12 @@ __all__ = ["RleCodec"]
 _MAGIC = b"RRLE"
 _HEADER = struct.Struct("<4sQ")  # magic, original byte length
 
+#: Largest run one (uint32 length, uint8 value) entry can carry.  Longer
+#: runs are emitted as several consecutive entries with the same value —
+#: format-legal, and :meth:`RleCodec.decode_bytes` concatenates them back
+#: without any special casing.
+MAX_RUN = 0xFFFFFFFF
+
 
 class RleCodec(Codec):
     """Byte-level run-length coding: stream of (uint32 length, uint8 value)."""
@@ -31,12 +37,23 @@ class RleCodec(Codec):
         header = _HEADER.pack(_MAGIC, arr.size)
         if arr.size == 0:
             return header
-        # Boundaries where the byte value changes.
-        change = np.flatnonzero(arr[1:] != arr[:-1]) + 1
+        # Run boundaries: a nonzero byte delta marks a value change
+        # (uint8 wraparound is harmless — a - b == 0 mod 256 iff a == b).
+        change = np.flatnonzero(np.diff(arr)) + 1
         starts = np.concatenate(([0], change))
         ends = np.concatenate((change, [arr.size]))
-        lengths = (ends - starts).astype(np.uint32)
+        lengths = ends - starts
         values = arr[starts]
+        if int(lengths.max()) > MAX_RUN:
+            # Split over-long runs into repeated full entries plus a
+            # remainder, all vectorized: entry i..i+reps-1 carry MAX_RUN
+            # except the last, which takes what is left of the run.
+            reps = -(-lengths // MAX_RUN)
+            values = np.repeat(values, reps)
+            split = np.full(int(reps.sum()), MAX_RUN, dtype=np.int64)
+            last = np.cumsum(reps) - 1
+            split[last] = lengths - (reps - 1) * MAX_RUN
+            lengths = split
         body = np.empty(lengths.size, dtype=[("len", "<u4"), ("val", "u1")])
         body["len"] = lengths
         body["val"] = values

@@ -48,6 +48,27 @@ def unshuffle_bytes(data: bytes, itemsize: int, original_len: int) -> bytes:
     return out + data[whole:original_len]
 
 
+def _unshuffle_array(data: bytes, itemsize: int, original_len: int) -> np.ndarray:
+    """Unshuffle straight into an owned, writable uint8 array.
+
+    For ``itemsize > 1`` the transpose copy *is* the only copy: the
+    result is the contiguous buffer ``np.ascontiguousarray`` produced,
+    so the caller can view/reshape it zero-copy.  ``itemsize <= 1``
+    (identity shuffle) still pays one copy out of the read-only bytes.
+    """
+    if itemsize <= 1 or original_len % itemsize:
+        raw = unshuffle_bytes(data, itemsize, original_len)
+        return np.frombuffer(raw, dtype=np.uint8).copy()
+    arr = np.frombuffer(data, dtype=np.uint8, count=original_len).reshape(itemsize, -1)
+    out = np.ascontiguousarray(arr.T)
+    if not out.flags.writeable:
+        # A degenerate transpose (single sample) can already be
+        # contiguous, in which case ascontiguousarray handed back the
+        # read-only view of the input bytes — copy to keep ownership.
+        out = out.copy()
+    return out
+
+
 class ShuffleCodec(Codec):
     """Byte-shuffle + inner lossless codec (default zlib)."""
 
@@ -87,10 +108,11 @@ class ShuffleCodec(Codec):
         shuffled = self.inner.decode_bytes(blob[_HEADER.size :])
         if len(shuffled) != original:
             raise CodecError("shuffle: payload length mismatch")
-        raw = unshuffle_bytes(shuffled, itemsize, original)
-        arr = np.frombuffer(raw, dtype=target)
+        # The unshuffled buffer is a fresh array this call owns, so the
+        # dtype view + reshape below are zero-copy — no trailing .copy().
+        arr = _unshuffle_array(shuffled, itemsize, original).view(target)
         try:
-            return arr.reshape(tuple(int(s) for s in shape)).copy()
+            return arr.reshape(tuple(int(s) for s in shape))
         except ValueError as exc:
             raise CodecError(f"shuffle: decoded size does not match shape {shape}") from exc
 

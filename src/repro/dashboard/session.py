@@ -11,7 +11,7 @@ for the interactivity benchmark (F7).
 from __future__ import annotations
 
 import time as _time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -375,18 +375,12 @@ class DashboardSession:
             time=self.state.time,
         )
 
-    def current_frame(self, *, fit_viewport: bool = False) -> np.ndarray:
-        """RGB frame for the current widget state.
-
-        For 3-D datasets the active slice plane is rendered (the volume
-        slicer); the singleton axis is squeezed away.
-        """
-        result = self.fetch_data()
-        data = result.data
+    def _render_plane(self, data: np.ndarray, *, fit_viewport: bool) -> np.ndarray:
+        """Colour-map one query-result plane under the current widget state."""
         if data.ndim == 3 and self.state.slice_axis is not None:
             data = np.squeeze(data, axis=self.state.slice_axis)
         if data.ndim != 2:
-            raise RuntimeError("current_frame renders 2-D planes only")
+            raise RuntimeError("frame rendering handles 2-D planes only")
         vmin, vmax = self.state.vmin, self.state.vmax
         if self.state.range_mode is RangeMode.DYNAMIC:
             vmin = vmax = None
@@ -403,6 +397,55 @@ class DashboardSession:
         return self._timed(
             "render", render_raster, data, palette=self.state.palette, vmin=vmin, vmax=vmax
         )
+
+    def current_frame(self, *, fit_viewport: bool = False) -> np.ndarray:
+        """RGB frame for the current widget state.
+
+        For 3-D datasets the active slice plane is rendered (the volume
+        slicer); the singleton axis is squeezed away.
+        """
+        result = self.fetch_data()
+        return self._render_plane(result.data, fit_viewport=fit_viewport)
+
+    def refine_frames(
+        self,
+        *,
+        start_resolution: int = 0,
+        fit_viewport: bool = False,
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Progressive slider sweep: yield ``(level, frame)`` coarse → fine.
+
+        One :class:`~repro.idx.query.BoxQuery` drives the entire sweep
+        through the incremental ``progressive()`` engine, so each tick
+        gathers only the samples new at its level and reads only that
+        level's new blocks — O(L) total level work for an L-step sweep,
+        where re-issuing ``current_frame`` per slider tick re-executes
+        every coarser level each time (O(L²)).  The plan cache makes the
+        lattice arithmetic of repeated sweeps over the same viewport
+        free.
+
+        For 3-D datasets the slice plane is snapped at the *final*
+        resolution and held fixed across the sweep; coarse steps whose
+        lattice misses that plane are skipped rather than rendered empty.
+        """
+        end = self.effective_resolution()
+        query = self.dataset.query(
+            box=self._effective_box(end),
+            resolution=end,
+            field=self.state.field_name,
+            time=self.state.time,
+        )
+        self.state.record("refine_frames", start=int(start_resolution), end=end)
+        steps = query.progressive(int(start_resolution))
+        while True:
+            t0 = _time.perf_counter()
+            result = next(steps, None)
+            if result is None:
+                break
+            self.op_timings.append(("refine", _time.perf_counter() - t0))
+            if result.data.size == 0:
+                continue
+            yield result.level, self._render_plane(result.data, fit_viewport=fit_viewport)
 
     # -- analysis tools ---------------------------------------------------------------------------
 

@@ -34,7 +34,7 @@ Layout of the package:
 """
 
 from repro.idx.bitmask import Bitmask
-from repro.idx.hzorder import HzOrder
+from repro.idx.hzorder import HzOrder, PLAN_CACHE, PlanCache
 from repro.idx.blocks import BlockLayout
 from repro.idx.cache import BlockCache
 from repro.idx.dataset import IdxDataset
@@ -86,7 +86,9 @@ __all__ = [
     "IdxError",
     "IdxHeader",
     "LocalAccess",
+    "PLAN_CACHE",
     "ParallelFetcher",
+    "PlanCache",
     "QueryResult",
     "RemoteAccess",
     "VerificationReport",

@@ -69,6 +69,26 @@ class AccessCounters:
         else:
             self.truncated = True
 
+    def snapshot(self) -> Tuple[int, int, int]:
+        """Checkpoint ``(blocks_read, bytes_read, log length)``.
+
+        Subtract two snapshots to account for one step of a larger
+        interaction — the progressive-refinement tests and benchmarks use
+        this to assert each refinement reads only the blocks new at its
+        level.
+        """
+        return (self.blocks_read, self.bytes_read, len(self.access_log))
+
+    def blocks_since(self, snap: Tuple[int, int, int]) -> List[Tuple[int, int, int]]:
+        """Block keys recorded after ``snap`` (exact while the log is uncapped).
+
+        Raises ``RuntimeError`` once the capped log has dropped entries,
+        rather than silently under-reporting.
+        """
+        if self.truncated:
+            raise RuntimeError("access_log was truncated; per-step keys unavailable")
+        return list(self.access_log[snap[2] :])
+
 
 class Access(ABC):
     """Abstract block provider for one IDX dataset."""

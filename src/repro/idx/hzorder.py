@@ -22,14 +22,18 @@ loops; per-bit loops are bounded by ``maxh <= 62``.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.idx.bitmask import Bitmask
+from repro.idx.cache import CacheStats
 from repro.util.arrays import Box, ceil_div
+from repro.util.units import parse_bytes
 
-__all__ = ["HzOrder"]
+__all__ = ["HzOrder", "PLAN_CACHE", "PlanCache"]
 
 _U64 = np.uint64
 _POW2 = (np.uint64(1) << np.arange(64, dtype=np.uint64)).astype(np.uint64)
@@ -38,6 +42,114 @@ _POW2 = (np.uint64(1) << np.arange(64, dtype=np.uint64)).astype(np.uint64)
 def _bit_length_u64(values: np.ndarray) -> np.ndarray:
     """Exact per-element bit length of a uint64 array (0 -> 0)."""
     return np.searchsorted(_POW2, values, side="right").astype(np.int64)
+
+
+#: Cached value of one ``level_plan`` call (``None`` when the box holds no
+#: delta samples at that level).
+Plan = Optional[Tuple[List[np.ndarray], np.ndarray]]
+
+#: Cache key: (bitmask pattern, level, box.lo, box.hi).
+PlanKey = Tuple[str, int, Tuple[int, ...], Tuple[int, ...]]
+
+
+class PlanCache:
+    """Byte-bounded LRU of :meth:`HzOrder.level_plan` lattices.
+
+    Dashboard interactions re-issue the same (box, level) queries on
+    every slider tick or pan step, and each :class:`BoxQuery` builds a
+    fresh :class:`HzOrder`; without a shared cache every tick re-derives
+    the same delta-lattice coordinates and HZ addresses.  The cache is
+    keyed by bitmask pattern so any number of datasets and sessions can
+    share the process-wide instance (:data:`PLAN_CACHE`).
+
+    Cached plans are shared, so their arrays are marked read-only before
+    insertion; consumers only ever index with them.  Hit/miss/eviction
+    accounting reuses :class:`~repro.idx.cache.CacheStats` — the same
+    stats object the block cache exposes — so benchmarks report both
+    caches through one plumbing.
+    """
+
+    def __init__(self, capacity: "int | str" = "32 MiB") -> None:
+        self.capacity = parse_bytes(capacity)
+        if self.capacity <= 0:
+            raise ValueError("plan cache capacity must be positive")
+        self._entries: "OrderedDict[PlanKey, Plan]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    @staticmethod
+    def _plan_nbytes(plan: Plan) -> int:
+        if plan is None:
+            return 64  # nominal charge for a cached negative result
+        coords, hz = plan
+        return int(hz.nbytes) + sum(int(c.nbytes) for c in coords)
+
+    def get(self, key: PlanKey) -> "Plan | ellipsis":
+        """Cached plan for ``key``, or ``Ellipsis`` on a miss.
+
+        ``Ellipsis`` is the miss sentinel because ``None`` is a valid
+        cached value (an empty level).
+        """
+        with self._lock:
+            if key not in self._entries:
+                self.stats.misses += 1
+                return ...
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+
+    def put(self, key: PlanKey, plan: Plan) -> Plan:
+        """Insert ``plan`` (arrays become read-only); returns it for chaining."""
+        if plan is not None:
+            coords, hz = plan
+            for c in coords:
+                c.setflags(write=False)
+            hz.setflags(write=False)
+        nbytes = self._plan_nbytes(plan)
+        if nbytes > self.capacity:
+            return plan  # one oversized plan would evict everything
+        with self._lock:
+            if key in self._entries:
+                # A cached None is a legitimate entry, so membership (not
+                # pop's default) decides whether this is a replacement.
+                old_nbytes = self._plan_nbytes(self._entries.pop(key))
+                self._bytes -= old_nbytes
+                self.stats.replacements += 1
+                self.stats.inserted_bytes += nbytes - old_nbytes
+            else:
+                self.stats.inserted_bytes += nbytes
+            self._entries[key] = plan
+            self._bytes += nbytes
+            while self._bytes > self.capacity:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= self._plan_nbytes(evicted)
+                self.stats.evictions += 1
+        return plan
+
+    def clear(self) -> None:
+        """Drop every entry (cumulative stats survive, as for BlockCache)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        # Racy-but-benign display read, same rationale as BlockCache.__repr__.
+        hit_rate = self.stats.hit_rate  # repro-lint: disable=lock-discipline
+        return f"PlanCache({len(self)} plans, {self.used_bytes}/{self.capacity} B, hit_rate={hit_rate:.2f})"
+
+
+#: Process-wide plan cache shared by every :class:`HzOrder` instance.
+PLAN_CACHE = PlanCache()
 
 
 class HzOrder:
@@ -161,7 +273,7 @@ class HzOrder:
     # -- level-wise scatter/gather planning ------------------------------------
 
     def level_plan(
-        self, h: int, box: Box
+        self, h: int, box: Box, *, cache: Optional[PlanCache] = PLAN_CACHE
     ) -> Optional[Tuple[List[np.ndarray], np.ndarray]]:
         """Per-axis lattice coords of level-``h`` delta samples inside ``box``
         and their flat HZ addresses.
@@ -174,8 +286,25 @@ class HzOrder:
         meshgrid is never materialised; ``hz`` is returned raveled in the
         same C order as ``arr[np.ix_(*coords)].ravel()``.
 
+        Results are memoised in ``cache`` (default: the process-wide
+        :data:`PLAN_CACHE`) keyed on (bitmask, level, box), so repeated
+        dashboard interactions pay the lattice arithmetic once; cached
+        arrays are read-only.  Pass ``cache=None`` to force a fresh
+        computation.
+
         Returns ``None`` when the box contains no level-``h`` delta samples.
         """
+        if cache is not None:
+            key: PlanKey = (self.bitmask.pattern, h, box.lo, box.hi)
+            plan = cache.get(key)
+            if plan is not ...:
+                return plan
+            return cache.put(key, self._compute_level_plan(h, box))
+        return self._compute_level_plan(h, box)
+
+    def _compute_level_plan(
+        self, h: int, box: Box
+    ) -> Optional[Tuple[List[np.ndarray], np.ndarray]]:
         phase, step = self.bitmask.delta_lattice(h)
         coords: List[np.ndarray] = []
         for a in range(self.bitmask.ndim):

@@ -29,8 +29,15 @@ BlockKey = Tuple[int, int, int]  # (time_idx, field_idx, block_id)
 
 
 def access_histogram(access_log: Iterable[BlockKey]) -> Dict[BlockKey, int]:
-    """Per-block access counts from one or more access logs."""
-    return dict(Counter(tuple(k) for k in access_log))
+    """Per-block access counts from an access log.
+
+    Accepts the raw log (an iterable of ``(time, field, block)`` keys) or
+    anything exposing an ``access_log`` attribute — in particular an
+    :class:`~repro.idx.access.AccessCounters`, so callers can pass
+    ``access.counters`` straight through.
+    """
+    log = getattr(access_log, "access_log", access_log)
+    return dict(Counter(tuple(k) for k in log))
 
 
 def reorganize(

@@ -8,16 +8,33 @@ and a timestep; :meth:`BoxQuery.execute` returns the lattice of samples
 inside the box at that resolution, touching only the blocks that contain
 those samples.
 
-The per-level kernel is fully vectorized: per-axis delta-lattice
-coordinates are transformed to partial Z addresses independently and
-combined with a broadcasted OR, so the coordinate meshgrid is never
-materialised and the innermost work is a handful of uint64 array ops.
+The execution core is built around three mechanisms (DESIGN.md §10):
+
+- a *grouped gather kernel*: all sample addresses of a query are fused
+  into one flat array, grouped by owning block with a single stable
+  argsort + ``searchsorted`` segmentation, and gathered with one fancy
+  index per contiguous block segment — O(N log N) total instead of the
+  O(N·B) per-block rescan of the reference kernel (kept as
+  :meth:`BoxQuery._gather_scan` for the equivalence suite);
+- *incremental refinement*: :meth:`BoxQuery.progressive` carries the
+  previous level's output lattice forward — coarse samples are a strided
+  subset of the finer lattice — so each step gathers and scatters only
+  the samples (and reads only the blocks) new at that level, making a
+  full slider sweep O(L) level work instead of O(L²);
+- a shared *plan cache* (:data:`repro.idx.hzorder.PLAN_CACHE`) that
+  memoises the per-(box, level) lattice plans across repeated dashboard
+  interactions.
+
+The per-level planner itself stays fully vectorized: per-axis
+delta-lattice coordinates are transformed to partial Z addresses
+independently and combined with a broadcasted OR, so the coordinate
+meshgrid is never materialised.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -110,13 +127,53 @@ class BoxQuery:
         self,
         hz_flat: np.ndarray,
         dtype: np.dtype,
-        memo: "dict[int, np.ndarray] | None" = None,
+        memo: "Dict[int, np.ndarray] | None" = None,
     ) -> np.ndarray:
-        """Fetch samples for flat HZ addresses via block reads.
+        """Fetch samples for flat HZ addresses via grouped block reads.
 
-        ``memo`` caches decoded blocks across the levels of one query —
-        coarse levels share block 0, so without it the same block would
-        be fetched and decoded once per level.
+        The addresses are grouped by owning block with one stable argsort
+        (:meth:`~repro.idx.blocks.BlockLayout.group_by_block`); each
+        block's samples are then gathered with a single fancy index over
+        its contiguous segment of the sort order.  Total cost is
+        O(N log N) regardless of how many blocks the query spans — the
+        reference kernel (:meth:`_gather_scan`) rescans the full address
+        array once per block instead.
+
+        ``memo`` caches decoded blocks across calls — a progressive
+        sweep passes one memo down all its steps, so a refinement never
+        re-reads a block an earlier level already fetched.
+        """
+        out = np.empty(hz_flat.shape, dtype=dtype)
+        if out.size == 0:
+            return out
+        order, block_ids, bounds = self.layout.group_by_block(hz_flat)
+        # Gather in sort order — each block's segment is then a plain
+        # slice — and scatter back through the permutation once at the
+        # end, so the per-block loop never fancy-indexes.
+        sorted_offs = self.layout.offset_in_block(hz_flat[order])
+        gathered = np.empty(hz_flat.shape, dtype=dtype)
+        for i, bid in enumerate(block_ids.tolist()):
+            block = memo.get(bid) if memo is not None else None
+            if block is None:
+                block = self.access.read_block(self.time_idx, self.field_idx, bid)
+                if memo is not None:
+                    memo[bid] = block
+            lo, hi = bounds[i], bounds[i + 1]
+            gathered[lo:hi] = block[sorted_offs[lo:hi]]
+        out[order] = gathered
+        return out
+
+    def _gather_scan(
+        self,
+        hz_flat: np.ndarray,
+        dtype: np.dtype,
+        memo: "Dict[int, np.ndarray] | None" = None,
+    ) -> np.ndarray:
+        """Reference gather kernel: per-block masked rescan, O(N·B).
+
+        Semantically identical to :meth:`_gather`; kept as the ground
+        truth of the byte-equivalence suite and the baseline of the
+        gather ablation benchmark (``bench_query_engine.py``).
         """
         out = np.empty(hz_flat.shape, dtype=dtype)
         bids = self.layout.block_of(hz_flat)
@@ -153,62 +210,155 @@ class BoxQuery:
 
         Only blocks containing samples of levels ``0..resolution`` inside
         the box are read, which is what makes coarse queries touch a tiny
-        fraction of the data (claim C2).
+        fraction of the data (claim C2).  An explicit ``resolution`` may
+        only *coarsen* the query: values finer than the
+        ``end_resolution`` fixed at construction raise ``ValueError``
+        instead of silently bypassing the constructor's cap.
         """
-        h_end = self.end_resolution if resolution is None else int(resolution)
-        if not 0 <= h_end <= self.bitmask.maxh:
-            raise ValueError(f"resolution {resolution} out of range")
+        if resolution is None:
+            h_end = self.end_resolution
+        else:
+            h_end = int(resolution)
+            if not 0 <= h_end <= self.end_resolution:
+                raise ValueError(
+                    f"resolution {resolution} out of range [0, {self.end_resolution}]"
+                )
+        return self._run(h_end, memo=None)
+
+    def _run(self, h_end: int, memo: "Dict[int, np.ndarray] | None") -> QueryResult:
+        """Full gather of levels ``0..h_end`` in one fused kernel pass."""
         dtype = self.header.field_dtype(self.field_idx)
         offsets, strides, shape = self._output_grid(h_end)
         data = np.full(shape, self.header.fill_value, dtype=dtype)
-        found = 0
         if any(s == 0 for s in shape):
             return QueryResult(
                 data, h_end, self.box, offsets, strides, self.field_name, self.time_value, 0
             )
-        # Phase 1: compute every level's sample addresses, so one batched
-        # prefetch can pipeline all block fetches into a single round trip
-        # on remote access layers.
+        # Phase 1: plan every level's sample addresses (cached lattices),
+        # fused into one flat address array so the gather kernel runs
+        # once per query — the per-level Python loop only scatters.
         plan: List[Tuple[int, List[np.ndarray], np.ndarray]] = []
-        all_bids: List[np.ndarray] = []
         for h in range(0, h_end + 1):
             level = self.hz.level_plan(h, self.box)
             if level is None:
                 continue
             coords, hz_addr = level
             plan.append((h, coords, hz_addr))
-            all_bids.append(self.layout.block_of(hz_addr))
-        if all_bids:
-            wanted = np.unique(np.concatenate(all_bids))
-            self.access.prefetch(self.time_idx, self.field_idx, wanted.tolist())
+        found = 0
+        if plan:
+            all_hz = (
+                plan[0][2]
+                if len(plan) == 1
+                else np.concatenate([hz_addr for _, _, hz_addr in plan])
+            )
+            wanted = np.unique(self.layout.block_of(all_hz)).tolist()
+            if memo:
+                wanted = [bid for bid in wanted if bid not in memo]
+            if wanted:
+                self.access.prefetch(self.time_idx, self.field_idx, wanted)
 
-        # Phase 2: gather and place each level's samples.  Prefetched
-        # blocks (staged decodes or in-flight parallel fetches) live
-        # exactly as long as this query; the finally drops the stage so
-        # nothing fetched here outlives its query scope.
-        try:
-            memo: dict = {}
+            # Phase 2: one grouped gather over every level's addresses,
+            # then per-level scatters into the output lattice.  Prefetched
+            # blocks (staged decodes or in-flight parallel fetches) live
+            # exactly as long as this query; the finally drops the stage
+            # so nothing fetched here outlives its query scope.
+            try:
+                values = self._gather(all_hz, dtype, memo)
+            finally:
+                self.access.release_prefetched()
+            found = int(values.size)
+            pos = 0
             for h, coords, hz_addr in plan:
-                values = self._gather(hz_addr, dtype, memo)
-                found += values.size
+                chunk = values[pos : pos + hz_addr.size]
+                pos += hz_addr.size
                 index = tuple(
                     (coords[a] - offsets[a]) // strides[a] for a in range(self.bitmask.ndim)
                 )
-                data[np.ix_(*index)] = values.reshape(tuple(len(c) for c in coords))
-        finally:
-            self.access.release_prefetched()
+                data[np.ix_(*index)] = chunk.reshape(tuple(len(c) for c in coords))
         return QueryResult(
             data, h_end, self.box, offsets, strides, self.field_name, self.time_value, found
         )
 
-    def progressive(self, start_resolution: int = 0) -> Iterator[QueryResult]:
-        """Yield results coarse -> fine, one per level.
+    def _refine(
+        self, prev: QueryResult, h: int, memo: "Dict[int, np.ndarray]"
+    ) -> QueryResult:
+        """One incremental refinement step: level ``h`` from ``prev`` at ``h-1``.
 
-        With a cached access layer, each refinement only transfers the
-        blocks new at that level; coarse blocks are cache hits.  This is
-        the interaction pattern of the dashboard resolution slider.
+        The level-``h`` output lattice is allocated fresh (yielded results
+        stay immutable for their consumers) and the previous lattice is
+        embedded as a strided subset — every coarse sample's coordinate
+        lies on the finer lattice, at index
+        ``(prev.offset - offset) / stride`` with step
+        ``prev.stride / stride`` per axis.  Only level ``h``'s delta
+        samples are then gathered and scattered, so the step reads only
+        blocks holding level-``h`` samples (minus anything already in
+        ``memo`` from earlier steps).
+        """
+        dtype = prev.data.dtype
+        offsets, strides, shape = self._output_grid(h)
+        data = np.full(shape, self.header.fill_value, dtype=dtype)
+        if any(s == 0 for s in shape):
+            return QueryResult(
+                data, h, self.box, offsets, strides, self.field_name, self.time_value, 0
+            )
+        found = prev.found
+        if prev.data.size:
+            sel = tuple(
+                slice(
+                    (prev.offsets[a] - offsets[a]) // strides[a],
+                    None,
+                    prev.strides[a] // strides[a],
+                )
+                for a in range(self.bitmask.ndim)
+            )
+            data[sel] = prev.data
+        level = self.hz.level_plan(h, self.box)
+        if level is not None:
+            coords, hz_addr = level
+            wanted = [
+                bid
+                for bid in np.unique(self.layout.block_of(hz_addr)).tolist()
+                if bid not in memo
+            ]
+            if wanted:
+                self.access.prefetch(self.time_idx, self.field_idx, wanted)
+            try:
+                values = self._gather(hz_addr, dtype, memo)
+            finally:
+                self.access.release_prefetched()
+            found += int(values.size)
+            index = tuple(
+                (coords[a] - offsets[a]) // strides[a] for a in range(self.bitmask.ndim)
+            )
+            data[np.ix_(*index)] = values.reshape(tuple(len(c) for c in coords))
+        return QueryResult(
+            data, h, self.box, offsets, strides, self.field_name, self.time_value, found
+        )
+
+    def progressive(self, start_resolution: int = 0) -> Iterator[QueryResult]:
+        """Yield results coarse -> fine, one per level — incrementally.
+
+        The first step runs a full gather of levels ``0..start``; every
+        later step refines the previous result in place of re-executing
+        the whole prefix: the coarse lattice is embedded into the finer
+        one as a strided subset and only the new level's samples are
+        gathered.  A sweep over L levels therefore does O(L) level
+        gathers (the naive per-step re-execution does O(L²)) and each
+        refinement reads only the blocks new at its level — decoded
+        blocks are memoised for the lifetime of this generator, so even
+        an uncached access layer is never asked twice.  Results are
+        byte-identical to ``execute(resolution=h)`` at every step.
+
+        This is the interaction pattern of the dashboard resolution
+        slider.
         """
         if not 0 <= start_resolution <= self.end_resolution:
             raise ValueError("start_resolution out of range")
+        memo: Dict[int, np.ndarray] = {}
+        result: Optional[QueryResult] = None
         for h in range(start_resolution, self.end_resolution + 1):
-            yield self.execute(resolution=h)
+            if result is None:
+                result = self._run(h, memo)
+            else:
+                result = self._refine(result, h, memo)
+            yield result

@@ -87,6 +87,39 @@ class TestRle:
         assert len(encoded) < 30  # single run, uint32 length
         assert codec.decode_bytes(encoded) == data
 
+    def test_runs_longer_than_max_are_split(self, monkeypatch):
+        # Shrink the entry-size limit so the uint32-overflow split path
+        # runs without a 4 GiB payload; the wire format is unchanged
+        # (consecutive same-value entries), so the real decoder applies.
+        import struct
+
+        from repro.compression import rle_codec
+
+        monkeypatch.setattr(rle_codec, "MAX_RUN", 7)
+        codec = RleCodec()
+        data = b"a" * 20 + b"b" + b"c" * 7 + b"d" * 8
+        encoded = codec.encode_bytes(data)
+        body = np.frombuffer(
+            encoded, dtype=[("len", "<u4"), ("val", "u1")], offset=struct.calcsize("<4sQ")
+        )
+        assert int(body["len"].max()) <= 7
+        # 20 -> 7+7+6, 1 -> 1, 7 -> 7, 8 -> 7+1.
+        assert body["len"].tolist() == [7, 7, 6, 1, 7, 7, 1]
+        assert body["val"].tolist() == [ord(c) for c in "aaabcdd"]
+        assert codec.decode_bytes(encoded) == data
+
+    def test_split_runs_match_unsplit_decode(self, monkeypatch):
+        # An encoder that splits must stay interchangeable with one that
+        # doesn't: both streams decode to the same payload.
+        from repro.compression import rle_codec
+
+        data = bytes(np.repeat(np.arange(5, dtype=np.uint8), [13, 1, 30, 2, 9]))
+        plain = RleCodec().encode_bytes(data)
+        monkeypatch.setattr(rle_codec, "MAX_RUN", 4)
+        split = RleCodec().encode_bytes(data)
+        assert len(split) > len(plain)
+        assert RleCodec().decode_bytes(split) == RleCodec().decode_bytes(plain) == data
+
 
 class TestLz4:
     def test_accel_validation(self):

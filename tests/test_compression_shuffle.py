@@ -74,6 +74,36 @@ class TestShuffleCodec:
         again = get_codec(codec.spec())
         assert again.inner.spec() == codec.inner.spec()
 
+    def test_decode_is_zero_copy_and_writable(self, rng):
+        # The transpose inside unshuffling is the only copy: decode views
+        # and reshapes that buffer instead of tacking a .copy() on the end.
+        codec = get_codec("shuffle")
+        a = rng.random((16, 16)).astype(np.float32)
+        out = codec.decode_array(codec.encode_array(a), a.dtype, a.shape)
+        assert out.flags.writeable
+        assert out.base is not None  # a view over the unshuffle buffer
+        assert out.base.flags.owndata and out.base.flags.writeable
+        out[0, 0] += 1.0  # mutating the result must not raise
+        assert out[0, 0] == a[0, 0] + 1.0
+
+    def test_decode_itemsize_one_still_writable(self, rng):
+        codec = get_codec("shuffle")
+        a = rng.integers(0, 256, (8, 8)).astype(np.uint8)
+        out = codec.decode_array(codec.encode_array(a), a.dtype, a.shape)
+        assert np.array_equal(out, a)
+        assert out.flags.writeable
+        out[0, 0] ^= 0xFF
+
+    def test_decode_single_sample(self):
+        # Degenerate transpose: one sample is already contiguous, which
+        # exercises the ownership guard in _unshuffle_array.
+        codec = get_codec("shuffle")
+        a = np.array([3.25], dtype=np.float64)
+        out = codec.decode_array(codec.encode_array(a), a.dtype, a.shape)
+        assert np.array_equal(out, a)
+        assert out.flags.writeable
+        out[0] = 7.0
+
     def test_idx_integration(self, tmp_path, rng):
         from repro.idx import IdxDataset
 

@@ -194,4 +194,14 @@ class TestSimulatedWanOverlap:
         results = list(ds.progressive(start_resolution=4))
         assert results[-1].data.shape == a.shape
         assert np.array_equal(results[-1].data, a)
-        assert cache.stats.hits > 0  # refinements reuse coarse blocks
+        # Incremental refinement never re-requests a block within one
+        # sweep — every request the cache saw was a distinct block's
+        # single miss...
+        assert cache.stats.hits == 0
+        first_sweep_misses = cache.stats.misses
+        # ...and a second identical sweep (a user scrubbing the slider
+        # again) is served entirely from the cache.
+        again = list(ds.progressive(start_resolution=4))
+        assert np.array_equal(again[-1].data, a)
+        assert cache.stats.misses == first_sweep_misses
+        assert cache.stats.hits + cache.stats.coalesced > 0

@@ -1,0 +1,301 @@
+"""Equivalence and accounting tests for the vectorized query engine.
+
+The grouped gather kernel, the fused per-query gather, and incremental
+``progressive()`` must be byte-identical to the reference per-level
+masked-scan engine (kept as ``BoxQuery._gather_scan``) for every (box,
+resolution) pair — and each incremental refinement may read only the
+blocks new at its level.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.idx import BoxQuery, IdxDataset
+from repro.idx.hzorder import PLAN_CACHE, PlanCache
+
+SHAPE = (32, 48)
+
+
+def _reference_execute(ds: IdxDataset, box, h_end: int):
+    """The pre-vectorization engine: per-level masked-scan gather+scatter.
+
+    Mirrors the old ``BoxQuery.execute`` exactly (one ``_gather_scan``
+    per level, shared block memo, uncached plans) so the new engine can
+    be compared byte-for-byte against it.
+    """
+    q = ds.query(box=box, resolution=h_end)
+    dtype = q.header.field_dtype(q.field_idx)
+    offsets, strides, shape = q._output_grid(h_end)
+    data = np.full(shape, q.header.fill_value, dtype=dtype)
+    found = 0
+    if not any(s == 0 for s in shape):
+        memo = {}
+        for h in range(h_end + 1):
+            level = q.hz.level_plan(h, q.box, cache=None)
+            if level is None:
+                continue
+            coords, hz_addr = level
+            values = q._gather_scan(hz_addr, dtype, memo)
+            found += values.size
+            index = tuple(
+                (coords[a] - offsets[a]) // strides[a] for a in range(q.bitmask.ndim)
+            )
+            data[np.ix_(*index)] = values.reshape(tuple(len(c) for c in coords))
+    return SimpleNamespace(data=data, found=found, offsets=offsets, strides=strides)
+
+
+_DATASETS = {}
+
+
+def _dataset(dtype: str, bits: int):
+    """Finalized dataset + source array, cached per (dtype, block size)."""
+    key = (dtype, bits)
+    if key not in _DATASETS:
+        import tempfile
+
+        rng = np.random.default_rng(hash(key) % (2**32))
+        if dtype == "float32":
+            arr = rng.random(SHAPE, dtype=np.float64).astype(np.float32)
+        else:
+            arr = rng.integers(1, 200, SHAPE).astype(dtype)
+        path = tempfile.mktemp(suffix=".idx")
+        ds = IdxDataset.create(
+            path, dims=SHAPE, fields={"v": dtype}, bits_per_block=bits
+        )
+        ds.write(arr)
+        ds.finalize()
+        _DATASETS[key] = (IdxDataset.open(path), arr)
+    return _DATASETS[key]
+
+
+@given(
+    ly=st.integers(0, SHAPE[0] - 1),
+    lx=st.integers(0, SHAPE[1] - 1),
+    height=st.integers(1, SHAPE[0]),
+    width=st.integers(1, SHAPE[1]),
+    bits=st.sampled_from([4, 6, 9]),
+    dtype=st.sampled_from(["float32", "int32", "uint8"]),
+    end_frac=st.floats(0.0, 1.0),
+    start_frac=st.floats(0.0, 1.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_engine_matches_reference(
+    ly, lx, height, width, bits, dtype, end_frac, start_frac
+):
+    """execute() and every progressive() step are byte-identical to the
+    reference brute-force engine across boxes, dtypes, block sizes, and
+    start/end resolutions — and to the NumPy ground truth."""
+    ds, arr = _dataset(dtype, bits)
+    box = ((ly, lx), (min(SHAPE[0], ly + height), min(SHAPE[1], lx + width)))
+    end = round(end_frac * ds.maxh)
+    start = round(start_frac * end)
+
+    q = ds.query(box=box, resolution=end)
+    steps = list(q.progressive(start_resolution=start))
+    assert [r.level for r in steps] == list(range(start, end + 1))
+    for result in steps:
+        ref = _reference_execute(ds, box, result.level)
+        assert result.data.tobytes() == ref.data.tobytes()
+        assert result.data.dtype == ref.data.dtype
+        assert result.data.shape == ref.data.shape
+        assert result.found == ref.found
+        assert result.offsets == ref.offsets
+        assert result.strides == ref.strides
+        # Ground truth: the lattice is exactly the strided NumPy subsample.
+        if result.data.size:
+            sub = arr[np.ix_(result.axis_coords(0), result.axis_coords(1))]
+            assert np.array_equal(result.data, sub)
+
+    # A direct execute at the end resolution matches the last step.
+    direct = ds.query(box=box, resolution=end).execute()
+    assert direct.data.tobytes() == steps[-1].data.tobytes()
+    assert direct.found == steps[-1].found
+
+
+class TestGroupedGatherKernel:
+    def test_kernels_agree_on_full_query(self, idx_factory, rng):
+        ds = idx_factory(rng.random((64, 64)).astype(np.float32), bits_per_block=6)
+        q = ds.query()
+        dtype = q.header.field_dtype(q.field_idx)
+        parts = []
+        for h in range(ds.maxh + 1):
+            level = q.hz.level_plan(h, q.box, cache=None)
+            if level is not None:
+                parts.append(level[1])
+        all_hz = np.concatenate(parts)
+        grouped = q._gather(all_hz, dtype)
+        scanned = q._gather_scan(all_hz, dtype)
+        assert grouped.tobytes() == scanned.tobytes()
+
+    def test_memo_prevents_rereads(self, idx_factory, rng):
+        ds = idx_factory(rng.random((32, 32)).astype(np.float32), bits_per_block=4)
+        q = ds.query()
+        hz = np.arange(64, dtype=np.uint64)
+        memo = {}
+        q._gather(hz, np.dtype(np.float32), memo)
+        before = ds.access.counters.blocks_read
+        q._gather(hz, np.dtype(np.float32), memo)
+        assert ds.access.counters.blocks_read == before
+
+    def test_group_by_block_segments(self, idx_factory, rng):
+        ds = idx_factory(rng.random((32, 32)).astype(np.float32), bits_per_block=4)
+        hz = rng.integers(0, ds.layout.total_samples, 500).astype(np.uint64)
+        order, block_ids, bounds = ds.layout.group_by_block(hz)
+        assert bounds[0] == 0 and bounds[-1] == hz.size
+        covered = np.zeros(hz.size, dtype=bool)
+        for i, bid in enumerate(block_ids.tolist()):
+            seg = order[bounds[i] : bounds[i + 1]]
+            assert (ds.layout.block_of(hz[seg]) == bid).all()
+            covered[seg] = True
+        assert covered.all()
+
+
+class TestIncrementalBlockReads:
+    def _build(self, tmp_path, rng, bits=6):
+        a = rng.random((64, 64)).astype(np.float32)
+        path = str(tmp_path / "inc.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=bits)
+        ds.write(a)
+        ds.finalize()
+        return IdxDataset.open(path)
+
+    @pytest.mark.parametrize("start", [0, 3])
+    def test_each_step_reads_only_new_blocks(self, tmp_path, rng, start):
+        ds = self._build(tmp_path, rng)
+        q = ds.query()
+        counters = ds.access.counters
+        seen = set()
+        snap = counters.snapshot()
+        for result in q.progressive(start_resolution=start):
+            h = result.level
+            reads = {b for (_, _, b) in counters.blocks_since(snap)}
+            snap = counters.snapshot()
+            lo = start if h == start else h  # first step covers levels 0..start
+            expected = set()
+            for level in range(0 if h == lo == start else h, h + 1):
+                plan = q.hz.level_plan(level, q.box, cache=None)
+                if plan is not None:
+                    expected |= set(np.unique(q.layout.block_of(plan[1])).tolist())
+            assert reads == expected - seen
+            seen |= expected
+
+    def test_sweep_total_reads_are_distinct_blocks(self, tmp_path, rng):
+        ds = self._build(tmp_path, rng)
+        list(ds.query().progressive(0))
+        counters = ds.access.counters
+        log = [b for (_, _, b) in counters.access_log]
+        # O(L) sweep: no block is ever read twice across the whole sweep.
+        assert len(log) == len(set(log))
+        # The naive per-tick engine re-reads every coarser level's blocks.
+        naive = IdxDataset.open(ds.path)
+        for h in range(naive.maxh + 1):
+            naive.read(resolution=h)
+        assert naive.access.counters.blocks_read > counters.blocks_read
+
+
+class TestResolutionCap:
+    def test_execute_rejects_finer_than_constructed(self, idx_factory, rng):
+        ds = idx_factory(rng.random((32, 32)).astype(np.float32))
+        q = ds.query(resolution=ds.maxh - 3)
+        with pytest.raises(ValueError):
+            q.execute(resolution=ds.maxh)
+        with pytest.raises(ValueError):
+            q.execute(resolution=ds.maxh - 2)
+
+    def test_execute_allows_coarser_override(self, idx_factory, rng):
+        ds = idx_factory(rng.random((32, 32)).astype(np.float32))
+        q = ds.query(resolution=ds.maxh - 3)
+        result = q.execute(resolution=ds.maxh - 5)
+        assert result.level == ds.maxh - 5
+        assert result.data.tobytes() == ds.read_result(resolution=ds.maxh - 5).data.tobytes()
+
+
+class TestPlanCache:
+    def test_hit_returns_identical_plan(self, idx_factory, rng):
+        ds = idx_factory(rng.random((32, 32)).astype(np.float32))
+        cache = PlanCache("1 MiB")
+        from repro.util.arrays import Box
+
+        box = Box((3, 5), (29, 30))
+        first = ds.hzorder.level_plan(4, box, cache=cache)
+        again = ds.hzorder.level_plan(4, box, cache=cache)
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert again is first  # the cached object itself
+        fresh = ds.hzorder.level_plan(4, box, cache=None)
+        assert np.array_equal(again[1], fresh[1])
+        for cached_c, fresh_c in zip(again[0], fresh[0]):
+            assert np.array_equal(cached_c, fresh_c)
+
+    def test_cached_arrays_are_read_only(self, idx_factory, rng):
+        ds = idx_factory(rng.random((32, 32)).astype(np.float32))
+        cache = PlanCache("1 MiB")
+        from repro.util.arrays import Box
+
+        coords, hz = ds.hzorder.level_plan(5, Box((0, 0), (32, 32)), cache=cache)
+        assert not hz.flags.writeable
+        assert all(not c.flags.writeable for c in coords)
+
+    def test_none_plans_are_cached(self, idx_factory, rng):
+        ds = idx_factory(rng.random((32, 32)).astype(np.float32))
+        cache = PlanCache("1 MiB")
+        from repro.util.arrays import Box
+
+        # A 1x1 box at an odd coordinate has no level-1 delta samples.
+        box = Box((1, 1), (2, 2))
+        assert ds.hzorder.level_plan(1, box, cache=cache) is None
+        assert ds.hzorder.level_plan(1, box, cache=cache) is None
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_eviction_under_pressure(self, idx_factory, rng):
+        ds = idx_factory(rng.random((32, 32)).astype(np.float32))
+        cache = PlanCache(2048)
+        from repro.util.arrays import Box
+
+        for h in range(ds.maxh + 1):
+            ds.hzorder.level_plan(h, Box((0, 0), (32, 32)), cache=cache)
+        assert cache.stats.evictions > 0
+        assert cache.used_bytes <= 2048
+
+    def test_process_cache_serves_repeated_queries(self, idx_factory, rng):
+        ds = idx_factory(rng.random((32, 32)).astype(np.float32))
+        box = ((2, 2), (30, 30))
+        ds.read(box=box)
+        hits0 = PLAN_CACHE.stats.hits
+        out1 = ds.read(box=box)
+        assert PLAN_CACHE.stats.hits > hits0  # second query reuses every plan
+        out2 = ds.read(box=box)
+        assert np.array_equal(out1, out2)
+
+
+class TestDashboardRefineFrames:
+    def test_sweep_matches_per_tick_frames(self, idx_factory, rng):
+        from repro.dashboard.session import DashboardSession
+
+        ds = idx_factory(rng.random((64, 64)).astype(np.float32), bits_per_block=6)
+        session = DashboardSession(viewport=(32, 32))
+        session.register_dataset("d", ds)
+        session.set_range(0.0, 1.0)
+        frames = list(session.refine_frames(start_resolution=2))
+        assert [lvl for lvl, _ in frames] == list(
+            range(2, session.effective_resolution() + 1)
+        )
+        # Each frame is byte-identical to the per-tick slider path.
+        for lvl, frame in frames:
+            session.set_resolution(lvl)
+            assert np.array_equal(frame, session.current_frame())
+        session.set_resolution(None)
+
+    def test_sweep_never_rereads_blocks(self, idx_factory, rng):
+        from repro.dashboard.session import DashboardSession
+
+        ds = idx_factory(rng.random((64, 64)).astype(np.float32), bits_per_block=6)
+        session = DashboardSession(viewport=(16, 16))
+        session.register_dataset("d", ds)
+        session.set_range(0.0, 1.0)
+        before = ds.access.counters.snapshot()
+        list(session.refine_frames())
+        log = [b for (_, _, b) in ds.access.counters.blocks_since(before)]
+        assert len(log) == len(set(log))
