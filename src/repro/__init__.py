@@ -10,6 +10,7 @@ Subpackages (bottom-up):
 - :mod:`repro.util`        — boxes, hashing, timers, units
 - :mod:`repro.compression` — zlib / lz4 / rle / zfp codecs
 - :mod:`repro.formats`     — TIFF 6.0, NetCDF classic, raw binary
+- :mod:`repro.faults`      — deterministic fault injection + retry/backoff/breaker
 - :mod:`repro.idx`         — HZ-order multiresolution data fabric (OpenVisus analogue)
 - :mod:`repro.terrain`     — synthetic DEMs + GEOtiled terrain parameters
 - :mod:`repro.somospie`    — soil-moisture spatial inference
@@ -35,6 +36,7 @@ __all__ = [
     "compression",
     "core",
     "dashboard",
+    "faults",
     "formats",
     "idx",
     "network",

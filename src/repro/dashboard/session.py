@@ -35,6 +35,9 @@ class DashboardSession:
         self.state = DashboardState(viewport_px=(int(viewport[0]), int(viewport[1])))
         self._datasets: Dict[str, IdxDataset] = {}
         self.op_timings: List[Tuple[str, float]] = []
+        #: Levels whose refinement tick arrived degraded in the most
+        #: recent :meth:`refine_frames` sweep (see DESIGN.md §11).
+        self.last_sweep_degraded: List[int] = []
 
     # -- timing helper -------------------------------------------------------
 
@@ -106,6 +109,8 @@ class DashboardSession:
         from_site: str = "knox",
         cache=None,
         workers: int = 0,
+        retry=None,
+        breaker=None,
     ) -> None:
         """Register a dataset streamed from Seal Storage (Step 4, Option B).
 
@@ -113,13 +118,24 @@ class DashboardSession:
         pipeline, so resolution-slider refinements overlap their
         per-block round trips instead of paying them serially; pass a
         :class:`~repro.idx.cache.BlockCache` to keep revisits free.
+        ``retry``/``breaker`` switch on the fault-tolerance layer
+        (DESIGN.md §11): verified, retried block fetches and per-key
+        fast-fail, with :meth:`refine_frames` degrading gracefully when
+        a level still cannot be fetched.
         """
         from repro.storage.transfer import open_remote_idx
 
         self.register_dataset(
             name,
             open_remote_idx(
-                seal, key, token=token, from_site=from_site, cache=cache, workers=workers
+                seal,
+                key,
+                token=token,
+                from_site=from_site,
+                cache=cache,
+                workers=workers,
+                retry=retry,
+                breaker=breaker,
             ),
         )
 
@@ -427,6 +443,14 @@ class DashboardSession:
         For 3-D datasets the slice plane is snapped at the *final*
         resolution and held fixed across the sweep; coarse steps whose
         lattice misses that plane are skipped rather than rendered empty.
+
+        Over a flaky remote link a refinement tick whose block fetches
+        exhaust their retries arrives *degraded* (see
+        :meth:`~repro.idx.query.BoxQuery.progressive`): the previous
+        level's frame is re-served instead of the sweep dying, the tick
+        is recorded as ``refine_degraded`` in the interaction log, and
+        its level is appended to :attr:`last_sweep_degraded`.  The sweep
+        keeps refining once the link recovers.
         """
         end = self.effective_resolution()
         query = self.dataset.query(
@@ -436,13 +460,18 @@ class DashboardSession:
             time=self.state.time,
         )
         self.state.record("refine_frames", start=int(start_resolution), end=end)
+        self.last_sweep_degraded = []
         steps = query.progressive(int(start_resolution))
         while True:
             t0 = _time.perf_counter()
             result = next(steps, None)
             if result is None:
                 break
-            self.op_timings.append(("refine", _time.perf_counter() - t0))
+            op = "refine_degraded" if result.degraded else "refine"
+            self.op_timings.append((op, _time.perf_counter() - t0))
+            if result.degraded:
+                self.last_sweep_degraded.append(int(result.level))
+                self.state.record("refine_degraded", level=int(result.level))
             if result.data.size == 0:
                 continue
             yield result.level, self._render_plane(result.data, fit_viewport=fit_viewport)

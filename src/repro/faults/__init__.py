@@ -1,0 +1,55 @@
+"""Deterministic fault injection and fault tolerance (DESIGN.md §11).
+
+Two halves, meeting at the object-store interface:
+
+- *injection*: a seeded :class:`FaultPlan` schedules transient errors,
+  extra latency, partial reads, and payload corruption as a pure
+  function of ``(seed, op, bucket, key, detail, attempt)``; a
+  :class:`FaultyStore` wrapper delivers them into any object store
+  without touching its code;
+- *tolerance*: a :class:`RetryPolicy` (exponential backoff, seeded
+  deterministic jitter, deadline budget, :class:`RetryStats` telemetry)
+  and a per-key :class:`CircuitBreaker`, applied by
+  :class:`~repro.idx.access.RemoteAccess` around every block fetch, with
+  payload integrity checked against the dataset's embedded block
+  checksum manifest and graceful degradation in
+  :meth:`~repro.idx.query.BoxQuery.progressive`.
+
+Because both halves draw every random decision from seed-keyed hashes
+rather than stateful RNGs, a chaos test replays a failure schedule
+exactly — same faults, same retries, same backoff sleeps on the
+simulated clock — regardless of thread scheduling.
+"""
+
+from repro.faults.breaker import BreakerStats, CircuitBreaker
+from repro.faults.errors import (
+    CircuitOpenError,
+    CorruptPayloadError,
+    FaultError,
+    RetryExhaustedError,
+    TransientStoreError,
+)
+from repro.faults.inject import FaultyStore
+from repro.faults.plan import CORRUPT, ERROR, LATENCY, PARTIAL, Fault, FaultPlan, InjectedFault
+from repro.faults.retry import DEFAULT_RETRY_ON, RetryPolicy, RetryStats
+
+__all__ = [
+    "BreakerStats",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CorruptPayloadError",
+    "CORRUPT",
+    "DEFAULT_RETRY_ON",
+    "ERROR",
+    "Fault",
+    "FaultError",
+    "FaultPlan",
+    "FaultyStore",
+    "InjectedFault",
+    "LATENCY",
+    "PARTIAL",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "RetryStats",
+    "TransientStoreError",
+]

@@ -1,0 +1,136 @@
+"""Per-key circuit breaker for the remote block read path.
+
+A key that keeps failing after full retry cycles is almost certainly
+*down*, not *flaky* — continuing to hammer it burns the retry budget of
+every query that touches it.  The breaker tracks consecutive failures
+per key and, once ``threshold`` is reached, fails calls for that key
+fast (:class:`~repro.faults.errors.CircuitOpenError`, no store traffic)
+until ``cooldown`` simulated seconds have passed.  The first call after
+the cooldown is a *half-open* probe: success closes the circuit,
+failure re-opens it for another cooldown.
+
+Time comes from the same :class:`~repro.network.clock.SimClock` as the
+rest of the simulation; without a clock an open circuit stays open until
+:meth:`CircuitBreaker.reset` (or a successful probe forced by
+``record_success``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from repro.faults.errors import CircuitOpenError
+
+__all__ = ["BreakerStats", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass
+class _KeyState:
+    failures: int = 0
+    state: str = CLOSED
+    opened_at: float = 0.0
+
+
+@dataclass
+class BreakerStats:
+    """Cumulative breaker counters."""
+
+    trips: int = 0
+    fast_fails: int = 0
+    probes: int = 0
+    closes: int = 0
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker, one circuit per key."""
+
+    def __init__(self, *, threshold: int = 3, cooldown: float = 30.0, clock=None) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._keys: Dict[Hashable, _KeyState] = {}
+        self.stats = BreakerStats()
+
+    def _now(self) -> Optional[float]:
+        return None if self.clock is None else self.clock.now
+
+    # -- gate ---------------------------------------------------------------
+
+    def check(self, key: Hashable) -> None:
+        """Raise :class:`CircuitOpenError` if the key's circuit is open.
+
+        An open circuit whose cooldown has elapsed transitions to
+        half-open and lets this one call through as the probe.
+        """
+        now = self._now()
+        with self._lock:
+            st = self._keys.get(key)
+            if st is None or st.state == CLOSED:
+                return
+            if st.state == OPEN and now is not None and now - st.opened_at >= self.cooldown:
+                st.state = HALF_OPEN
+                self.stats.probes += 1
+                return
+            if st.state == HALF_OPEN:
+                # One probe is already in flight (or failed and re-opened);
+                # let concurrent callers through with it — the worst case
+                # is a few extra probes, never a thundering herd.
+                return
+            self.stats.fast_fails += 1
+            raise CircuitOpenError(
+                f"circuit open for {key!r} after {st.failures} consecutive failures",
+                key=key,
+                failures=st.failures,
+            )
+
+    # -- outcome reporting --------------------------------------------------
+
+    def record_success(self, key: Hashable) -> None:
+        with self._lock:
+            st = self._keys.get(key)
+            if st is None:
+                return
+            if st.state != CLOSED:
+                self.stats.closes += 1
+            st.failures = 0
+            st.state = CLOSED
+
+    def record_failure(self, key: Hashable) -> None:
+        now = self._now()
+        with self._lock:
+            st = self._keys.setdefault(key, _KeyState())
+            st.failures += 1
+            if st.state == HALF_OPEN or (st.state == CLOSED and st.failures >= self.threshold):
+                st.state = OPEN
+                st.opened_at = now if now is not None else 0.0
+                self.stats.trips += 1
+
+    # -- introspection ------------------------------------------------------
+
+    def state(self, key: Hashable) -> str:
+        with self._lock:
+            st = self._keys.get(key)
+            return CLOSED if st is None else st.state
+
+    def open_keys(self) -> list:
+        with self._lock:
+            return [k for k, st in self._keys.items() if st.state == OPEN]
+
+    def reset(self, key: Hashable = None) -> None:
+        """Close one circuit (or all of them with ``key=None``)."""
+        with self._lock:
+            if key is None:
+                self._keys.clear()
+            else:
+                self._keys.pop(key, None)

@@ -1,0 +1,77 @@
+"""Exception taxonomy of the fault-injection / fault-tolerance layer.
+
+Everything the robustness machinery can raise derives from
+:class:`FaultError`, so consumers that degrade gracefully (the
+progressive query engine, the dashboard's refinement sweep) catch one
+base type without accidentally suppressing programming errors.  The
+split between *retryable* conditions (:class:`TransientStoreError`,
+:class:`CorruptPayloadError`) and *terminal* ones
+(:class:`RetryExhaustedError`, :class:`CircuitOpenError`) is what keeps
+a :class:`~repro.faults.retry.RetryPolicy` from retrying its own
+give-up signal.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CircuitOpenError",
+    "CorruptPayloadError",
+    "FaultError",
+    "RetryExhaustedError",
+    "TransientStoreError",
+]
+
+
+class FaultError(Exception):
+    """Base of every fault-layer error (injected or derived)."""
+
+
+class TransientStoreError(FaultError, ConnectionError):
+    """A store/network blip that is expected to succeed on retry.
+
+    This is what the :class:`~repro.faults.inject.FaultyStore` raises for
+    an ``error``-kind fault — the analogue of a dropped connection, a 503
+    from the object store, or a timed-out ranged GET.
+    """
+
+
+class CorruptPayloadError(FaultError, ValueError):
+    """A payload arrived but failed integrity checks.
+
+    Raised by the remote read path when a fetched block payload is
+    shorter than its table entry promises (partial read) or its checksum
+    does not match the dataset's embedded block manifest (bit rot,
+    truncated proxy response).  Retryable: a re-fetch usually yields the
+    intact bytes.
+    """
+
+
+class RetryExhaustedError(FaultError, ConnectionError):
+    """A retried operation failed on every allowed attempt.
+
+    Carries how many attempts were made and whether the give-up was due
+    to the attempt cap or the backoff deadline budget.  The original
+    error is chained as ``__cause__``.  Deliberately *not* a subclass of
+    :class:`TransientStoreError` so a nested retry layer never retries
+    another layer's give-up.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0, deadline_hit: bool = False) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.deadline_hit = deadline_hit
+
+
+class CircuitOpenError(FaultError, ConnectionError):
+    """Fast-fail: the per-key circuit breaker is open.
+
+    Raised without touching the store at all — the point of the breaker
+    is to stop hammering a key that has failed ``threshold`` consecutive
+    times until the cooldown elapses.  Not retryable for the same reason
+    as :class:`RetryExhaustedError`.
+    """
+
+    def __init__(self, message: str, *, key: object = None, failures: int = 0) -> None:
+        super().__init__(message)
+        self.key = key
+        self.failures = failures

@@ -1,0 +1,196 @@
+"""Fault-injecting object-store wrapper.
+
+:class:`FaultyStore` wraps any :class:`~repro.storage.object_store.ObjectStore`
+(or anything duck-typed like one) and delivers the faults a seeded
+:class:`~repro.faults.plan.FaultPlan` schedules — without touching the
+wrapped store's code.  It is a drop-in ``store=`` argument for
+:class:`~repro.storage.seal.SealStorage`, so the whole remote IDX read
+path (``SealByteSource`` → ``RemoteAccess`` → ``ParallelFetcher``) runs
+against flaky storage with zero changes to the production wiring.
+
+The wrapper starts *disarmed* (pure pass-through).  The chaos harness
+opens the dataset first — header and block-table reads are a one-time
+setup cost, not the steady-state streaming path under test — then calls
+:meth:`FaultyStore.arm` to switch the schedule on.
+
+Fault delivery per kind:
+
+- ``error``   — raise :class:`~repro.faults.errors.TransientStoreError`
+  *before* the inner store is touched (the request never "arrived");
+- ``latency`` — charge extra seconds to the simulated clock, then serve
+  the real bytes;
+- ``corrupt`` — serve the real bytes with one byte deterministically
+  flipped (detected downstream by the block checksum manifest);
+- ``partial`` — serve a truncated prefix of the real bytes (detected by
+  the length check in the remote read path).
+
+Every delivered fault is recorded as an
+:class:`~repro.faults.plan.InjectedFault` so tests can cross-check the
+observed schedule against the plan's prediction.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.faults.errors import TransientStoreError
+from repro.faults.plan import CORRUPT, ERROR, LATENCY, PARTIAL, Fault, FaultPlan, InjectedFault
+
+__all__ = ["FaultyStore"]
+
+
+def _corrupt_payload(data: bytes) -> bytes:
+    """Flip one byte (deterministically: the middle one)."""
+    if not data:
+        return data
+    i = len(data) // 2
+    return data[:i] + bytes([data[i] ^ 0xFF]) + data[i + 1 :]
+
+
+def _truncate_payload(data: bytes) -> bytes:
+    """Drop the tail half (a short read / cut connection)."""
+    return data[: len(data) // 2]
+
+
+class FaultyStore:
+    """Inject planned faults into any object store, transparently.
+
+    Only the operations named by the plan's ``ops`` are ever faulted;
+    everything else (and everything while disarmed) delegates verbatim.
+    Unknown attributes — ``stats``, ``total_bytes``, anything a concrete
+    store grows later — fall through to the wrapped store, so the wrapper
+    stays a faithful stand-in.
+    """
+
+    def __init__(
+        self,
+        inner,
+        plan: Optional[FaultPlan] = None,
+        *,
+        clock=None,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._attempts: Dict[Tuple[str, str, str, Hashable], int] = {}
+        self._injected: List[InjectedFault] = []
+
+    # -- arming -------------------------------------------------------------
+
+    def arm(self, plan: FaultPlan) -> None:
+        """Switch fault delivery on (attempt counters start fresh)."""
+        with self._lock:
+            self._attempts.clear()
+        self.plan = plan
+
+    def disarm(self) -> None:
+        """Back to pass-through; the injection record is kept."""
+        self.plan = None
+
+    def injected_faults(self) -> List[InjectedFault]:
+        """Every fault delivered so far (thread-safe snapshot)."""
+        with self._lock:
+            return list(self._injected)
+
+    # -- injection core -----------------------------------------------------
+
+    def _next_attempt(self, op: str, bucket: str, key: str, detail: Hashable) -> int:
+        with self._lock:
+            scope = (op, bucket, key, detail)
+            attempt = self._attempts.get(scope, 0) + 1
+            self._attempts[scope] = attempt
+            return attempt
+
+    def _record(self, injected: InjectedFault) -> None:
+        with self._lock:
+            self._injected.append(injected)
+
+    def _maybe_fault(
+        self, op: str, bucket: str, key: str, detail: Hashable = None
+    ) -> Optional[Fault]:
+        """Consult the plan for this call; raises for ``error`` faults.
+
+        Returns the fault for kinds the *payload* must carry (corrupt /
+        partial / latency-already-charged) so the caller can apply them.
+        """
+        plan = self.plan
+        if plan is None or op not in plan.ops:
+            return None
+        attempt = self._next_attempt(op, bucket, key, detail)
+        fault = plan.fault_for(op, bucket, key, attempt, detail=detail)
+        if fault is None:
+            return None
+        self._record(
+            InjectedFault(op, bucket, key, detail, attempt, fault.kind, fault.latency_s)
+        )
+        if fault.kind == ERROR:
+            raise TransientStoreError(
+                f"injected transient failure: {op} {bucket}/{key}"
+                f"{f'@{detail}' if detail is not None else ''} (attempt {attempt})"
+            )
+        if fault.kind == LATENCY and self.clock is not None:
+            self.clock.advance(fault.latency_s, label=f"fault:latency:{op}")
+        return fault
+
+    @staticmethod
+    def _apply_payload_fault(fault: Optional[Fault], data: bytes) -> bytes:
+        if fault is None:
+            return data
+        if fault.kind == CORRUPT:
+            return _corrupt_payload(data)
+        if fault.kind == PARTIAL:
+            return _truncate_payload(data)
+        return data
+
+    # -- faulted read operations -------------------------------------------
+
+    def get(self, bucket: str, key: str) -> bytes:
+        fault = self._maybe_fault("get", bucket, key)
+        return self._apply_payload_fault(fault, self.inner.get(bucket, key))
+
+    def get_range(self, bucket: str, key: str, offset: int, length: int) -> bytes:
+        fault = self._maybe_fault("get_range", bucket, key, detail=int(offset))
+        return self._apply_payload_fault(
+            fault, self.inner.get_range(bucket, key, offset, length)
+        )
+
+    def head(self, bucket: str, key: str):
+        self._maybe_fault("head", bucket, key)
+        return self.inner.head(bucket, key)
+
+    def list(self, bucket: str, prefix: str = ""):
+        self._maybe_fault("list", bucket, prefix)
+        return self.inner.list(bucket, prefix)
+
+    # -- transparent delegation --------------------------------------------
+
+    def put(self, bucket: str, key: str, data: bytes, **kwargs):
+        return self.inner.put(bucket, key, data, **kwargs)
+
+    def delete(self, bucket: str, key: str) -> None:
+        self.inner.delete(bucket, key)
+
+    def exists(self, bucket: str, key: str) -> bool:
+        return self.inner.exists(bucket, key)
+
+    def create_bucket(self, name: str):
+        return self.inner.create_bucket(name)
+
+    def ensure_bucket(self, name: str):
+        return self.inner.ensure_bucket(name)
+
+    def delete_bucket(self, name: str) -> None:
+        self.inner.delete_bucket(name)
+
+    def buckets(self):
+        return self.inner.buckets()
+
+    def __getattr__(self, name: str):
+        # Fallback for store surface not wrapped above (stats, name, ...).
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        armed = "armed" if self.plan is not None else "disarmed"
+        return f"FaultyStore({self.inner!r}, {armed})"

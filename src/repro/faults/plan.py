@@ -1,0 +1,190 @@
+"""Deterministic, seeded fault schedules.
+
+A :class:`FaultPlan` answers one question — *"does the* ``attempt``-th
+*call of operation* ``op`` *on* ``(bucket, key, detail)`` *fault, and
+how?"* — as a pure function of the plan's seed.  Nothing is drawn from a
+stateful RNG at injection time, so the schedule is independent of thread
+scheduling, call interleaving, and how many unrelated operations happen
+in between: replaying the same workload against the same seed replays
+the exact same faults, which is what lets the chaos harness assert retry
+counts and backoff sleeps *exactly*.
+
+``detail`` disambiguates sub-resources of one object — the remote IDX
+read path passes the byte offset of the ranged GET, so every block of a
+dataset (one object, many ranges) gets its own independent schedule even
+when a parallel fetcher issues the ranges in nondeterministic order.
+
+Schedules are shaped by rates (fractions of *(scope, attempt)* pairs
+that fault) plus two structural knobs:
+
+- ``max_faults_per_key`` bounds the consecutive faults any one scope can
+  see, guaranteeing eventual success — pick it below a retry policy's
+  attempt cap and every query must complete byte-identically;
+- ``blackout_rate`` marks a fraction of scopes as *permanently* failing,
+  which is how the harness provokes retry exhaustion, circuit-breaker
+  trips, and graceful degradation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+__all__ = [
+    "CORRUPT",
+    "ERROR",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
+    "LATENCY",
+    "PARTIAL",
+    "unit_interval",
+]
+
+#: Fault kinds.  ``ERROR``/``CORRUPT``/``PARTIAL`` make the attempt fail
+#: (the last two only once the consumer verifies the payload); ``LATENCY``
+#: succeeds after charging extra simulated time.
+ERROR = "error"
+CORRUPT = "corrupt"
+PARTIAL = "partial"
+LATENCY = "latency"
+
+#: Kinds that cause the attempt to fail once detected.
+FAILING_KINDS = frozenset({ERROR, CORRUPT, PARTIAL})
+
+
+def unit_interval(*parts: Hashable) -> float:
+    """Deterministic uniform sample in ``[0, 1)`` from hashable parts.
+
+    BLAKE2b over the ``str()`` of each part — stable across processes and
+    ``PYTHONHASHSEED``, shared by the plan and the retry policy's jitter.
+    """
+    h = hashlib.blake2b("|".join(str(p) for p in parts).encode(), digest_size=8)
+    return int.from_bytes(h.digest(), "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault."""
+
+    kind: str
+    latency_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Record of one fault actually delivered by a :class:`FaultyStore`."""
+
+    op: str
+    bucket: str
+    key: str
+    detail: Optional[Hashable]
+    attempt: int
+    kind: str
+    latency_s: float = 0.0
+
+
+class FaultPlan:
+    """Seeded deterministic schedule of store faults.
+
+    ``rates`` are evaluated per *(scope, attempt)* in the fixed
+    precedence error → corrupt → partial → latency, so their sum must be
+    ``<= 1``.  ``ops`` restricts injection to the named store operations
+    (ranged reads by default — the steady-state block streaming path).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        error_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        partial_rate: float = 0.0,
+        latency_rate: float = 0.0,
+        latency_s: float = 0.05,
+        max_faults_per_key: int = 2,
+        blackout_rate: float = 0.0,
+        ops: Tuple[str, ...] = ("get_range", "get"),
+    ) -> None:
+        rates = (error_rate, corrupt_rate, partial_rate, latency_rate, blackout_rate)
+        if any(r < 0 for r in rates) or error_rate + corrupt_rate + partial_rate + latency_rate > 1:
+            raise ValueError("fault rates must be >= 0 and sum to <= 1")
+        if max_faults_per_key < 0:
+            raise ValueError("max_faults_per_key must be >= 0")
+        if latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
+        self.seed = int(seed)
+        self.error_rate = float(error_rate)
+        self.corrupt_rate = float(corrupt_rate)
+        self.partial_rate = float(partial_rate)
+        self.latency_rate = float(latency_rate)
+        self.latency_s = float(latency_s)
+        self.max_faults_per_key = int(max_faults_per_key)
+        self.blackout_rate = float(blackout_rate)
+        self.ops = tuple(ops)
+
+    # -- schedule queries ---------------------------------------------------
+
+    def is_blackout(self, op: str, bucket: str, key: str, detail: Hashable = None) -> bool:
+        """True if this scope fails *every* attempt, forever."""
+        if op not in self.ops or not self.blackout_rate:
+            return False
+        return unit_interval(self.seed, "blackout", op, bucket, key, detail) < self.blackout_rate
+
+    def fault_for(
+        self, op: str, bucket: str, key: str, attempt: int, detail: Hashable = None
+    ) -> Optional[Fault]:
+        """The fault (or None) for the ``attempt``-th call on a scope.
+
+        Pure function of ``(seed, op, bucket, key, detail, attempt)``.
+        ``attempt`` is 1-based.
+        """
+        if op not in self.ops:
+            return None
+        if self.is_blackout(op, bucket, key, detail):
+            return Fault(ERROR)
+        if attempt > self.max_faults_per_key:
+            return None
+        u = unit_interval(self.seed, "fault", op, bucket, key, detail, attempt)
+        edge = self.error_rate
+        if u < edge:
+            return Fault(ERROR)
+        edge += self.corrupt_rate
+        if u < edge:
+            return Fault(CORRUPT)
+        edge += self.partial_rate
+        if u < edge:
+            return Fault(PARTIAL)
+        edge += self.latency_rate
+        if u < edge:
+            jitter = unit_interval(self.seed, "latency", op, bucket, key, detail, attempt)
+            return Fault(LATENCY, latency_s=self.latency_s * (1.0 + jitter))
+        return None
+
+    def failures_before_success(
+        self, op: str, bucket: str, key: str, detail: Hashable = None
+    ) -> Optional[int]:
+        """Consecutive failing attempts a fresh scope sees before one succeeds.
+
+        Returns ``None`` for a blacked-out scope (it never succeeds).
+        The chaos harness uses this to predict exact retry counts and the
+        exact backoff schedule for a given seed.
+        """
+        if self.is_blackout(op, bucket, key, detail):
+            return None
+        failures = 0
+        for attempt in range(1, self.max_faults_per_key + 2):
+            fault = self.fault_for(op, bucket, key, attempt, detail)
+            if fault is None or fault.kind not in FAILING_KINDS:
+                return failures
+            failures += 1
+        return failures
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultPlan(seed={self.seed}, error={self.error_rate}, "
+            f"corrupt={self.corrupt_rate}, partial={self.partial_rate}, "
+            f"latency={self.latency_rate}, blackout={self.blackout_rate}, "
+            f"max_faults_per_key={self.max_faults_per_key})"
+        )

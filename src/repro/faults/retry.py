@@ -1,0 +1,209 @@
+"""Retry with exponential backoff, seeded jitter, and a deadline budget.
+
+All sleeping is *accounted, never slept*: backoff delays are charged to a
+:class:`~repro.network.clock.SimClock` (when one is supplied) exactly
+like every other simulated latency in the stack, so a chaos run over
+hundreds of failure schedules finishes in real milliseconds and tests
+can assert the exact backoff total with ``clock.total_for("retry:backoff")``.
+
+Jitter is deterministic: the perturbation of attempt ``a`` for retry
+scope ``token`` is a pure function of ``(policy.seed, token, a)`` (the
+same :func:`~repro.faults.plan.unit_interval` hash the fault plans use),
+so two runs of the same schedule produce byte-identical timing — and two
+*keys* backing off concurrently still decorrelate, which is the point of
+jitter.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Hashable, Optional, Tuple, Type, TypeVar
+
+from repro.faults.errors import CorruptPayloadError, RetryExhaustedError, TransientStoreError
+from repro.faults.plan import unit_interval
+
+__all__ = ["DEFAULT_RETRY_ON", "RetryPolicy", "RetryStats"]
+
+T = TypeVar("T")
+
+#: Exception types retried by default: injected/real transient store
+#: failures, integrity failures (re-fetch usually heals them), and
+#: timeouts.  Terminal fault-layer errors (RetryExhaustedError,
+#: CircuitOpenError) are deliberately not ConnectionError *subclasses of
+#: these* — they derive from FaultError + ConnectionError directly, so a
+#: nested policy never retries a give-up signal.
+DEFAULT_RETRY_ON: Tuple[Type[BaseException], ...] = (
+    TransientStoreError,
+    CorruptPayloadError,
+    TimeoutError,
+)
+
+
+class RetryStats:
+    """Thread-safe cumulative telemetry for one retry scope owner.
+
+    One instance is typically shared by every key of an access layer
+    (and by the parallel fetcher's worker threads), hence the lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.attempts = 0
+        self.retries = 0
+        self.exhausted = 0
+        self.deadline_giveups = 0
+        self.backoff_seconds = 0.0
+
+    def note_call(self) -> None:
+        with self._lock:
+            self.calls += 1
+
+    def note_attempt(self) -> None:
+        with self._lock:
+            self.attempts += 1
+
+    def note_retry(self, delay: float) -> None:
+        with self._lock:
+            self.retries += 1
+            self.backoff_seconds += delay
+
+    def note_exhausted(self, *, deadline_hit: bool) -> None:
+        with self._lock:
+            self.exhausted += 1
+            if deadline_hit:
+                self.deadline_giveups += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "calls": self.calls,
+                "attempts": self.attempts,
+                "retries": self.retries,
+                "exhausted": self.exhausted,
+                "deadline_giveups": self.deadline_giveups,
+                "backoff_seconds": self.backoff_seconds,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RetryStats({self.snapshot()})"
+
+
+class RetryPolicy:
+    """Immutable retry configuration + the retry driver itself.
+
+    ``max_attempts`` counts *calls* of the wrapped function (so
+    ``max_attempts=1`` means "no retries").  The nominal backoff after
+    attempt ``a`` is ``base_delay * multiplier**(a-1)`` capped at
+    ``max_delay``; jitter then scales it by a deterministic factor in
+    ``[1-jitter, 1+jitter)``.  ``deadline`` bounds the *total backoff
+    budget* of one :meth:`run`: if the next sleep would push the
+    cumulative backoff past it, the policy gives up immediately instead
+    of overshooting — the budget is never exceeded, not even by the
+    final sleep.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 4,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 5.0,
+        jitter: float = 0.25,
+        deadline: Optional[float] = None,
+        seed: int = 0,
+        retry_on: Tuple[Type[BaseException], ...] = DEFAULT_RETRY_ON,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be >= 0")
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.multiplier = float(multiplier)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.deadline = None if deadline is None else float(deadline)
+        self.seed = int(seed)
+        self.retry_on = tuple(retry_on)
+
+    # -- delay schedule -----------------------------------------------------
+
+    def nominal_delay(self, attempt: int) -> float:
+        """Un-jittered backoff after the ``attempt``-th failure (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+
+    def backoff_delay(self, attempt: int, token: Hashable = ()) -> float:
+        """Jittered backoff — a pure function of (seed, token, attempt)."""
+        delay = self.nominal_delay(attempt)
+        if self.jitter:
+            u = unit_interval(self.seed, "jitter", token, attempt)
+            delay *= (1.0 - self.jitter) + 2.0 * self.jitter * u
+        return delay
+
+    # -- driver -------------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[[], T],
+        *,
+        token: Hashable = (),
+        clock=None,
+        stats: Optional[RetryStats] = None,
+    ) -> T:
+        """Call ``fn`` until it succeeds, backing off between failures.
+
+        Only exceptions in ``retry_on`` are retried; anything else
+        propagates untouched on the first occurrence.  Backoff sleeps are
+        charged to ``clock`` (no wall-clock sleep ever happens — callers
+        running against real storage wrap a real sleeper in a clock-shaped
+        adapter).  On give-up a :class:`RetryExhaustedError` chains the
+        last underlying failure.
+        """
+        if stats is not None:
+            stats.note_call()
+        spent = 0.0
+        for attempt in range(1, self.max_attempts + 1):
+            if stats is not None:
+                stats.note_attempt()
+            try:
+                return fn()
+            except self.retry_on as exc:
+                if attempt == self.max_attempts:
+                    if stats is not None:
+                        stats.note_exhausted(deadline_hit=False)
+                    raise RetryExhaustedError(
+                        f"gave up after {attempt} attempts: {exc}", attempts=attempt
+                    ) from exc
+                delay = self.backoff_delay(attempt, token)
+                if self.deadline is not None and spent + delay > self.deadline:
+                    if stats is not None:
+                        stats.note_exhausted(deadline_hit=True)
+                    raise RetryExhaustedError(
+                        f"backoff deadline {self.deadline}s exhausted after "
+                        f"{attempt} attempts: {exc}",
+                        attempts=attempt,
+                        deadline_hit=True,
+                    ) from exc
+                spent += delay
+                if stats is not None:
+                    stats.note_retry(delay)
+                if clock is not None:
+                    clock.advance(delay, label="retry:backoff")
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, base={self.base_delay}, "
+            f"mult={self.multiplier}, cap={self.max_delay}, jitter={self.jitter}, "
+            f"deadline={self.deadline}, seed={self.seed})"
+        )

@@ -34,9 +34,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.errors import CorruptPayloadError
+from repro.faults.retry import RetryPolicy, RetryStats
 from repro.idx.cache import BlockCache
 from repro.idx.idxfile import ByteSource, FileByteSource, IdxBinaryReader, IdxHeader
 from repro.idx.parallel import ParallelFetcher
+from repro.util.hashing import content_digest
 
 __all__ = ["Access", "AccessCounters", "CachedAccess", "LocalAccess", "RemoteAccess"]
 
@@ -193,15 +197,28 @@ class RemoteAccess(_ReaderAccess):
         *,
         workers: int = 0,
         clock=None,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         super().__init__(IdxBinaryReader(source), uri=uri)
         self._source = source
         # key -> (decoded block, stored payload bytes): one query's stage.
         self._staged: Dict[Tuple[int, int, int], Tuple[np.ndarray, int]] = {}
+        if clock is None:
+            clock = getattr(source, "clock", None)
+        self._clock = clock
+        self._retry = retry
+        self._breaker = breaker
+        self.retry_stats = RetryStats()
+        # Lazily imported key avoids a hard dependency on verify at call
+        # time; the manifest is optional header metadata.
+        from repro.idx.verify import MANIFEST_KEY
+
+        manifest = self.header.metadata.get(MANIFEST_KEY)
+        self._manifest = manifest if isinstance(manifest, dict) else None
+        self._codec = self.header.codec_obj()
         self._fetcher: Optional[ParallelFetcher] = None
         if workers:
-            if clock is None:
-                clock = getattr(source, "clock", None)
             self._fetcher = ParallelFetcher(
                 self._fetch_decode, workers=int(workers), clock=clock
             )
@@ -211,9 +228,63 @@ class RemoteAccess(_ReaderAccess):
         """The parallel pipeline, if ``workers >= 1`` was requested."""
         return self._fetcher
 
+    @property
+    def retry_policy(self) -> Optional[RetryPolicy]:
+        return self._retry
+
+    @property
+    def breaker(self) -> Optional[CircuitBreaker]:
+        return self._breaker
+
+    def _verified_fetch(self, key: Tuple[int, int, int]) -> np.ndarray:
+        """One attempt: ranged fetch + integrity check + codec decode.
+
+        Partial reads (payload shorter than the table entry) and payloads
+        whose checksum disagrees with the dataset's embedded block
+        manifest raise :class:`CorruptPayloadError` *before* decode, so
+        the retry policy re-fetches them instead of caching garbage.
+        """
+        time_idx, field_idx, block_id = key
+        offset, length = self._reader.block_entry(time_idx, field_idx, block_id)
+        dtype = self.header.field_dtype(field_idx)
+        if length == 0:
+            return np.full(self.layout.block_size, self.header.fill_value, dtype=dtype)
+        payload = self._source.read_at(offset, length)
+        if len(payload) != length:
+            raise CorruptPayloadError(
+                f"partial payload for block {key}: got {len(payload)} of {length} B"
+            )
+        if self._manifest is not None:
+            expected = self._manifest.get(f"{time_idx}/{field_idx}/{block_id}")
+            if expected is not None and content_digest(payload, length=8) != expected:
+                raise CorruptPayloadError(f"checksum mismatch for block {key}")
+        return self._codec.decode_array(payload, dtype, (self.layout.block_size,))
+
     def _fetch_decode(self, key: Tuple[int, int, int]) -> np.ndarray:
-        """Worker task: ranged fetch + codec decode of one block."""
-        return self._reader.read_block(*key)
+        """Worker task: ranged fetch + codec decode of one block.
+
+        With a retry policy installed the fetch is verified and retried
+        with backoff (sleeps charged to the simulated clock); the per-key
+        circuit breaker gates the whole cycle and is told the outcome.
+        """
+        if self._retry is None:
+            return self._reader.read_block(*key)
+        if self._breaker is not None:
+            self._breaker.check(key)
+        try:
+            block = self._retry.run(
+                lambda: self._verified_fetch(key),
+                token=key,
+                clock=self._clock,
+                stats=self.retry_stats,
+            )
+        except Exception:
+            if self._breaker is not None:
+                self._breaker.record_failure(key)
+            raise
+        if self._breaker is not None:
+            self._breaker.record_success(key)
+        return block
 
     def prefetch(self, time_idx: int, field_idx: int, block_ids) -> None:
         requested = {(time_idx, field_idx, int(bid)) for bid in block_ids}
@@ -232,6 +303,12 @@ class RemoteAccess(_ReaderAccess):
         if self._fetcher is not None:
             self._fetcher.prefetch(wanted)
             return
+        if self._retry is not None:
+            # Each block must be its own retry scope (per-key attempt
+            # accounting, per-key breaker): a multi-range round trip would
+            # fail wholesale on one bad range and re-bill every good one.
+            # read_block fetches each block through the retrying path.
+            return
         read_many = getattr(self._source, "read_many", None)
         if read_many is None:
             return  # plain sources fetch per block; nothing to pipeline
@@ -243,7 +320,11 @@ class RemoteAccess(_ReaderAccess):
             self._staged[key] = (decoded, length)
 
     def read_block(self, time_idx: int, field_idx: int, block_id: int) -> np.ndarray:
-        key = (time_idx, field_idx, block_id)
+        # Normalise to builtin ints: the key doubles as the retry jitter
+        # token and the breaker key, both hashed via str(), where numpy
+        # integer scalars render differently from Python ints.
+        key = (int(time_idx), int(field_idx), int(block_id))
+        time_idx, field_idx, block_id = key
         staged = self._staged.get(key)
         if staged is not None:
             block, stored_length = staged
@@ -257,7 +338,14 @@ class RemoteAccess(_ReaderAccess):
                 _, length = self._reader.block_entry(*key)
                 self.counters.record(time_idx, field_idx, block_id, length)
                 return block
-        return super().read_block(time_idx, field_idx, block_id)
+        if self._retry is None:
+            return super().read_block(time_idx, field_idx, block_id)
+        block = self._fetch_decode(key)
+        _, length = self._reader.block_entry(*key)
+        if length == 0:
+            self.counters.absent_blocks += 1
+        self.counters.record(time_idx, field_idx, block_id, length)
+        return block
 
     def release_prefetched(self) -> None:
         self._staged.clear()

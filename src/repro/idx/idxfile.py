@@ -81,8 +81,12 @@ class BytesByteSource:
         self._blob = blob
 
     def read_at(self, offset: int, length: int) -> bytes:
-        if offset + length > len(self._blob):
-            raise IdxError("short read from in-memory blob")
+        # A negative offset would silently slice from the blob's tail;
+        # reject it like any other out-of-bounds range.
+        if offset < 0 or length < 0 or offset + length > len(self._blob):
+            raise IdxError(
+                f"range {offset}+{length} out of bounds for {len(self._blob)} B blob"
+            )
         return self._blob[offset : offset + length]
 
     def size(self) -> int:

@@ -42,6 +42,7 @@ class FetcherStats:
     coalesced: int = 0  # prefetch requests already in flight
     waited: int = 0  # read-side waits on a pending fetch
     batches: int = 0
+    resubmitted: int = 0  # failed futures replaced by a fresh fetch
 
     @property
     def in_flight(self) -> int:
@@ -82,15 +83,22 @@ class ParallelFetcher:
         """Queue fetch+decode tasks for ``keys``; returns tasks submitted.
 
         Keys already in flight (or already fetched and not yet released)
-        are coalesced instead of re-issued.  The call never blocks on the
-        fetches themselves.
+        are coalesced instead of re-issued.  A key whose previous fetch
+        *failed* is resubmitted instead of coalesced — a dead future must
+        not poison the table for the rest of the query.  The call never
+        blocks on the fetches themselves.
         """
         with self._lock:
             if self._closed:
                 raise RuntimeError("fetcher is closed")
             fresh = []
             for key in keys:
-                if key in self._inflight:
+                fut = self._inflight.get(key)
+                if fut is not None:
+                    if fut.done() and fut.exception() is not None:
+                        self.stats.resubmitted += 1
+                        fresh.append(key)
+                        continue
                     self.stats.coalesced += 1
                     continue
                 fresh.append(key)

@@ -33,11 +33,12 @@ meshgrid is never materialised.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.faults.errors import FaultError
 from repro.idx.access import Access
 from repro.idx.hzorder import HzOrder
 from repro.util.arrays import Box, ceil_div, normalize_box
@@ -53,6 +54,12 @@ class QueryResult:
     ``offsets[a] + i_a * strides[a]`` along each axis ``a``.  ``found``
     counts samples actually present at this resolution (the rest keep the
     fill value — relevant when the box is smaller than the level stride).
+
+    ``degraded`` marks a progressive-refinement step that could not reach
+    its target level because block fetches exhausted their retries (or
+    tripped the circuit breaker): the carried data is the last level that
+    *did* complete, re-served in place of an exception so an interactive
+    consumer keeps a frame on screen (DESIGN.md §11).
     """
 
     data: np.ndarray
@@ -63,6 +70,7 @@ class QueryResult:
     field: str
     time: int
     found: int = 0
+    degraded: bool = False
 
     def axis_coords(self, axis: int) -> np.ndarray:
         """Global coordinates of the result samples along ``axis``."""
@@ -351,14 +359,41 @@ class BoxQuery:
 
         This is the interaction pattern of the dashboard resolution
         slider.
+
+        **Graceful degradation** (DESIGN.md §11): if a step's block
+        fetches exhaust their retries or trip the circuit breaker (any
+        :class:`~repro.faults.errors.FaultError`), the step yields the
+        *previous* level's result flagged ``degraded=True`` instead of
+        raising — an interactive viewer keeps its last good frame.  The
+        next step that succeeds re-runs a full gather (reusing the block
+        memo, so only the missed blocks are re-fetched) and the sweep
+        re-converges: every non-degraded result is still byte-identical
+        to ``execute(resolution=h)``.  A failure on the very first step
+        has no frame to fall back to and propagates.
         """
         if not 0 <= start_resolution <= self.end_resolution:
             raise ValueError("start_resolution out of range")
         memo: Dict[int, np.ndarray] = {}
         result: Optional[QueryResult] = None
+        rerun_full = False
         for h in range(start_resolution, self.end_resolution + 1):
-            if result is None:
-                result = self._run(h, memo)
-            else:
-                result = self._refine(result, h, memo)
+            try:
+                if result is None or rerun_full:
+                    step = self._run(h, memo)
+                else:
+                    step = self._refine(result, h, memo)
+            except FaultError:
+                # The gather's own finally already dropped its prefetch
+                # stage; a failure in prefetch itself (serial batch path)
+                # can land here with state staged, so release again —
+                # it's idempotent.
+                self.access.release_prefetched()
+                if result is None:
+                    raise
+                rerun_full = True
+                result = replace(result, degraded=True)
+                yield result
+                continue
+            rerun_full = False
+            result = step
             yield result

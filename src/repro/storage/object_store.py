@@ -159,11 +159,22 @@ class ObjectStore:
         return blob
 
     def get_range(self, bucket: str, key: str, offset: int, length: int) -> bytes:
-        """Ranged GET; out-of-bounds ranges raise (matching S3 416)."""
+        """Ranged GET; out-of-bounds ranges raise (matching S3 416).
+
+        Bounds are validated explicitly — a negative ``offset`` would
+        otherwise silently slice from the blob's tail and a past-EOF
+        range would silently return short data, both of which corrupt
+        block reads downstream instead of failing loudly here.
+        """
         blob = self._blob(bucket, key)
-        if offset < 0 or length < 0 or offset + length > len(blob):
+        if offset < 0 or length < 0:
             raise StorageError(
-                f"range {offset}+{length} out of bounds for {bucket}/{key} ({len(blob)} B)"
+                f"negative range {offset}+{length} for {bucket}/{key}; "
+                "offset and length must be >= 0"
+            )
+        if offset + length > len(blob):
+            raise StorageError(
+                f"range {offset}+{length} past EOF of {bucket}/{key} ({len(blob)} B)"
             )
         with self._stats_lock:
             self.stats.gets += 1

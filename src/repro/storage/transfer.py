@@ -70,6 +70,8 @@ def open_remote_idx(
     from_site: str = "knox",
     cache: Optional[BlockCache] = None,
     workers: int = 0,
+    retry=None,
+    breaker=None,
 ) -> IdxDataset:
     """Open an IDX dataset streamed from Seal Storage (Step 4, Option B).
 
@@ -80,6 +82,12 @@ def open_remote_idx(
     overlap across a bounded thread pool, and their simulated latencies
     are charged as the slowest worker's total rather than summed
     (``workers=1`` is the serial baseline of the same path).
+
+    ``retry`` (a :class:`~repro.faults.retry.RetryPolicy`) makes every
+    block fetch integrity-checked and retried with backoff on transient
+    failures; ``breaker`` (a :class:`~repro.faults.breaker.CircuitBreaker`)
+    fast-fails keys that keep dying.  Both are the fault-tolerance layer
+    of DESIGN.md §11 — production streaming over real WANs wants them on.
     """
     source = seal.byte_source(key, token=token, from_site=from_site)
     access = RemoteAccess(
@@ -87,6 +95,8 @@ def open_remote_idx(
         uri=f"seal://{seal.site}/{seal.bucket}/{key}",
         workers=workers,
         clock=seal.clock,
+        retry=retry,
+        breaker=breaker,
     )
     if cache is not None:
         access = CachedAccess(access, cache)

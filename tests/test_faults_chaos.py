@@ -1,0 +1,389 @@
+"""Chaos harness: seeded fault schedules against the remote IDX read path.
+
+Sweeps hundreds of deterministic :class:`FaultPlan` seeds through the
+production wiring (``FaultyStore`` → ``SealStorage`` → ``SealByteSource``
+→ ``RemoteAccess`` [→ ``ParallelFetcher`` / ``BlockCache``]) and asserts:
+
+- **byte identity** — every query that completes returns exactly the
+  fault-free bytes, whatever mix of transient errors, corruptions,
+  partial reads, and latency spikes the schedule threw at it;
+- **exact accounting** — in the serial path, retry counts and backoff
+  sleeps (on the SimClock; nothing ever really sleeps) match the plan's
+  prediction *to the float*;
+- **no leaks** — fetcher in-flight tables drain, cache and access-counter
+  invariants hold, circuit breakers trip and recover as specified;
+- **graceful degradation** — blacked-out blocks degrade progressive
+  refinement instead of crashing it, and degraded frames are flagged.
+
+``REPRO_CHAOS_SEED_BASE`` offsets every sweep so CI shards explore
+disjoint schedule populations with the same test code.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    CircuitBreaker,
+    FaultError,
+    FaultPlan,
+    FaultyStore,
+    LATENCY,
+    RetryPolicy,
+)
+from repro.idx.cache import BlockCache
+from repro.idx.dataset import IdxDataset
+from repro.idx.idxfile import BytesByteSource, IdxBinaryReader
+from repro.network.clock import SimClock
+from repro.storage.object_store import ObjectStore
+from repro.storage.seal import SealStorage
+from repro.storage.transfer import open_remote_idx
+
+SEED_BASE = int(os.environ.get("REPRO_CHAOS_SEED_BASE", "0"))
+KEY = "chaos.idx"
+BUCKET = "sealed"
+
+
+class ChaosEnv:
+    """Shared fault-free ground truth + the base store under the wrappers."""
+
+    def __init__(self, tmp_path):
+        rng = np.random.default_rng(20240811)
+        self.array = rng.random((21, 13)).astype(np.float32)
+        path = str(tmp_path / KEY)
+        ds = IdxDataset.create(path, self.array.shape, bits_per_block=4)
+        ds.write(self.array)
+        ds.finalize()
+
+        local = IdxDataset.open(path)
+        self.reference = local.read()
+        self.ref_frames = {r.level: r.data.copy() for r in local.progressive()}
+        self.maxh = local.maxh
+        local.close()
+        assert np.array_equal(self.reference, self.array)
+
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        reader = IdxBinaryReader(BytesByteSource(blob))
+        self.num_blocks = reader.layout.num_blocks
+        self.present = [int(b) for b in reader.present_blocks(0, 0)]
+        self.offsets = {b: reader.block_entry(0, 0, b)[0] for b in self.present}
+        assert 0 < len(self.present) < self.num_blocks  # padded domain: both kinds
+
+        self.base_store = ObjectStore("chaos-base")
+        self.base_store.ensure_bucket(BUCKET)
+        self.base_store.put(BUCKET, KEY, blob)
+
+    def open(self, *, policy, breaker=None, workers=0, cache=None):
+        """Open the remote dataset per production wiring, then arm faults.
+
+        The FaultyStore starts disarmed so the one-time header/table reads
+        stay clean; the returned store must be armed by the caller.
+        """
+        clock = SimClock()
+        faulty = FaultyStore(self.base_store, clock=clock)
+        seal = SealStorage(store=faulty, clock=clock)
+        token = seal.issue_token("chaos", ("read",))
+        ds = open_remote_idx(
+            seal, KEY, token=token, retry=policy, breaker=breaker,
+            workers=workers, cache=cache,
+        )
+        return ds, clock, faulty
+
+    def predicted_failures(self, plan):
+        """Per present block: consecutive failing attempts before success."""
+        return {
+            b: plan.failures_before_success("get_range", BUCKET, KEY, detail=off)
+            for b, off in self.offsets.items()
+        }
+
+
+@pytest.fixture(scope="module")
+def env(tmp_path_factory):
+    return ChaosEnv(tmp_path_factory.mktemp("chaos"))
+
+
+def recoverable_plan(seed):
+    """A schedule a 4-attempt policy always survives (max 2 faults/key)."""
+    return FaultPlan(
+        seed,
+        error_rate=0.20,
+        corrupt_rate=0.15,
+        partial_rate=0.10,
+        latency_rate=0.15,
+        latency_s=0.05,
+        max_faults_per_key=2,
+    )
+
+
+def policy_for(seed, **overrides):
+    kwargs = dict(max_attempts=4, base_delay=0.05, multiplier=2.0,
+                  max_delay=5.0, jitter=0.25, seed=seed)
+    kwargs.update(overrides)
+    return RetryPolicy(**kwargs)
+
+
+def remote_of(ds):
+    """The RemoteAccess under an optional CachedAccess wrapper."""
+    access = ds.access
+    return access.inner if hasattr(access, "inner") else access
+
+
+def assert_no_leaks(remote, cache=None):
+    c = remote.counters
+    assert not c.truncated
+    assert c.blocks_read == len(c.access_log)
+    fetcher = remote.fetcher
+    if fetcher is not None:
+        assert fetcher.stats.in_flight == 0
+        assert fetcher.stats.submitted == fetcher.stats.completed
+    if cache is not None:
+        assert cache.used_bytes <= cache.capacity
+        assert len(cache) <= cache.stats.misses
+
+
+class TestSerialExactAccounting:
+    """Serial path: completion is byte-identical and timing is predicted."""
+
+    def test_seed_sweep(self, env):
+        for seed in range(SEED_BASE, SEED_BASE + 120):
+            plan = recoverable_plan(seed)
+            policy = policy_for(seed)
+            ds, clock, faulty = env.open(policy=policy)
+            faulty.arm(plan)
+
+            data = ds.read()
+            assert np.array_equal(data, env.reference), f"seed {seed}: bytes differ"
+
+            failures = env.predicted_failures(plan)
+            expected_retries = sum(failures.values())
+            expected_backoff = sum(
+                policy.backoff_delay(a, token=(0, 0, b))
+                for b, k in failures.items()
+                for a in range(1, k + 1)
+            )
+            remote = remote_of(ds)
+            snap = remote.retry_stats.snapshot()
+            assert snap["retries"] == expected_retries, f"seed {seed}"
+            assert snap["attempts"] == snap["calls"] + expected_retries, f"seed {seed}"
+            assert snap["exhausted"] == 0, f"seed {seed}"
+            assert clock.total_for("retry:backoff") == pytest.approx(
+                expected_backoff, abs=1e-12
+            ), f"seed {seed}"
+
+            # The latency faults that were delivered are all on the clock.
+            injected_latency = sum(
+                f.latency_s for f in faulty.injected_faults() if f.kind == LATENCY
+            )
+            assert clock.total_for("fault:latency") == pytest.approx(
+                injected_latency, abs=1e-12
+            ), f"seed {seed}"
+
+            # Every present block was read exactly once; counters balance.
+            assert remote.counters.blocks_read == snap["calls"], f"seed {seed}"
+            assert_no_leaks(remote)
+            ds.close()
+
+    def test_faults_were_actually_injected(self, env):
+        """The sweep above is vacuous unless schedules really fire."""
+        total = 0
+        for seed in range(SEED_BASE, SEED_BASE + 20):
+            plan = recoverable_plan(seed)
+            total += sum(env.predicted_failures(plan).values())
+        assert total > 0
+
+    def test_rerun_same_seed_is_identical(self, env):
+        """Same seed, fresh wiring: the whole run replays to the float."""
+        seed = SEED_BASE + 7
+        totals = []
+        for _ in range(2):
+            ds, clock, faulty = env.open(policy=policy_for(seed))
+            faulty.arm(recoverable_plan(seed))
+            assert np.array_equal(ds.read(), env.reference)
+            totals.append(
+                (
+                    clock.now,
+                    remote_of(ds).retry_stats.snapshot(),
+                    [f.kind for f in faulty.injected_faults()],
+                )
+            )
+            ds.close()
+        assert totals[0] == totals[1]
+
+
+class TestParallelPipeline:
+    """Concurrent fetch path: identity + invariant checks, no deadlocks."""
+
+    def test_seed_sweep(self, env):
+        for seed in range(SEED_BASE + 200, SEED_BASE + 250):
+            plan = recoverable_plan(seed)
+            cache = BlockCache("1 MiB")
+            ds, clock, faulty = env.open(
+                policy=policy_for(seed), workers=3, cache=cache
+            )
+            faulty.arm(plan)
+
+            # Progressive sweep exercises prefetch + incremental refine...
+            frames = {r.level: r.data for r in ds.progressive()}
+            for level, frame in frames.items():
+                assert np.array_equal(frame, env.ref_frames[level]), (
+                    f"seed {seed}: level {level} differs"
+                )
+            # ...then a full re-read rides the warm cache.
+            assert np.array_equal(ds.read(), env.reference), f"seed {seed}"
+
+            remote = remote_of(ds)
+            assert remote.retry_stats.snapshot()["exhausted"] == 0, f"seed {seed}"
+            ds.close()
+            assert_no_leaks(remote, cache)
+            assert remote.fetcher.stats.resubmitted == 0, f"seed {seed}"
+
+    def test_failed_future_is_resubmitted(self, env):
+        """A dead prefetch future must not poison the in-flight table.
+
+        Every attempt of the first retry cycle faults (2 faults per key,
+        2-attempt policy), so the prefetched future dies.  Re-prefetching
+        the same key inside the same scope must replace the corpse with a
+        fresh fetch — which then succeeds, because the store's per-scope
+        attempt counter has climbed past the plan's fault cap.
+        """
+        seed = SEED_BASE + 300
+        plan = FaultPlan(seed, error_rate=1.0, max_faults_per_key=2)
+        ds, clock, faulty = env.open(
+            policy=policy_for(seed, max_attempts=2, base_delay=0.001),
+            workers=2,
+        )
+        faulty.arm(plan)
+        remote = remote_of(ds)
+        block = env.present[0]
+
+        remote.prefetch(0, 0, [block])
+        # Let the future die *unconsumed* (get() would pop it; prefetch
+        # must handle the corpse it finds in the table).
+        fut = remote.fetcher._inflight[(0, 0, block)]
+        assert isinstance(fut.exception(timeout=30), FaultError)
+
+        remote.prefetch(0, 0, [block])  # attempts 3+: past the fault cap
+        assert remote.fetcher.stats.resubmitted == 1
+        fresh = remote.read_block(0, 0, block)
+
+        local = IdxBinaryReader(
+            BytesByteSource(env.base_store.get(BUCKET, KEY))
+        ).read_block(0, 0, block)
+        assert np.array_equal(fresh, local)
+        remote.release_prefetched()
+        assert_no_leaks(remote)
+        ds.close()
+
+
+class TestDegradation:
+    """Blackouts: progressive refinement degrades instead of crashing."""
+
+    def blackout_plan(self, seed):
+        return FaultPlan(
+            seed,
+            error_rate=0.15,
+            blackout_rate=0.12,
+            max_faults_per_key=1,
+        )
+
+    def test_seed_sweep(self, env):
+        degraded_total = 0
+        trips_total = 0
+        fast_fails_total = 0
+        for seed in range(SEED_BASE + 500, SEED_BASE + 540):
+            plan = self.blackout_plan(seed)
+            breaker = CircuitBreaker(threshold=2, cooldown=1e9)
+            ds, clock, faulty = env.open(
+                policy=policy_for(seed, max_attempts=2, base_delay=0.01),
+                breaker=breaker,
+            )
+            faulty.arm(plan)
+
+            try:
+                frames = list(ds.progressive())
+            except FaultError:
+                # The very first step failed — nothing to degrade to yet.
+                ds.close()
+                continue
+
+            assert len(frames) == env.maxh + 1, f"seed {seed}: refinement stalled"
+            last_good = None
+            for r in frames:
+                if r.degraded:
+                    degraded_total += 1
+                    assert last_good is not None, f"seed {seed}"
+                    # A degraded step re-yields the last good frame, flagged.
+                    assert r.level == last_good.level, f"seed {seed}"
+                    assert np.array_equal(r.data, last_good.data), f"seed {seed}"
+                else:
+                    assert np.array_equal(
+                        r.data, env.ref_frames[r.level]
+                    ), f"seed {seed}: clean level {r.level} differs"
+                    last_good = r
+            # A sweep that ends on a clean step has fully re-converged.
+            if not frames[-1].degraded:
+                assert np.array_equal(frames[-1].data, env.reference), f"seed {seed}"
+            trips_total += breaker.stats.trips
+            fast_fails_total += breaker.stats.fast_fails
+            assert_no_leaks(remote_of(ds))
+            ds.close()
+        # Across the sweep the blackout machinery demonstrably engaged.
+        assert degraded_total > 0
+        assert trips_total > 0
+        assert fast_fails_total > 0
+
+    def test_blackout_fails_one_shot_queries(self, env):
+        """execute() has no previous frame to fall back on: it raises."""
+        for seed in range(SEED_BASE + 500, SEED_BASE + 600):
+            plan = self.blackout_plan(seed)
+            if not any(
+                plan.is_blackout("get_range", BUCKET, KEY, detail=off)
+                for off in env.offsets.values()
+            ):
+                continue
+            ds, clock, faulty = env.open(
+                policy=policy_for(seed, max_attempts=2, base_delay=0.01)
+            )
+            faulty.arm(plan)
+            with pytest.raises(FaultError):
+                ds.read()
+            ds.close()
+            return
+        pytest.fail("no seed in the window blacked out a present block")
+
+
+class TestHypothesisSchedules:
+    """Random schedule parameters, not just random seeds."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        error=st.floats(min_value=0.0, max_value=0.3),
+        corrupt=st.floats(min_value=0.0, max_value=0.2),
+        partial=st.floats(min_value=0.0, max_value=0.2),
+        max_faults=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recoverable_schedules_complete_identically(
+        self, env, seed, error, corrupt, partial, max_faults
+    ):
+        plan = FaultPlan(
+            seed,
+            error_rate=error,
+            corrupt_rate=corrupt,
+            partial_rate=partial,
+            max_faults_per_key=max_faults,
+        )
+        policy = policy_for(seed, max_attempts=max_faults + 2, base_delay=0.01)
+        ds, clock, faulty = env.open(policy=policy)
+        faulty.arm(plan)
+        assert np.array_equal(ds.read(), env.reference)
+        remote = remote_of(ds)
+        snap = remote.retry_stats.snapshot()
+        assert snap["exhausted"] == 0
+        assert snap["retries"] == sum(env.predicted_failures(plan).values())
+        assert_no_leaks(remote)
+        ds.close()

@@ -1,0 +1,216 @@
+"""Unit tests for FaultPlan schedules and the FaultyStore wrapper."""
+
+import pytest
+
+from repro.faults import (
+    CORRUPT,
+    ERROR,
+    LATENCY,
+    PARTIAL,
+    FaultPlan,
+    FaultyStore,
+    TransientStoreError,
+)
+from repro.network.clock import SimClock
+from repro.storage.object_store import ObjectStore, StorageError
+
+RATES = dict(error_rate=0.3, corrupt_rate=0.15, partial_rate=0.1, latency_rate=0.2)
+
+
+class TestFaultPlan:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan(42, **RATES)
+        b = FaultPlan(42, **RATES)
+        for attempt in range(1, 6):
+            for detail in (None, 0, 4096):
+                assert a.fault_for("get_range", "bkt", "k", attempt, detail) == b.fault_for(
+                    "get_range", "bkt", "k", attempt, detail
+                )
+
+    def test_different_seeds_differ(self):
+        probes = [
+            FaultPlan(seed, **RATES).fault_for("get_range", "b", "k", a, d)
+            for seed in range(30)
+            for a in (1, 2)
+            for d in (0, 512)
+        ]
+        assert len({repr(p) for p in probes}) > 1
+
+    def test_schedule_is_order_independent(self):
+        """The fault of (scope, attempt) ignores every other scope's history."""
+        plan = FaultPlan(7, **RATES)
+        first = plan.fault_for("get_range", "b", "k1", 1, detail=0)
+        # Interrogating many other scopes must not perturb k1's schedule.
+        for d in range(50):
+            plan.fault_for("get_range", "b", "k2", 1, detail=d)
+        assert plan.fault_for("get_range", "b", "k1", 1, detail=0) == first
+
+    def test_max_faults_per_key_guarantees_success(self):
+        plan = FaultPlan(3, error_rate=1.0, max_faults_per_key=2)
+        assert plan.fault_for("get_range", "b", "k", 1).kind == ERROR
+        assert plan.fault_for("get_range", "b", "k", 2).kind == ERROR
+        assert plan.fault_for("get_range", "b", "k", 3) is None
+        assert plan.failures_before_success("get_range", "b", "k") == 2
+
+    def test_blackout_never_succeeds(self):
+        plan = FaultPlan(5, blackout_rate=1.0)
+        for attempt in (1, 2, 50):
+            assert plan.fault_for("get_range", "b", "k", attempt).kind == ERROR
+        assert plan.failures_before_success("get_range", "b", "k") is None
+        assert plan.is_blackout("get_range", "b", "k")
+
+    def test_ops_filter(self):
+        plan = FaultPlan(1, error_rate=1.0, ops=("get_range",))
+        assert plan.fault_for("get_range", "b", "k", 1) is not None
+        assert plan.fault_for("put", "b", "k", 1) is None
+        assert plan.fault_for("head", "b", "k", 1) is None
+
+    def test_kind_precedence_covers_all_kinds(self):
+        plan = FaultPlan(
+            11,
+            error_rate=0.25,
+            corrupt_rate=0.25,
+            partial_rate=0.25,
+            latency_rate=0.25,
+            max_faults_per_key=1,
+        )
+        kinds = {
+            plan.fault_for("get_range", "b", "k", 1, detail=d).kind
+            for d in range(300)
+            if plan.fault_for("get_range", "b", "k", 1, detail=d) is not None
+        }
+        assert kinds == {ERROR, CORRUPT, PARTIAL, LATENCY}
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(0, error_rate=0.8, corrupt_rate=0.5)
+        with pytest.raises(ValueError):
+            FaultPlan(0, error_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(0, max_faults_per_key=-1)
+
+
+@pytest.fixture
+def base_store():
+    store = ObjectStore("inner")
+    store.ensure_bucket("data")
+    store.put("data", "obj", bytes(range(200)))
+    return store
+
+
+class TestFaultyStore:
+    def test_disarmed_is_passthrough(self, base_store):
+        faulty = FaultyStore(base_store)
+        assert faulty.get_range("data", "obj", 10, 5) == bytes(range(10, 15))
+        assert faulty.injected_faults() == []
+
+    def test_error_fault_raises_before_inner(self, base_store):
+        faulty = FaultyStore(base_store, FaultPlan(0, error_rate=1.0, max_faults_per_key=1))
+        gets_before = base_store.stats.gets
+        with pytest.raises(TransientStoreError):
+            faulty.get_range("data", "obj", 0, 10)
+        assert base_store.stats.gets == gets_before  # request never arrived
+        # Attempt 2 is past max_faults_per_key -> succeeds.
+        assert faulty.get_range("data", "obj", 0, 10) == bytes(range(10))
+        kinds = [f.kind for f in faulty.injected_faults()]
+        assert kinds == [ERROR]
+
+    def test_corrupt_fault_flips_one_byte(self, base_store):
+        faulty = FaultyStore(base_store, FaultPlan(0, corrupt_rate=1.0, max_faults_per_key=1))
+        good = bytes(range(40, 60))
+        bad = faulty.get_range("data", "obj", 40, 20)
+        assert bad != good
+        assert len(bad) == len(good)
+        assert sum(x != y for x, y in zip(bad, good)) == 1
+        # Second attempt of the same scope is clean.
+        assert faulty.get_range("data", "obj", 40, 20) == good
+
+    def test_partial_fault_truncates(self, base_store):
+        faulty = FaultyStore(base_store, FaultPlan(0, partial_rate=1.0, max_faults_per_key=1))
+        out = faulty.get_range("data", "obj", 0, 20)
+        assert out == bytes(range(10))
+
+    def test_latency_fault_charges_clock(self, base_store):
+        clock = SimClock()
+        faulty = FaultyStore(
+            base_store,
+            FaultPlan(0, latency_rate=1.0, latency_s=0.5, max_faults_per_key=1),
+            clock=clock,
+        )
+        assert faulty.get_range("data", "obj", 0, 4) == bytes(range(4))
+        assert 0.5 <= clock.now <= 1.0  # latency_s * (1 + u), u in [0, 1)
+        assert clock.total_for("fault:latency") == clock.now
+
+    def test_attempts_tracked_per_offset(self, base_store):
+        plan = FaultPlan(9, error_rate=1.0, max_faults_per_key=1)
+        faulty = FaultyStore(base_store, plan)
+        with pytest.raises(TransientStoreError):
+            faulty.get_range("data", "obj", 0, 4)
+        # A different offset is a fresh scope: its attempt 1 also faults.
+        with pytest.raises(TransientStoreError):
+            faulty.get_range("data", "obj", 64, 4)
+        # Both scopes now succeed independently.
+        assert faulty.get_range("data", "obj", 0, 4) == bytes(range(4))
+        assert faulty.get_range("data", "obj", 64, 4) == bytes(range(64, 68))
+
+    def test_injection_record_matches_plan(self, base_store):
+        plan = FaultPlan(21, **RATES)
+        faulty = FaultyStore(base_store, plan)
+        for offset in range(0, 80, 8):
+            try:
+                faulty.get_range("data", "obj", offset, 4)
+            except TransientStoreError:
+                continue
+        for rec in faulty.injected_faults():
+            predicted = plan.fault_for(rec.op, rec.bucket, rec.key, rec.attempt, rec.detail)
+            assert predicted is not None
+            assert predicted.kind == rec.kind
+
+    def test_arm_disarm(self, base_store):
+        faulty = FaultyStore(base_store)
+        faulty.arm(FaultPlan(0, error_rate=1.0, max_faults_per_key=99))
+        with pytest.raises(TransientStoreError):
+            faulty.get_range("data", "obj", 0, 1)
+        faulty.disarm()
+        assert faulty.get_range("data", "obj", 0, 1) == b"\x00"
+
+    def test_delegation_surface(self, base_store):
+        faulty = FaultyStore(base_store)
+        faulty.ensure_bucket("other")
+        faulty.put("other", "k", b"xyz")
+        assert faulty.exists("other", "k")
+        assert faulty.head("other", "k").size == 3
+        assert [o.key for o in faulty.list("other")] == ["k"]
+        assert faulty.get("other", "k") == b"xyz"
+        faulty.delete("other", "k")
+        assert not faulty.exists("other", "k")
+        assert "other" in faulty.buckets()
+        faulty.delete_bucket("other")
+        # Unwrapped attributes fall through to the inner store.
+        assert faulty.stats is base_store.stats
+        assert faulty.name == "inner"
+
+    def test_inner_errors_pass_through(self, base_store):
+        faulty = FaultyStore(base_store, FaultPlan(0))
+        with pytest.raises(StorageError):
+            faulty.get_range("data", "obj", -1, 4)
+        with pytest.raises(StorageError):
+            faulty.get_range("data", "missing", 0, 4)
+
+
+def test_object_store_get_range_bounds():
+    """Regression: negative and past-EOF ranges fail loudly, never slice."""
+    store = ObjectStore()
+    store.ensure_bucket("b")
+    store.put("b", "k", b"0123456789")
+    with pytest.raises(StorageError, match="negative range"):
+        store.get_range("b", "k", -1, 2)
+    with pytest.raises(StorageError, match="negative range"):
+        store.get_range("b", "k", 0, -3)
+    with pytest.raises(StorageError, match="past EOF"):
+        store.get_range("b", "k", 8, 3)
+    with pytest.raises(StorageError, match="past EOF"):
+        store.get_range("b", "k", 11, 0)
+    # Boundary cases that are legal.
+    assert store.get_range("b", "k", 10, 0) == b""
+    assert store.get_range("b", "k", 0, 10) == b"0123456789"

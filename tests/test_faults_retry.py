@@ -1,0 +1,300 @@
+"""Property tests for RetryPolicy and unit tests for CircuitBreaker.
+
+RetryPolicy is exercised in isolation (no store, no dataset): hypothesis
+sweeps policy parameters and failure counts asserting the deterministic
+jitter, the delay bounds, and — on a SimClock, never wall-clock — that
+the deadline budget is a hard ceiling.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    CircuitBreaker,
+    CircuitOpenError,
+    CorruptPayloadError,
+    RetryExhaustedError,
+    RetryPolicy,
+    RetryStats,
+    TransientStoreError,
+)
+from repro.network.clock import SimClock
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=8),
+    base_delay=st.floats(min_value=0.001, max_value=1.0),
+    multiplier=st.floats(min_value=1.0, max_value=4.0),
+    max_delay=st.floats(min_value=0.5, max_value=10.0),
+    jitter=st.floats(min_value=0.0, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+
+
+class Flaky:
+    """Callable failing the first ``n`` calls with ``exc``."""
+
+    def __init__(self, n, exc=TransientStoreError, value="ok"):
+        self.n = n
+        self.exc = exc
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.n:
+            raise self.exc(f"boom #{self.calls}")
+        return self.value
+
+
+class TestDelaySchedule:
+    @given(policy=policies, token=st.text(max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_jitter_is_deterministic(self, policy, token):
+        twin = RetryPolicy(
+            max_attempts=policy.max_attempts,
+            base_delay=policy.base_delay,
+            multiplier=policy.multiplier,
+            max_delay=policy.max_delay,
+            jitter=policy.jitter,
+            seed=policy.seed,
+        )
+        for attempt in range(1, 7):
+            assert policy.backoff_delay(attempt, token) == twin.backoff_delay(attempt, token)
+
+    @given(policy=policies)
+    @settings(max_examples=60, deadline=None)
+    def test_delays_bounded_by_jitter_band(self, policy):
+        for attempt in range(1, 9):
+            nominal = policy.nominal_delay(attempt)
+            jittered = policy.backoff_delay(attempt, token=("k",))
+            assert nominal <= policy.max_delay
+            assert nominal * (1.0 - policy.jitter) <= jittered
+            assert jittered <= nominal * (1.0 + policy.jitter)
+
+    @given(policy=policies)
+    @settings(max_examples=60, deadline=None)
+    def test_nominal_schedule_monotone_until_cap(self, policy):
+        delays = [policy.nominal_delay(a) for a in range(1, 10)]
+        assert all(b >= a for a, b in zip(delays, delays[1:]))
+        assert delays[-1] <= policy.max_delay
+
+    def test_seeds_decorrelate_tokens(self):
+        policy = RetryPolicy(jitter=0.5, seed=7)
+        a = [policy.backoff_delay(i, token=("blk", 1)) for i in range(1, 5)]
+        b = [policy.backoff_delay(i, token=("blk", 2)) for i in range(1, 5)]
+        assert a != b
+
+    def test_zero_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0)
+        assert [policy.backoff_delay(a) for a in (1, 2, 3, 4, 5)] == [
+            0.1,
+            0.2,
+            0.4,
+            0.5,
+            0.5,
+        ]
+
+
+class TestRun:
+    @given(
+        policy=policies,
+        failures=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_deadline_budget_never_exceeded(self, policy, failures):
+        """Total SimClock backoff is <= deadline, success or give-up."""
+        deadline = 0.3
+        bounded = RetryPolicy(
+            max_attempts=policy.max_attempts,
+            base_delay=policy.base_delay,
+            multiplier=policy.multiplier,
+            max_delay=policy.max_delay,
+            jitter=policy.jitter,
+            deadline=deadline,
+            seed=policy.seed,
+        )
+        clock = SimClock()
+        fn = Flaky(failures)
+        try:
+            bounded.run(fn, token=("t",), clock=clock)
+        except RetryExhaustedError:
+            pass
+        assert clock.now <= deadline + 1e-12
+        assert clock.total_for("retry:backoff") == clock.now
+
+    @given(policy=policies, failures=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=80, deadline=None)
+    def test_outcome_matches_failure_count(self, policy, failures):
+        clock = SimClock()
+        stats = RetryStats()
+        fn = Flaky(failures)
+        if failures < policy.max_attempts:
+            assert policy.run(fn, clock=clock, stats=stats) == "ok"
+            assert fn.calls == failures + 1
+            snap = stats.snapshot()
+            assert snap["attempts"] == failures + 1
+            assert snap["retries"] == failures
+            assert snap["exhausted"] == 0
+            expected = sum(policy.backoff_delay(a) for a in range(1, failures + 1))
+            assert clock.total_for("retry:backoff") == pytest.approx(expected, abs=1e-12)
+        else:
+            with pytest.raises(RetryExhaustedError) as err:
+                policy.run(fn, clock=clock, stats=stats)
+            assert fn.calls == policy.max_attempts
+            assert err.value.attempts == policy.max_attempts
+            assert isinstance(err.value.__cause__, TransientStoreError)
+            assert stats.snapshot()["exhausted"] == 1
+
+    def test_non_retryable_propagates_untouched(self):
+        policy = RetryPolicy(max_attempts=5)
+        fn = Flaky(3, exc=KeyError)
+        with pytest.raises(KeyError):
+            policy.run(fn)
+        assert fn.calls == 1  # no retry happened
+
+    def test_retry_on_is_configurable(self):
+        policy = RetryPolicy(max_attempts=3, retry_on=(ValueError,), base_delay=0.0)
+        fn = Flaky(1, exc=ValueError)
+        assert policy.run(fn) == "ok"
+        with pytest.raises(RetryExhaustedError):
+            policy.run(Flaky(9, exc=ValueError))
+
+    def test_corrupt_payload_is_retryable_by_default(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        assert policy.run(Flaky(2, exc=CorruptPayloadError)) == "ok"
+
+    def test_exhaustion_is_not_retried_by_nested_policy(self):
+        """A give-up signal must never be retried by an outer policy."""
+        inner = RetryPolicy(max_attempts=2, base_delay=0.0)
+        outer = RetryPolicy(max_attempts=4, base_delay=0.0)
+        always = Flaky(99)
+        calls = {"n": 0}
+
+        def nested():
+            calls["n"] += 1
+            return inner.run(always)
+
+        with pytest.raises(RetryExhaustedError):
+            outer.run(nested)
+        assert calls["n"] == 1  # outer saw a terminal error, not a transient one
+
+    def test_no_clock_means_no_sleep_at_all(self):
+        """Without a clock the driver must not sleep — it just loops."""
+        import time
+
+        policy = RetryPolicy(max_attempts=6, base_delay=5.0, jitter=0.0)
+        t0 = time.monotonic()
+        with pytest.raises(RetryExhaustedError):
+            policy.run(Flaky(99))
+        assert time.monotonic() - t0 < 1.0
+
+    def test_stats_accumulate_across_calls(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        stats = RetryStats()
+        policy.run(Flaky(1), stats=stats)
+        policy.run(Flaky(0), stats=stats)
+        with pytest.raises(RetryExhaustedError):
+            policy.run(Flaky(9), stats=stats)
+        snap = stats.snapshot()
+        assert snap["calls"] == 3
+        assert snap["attempts"] == 2 + 1 + 3
+        assert snap["retries"] == 1 + 0 + 2
+        assert snap["exhausted"] == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=-0.1)
+
+
+class TestCircuitBreaker:
+    def test_trips_at_threshold_and_fast_fails(self):
+        br = CircuitBreaker(threshold=3)
+        for _ in range(2):
+            br.record_failure("k")
+            br.check("k")  # still closed
+        br.record_failure("k")
+        assert br.state("k") == "open"
+        with pytest.raises(CircuitOpenError) as err:
+            br.check("k")
+        assert err.value.key == "k"
+        assert err.value.failures == 3
+        assert br.stats.trips == 1
+        assert br.stats.fast_fails == 1
+        assert br.open_keys() == ["k"]
+
+    def test_success_resets_consecutive_count(self):
+        br = CircuitBreaker(threshold=2)
+        br.record_failure("k")
+        br.record_success("k")
+        br.record_failure("k")
+        assert br.state("k") == "closed"  # never saw 2 consecutive
+
+    def test_cooldown_probe_success_closes(self):
+        clock = SimClock()
+        br = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        br.record_failure("k")
+        with pytest.raises(CircuitOpenError):
+            br.check("k")
+        clock.advance(10.0)
+        br.check("k")  # the half-open probe is let through
+        assert br.state("k") == "half-open"
+        br.record_success("k")
+        assert br.state("k") == "closed"
+        assert br.stats.probes == 1
+        assert br.stats.closes == 1
+
+    def test_cooldown_probe_failure_reopens(self):
+        clock = SimClock()
+        br = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        br.record_failure("k")
+        clock.advance(5.0)
+        br.check("k")
+        br.record_failure("k")  # the probe failed
+        assert br.state("k") == "open"
+        assert br.stats.trips == 2
+        with pytest.raises(CircuitOpenError):
+            br.check("k")  # cooldown restarts from the re-open
+
+    def test_without_clock_circuit_stays_open(self):
+        br = CircuitBreaker(threshold=1, cooldown=0.0)
+        br.record_failure("k")
+        with pytest.raises(CircuitOpenError):
+            br.check("k")
+        with pytest.raises(CircuitOpenError):
+            br.check("k")
+        br.reset("k")
+        br.check("k")
+        assert br.state("k") == "closed"
+
+    def test_keys_are_independent(self):
+        br = CircuitBreaker(threshold=1)
+        br.record_failure("a")
+        with pytest.raises(CircuitOpenError):
+            br.check("a")
+        br.check("b")  # untouched key is closed
+        assert br.state("b") == "closed"
+
+    def test_reset_all(self):
+        br = CircuitBreaker(threshold=1)
+        br.record_failure("a")
+        br.record_failure("b")
+        br.reset()
+        assert br.open_keys() == []
+        br.check("a")
+        br.check("b")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1)

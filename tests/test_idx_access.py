@@ -208,3 +208,54 @@ class TestAccessLogCap:
         IdxDataset.from_access(access).read()
         assert not access.counters.truncated
         assert len(access.counters.access_log) == access.counters.blocks_read
+
+
+class TestBlocksSince:
+    """Regression: per-step accounting vs snapshots and the log cap."""
+
+    def test_overlapping_snapshots(self):
+        from repro.idx.access import AccessCounters
+
+        c = AccessCounters()
+        s0 = c.snapshot()
+        c.record(0, 0, 1, 10)
+        s1 = c.snapshot()
+        c.record(0, 0, 2, 10)
+        c.record(0, 0, 3, 0)
+        # An older snapshot sees a superset of a newer one.
+        assert c.blocks_since(s0) == [(0, 0, 1), (0, 0, 2), (0, 0, 3)]
+        assert c.blocks_since(s1) == [(0, 0, 2), (0, 0, 3)]
+        s2 = c.snapshot()
+        assert c.blocks_since(s2) == []
+        # Old snapshots stay valid after further reads.
+        c.record(0, 0, 4, 7)
+        assert c.blocks_since(s1) == [(0, 0, 2), (0, 0, 3), (0, 0, 4)]
+
+    def test_raises_after_truncation(self):
+        from repro.idx.access import AccessCounters
+
+        c = AccessCounters(log_limit=2)
+        snap = c.snapshot()
+        for b in range(3):
+            c.record(0, 0, b, 1)
+        assert c.truncated
+        assert c.blocks_read == 3  # scalars stay exact
+        with pytest.raises(RuntimeError, match="truncated"):
+            c.blocks_since(snap)
+        # Even a fresh snapshot cannot resurrect per-step keys.
+        with pytest.raises(RuntimeError):
+            c.blocks_since(c.snapshot())
+
+    def test_snapshot_taken_before_cap_then_truncated(self):
+        from repro.idx.access import AccessCounters
+
+        c = AccessCounters(log_limit=4)
+        c.record(0, 0, 0, 1)
+        snap = c.snapshot()
+        for b in range(1, 4):
+            c.record(0, 0, b, 1)
+        assert not c.truncated
+        assert c.blocks_since(snap) == [(0, 0, 1), (0, 0, 2), (0, 0, 3)]
+        c.record(0, 0, 4, 1)  # drops past the cap
+        with pytest.raises(RuntimeError):
+            c.blocks_since(snap)

@@ -161,3 +161,31 @@ class TestContainer:
         assert (out == 3).all()
         # Untouched slots come back as fill.
         assert (reader.read_block(0, 0, 5) == 0).all()
+
+
+class TestBytesByteSourceBounds:
+    """Regression: in-memory sources reject every out-of-bounds range."""
+
+    def test_negative_offset_rejected(self):
+        src = BytesByteSource(b"0123456789")
+        # Python slicing would silently read from the tail here.
+        with pytest.raises(IdxError, match="out of bounds"):
+            src.read_at(-2, 2)
+
+    def test_negative_length_rejected(self):
+        src = BytesByteSource(b"0123456789")
+        with pytest.raises(IdxError, match="out of bounds"):
+            src.read_at(0, -1)
+
+    def test_past_eof_rejected(self):
+        src = BytesByteSource(b"0123456789")
+        with pytest.raises(IdxError, match="out of bounds"):
+            src.read_at(8, 3)
+        with pytest.raises(IdxError, match="out of bounds"):
+            src.read_at(11, 0)
+
+    def test_legal_boundaries(self):
+        src = BytesByteSource(b"0123456789")
+        assert src.read_at(0, 10) == b"0123456789"
+        assert src.read_at(10, 0) == b""
+        assert src.size() == 10
