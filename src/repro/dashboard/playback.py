@@ -97,12 +97,26 @@ class Playback:
         return self.timesteps[pos]
 
     def schedule(self, duration_s: float, *, frame_interval_s: float = 1.0) -> List[Tuple[float, int]]:
-        """(wall_time, timestep) sequence for a ``duration_s`` walkthrough."""
+        """(wall_time, timestep) sequence for a ``duration_s`` walkthrough.
+
+        Frame times are computed as ``i * frame_interval_s`` rather than
+        by accumulating ``t += frame_interval_s``: the running sum drifts
+        in floating point (e.g. ``duration_s=0.3, frame_interval_s=0.1``
+        accumulates past 0.3 and silently drops the final frame).  The
+        frame count uses a one-ulp-scale tolerance so a duration that is
+        an exact multiple of the interval always includes its last frame.
+        """
         if frame_interval_s <= 0:
             raise ValueError("frame_interval_s must be positive")
+        if duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        ratio = duration_s / frame_interval_s
+        # Absolute + relative slack: both the ratio and a duration that
+        # was itself computed as k * interval carry at most a few ulps of
+        # error, far below either term.
+        n_frames = int(ratio + 1e-9 + ratio * 1e-12) + 1
         out: List[Tuple[float, int]] = []
-        t = 0.0
-        while t <= duration_s:
+        for i in range(n_frames):
+            t = i * frame_interval_s
             out.append((t, self.frame_at(t)))
-            t += frame_interval_s
         return out

@@ -74,9 +74,13 @@ class DashboardProtocol:
                 raise ValueError(f"unknown op {op!r}; have {sorted(self._ops)}")
             result = handler(request)
             response = {"ok": True, "result": result}
+            # The serialisability guard must run *inside* the try: a
+            # handler returning np.int64/bytes/... would otherwise raise
+            # out of a method documented "never raises".
+            json.dumps(response)
         except Exception as exc:  # noqa: BLE001 - protocol boundary
             response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-        json.dumps(response)  # guarantee serialisability before returning
+            json.dumps(response)  # error strings are always serialisable
         return response
 
     def handle_json(self, payload: str) -> str:
@@ -211,8 +215,15 @@ class DashboardProtocol:
 
     def _op_timings(self, req: Dict) -> Any:
         return {
-            op: {"count": count, "mean_ms": mean * 1e3}
-            for op, (count, mean) in self.session.timing_summary().items()
+            "ops": {
+                op: {"count": count, "mean_ms": mean * 1e3}
+                for op, (count, mean) in self.session.timing_summary().items()
+            },
+            # The raw op_timings log is capped (DEFAULT_TIMING_LIMIT);
+            # aggregate counts above stay exact, but raw-entry consumers
+            # need to know how much detail was shed.
+            "truncated": bool(self.session.timings_truncated),
+            "dropped": int(self.session.timings_dropped),
         }
 
     def _view(self) -> Dict[str, Any]:

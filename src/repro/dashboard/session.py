@@ -27,24 +27,55 @@ from repro.util.arrays import Box, normalize_box
 
 __all__ = ["DashboardSession"]
 
+#: Default bound on :attr:`DashboardSession.op_timings` length.
+DEFAULT_TIMING_LIMIT = 4096
+
 
 class DashboardSession:
     """Headless NSDF dashboard."""
 
-    def __init__(self, *, viewport: Tuple[int, int] = (512, 512)) -> None:
+    def __init__(
+        self,
+        *,
+        viewport: Tuple[int, int] = (512, 512),
+        timing_limit: int = DEFAULT_TIMING_LIMIT,
+    ) -> None:
         self.state = DashboardState(viewport_px=(int(viewport[0]), int(viewport[1])))
         self._datasets: Dict[str, IdxDataset] = {}
+        #: Raw per-operation wall times, capped at ``timing_limit``
+        #: entries (mirroring the access-log cap): a long-lived session
+        #: must not grow memory without bound.  Once the cap is hit new
+        #: entries are dropped and counted in :attr:`timings_dropped`
+        #: while the per-op aggregates behind :meth:`timing_summary`
+        #: keep counting exactly.
         self.op_timings: List[Tuple[str, float]] = []
+        if int(timing_limit) < 1:
+            raise ValueError("timing_limit must be >= 1")
+        self.timing_limit = int(timing_limit)
+        self.timings_truncated = False
+        self.timings_dropped = 0
+        self._timing_agg: Dict[str, List[float]] = {}  # op -> [count, total]
         #: Levels whose refinement tick arrived degraded in the most
         #: recent :meth:`refine_frames` sweep (see DESIGN.md §11).
         self.last_sweep_degraded: List[int] = []
 
     # -- timing helper -------------------------------------------------------
 
+    def record_timing(self, op: str, seconds: float) -> None:
+        """Account one timed operation (exact aggregates, capped raw log)."""
+        agg = self._timing_agg.setdefault(op, [0, 0.0])
+        agg[0] += 1
+        agg[1] += seconds
+        if len(self.op_timings) < self.timing_limit:
+            self.op_timings.append((op, seconds))
+        else:
+            self.timings_truncated = True
+            self.timings_dropped += 1
+
     def _timed(self, op: str, fn, *args, **kwargs):
         t0 = _time.perf_counter()
         out = fn(*args, **kwargs)
-        self.op_timings.append((op, _time.perf_counter() - t0))
+        self.record_timing(op, _time.perf_counter() - t0)
         return out
 
     # -- dataset management ----------------------------------------------------
@@ -468,7 +499,7 @@ class DashboardSession:
             if result is None:
                 break
             op = "refine_degraded" if result.degraded else "refine"
-            self.op_timings.append((op, _time.perf_counter() - t0))
+            self.record_timing(op, _time.perf_counter() - t0)
             if result.degraded:
                 self.last_sweep_degraded.append(int(result.level))
                 self.state.record("refine_degraded", level=int(result.level))
@@ -514,8 +545,12 @@ class DashboardSession:
     # -- reporting ------------------------------------------------------------------------------------
 
     def timing_summary(self) -> Dict[str, Tuple[int, float]]:
-        """op -> (count, mean seconds)."""
-        agg: Dict[str, List[float]] = {}
-        for op, secs in self.op_timings:
-            agg.setdefault(op, []).append(secs)
-        return {op: (len(v), sum(v) / len(v)) for op, v in agg.items()}
+        """op -> (count, mean seconds).
+
+        Computed from exact per-op aggregates, so the summary stays
+        correct even after the capped raw :attr:`op_timings` log has
+        dropped entries.
+        """
+        return {
+            op: (int(count), total / count) for op, (count, total) in self._timing_agg.items()
+        }

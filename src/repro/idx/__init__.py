@@ -40,7 +40,15 @@ from repro.idx.cache import BlockCache
 from repro.idx.dataset import IdxDataset
 from repro.idx.idxfile import IdxError, IdxHeader
 from repro.idx.query import BoxQuery, QueryResult
-from repro.idx.access import CachedAccess, LocalAccess, RemoteAccess
+from repro.idx.access import (
+    AccessScope,
+    CachedAccess,
+    LocalAccess,
+    RemoteAccess,
+    TokenBucket,
+    current_scope,
+    use_scope,
+)
 from repro.idx.parallel import ParallelFetcher
 from repro.idx.convert import (
     BatchConversionReport,
@@ -76,7 +84,11 @@ __all__ = [
     "BlockCache",
     "BlockLayout",
     "BoxQuery",
+    "AccessScope",
     "CachedAccess",
+    "TokenBucket",
+    "current_scope",
+    "use_scope",
     "ConversionJob",
     "ConversionReport",
     "EncodeStats",

@@ -24,13 +24,29 @@ across a bounded thread pool, ``read_block`` joins in-flight fetches
 instead of re-issuing them, and simulated latency is charged as the
 slowest worker's total (see :mod:`repro.network.clock`).  ``workers=1``
 is the exact serial baseline with identical results.
+
+**Multi-tenant sharing** (DESIGN.md §12): every piece of *per-request*
+mutable state an access layer owns — I/O counters, retry statistics, the
+staged-prefetch table, the prefetch window — lives in an
+:class:`AccessScope`, not on the access instance.  Each instance carries
+a private default scope, so single-session code behaves exactly as it
+always has; a service layer multiplexing many sessions over one shared
+``RemoteAccess``/``CachedAccess`` instead binds one scope per session and
+activates it with :func:`use_scope` around each request.  The scope also
+carries the tenant's fairness policy: an optional :class:`TokenBucket`
+admitting block fetches at a bounded rate, and a ``max_inflight`` cap
+bounding how many blocks one session may have staged or in flight in the
+shared fetch pipeline at once.
 """
 
 from __future__ import annotations
 
+import threading
+import time as _time
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -42,7 +58,17 @@ from repro.idx.idxfile import ByteSource, FileByteSource, IdxBinaryReader, IdxHe
 from repro.idx.parallel import ParallelFetcher
 from repro.util.hashing import content_digest
 
-__all__ = ["Access", "AccessCounters", "CachedAccess", "LocalAccess", "RemoteAccess"]
+__all__ = [
+    "Access",
+    "AccessCounters",
+    "AccessScope",
+    "CachedAccess",
+    "LocalAccess",
+    "RemoteAccess",
+    "TokenBucket",
+    "current_scope",
+    "use_scope",
+]
 
 #: Default bound on ``AccessCounters.access_log`` length.
 DEFAULT_LOG_LIMIT = 4096
@@ -94,13 +120,182 @@ class AccessCounters:
         return list(self.access_log[snap[2] :])
 
 
+class TokenBucket:
+    """Token-bucket admission control for block fetches.
+
+    ``rate`` is the sustained budget in blocks per second, ``burst`` the
+    instantaneous allowance.  :meth:`acquire` never rejects — it *delays*:
+    when the bucket is empty the caller waits out the deficit, charged to
+    the simulated clock when one is bound (nothing really sleeps in
+    tests/benchmarks) or slept for real otherwise.  One bucket belongs to
+    one tenant; the per-tenant delay is what keeps a greedy session from
+    starving its neighbours on shared infrastructure.
+
+    The bucket is thread-safe so a tenant may migrate between worker
+    threads across requests.
+    """
+
+    def __init__(self, rate: float, burst: Optional[float] = None, *, clock=None) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive (blocks per second)")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.burst <= 0:
+            raise ValueError("burst must be positive")
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._tokens = self.burst
+        self._last = self._read_time()
+        self.waits = 0
+        self.waited_s = 0.0
+
+    def _read_time(self) -> float:
+        return self.clock.now if self.clock is not None else _time.monotonic()
+
+    def acquire(self, n: int = 1) -> float:
+        """Take ``n`` tokens, waiting out any deficit; returns seconds waited."""
+        if n <= 0:
+            return 0.0
+        with self._lock:
+            now = self._read_time()
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+            self._last = now
+            self._tokens -= float(n)
+            wait = -self._tokens / self.rate if self._tokens < 0 else 0.0
+            if wait > 0:
+                self.waits += 1
+                self.waited_s += wait
+        if wait > 0:
+            if self.clock is not None:
+                self.clock.advance(wait, label="admission:wait")
+            else:
+                _time.sleep(wait)
+        return wait
+
+
+class AccessScope:
+    """Per-session view of a shared access layer (DESIGN.md §12).
+
+    A scope owns everything about a request stream that must *not* be
+    shared between tenants multiplexed over one access instance:
+
+    - ``counters`` — the session's own I/O accounting;
+    - ``retry_stats`` — retries/backoff attributed to this session;
+    - the staged-prefetch table and the in-flight key set (a query's
+      prefetch window), keyed per access URI so one scope can span
+      several datasets;
+    - the fairness policy: an optional admission ``bucket`` and a
+      ``max_inflight`` bound on the prefetch window.
+
+    A scope belongs to one session and is driven by at most one request
+    at a time — it is not itself synchronised (exactly like the
+    per-instance state it replaces).  Activate it around a request with
+    :func:`use_scope`; code that never binds a scope runs against the
+    access instance's private default scope and behaves exactly as
+    before the scopes existed.
+    """
+
+    def __init__(
+        self,
+        tenant: str = "default",
+        *,
+        bucket: Optional[TokenBucket] = None,
+        max_inflight: Optional[int] = None,
+        log_limit: int = DEFAULT_LOG_LIMIT,
+    ) -> None:
+        self.tenant = str(tenant)
+        self.counters = AccessCounters(log_limit=log_limit)
+        self.retry_stats = RetryStats()
+        self.bucket = bucket
+        if max_inflight is not None and int(max_inflight) < 1:
+            raise ValueError("max_inflight must be >= 1 (or None for unbounded)")
+        self.max_inflight = None if max_inflight is None else int(max_inflight)
+        #: Blocks admitted through :meth:`admit` (fetches this scope paid for).
+        self.admitted_blocks = 0
+        #: Total admission delay this scope has absorbed.
+        self.throttled_s = 0.0
+        # uri -> key -> (decoded block, stored payload bytes): one query's stage.
+        self._staged: Dict[str, Dict[Tuple[int, int, int], Tuple[np.ndarray, int]]] = {}
+        # uri -> keys this scope submitted to a shared parallel fetcher.
+        self._inflight: Dict[str, Set[Tuple[int, int, int]]] = {}
+
+    def staged(self, uri: str) -> Dict[Tuple[int, int, int], Tuple[np.ndarray, int]]:
+        return self._staged.setdefault(uri, {})
+
+    def inflight(self, uri: str) -> Set[Tuple[int, int, int]]:
+        return self._inflight.setdefault(uri, set())
+
+    def take_inflight(self, uri: str) -> Set[Tuple[int, int, int]]:
+        """Drop and return the in-flight key set for ``uri``."""
+        keys = self._inflight.get(uri)
+        if not keys:
+            return set()
+        self._inflight[uri] = set()
+        return keys
+
+    def window(self, items: List) -> List:
+        """Clip a prefetch batch to this scope's in-flight bound."""
+        if self.max_inflight is None:
+            return items
+        return items[: self.max_inflight]
+
+    def admit(self, n: int = 1) -> float:
+        """Charge ``n`` block fetches against the admission budget."""
+        self.admitted_blocks += int(n)
+        if self.bucket is None:
+            return 0.0
+        waited = self.bucket.acquire(n)
+        self.throttled_s += waited
+        return waited
+
+
+_SCOPE_STACK = threading.local()
+
+
+def current_scope() -> Optional[AccessScope]:
+    """The scope bound to this thread by :func:`use_scope`, if any."""
+    stack = getattr(_SCOPE_STACK, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def use_scope(scope: AccessScope) -> Iterator[AccessScope]:
+    """Bind ``scope`` as this thread's active scope for the block.
+
+    Every :class:`Access` consulted inside the block accounts its I/O,
+    staging, retries, and admission against ``scope`` instead of its
+    private default.  Nests (innermost wins) and is strictly
+    thread-local, so concurrent sessions on different threads never see
+    each other's scopes.
+    """
+    stack = getattr(_SCOPE_STACK, "stack", None)
+    if stack is None:
+        stack = []
+        _SCOPE_STACK.stack = stack
+    stack.append(scope)
+    try:
+        yield scope
+    finally:
+        stack.pop()
+
+
 class Access(ABC):
     """Abstract block provider for one IDX dataset."""
 
     header: IdxHeader
 
     def __init__(self) -> None:
-        self.counters = AccessCounters()
+        self._default_scope = AccessScope()
+
+    def _scope(self) -> AccessScope:
+        """The active per-session scope, or this instance's default."""
+        scope = current_scope()
+        return scope if scope is not None else self._default_scope
+
+    @property
+    def counters(self) -> AccessCounters:
+        """I/O counters of the *current* scope (default scope when unscoped)."""
+        return self._scope().counters
 
     @abstractmethod
     def read_block(self, time_idx: int, field_idx: int, block_id: int) -> np.ndarray:
@@ -202,14 +397,11 @@ class RemoteAccess(_ReaderAccess):
     ) -> None:
         super().__init__(IdxBinaryReader(source), uri=uri)
         self._source = source
-        # key -> (decoded block, stored payload bytes): one query's stage.
-        self._staged: Dict[Tuple[int, int, int], Tuple[np.ndarray, int]] = {}
         if clock is None:
             clock = getattr(source, "clock", None)
         self._clock = clock
         self._retry = retry
         self._breaker = breaker
-        self.retry_stats = RetryStats()
         # Lazily imported key avoids a hard dependency on verify at call
         # time; the manifest is optional header metadata.
         from repro.idx.verify import MANIFEST_KEY
@@ -231,6 +423,16 @@ class RemoteAccess(_ReaderAccess):
     @property
     def retry_policy(self) -> Optional[RetryPolicy]:
         return self._retry
+
+    @property
+    def retry_stats(self) -> RetryStats:
+        """Retry accounting of the current scope (per-session when scoped)."""
+        return self._scope().retry_stats
+
+    @property
+    def _staged(self) -> Dict[Tuple[int, int, int], Tuple[np.ndarray, int]]:
+        """The current scope's staged-prefetch table for this dataset."""
+        return self._scope().staged(self.uri)
 
     @property
     def breaker(self) -> Optional[CircuitBreaker]:
@@ -260,13 +462,22 @@ class RemoteAccess(_ReaderAccess):
                 raise CorruptPayloadError(f"checksum mismatch for block {key}")
         return self._codec.decode_array(payload, dtype, (self.layout.block_size,))
 
-    def _fetch_decode(self, key: Tuple[int, int, int]) -> np.ndarray:
+    def _fetch_decode(
+        self, key: Tuple[int, int, int], scope: Optional[AccessScope] = None
+    ) -> np.ndarray:
         """Worker task: ranged fetch + codec decode of one block.
 
         With a retry policy installed the fetch is verified and retried
         with backoff (sleeps charged to the simulated clock); the per-key
         circuit breaker gates the whole cycle and is told the outcome.
+
+        ``scope`` pins the retry accounting to the session that asked for
+        the block — it is captured at submission time because this runs
+        on fetcher pool threads, where the submitting thread's scope
+        binding is invisible.
         """
+        if scope is None:
+            scope = self._scope()
         if self._retry is None:
             return self._reader.read_block(*key)
         if self._breaker is not None:
@@ -276,7 +487,7 @@ class RemoteAccess(_ReaderAccess):
                 lambda: self._verified_fetch(key),
                 token=key,
                 clock=self._clock,
-                stats=self.retry_stats,
+                stats=scope.retry_stats,
             )
         except Exception:
             if self._breaker is not None:
@@ -287,11 +498,13 @@ class RemoteAccess(_ReaderAccess):
         return block
 
     def prefetch(self, time_idx: int, field_idx: int, block_ids) -> None:
+        scope = self._scope()
+        staged = scope.staged(self.uri)
         requested = {(time_idx, field_idx, int(bid)) for bid in block_ids}
         wanted: List[Tuple[int, int, int]] = []
         ranges: List[Tuple[int, int]] = []
         for key in sorted(requested):
-            if key in self._staged:
+            if key in staged:
                 continue  # already fetched earlier in this query
             offset, length = self._reader.block_entry(*key)
             if length == 0:
@@ -300,8 +513,22 @@ class RemoteAccess(_ReaderAccess):
             ranges.append((offset, length))
         if not wanted:
             return
+        # The scope's prefetch window bounds how many blocks one session
+        # may stage or hold in flight at once; anything clipped is read
+        # on demand (joining or issuing serially), so fairness never
+        # costs correctness.
+        clipped = scope.window(wanted)
+        ranges = ranges[: len(clipped)]
+        wanted = clipped
         if self._fetcher is not None:
-            self._fetcher.prefetch(wanted)
+            # Bind this session's scope into the loader: the task runs on
+            # pool threads, where the submitting thread's binding is gone.
+            fresh = self._fetcher.prefetch(
+                wanted, loader=lambda key, _s=scope: self._fetch_decode(key, _s)
+            )
+            if fresh:
+                scope.admit(len(fresh))
+                scope.inflight(self.uri).update(fresh)
             return
         if self._retry is not None:
             # Each block must be its own retry scope (per-key attempt
@@ -312,12 +539,13 @@ class RemoteAccess(_ReaderAccess):
         read_many = getattr(self._source, "read_many", None)
         if read_many is None:
             return  # plain sources fetch per block; nothing to pipeline
+        scope.admit(len(wanted))
         blobs = read_many(ranges)
         codec = self.header.codec_obj()
         for key, (offset, length), blob in zip(wanted, ranges, blobs):
             dtype = self.header.field_dtype(key[1])
             decoded = codec.decode_array(blob, dtype, (self.layout.block_size,))
-            self._staged[key] = (decoded, length)
+            staged[key] = (decoded, length)
 
     def read_block(self, time_idx: int, field_idx: int, block_id: int) -> np.ndarray:
         # Normalise to builtin ints: the key doubles as the retry jitter
@@ -325,32 +553,40 @@ class RemoteAccess(_ReaderAccess):
         # integer scalars render differently from Python ints.
         key = (int(time_idx), int(field_idx), int(block_id))
         time_idx, field_idx, block_id = key
-        staged = self._staged.get(key)
+        scope = self._scope()
+        staged = scope.staged(self.uri).get(key)
         if staged is not None:
             block, stored_length = staged
             # Stored (encoded) bytes, the same quantity the direct path
             # records — not the decoded array size.
-            self.counters.record(time_idx, field_idx, block_id, stored_length)
+            scope.counters.record(time_idx, field_idx, block_id, stored_length)
             return block
         if self._fetcher is not None:
             block = self._fetcher.get(key)
             if block is not None:
                 _, length = self._reader.block_entry(*key)
-                self.counters.record(time_idx, field_idx, block_id, length)
+                scope.counters.record(time_idx, field_idx, block_id, length)
                 return block
+        # This read crosses the network itself (nothing staged, nothing
+        # in flight), so it pays the admission budget here.
+        scope.admit(1)
         if self._retry is None:
             return super().read_block(time_idx, field_idx, block_id)
-        block = self._fetch_decode(key)
+        block = self._fetch_decode(key, scope)
         _, length = self._reader.block_entry(*key)
         if length == 0:
-            self.counters.absent_blocks += 1
-        self.counters.record(time_idx, field_idx, block_id, length)
+            scope.counters.absent_blocks += 1
+        scope.counters.record(time_idx, field_idx, block_id, length)
         return block
 
     def release_prefetched(self) -> None:
-        self._staged.clear()
+        scope = self._scope()
+        scope.staged(self.uri).clear()
         if self._fetcher is not None:
-            self._fetcher.release()
+            # Drop only the keys *this scope* submitted: another tenant's
+            # in-flight fetches on the shared pool must survive our
+            # query's end.
+            self._fetcher.release(scope.take_inflight(self.uri))
 
     def close(self) -> None:
         if self._fetcher is not None:
@@ -393,15 +629,24 @@ class CachedAccess(Access):
         return block
 
     def prefetch(self, time_idx: int, field_idx: int, block_ids) -> None:
-        missing = [
-            bid
+        # Announce-then-prefetch: claim the cache-missing blocks so that
+        # tenants cold-starting together split the fetch instead of each
+        # pulling the whole batch into a private stage.  Blocks another
+        # tenant already claimed are picked up at read time through
+        # get_or_load's miss coalescing.
+        wanted = {
+            int(bid): (self.inner.uri, time_idx, field_idx, int(bid))
             for bid in block_ids
-            if not self.cache.contains((self.inner.uri, time_idx, field_idx, int(bid)))
-        ]
-        if missing:
-            self.inner.prefetch(time_idx, field_idx, missing)
+        }
+        claimed = set(self.cache.announce(wanted.values()))
+        if claimed:
+            self._scope().inflight(self.uri).update(claimed)
+            self.inner.prefetch(
+                time_idx, field_idx, [bid for bid, key in wanted.items() if key in claimed]
+            )
 
     def release_prefetched(self) -> None:
+        self.cache.retract(self._scope().take_inflight(self.uri))
         self.inner.release_prefetched()
 
     @property

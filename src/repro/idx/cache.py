@@ -103,6 +103,7 @@ class BlockCache:
         self._bytes = 0
         self._lock = threading.RLock()
         self._loading: Dict[Key, _PendingLoad] = {}
+        self._announced: set = set()
         self.stats = CacheStats()
 
     # -- core ops -----------------------------------------------------------
@@ -136,6 +137,7 @@ class BlockCache:
         else:
             self.stats.inserted_bytes += nbytes
         self._entries[key] = block
+        self._announced.discard(key)  # the claimed block has arrived
         self._bytes += nbytes
         while self._bytes > self.capacity:
             _, evicted = self._entries.popitem(last=False)
@@ -188,6 +190,36 @@ class BlockCache:
         """Presence test that does not perturb LRU order or counters."""
         with self._lock:
             return key in self._entries
+
+    # -- prefetch coordination ----------------------------------------------
+
+    def announce(self, keys) -> list:
+        """Claim intent to prefetch ``keys``; returns the unclaimed subset.
+
+        When many tenants cold-start over one cache (a tutorial cohort
+        opening the same dataset at once), each would otherwise prefetch
+        the same blocks into its own private stage before anything lands
+        in the cache — N full network sweeps for one dataset.  Announcing
+        lets the first arrival claim a block: later tenants skip it in
+        their prefetch batch and pick it up through
+        :meth:`get_or_load`'s coalescing at read time instead.
+
+        A claim is advisory and carries no obligation: reads never wait
+        on an announcement, so a claimant that dies before loading costs
+        the others only their usual fall-back fetch.  Claims are dropped
+        via :meth:`retract` (or when the block actually arrives).
+        """
+        with self._lock:
+            fresh = [
+                k for k in keys if k not in self._entries and k not in self._announced
+            ]
+            self._announced.update(fresh)
+            return fresh
+
+    def retract(self, keys) -> None:
+        """Release prefetch claims taken by :meth:`announce`."""
+        with self._lock:
+            self._announced.difference_update(keys)
 
     def invalidate(self, key: Key) -> bool:
         with self._lock:

@@ -79,15 +79,26 @@ class ParallelFetcher:
 
     # -- submission ---------------------------------------------------------
 
-    def prefetch(self, keys: Iterable[Key]) -> int:
-        """Queue fetch+decode tasks for ``keys``; returns tasks submitted.
+    def prefetch(
+        self,
+        keys: Iterable[Key],
+        *,
+        loader: Optional[Callable[[Key], np.ndarray]] = None,
+    ) -> "list[Key]":
+        """Queue fetch+decode tasks for ``keys``; returns the keys submitted.
 
         Keys already in flight (or already fetched and not yet released)
         are coalesced instead of re-issued.  A key whose previous fetch
         *failed* is resubmitted instead of coalesced — a dead future must
         not poison the table for the rest of the query.  The call never
         blocks on the fetches themselves.
+
+        ``loader`` overrides the constructor loader for *this batch's*
+        fresh submissions — a multi-tenant access layer binds the
+        requesting session's scope into it, since the task later runs on
+        a pool thread that knows nothing about the submitter.
         """
+        load = loader if loader is not None else self._loader
         with self._lock:
             if self._closed:
                 raise RuntimeError("fetcher is closed")
@@ -103,7 +114,7 @@ class ParallelFetcher:
                     continue
                 fresh.append(key)
             if not fresh:
-                return 0
+                return []
             self.stats.batches += 1
             self.stats.submitted += len(fresh)
             # One begin per task, each matched by one end in _run's
@@ -122,18 +133,18 @@ class ParallelFetcher:
                 # the OS schedules the (instant) simulated work.
                 lane = self._next_lane % self.workers
                 self._next_lane += 1
-                self._inflight[key] = self._pool.submit(self._run, key, lane)
-        return len(fresh)
+                self._inflight[key] = self._pool.submit(self._run, key, lane, load)
+        return fresh
 
-    def _run(self, key: Key, lane: int) -> np.ndarray:
+    def _run(self, key: Key, lane: int, loader: Callable[[Key], np.ndarray]) -> np.ndarray:
         # The concurrent-region close must happen *before* the future
         # resolves (a waiter may observe the result and then read the
         # clock), so it lives in the task body, not a done-callback.
         try:
             if self._clock is not None:
                 with self._clock.lane(lane):
-                    return self._loader(key)
-            return self._loader(key)
+                    return loader(key)
+            return loader(key)
         finally:
             with self._lock:
                 self.stats.completed += 1
@@ -162,15 +173,23 @@ class ParallelFetcher:
                 self._inflight.pop(key, None)
             raise
 
-    def release(self) -> None:
-        """Drop the futures table at the end of a query scope.
+    def release(self, keys: Optional[Iterable[Key]] = None) -> None:
+        """Drop futures-table references at the end of a query scope.
 
         In-flight tasks are left to drain (their clock charges must
         land); only the *references* are dropped, so the next query
         starts with a clean stage exactly like the serial staged path.
+        With ``keys`` given, only those entries are dropped — a tenant on
+        a shared fetcher releases its own submissions without clobbering
+        its neighbours' in-flight fetches.  ``None`` keeps the historic
+        drop-everything behaviour.
         """
         with self._lock:
-            self._inflight.clear()
+            if keys is None:
+                self._inflight.clear()
+            else:
+                for key in keys:
+                    self._inflight.pop(key, None)
 
     def close(self) -> None:
         with self._lock:

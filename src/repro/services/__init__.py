@@ -12,18 +12,35 @@ in NSDF."
 - :mod:`repro.services.testbed` — assembles the full Fig. 2 structure
   (8 sites, Seal + Dataverse + catalog + monitor + shared cache);
 - :mod:`repro.services.fair` — FAIR digital objects wrapping datasets
-  with persistent ids and a FAIRness self-check.
+  with persistent ids and a FAIRness self-check;
+- :mod:`repro.services.sessions` — the multi-tenant dashboard service:
+  a :class:`SessionManager` multiplexing many dashboard sessions over
+  one shared block cache with per-tenant fairness (DESIGN.md §12);
+- :mod:`repro.services.events` — the event-stream protocol pushing
+  progressive ``frame``/``degraded`` messages to subscribers;
+- :mod:`repro.services.explorer` — the Session Explorer: per-session op
+  logs and latency histograms.
 """
 
 from repro.services.entrypoint import EntryPoint, ServiceKind
-from repro.services.testbed import NsdfTestbed, build_default_testbed
+from repro.services.events import EventStream, StreamingProtocol
+from repro.services.explorer import LatencyHistogram, SessionExplorer
 from repro.services.fair import FairDigitalObject, fair_assessment
+from repro.services.sessions import ManagedSession, SessionLimits, SessionManager
+from repro.services.testbed import NsdfTestbed, build_default_testbed
 
 __all__ = [
     "EntryPoint",
+    "EventStream",
     "FairDigitalObject",
+    "LatencyHistogram",
+    "ManagedSession",
     "NsdfTestbed",
     "ServiceKind",
+    "SessionExplorer",
+    "SessionLimits",
+    "SessionManager",
+    "StreamingProtocol",
     "build_default_testbed",
     "fair_assessment",
 ]

@@ -1,0 +1,232 @@
+"""Event-stream protocol: push progressive frames to subscribers.
+
+A deployed multi-tenant dashboard does not poll ``render`` in a loop —
+the server *pushes* progressive refinement ticks to the browser the way
+an SSE/websocket backend does (the larsql dashboard's event stream is
+the exemplar shape).  This module adds that push seam on top of the
+existing :class:`~repro.dashboard.protocol.DashboardProtocol` JSON
+envelope: every message is a JSON-serialisable dict, so the stream can
+ride any transport.
+
+Message schema (DESIGN.md §12):
+
+``subscribe`` (request)::
+
+    {"op": "subscribe", "events": ["frame", "degraded"], "backlog": 256}
+    -> {"ok": true, "result": {"stream": "s0", "events": [...]}}
+
+``frame`` (pushed)::
+
+    {"event": "frame", "seq": 3, "level": 5, "shape": [64, 64, 3],
+     "dtype": "uint8", "mean_rgb": [...], "latency_ms": 1.9,
+     "pixels_b64": "..."?}
+
+``degraded`` (pushed)::
+
+    {"event": "degraded", "seq": 4, "level": 6}
+
+``sweep`` (pushed once per completed refinement sweep)::
+
+    {"event": "sweep", "seq": 9, "frames": 7, "degraded_levels": [...]}
+
+Subscribers are *bounded*: each :class:`EventStream` keeps at most
+``backlog`` undelivered messages, dropping the oldest (a live dashboard
+wants the freshest frame, not a complete history) and counting every
+drop, so a slow consumer can see exactly how much it missed.
+"""
+
+from __future__ import annotations
+
+import base64
+import threading
+import time as _time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.dashboard.protocol import DashboardProtocol
+from repro.dashboard.session import DashboardSession
+
+__all__ = ["EventStream", "StreamingProtocol", "DEFAULT_BACKLOG"]
+
+#: Default bound on undelivered messages per subscriber.
+DEFAULT_BACKLOG = 256
+
+
+class EventStream:
+    """One subscriber's bounded, ordered message queue.
+
+    Thread-safe: the publishing side (a refinement sweep) and the
+    polling side (the subscriber's transport) may run on different
+    threads.  ``kinds=None`` subscribes to every event kind.
+    """
+
+    def __init__(
+        self,
+        stream_id: str,
+        *,
+        kinds: Optional[List[str]] = None,
+        backlog: int = DEFAULT_BACKLOG,
+    ) -> None:
+        if backlog < 1:
+            raise ValueError("backlog must be >= 1")
+        self.stream_id = stream_id
+        self.kinds = None if kinds is None else frozenset(str(k) for k in kinds)
+        self._lock = threading.Lock()
+        self._events: Deque[Dict[str, Any]] = deque()
+        self._backlog = int(backlog)
+        self._dropped = 0
+        self._seq = 0
+
+    def publish(self, message: Dict[str, Any]) -> bool:
+        """Enqueue ``message`` if this stream subscribes to its kind.
+
+        Returns whether the message was accepted.  When the backlog is
+        full the *oldest* undelivered message is dropped (freshest-frame
+        semantics) and counted in :attr:`dropped`.
+        """
+        if self.kinds is not None and message.get("event") not in self.kinds:
+            return False
+        with self._lock:
+            stamped = dict(message)
+            stamped["seq"] = self._seq
+            self._seq += 1
+            if len(self._events) >= self._backlog:
+                self._events.popleft()
+                self._dropped += 1
+            self._events.append(stamped)
+        return True
+
+    def poll(self, max_events: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Drain up to ``max_events`` pending messages, oldest first."""
+        with self._lock:
+            n = len(self._events) if max_events is None else min(int(max_events), len(self._events))
+            return [self._events.popleft() for _ in range(n)]
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+
+class StreamingProtocol(DashboardProtocol):
+    """:class:`DashboardProtocol` plus the event-stream ops.
+
+    New ops riding the same JSON envelope:
+
+    - ``subscribe`` / ``unsubscribe`` — manage bounded event streams;
+    - ``poll`` — drain a stream's pending messages;
+    - ``refine`` — run one progressive sweep
+      (:meth:`~repro.dashboard.session.DashboardSession.refine_frames`),
+      pushing a ``frame`` message per tick — plus a ``degraded`` message
+      for every tick that arrived degraded over a flaky link — to every
+      subscriber, and a final ``sweep`` summary.
+
+    ``on_frame`` (settable) observes every frame's wall latency in
+    seconds; the session manager binds it to the session's latency
+    histogram for the Session Explorer.
+    """
+
+    def __init__(self, session: Optional[DashboardSession] = None) -> None:
+        super().__init__(session)
+        self._streams: Dict[str, EventStream] = {}
+        self._next_stream = 0
+        self.on_frame: Optional[Callable[[float], None]] = None
+        self._ops.update(
+            {
+                "subscribe": self._op_subscribe,
+                "unsubscribe": self._op_unsubscribe,
+                "poll": self._op_poll,
+                "refine": self._op_refine,
+            }
+        )
+
+    # -- stream management --------------------------------------------------
+
+    @property
+    def streams(self) -> Dict[str, EventStream]:
+        """Live subscriber streams by id (read-only view for tests/tools)."""
+        return dict(self._streams)
+
+    def publish(self, message: Dict[str, Any]) -> int:
+        """Push ``message`` to every subscribed stream; returns acceptances."""
+        return sum(1 for stream in self._streams.values() if stream.publish(message))
+
+    def _op_subscribe(self, req: Dict) -> Any:
+        kinds = req.get("events")
+        if kinds is not None and (
+            not isinstance(kinds, (list, tuple)) or not all(isinstance(k, str) for k in kinds)
+        ):
+            raise ValueError("'events' must be a list of event kinds")
+        backlog = int(req.get("backlog", DEFAULT_BACKLOG))
+        stream_id = f"s{self._next_stream}"
+        self._next_stream += 1
+        self._streams[stream_id] = EventStream(
+            stream_id, kinds=list(kinds) if kinds is not None else None, backlog=backlog
+        )
+        return {"stream": stream_id, "events": sorted(kinds) if kinds else "all"}
+
+    def _op_unsubscribe(self, req: Dict) -> Any:
+        stream = self._streams.pop(str(req["stream"]), None)
+        if stream is None:
+            raise KeyError(f"unknown stream {req['stream']!r}")
+        return {"closed": stream.stream_id, "pending": stream.pending, "dropped": stream.dropped}
+
+    def _op_poll(self, req: Dict) -> Any:
+        stream = self._streams.get(str(req["stream"]))
+        if stream is None:
+            raise KeyError(f"unknown stream {req['stream']!r}")
+        events = stream.poll(req.get("max"))
+        return {"events": events, "pending": stream.pending, "dropped": stream.dropped}
+
+    # -- the push-side of progressive refinement ----------------------------
+
+    def _op_refine(self, req: Dict) -> Any:
+        include_pixels = bool(req.get("include_pixels", False))
+        fit_viewport = bool(req.get("fit_viewport", False))
+        start = int(req.get("start", 0))
+        session = self.session
+        levels: List[int] = []
+        degraded_seen = 0
+        sweep = session.refine_frames(start_resolution=start, fit_viewport=fit_viewport)
+        while True:
+            t0 = _time.perf_counter()
+            tick = next(sweep, None)
+            if tick is None:
+                break
+            latency_s = _time.perf_counter() - t0
+            level, frame = tick
+            # Degraded ticks surface through last_sweep_degraded as the
+            # sweep runs; anything new since the previous tick belongs to
+            # this one.
+            for h in session.last_sweep_degraded[degraded_seen:]:
+                self.publish({"event": "degraded", "level": int(h)})
+            degraded_seen = len(session.last_sweep_degraded)
+            message: Dict[str, Any] = {
+                "event": "frame",
+                "level": int(level),
+                "shape": list(frame.shape),
+                "dtype": str(frame.dtype),
+                "mean_rgb": [float(frame[..., c].mean()) for c in range(3)],
+                "latency_ms": latency_s * 1e3,
+            }
+            if include_pixels:
+                message["pixels_b64"] = base64.b64encode(frame.tobytes()).decode()
+            self.publish(message)
+            levels.append(int(level))
+            if self.on_frame is not None:
+                self.on_frame(latency_s)
+        degraded_levels = [int(h) for h in session.last_sweep_degraded]
+        self.publish(
+            {"event": "sweep", "frames": len(levels), "degraded_levels": degraded_levels}
+        )
+        return {
+            "frames": len(levels),
+            "levels": levels,
+            "degraded_levels": degraded_levels,
+            "subscribers": len(self._streams),
+        }

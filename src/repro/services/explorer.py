@@ -1,0 +1,222 @@
+"""Session Explorer: per-session observability for the dashboard service.
+
+The larsql dashboard pairs its SSE backend with a "Session Explorer" —
+a live table of every open session with execution logs and analytics.
+This is the reproduction's equivalent over
+:class:`~repro.services.sessions.SessionManager`: per-session op logs
+(what each tenant did, whether it succeeded, how long it took), latency
+histograms with cheap quantiles, and the per-tenant I/O accounting the
+:class:`~repro.idx.access.AccessScope` refactor made possible.
+
+Everything here is derived state — recording happens inline in
+:class:`~repro.services.sessions.ManagedSession` at a cost of one
+histogram bump and one capped-list append per request.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["LatencyHistogram", "OpLogEntry", "SessionExplorer"]
+
+
+class LatencyHistogram:
+    """Log-spaced latency histogram with constant-size memory.
+
+    Buckets double from 1 µs to ~67 s (27 buckets + overflow), which
+    covers everything from cache-hit renders to pathological sweeps.
+    Quantiles report the *upper bound* of the bucket containing the
+    requested rank — a conservative estimate that never understates a
+    tail latency.
+    """
+
+    BASE_S = 1e-6
+    BUCKETS = 27
+
+    def __init__(self) -> None:
+        self.counts = [0] * (self.BUCKETS + 1)
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        s = max(0.0, float(seconds))
+        if s <= self.BASE_S:
+            idx = 0
+        else:
+            idx = min(self.BUCKETS, int(math.log2(s / self.BASE_S)) + 1)
+        self.counts[idx] += 1
+        self.count += 1
+        self.total_s += s
+        if s > self.max_s:
+            self.max_s = s
+
+    def bucket_bound_s(self, idx: int) -> float:
+        """Upper latency bound of bucket ``idx``."""
+        return self.BASE_S * (2.0 ** idx)
+
+    def quantile(self, q: float) -> float:
+        """Conservative (upper-bound) latency at quantile ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for idx, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank and n:
+                return min(self.bucket_bound_s(idx), self.max_s)
+        return self.max_s
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s samples into this histogram."""
+        for idx, n in enumerate(other.counts):
+            self.counts[idx] += n
+        self.count += other.count
+        self.total_s += other.total_s
+        if other.max_s > self.max_s:
+            self.max_s = other.max_s
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_s * 1e3,
+            "p50_ms": self.quantile(0.50) * 1e3,
+            "p99_ms": self.quantile(0.99) * 1e3,
+            "max_ms": self.max_s * 1e3,
+        }
+
+
+@dataclass
+class OpLogEntry:
+    """One protocol request as the Session Explorer shows it."""
+
+    seq: int
+    op: str
+    ok: bool
+    latency_ms: float
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "seq": self.seq,
+            "op": self.op,
+            "ok": self.ok,
+            "latency_ms": self.latency_ms,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+@dataclass
+class _SessionRow:
+    """One explorer table row (a snapshot, not a live view)."""
+
+    session_id: str
+    tenant: str
+    ops: int
+    errors: int
+    frames: int
+    degraded_frames: int
+    blocks_read: int
+    bytes_read: int
+    admitted_blocks: int
+    throttled_s: float
+    latency: Dict[str, float] = field(default_factory=dict)
+    frame_latency: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "tenant": self.tenant,
+            "ops": self.ops,
+            "errors": self.errors,
+            "frames": self.frames,
+            "degraded_frames": self.degraded_frames,
+            "blocks_read": self.blocks_read,
+            "bytes_read": self.bytes_read,
+            "admitted_blocks": self.admitted_blocks,
+            "throttled_s": self.throttled_s,
+            "latency": self.latency,
+            "frame_latency": self.frame_latency,
+        }
+
+
+class SessionExplorer:
+    """Read-only analytics over a :class:`SessionManager`'s live sessions.
+
+    The explorer never mutates session state; every accessor snapshots
+    under the manager's registry so rows are internally consistent even
+    while tenants keep working.
+    """
+
+    def __init__(self, manager) -> None:
+        self._manager = manager
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """One summary row per live session, ordered by session id."""
+        out = []
+        for managed in self._manager.sessions():
+            scope = managed.scope
+            out.append(
+                _SessionRow(
+                    session_id=managed.session_id,
+                    tenant=managed.tenant,
+                    ops=managed.ops_handled,
+                    errors=managed.errors,
+                    frames=managed.frame_histogram.count,
+                    degraded_frames=managed.degraded_frames,
+                    blocks_read=scope.counters.blocks_read,
+                    bytes_read=scope.counters.bytes_read,
+                    admitted_blocks=scope.admitted_blocks,
+                    throttled_s=scope.throttled_s,
+                    latency=managed.op_histogram.to_dict(),
+                    frame_latency=managed.frame_histogram.to_dict(),
+                ).to_dict()
+            )
+        return out
+
+    def op_log(self, session_id: str) -> Dict[str, Any]:
+        """The capped per-session request log plus its drop count."""
+        managed = self._manager.session(session_id)
+        return {
+            "session_id": session_id,
+            "tenant": managed.tenant,
+            "entries": [e.to_dict() for e in managed.op_log],
+            "dropped": managed.op_log_dropped,
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """Fleet-wide aggregates (the explorer's header bar)."""
+        rows = self.rows()
+        frame_hist = LatencyHistogram()
+        for managed in self._manager.sessions():
+            frame_hist.merge(managed.frame_histogram)
+        cache = self._manager.cache
+        return {
+            "sessions": len(rows),
+            "ops": sum(r["ops"] for r in rows),
+            "errors": sum(r["errors"] for r in rows),
+            "frames": frame_hist.count,
+            "degraded_frames": sum(r["degraded_frames"] for r in rows),
+            "frame_latency": frame_hist.to_dict(),
+            "cache": {
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+                "coalesced": cache.stats.coalesced,
+                "hit_rate": cache.stats.hit_rate,
+                "used_bytes": cache.used_bytes,
+            },
+        }
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps({"summary": self.summary(), "sessions": self.rows()}, indent=indent)

@@ -1,0 +1,316 @@
+"""Multi-tenant dashboard service: many sessions, shared infrastructure.
+
+The tutorial deployments in the paper serve *cohorts* — tens to hundreds
+of attendees driving dashboards against the same public datasets at the
+same time.  Giving every attendee a private block cache and query-plan
+cache wastes the one thing cohorts share: they all look at the same
+data.  This module multiplexes many :class:`DashboardSession`\\ s over
+one process:
+
+- **Shared** — one :class:`~repro.idx.cache.BlockCache` and the
+  process-wide plan cache serve every tenant, so the second attendee to
+  open a dataset rides the first one's block fetches and lattice plans.
+- **Per-session** — everything mutable about *a request* lives in that
+  session's :class:`~repro.idx.access.AccessScope`: I/O counters, retry
+  stats, staged prefetch blocks, in-flight windows.  The scope is bound
+  with :func:`~repro.idx.access.use_scope` for exactly the duration of
+  the session's request, so tenants sharing an
+  :class:`~repro.idx.access.Access` object never see each other's
+  accounting.
+- **Fairness** — each session gets a token bucket (blocks/second with a
+  burst allowance) charged at block-admission time, and a bound on
+  in-flight prefetch blocks, so one tenant sweeping a huge viewport
+  cannot starve the rest of the cohort.
+
+Request flow::
+
+    manager = SessionManager(cache_capacity="256 MiB")
+    manager.register_dataset("terrain", dataset)
+    sid = manager.create_session("alice")
+    manager.handle(sid, {"op": "refine"})   # scoped + rate-limited
+    manager.explorer().rows()               # who is doing what
+
+Locking discipline (REPRO_SANITIZE-clean): the manager lock guards the
+session/dataset registries only and is *never* held while a request
+runs; each session serialises its own requests with its own lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dashboard.session import DEFAULT_TIMING_LIMIT, DashboardSession
+from repro.idx.access import DEFAULT_LOG_LIMIT, AccessScope, TokenBucket, use_scope
+from repro.idx.cache import BlockCache
+from repro.services.events import StreamingProtocol
+from repro.services.explorer import LatencyHistogram, OpLogEntry, SessionExplorer
+
+__all__ = ["SessionLimits", "ManagedSession", "SessionManager", "DEFAULT_OP_LOG_LIMIT"]
+
+#: Default bound on each session's explorer op log.
+DEFAULT_OP_LOG_LIMIT = 1024
+
+
+@dataclass(frozen=True)
+class SessionLimits:
+    """Per-session fairness and memory bounds.
+
+    ``rate_blocks_per_s=None`` disables admission control (no token
+    bucket); ``max_inflight=None`` leaves prefetch windows unbounded.
+    The log limits mirror the capped-log pattern used everywhere else:
+    exact aggregates, bounded raw history.
+    """
+
+    rate_blocks_per_s: Optional[float] = None
+    burst_blocks: Optional[int] = None
+    max_inflight: Optional[int] = None
+    op_log_limit: int = DEFAULT_OP_LOG_LIMIT
+    timing_limit: int = DEFAULT_TIMING_LIMIT
+    access_log_limit: int = DEFAULT_LOG_LIMIT
+
+    def make_bucket(self, *, clock=None) -> Optional[TokenBucket]:
+        if self.rate_blocks_per_s is None:
+            return None
+        return TokenBucket(self.rate_blocks_per_s, self.burst_blocks, clock=clock)
+
+
+class ManagedSession:
+    """One tenant's dashboard session plus its service-side envelope.
+
+    Owns the session's :class:`~repro.idx.access.AccessScope` — the
+    *only* place its I/O accounting lives — and records every request
+    into the explorer's capped op log and latency histograms.  Requests
+    on one session are serialised by the session's own lock; different
+    sessions never contend.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        tenant: str,
+        *,
+        scope: AccessScope,
+        session: DashboardSession,
+        protocol: StreamingProtocol,
+        limits: SessionLimits,
+    ) -> None:
+        self.session_id = session_id
+        self.tenant = tenant
+        self.scope = scope
+        self.session = session
+        self.protocol = protocol
+        self.limits = limits
+        self.op_log: List[OpLogEntry] = []
+        self.op_log_dropped = 0
+        self.ops_handled = 0
+        self.errors = 0
+        self.degraded_frames = 0
+        self.op_histogram = LatencyHistogram()
+        self.frame_histogram = LatencyHistogram()
+        self.closed = False
+        self._lock = threading.Lock()
+        # Frames rendered by `refine` report their tick latency through
+        # the protocol hook so the explorer sees per-frame, not just
+        # per-request, latency.
+        protocol.on_frame = self.frame_histogram.record
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one protocol request under this session's scope."""
+        with self._lock:
+            if self.closed:
+                return {"ok": False, "error": "RuntimeError: session closed"}
+            t0 = _time.perf_counter()
+            with use_scope(self.scope):
+                response = self.protocol.handle(request)
+            latency_s = _time.perf_counter() - t0
+            self._record(request, response, latency_s)
+            return response
+
+    def handle_json(self, raw: str) -> str:
+        """String-transport variant of :meth:`handle`."""
+        import json
+
+        try:
+            request = json.loads(raw)
+        except (TypeError, ValueError) as exc:
+            return json.dumps({"ok": False, "error": f"bad request JSON: {exc}"})
+        return json.dumps(self.handle(request))
+
+    def _record(self, request: Dict, response: Dict, latency_s: float) -> None:
+        self.ops_handled += 1
+        ok = bool(response.get("ok"))
+        if not ok:
+            self.errors += 1
+        if ok and request.get("op") == "refine":
+            self.degraded_frames += len(response["result"].get("degraded_levels", ()))
+        self.op_histogram.record(latency_s)
+        entry = OpLogEntry(
+            seq=self.ops_handled - 1,
+            op=str(request.get("op")),
+            ok=ok,
+            latency_ms=latency_s * 1e3,
+            error=None if ok else str(response.get("error")),
+        )
+        if len(self.op_log) < self.limits.op_log_limit:
+            self.op_log.append(entry)
+        else:
+            self.op_log_dropped += 1
+
+
+class SessionManager:
+    """Multiplex many dashboard sessions over shared caches.
+
+    One manager owns one :class:`~repro.idx.cache.BlockCache`; datasets
+    registered through it (including remote ones via
+    :meth:`open_remote`) are shared objects, visible to every session.
+    Per-tenant state rides each session's scope, so the sharing is
+    invisible except in the cache hit rate.
+
+    ``clock`` (a :class:`~repro.network.clock.SimClock`) makes token
+    buckets charge virtual instead of wall time — tests of throttling
+    finish in milliseconds.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: Optional[BlockCache] = None,
+        cache_capacity: "int | str" = "64 MiB",
+        default_limits: Optional[SessionLimits] = None,
+        clock=None,
+    ) -> None:
+        self.cache = cache if cache is not None else BlockCache(cache_capacity)
+        self.default_limits = default_limits or SessionLimits()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, ManagedSession] = {}
+        self._datasets: Dict[str, Any] = {}
+        self._next_id = 0
+
+    # -- dataset registry ---------------------------------------------------
+
+    def register_dataset(self, name: str, dataset) -> None:
+        """Share ``dataset`` with every current and future session."""
+        with self._lock:
+            self._datasets[name] = dataset
+            sessions = list(self._sessions.values())
+        for managed in sessions:
+            managed.session.register_dataset(name, dataset)
+
+    def open_remote(
+        self,
+        name: str,
+        seal,
+        key: str,
+        *,
+        token: str,
+        from_site: str = "knox",
+        workers: int = 0,
+        retry=None,
+        breaker=None,
+    ) -> None:
+        """Register a Seal-streamed dataset backed by the *shared* cache."""
+        from repro.storage.transfer import open_remote_idx
+
+        self.register_dataset(
+            name,
+            open_remote_idx(
+                seal,
+                key,
+                token=token,
+                from_site=from_site,
+                cache=self.cache,
+                workers=workers,
+                retry=retry,
+                breaker=breaker,
+            ),
+        )
+
+    @property
+    def dataset_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._datasets)
+
+    # -- session lifecycle --------------------------------------------------
+
+    def create_session(
+        self,
+        tenant: str,
+        *,
+        viewport: Tuple[int, int] = (512, 512),
+        limits: Optional[SessionLimits] = None,
+    ) -> str:
+        """Open a session for ``tenant``; returns its session id."""
+        limits = limits or self.default_limits
+        scope = AccessScope(
+            tenant,
+            bucket=limits.make_bucket(clock=self.clock),
+            max_inflight=limits.max_inflight,
+            log_limit=limits.access_log_limit,
+        )
+        session = DashboardSession(viewport=viewport, timing_limit=limits.timing_limit)
+        with self._lock:
+            session_id = f"sess-{self._next_id}"
+            self._next_id += 1
+            datasets = dict(self._datasets)
+        for name in sorted(datasets):
+            session.register_dataset(name, datasets[name])
+        managed = ManagedSession(
+            session_id,
+            tenant,
+            scope=scope,
+            session=session,
+            protocol=StreamingProtocol(session),
+            limits=limits,
+        )
+        with self._lock:
+            self._sessions[session_id] = managed
+        return session_id
+
+    def session(self, session_id: str) -> ManagedSession:
+        with self._lock:
+            try:
+                return self._sessions[session_id]
+            except KeyError:
+                raise KeyError(f"unknown session {session_id!r}") from None
+
+    def sessions(self) -> List[ManagedSession]:
+        """Live sessions, ordered by creation."""
+        with self._lock:
+            return list(self._sessions.values())
+
+    def close_session(self, session_id: str) -> ManagedSession:
+        """End a session; returns its final (frozen) record."""
+        with self._lock:
+            try:
+                managed = self._sessions.pop(session_id)
+            except KeyError:
+                raise KeyError(f"unknown session {session_id!r}") from None
+        with managed._lock:
+            managed.closed = True
+        return managed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # -- request entry point ------------------------------------------------
+
+    def handle(self, session_id: str, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Route one request to its session (the service's front door).
+
+        The manager lock is released before the request runs: requests
+        for different sessions proceed fully in parallel, contending
+        only inside the shared caches (which coalesce, not serialise,
+        concurrent misses).
+        """
+        return self.session(session_id).handle(request)
+
+    # -- observability ------------------------------------------------------
+
+    def explorer(self) -> SessionExplorer:
+        """Session Explorer view over this manager."""
+        return SessionExplorer(self)

@@ -64,6 +64,37 @@ class TestDispatch:
         bad = proto.handle_json("{not json")
         assert not json.loads(bad)["ok"]
 
+    @pytest.mark.parametrize(
+        "payload",
+        [np.int64(3), b"raw-bytes", {"shape": np.int64(7)}, [np.float32(1.5)]],
+        ids=["np.int64", "bytes", "nested-np", "np-in-list"],
+    )
+    def test_non_serialisable_handler_result_stays_in_band(self, protocol, payload):
+        # Regression: the serialisability guard used to run outside the
+        # try, so a handler returning np.int64/bytes raised out of a
+        # method documented "never raises".
+        proto, _ = protocol
+        proto._ops["bad"] = lambda req: payload
+        resp = proto.handle({"op": "bad"})
+        assert resp["ok"] is False
+        assert "TypeError" in resp["error"]
+        json.dumps(resp)  # the error response itself is JSON-clean
+        # ... and the string transport stays alive too.
+        out = json.loads(proto.handle_json('{"op": "bad"}'))
+        assert out["ok"] is False
+
+    def test_timings_surface_drop_counts(self, protocol):
+        proto, _ = protocol
+        proto.session.timing_limit = 4
+        for _ in range(6):
+            proto.handle({"op": "render"})
+        result = proto.handle({"op": "timings"})["result"]
+        assert result["truncated"] is True
+        assert result["dropped"] > 0
+        # Aggregates stay exact despite the capped raw log.
+        total = sum(v["count"] for v in result["ops"].values())
+        assert total == result["dropped"] + len(proto.session.op_timings)
+
 
 class TestWidgets:
     def test_describe(self, protocol):
@@ -161,4 +192,5 @@ class TestDataOps:
         ]
         responses = [proto.handle(req) for req in script]
         assert all(r["ok"] for r in responses)
-        assert responses[-1]["result"]["fetch"]["count"] >= 1
+        assert responses[-1]["result"]["ops"]["fetch"]["count"] >= 1
+        assert responses[-1]["result"]["dropped"] == 0

@@ -226,3 +226,35 @@ class TestMetadataRangeSeeding:
         session.zoom(8.0, center=(2, 2))  # tiny corner window
         zoom_lo, zoom_hi = session.seed_range_from_metadata()
         assert zoom_hi - zoom_lo <= full_hi - full_lo + 1e-9
+
+
+class TestTimingCap:
+    def test_op_timings_capped_with_exact_summary(self, session):
+        # Regression: op_timings grew without bound in a long-lived
+        # session.  The raw log is now capped (mirroring the PR 1
+        # access_log fix) while timing_summary stays exact.
+        session.timing_limit = 8
+        for _ in range(10):
+            session.fetch_data()
+        assert len(session.op_timings) == 8
+        assert session.timings_truncated is True
+        assert session.timings_dropped == 2
+        count, mean = session.timing_summary()["fetch"]
+        assert count == 10  # exact despite the drops
+        assert mean >= 0.0
+
+    def test_no_truncation_below_cap(self, session):
+        session.fetch_data()
+        assert session.timings_truncated is False
+        assert session.timings_dropped == 0
+
+    def test_refine_timings_also_capped(self, session):
+        session.timing_limit = 2
+        list(session.refine_frames())
+        assert len(session.op_timings) == 2
+        count, _ = session.timing_summary()["refine"]
+        assert count > 2
+
+    def test_timing_limit_validated(self):
+        with pytest.raises(ValueError):
+            DashboardSession(timing_limit=0)

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.dashboard.playback import Playback
 from repro.dashboard.snip import SnipTool
@@ -93,6 +95,39 @@ class TestPlayback:
         pb = Playback([0, 1, 2, 3], fps=1.0)
         sched = pb.schedule(3.0, frame_interval_s=1.0)
         assert sched == [(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 3)]
+
+    def test_schedule_no_float_drift_drops_final_frame(self):
+        # Regression: the old `t += frame_interval_s` accumulation drifted
+        # past duration_s (0.1+0.1+0.1 > 0.3) and dropped the last frame.
+        pb = Playback([0, 1, 2, 3], fps=10.0)
+        sched = pb.schedule(0.3, frame_interval_s=0.1)
+        assert len(sched) == 4
+        assert sched[-1][1] == 3
+        assert sched[-1][0] == pytest.approx(0.3)
+
+    @given(
+        interval=st.floats(min_value=1e-6, max_value=10.0,
+                           allow_nan=False, allow_infinity=False),
+        k=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_schedule_exact_multiple_property(self, interval, k):
+        # For any awkward interval, a duration of exactly k intervals must
+        # schedule k+1 frames at t = i * interval, the last one landing on
+        # (within float noise of) the duration itself.
+        pb = Playback(list(range(1000)), fps=1.0)
+        pb.pause()
+        duration = k * interval
+        sched = pb.schedule(duration, frame_interval_s=interval)
+        assert len(sched) == k + 1
+        times = [t for t, _ in sched]
+        assert times == [i * interval for i in range(k + 1)]
+        assert times[-1] == pytest.approx(duration, rel=1e-9, abs=1e-12)
+
+    def test_schedule_rejects_negative_duration(self):
+        pb = Playback([0, 1])
+        with pytest.raises(ValueError):
+            pb.schedule(-1.0)
 
     def test_validation(self):
         pb = Playback([0, 1])

@@ -1,0 +1,257 @@
+"""Chaos harness for the multi-tenant service: faults stay per-session.
+
+Two tenants share one :class:`SessionManager` — one block cache, one
+:class:`FaultyStore`, one Seal front-end — but view *disjoint* crops of
+the same dataset.  A seeded :class:`FaultPlan` blacks out blocks that
+only tenant A's crop touches.  The harness then asserts the blast
+radius: A's progressive sweeps degrade (flagged, never crashing) while
+B's frames stay byte-identical to the fault-free reference, B's retry
+stats stay at zero, and the Session Explorer attributes every degraded
+frame to A alone.
+
+Seeds are searched deterministically (pure hash arithmetic, no I/O)
+for plans whose blackout set is non-empty and contained in A's private
+blocks; ``REPRO_CHAOS_SEED_BASE`` shifts the searched population so CI
+shards explore disjoint schedules with the same test code.
+"""
+
+import base64
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.dashboard import DashboardSession
+from repro.faults import CircuitBreaker, FaultPlan, FaultyStore, RetryPolicy
+from repro.idx import IdxDataset
+from repro.idx.idxfile import BytesByteSource, IdxBinaryReader
+from repro.network.clock import SimClock
+from repro.services import SessionLimits, SessionManager
+from repro.storage.object_store import ObjectStore
+from repro.storage.seal import SealStorage
+
+SEED_BASE = int(os.environ.get("REPRO_CHAOS_SEED_BASE", "0"))
+KEY = "tenants.idx"
+BUCKET = "sealed"
+
+CROP_A = ((0, 0), (32, 16))   # left half — the unlucky tenant
+CROP_B = ((0, 16), (32, 32))  # right half — must never notice
+
+
+class TenantEnv:
+    """Ground truth plus the block geometry both tenants' crops imply."""
+
+    def __init__(self, tmp_path):
+        rng = np.random.default_rng(20260807)
+        self.array = rng.random((32, 32)).astype(np.float32)
+        path = str(tmp_path / KEY)
+        ds = IdxDataset.create(path, self.array.shape, bits_per_block=4)
+        ds.write(self.array)
+        ds.finalize()
+
+        local = IdxDataset.open(path)
+        self.maxh = local.maxh
+        # The tenants render at the resolution the (8, 8) viewport
+        # auto-picks; only blocks inside that sweep's footprint matter.
+        probe = DashboardSession(viewport=(8, 8))
+        probe.register_dataset("shared", local)
+        probe.crop(CROP_A)
+        self.sweep_end = probe.effective_resolution()
+        self.blocks_a = self._blocks_touched(local, CROP_A, self.sweep_end)
+        self.blocks_b = self._blocks_touched(local, CROP_B, self.sweep_end)
+        self.only_a = self.blocks_a - self.blocks_b
+        # The coarsest step of A's sweep must stay fetchable, or there is
+        # no previous frame to degrade *to* and the sweep dies outright.
+        self.blocks_a_first = self._blocks_touched(local, CROP_A, 0)
+        local.close()
+        assert self.only_a, "crops must leave tenant A some private blocks"
+
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        reader = IdxBinaryReader(BytesByteSource(blob))
+        self.offsets = {
+            int(b): reader.block_entry(0, 0, int(b))[0]
+            for b in reader.present_blocks(0, 0)
+        }
+        self.store = ObjectStore("tenants-base")
+        self.store.ensure_bucket(BUCKET)
+        self.store.put(BUCKET, KEY, blob)
+
+    @staticmethod
+    def _blocks_touched(local, crop, resolution):
+        """Block ids a read of ``crop`` at ``resolution`` touches."""
+        snap = local.access.counters.snapshot()
+        local.read(box=crop, resolution=resolution)
+        return {b for _, _, b in local.access.counters.blocks_since(snap)}
+
+    def blackout_seed(self, *, start, tries=800):
+        """First seed that blacks out A's footprint but none of B's."""
+        for seed in range(start, start + tries):
+            plan = self.plan(seed)
+            dark = {
+                b
+                for b, off in self.offsets.items()
+                if plan.is_blackout("get_range", BUCKET, KEY, detail=off)
+            }
+            if (
+                dark & self.blocks_a
+                and not dark & self.blocks_b
+                and not dark & self.blocks_a_first
+            ):
+                return seed, dark
+        raise AssertionError("no suitable blackout seed in the searched range")
+
+    @staticmethod
+    def plan(seed):
+        # Blackouts only: every injected fault is permanent, so the
+        # clean tenant's retry counters must stay at exactly zero — the
+        # sharpest possible per-session isolation assertion.  (Mixed
+        # transient schedules are chaos-swept in test_faults_chaos.)
+        return FaultPlan(seed, blackout_rate=0.10, max_faults_per_key=1)
+
+    def manager(self, seed):
+        """Shared service wiring with the seeded faults armed."""
+        clock = SimClock()
+        faulty = FaultyStore(self.store, clock=clock)
+        seal = SealStorage(store=faulty, clock=clock)
+        token = seal.issue_token("tenants", ("read",))
+        mgr = SessionManager(cache_capacity="16 MiB")
+        mgr.open_remote(
+            "shared", seal, KEY, token=token,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, seed=seed),
+            breaker=CircuitBreaker(threshold=2, cooldown=1e9, clock=clock),
+        )
+        faulty.arm(self.plan(seed))
+        return mgr
+
+    def reference_pixels(self, crop):
+        """Fault-free render of ``crop`` from the local file, as bytes."""
+        session = DashboardSession(viewport=(8, 8))
+        session.register_dataset("shared", IdxDataset.open(os.path.join(self.dir, KEY)))
+        session.crop(crop)
+        # The protocol's render op fits the viewport by default.
+        return session.current_frame(fit_viewport=True).tobytes()
+
+
+@pytest.fixture(scope="module")
+def env(tmp_path_factory):
+    d = tmp_path_factory.mktemp("tenants")
+    e = TenantEnv(d)
+    e.dir = str(d)
+    return e
+
+
+def open_tenant(mgr, tenant, crop):
+    sid = mgr.create_session(tenant, viewport=(8, 8))
+    assert mgr.handle(sid, {"op": "crop", "lo": list(crop[0]), "hi": list(crop[1])})["ok"]
+    assert mgr.handle(sid, {"op": "set_resolution", "level": None})["ok"]
+    return sid
+
+
+class TestFaultIsolation:
+    def test_degraded_frames_stay_per_session(self, env):
+        degraded_runs = 0
+        for start in (SEED_BASE, SEED_BASE + 1000, SEED_BASE + 2000):
+            seed, dark = env.blackout_seed(start=start)
+            mgr = env.manager(seed)
+            sid_a = open_tenant(mgr, "A", CROP_A)
+            sid_b = open_tenant(mgr, "B", CROP_B)
+
+            # B first: its clean sweep warms the shared cache.
+            resp_b = mgr.handle(sid_b, {"op": "refine"})
+            assert resp_b["ok"], f"seed {seed}: clean tenant failed: {resp_b}"
+            assert resp_b["result"]["degraded_levels"] == [], f"seed {seed}"
+
+            stream = mgr.handle(sid_a, {"op": "subscribe", "events": ["degraded"]})
+            resp_a = mgr.handle(sid_a, {"op": "refine"})
+            # The seed search keeps A's coarsest block clean, so the
+            # sweep always completes — degraded, never dead.
+            assert resp_a["ok"], f"seed {seed}: {resp_a}"
+            assert resp_a["result"]["degraded_levels"], f"seed {seed}: no degradation"
+            degraded_runs += 1
+            # Degradation surfaced on A's stream and in A's explorer
+            # row — and nowhere else.
+            events = mgr.handle(
+                sid_a, {"op": "poll", "stream": stream["result"]["stream"]}
+            )["result"]["events"]
+            assert len(events) == len(resp_a["result"]["degraded_levels"])
+            assert {e["event"] for e in events} == {"degraded"}
+            assert mgr.session(sid_a).degraded_frames == len(events)
+
+            # B's world is untouched whatever happened to A: a repeat
+            # render is byte-identical to the fault-free reference and
+            # B's scope absorbed none of A's retries.
+            resp = mgr.handle(sid_b, {"op": "render", "include_pixels": True})
+            assert resp["ok"], f"seed {seed}"
+            assert base64.b64decode(resp["result"]["pixels_b64"]) == env.reference_pixels(
+                CROP_B
+            ), f"seed {seed}: clean tenant's frame changed"
+            b = mgr.session(sid_b)
+            snap = b.scope.retry_stats.snapshot()
+            assert snap["retries"] == 0 and snap["exhausted"] == 0, f"seed {seed}"
+            assert b.degraded_frames == 0, f"seed {seed}"
+            assert mgr.session(sid_b).errors == 0, f"seed {seed}"
+
+            # A's trouble *is* on A's books.
+            snap_a = mgr.session(sid_a).scope.retry_stats.snapshot()
+            assert snap_a["exhausted"] > 0, f"seed {seed}"
+        assert degraded_runs == 3
+
+    def test_concurrent_tenants_one_faulty_store(self, env):
+        """Both tenants sweep at once; the blast radius still holds."""
+        seed, _ = env.blackout_seed(start=SEED_BASE + 3000)
+        mgr = env.manager(seed)
+        sid_a = open_tenant(mgr, "A", CROP_A)
+        sid_b = open_tenant(mgr, "B", CROP_B)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            fut_a = pool.submit(mgr.handle, sid_a, {"op": "refine"})
+            fut_b = pool.submit(mgr.handle, sid_b, {"op": "refine"})
+            resp_a, resp_b = fut_a.result(), fut_b.result()
+
+        assert resp_b["ok"]
+        assert resp_b["result"]["degraded_levels"] == []
+        assert mgr.session(sid_b).scope.retry_stats.snapshot()["exhausted"] == 0
+        assert resp_a["ok"], resp_a
+        assert resp_a["result"]["frames"] >= 1
+        assert resp_a["result"]["degraded_levels"]
+        summary = mgr.explorer().summary()
+        assert summary["degraded_frames"] == mgr.session(sid_a).degraded_frames
+
+    def test_throttled_faulty_tenant_still_degrades_cleanly(self, env):
+        """Fairness limits and faults compose: A is rate-limited *and*
+        blacked out; B remains fast, clean, and unthrottled."""
+        seed, _ = env.blackout_seed(start=SEED_BASE + 4000)
+        clock = SimClock()
+        faulty = FaultyStore(env.store, clock=clock)
+        seal = SealStorage(store=faulty, clock=clock)
+        token = seal.issue_token("tenants", ("read",))
+        mgr = SessionManager(cache_capacity="16 MiB", clock=clock)
+        mgr.open_remote(
+            "shared", seal, KEY, token=token,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, seed=seed),
+            breaker=CircuitBreaker(threshold=2, cooldown=1e9, clock=clock),
+        )
+        faulty.arm(env.plan(seed))
+
+        # The bucket shares the simulation's clock, so simulated network
+        # time refills tokens between admissions; 1 block/s sits far
+        # below any refill the per-fetch latency can provide.
+        sid_a = mgr.create_session(
+            "A", viewport=(8, 8),
+            limits=SessionLimits(rate_blocks_per_s=1.0, burst_blocks=1),
+        )
+        sid_b = mgr.create_session("B", viewport=(8, 8))
+        for sid, crop in ((sid_a, CROP_A), (sid_b, CROP_B)):
+            mgr.handle(sid, {"op": "crop", "lo": list(crop[0]), "hi": list(crop[1])})
+            mgr.handle(sid, {"op": "set_resolution", "level": None})
+
+        mgr.handle(sid_a, {"op": "refine"})
+        resp_b = mgr.handle(sid_b, {"op": "render", "include_pixels": True})
+        assert resp_b["ok"]
+        assert base64.b64decode(resp_b["result"]["pixels_b64"]) == env.reference_pixels(
+            CROP_B
+        )
+        assert mgr.session(sid_a).scope.throttled_s > 0
+        assert mgr.session(sid_b).scope.throttled_s == 0.0

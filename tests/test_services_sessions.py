@@ -1,0 +1,479 @@
+"""Tests for the multi-tenant dashboard service (DESIGN.md §12).
+
+Covers the session manager's shared-infrastructure contract: one
+process-wide :class:`BlockCache` and plan cache serving every tenant,
+per-tenant accounting isolated in :class:`AccessScope`\\ s, token-bucket
+fairness on the SimClock, the event-stream protocol, and the Session
+Explorer.  The concurrency tests are written to run clean under
+``REPRO_SANITIZE=1``.
+"""
+
+import base64
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.dashboard import DashboardSession
+from repro.idx import IdxDataset
+from repro.idx.cache import BlockCache
+from repro.idx.hzorder import PLAN_CACHE
+from repro.network.clock import SimClock
+from repro.services import (
+    EventStream,
+    LatencyHistogram,
+    SessionLimits,
+    SessionManager,
+    StreamingProtocol,
+)
+from repro.storage.object_store import ObjectStore
+from repro.storage.seal import SealStorage
+
+KEY = "cohort.idx"
+BUCKET = "sealed"
+
+
+class RemoteEnv:
+    """Fault-free Seal wiring shared by the multi-tenant tests."""
+
+    def __init__(self, tmp_path):
+        rng = np.random.default_rng(20260808)
+        self.array = rng.random((48, 48)).astype(np.float32)
+        path = str(tmp_path / KEY)
+        ds = IdxDataset.create(path, self.array.shape, bits_per_block=4)
+        ds.write(self.array)
+        ds.finalize()
+        self.path = path
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        self.store = ObjectStore("cohort-base")
+        self.store.ensure_bucket(BUCKET)
+        self.store.put(BUCKET, KEY, blob)
+
+    def seal(self):
+        """A fresh Seal front-end (fresh SimClock) over the shared store."""
+        seal = SealStorage(store=self.store, clock=SimClock())
+        return seal, seal.issue_token("cohort", ("read",))
+
+
+@pytest.fixture(scope="module")
+def env(tmp_path_factory):
+    return RemoteEnv(tmp_path_factory.mktemp("cohort"))
+
+
+@pytest.fixture
+def manager(env):
+    mgr = SessionManager(cache_capacity="32 MiB")
+    seal, token = env.seal()
+    mgr.open_remote("terrain", seal, KEY, token=token)
+    return mgr
+
+
+def drive(mgr, sid, *, level=None, viewport_fit=False):
+    """One attendee interaction: pin a resolution, render, return pixels."""
+    if level is not None:
+        assert mgr.handle(sid, {"op": "set_resolution", "level": level})["ok"]
+    resp = mgr.handle(
+        sid, {"op": "render", "include_pixels": True, "fit_viewport": viewport_fit}
+    )
+    assert resp["ok"], resp
+    return resp["result"]["pixels_b64"]
+
+
+class TestEventStream:
+    def test_orders_and_stamps(self):
+        s = EventStream("s0")
+        for i in range(3):
+            assert s.publish({"event": "frame", "level": i})
+        events = s.poll()
+        assert [e["seq"] for e in events] == [0, 1, 2]
+        assert [e["level"] for e in events] == [0, 1, 2]
+        assert s.pending == 0
+
+    def test_backlog_drops_oldest(self):
+        s = EventStream("s0", backlog=2)
+        for i in range(5):
+            s.publish({"event": "frame", "level": i})
+        assert s.dropped == 3
+        kept = s.poll()
+        # Freshest-frame semantics: the two *newest* messages survive.
+        assert [e["level"] for e in kept] == [3, 4]
+        assert [e["seq"] for e in kept] == [3, 4]
+
+    def test_kind_filter(self):
+        s = EventStream("s0", kinds=["degraded"])
+        assert not s.publish({"event": "frame"})
+        assert s.publish({"event": "degraded", "level": 2})
+        assert [e["event"] for e in s.poll()] == ["degraded"]
+
+    def test_poll_max(self):
+        s = EventStream("s0")
+        for i in range(4):
+            s.publish({"event": "frame", "level": i})
+        assert [e["level"] for e in s.poll(3)] == [0, 1, 2]
+        assert s.pending == 1
+
+    def test_rejects_empty_backlog(self):
+        with pytest.raises(ValueError):
+            EventStream("s0", backlog=0)
+
+    def test_thread_safety_under_contention(self):
+        s = EventStream("s0", backlog=64)
+        drained = []
+        stop = threading.Event()
+
+        def consume():
+            while not stop.is_set() or s.pending:
+                drained.extend(s.poll())
+
+        t = threading.Thread(target=consume)
+        t.start()
+        for i in range(500):
+            s.publish({"event": "frame", "level": i})
+        stop.set()
+        t.join()
+        # Nothing lost or duplicated: drained + dropped covers every publish.
+        assert len(drained) + s.dropped == 500
+        seqs = [e["seq"] for e in drained]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+
+class TestStreamingProtocol:
+    @pytest.fixture
+    def proto(self, idx_factory, rng):
+        ds = idx_factory(rng.random((32, 32)).astype(np.float32))
+        session = DashboardSession(viewport=(16, 16))
+        session.register_dataset("d", ds)
+        return StreamingProtocol(session)
+
+    def test_refine_pushes_frames_then_sweep(self, proto):
+        stream = proto.handle({"op": "subscribe"})["result"]["stream"]
+        result = proto.handle({"op": "refine"})["result"]
+        events = proto.handle({"op": "poll", "stream": stream})["result"]["events"]
+        frames = [e for e in events if e["event"] == "frame"]
+        assert len(frames) == result["frames"] > 0
+        assert [f["level"] for f in frames] == result["levels"]
+        assert events[-1]["event"] == "sweep"
+        assert events[-1]["frames"] == result["frames"]
+        for f in frames:
+            assert f["dtype"] == "uint8" and len(f["shape"]) == 3
+            assert f["latency_ms"] >= 0
+
+    def test_refine_messages_are_json_clean(self, proto):
+        stream = proto.handle({"op": "subscribe"})["result"]["stream"]
+        proto.handle({"op": "refine", "include_pixels": True})
+        events = proto.handle({"op": "poll", "stream": stream})["result"]["events"]
+        json.dumps(events)
+        frame = next(e for e in events if e["event"] == "frame")
+        raw = base64.b64decode(frame["pixels_b64"])
+        assert len(raw) == int(np.prod(frame["shape"]))
+
+    def test_slow_subscriber_keeps_freshest(self, proto):
+        stream = proto.handle({"op": "subscribe", "backlog": 2})["result"]["stream"]
+        result = proto.handle({"op": "refine"})["result"]
+        assert result["frames"] > 2  # otherwise nothing can drop
+        out = proto.handle({"op": "poll", "stream": stream})["result"]
+        assert out["dropped"] > 0
+        # The final sweep summary and the finest frame are what survive.
+        assert out["events"][-1]["event"] == "sweep"
+        assert out["events"][-2]["level"] == result["levels"][-1]
+
+    def test_kind_filtered_subscription(self, proto):
+        stream = proto.handle({"op": "subscribe", "events": ["sweep"]})["result"]["stream"]
+        proto.handle({"op": "refine"})
+        events = proto.handle({"op": "poll", "stream": stream})["result"]["events"]
+        assert [e["event"] for e in events] == ["sweep"]
+
+    def test_unsubscribe_and_unknown_stream(self, proto):
+        stream = proto.handle({"op": "subscribe"})["result"]["stream"]
+        assert proto.handle({"op": "unsubscribe", "stream": stream})["ok"]
+        resp = proto.handle({"op": "poll", "stream": stream})
+        assert not resp["ok"] and "KeyError" in resp["error"]
+        resp = proto.handle({"op": "subscribe", "events": "frame"})
+        assert not resp["ok"]  # must be a list, not a bare string
+
+    def test_on_frame_hook_sees_every_tick(self, proto):
+        seen = []
+        proto.on_frame = seen.append
+        result = proto.handle({"op": "refine"})["result"]
+        assert len(seen) == result["frames"]
+        assert all(s >= 0 for s in seen)
+
+
+class TestSessionManagerBasics:
+    def test_dataset_propagates_both_directions(self, idx_factory, rng):
+        mgr = SessionManager()
+        before = mgr.create_session("early")
+        ds = idx_factory(rng.random((16, 16)).astype(np.float32))
+        mgr.register_dataset("d", ds)
+        after = mgr.create_session("late")
+        for sid in (before, after):
+            assert mgr.handle(sid, {"op": "list_datasets"})["result"] == ["d"]
+        assert mgr.dataset_names == ["d"]
+
+    def test_close_session(self, idx_factory, rng):
+        mgr = SessionManager()
+        mgr.register_dataset("d", idx_factory(rng.random((16, 16)).astype(np.float32)))
+        sid = mgr.create_session("a")
+        assert len(mgr) == 1
+        closed = mgr.close_session(sid)
+        assert closed.tenant == "a" and len(mgr) == 0
+        resp = closed.handle({"op": "render"})
+        assert not resp["ok"] and "session closed" in resp["error"]
+        with pytest.raises(KeyError):
+            mgr.handle(sid, {"op": "render"})
+        with pytest.raises(KeyError):
+            mgr.close_session(sid)
+
+    def test_handle_json_transport(self, idx_factory, rng):
+        mgr = SessionManager()
+        mgr.register_dataset("d", idx_factory(rng.random((16, 16)).astype(np.float32)))
+        sid = mgr.create_session("a")
+        out = json.loads(mgr.session(sid).handle_json('{"op": "list_datasets"}'))
+        assert out["result"] == ["d"]
+        bad = json.loads(mgr.session(sid).handle_json("{broken"))
+        assert not bad["ok"]
+
+    def test_limits_validation(self):
+        with pytest.raises(ValueError):
+            SessionLimits(rate_blocks_per_s=-1.0).make_bucket()
+
+
+class TestSharedInfrastructure:
+    """The tentpole contract: shared caches, isolated per-tenant state."""
+
+    N_SESSIONS = 16
+
+    def test_cohort_shares_cache_with_isolated_accounting(self, env):
+        mgr = SessionManager(cache_capacity="32 MiB")
+        seal, token = env.seal()
+        mgr.open_remote("terrain", seal, KEY, token=token)
+
+        sids = [
+            mgr.create_session(f"attendee-{i}", viewport=(16, 16))
+            for i in range(self.N_SESSIONS)
+        ]
+        plan_hits0 = PLAN_CACHE.stats.hits
+
+        with ThreadPoolExecutor(max_workers=self.N_SESSIONS) as pool:
+            pixels = list(pool.map(lambda sid: drive(mgr, sid, level=8), sids))
+
+        # Every tenant rendered the identical frame from the shared cache.
+        assert len(set(pixels)) == 1
+
+        rows = {r["tenant"]: r for r in mgr.explorer().rows()}
+        assert len(rows) == self.N_SESSIONS
+        for managed in mgr.sessions():
+            scope = managed.scope
+            # Per-tenant counters balance: the scope saw exactly the
+            # blocks its own requests touched, and the capped log agrees.
+            assert scope.counters.blocks_read == len(scope.counters.access_log) > 0
+            assert not scope.counters.truncated
+            assert managed.errors == 0
+
+        # The cohort shared one block cache: the dataset's blocks were
+        # fetched far fewer times than 16 private caches would have, and
+        # at least one tenant rode another's fetch entirely.
+        stats = mgr.cache.stats
+        assert stats.hits + stats.coalesced > 0
+        paid = [r["bytes_read"] for r in rows.values()]
+        # Somebody paid for the data, and the cohort collectively paid
+        # less than 16 fully-private sessions would have.
+        assert sum(paid) > 0
+        assert sum(paid) < self.N_SESSIONS * max(paid) or stats.hits > 0
+        # Shared plan cache engaged across the cohort's identical views.
+        assert PLAN_CACHE.stats.hits > plan_hits0
+
+    def test_frames_byte_identical_to_private_cache_session(self, env, manager):
+        sid = manager.create_session("shared", viewport=(16, 16))
+        shared_pixels = drive(manager, sid, level=8)
+
+        # A lone attendee with fully private infrastructure: own Seal
+        # front-end, own BlockCache, own session.
+        seal, token = env.seal()
+        private = DashboardSession(viewport=(16, 16))
+        private.open_remote("terrain", seal, KEY, token=token, cache=BlockCache())
+        private.set_resolution(8)
+        frame = private.current_frame()
+        assert base64.b64decode(shared_pixels) == frame.tobytes()
+
+    def test_warm_cache_makes_second_tenant_free(self, env):
+        mgr = SessionManager(cache_capacity="32 MiB")
+        seal, token = env.seal()
+        mgr.open_remote("terrain", seal, KEY, token=token)
+        first = mgr.create_session("first", viewport=(16, 16))
+        second = mgr.create_session("second", viewport=(16, 16))
+
+        drive(mgr, first, level=8)
+        paid_first = mgr.session(first).scope.counters.bytes_read
+        drive(mgr, second, level=8)
+        paid_second = mgr.session(second).scope.counters.bytes_read
+
+        assert paid_first > 0
+        # Same view, warm shared cache: the second tenant pays nothing.
+        assert paid_second == 0
+        # ... but its reads are still accounted to *its* scope.
+        assert mgr.session(second).scope.counters.blocks_read > 0
+
+    def test_concurrent_refines_stay_isolated(self, env):
+        """16 tenants running progressive sweeps at once, one cache."""
+        mgr = SessionManager(cache_capacity="32 MiB")
+        seal, token = env.seal()
+        mgr.open_remote("terrain", seal, KEY, token=token)
+        sids = [mgr.create_session(f"t{i}", viewport=(16, 16)) for i in range(16)]
+
+        def sweep(sid):
+            resp = mgr.handle(sid, {"op": "refine"})
+            assert resp["ok"], resp
+            return resp["result"]
+
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            results = list(pool.map(sweep, sids))
+
+        frames = {r["frames"] for r in results}
+        assert frames == {results[0]["frames"]}  # every sweep completed fully
+        assert all(r["degraded_levels"] == [] for r in results)
+        for managed in mgr.sessions():
+            assert managed.errors == 0
+            assert managed.frame_histogram.count == results[0]["frames"]
+
+
+class TestFairness:
+    def test_token_bucket_throttles_on_simclock(self, env):
+        clock = SimClock()
+        limits = SessionLimits(rate_blocks_per_s=50.0, burst_blocks=1)
+        mgr = SessionManager(default_limits=limits, clock=clock)
+        seal, token = env.seal()
+        mgr.open_remote("terrain", seal, KEY, token=token)
+        sid = mgr.create_session("greedy", viewport=(16, 16))
+
+        drive(mgr, sid, level=8)
+        scope = mgr.session(sid).scope
+        # Every network fetch passed admission, and past the burst the
+        # bucket delayed this tenant — on the virtual clock, not a sleep.
+        assert 0 < scope.admitted_blocks <= scope.counters.blocks_read
+        assert scope.throttled_s > 0
+        assert clock.total_for("admission:wait") == pytest.approx(scope.throttled_s)
+        assert scope.bucket.waits > 0
+
+    def test_unlimited_session_never_throttled(self, env, manager):
+        sid = manager.create_session("free", viewport=(16, 16))
+        drive(manager, sid, level=8)
+        scope = manager.session(sid).scope
+        assert scope.bucket is None
+        assert scope.throttled_s == 0.0
+
+    def test_per_session_limits_override_default(self, env):
+        clock = SimClock()
+        mgr = SessionManager(clock=clock)
+        seal, token = env.seal()
+        mgr.open_remote("terrain", seal, KEY, token=token)
+        slow = mgr.create_session(
+            "slow", viewport=(16, 16),
+            limits=SessionLimits(rate_blocks_per_s=20.0, burst_blocks=1),
+        )
+        fast = mgr.create_session("fast", viewport=(16, 16))
+
+        drive(mgr, slow, level=8)
+        drive(mgr, fast, level=8)
+        assert mgr.session(slow).scope.throttled_s > 0
+        assert mgr.session(fast).scope.throttled_s == 0.0
+
+    def test_bucket_waits_out_deficit_exactly(self):
+        from repro.idx.access import TokenBucket
+
+        clock = SimClock()
+        bucket = TokenBucket(10.0, 2, clock=clock)
+        assert bucket.acquire(2) == 0.0  # burst is free
+        waited = bucket.acquire(5)  # deficit of 5 at 10/s
+        assert waited == pytest.approx(0.5)
+        assert clock.now == pytest.approx(0.5)
+        # After waiting, the bucket is exactly empty: one more block
+        # costs exactly one token's worth of time.
+        assert bucket.acquire(1) == pytest.approx(0.1)
+
+    def test_max_inflight_bounds_prefetch_window(self, env):
+        mgr = SessionManager(
+            default_limits=SessionLimits(max_inflight=2),
+        )
+        seal, token = env.seal()
+        mgr.open_remote("terrain", seal, KEY, token=token, workers=2)
+        sid = mgr.create_session("bounded", viewport=(16, 16))
+        pixels = drive(mgr, sid, level=8)
+
+        # Correctness is untouched by the clipped window...
+        seal2, token2 = env.seal()
+        private = DashboardSession(viewport=(16, 16))
+        private.open_remote("terrain", seal2, KEY, token=token2)
+        private.set_resolution(8)
+        assert base64.b64decode(pixels) == private.current_frame().tobytes()
+        # ... and nothing leaks in the shared fetcher.
+        scope = mgr.session(sid).scope
+        assert scope.max_inflight == 2
+        assert scope.counters.blocks_read > 0
+
+
+class TestExplorer:
+    def test_histogram_quantiles_are_conservative(self):
+        h = LatencyHistogram()
+        samples = [0.001] * 98 + [0.5, 2.0]
+        for s in samples:
+            h.record(s)
+        d = h.to_dict()
+        assert d["count"] == 100
+        assert d["max_ms"] == pytest.approx(2000.0)
+        # Upper-bound semantics: reported quantiles never understate.
+        assert h.quantile(0.50) >= 0.001
+        assert h.quantile(0.99) >= 0.5
+        assert h.quantile(1.0) == pytest.approx(2.0)
+        assert h.mean_s == pytest.approx(sum(samples) / 100)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_histogram_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for s in (0.01, 0.02):
+            a.record(s)
+        b.record(1.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.max_s == 1.0
+        assert a.total_s == pytest.approx(1.03)
+
+    def test_empty_histogram(self):
+        h = LatencyHistogram()
+        assert h.quantile(0.99) == 0.0 and h.mean_s == 0.0
+
+    def test_op_log_caps_and_counts_drops(self, idx_factory, rng):
+        mgr = SessionManager(default_limits=SessionLimits(op_log_limit=4))
+        mgr.register_dataset("d", idx_factory(rng.random((16, 16)).astype(np.float32)))
+        sid = mgr.create_session("a", viewport=(8, 8))
+        for _ in range(6):
+            mgr.handle(sid, {"op": "state"})
+        log = mgr.explorer().op_log(sid)
+        assert len(log["entries"]) == 4
+        assert log["dropped"] == 2
+        assert mgr.session(sid).ops_handled == 6
+
+    def test_errors_logged_in_band(self, idx_factory, rng):
+        mgr = SessionManager()
+        mgr.register_dataset("d", idx_factory(rng.random((16, 16)).astype(np.float32)))
+        sid = mgr.create_session("a", viewport=(8, 8))
+        mgr.handle(sid, {"op": "teleport"})
+        managed = mgr.session(sid)
+        assert managed.errors == 1
+        entry = managed.op_log[-1]
+        assert entry.ok is False and "unknown op" in entry.error
+
+    def test_summary_and_json(self, env, manager):
+        sid = manager.create_session("a", viewport=(16, 16))
+        manager.handle(sid, {"op": "refine"})
+        summary = manager.explorer().summary()
+        assert summary["sessions"] == 1
+        assert summary["frames"] > 0
+        assert summary["cache"]["misses"] > 0
+        doc = json.loads(manager.explorer().to_json())
+        assert {"summary", "sessions"} <= set(doc)
+        json.dumps(doc)  # explorer output is transport-clean
