@@ -1,0 +1,246 @@
+"""ML loader — batched planning throughput, block dedup, warm-cache reuse.
+
+Regenerates the training-loader numbers behind DESIGN.md section 13 and
+emits them as ``BENCH_ml.json`` next to the working directory:
+
+- Windows/sec vs batch size over a simulated Seal WAN: the same epoch of
+  sampled windows executed through :class:`repro.ml.BatchPlanner` at
+  batch 1/8/32/128.  Time is *simulated* seconds on the
+  :class:`~repro.network.clock.SimClock` the remote path charges, so the
+  series is deterministic — batch 1 pays one multi-range round trip per
+  window and re-reads every shared block; batch 32 pays one round trip
+  per batch and reads each unique block once.
+- Unique blocks per window at ~50 % overlap: batched reads per window
+  against the naive per-window ``BoxQuery.execute`` baseline, counted
+  with :class:`~repro.idx.access.AccessCounters`.
+- Warm-cache hit rate: a grid epoch re-run through a shared
+  :class:`~repro.idx.cache.BlockCache` — the second epoch is served
+  from cache.
+
+Set ``BENCH_TINY=1`` to run a seconds-scale configuration (CI smoke).
+"""
+
+import json
+import os
+import time
+
+from repro.idx import IdxDataset
+from repro.idx.cache import BlockCache
+from repro.ml import BatchPlanner, GridWindowSampler, RandomWindowSampler
+from repro.network.clock import SimClock
+from repro.storage.object_store import ObjectStore
+from repro.storage.seal import SealStorage
+from repro.storage.transfer import open_remote_idx
+from repro.terrain.dem import composite_terrain
+from conftest import print_header
+
+TINY = bool(int(os.environ.get("BENCH_TINY", "0")))
+
+SIZE = (96, 96) if TINY else (256, 256)
+BITS = 7  # 128-sample blocks
+WINDOW = 24 if TINY else 32
+COUNT = 32 if TINY else 128  # windows per epoch
+BATCH_SIZES = (1, 8, 32) if TINY else (1, 8, 32, 128)
+
+_RESULTS = {"config": "tiny" if TINY else "full"}
+
+KEY = "scene.idx"
+
+
+def _build_local(tmp_path):
+    data = composite_terrain(SIZE, seed=42)
+    path = str(tmp_path / KEY)
+    ds = IdxDataset.create(
+        path, dims=data.shape, fields={"elevation": "float32"}, bits_per_block=BITS
+    )
+    ds.write(data, field="elevation")
+    ds.finalize()
+    return path
+
+
+def _seal_store(tmp_path):
+    """The scene uploaded once into an in-memory object store."""
+    path = _build_local(tmp_path)
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    store = ObjectStore("bench-ml")
+    store.ensure_bucket("sealed")
+    store.put("sealed", KEY, blob)
+    return store
+
+
+def _open_remote(store, cache=None):
+    """A fresh Seal front-end (fresh SimClock) over the shared store."""
+    seal = SealStorage(store=store, clock=SimClock())
+    token = seal.issue_token("trainer", ("read",))
+    ds = open_remote_idx(seal, KEY, token=token, cache=cache)
+    return ds, seal.clock
+
+
+def test_windows_per_sec_vs_batch_size(tmp_path):
+    """One epoch at each batch size; simulated WAN seconds per config."""
+    store = _seal_store(tmp_path)
+    sampler = RandomWindowSampler(SIZE, WINDOW, COUNT, seed=7)
+    windows = sampler.epoch(0)  # identical windows for every batch size
+
+    rows = []
+    for batch_size in BATCH_SIZES:
+        ds, clock = _open_remote(store)
+        planner = BatchPlanner(ds.access)
+        sim0, wall0 = clock.now, time.perf_counter()
+        for i in range(0, len(windows), batch_size):
+            planner.execute(windows[i : i + batch_size])
+        sim_s = clock.now - sim0
+        wall_s = time.perf_counter() - wall0
+        rows.append(
+            {
+                "batch_size": batch_size,
+                "sim_s": sim_s,
+                "wall_s": wall_s,
+                "windows_per_sim_s": len(windows) / sim_s,
+                "blocks_read": ds.access.counters.blocks_read,
+                "bytes_read": ds.access.counters.bytes_read,
+            }
+        )
+
+    print_header(
+        f"ML loader: {COUNT} windows of {WINDOW}x{WINDOW} over "
+        f"{SIZE[0]}x{SIZE[1]} via simulated Seal WAN"
+    )
+    print(f"{'batch':>6s} {'sim s':>9s} {'win/sim s':>10s} {'blocks':>7s} {'MiB':>7s}")
+    for row in rows:
+        print(
+            f"{row['batch_size']:>6d} {row['sim_s']:>9.3f} "
+            f"{row['windows_per_sim_s']:>10.1f} {row['blocks_read']:>7d} "
+            f"{row['bytes_read'] / 2**20:>7.2f}"
+        )
+
+    by_batch = {row["batch_size"]: row for row in rows}
+    speedup = (
+        by_batch[32]["windows_per_sim_s"] / by_batch[1]["windows_per_sim_s"]
+    )
+    print(f"batch 32 vs batch 1: {speedup:.1f}x windows/sec (simulated)")
+
+    # The acceptance bar: >= 3x windows/sec at batch 32 over batch 1.
+    assert speedup >= 3.0
+    # Bigger batches never read more blocks than smaller ones.
+    blocks = [row["blocks_read"] for row in rows]
+    assert blocks == sorted(blocks, reverse=True)
+
+    _RESULTS["windows_per_sec"] = {
+        "shape": list(SIZE),
+        "window": WINDOW,
+        "count": COUNT,
+        "rows": rows,
+        "speedup_batch32_vs_1": speedup,
+    }
+    _flush(_RESULTS)
+
+
+def test_unique_blocks_per_window_at_overlap(tmp_path):
+    """~50 % overlap, batch 32: dedup per batch vs the naive baseline."""
+    ds = IdxDataset.open(_build_local(tmp_path))
+    # stride = window/2 -> every interior window shares half its area
+    # with each neighbour.
+    sampler = GridWindowSampler(SIZE, WINDOW, stride=WINDOW // 2)
+    windows = sampler.epoch(0)[: 32 if TINY else 64]
+    planner = BatchPlanner(ds.access)
+
+    batch_rows = []
+    snap = ds.access.counters.snapshot()
+    for i in range(0, len(windows), 32):
+        chunk = windows[i : i + 32]
+        batch = planner.plan(chunk)
+        before = ds.access.counters.blocks_read
+        planner.execute(batch)
+        read = ds.access.counters.blocks_read - before
+        assert read == batch.unique_blocks  # each unique block exactly once
+        batch_rows.append(
+            {
+                "windows": len(chunk),
+                "unique_blocks": batch.unique_blocks,
+                "window_block_touches": batch.window_block_touches,
+            }
+        )
+    batched_reads = ds.access.counters.blocks_read - snap[0]
+
+    snap = ds.access.counters.snapshot()
+    for win in windows:
+        ds.query(box=win.box).execute()
+    naive_reads = ds.access.counters.blocks_read - snap[0]
+
+    batched_per_window = batched_reads / len(windows)
+    naive_per_window = naive_reads / len(windows)
+    print_header(
+        f"Block dedup: {len(windows)} windows of {WINDOW}x{WINDOW}, "
+        f"stride {WINDOW // 2} (~50% overlap), batch 32"
+    )
+    print(f"batched reads/window: {batched_per_window:.2f}")
+    print(f"naive reads/window:   {naive_per_window:.2f}")
+    print(f"reduction: {naive_reads / batched_reads:.2f}x")
+
+    # The acceptance bar: >= 2x fewer block reads than per-window.
+    assert naive_reads >= 2 * batched_reads
+
+    _RESULTS["block_dedup"] = {
+        "windows": len(windows),
+        "batches": batch_rows,
+        "batched_reads": batched_reads,
+        "naive_reads": naive_reads,
+        "batched_reads_per_window": batched_per_window,
+        "naive_reads_per_window": naive_per_window,
+        "reduction": naive_reads / batched_reads,
+    }
+    _flush(_RESULTS)
+
+
+def test_warm_cache_hit_rate(tmp_path):
+    """A second epoch over a shared BlockCache is served from memory."""
+    store = _seal_store(tmp_path)
+    cache = BlockCache("64 MiB")
+    ds, clock = _open_remote(store, cache=cache)
+    sampler = GridWindowSampler(SIZE, WINDOW, seed=3)
+    planner = BatchPlanner(ds.access)
+
+    epochs = []
+    for epoch in range(2):
+        h0, m0 = cache.stats.hits, cache.stats.misses
+        sim0 = clock.now
+        windows = sampler.epoch(epoch)
+        for i in range(0, len(windows), 32):
+            planner.execute(windows[i : i + 32])
+        hits = cache.stats.hits - h0
+        misses = cache.stats.misses - m0
+        epochs.append(
+            {
+                "epoch": epoch,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / max(1, hits + misses),
+                "sim_s": clock.now - sim0,
+            }
+        )
+
+    print_header("Warm cache: grid epochs through one shared BlockCache")
+    print(f"{'epoch':>5s} {'hits':>6s} {'misses':>7s} {'rate':>6s} {'sim s':>8s}")
+    for row in epochs:
+        print(
+            f"{row['epoch']:>5d} {row['hits']:>6d} {row['misses']:>7d} "
+            f"{row['hit_rate']:>6.2f} {row['sim_s']:>8.3f}"
+        )
+
+    # Epoch 0 misses everything once; epoch 1 is all hits (the scene
+    # fits the cache) and pays no simulated network time.
+    assert epochs[0]["misses"] > 0
+    assert epochs[1]["misses"] == 0
+    assert epochs[1]["hit_rate"] == 1.0
+    assert epochs[1]["sim_s"] < epochs[0]["sim_s"]
+
+    _RESULTS["warm_cache"] = {"epochs": epochs}
+    _flush(_RESULTS)
+
+
+def _flush(results):
+    with open("BENCH_ml.json", "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+    print("wrote BENCH_ml.json")

@@ -12,6 +12,7 @@ Subpackages (bottom-up):
 - :mod:`repro.formats`     — TIFF 6.0, NetCDF classic, raw binary
 - :mod:`repro.faults`      — deterministic fault injection + retry/backoff/breaker
 - :mod:`repro.idx`         — HZ-order multiresolution data fabric (OpenVisus analogue)
+- :mod:`repro.ml`          — batched window sampling/loading for training workloads
 - :mod:`repro.terrain`     — synthetic DEMs + GEOtiled terrain parameters
 - :mod:`repro.somospie`    — soil-moisture spatial inference
 - :mod:`repro.storage`     — object store, Seal (private), Dataverse (public), FUSE
@@ -39,6 +40,7 @@ __all__ = [
     "faults",
     "formats",
     "idx",
+    "ml",
     "network",
     "services",
     "somospie",

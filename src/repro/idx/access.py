@@ -319,6 +319,35 @@ class Access(ABC):
         job, not the remote layer's.  Default is a no-op.
         """
 
+    def read_blocks(
+        self, time_idx: int, field_idx: int, block_ids
+    ) -> Dict[int, np.ndarray]:
+        """Read a whole worklist of blocks as one prefetched batch.
+
+        This is the batched read primitive behind the ML batch planner
+        (:class:`repro.ml.planner.BatchPlanner`): the ids are announced
+        in one :meth:`prefetch` hint — a single multi-range round trip
+        on serial remote sources, one submission wave on a
+        :class:`~repro.idx.parallel.ParallelFetcher` pool — then drained
+        through :meth:`read_block`, so each *unique* block crosses the
+        network (and the counters of the caller's
+        :class:`AccessScope`) exactly once however many consumers share
+        it.  Duplicate ids in ``block_ids`` are collapsed.  The prefetch
+        stage is always released before returning: the decoded blocks in
+        the result dict are the only thing that outlives the call.
+        """
+        wanted = sorted({int(bid) for bid in block_ids})
+        out: Dict[int, np.ndarray] = {}
+        if not wanted:
+            return out
+        self.prefetch(time_idx, field_idx, wanted)
+        try:
+            for bid in wanted:
+                out[bid] = self.read_block(time_idx, field_idx, bid)
+        finally:
+            self.release_prefetched()
+        return out
+
     @property
     def uri(self) -> str:
         """Stable identity used as the cache key prefix."""

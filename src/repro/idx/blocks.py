@@ -11,7 +11,7 @@ block sequence plus spatially-selected fine blocks.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -68,6 +68,22 @@ class BlockLayout:
         block_ids = sorted_bids[starts]
         bounds = np.append(starts, sorted_bids.size)
         return order, block_ids, bounds
+
+    @staticmethod
+    def merge_block_ids(per_window: Sequence[np.ndarray]) -> np.ndarray:
+        """Deduplicated ascending union of several block-id arrays.
+
+        This is the batch planner's worklist merge: each window's
+        :meth:`group_by_block` segmentation names its blocks once, and
+        the union across a batch is the set of blocks the whole batch
+        must read — each exactly once, however many windows share it
+        (:class:`repro.ml.planner.BatchPlanner`).  Inputs need not be
+        sorted or distinct; the result always is.
+        """
+        stacked = [np.asarray(ids, dtype=np.int64) for ids in per_window if len(ids)]
+        if not stacked:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(stacked))
 
     def hz_range_of_block(self, block_id: int) -> Tuple[int, int]:
         """Half-open HZ range ``[lo, hi)`` covered by ``block_id``."""

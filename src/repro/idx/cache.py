@@ -43,13 +43,19 @@ class CacheStats:
     nor caused a fetch.  ``inserted_bytes`` is the cumulative volume
     admitted into the cache; replacing a key charges only the size
     *delta* (re-inserting an identical block is free), so the counter is
-    exact rather than double-counting replacements.  All counters are
-    cumulative for the cache's lifetime and survive :meth:`BlockCache.clear`.
+    exact rather than double-counting replacements.  ``evictions`` counts
+    entries pushed out by capacity pressure and ``evicted_bytes`` the
+    payload volume they carried — together with ``inserted_bytes`` they
+    tell thrash (high churn at steady occupancy) apart from growth, which
+    is what the service explorer's fleet summary reports.  All counters
+    are cumulative for the cache's lifetime and survive
+    :meth:`BlockCache.clear`.
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    evicted_bytes: int = 0
     inserted_bytes: int = 0
     replacements: int = 0
     coalesced: int = 0
@@ -143,6 +149,7 @@ class BlockCache:
             _, evicted = self._entries.popitem(last=False)
             self._bytes -= int(evicted.nbytes)
             self.stats.evictions += 1
+            self.stats.evicted_bytes += int(evicted.nbytes)
 
     def get_or_load(self, key: Key, loader: Callable[[], np.ndarray]) -> np.ndarray:
         """Atomic get-or-insert: return the cached block, loading it at

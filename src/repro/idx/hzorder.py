@@ -45,15 +45,29 @@ def _bit_length_u64(values: np.ndarray) -> np.ndarray:
 
 
 #: Cached value of one ``level_plan`` call (``None`` when the box holds no
-#: delta samples at that level).
+#: delta samples at that level).  The cache itself accepts any nested
+#: tuple/list structure of NumPy arrays (and scalars) as a plan value —
+#: the ML batch planner stores fused per-window plans beside the level
+#: lattices (see :mod:`repro.ml.planner`).
 Plan = Optional[Tuple[List[np.ndarray], np.ndarray]]
 
-#: Cache key: (bitmask pattern, level, box.lo, box.hi).
-PlanKey = Tuple[str, int, Tuple[int, ...], Tuple[int, ...]]
+#: Cache key.  ``level_plan`` uses (bitmask pattern, level, box.lo,
+#: box.hi); other planners namespace their keys with a distinct leading
+#: tag so one process-wide cache serves every plan family.
+PlanKey = Tuple
+
+
+def _walk_arrays(value) -> "Iterator[np.ndarray]":
+    """Yield every ndarray inside an arbitrarily nested plan value."""
+    if isinstance(value, np.ndarray):
+        yield value
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            yield from _walk_arrays(item)
 
 
 class PlanCache:
-    """Byte-bounded LRU of :meth:`HzOrder.level_plan` lattices.
+    """Byte-bounded LRU of gather/scatter plans keyed by (bitmask, box, …).
 
     Dashboard interactions re-issue the same (box, level) queries on
     every slider tick or pan step, and each :class:`BoxQuery` builds a
@@ -61,6 +75,12 @@ class PlanCache:
     the same delta-lattice coordinates and HZ addresses.  The cache is
     keyed by bitmask pattern so any number of datasets and sessions can
     share the process-wide instance (:data:`PLAN_CACHE`).
+
+    Values are arbitrary nested tuples/lists of NumPy arrays: besides
+    the per-level lattices of :meth:`HzOrder.level_plan`, the ML batch
+    planner (:mod:`repro.ml.planner`) memoises whole fused window plans —
+    level lattices plus block-grouped sort order — under its own key
+    namespace, so an epoch that revisits a window never re-sorts it.
 
     Cached plans are shared, so their arrays are marked read-only before
     insertion; consumers only ever index with them.  Hit/miss/eviction
@@ -79,11 +99,11 @@ class PlanCache:
         self.stats = CacheStats()
 
     @staticmethod
-    def _plan_nbytes(plan: Plan) -> int:
+    def _plan_nbytes(plan) -> int:
         if plan is None:
             return 64  # nominal charge for a cached negative result
-        coords, hz = plan
-        return int(hz.nbytes) + sum(int(c.nbytes) for c in coords)
+        nbytes = sum(int(a.nbytes) for a in _walk_arrays(plan))
+        return max(64, nbytes)  # array-free plans still pay a nominal charge
 
     def get(self, key: PlanKey) -> "Plan | ellipsis":
         """Cached plan for ``key``, or ``Ellipsis`` on a miss.
@@ -101,11 +121,8 @@ class PlanCache:
 
     def put(self, key: PlanKey, plan: Plan) -> Plan:
         """Insert ``plan`` (arrays become read-only); returns it for chaining."""
-        if plan is not None:
-            coords, hz = plan
-            for c in coords:
-                c.setflags(write=False)
-            hz.setflags(write=False)
+        for arr in _walk_arrays(plan):
+            arr.setflags(write=False)
         nbytes = self._plan_nbytes(plan)
         if nbytes > self.capacity:
             return plan  # one oversized plan would evict everything
@@ -123,8 +140,10 @@ class PlanCache:
             self._bytes += nbytes
             while self._bytes > self.capacity:
                 _, evicted = self._entries.popitem(last=False)
-                self._bytes -= self._plan_nbytes(evicted)
+                evicted_nbytes = self._plan_nbytes(evicted)
+                self._bytes -= evicted_nbytes
                 self.stats.evictions += 1
+                self.stats.evicted_bytes += evicted_nbytes
         return plan
 
     def clear(self) -> None:

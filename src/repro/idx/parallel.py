@@ -173,6 +173,23 @@ class ParallelFetcher:
                 self._inflight.pop(key, None)
             raise
 
+    def drain(self) -> int:
+        """Block until every fetch in flight at call time has completed.
+
+        Returns the number of tasks waited on.  Task errors are *not*
+        raised here — a failed future stays in the table and surfaces
+        (or is resubmitted) at read time exactly as if ``drain`` had not
+        been called.  Pipelined consumers use this to quiesce the pool
+        at a scope boundary: the ML window loader drains before closing
+        so no worker outlives its loader, and benchmarks drain before a
+        measurement fence so in-flight clock charges have landed.
+        """
+        with self._lock:
+            pending = [fut for fut in self._inflight.values() if not fut.done()]
+        for fut in pending:
+            fut.exception()  # waits for completion; errors surface at read time
+        return len(pending)
+
     def release(self, keys: Optional[Iterable[Key]] = None) -> None:
         """Drop futures-table references at the end of a query scope.
 

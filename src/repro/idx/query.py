@@ -40,10 +40,90 @@ import numpy as np
 
 from repro.faults.errors import FaultError
 from repro.idx.access import Access
+from repro.idx.bitmask import Bitmask
 from repro.idx.hzorder import HzOrder
 from repro.util.arrays import Box, ceil_div, normalize_box
 
-__all__ = ["BoxQuery", "QueryResult"]
+__all__ = [
+    "BoxQuery",
+    "QueryResult",
+    "collect_level_plans",
+    "fuse_addresses",
+    "output_grid",
+    "scatter_levels",
+]
+
+#: One planned level: ``(h, per-axis lattice coords, flat HZ addresses)``.
+LevelPlan = Tuple[int, List[np.ndarray], np.ndarray]
+
+
+def output_grid(
+    bitmask: Bitmask, box: Box, h: int
+) -> Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]:
+    """(offsets, strides, shape) of the level-``h`` output lattice in ``box``.
+
+    Shared by :class:`BoxQuery` and the ML batch planner
+    (:mod:`repro.ml.planner`), which lays out one lattice per window
+    without constructing a query object per window.
+    """
+    strides = bitmask.level_strides(h)
+    offsets = []
+    shape = []
+    for a in range(bitmask.ndim):
+        s = strides[a]
+        start = ceil_div(box.lo[a], s) * s
+        count = max(0, ceil_div(box.hi[a] - start, s)) if start < box.hi[a] else 0
+        offsets.append(start)
+        shape.append(count)
+    return tuple(offsets), tuple(strides), tuple(shape)
+
+
+def collect_level_plans(hz: HzOrder, box: Box, h_end: int) -> List[LevelPlan]:
+    """Lattice plans of every non-empty level ``0..h_end`` inside ``box``.
+
+    Each entry comes from :meth:`HzOrder.level_plan` (and therefore the
+    process-wide plan cache); empty levels are skipped so consumers can
+    concatenate the address arrays without guards.
+    """
+    plans: List[LevelPlan] = []
+    for h in range(h_end + 1):
+        level = hz.level_plan(h, box)
+        if level is not None:
+            coords, hz_addr = level
+            plans.append((h, coords, hz_addr))
+    return plans
+
+
+def fuse_addresses(plans: List[LevelPlan]) -> np.ndarray:
+    """All levels' HZ addresses fused into one flat array (plan order)."""
+    if not plans:
+        return np.empty(0, dtype=np.uint64)
+    if len(plans) == 1:
+        return plans[0][2]
+    return np.concatenate([hz_addr for _, _, hz_addr in plans])
+
+
+def scatter_levels(
+    data: np.ndarray,
+    plans: List[LevelPlan],
+    values: np.ndarray,
+    offsets: Tuple[int, ...],
+    strides: Tuple[int, ...],
+) -> None:
+    """Scatter fused gathered ``values`` into the output lattice per level.
+
+    ``values`` must be ordered exactly as :func:`fuse_addresses` fused
+    the plans' addresses; each level's chunk lands at its lattice
+    positions ``(coords - offsets) // strides`` along every axis.
+    """
+    pos = 0
+    for _, coords, hz_addr in plans:
+        chunk = values[pos : pos + hz_addr.size]
+        pos += hz_addr.size
+        index = tuple(
+            (coords[a] - offsets[a]) // strides[a] for a in range(data.ndim)
+        )
+        data[np.ix_(*index)] = chunk.reshape(tuple(len(c) for c in coords))
 
 
 @dataclass
@@ -200,16 +280,7 @@ class BoxQuery:
 
     def _output_grid(self, h: int) -> Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]:
         """(offsets, strides, shape) of the level-``h`` output lattice in the box."""
-        strides = self.bitmask.level_strides(h)
-        offsets = []
-        shape = []
-        for a in range(self.bitmask.ndim):
-            s = strides[a]
-            start = ceil_div(self.box.lo[a], s) * s
-            count = max(0, ceil_div(self.box.hi[a] - start, s)) if start < self.box.hi[a] else 0
-            offsets.append(start)
-            shape.append(count)
-        return tuple(offsets), tuple(strides), tuple(shape)
+        return output_grid(self.bitmask, self.box, h)
 
     # -- execution -------------------------------------------------------------
 
@@ -229,7 +300,12 @@ class BoxQuery:
             h_end = int(resolution)
             if not 0 <= h_end <= self.end_resolution:
                 raise ValueError(
-                    f"resolution {resolution} out of range [0, {self.end_resolution}]"
+                    f"resolution {h_end} out of range [0, {self.end_resolution}] "
+                    f"for this query over box {self.box}: execute() may only "
+                    f"coarsen the cap fixed at construction "
+                    f"(end_resolution={self.end_resolution}, dataset "
+                    f"maxh={self.bitmask.maxh}); build a new query with "
+                    f"resolution={h_end} to read finer levels"
                 )
         return self._run(h_end, memo=None)
 
@@ -245,20 +321,10 @@ class BoxQuery:
         # Phase 1: plan every level's sample addresses (cached lattices),
         # fused into one flat address array so the gather kernel runs
         # once per query — the per-level Python loop only scatters.
-        plan: List[Tuple[int, List[np.ndarray], np.ndarray]] = []
-        for h in range(0, h_end + 1):
-            level = self.hz.level_plan(h, self.box)
-            if level is None:
-                continue
-            coords, hz_addr = level
-            plan.append((h, coords, hz_addr))
+        plan = collect_level_plans(self.hz, self.box, h_end)
         found = 0
         if plan:
-            all_hz = (
-                plan[0][2]
-                if len(plan) == 1
-                else np.concatenate([hz_addr for _, _, hz_addr in plan])
-            )
+            all_hz = fuse_addresses(plan)
             wanted = np.unique(self.layout.block_of(all_hz)).tolist()
             if memo:
                 wanted = [bid for bid in wanted if bid not in memo]
@@ -275,14 +341,7 @@ class BoxQuery:
             finally:
                 self.access.release_prefetched()
             found = int(values.size)
-            pos = 0
-            for h, coords, hz_addr in plan:
-                chunk = values[pos : pos + hz_addr.size]
-                pos += hz_addr.size
-                index = tuple(
-                    (coords[a] - offsets[a]) // strides[a] for a in range(self.bitmask.ndim)
-                )
-                data[np.ix_(*index)] = chunk.reshape(tuple(len(c) for c in coords))
+            scatter_levels(data, plan, values, offsets, strides)
         return QueryResult(
             data, h_end, self.box, offsets, strides, self.field_name, self.time_value, found
         )
@@ -335,10 +394,7 @@ class BoxQuery:
             finally:
                 self.access.release_prefetched()
             found += int(values.size)
-            index = tuple(
-                (coords[a] - offsets[a]) // strides[a] for a in range(self.bitmask.ndim)
-            )
-            data[np.ix_(*index)] = values.reshape(tuple(len(c) for c in coords))
+            scatter_levels(data, [(h, coords, hz_addr)], values, offsets, strides)
         return QueryResult(
             data, h, self.box, offsets, strides, self.field_name, self.time_value, found
         )

@@ -1,0 +1,41 @@
+"""ML-ready windowed sampling over the IDX query engine.
+
+The paper's training audience consumes fabric data the way TorchGeo
+frames earth-observation ML (PAPERS.md): large scenes sampled into
+batched training windows.  This package serves that workload on top of
+:mod:`repro.idx`:
+
+- :mod:`repro.ml.samplers` — random and grid window samplers with
+  restart-stable seeded epoch orderings and multi-resolution crops;
+- :mod:`repro.ml.planner` — the batched multi-box query planner that
+  plans N windows in one fused pass, merges their block worklists, and
+  reads each unique block exactly once per batch;
+- :mod:`repro.ml.loader` — a double-buffered loader that executes the
+  next batch while the trainer consumes the current one.
+
+Minimal loop::
+
+    from repro.ml import RandomWindowSampler, WindowLoader
+
+    sampler = RandomWindowSampler(ds.dims, window=32, count=256, seed=7)
+    with WindowLoader(ds, sampler, batch_size=32) as loader:
+        for epoch in range(3):
+            for batch in loader.batches(epoch):
+                train_step(batch.stack())
+"""
+
+from repro.ml.loader import Batch, LoaderStats, WindowLoader
+from repro.ml.planner import BatchPlan, BatchPlanner, WindowPlan
+from repro.ml.samplers import GridWindowSampler, RandomWindowSampler, Window
+
+__all__ = [
+    "Batch",
+    "BatchPlan",
+    "BatchPlanner",
+    "GridWindowSampler",
+    "LoaderStats",
+    "RandomWindowSampler",
+    "Window",
+    "WindowLoader",
+    "WindowPlan",
+]

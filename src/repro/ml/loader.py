@@ -1,0 +1,209 @@
+"""Windowed training-data loader with double-buffered batch prefetch.
+
+A training step alternates *consume batch k* (forward/backward pass)
+with *produce batch k+1* (plan, fetch, gather).  Run serially those
+costs add; :class:`WindowLoader` pipelines them: one background worker
+executes the next batch through the :class:`~repro.ml.planner.BatchPlanner`
+while the caller consumes the current one, so steady-state step time is
+``max(consume, produce)`` instead of their sum.  The buffer depth is
+exactly one batch — classic double buffering — which bounds memory at
+two batches regardless of epoch length.
+
+Scope attribution works across the pipeline: pass an
+:class:`~repro.idx.access.AccessScope` and the worker binds it around
+every batch execution (`use_scope` is thread-local, so the binding must
+travel with the work, exactly like the parallel fetcher's loaders in
+DESIGN.md §12).  All I/O the loader causes — prefetch admission,
+retries, block/byte counters — lands on that scope.
+
+The loader is sanitizer-clean: the worker holds no lock while executing,
+:meth:`close` drains the access layer's parallel fetcher (if any) before
+shutting the pool down, and stats fields are single-writer.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.idx.access import Access, AccessScope, use_scope
+from repro.idx.query import QueryResult
+from repro.ml.planner import BatchPlanner
+from repro.ml.samplers import Window
+
+__all__ = ["Batch", "LoaderStats", "WindowLoader"]
+
+
+@dataclass
+class Batch:
+    """One executed batch: the windows asked for and their results."""
+
+    index: int
+    windows: List[Window]
+    results: List[QueryResult]
+
+    @property
+    def arrays(self) -> List[np.ndarray]:
+        return [r.data for r in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def stack(self) -> np.ndarray:
+        """The batch as one ``(N, *window_shape)`` array.
+
+        Requires every window to share a shape (same window size and
+        resolution); mixed-shape batches raise ``ValueError`` and should
+        be consumed through :attr:`arrays` instead.
+        """
+        shapes = {r.data.shape for r in self.results}
+        if len(shapes) != 1:
+            raise ValueError(
+                f"cannot stack a mixed-shape batch (shapes {sorted(shapes)}); "
+                "use .arrays for multi-resolution batches"
+            )
+        return np.stack(self.arrays)
+
+
+@dataclass
+class LoaderStats:
+    """Pipeline telemetry for one loader.
+
+    ``wait_s`` is the consumer-side stall — time spent blocked on a
+    batch that was not ready yet; ``execute_s`` is producer-side batch
+    execution time.  A well-pipelined epoch has ``wait_s`` far below
+    ``execute_s`` (the training step hides the fetch); ``wait_s``
+    approaching ``execute_s`` means the loader, not the model, is the
+    bottleneck.
+    """
+
+    batches: int = 0
+    windows: int = 0
+    wait_s: float = 0.0
+    execute_s: float = 0.0
+
+
+class WindowLoader:
+    """Iterate a sampler's epochs as executed batches, pipelined.
+
+    ``source`` is an :class:`~repro.idx.access.Access` layer or anything
+    carrying one as ``.access`` (an :class:`~repro.idx.dataset.IdxDataset`).
+    ``sampler`` provides ``epoch(n) -> sequence of Window``
+    (:mod:`repro.ml.samplers`).  With ``prefetch=True`` (default) batch
+    ``k+1`` executes on a background worker while ``k`` is consumed;
+    ``prefetch=False`` is the exact serial baseline — same batches, same
+    bytes, no thread.
+    """
+
+    def __init__(
+        self,
+        source,
+        sampler,
+        *,
+        batch_size: int,
+        field: Optional[str] = None,
+        time: Optional[int] = None,
+        prefetch: bool = True,
+        scope: Optional[AccessScope] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        access = getattr(source, "access", source)
+        if not isinstance(access, Access):
+            raise TypeError(f"source {source!r} does not provide an Access layer")
+        self.planner = BatchPlanner(access, field=field, time=time)
+        self.sampler = sampler
+        self.batch_size = int(batch_size)
+        self.scope = scope
+        self.stats = LoaderStats()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        if prefetch:
+            self._pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="ml-loader"
+            )
+        self._closed = False
+
+    # -- production ---------------------------------------------------------
+
+    def _execute(self, index: int, windows: Sequence[Window]) -> Batch:
+        t0 = _time.perf_counter()
+        if self.scope is not None:
+            with use_scope(self.scope):
+                results = self.planner.execute(windows)
+        else:
+            results = self.planner.execute(windows)
+        self.stats.execute_s += _time.perf_counter() - t0
+        return Batch(index=index, windows=list(windows), results=results)
+
+    # -- consumption --------------------------------------------------------
+
+    def batches(self, epoch: int = 0) -> Iterator[Batch]:
+        """Yield the epoch's batches in sampler order.
+
+        With prefetch on, the next batch is submitted *before* the
+        current one is yielded, so it executes while the caller's
+        training step runs.  Orderings are the sampler's — deterministic
+        in ``(seed, epoch)`` — and identical with prefetch on or off.
+        """
+        if self._closed:
+            raise RuntimeError("loader is closed")
+        windows = list(self.sampler.epoch(epoch))
+        chunks = [
+            windows[i : i + self.batch_size]
+            for i in range(0, len(windows), self.batch_size)
+        ]
+        if self._pool is None:
+            for i, chunk in enumerate(chunks):
+                batch = self._execute(i, chunk)
+                self.stats.batches += 1
+                self.stats.windows += len(batch)
+                yield batch
+            return
+        fut = None
+        for i, chunk in enumerate(chunks):
+            nxt = self._pool.submit(self._execute, i, chunk)
+            if fut is None:
+                fut = nxt
+                continue
+            t0 = _time.perf_counter()
+            batch = fut.result()
+            self.stats.wait_s += _time.perf_counter() - t0
+            fut = nxt
+            self.stats.batches += 1
+            self.stats.windows += len(batch)
+            yield batch
+        if fut is not None:
+            t0 = _time.perf_counter()
+            batch = fut.result()
+            self.stats.wait_s += _time.perf_counter() - t0
+            self.stats.batches += 1
+            self.stats.windows += len(batch)
+            yield batch
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the pipeline down; idempotent.
+
+        Drains the access layer's parallel fetcher first (if it has one)
+        so no block fetch outlives the loader that asked for it, then
+        joins the worker.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        fetcher = getattr(self.planner.access, "fetcher", None)
+        if fetcher is not None:
+            fetcher.drain()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "WindowLoader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

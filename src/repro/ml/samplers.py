@@ -1,0 +1,195 @@
+"""Window samplers: TorchGeo-style sampling of scenes into training windows.
+
+The TorchGeo tutorial in PAPERS.md frames earth-observation ML as
+sampling large georeferenced scenes into batched training windows.  These
+samplers produce those windows over an IDX dataset's index space:
+
+- :class:`RandomWindowSampler` — i.i.d. windows per epoch, optionally
+  with multi-resolution crops (a resolution drawn per window), the
+  analogue of ``RandomGeoSampler``;
+- :class:`GridWindowSampler` — a deterministic tiling with optional
+  overlap, the analogue of ``GridGeoSampler`` used for inference sweeps
+  and validation.
+
+Epoch orderings are *restart-stable*: every draw comes from
+:func:`repro.util.rng.spawn` keyed by ``(seed, purpose, epoch)``, so the
+same seed replays the identical window sequence in any process while
+different seeds (or epochs) give independent sequences.  Samplers are
+stateless between epochs — ``epoch(n)`` is a pure function — which is
+what lets a training run resume mid-schedule and lets the loader plan
+epoch ``n+1`` while ``n`` is still being consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.util.arrays import Box
+from repro.util.rng import spawn
+
+__all__ = ["GridWindowSampler", "RandomWindowSampler", "Window"]
+
+
+@dataclass(frozen=True)
+class Window:
+    """One training window: a box plus an optional resolution cap.
+
+    ``resolution=None`` reads the dataset's finest level; a coarser
+    value makes this window a lower-resolution crop — batches may mix
+    resolutions freely (the batch planner plans each window at its own
+    level and still merges the block worklist).
+    """
+
+    box: Box
+    resolution: Optional[int] = None
+
+
+def _as_shape(dims: Sequence[int], value: "int | Sequence[int]", name: str) -> Tuple[int, ...]:
+    if isinstance(value, int):
+        value = (value,) * len(dims)
+    shape = tuple(int(v) for v in value)
+    if len(shape) != len(dims):
+        raise ValueError(f"{name} rank {len(shape)} does not match dims {tuple(dims)}")
+    if any(v < 1 for v in shape):
+        raise ValueError(f"{name} entries must be >= 1, got {shape}")
+    return shape
+
+
+class RandomWindowSampler:
+    """``count`` random windows per epoch over a scene of shape ``dims``.
+
+    Window origins are uniform over all in-bounds placements, so every
+    window is full-size.  ``resolutions`` selects multi-resolution
+    crops: ``None`` reads full resolution, an int pins every window to
+    that level, and a sequence draws one level per window (seeded, so
+    the choice replays with the rest of the epoch).
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        window: "int | Sequence[int]",
+        count: int,
+        *,
+        seed: int,
+        resolutions: "int | Sequence[int] | None" = None,
+    ) -> None:
+        self.dims = tuple(int(d) for d in dims)
+        self.window = _as_shape(self.dims, window, "window")
+        if any(w > d for w, d in zip(self.window, self.dims)):
+            raise ValueError(f"window {self.window} exceeds scene dims {self.dims}")
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.count = int(count)
+        self.seed = int(seed)
+        if resolutions is None or isinstance(resolutions, int):
+            self.resolutions: Optional[Tuple[int, ...]] = (
+                None if resolutions is None else (int(resolutions),)
+            )
+        else:
+            self.resolutions = tuple(int(r) for r in resolutions)
+            if not self.resolutions:
+                raise ValueError("resolutions sequence must not be empty")
+
+    def epoch(self, epoch: int = 0) -> List[Window]:
+        """The full window sequence of one epoch (pure in ``(seed, epoch)``)."""
+        rng = spawn(self.seed, "random-windows", int(epoch))
+        spans = [d - w + 1 for d, w in zip(self.dims, self.window)]
+        origins = [rng.integers(0, span, size=self.count) for span in spans]
+        if self.resolutions is None:
+            levels = [None] * self.count
+        elif len(self.resolutions) == 1:
+            levels = [self.resolutions[0]] * self.count
+        else:
+            picks = rng.integers(0, len(self.resolutions), size=self.count)
+            levels = [self.resolutions[int(p)] for p in picks]
+        windows = []
+        for i in range(self.count):
+            lo = tuple(int(axis[i]) for axis in origins)
+            hi = tuple(l + w for l, w in zip(lo, self.window))
+            windows.append(Window(Box(lo, hi), levels[i]))
+        return windows
+
+    def __iter__(self) -> Iterator[Window]:
+        return iter(self.epoch(0))
+
+    def __len__(self) -> int:
+        return self.count
+
+
+class GridWindowSampler:
+    """A deterministic tiling of the scene into full-size windows.
+
+    Origins step by ``stride`` (default: the window size, a disjoint
+    tiling); when the last stride does not land flush with the scene
+    edge, one final window is pinned at the edge so coverage is exact —
+    the standard inference-sweep grid.  With a ``seed`` the tile order
+    is shuffled per epoch (seeded, restart-stable); without one the
+    row-major scan order is used for every epoch.
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        window: "int | Sequence[int]",
+        *,
+        stride: "int | Sequence[int] | None" = None,
+        resolution: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.dims = tuple(int(d) for d in dims)
+        self.window = _as_shape(self.dims, window, "window")
+        if any(w > d for w, d in zip(self.window, self.dims)):
+            raise ValueError(f"window {self.window} exceeds scene dims {self.dims}")
+        self.stride = (
+            self.window if stride is None else _as_shape(self.dims, stride, "stride")
+        )
+        self.resolution = None if resolution is None else int(resolution)
+        self.seed = None if seed is None else int(seed)
+        self._origins_per_axis = [
+            self._axis_origins(d, w, s)
+            for d, w, s in zip(self.dims, self.window, self.stride)
+        ]
+        self._windows = self._scan_order()
+
+    @staticmethod
+    def _axis_origins(dim: int, window: int, stride: int) -> List[int]:
+        origins = list(range(0, dim - window + 1, stride))
+        if origins[-1] != dim - window:
+            origins.append(dim - window)  # flush final tile for exact coverage
+        return origins
+
+    def _scan_order(self) -> List[Window]:
+        windows: List[Window] = []
+        counts = [len(o) for o in self._origins_per_axis]
+        total = 1
+        for c in counts:
+            total *= c
+        for flat in range(total):
+            idx = []
+            rem = flat
+            for c in reversed(counts):
+                idx.append(rem % c)
+                rem //= c
+            idx.reverse()
+            lo = tuple(
+                self._origins_per_axis[a][i] for a, i in enumerate(idx)
+            )
+            hi = tuple(l + w for l, w in zip(lo, self.window))
+            windows.append(Window(Box(lo, hi), self.resolution))
+        return windows
+
+    def epoch(self, epoch: int = 0) -> List[Window]:
+        """Tile sequence of one epoch: scan order, or a seeded shuffle."""
+        if self.seed is None:
+            return list(self._windows)
+        rng = spawn(self.seed, "grid-windows", int(epoch))
+        order = rng.permutation(len(self._windows))
+        return [self._windows[int(i)] for i in order]
+
+    def __iter__(self) -> Iterator[Window]:
+        return iter(self.epoch(0))
+
+    def __len__(self) -> int:
+        return len(self._windows)

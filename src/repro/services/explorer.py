@@ -201,6 +201,8 @@ class SessionExplorer:
         frame_hist = LatencyHistogram()
         for managed in self._manager.sessions():
             frame_hist.merge(managed.frame_histogram)
+        from repro.idx.hzorder import PLAN_CACHE
+
         cache = self._manager.cache
         return {
             "sessions": len(rows),
@@ -209,12 +211,26 @@ class SessionExplorer:
             "frames": frame_hist.count,
             "degraded_frames": sum(r["degraded_frames"] for r in rows),
             "frame_latency": frame_hist.to_dict(),
+            # Eviction pressure tells thrash (high churn at steady
+            # occupancy) apart from growth — a fleet whose block cache
+            # keeps evicting what another tenant is about to re-read
+            # needs a bigger budget, not more bandwidth.
             "cache": {
                 "hits": cache.stats.hits,
                 "misses": cache.stats.misses,
                 "coalesced": cache.stats.coalesced,
                 "hit_rate": cache.stats.hit_rate,
                 "used_bytes": cache.used_bytes,
+                "evictions": cache.stats.evictions,
+                "evicted_bytes": cache.stats.evicted_bytes,
+            },
+            "plan_cache": {
+                "hits": PLAN_CACHE.stats.hits,
+                "misses": PLAN_CACHE.stats.misses,
+                "hit_rate": PLAN_CACHE.stats.hit_rate,
+                "used_bytes": PLAN_CACHE.used_bytes,
+                "evictions": PLAN_CACHE.stats.evictions,
+                "evicted_bytes": PLAN_CACHE.stats.evicted_bytes,
             },
         }
 

@@ -79,3 +79,97 @@ class TestLevelMapping:
             # All addresses of levels <= h live below that block boundary.
             max_addr = (1 << h) - 1 if h else 0
             assert layout.block_of(np.array([max_addr], dtype=np.uint64))[0] < hi_block
+
+
+class TestGroupByBlock:
+    """Degenerate inputs of the grouped-gather segmentation.
+
+    The invariant for every case: ``order`` is a permutation of the
+    input, ``block_ids`` is strictly ascending, and
+    ``order[bounds[i]:bounds[i+1]]`` indexes exactly the samples whose
+    block is ``block_ids[i]``.
+    """
+
+    def _check_invariant(self, layout, hz):
+        order, block_ids, bounds = layout.group_by_block(hz)
+        assert sorted(order.tolist()) == list(range(hz.size))
+        assert (np.diff(block_ids) > 0).all()
+        assert bounds[0] == 0 and bounds[-1] == hz.size
+        for i, bid in enumerate(block_ids.tolist()):
+            segment = hz[order[bounds[i] : bounds[i + 1]]]
+            assert (layout.block_of(segment) == bid).all()
+        return order, block_ids, bounds
+
+    def test_empty_selection(self):
+        layout = BlockLayout(maxh=8, bits_per_block=4)
+        order, block_ids, bounds = layout.group_by_block(
+            np.empty(0, dtype=np.uint64)
+        )
+        assert order.size == 0
+        assert block_ids.size == 0
+        assert bounds.tolist() == [0]
+
+    def test_single_sample(self):
+        layout = BlockLayout(maxh=8, bits_per_block=4)
+        order, block_ids, bounds = self._check_invariant(
+            layout, np.array([37], dtype=np.uint64)
+        )
+        assert block_ids.tolist() == [2]  # 37 // 16
+        assert bounds.tolist() == [0, 1]
+
+    def test_all_in_one_block(self):
+        layout = BlockLayout(maxh=8, bits_per_block=4)
+        hz = np.array([19, 17, 30, 16], dtype=np.uint64)
+        order, block_ids, bounds = self._check_invariant(layout, hz)
+        assert block_ids.tolist() == [1]
+        assert bounds.tolist() == [0, 4]
+        # stable sort: one-block input keeps its original order
+        assert order.tolist() == [0, 1, 2, 3]
+
+    def test_non_contiguous_block_ids(self):
+        layout = BlockLayout(maxh=8, bits_per_block=4)
+        hz = np.array([250, 3, 250, 100, 4], dtype=np.uint64)  # blocks 15, 0, 6
+        _, block_ids, bounds = self._check_invariant(layout, hz)
+        assert block_ids.tolist() == [0, 6, 15]  # gaps preserved, not densified
+        assert np.diff(bounds).tolist() == [2, 1, 2]
+
+    def test_duplicate_addresses(self):
+        layout = BlockLayout(maxh=8, bits_per_block=4)
+        hz = np.array([5, 5, 5], dtype=np.uint64)
+        _, block_ids, bounds = self._check_invariant(layout, hz)
+        assert block_ids.tolist() == [0]
+        assert bounds.tolist() == [0, 3]
+
+
+class TestMergeBlockIds:
+    def test_empty_inputs(self):
+        assert BlockLayout.merge_block_ids([]).tolist() == []
+        assert BlockLayout.merge_block_ids(
+            [np.empty(0, dtype=np.int64)] * 3
+        ).tolist() == []
+
+    def test_dedup_and_sort(self):
+        merged = BlockLayout.merge_block_ids(
+            [
+                np.array([7, 2, 9]),
+                np.array([2, 2, 0]),
+                np.empty(0, dtype=np.int64),
+                np.array([9]),
+            ]
+        )
+        assert merged.tolist() == [0, 2, 7, 9]
+        assert merged.dtype == np.int64
+
+    def test_matches_group_by_block_union(self):
+        layout = BlockLayout(maxh=10, bits_per_block=4)
+        rng = np.random.default_rng(3)
+        windows = [
+            rng.integers(0, layout.total_samples, size=40).astype(np.uint64)
+            for _ in range(4)
+        ]
+        ids = [layout.group_by_block(hz)[1] for hz in windows]
+        merged = BlockLayout.merge_block_ids(ids)
+        expected = sorted(
+            {int(b) for hz in windows for b in layout.block_of(hz)}
+        )
+        assert merged.tolist() == expected

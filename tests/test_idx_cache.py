@@ -110,6 +110,23 @@ class TestEviction:
         assert cache.stats.inserted_bytes == 1024  # net volume admitted
         assert cache.used_bytes == 1024
 
+    def test_eviction_byte_accounting(self):
+        """Filling past capacity grows evictions and evicted_bytes together."""
+        cache = BlockCache(4 * 1024)  # fits 4 blocks
+        for i in range(10):
+            cache.put((i,), block(i))
+        assert cache.stats.evictions == 6
+        assert cache.stats.evicted_bytes == 6 * 1024
+        # conservation: everything admitted is either resident or evicted
+        assert cache.stats.inserted_bytes == cache.used_bytes + cache.stats.evicted_bytes
+
+    def test_no_eviction_no_evicted_bytes(self):
+        cache = BlockCache("8 KiB")
+        cache.put(("a",), block(1))
+        cache.put(("b",), block(2))
+        assert cache.stats.evictions == 0
+        assert cache.stats.evicted_bytes == 0
+
     def test_clear_preserves_cumulative_stats(self):
         cache = BlockCache("8 KiB")
         cache.put(("a",), block(1))

@@ -205,6 +205,18 @@ class TestResolutionCap:
         with pytest.raises(ValueError):
             q.execute(resolution=ds.maxh - 2)
 
+    def test_rejection_names_cap_request_and_box(self, idx_factory, rng):
+        """The cap error must carry everything needed to debug it."""
+        ds = idx_factory(rng.random((32, 32)).astype(np.float32))
+        q = ds.query(box=((3, 5), (17, 29)), resolution=ds.maxh - 3)
+        with pytest.raises(ValueError) as err:
+            q.execute(resolution=ds.maxh - 1)
+        message = str(err.value)
+        assert f"end_resolution={ds.maxh - 3}" in message  # the cap
+        assert f"resolution {ds.maxh - 1}" in message  # what was asked
+        assert str(q.box) in message  # which query
+        assert "build a new query" in message  # the remedy
+
     def test_execute_allows_coarser_override(self, idx_factory, rng):
         ds = idx_factory(rng.random((32, 32)).astype(np.float32))
         q = ds.query(resolution=ds.maxh - 3)
@@ -258,6 +270,13 @@ class TestPlanCache:
             ds.hzorder.level_plan(h, Box((0, 0), (32, 32)), cache=cache)
         assert cache.stats.evictions > 0
         assert cache.used_bytes <= 2048
+        # Eviction accounting: bytes leave the budget as entries do, and
+        # admitted volume is conserved between residents and evictees.
+        assert cache.stats.evicted_bytes > 0
+        assert (
+            cache.stats.inserted_bytes
+            == cache.used_bytes + cache.stats.evicted_bytes
+        )
 
     def test_process_cache_serves_repeated_queries(self, idx_factory, rng):
         ds = idx_factory(rng.random((32, 32)).astype(np.float32))

@@ -1,0 +1,249 @@
+"""Batched multi-box planner: byte-identity, dedup accounting, plan reuse.
+
+The batch planner's contract is exact: for every window of a batch the
+result must be byte-identical to a standalone per-window
+``BoxQuery.execute``, while the batch as a whole reads each unique block
+exactly once.  The hypothesis property sweeps boxes, dtypes, block sizes
+and resolutions; the accounting tests pin the dedup guarantee with the
+access log and compare against the per-window baseline at ~50 % overlap.
+"""
+
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.idx import IdxDataset
+from repro.idx.access import AccessScope, use_scope
+from repro.idx.hzorder import PlanCache
+from repro.ml import BatchPlanner, Window
+from repro.util.arrays import Box
+
+SHAPE = (32, 48)
+
+_DATASETS = {}
+
+
+def _dataset(dtype: str, bits: int):
+    """Finalized dataset + source array, cached per (dtype, block size)."""
+    key = (dtype, bits)
+    if key not in _DATASETS:
+        rng = np.random.default_rng(hash(key) % (2**32))
+        if dtype == "float32":
+            arr = rng.random(SHAPE, dtype=np.float64).astype(np.float32)
+        else:
+            arr = rng.integers(1, 200, SHAPE).astype(dtype)
+        path = tempfile.mktemp(suffix=".idx")
+        ds = IdxDataset.create(
+            path, dims=SHAPE, fields={"v": dtype}, bits_per_block=bits
+        )
+        ds.write(arr)
+        ds.finalize()
+        _DATASETS[key] = (IdxDataset.open(path), arr)
+    return _DATASETS[key]
+
+
+def _windows_strategy():
+    box = st.tuples(
+        st.integers(0, SHAPE[0] - 1),
+        st.integers(0, SHAPE[1] - 1),
+        st.integers(1, 16),
+        st.integers(1, 16),
+    )
+    return st.lists(box, min_size=1, max_size=6)
+
+
+class TestByteIdentity:
+    @given(
+        boxes=_windows_strategy(),
+        bits=st.sampled_from([4, 6, 9]),
+        dtype=st.sampled_from(["float32", "int32", "uint8"]),
+        coarsen=st.integers(0, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batched_equals_per_window(self, boxes, bits, dtype, coarsen):
+        """Every batched result is byte-identical to BoxQuery.execute."""
+        ds, _ = _dataset(dtype, bits)
+        maxh = ds.header.bitmask_obj().maxh
+        h_end = max(0, maxh - coarsen)
+        windows = [
+            Window(
+                Box((ly, lx), (min(ly + h, SHAPE[0]), min(lx + w, SHAPE[1]))),
+                h_end,
+            )
+            for (ly, lx, h, w) in boxes
+        ]
+        planner = BatchPlanner(ds.access)
+        results = planner.execute(windows)
+        assert len(results) == len(windows)
+        for win, res in zip(windows, results):
+            ref = ds.query(box=win.box, resolution=h_end).execute()
+            assert res.data.dtype == ref.data.dtype
+            assert res.data.shape == ref.data.shape
+            np.testing.assert_array_equal(res.data, ref.data)
+            assert res.offsets == ref.offsets
+            assert res.strides == ref.strides
+            assert res.found == ref.found
+            assert res.level == ref.level
+
+    def test_mixed_resolution_batch(self):
+        """One batch may mix resolutions; each window matches its own cap."""
+        ds, _ = _dataset("float32", 6)
+        maxh = ds.header.bitmask_obj().maxh
+        windows = [
+            Window(Box((0, 0), (16, 16)), maxh),
+            Window(Box((4, 4), (20, 20)), maxh - 2),
+            Window(Box((8, 8), (24, 24)), maxh - 4),
+        ]
+        results = BatchPlanner(ds.access).execute(windows)
+        for win, res in zip(windows, results):
+            ref = ds.query(box=win.box, resolution=win.resolution).execute()
+            np.testing.assert_array_equal(res.data, ref.data)
+
+    def test_full_resolution_default(self):
+        """resolution=None reads the finest level, same as BoxQuery."""
+        ds, arr = _dataset("int32", 6)
+        win = Window(Box((3, 5), (19, 29)))
+        (res,) = BatchPlanner(ds.access).execute([win])
+        np.testing.assert_array_equal(res.data, arr[3:19, 5:29])
+
+
+class TestDedupAccounting:
+    def _overlapping_windows(self, n=32, size=16, stride=8):
+        """A batch-of-n sweep where each window shares ~50 % with a neighbour."""
+        windows = []
+        y, x = 0, 0
+        for _ in range(n):
+            if x + size > SHAPE[1]:
+                x = 0
+                y += stride
+            if y + size > SHAPE[0]:
+                y = 0
+            windows.append(Window(Box((y, x), (y + size, x + size))))
+            x += stride
+        return windows
+
+    def test_each_unique_block_read_once(self):
+        """Within a batch, the access log shows no block twice."""
+        ds, _ = _dataset("float32", 6)
+        windows = self._overlapping_windows()
+        planner = BatchPlanner(ds.access)
+        batch = planner.plan(windows)
+        assert batch.window_block_touches > batch.unique_blocks  # real overlap
+        snap = ds.access.counters.snapshot()
+        planner.execute(batch)
+        read = [b for (_, _, b) in ds.access.counters.blocks_since(snap)]
+        assert len(read) == len(set(read)), "a block was read twice in one batch"
+        assert sorted(set(read)) == batch.worklist.tolist()
+        assert len(read) == batch.unique_blocks
+
+    def test_at_least_2x_fewer_reads_than_per_window(self):
+        """At ~50 % overlap and batch 32, batching halves block reads."""
+        ds, _ = _dataset("float32", 6)
+        windows = self._overlapping_windows(n=32)
+        planner = BatchPlanner(ds.access)
+        snap = ds.access.counters.snapshot()
+        planner.execute(windows)
+        batched = ds.access.counters.blocks_read - snap[0]
+
+        snap = ds.access.counters.snapshot()
+        for win in windows:
+            ds.query(box=win.box).execute()
+        per_window = ds.access.counters.blocks_read - snap[0]
+        assert per_window >= 2 * batched, (per_window, batched)
+
+    def test_scope_attribution(self):
+        """Batched I/O lands on the bound AccessScope, not the default."""
+        ds, _ = _dataset("float32", 6)
+        scope = AccessScope("trainer")
+        before_default = ds.access._default_scope.counters.blocks_read
+        with use_scope(scope):
+            BatchPlanner(ds.access).execute([Window(Box((0, 0), (16, 16)))])
+        assert scope.counters.blocks_read > 0
+        assert ds.access._default_scope.counters.blocks_read == before_default
+
+
+class TestPlanReuse:
+    def test_window_plan_cached(self):
+        """The fused argsort segmentation is memoised per window."""
+        cache = PlanCache(1 << 20)
+        ds, _ = _dataset("float32", 6)
+        planner = BatchPlanner(ds.access, cache=cache)
+        win = Window(Box((2, 2), (18, 18)))
+        p1 = planner.window_plan(win)
+        misses = cache.stats.misses
+        p2 = planner.window_plan(win)
+        assert cache.stats.misses == misses  # second plan is a pure hit
+        assert cache.stats.hits > 0
+        assert p1.order is p2.order  # shared cached arrays
+        np.testing.assert_array_equal(p1.block_ids, p2.block_ids)
+
+    def test_cached_arrays_are_read_only(self):
+        cache = PlanCache(1 << 20)
+        ds, _ = _dataset("float32", 6)
+        planner = BatchPlanner(ds.access, cache=cache)
+        plan = planner.window_plan(Window(Box((0, 0), (8, 8))))
+        for arr in (plan.order, plan.block_ids, plan.bounds, plan.sorted_offs):
+            with pytest.raises((ValueError, RuntimeError)):
+                arr[0] = 0
+
+    def test_block_size_part_of_key(self):
+        """Datasets sharing a bitmask but not a block size don't collide."""
+        cache = PlanCache(1 << 20)
+        ds4, _ = _dataset("float32", 4)
+        ds9, _ = _dataset("float32", 9)
+        win = Window(Box((1, 1), (17, 25)))
+        p4 = BatchPlanner(ds4.access, cache=cache).window_plan(win)
+        p9 = BatchPlanner(ds9.access, cache=cache).window_plan(win)
+        assert not np.array_equal(p4.block_ids, p9.block_ids)
+
+    def test_uncached_planner(self):
+        """cache=None plans correctly without memoisation."""
+        ds, arr = _dataset("float32", 6)
+        planner = BatchPlanner(ds.access, cache=None)
+        (res,) = planner.execute([Window(Box((0, 0), (16, 16)))])
+        np.testing.assert_array_equal(res.data, arr[:16, :16])
+
+
+class TestDegenerateWindows:
+    def test_out_of_bounds_window_is_clipped(self):
+        ds, arr = _dataset("float32", 6)
+        (res,) = BatchPlanner(ds.access).execute(
+            [Window(Box((24, 40), (48, 64)))]
+        )
+        np.testing.assert_array_equal(res.data, arr[24:, 40:])
+
+    def test_fully_outside_window_raises(self):
+        ds, _ = _dataset("float32", 6)
+        with pytest.raises(ValueError, match="empty after clipping"):
+            BatchPlanner(ds.access).plan([Window(Box((64, 64), (80, 80)))])
+
+    def test_bad_resolution_raises(self):
+        ds, _ = _dataset("float32", 6)
+        maxh = ds.header.bitmask_obj().maxh
+        with pytest.raises(ValueError, match="out of range"):
+            BatchPlanner(ds.access).plan(
+                [Window(Box((0, 0), (8, 8)), maxh + 1)]
+            )
+
+    def test_empty_batch(self):
+        ds, _ = _dataset("float32", 6)
+        planner = BatchPlanner(ds.access)
+        batch = planner.plan([])
+        assert batch.unique_blocks == 0
+        assert planner.execute(batch) == []
+
+    def test_single_sample_window(self):
+        ds, arr = _dataset("float32", 6)
+        (res,) = BatchPlanner(ds.access).execute([Window(Box((7, 11), (8, 12)))])
+        assert res.data.shape == (1, 1)
+        assert res.data[0, 0] == arr[7, 11]
+
+    def test_coarse_window_smaller_than_stride(self):
+        """A tiny box at a very coarse level may hold no samples at all."""
+        ds, _ = _dataset("float32", 6)
+        (res,) = BatchPlanner(ds.access).execute([Window(Box((3, 3), (4, 4)), 0)])
+        ref = ds.query(box=Box((3, 3), (4, 4)), resolution=0).execute()
+        np.testing.assert_array_equal(res.data, ref.data)
+        assert res.found == ref.found

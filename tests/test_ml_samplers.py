@@ -1,0 +1,230 @@
+"""Window samplers and the double-buffered loader.
+
+Epoch orderings must be restart-stable pure functions of
+``(seed, epoch)``; the grid sampler must cover the scene exactly; and
+the loader must yield identical batches with prefetch on or off — the
+worker thread changes wall time, never bytes.
+"""
+
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.idx import IdxDataset
+from repro.idx.access import AccessScope, use_scope
+from repro.ml import (
+    Batch,
+    GridWindowSampler,
+    RandomWindowSampler,
+    Window,
+    WindowLoader,
+)
+from repro.util.arrays import Box
+
+SHAPE = (32, 48)
+
+_DS = {}
+
+
+def _dataset():
+    if "ds" not in _DS:
+        rng = np.random.default_rng(7)
+        arr = rng.random(SHAPE, dtype=np.float64).astype(np.float32)
+        path = tempfile.mktemp(suffix=".idx")
+        ds = IdxDataset.create(
+            path, dims=SHAPE, fields={"v": "float32"}, bits_per_block=6
+        )
+        ds.write(arr)
+        ds.finalize()
+        _DS["ds"] = (IdxDataset.open(path), arr)
+    return _DS["ds"]
+
+
+class TestRandomWindowSampler:
+    def test_same_seed_same_epoch_identical(self):
+        a = RandomWindowSampler(SHAPE, 8, 64, seed=11).epoch(3)
+        b = RandomWindowSampler(SHAPE, 8, 64, seed=11).epoch(3)
+        assert a == b  # Window is a frozen dataclass: == is structural
+
+    def test_different_seed_differs(self):
+        a = RandomWindowSampler(SHAPE, 8, 64, seed=11).epoch(0)
+        b = RandomWindowSampler(SHAPE, 8, 64, seed=12).epoch(0)
+        assert a != b
+
+    def test_different_epoch_differs(self):
+        s = RandomWindowSampler(SHAPE, 8, 64, seed=11)
+        assert s.epoch(0) != s.epoch(1)
+
+    def test_windows_full_size_and_in_bounds(self):
+        for win in RandomWindowSampler(SHAPE, (8, 12), 100, seed=3).epoch(0):
+            lo, hi = win.box.lo, win.box.hi
+            assert tuple(h - l for l, h in zip(lo, hi)) == (8, 12)
+            assert all(l >= 0 for l in lo)
+            assert all(h <= d for h, d in zip(hi, SHAPE))
+
+    def test_resolution_modes(self):
+        none = RandomWindowSampler(SHAPE, 8, 10, seed=1).epoch(0)
+        assert all(w.resolution is None for w in none)
+        pinned = RandomWindowSampler(SHAPE, 8, 10, seed=1, resolutions=5).epoch(0)
+        assert all(w.resolution == 5 for w in pinned)
+        mixed = RandomWindowSampler(
+            SHAPE, 8, 50, seed=1, resolutions=(4, 6, 8)
+        ).epoch(0)
+        assert {w.resolution for w in mixed} <= {4, 6, 8}
+        assert len({w.resolution for w in mixed}) > 1
+        # the per-window draw replays with the epoch
+        again = RandomWindowSampler(
+            SHAPE, 8, 50, seed=1, resolutions=(4, 6, 8)
+        ).epoch(0)
+        assert mixed == again
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="exceeds scene dims"):
+            RandomWindowSampler(SHAPE, 64, 4, seed=0)
+        with pytest.raises(ValueError, match="count"):
+            RandomWindowSampler(SHAPE, 8, 0, seed=0)
+        with pytest.raises(ValueError, match="rank"):
+            RandomWindowSampler(SHAPE, (8, 8, 8), 4, seed=0)
+        with pytest.raises(ValueError, match="must not be empty"):
+            RandomWindowSampler(SHAPE, 8, 4, seed=0, resolutions=())
+
+    def test_len_and_iter(self):
+        s = RandomWindowSampler(SHAPE, 8, 17, seed=2)
+        assert len(s) == 17
+        assert list(s) == s.epoch(0)
+
+
+class TestGridWindowSampler:
+    def test_exact_coverage(self):
+        """Tiles (default stride) cover every cell of the scene."""
+        covered = np.zeros(SHAPE, dtype=bool)
+        for win in GridWindowSampler(SHAPE, (10, 9)):
+            (ly, lx), (hy, hx) = win.box.lo, win.box.hi
+            covered[ly:hy, lx:hx] = True
+            assert hy - ly == 10 and hx - lx == 9
+        assert covered.all()
+
+    def test_flush_final_tile(self):
+        origins = GridWindowSampler._axis_origins(48, 10, 10)
+        assert origins[-1] == 38  # pinned at dim - window
+        assert GridWindowSampler._axis_origins(40, 10, 10)[-1] == 30  # no dup
+
+    def test_overlapping_stride(self):
+        s = GridWindowSampler(SHAPE, 16, stride=8)
+        boxes = [w.box for w in s]
+        assert len(boxes) == len(set(boxes))  # flush tile not duplicated
+        covered = np.zeros(SHAPE, dtype=int)
+        for b in boxes:
+            covered[b.lo[0] : b.hi[0], b.lo[1] : b.hi[1]] += 1
+        assert (covered >= 1).all()
+        assert covered.max() > 1  # real overlap
+
+    def test_unseeded_order_stable(self):
+        s = GridWindowSampler(SHAPE, 16)
+        assert s.epoch(0) == s.epoch(1) == list(s)
+
+    def test_seeded_shuffle_restart_stable(self):
+        a = GridWindowSampler(SHAPE, 16, seed=5)
+        b = GridWindowSampler(SHAPE, 16, seed=5)
+        assert a.epoch(2) == b.epoch(2)
+        assert a.epoch(0) != a.epoch(1)  # epochs get distinct shuffles
+        assert sorted(a.epoch(0), key=lambda w: w.box.lo) == sorted(
+            a.epoch(1), key=lambda w: w.box.lo
+        )  # same tiles, different order
+
+    def test_resolution_applied(self):
+        assert all(
+            w.resolution == 4 for w in GridWindowSampler(SHAPE, 16, resolution=4)
+        )
+
+
+class TestWindowLoader:
+    def test_prefetch_parity_and_correctness(self):
+        """Prefetch on/off yield identical batches, both matching BoxQuery."""
+        ds, arr = _dataset()
+        sampler = RandomWindowSampler(SHAPE, 12, 20, seed=9)
+        with WindowLoader(ds, sampler, batch_size=6) as on:
+            batches_on = list(on.batches(0))
+        with WindowLoader(ds, sampler, batch_size=6, prefetch=False) as off:
+            batches_off = list(off.batches(0))
+        assert len(batches_on) == len(batches_off) == 4  # ceil(20 / 6)
+        for bon, boff in zip(batches_on, batches_off):
+            assert bon.windows == boff.windows
+            for won, ron, roff in zip(bon.windows, bon.arrays, boff.arrays):
+                np.testing.assert_array_equal(ron, roff)
+                (ly, lx), (hy, hx) = won.box.lo, won.box.hi
+                np.testing.assert_array_equal(ron, arr[ly:hy, lx:hx])
+
+    def test_stack_and_stats(self):
+        ds, _ = _dataset()
+        sampler = GridWindowSampler(SHAPE, 16)
+        with WindowLoader(ds, sampler, batch_size=3) as loader:
+            for batch in loader.batches(0):
+                stacked = batch.stack()
+                assert stacked.shape == (len(batch), 16, 16)
+            assert loader.stats.batches == 2
+            assert loader.stats.windows == len(sampler)
+            assert loader.stats.execute_s > 0
+
+    def test_stack_mixed_shapes_raises(self):
+        ds, _ = _dataset()
+        maxh = ds.header.bitmask_obj().maxh
+        windows = [
+            Window(Box((0, 0), (16, 16)), maxh),
+            Window(Box((0, 0), (16, 16)), maxh - 2),
+        ]
+
+        class OneBatch:
+            def epoch(self, n):
+                return windows
+
+        with WindowLoader(ds, OneBatch(), batch_size=2) as loader:
+            (batch,) = list(loader.batches(0))
+            with pytest.raises(ValueError, match="mixed-shape"):
+                batch.stack()
+            assert len(batch.arrays) == 2
+
+    def test_scope_attribution_through_worker(self):
+        """I/O executed on the prefetch thread lands on the given scope."""
+        ds, _ = _dataset()
+        scope = AccessScope("trainer")
+        sampler = RandomWindowSampler(SHAPE, 12, 8, seed=1)
+        with WindowLoader(ds, sampler, batch_size=4, scope=scope) as loader:
+            list(loader.batches(0))
+        assert scope.counters.blocks_read > 0
+
+    def test_epochs_differ_and_replay(self):
+        ds, _ = _dataset()
+        sampler = RandomWindowSampler(SHAPE, 12, 8, seed=1)
+        with WindowLoader(ds, sampler, batch_size=4) as loader:
+            e0 = [w for b in loader.batches(0) for w in b.windows]
+            e1 = [w for b in loader.batches(1) for w in b.windows]
+            e0_again = [w for b in loader.batches(0) for w in b.windows]
+        assert e0 != e1
+        assert e0 == e0_again
+
+    def test_close_idempotent_and_guards(self):
+        ds, _ = _dataset()
+        sampler = GridWindowSampler(SHAPE, 16)
+        loader = WindowLoader(ds, sampler, batch_size=4)
+        loader.close()
+        loader.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            list(loader.batches(0))
+
+    def test_validation(self):
+        ds, _ = _dataset()
+        sampler = GridWindowSampler(SHAPE, 16)
+        with pytest.raises(ValueError, match="batch_size"):
+            WindowLoader(ds, sampler, batch_size=0)
+        with pytest.raises(TypeError, match="Access layer"):
+            WindowLoader(object(), sampler, batch_size=4)
+
+    def test_accepts_raw_access(self):
+        ds, arr = _dataset()
+        sampler = GridWindowSampler(SHAPE, (32, 48))
+        with WindowLoader(ds.access, sampler, batch_size=1) as loader:
+            (batch,) = list(loader.batches(0))
+        assert isinstance(batch, Batch)
+        np.testing.assert_array_equal(batch.arrays[0], arr)

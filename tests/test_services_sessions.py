@@ -474,6 +474,14 @@ class TestExplorer:
         assert summary["sessions"] == 1
         assert summary["frames"] > 0
         assert summary["cache"]["misses"] > 0
+        # Eviction accounting is part of the fleet summary: zero so far
+        # (nothing has been evicted), but always present and numeric.
+        assert summary["cache"]["evictions"] >= 0
+        assert summary["cache"]["evicted_bytes"] >= 0
+        plan = summary["plan_cache"]
+        assert {"hits", "misses", "hit_rate", "used_bytes", "evictions",
+                "evicted_bytes"} <= set(plan)
+        assert plan["used_bytes"] >= 0
         doc = json.loads(manager.explorer().to_json())
         assert {"summary", "sessions"} <= set(doc)
         json.dumps(doc)  # explorer output is transport-clean
