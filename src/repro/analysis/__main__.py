@@ -1,7 +1,7 @@
 """``python -m repro.analysis`` — run repro-lint from the command line.
 
 Exit codes: 0 clean, 1 findings, 2 internal error (unreadable path,
-unknown rule, rule crash).
+unknown rule, unknown git ref, rule crash).
 """
 
 from __future__ import annotations
@@ -31,7 +31,39 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="files or directories to lint (default: the installed repro package)",
     )
-    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default=None,
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON report (alias for --format json)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="origin/main",
+        default=None,
+        metavar="REF",
+        help="report only findings in files changed vs REF (default origin/main); "
+        "the full path set is still parsed so cross-module rules stay sound",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads for per-module rules (default: auto; 1 = serial)",
+    )
     parser.add_argument(
         "--rules",
         default=None,
@@ -47,7 +79,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         from repro.analysis import all_rules, run_lint
-        from repro.analysis.reporters import render_json, render_text
+        from repro.analysis.reporters import render_json, render_sarif, render_text
+        from repro.analysis.runner import changed_files
 
         if args.list_rules:
             for rule in all_rules():
@@ -55,8 +88,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 0
         paths = args.paths or [_default_target()]
         rules = [r.strip() for r in args.rules.split(",")] if args.rules else None
-        result = run_lint(paths, rules=rules)
-        print(render_json(result) if args.json else render_text(result))
+        report_only = None
+        if args.changed is not None:
+            report_only = changed_files(args.changed)
+        result = run_lint(paths, rules=rules, jobs=args.jobs, report_only=report_only)
+        fmt = args.format or ("json" if args.json else "text")
+        renderer = {
+            "text": render_text,
+            "json": render_json,
+            "sarif": render_sarif,
+        }[fmt]
+        report = renderer(result)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(report + "\n")
+        else:
+            print(report)
         return 0 if result.ok else 1
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         raise

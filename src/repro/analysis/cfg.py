@@ -1,0 +1,392 @@
+"""Intraprocedural control-flow graphs over function bodies.
+
+The PR-3 rules match AST shapes one node at a time, which cannot answer
+path questions ("is this fetcher closed on *every* way out of the
+function?", "is this call *always* under a ``use_scope`` binding?").
+This module builds a statement-level CFG per function so the
+:mod:`repro.analysis.dataflow` worklist engine can.
+
+Nodes and edges
+---------------
+Each CFG node wraps one statement (plus synthetic ``entry``/``exit``
+nodes and per-``withitem`` ``with-enter``/``with-exit`` markers so
+analyses can track the extent of ``with`` bindings).  Edges model:
+
+- straight-line fall-through and branch joins (``if``/``match``);
+- loop back-edges plus ``break``/``continue`` routing (``while``/``for``);
+- early ``return``/``raise`` to the exit node;
+- ``try``: exceptional edges from every statement in a ``try`` body to
+  the heads of that ``try``'s handlers, and ``finally`` bodies *cloned*
+  per way-out (normal completion, ``return``/``break``/``continue``
+  jumps, and exception propagation), so a ``finally: r.close()`` kills a
+  must-close fact on the exceptional path too.
+
+Approximations (deliberate, documented)
+---------------------------------------
+- Exceptional edges attach only to the *innermost* enclosing
+  ``try``-with-handlers; an exception is assumed to be caught there.
+- ``with``-exit nodes model only normal completion; a jump out of a
+  ``with`` body bypasses them (analyses that check facts *at* nodes, not
+  at exit, are unaffected).
+- Nested ``def``/``lambda`` bodies are opaque single statements; build a
+  separate CFG per function (see :func:`iter_functions`).
+
+Cloned ``finally`` nodes share AST statement objects with the original;
+node ids are unique, so per-node analyses stay well-defined.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "ENTRY",
+    "EXIT",
+    "STMT",
+    "EXCEPT",
+    "WITH_ENTER",
+    "WITH_EXIT",
+    "build_cfg",
+    "iter_functions",
+]
+
+ENTRY = "entry"
+EXIT = "exit"
+STMT = "stmt"
+EXCEPT = "except"
+WITH_ENTER = "with-enter"
+WITH_EXIT = "with-exit"
+
+#: Node kinds that can raise and therefore get exceptional out-edges.
+_RAISING_KINDS = (STMT, WITH_ENTER, WITH_EXIT)
+
+FuncDef = "ast.FunctionDef | ast.AsyncFunctionDef"
+
+
+class CFGNode:
+    """One CFG node: a statement occurrence (or synthetic marker)."""
+
+    __slots__ = ("nid", "kind", "stmt", "item")
+
+    def __init__(
+        self,
+        nid: int,
+        kind: str,
+        stmt: Optional[ast.AST] = None,
+        item: Optional[ast.withitem] = None,
+    ) -> None:
+        self.nid = nid
+        self.kind = kind
+        self.stmt = stmt
+        self.item = item
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = type(self.stmt).__name__ if self.stmt is not None else ""
+        return f"CFGNode({self.nid}, {self.kind}, {label}@{self.lineno})"
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, func) -> None:
+        self.func = func
+        self.nodes: Dict[int, CFGNode] = {}
+        self.succs: Dict[int, List[int]] = {}
+        self.preds: Dict[int, List[int]] = {}
+        self.entry: int = -1
+        self.exit: int = -1
+
+    def node(self, nid: int) -> CFGNode:
+        return self.nodes[nid]
+
+    def iter_nodes(self) -> Iterator[CFGNode]:
+        return iter(self.nodes.values())
+
+    def nodes_for_stmt(self, stmt: ast.AST) -> List[CFGNode]:
+        """All nodes (including finally clones) wrapping ``stmt``."""
+        return [n for n in self.nodes.values() if n.stmt is stmt]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class _Loop:
+    __slots__ = ("head", "breaks", "finally_depth")
+
+    def __init__(self, head: int, finally_depth: int) -> None:
+        self.head = head
+        self.breaks: List[int] = []
+        self.finally_depth = finally_depth
+
+
+class _Finally:
+    __slots__ = ("body", "finally_prefix", "handler_snapshot")
+
+    def __init__(
+        self,
+        body: Sequence[ast.stmt],
+        finally_prefix: int,
+        handler_snapshot: Tuple[List[int], ...],
+    ) -> None:
+        self.body = body
+        #: _finallys stack depth *below* this entry (state outside its try).
+        self.finally_prefix = finally_prefix
+        #: handler-head stack applicable to code inside the finally body.
+        self.handler_snapshot = handler_snapshot
+
+
+class _Builder:
+    def __init__(self, func) -> None:
+        self.cfg = CFG(func)
+        self._next = 0
+        self._loops: List[_Loop] = []
+        self._finallys: List[_Finally] = []
+        #: stack of handler-head lists; top = innermost try-with-handlers.
+        self._handlers: List[List[int]] = []
+
+    # -- graph primitives ---------------------------------------------------
+
+    def _new(
+        self,
+        kind: str,
+        stmt: Optional[ast.AST] = None,
+        item: Optional[ast.withitem] = None,
+    ) -> int:
+        nid = self._next
+        self._next += 1
+        self.cfg.nodes[nid] = CFGNode(nid, kind, stmt, item)
+        self.cfg.succs[nid] = []
+        self.cfg.preds[nid] = []
+        if kind in _RAISING_KINDS and self._handlers:
+            for head in self._handlers[-1]:
+                self._edge(nid, head)
+        return nid
+
+    def _edge(self, a: int, b: int) -> None:
+        if b not in self.cfg.succs[a]:
+            self.cfg.succs[a].append(b)
+            self.cfg.preds[b].append(a)
+
+    def _link(self, frontier: Sequence[int], nid: int) -> None:
+        for f in frontier:
+            self._edge(f, nid)
+
+    # -- finally routing ----------------------------------------------------
+
+    def _clone_finally(self, fin: _Finally, frontier: List[int]) -> List[int]:
+        if not frontier:
+            return []
+        saved_fin, saved_hand = self._finallys, self._handlers
+        self._finallys = list(saved_fin[: fin.finally_prefix])
+        self._handlers = [list(h) for h in fin.handler_snapshot]
+        try:
+            return self._body(fin.body, frontier)
+        finally:
+            self._finallys, self._handlers = saved_fin, saved_hand
+
+    def _route_finallys(self, frontier: List[int], depth: int) -> List[int]:
+        """Run ``frontier`` through clones of every finally above ``depth``."""
+        for fin in reversed(self._finallys[depth:]):
+            frontier = self._clone_finally(fin, frontier)
+        return frontier
+
+    # -- statement builders -------------------------------------------------
+
+    def _body(self, stmts: Sequence[ast.stmt], frontier: List[int]) -> List[int]:
+        for stmt in stmts:
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, frontier: List[int]) -> List[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            nid = self._new(STMT, stmt)
+            self._link(frontier, nid)
+            routed = self._route_finallys([nid], 0)
+            self._link(routed, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            nid = self._new(STMT, stmt)
+            self._link(frontier, nid)
+            if not self._handlers:
+                routed = self._route_finallys([nid], 0)
+                self._link(routed, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Break):
+            nid = self._new(STMT, stmt)
+            self._link(frontier, nid)
+            if self._loops:
+                loop = self._loops[-1]
+                loop.breaks.extend(
+                    self._route_finallys([nid], loop.finally_depth)
+                )
+            return []
+        if isinstance(stmt, ast.Continue):
+            nid = self._new(STMT, stmt)
+            self._link(frontier, nid)
+            if self._loops:
+                loop = self._loops[-1]
+                routed = self._route_finallys([nid], loop.finally_depth)
+                for r in routed:
+                    self._edge(r, loop.head)
+            return []
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier)
+        # Linear statement (includes nested def/class: bodies are opaque).
+        nid = self._new(STMT, stmt)
+        self._link(frontier, nid)
+        return [nid]
+
+    def _if(self, stmt: ast.If, frontier: List[int]) -> List[int]:
+        head = self._new(STMT, stmt)
+        self._link(frontier, head)
+        then = self._body(stmt.body, [head])
+        if stmt.orelse:
+            other = self._body(stmt.orelse, [head])
+        else:
+            other = [head]
+        return then + other
+
+    def _loop(self, stmt, frontier: List[int]) -> List[int]:
+        head = self._new(STMT, stmt)
+        self._link(frontier, head)
+        loop = _Loop(head, len(self._finallys))
+        self._loops.append(loop)
+        try:
+            body_frontier = self._body(stmt.body, [head])
+            self._link(body_frontier, head)
+        finally:
+            self._loops.pop()
+        after = self._body(stmt.orelse, [head]) if stmt.orelse else [head]
+        return after + loop.breaks
+
+    def _with(self, stmt, frontier: List[int]) -> List[int]:
+        for item in stmt.items:
+            nid = self._new(WITH_ENTER, stmt, item=item)
+            self._link(frontier, nid)
+            frontier = [nid]
+        frontier = self._body(stmt.body, frontier)
+        for item in reversed(stmt.items):
+            nid = self._new(WITH_EXIT, stmt, item=item)
+            self._link(frontier, nid)
+            frontier = [nid]
+        return frontier
+
+    def _match(self, stmt, frontier: List[int]) -> List[int]:
+        head = self._new(STMT, stmt)
+        self._link(frontier, head)
+        out: List[int] = []
+        for case in stmt.cases:
+            out.extend(self._body(case.body, [head]))
+        # No exhaustiveness assumption: the subject may match no case.
+        out.append(head)
+        return out
+
+    def _try(self, stmt: ast.Try, frontier: List[int]) -> List[int]:
+        if stmt.finalbody:
+            self._finallys.append(
+                _Finally(
+                    stmt.finalbody,
+                    len(self._finallys),
+                    tuple(list(h) for h in self._handlers),
+                )
+            )
+        heads: List[int] = []
+        if stmt.handlers:
+            heads = [self._new(EXCEPT, h) for h in stmt.handlers]
+            self._handlers.append(heads)
+        watermark = self._next
+        try:
+            body_frontier = self._body(stmt.body, frontier)
+        finally:
+            if stmt.handlers:
+                self._handlers.pop()
+        handler_frontiers: List[int] = []
+        for head, handler in zip(heads, stmt.handlers):
+            handler_frontiers.extend(self._body(handler.body, [head]))
+        if stmt.orelse:
+            body_frontier = self._body(stmt.orelse, body_frontier)
+        normal = body_frontier + handler_frontiers
+        if stmt.finalbody:
+            fin = self._finallys.pop()
+            # Exceptional propagation: an uncaught exception raised in the
+            # body still runs this finally (then the outer ones) on its
+            # way out.  Only modelled for handler-less trys — with
+            # handlers present the innermost-catch approximation applies.
+            if not stmt.handlers:
+                raisers = [
+                    nid
+                    for nid in range(watermark, self._next)
+                    if self.cfg.nodes[nid].kind in _RAISING_KINDS
+                ]
+                if raisers:
+                    escaped = self._clone_finally(fin, raisers)
+                    escaped = self._route_finallys(escaped, 0)
+                    self._link(escaped, self.cfg.exit)
+            normal = self._clone_finally(fin, normal)
+        return normal
+
+    # -- entry point --------------------------------------------------------
+
+    def build(self) -> CFG:
+        self.cfg.entry = self._new(ENTRY)
+        self.cfg.exit = self._new(EXIT)
+        frontier = self._body(self.cfg.func.body, [self.cfg.entry])
+        self._link(frontier, self.cfg.exit)
+        return self.cfg
+
+
+def build_cfg(func) -> CFG:
+    """Build the CFG of one ``FunctionDef``/``AsyncFunctionDef`` body."""
+    return _Builder(func).build()
+
+
+def _child_stmt_lists(node: ast.stmt) -> Iterator[Sequence[ast.stmt]]:
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(node, name, None)
+        if block and isinstance(block[0], ast.stmt):
+            yield block
+    for handler in getattr(node, "handlers", ()):
+        yield handler.body
+    for case in getattr(node, "cases", ()):
+        yield case.body
+
+
+def _walk_defs(
+    body: Sequence[ast.stmt], prefix: str, cls: Optional[ast.ClassDef]
+) -> Iterator[Tuple[str, ast.AST, Optional[ast.ClassDef]]]:
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = prefix + node.name
+            yield qualname, node, cls
+            yield from _walk_defs(node.body, qualname + ".", None)
+        elif isinstance(node, ast.ClassDef):
+            yield from _walk_defs(node.body, prefix + node.name + ".", node)
+        else:
+            for block in _child_stmt_lists(node):
+                yield from _walk_defs(block, prefix, cls)
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.AST, Optional[ast.ClassDef]]]:
+    """Yield ``(qualname, funcdef, enclosing_class)`` for every function.
+
+    ``enclosing_class`` is the ``ClassDef`` when the function is a direct
+    method of a class body, else ``None`` (module-level and nested defs).
+    """
+    yield from _walk_defs(tree.body, "", None)

@@ -1,0 +1,154 @@
+"""Shared configuration for the data-flow lint rules.
+
+The four CFG rules are *codebase-specific*: they know which classes are
+closeable, which calls charge an :class:`~repro.idx.access.AccessScope`,
+and which packages run on :class:`~repro.network.clock.SimClock` time.
+That knowledge lives here — one module to edit when the engine grows a
+new resource type or a new wallclock exemption — instead of being spread
+through rule internals or silenced with suppression comments.
+
+Paths are matched with forward slashes regardless of platform; a module
+"is in" a package when its normalised path contains the package prefix
+(so both ``src/repro/idx/access.py`` and an installed
+``.../site-packages/repro/idx/access.py`` match ``repro/idx/``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, FrozenSet, Optional, Tuple
+
+__all__ = [
+    "BLOCKING_METHODS",
+    "CLOCK_ALLOWLIST",
+    "CLOCK_MODULE_PREFIXES",
+    "CLOSE_METHODS",
+    "RESOURCE_CLASSES",
+    "SCOPE_CHARGING_METHODS",
+    "SCOPE_MODULE_PREFIXES",
+    "clock_allowlisted",
+    "module_path",
+    "path_in_packages",
+]
+
+
+def module_path(path: str) -> str:
+    """Normalise a file path for prefix matching (forward slashes)."""
+    return path.replace(os.sep, "/")
+
+
+def path_in_packages(path: str, prefixes: Tuple[str, ...]) -> bool:
+    norm = module_path(path)
+    return any(prefix in norm for prefix in prefixes)
+
+
+# --------------------------------------------------------------------------
+# resource-lifecycle
+# --------------------------------------------------------------------------
+
+#: Closeable engine classes: constructing one acquires threads, queues,
+#: or registered sessions that outlive the constructor.  ``open`` covers
+#: plain file handles.
+RESOURCE_CLASSES: FrozenSet[str] = frozenset(
+    {
+        "ParallelFetcher",
+        "WindowLoader",
+        "EventStream",
+        "SessionManager",
+        "ThreadPoolExecutor",
+        "open",
+    }
+)
+
+#: Any of these, called as a method on the resource, releases it.
+CLOSE_METHODS: FrozenSet[str] = frozenset({"close", "shutdown", "stop"})
+
+
+# --------------------------------------------------------------------------
+# scope-discipline
+# --------------------------------------------------------------------------
+
+#: Packages whose code runs on behalf of tenants and must attribute I/O
+#: to an AccessScope.  (The access layer itself resolves its own default
+#: scope and is exempt by construction.)
+SCOPE_MODULE_PREFIXES: Tuple[str, ...] = (
+    "repro/services/",
+    "repro/ml/",
+    "repro/dashboard/",
+)
+
+#: method name -> receiver-name substrings that make a call "charging":
+#: e.g. ``self.access.read_blocks(...)`` or ``planner.execute(...)``.
+SCOPE_CHARGING_METHODS: Dict[str, Tuple[str, ...]] = {
+    "read_block": ("access",),
+    "read_blocks": ("access",),
+    "prefetch": ("access",),
+    "release_prefetched": ("access",),
+    "execute": ("planner", "query"),
+}
+
+
+# --------------------------------------------------------------------------
+# clock-discipline
+# --------------------------------------------------------------------------
+
+#: Packages charged to SimClock: semantic time there must go through the
+#: clock.  ``perf_counter``/``monotonic`` stay allowed everywhere — they
+#: are wallclock *telemetry* (latency histograms), not simulated time.
+CLOCK_MODULE_PREFIXES: Tuple[str, ...] = (
+    "repro/idx/",
+    "repro/network/",
+    "repro/services/",
+    "repro/ml/",
+    "repro/dashboard/",
+    "repro/faults/",
+    "repro/storage/",
+    "repro/catalog/",
+)
+
+#: ``(path suffix, function qualname) -> reason``.  An entry exempts one
+#: function from clock-discipline *by config*, with the justification
+#: recorded here where reviewers look — not as a suppression comment at
+#: the call site.
+CLOCK_ALLOWLIST: Dict[Tuple[str, str], str] = {
+    ("repro/idx/access.py", "TokenBucket.acquire"): (
+        "real-sleep admission mode: when no SimClock is bound the bucket "
+        "throttles with a genuine time.sleep so bench_serve's real-slept "
+        "WAN measures true wall time; with a clock bound the same code "
+        "path charges clock.advance instead"
+    ),
+}
+
+
+def clock_allowlisted(path: str, qualname: str) -> Optional[str]:
+    """Reason string if ``qualname`` in ``path`` is exempt, else None."""
+    norm = module_path(path)
+    for (suffix, name), reason in CLOCK_ALLOWLIST.items():
+        if name == qualname and norm.endswith(suffix):
+            return reason
+    return None
+
+
+# --------------------------------------------------------------------------
+# blocking-under-lock
+# --------------------------------------------------------------------------
+
+#: Method names that block on I/O, another thread, or real time.  A call
+#: to one of these while a ``threading.Lock`` attribute is held is a
+#: finding.  ``wait`` on a condition-like receiver is exempt in the rule
+#: (``Condition.wait`` releases the lock it was built over).
+BLOCKING_METHODS: FrozenSet[str] = frozenset(
+    {
+        "sleep",  # time.sleep
+        "result",  # Future.result
+        "exception",  # Future.exception (blocks until done)
+        "join",  # Thread.join
+        "wait",  # Event/Future wait (Condition receivers exempted)
+        "shutdown",  # Executor.shutdown(wait=True)
+        "drain",  # ParallelFetcher.drain
+        "read_at",  # store reads
+        "read_many",
+        "get_range",
+        "urlopen",
+    }
+)

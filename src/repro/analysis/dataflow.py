@@ -1,0 +1,133 @@
+"""Forward data-flow worklist engine over :mod:`repro.analysis.cfg` graphs.
+
+Facts are hashable values carried in frozensets; a rule supplies a
+*transfer function* mapping ``(node, in_facts) -> out_facts`` and picks a
+join:
+
+- ``"may"``  — union join: a fact holds if it holds on *some* path
+  (reaching-definitions style; used by resource-lifecycle to ask "may
+  this fetcher still be open here?").
+- ``"must"`` — intersection join: a fact holds only if it holds on
+  *every* path (dominator style; used by scope-discipline's "is this
+  call always inside ``use_scope``?" and blocking-under-lock's "is the
+  lock definitely held?").
+
+Unvisited predecessors are treated as TOP (optimistic iteration), which
+makes ``must`` precise on loops: the back-edge contributes only once its
+state is known.  The engine iterates to a fixed point and raises
+:class:`DataflowDivergence` if the transfer function is not monotone
+(state keeps oscillating past the pass budget) — a rule bug, surfaced
+loudly instead of looping forever.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Hashable, Optional, Tuple
+
+from repro.analysis.cfg import CFG, CFGNode
+
+__all__ = [
+    "DataflowDivergence",
+    "DataflowResult",
+    "ForwardAnalysis",
+    "gen_kill_transfer",
+]
+
+Facts = FrozenSet[Hashable]
+Transfer = Callable[[CFGNode, Facts], Facts]
+
+_EMPTY: Facts = frozenset()
+
+
+class DataflowDivergence(RuntimeError):
+    """The analysis did not converge — the transfer function is not monotone."""
+
+
+class DataflowResult:
+    """Fixed-point in/out fact sets per CFG node."""
+
+    def __init__(self, cfg: CFG, in_facts: Dict[int, Facts], out_facts: Dict[int, Facts]) -> None:
+        self.cfg = cfg
+        self._in = in_facts
+        self._out = out_facts
+
+    def in_of(self, nid: int) -> Facts:
+        """Facts on entry to ``nid`` (empty for unreachable nodes)."""
+        return self._in.get(nid, _EMPTY)
+
+    def out_of(self, nid: int) -> Facts:
+        return self._out.get(nid, _EMPTY)
+
+    def reached(self, nid: int) -> bool:
+        return nid in self._in
+
+
+class ForwardAnalysis:
+    """One forward analysis instance: ``ForwardAnalysis(cfg, transfer=...).run()``."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        *,
+        transfer: Transfer,
+        init: Facts = _EMPTY,
+        join: str = "may",
+        max_passes: Optional[int] = None,
+    ) -> None:
+        if join not in ("may", "must"):
+            raise ValueError(f"join must be 'may' or 'must', not {join!r}")
+        self.cfg = cfg
+        self.transfer = transfer
+        self.init = frozenset(init)
+        self.join = join
+        self.max_passes = max_passes or (len(cfg.nodes) * 50 + 500)
+
+    def _join(self, sets) -> Facts:
+        it = iter(sets)
+        acc = next(it)
+        for s in it:
+            acc = (acc | s) if self.join == "may" else (acc & s)
+        return acc
+
+    def run(self) -> DataflowResult:
+        cfg = self.cfg
+        in_facts: Dict[int, Facts] = {}
+        out_facts: Dict[int, Facts] = {}
+        work = deque([cfg.entry])
+        passes = 0
+        while work:
+            passes += 1
+            if passes > self.max_passes:
+                raise DataflowDivergence(
+                    f"no fixed point after {self.max_passes} passes over "
+                    f"{len(cfg.nodes)} nodes (non-monotone transfer?)"
+                )
+            nid = work.popleft()
+            if nid == cfg.entry:
+                i = self.init
+            else:
+                pred_outs = [
+                    out_facts[p] for p in cfg.preds[nid] if p in out_facts
+                ]
+                if not pred_outs:
+                    continue  # not yet reachable; re-queued when a pred lands
+                i = self._join(pred_outs)
+            o = frozenset(self.transfer(cfg.node(nid), i))
+            in_facts[nid] = i
+            if out_facts.get(nid) != o:
+                out_facts[nid] = o
+                for succ in cfg.succs[nid]:
+                    work.append(succ)
+        return DataflowResult(cfg, in_facts, out_facts)
+
+
+def gen_kill_transfer(
+    gen: Dict[int, Facts], kill: Dict[int, Facts]
+) -> Transfer:
+    """Classic bit-vector transfer: ``out = (in - kill[nid]) | gen[nid]``."""
+
+    def transfer(node: CFGNode, facts: Facts) -> Facts:
+        return (facts - kill.get(node.nid, _EMPTY)) | gen.get(node.nid, _EMPTY)
+
+    return transfer

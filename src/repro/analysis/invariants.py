@@ -1,0 +1,357 @@
+"""Runtime invariant checkers mirroring the newest static rules.
+
+Static analysis proves what the code *can* do; these two checkers watch
+what it *actually does* while the test suite runs (``REPRO_SANITIZE=1``,
+wired in ``tests/conftest.py`` beside the lock-order sanitizer):
+
+- :class:`ScopeSanitizer` — the dynamic half of ``scope-discipline``.
+  It hooks :func:`repro.idx.access.set_scope_observer` and checks the
+  thread-locality contract of :class:`~repro.idx.access.AccessScope`:
+  one scope is driven by one thread at a time, charges land on a thread
+  that actually holds the binding, and (in strict mode) nothing falls
+  back to an access layer's private default scope.
+
+- :class:`CacheConservationChecker` — the dynamic half of the cache
+  accounting story.  After every mutating
+  :class:`~repro.idx.cache.BlockCache` / ``PlanCache`` operation it
+  re-checks the conservation law::
+
+      stats.inserted_bytes == used_bytes + stats.evicted_bytes + stats.dropped_bytes
+
+  Every byte admitted is either still resident, was evicted by capacity
+  pressure, or was dropped by an explicit invalidate/clear; a violation
+  means a counter was forgotten on some code path (exactly the class of
+  bug PR 1 fixed by hand).
+
+Both install/uninstall in LIFO fashion (they save what they replaced),
+so provocation tests can nest a local checker inside the session-wide
+one, matching :class:`repro.analysis.sanitizer.LockOrderSanitizer`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+# Real factory, captured before any LockOrderSanitizer.install() can
+# patch threading: the checkers' own bookkeeping must not feed edges
+# into the lock-order graph they run beside.
+_REAL_LOCK = threading.Lock
+
+#: Cap on recorded violations: one broken invariant tends to fire on
+#: every subsequent operation, and the first few tell the story.
+_MAX_VIOLATIONS = 64
+
+
+# --------------------------------------------------------------------------
+# ScopeSanitizer
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScopeViolation:
+    """One observed breach of the scope thread-locality contract."""
+
+    kind: str  # concurrent-bind | foreign-unbind | cross-thread-charge | unbound-charge
+    tenant: str
+    thread: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} [{self.tenant} on {self.thread}]: {self.detail}"
+
+
+@dataclass
+class ScopeReport:
+    """Outcome of one sanitized run."""
+
+    violations: List[ScopeViolation] = field(default_factory=list)
+    binds: int = 0
+    charges: int = 0
+    defaults: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"ScopeSanitizer: {status}; {self.binds} bind(s), "
+            f"{self.charges} charge(s), {self.defaults} default fallback(s)"
+        )
+
+
+class ScopeSanitizer:
+    """Watch AccessScope bindings and charges for cross-thread leaks.
+
+    Violation kinds:
+
+    - ``concurrent-bind`` — a scope was bound (``use_scope``) on one
+      thread while still bound on another.  Scopes are single-driver by
+      contract; two threads driving one scope means two requests are
+      racing on unsynchronised per-session state.
+    - ``foreign-unbind`` — a binding exited on a thread that never
+      entered it (a scope smuggled across a thread hop mid-block).
+    - ``cross-thread-charge`` — :meth:`AccessScope.admit` ran on a
+      thread that does not hold the binding while another thread does:
+      the classic lost-``use_scope`` bug at a worker-pool boundary.
+    - ``unbound-charge`` (``require_scoped=True`` only) — an access
+      layer fell back to its private default scope.  Engine tests that
+      claim full tenant attribution enable this to prove no I/O leaks
+      into the default bucket.
+    """
+
+    def __init__(self, *, require_scoped: bool = False) -> None:
+        self.require_scoped = require_scoped
+        self._lock = _REAL_LOCK()
+        # id(scope) -> list of thread idents currently holding a binding
+        # (a list, not a set: one thread may nest the same scope).
+        self._holders: Dict[int, List[int]] = {}
+        self._tenants: Dict[int, str] = {}
+        self._report = ScopeReport()
+        self._previous: Any = None
+        self._installed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def install(self) -> "ScopeSanitizer":
+        """Register with the access layer; returns self for chaining."""
+        from repro.idx.access import set_scope_observer
+
+        if self._installed:
+            return self
+        self._previous = set_scope_observer(self)
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore whatever observer was active before :meth:`install`."""
+        from repro.idx.access import set_scope_observer
+
+        if not self._installed:
+            return
+        set_scope_observer(self._previous)
+        self._previous = None
+        self._installed = False
+
+    def __enter__(self) -> "ScopeSanitizer":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # -- observer protocol (called by repro.idx.access) ----------------------
+
+    def on_bind(self, scope) -> None:
+        me = threading.get_ident()
+        with self._lock:
+            self._report.binds += 1
+            sid = id(scope)
+            self._tenants[sid] = getattr(scope, "tenant", "?")
+            holders = self._holders.setdefault(sid, [])
+            others = [t for t in holders if t != me]
+            if others:
+                self._violate(
+                    "concurrent-bind",
+                    scope,
+                    f"bound here while still bound on thread {others[0]}",
+                )
+            holders.append(me)
+
+    def on_unbind(self, scope) -> None:
+        me = threading.get_ident()
+        with self._lock:
+            holders = self._holders.get(id(scope), [])
+            if me in holders:
+                holders.remove(me)
+                if not holders:
+                    self._holders.pop(id(scope), None)
+            else:
+                self._violate(
+                    "foreign-unbind",
+                    scope,
+                    "binding exited on a thread that never entered it",
+                )
+
+    def on_charge(self, scope, n: int) -> None:
+        me = threading.get_ident()
+        with self._lock:
+            self._report.charges += 1
+            holders = self._holders.get(id(scope))
+            if holders and me not in holders:
+                self._violate(
+                    "cross-thread-charge",
+                    scope,
+                    f"admit({n}) on a thread without the binding "
+                    f"(held by thread {holders[0]}); re-bind with "
+                    "use_scope(...) after the thread hop",
+                )
+
+    def on_default(self, access) -> None:
+        with self._lock:
+            self._report.defaults += 1
+            if self.require_scoped:
+                uri = getattr(access, "uri", type(access).__name__)
+                self._violate(
+                    "unbound-charge",
+                    None,
+                    f"access layer {uri!r} fell back to its default scope "
+                    "with require_scoped=True",
+                )
+
+    # -- reporting ----------------------------------------------------------
+
+    def _violate(self, kind: str, scope, detail: str) -> None:
+        if len(self._report.violations) >= _MAX_VIOLATIONS:
+            return
+        tenant = self._tenants.get(id(scope), "?") if scope is not None else "-"
+        self._report.violations.append(
+            ScopeViolation(
+                kind=kind,
+                tenant=tenant,
+                thread=threading.current_thread().name,
+                detail=detail,
+            )
+        )
+
+    def report(self) -> ScopeReport:
+        with self._lock:
+            return ScopeReport(
+                violations=list(self._report.violations),
+                binds=self._report.binds,
+                charges=self._report.charges,
+                defaults=self._report.defaults,
+            )
+
+
+# --------------------------------------------------------------------------
+# CacheConservationChecker
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConservationViolation:
+    """One observed breach of the byte-conservation law."""
+
+    cache: str
+    operation: str
+    inserted: int
+    resident: int
+    evicted: int
+    dropped: int
+
+    @property
+    def delta(self) -> int:
+        return self.inserted - (self.resident + self.evicted + self.dropped)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.cache}.{self.operation}: inserted_bytes={self.inserted} != "
+            f"used({self.resident}) + evicted({self.evicted}) + "
+            f"dropped({self.dropped}) [delta {self.delta:+d}]"
+        )
+
+
+#: Mutating methods wrapped per cache class.
+_MUTATORS: Dict[str, Tuple[str, ...]] = {
+    "BlockCache": ("put", "get_or_load", "invalidate", "clear"),
+    "PlanCache": ("put", "clear"),
+}
+
+
+class CacheConservationChecker:
+    """Assert ``inserted == used + evicted + dropped`` after every mutation.
+
+    :meth:`install` wraps the mutating methods of ``BlockCache`` and
+    ``PlanCache`` at the *class* level, so every instance — including
+    the process-wide ``PLAN_CACHE`` and caches created later by tests —
+    is checked.  The check runs after the mutation returns, under the
+    cache's own lock, which is exactly the quiescent point where the
+    law must hold (``get_or_load`` holds no lock while its loader runs,
+    but it has re-established the invariant by the time it returns).
+    """
+
+    def __init__(self) -> None:
+        self._lock = _REAL_LOCK()
+        self.violations: List[ConservationViolation] = []
+        self._saved: List[Tuple[type, str, Callable]] = []
+        self._installed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def install(self) -> "CacheConservationChecker":
+        from repro.idx.cache import BlockCache
+        from repro.idx.hzorder import PlanCache
+
+        if self._installed:
+            return self
+        for cls in (BlockCache, PlanCache):
+            for name in _MUTATORS[cls.__name__]:
+                original = getattr(cls, name)
+                self._saved.append((cls, name, original))
+                setattr(cls, name, self._wrap(cls.__name__, name, original))
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        for cls, name, original in reversed(self._saved):
+            setattr(cls, name, original)
+        self._saved.clear()
+        self._installed = False
+
+    def __enter__(self) -> "CacheConservationChecker":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return "CacheConservationChecker: ok"
+        lines = [f"CacheConservationChecker: {len(self.violations)} violation(s)"]
+        lines.extend(f"  {v}" for v in self.violations[:8])
+        return "\n".join(lines)
+
+    # -- wrapping -----------------------------------------------------------
+
+    def _wrap(self, cache_name: str, op: str, original: Callable) -> Callable:
+        checker = self
+
+        def checked(cache, *args, **kwargs):
+            try:
+                return original(cache, *args, **kwargs)
+            finally:
+                checker._check(cache_name, op, cache)
+
+        checked.__name__ = getattr(original, "__name__", op)
+        checked.__doc__ = getattr(original, "__doc__", None)
+        checked.__wrapped__ = original
+        return checked
+
+    def _check(self, cache_name: str, op: str, cache) -> None:
+        with cache._lock:
+            inserted = cache.stats.inserted_bytes
+            resident = cache._bytes
+            evicted = cache.stats.evicted_bytes
+            dropped = cache.stats.dropped_bytes
+        if inserted == resident + evicted + dropped:
+            return
+        with self._lock:
+            if len(self.violations) >= _MAX_VIOLATIONS:
+                return
+            self.violations.append(
+                ConservationViolation(
+                    cache=cache_name,
+                    operation=op,
+                    inserted=inserted,
+                    resident=resident,
+                    evicted=evicted,
+                    dropped=dropped,
+                )
+            )

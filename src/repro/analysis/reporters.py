@@ -1,12 +1,22 @@
-"""Text and JSON rendering for lint results."""
+"""Text, JSON, and SARIF rendering for lint results."""
 
 from __future__ import annotations
 
 import json
+import os
+from typing import Dict, List
 
+from repro.analysis.core import all_rules
 from repro.analysis.runner import LintResult
 
-__all__ = ["render_json", "render_text"]
+__all__ = ["render_json", "render_sarif", "render_text"]
+
+#: SARIF schema pinned by the CI upload action.
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(result: LintResult) -> str:
@@ -34,6 +44,79 @@ def render_json(result: LintResult) -> str:
         "files_scanned": len(result.files),
         "rules": list(result.rules),
         "counts": result.counts_by_rule(),
+        "timings_s": {rule: round(s, 6) for rule, s in result.timings.items()},
         "findings": [f.to_dict() for f in result.findings],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_uri(path: str) -> str:
+    """Repo-relative forward-slash URI (what code-scanning annotates on)."""
+    rel = os.path.relpath(path)
+    if rel.startswith(".."):
+        rel = path  # outside the working tree: keep the original spelling
+    return rel.replace(os.sep, "/")
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 log for CI code-scanning upload.
+
+    One run, tool driver ``repro-lint``; every registered rule appears in
+    the driver's rule table (so clean runs still publish the rule set),
+    and each finding becomes a ``result`` with a physical location.
+    Columns are converted from repro-lint's 0-based to SARIF's 1-based.
+    """
+    ran = set(result.rules)
+    rules_meta: List[Dict] = []
+    rule_index: Dict[str, int] = {}
+    for rule in all_rules():
+        if rule.name not in ran:
+            continue
+        rule_index[rule.name] = len(rules_meta)
+        rules_meta.append(
+            {
+                "id": rule.name,
+                "shortDescription": {"text": rule.description},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+
+    results: List[Dict] = []
+    for f in result.findings:
+        sarif_result: Dict = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _sarif_uri(f.path)},
+                        "region": {
+                            "startLine": max(1, f.line),
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if f.rule in rule_index:
+            sarif_result["ruleIndex"] = rule_index[f.rule]
+        results.append(sarif_result)
+
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://github.com/nsdf-fabric",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

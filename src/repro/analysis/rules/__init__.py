@@ -3,11 +3,23 @@
 Importing this package registers every rule with the
 :mod:`repro.analysis.core` registry:
 
+AST shape rules (PR 3):
+
 - ``lock-discipline``     state guarded by ``self._lock`` stays under it
 - ``codec-purity``        ``thread_safe`` codecs never mutate ``self``
 - ``lock-order``          the static lock-acquisition graph is acyclic
 - ``swallowed-exception`` no bare/blind ``except: pass``
 - ``executor-hygiene``    executors are shut down, futures are consumed
+
+CFG data-flow rules (see :mod:`repro.analysis.cfg` /
+:mod:`repro.analysis.dataflow`, configured in
+:mod:`repro.analysis.config`):
+
+- ``resource-lifecycle``  closeable engine objects released on every path
+- ``scope-discipline``    AccessScope charges dominated by use_scope;
+                          worker callables re-bind their scope
+- ``clock-discipline``    no wallclock time in SimClock-charged modules
+- ``blocking-under-lock`` no sleeps/joins/store reads while a lock is held
 """
 
 from __future__ import annotations
@@ -17,11 +29,19 @@ from repro.analysis.rules.codec_purity import CodecPurityRule
 from repro.analysis.rules.lock_order import LockOrderRule
 from repro.analysis.rules.swallowed_exceptions import SwallowedExceptionRule
 from repro.analysis.rules.executor_hygiene import ExecutorHygieneRule
+from repro.analysis.rules.resource_lifecycle import ResourceLifecycleRule
+from repro.analysis.rules.scope_discipline import ScopeDisciplineRule
+from repro.analysis.rules.clock_discipline import ClockDisciplineRule
+from repro.analysis.rules.blocking_under_lock import BlockingUnderLockRule
 
 __all__ = [
+    "BlockingUnderLockRule",
+    "ClockDisciplineRule",
     "CodecPurityRule",
     "ExecutorHygieneRule",
     "LockDisciplineRule",
     "LockOrderRule",
+    "ResourceLifecycleRule",
+    "ScopeDisciplineRule",
     "SwallowedExceptionRule",
 ]

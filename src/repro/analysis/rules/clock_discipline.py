@@ -1,0 +1,154 @@
+"""clock-discipline: no wallclock time in SimClock-charged modules.
+
+The engine's latency story is *simulated*: network waits, admission
+throttling, and retry backoff all charge a
+:class:`~repro.network.clock.SimClock` so tests and benchmarks replay
+hours of WAN traffic in milliseconds.  One stray ``time.sleep()`` or
+``time.time()`` in those modules silently mixes real seconds into
+simulated ones — results stay plausible and wrong.
+
+This rule bans ``time.time``/``time.sleep`` and
+``datetime.now``/``utcnow``/``today`` in the packages listed in
+:data:`repro.analysis.config.CLOCK_MODULE_PREFIXES`.
+``perf_counter``/``monotonic`` stay legal everywhere: they are telemetry
+(latency histograms measure the *host*, not the simulation).
+
+Exemptions are **config, not comments**: a function doing intentional
+wallclock work (the token bucket's real-sleep admission mode) gets an
+entry in :data:`repro.analysis.config.CLOCK_ALLOWLIST` with a recorded
+justification.  Suppression comments still work mechanically — they work
+for every rule — but the allowlist is the reviewed path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis import config
+from repro.analysis.cfg import iter_functions
+from repro.analysis.core import Finding, ModuleInfo, Rule, register_rule
+
+__all__ = ["ClockDisciplineRule"]
+
+#: ``time`` module members that consume or produce semantic wallclock time.
+_BANNED_TIME = frozenset({"time", "sleep"})
+#: ``datetime``/``date`` constructors that read the wallclock.
+_BANNED_DATETIME = frozenset({"now", "utcnow", "today"})
+
+
+class _Aliases:
+    """Import bindings relevant to the clock rules in one module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.time_modules: Set[str] = set()  # names bound to the time module
+        self.time_funcs: Dict[str, str] = {}  # local name -> time.<member>
+        self.dt_modules: Set[str] = set()  # names bound to the datetime module
+        self.dt_classes: Set[str] = set()  # names bound to datetime/date classes
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if alias.name == "time":
+                        self.time_modules.add(local)
+                    elif alias.name == "datetime":
+                        self.dt_modules.add(local)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _BANNED_TIME:
+                            self.time_funcs[alias.asname or alias.name] = alias.name
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            self.dt_classes.add(alias.asname or alias.name)
+
+
+def _banned_call(call: ast.Call, aliases: _Aliases) -> Optional[str]:
+    """Human-readable name of the banned wallclock call, or None."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        member = aliases.time_funcs.get(func.id)
+        if member is not None:
+            return f"time.{member}"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    base = func.value
+    if isinstance(base, ast.Name):
+        if base.id in aliases.time_modules and func.attr in _BANNED_TIME:
+            return f"time.{func.attr}"
+        if base.id in aliases.dt_classes and func.attr in _BANNED_DATETIME:
+            return f"datetime.{func.attr}"
+    # datetime.datetime.now() / dt.date.today() through the module alias.
+    if (
+        isinstance(base, ast.Attribute)
+        and isinstance(base.value, ast.Name)
+        and base.value.id in aliases.dt_modules
+        and base.attr in ("datetime", "date")
+        and func.attr in _BANNED_DATETIME
+    ):
+        return f"datetime.{base.attr}.{func.attr}"
+    return None
+
+
+def _walk_own(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested ``def``s.
+
+    Lambdas stay included — they execute in (and are reported against)
+    the enclosing function.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule
+class ClockDisciplineRule(Rule):
+    name = "clock-discipline"
+    description = (
+        "no time.time()/time.sleep()/datetime.now() in SimClock-charged "
+        "modules; exemptions live in config.CLOCK_ALLOWLIST"
+    )
+    scope = "module"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not config.path_in_packages(module.path, config.CLOCK_MODULE_PREFIXES):
+            return
+        aliases = _Aliases(module.tree)
+        if not (
+            aliases.time_modules
+            or aliases.time_funcs
+            or aliases.dt_modules
+            or aliases.dt_classes
+        ):
+            return
+        regions: List[Tuple[str, ast.AST]] = [("<module>", module.tree)]
+        regions.extend(
+            (qualname, func) for qualname, func, _cls in iter_functions(module.tree)
+        )
+        for qualname, region in regions:
+            if config.clock_allowlisted(module.path, qualname) is not None:
+                continue
+            for node in _walk_own(region):
+                if not isinstance(node, ast.Call):
+                    continue
+                banned = _banned_call(node, aliases)
+                if banned is None:
+                    continue
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"wallclock call {banned}() in a SimClock-charged module "
+                        f"({qualname}); charge the bound clock instead, or add a "
+                        "CLOCK_ALLOWLIST entry in repro.analysis.config with a "
+                        "justification"
+                    ),
+                )

@@ -1,0 +1,301 @@
+"""scope-discipline: I/O that charges an AccessScope is actually scoped.
+
+Multi-tenant accounting (DESIGN.md §12) hangs off a *thread-local*
+binding: ``with use_scope(scope):`` makes every block read, retry, and
+admission delay inside the block land on that tenant.  Two failure modes
+are silent — the I/O simply lands on the access layer's default scope
+and per-tenant numbers drift:
+
+1. **Unscoped charging call** — service/ML/dashboard code calls into the
+   access layer (``access.read_blocks``, ``planner.execute``, …) on a
+   path where no ``use_scope`` binding is active.  Checked with a *must*
+   analysis over the CFG: the call site must be dominated by a
+   ``use_scope(...)`` ``with``-enter on **every** path.
+2. **Scope lost at a thread hop** — a callable handed to a worker pool
+   (``pool.submit``, ``Thread(target=...)``, a ``loader=`` kwarg)
+   charges a scope but never re-binds one.  Thread-local bindings do not
+   travel with the task: the worker must wrap the work in
+   ``use_scope(...)`` or pass the scope explicitly, exactly as
+   ``WindowLoader._execute`` and ``RemoteAccess.prefetch`` do.
+
+Exemptions for check 1 (scope injection by construction, not accident):
+a parameter or call argument whose name contains ``scope``, or a method
+of a class whose docstring documents ``AccessScope`` injection.
+
+Configured in :mod:`repro.analysis.config`:
+``SCOPE_MODULE_PREFIXES``, ``SCOPE_CHARGING_METHODS``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis import config
+from repro.analysis.cfg import WITH_ENTER, WITH_EXIT, build_cfg, iter_functions
+from repro.analysis.core import Finding, ModuleInfo, Rule, register_rule
+from repro.analysis.dataflow import ForwardAnalysis
+
+__all__ = ["ScopeDisciplineRule"]
+
+_SCOPED = "scope-bound"
+
+
+def _last_identifier(expr: ast.AST) -> Optional[str]:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _charging_call(node: ast.AST) -> Optional[str]:
+    """Method name if ``node`` is a call that charges an AccessScope."""
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return None
+    receivers = config.SCOPE_CHARGING_METHODS.get(node.func.attr)
+    if receivers is None:
+        return None
+    recv = _last_identifier(node.func.value)
+    if recv is None:
+        return None
+    recv = recv.lower()
+    if any(sub in recv for sub in receivers):
+        return node.func.attr
+    return None
+
+
+def _mentions_scope(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "scope" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "scope" in sub.attr.lower():
+            return True
+        if isinstance(sub, ast.keyword) and sub.arg and "scope" in sub.arg.lower():
+            return True
+    return False
+
+
+def _is_use_scope(expr: ast.AST) -> bool:
+    return (
+        isinstance(expr, ast.Call) and _last_identifier(expr.func) == "use_scope"
+    )
+
+
+def _param_names(func: ast.AST) -> List[str]:
+    args = func.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _walk_own(func: ast.AST) -> Iterator[ast.AST]:
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule
+class ScopeDisciplineRule(Rule):
+    name = "scope-discipline"
+    description = (
+        "AccessScope-charging calls are dominated by use_scope(...) and "
+        "worker-thread callables re-bind their scope"
+    )
+    scope = "module"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if config.path_in_packages(module.path, config.SCOPE_MODULE_PREFIXES):
+            for qualname, func, cls in iter_functions(module.tree):
+                yield from self._check_domination(module, qualname, func, cls)
+        yield from self._check_thread_hops(module)
+
+    # -- check 1: use_scope domination ---------------------------------------
+
+    def _check_domination(
+        self,
+        module: ModuleInfo,
+        qualname: str,
+        func: ast.AST,
+        cls: Optional[ast.ClassDef],
+    ) -> Iterator[Finding]:
+        charging: List[Tuple[ast.stmt, ast.Call, str]] = []
+        for stmt in _iter_own_stmts(func):
+            for node in _walk_own_expr(stmt):
+                method = _charging_call(node)
+                if method is not None:
+                    charging.append((stmt, node, method))
+        if not charging:
+            return
+        # Scope injected by construction: a scope-named parameter, or a
+        # class whose docstring documents AccessScope injection.
+        if any("scope" in p.lower() for p in _param_names(func)):
+            return
+        if cls is not None:
+            doc = ast.get_docstring(cls) or ""
+            if "AccessScope" in doc:
+                return
+        cfg = build_cfg(func)
+
+        def transfer(node, facts):
+            if node.kind == WITH_ENTER and _is_use_scope(node.item.context_expr):
+                return facts | {_SCOPED}
+            if node.kind == WITH_EXIT and _is_use_scope(node.item.context_expr):
+                return facts - {_SCOPED}
+            return facts
+
+        result = ForwardAnalysis(cfg, transfer=transfer, join="must").run()
+        for stmt, call, method in charging:
+            if _mentions_scope(call):
+                continue  # the scope travels explicitly with this call
+            nodes = cfg.nodes_for_stmt(stmt)
+            dominated = all(
+                _SCOPED in result.in_of(n.nid)
+                for n in nodes
+                if result.reached(n.nid)
+            )
+            if not dominated:
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f".{method}() charges an AccessScope but is not "
+                        f"dominated by a use_scope(...) binding in {qualname}; "
+                        "some path reaches it unscoped, so its I/O lands on "
+                        "the default scope"
+                    ),
+                )
+
+    # -- check 2: worker callables re-bind -----------------------------------
+
+    def _check_thread_hops(self, module: ModuleInfo) -> Iterator[Finding]:
+        methods_by_class: Dict[ast.ClassDef, Dict[str, ast.AST]] = {}
+        functions: Dict[str, ast.AST] = {}
+        for qualname, func, cls in iter_functions(module.tree):
+            if cls is not None:
+                methods_by_class.setdefault(cls, {})[func.name] = func
+            elif "." not in qualname:
+                functions[qualname] = func
+        for qualname, func, cls in iter_functions(module.tree):
+            local_methods = methods_by_class.get(cls, {}) if cls is not None else {}
+            for node in _walk_own_all(func):
+                target = _worker_callable(node)
+                if target is None:
+                    continue
+                body = _resolve_callable(target, local_methods, functions)
+                if body is None:
+                    continue
+                if not _charges_scope(body):
+                    continue
+                if _rebinds_scope(body):
+                    continue
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"callable handed to a worker thread in {qualname} "
+                        "charges an AccessScope but never re-binds one; "
+                        "thread-local bindings do not travel with the task — "
+                        "wrap the work in use_scope(...) or pass the scope "
+                        "explicitly"
+                    ),
+                )
+
+
+def _iter_own_stmts(func: ast.AST) -> Iterator[ast.stmt]:
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.stmt):
+            yield node
+        for field in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(node, field, ()) or ())
+        for handler in getattr(node, "handlers", ()):
+            stack.extend(handler.body)
+        for case in getattr(node, "cases", ()):
+            stack.extend(case.body)
+
+
+def _walk_own_expr(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Expression nodes of one statement: no sub-statements, no nested defs."""
+    stack: List[ast.AST] = [
+        child
+        for child in ast.iter_child_nodes(stmt)
+        if not isinstance(child, (ast.stmt, ast.excepthandler))
+    ]
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.stmt),
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _walk_own_all(func: ast.AST) -> Iterator[ast.AST]:
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _worker_callable(node: ast.AST) -> Optional[ast.AST]:
+    """The callable expression a call hands to another thread, if any."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "submit" and node.args:
+        return node.args[0]
+    if _last_identifier(func) == "Thread":
+        for kw in node.keywords:
+            if kw.arg == "target":
+                return kw.value
+    for kw in node.keywords:
+        if kw.arg in ("loader", "target", "callback"):
+            return kw.value
+    return None
+
+
+def _resolve_callable(
+    target: ast.AST,
+    local_methods: Dict[str, ast.AST],
+    functions: Dict[str, ast.AST],
+) -> Optional[ast.AST]:
+    """Body of the worker callable when it is defined in this module."""
+    if isinstance(target, ast.Lambda):
+        return target
+    if isinstance(target, ast.Name):
+        return functions.get(target.id)
+    attr = Rule.self_attr(target)
+    if attr is not None:
+        return local_methods.get(attr)
+    return None
+
+
+def _charges_scope(body: ast.AST) -> bool:
+    return any(_charging_call(n) is not None for n in ast.walk(body))
+
+
+def _rebinds_scope(body: ast.AST) -> bool:
+    return _mentions_scope(body) or any(
+        isinstance(n, ast.Call) and _last_identifier(n.func) == "use_scope"
+        for n in ast.walk(body)
+    )

@@ -1,10 +1,22 @@
-"""File collection and rule driving for repro-lint."""
+"""File collection and rule driving for repro-lint.
+
+The runner parses every file once, then drives module-scoped rules in
+parallel across files (parsing and rule checks are pure functions of the
+AST, so the only shared state is the findings list and the per-rule
+timing tally, both lock-guarded).  Project-scoped rules, which need the
+whole module set at once, keep their single-pass semantics and run after
+the parallel phase.
+"""
 
 from __future__ import annotations
 
 import os
+import subprocess
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.analysis.core import (
     Finding,
@@ -15,7 +27,14 @@ from repro.analysis.core import (
     get_rule,
 )
 
-__all__ = ["LintResult", "collect_files", "load_module", "run_lint"]
+__all__ = [
+    "LintResult",
+    "changed_files",
+    "collect_files",
+    "default_jobs",
+    "load_module",
+    "run_lint",
+]
 
 
 @dataclass
@@ -25,6 +44,9 @@ class LintResult:
     findings: List[Finding] = field(default_factory=list)
     files: List[str] = field(default_factory=list)
     rules: List[str] = field(default_factory=list)
+    #: Cumulative seconds spent per rule, summed across worker threads
+    #: (so a rule's wall share, not the run's wall clock).
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -70,20 +92,90 @@ def load_module(path: str) -> "ModuleInfo | Finding":
         )
 
 
-def run_lint(paths: Sequence[str], rules: Optional[Sequence[str]] = None) -> LintResult:
+def default_jobs() -> int:
+    """Worker count for the parallel phase: capped so a CI box with many
+    cores doesn't spend its time contending on the GIL for tiny files."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def changed_files(ref: str = "origin/main", *, cwd: Optional[str] = None) -> List[str]:
+    """Python files changed in the working tree relative to ``ref``.
+
+    Includes modified/added tracked files (``git diff --name-only``
+    against ``ref``) and untracked files, excludes deletions, and
+    returns absolute paths that exist on disk.  Raises ``RuntimeError``
+    when ``ref`` is unknown or the directory is not a git work tree —
+    the CLI maps that to exit code 2.
+    """
+
+    def _git(*argv: str) -> str:
+        proc = subprocess.run(
+            ["git", *argv],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            detail = proc.stderr.strip() or proc.stdout.strip()
+            raise RuntimeError(f"git {' '.join(argv)} failed: {detail}")
+        return proc.stdout
+
+    root = _git("rev-parse", "--show-toplevel").strip()
+    listed = _git("diff", "--name-only", "--diff-filter=d", ref).splitlines()
+    listed += _git("ls-files", "--others", "--exclude-standard").splitlines()
+    files: List[str] = []
+    for rel in listed:
+        if not rel.endswith(".py"):
+            continue
+        path = os.path.join(root, rel)
+        if os.path.isfile(path):
+            files.append(path)
+    return sorted(dict.fromkeys(files))
+
+
+class _Tally:
+    """Thread-safe findings list and per-rule time accumulator."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.findings: List[Finding] = []
+        self.timings: Dict[str, float] = {}
+
+    def add(self, rule_name: str, elapsed: float, found: Sequence[Finding]) -> None:
+        with self._lock:
+            self.timings[rule_name] = self.timings.get(rule_name, 0.0) + elapsed
+            self.findings.extend(found)
+
+
+def run_lint(
+    paths: Sequence[str],
+    rules: Optional[Sequence[str]] = None,
+    *,
+    jobs: Optional[int] = None,
+    report_only: Optional[Sequence[str]] = None,
+) -> LintResult:
     """Lint ``paths`` with the given rule names (default: all registered).
 
     Findings are suppression-filtered and sorted by location.  Internal
     errors (unreadable paths, rule crashes) propagate to the caller —
     the CLI maps them to exit code 2.
+
+    ``jobs`` sets the worker count for module-scoped rules (default
+    :func:`default_jobs`; ``1`` forces the serial path).  Project-scoped
+    rules always run single-pass over the full module set.
+
+    ``report_only`` restricts the *reported* findings to the given files
+    (``--changed`` mode) while still parsing and checking everything in
+    ``paths`` — project rules and cross-module context stay sound; only
+    the report is narrowed.
     """
     files = collect_files(paths)
     modules: List[ModuleInfo] = []
-    findings: List[Finding] = []
+    tally = _Tally()
     for path in files:
         loaded = load_module(path)
         if isinstance(loaded, Finding):
-            findings.append(loaded)
+            tally.findings.append(loaded)
         else:
             modules.append(loaded)
 
@@ -92,19 +184,39 @@ def run_lint(paths: Sequence[str], rules: Optional[Sequence[str]] = None) -> Lin
         rule_objs = [get_rule(name) for name in rules]
     else:
         rule_objs = all_rules()
+    module_rules = [r for r in rule_objs if r.scope != "project"]
+    project_rules = [r for r in rule_objs if r.scope == "project"]
 
-    for rule in rule_objs:
-        if rule.scope == "project":
-            findings.extend(rule.check_project(modules))
-        else:
-            for module in modules:
-                findings.extend(rule.check(module))
+    def check_module(module: ModuleInfo) -> None:
+        for rule in module_rules:
+            t0 = time.perf_counter()
+            found = rule.check(module)
+            tally.add(rule.name, time.perf_counter() - t0, found)
 
+    workers = jobs if jobs is not None else default_jobs()
+    if workers <= 1 or len(modules) <= 1:
+        for module in modules:
+            check_module(module)
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            # list() drains the iterator so worker exceptions propagate.
+            list(pool.map(check_module, modules))
+
+    for rule in project_rules:
+        t0 = time.perf_counter()
+        found = rule.check_project(modules)
+        tally.add(rule.name, time.perf_counter() - t0, found)
+
+    findings = tally.findings
     by_path = {m.path: m for m in modules}
     findings = filter_suppressed(findings, by_path)
+    if report_only is not None:
+        keep: Set[str] = {os.path.abspath(p) for p in report_only}
+        findings = [f for f in findings if os.path.abspath(f.path) in keep]
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return LintResult(
         findings=findings,
         files=files,
         rules=[r.name for r in rule_objs],
+        timings=dict(sorted(tally.timings.items())),
     )

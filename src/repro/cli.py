@@ -142,20 +142,28 @@ def _cmd_read(args: argparse.Namespace) -> int:
     from repro.idx import IdxDataset
 
     ds = IdxDataset.open(args.dataset)
-    box = None
-    if args.box:
-        parts = [int(v) for v in args.box.split(",")]
-        if len(parts) != 2 * len(ds.dims):
-            print(f"--box needs {2 * len(ds.dims)} integers (lo..., hi...)", file=sys.stderr)
-            return 2
-        n = len(ds.dims)
-        box = (tuple(parts[:n]), tuple(parts[n:]))
-    result = ds.read_result(
-        box=box, resolution=args.resolution, field=args.field, time=args.time
-    )
-    np.save(args.out, result.data)
-    print(f"wrote {result.data.shape} {result.data.dtype} (level {result.level}) -> {args.out}")
-    ds.close()
+    try:
+        box = None
+        if args.box:
+            parts = [int(v) for v in args.box.split(",")]
+            if len(parts) != 2 * len(ds.dims):
+                print(
+                    f"--box needs {2 * len(ds.dims)} integers (lo..., hi...)",
+                    file=sys.stderr,
+                )
+                return 2
+            n = len(ds.dims)
+            box = (tuple(parts[:n]), tuple(parts[n:]))
+        result = ds.read_result(
+            box=box, resolution=args.resolution, field=args.field, time=args.time
+        )
+        np.save(args.out, result.data)
+        print(
+            f"wrote {result.data.shape} {result.data.dtype} "
+            f"(level {result.level}) -> {args.out}"
+        )
+    finally:
+        ds.close()
     return 0
 
 
@@ -180,6 +188,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     argv: List[str] = list(args.paths)
     if args.json:
         argv.append("--json")
+    if args.format:
+        argv.extend(["--format", args.format])
+    if args.output:
+        argv.extend(["--output", args.output])
+    if args.changed is not None:
+        argv.extend(["--changed", args.changed])
+    if args.jobs is not None:
+        argv.extend(["--jobs", str(args.jobs)])
     if args.rules:
         argv.extend(["--rules", args.rules])
     if args.list_rules:
@@ -285,6 +301,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("paths", nargs="*",
                    help="files/dirs to lint (default: the repro package)")
     p.add_argument("--json", action="store_true", help="emit a JSON report")
+    p.add_argument("--format", choices=("text", "json", "sarif"), default=None,
+                   help="report format (default: text)")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="write the report to FILE instead of stdout")
+    p.add_argument("--changed", nargs="?", const="origin/main", default=None,
+                   metavar="REF",
+                   help="report only findings in files changed vs REF")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker threads for per-module rules")
     p.add_argument("--rules", default=None, help="comma-separated rule names")
     p.add_argument("--list-rules", action="store_true")
     p.set_defaults(func=_cmd_lint)

@@ -67,6 +67,7 @@ __all__ = [
     "RemoteAccess",
     "TokenBucket",
     "current_scope",
+    "set_scope_observer",
     "use_scope",
 ]
 
@@ -169,6 +170,11 @@ class TokenBucket:
             if self.clock is not None:
                 self.clock.advance(wait, label="admission:wait")
             else:
+                # Intentional wallclock sleep: with no SimClock bound the
+                # bucket throttles for real, so bench_serve's real-slept
+                # WAN mode measures true admission delay.  Exempted from
+                # clock-discipline via CLOCK_ALLOWLIST in
+                # repro.analysis.config (TokenBucket.acquire).
                 _time.sleep(wait)
         return wait
 
@@ -241,6 +247,8 @@ class AccessScope:
 
     def admit(self, n: int = 1) -> float:
         """Charge ``n`` block fetches against the admission budget."""
+        if _SCOPE_OBSERVER is not None:
+            _SCOPE_OBSERVER.on_charge(self, n)
         self.admitted_blocks += int(n)
         if self.bucket is None:
             return 0.0
@@ -250,6 +258,27 @@ class AccessScope:
 
 
 _SCOPE_STACK = threading.local()
+
+#: Optional runtime hook (the ScopeSanitizer) observing scope bindings,
+#: charges, and default-scope fallbacks.  ``None`` in production: every
+#: notification site is a single global read on the fast path.
+_SCOPE_OBSERVER = None
+
+
+def set_scope_observer(observer):
+    """Install a scope observer; returns the previous one.
+
+    The observer (see :class:`repro.analysis.invariants.ScopeSanitizer`)
+    receives ``on_bind(scope)`` / ``on_unbind(scope)`` around
+    :func:`use_scope`, ``on_charge(scope, n)`` from
+    :meth:`AccessScope.admit`, and ``on_default(access)`` whenever an
+    access layer falls back to its private default scope.  Pass ``None``
+    to uninstall.
+    """
+    global _SCOPE_OBSERVER
+    previous = _SCOPE_OBSERVER
+    _SCOPE_OBSERVER = observer
+    return previous
 
 
 def current_scope() -> Optional[AccessScope]:
@@ -272,11 +301,15 @@ def use_scope(scope: AccessScope) -> Iterator[AccessScope]:
     if stack is None:
         stack = []
         _SCOPE_STACK.stack = stack
+    if _SCOPE_OBSERVER is not None:
+        _SCOPE_OBSERVER.on_bind(scope)
     stack.append(scope)
     try:
         yield scope
     finally:
         stack.pop()
+        if _SCOPE_OBSERVER is not None:
+            _SCOPE_OBSERVER.on_unbind(scope)
 
 
 class Access(ABC):
@@ -290,7 +323,11 @@ class Access(ABC):
     def _scope(self) -> AccessScope:
         """The active per-session scope, or this instance's default."""
         scope = current_scope()
-        return scope if scope is not None else self._default_scope
+        if scope is not None:
+            return scope
+        if _SCOPE_OBSERVER is not None:
+            _SCOPE_OBSERVER.on_default(self)
+        return self._default_scope
 
     @property
     def counters(self) -> AccessCounters:

@@ -47,9 +47,17 @@ class CacheStats:
     entries pushed out by capacity pressure and ``evicted_bytes`` the
     payload volume they carried — together with ``inserted_bytes`` they
     tell thrash (high churn at steady occupancy) apart from growth, which
-    is what the service explorer's fleet summary reports.  All counters
-    are cumulative for the cache's lifetime and survive
-    :meth:`BlockCache.clear`.
+    is what the service explorer's fleet summary reports.
+    ``dropped_bytes`` is the volume removed by explicit
+    :meth:`BlockCache.invalidate`/:meth:`BlockCache.clear` calls — not
+    capacity pressure — so every byte that ever entered the cache is
+    accounted for somewhere.  All counters are cumulative for the
+    cache's lifetime and survive :meth:`BlockCache.clear`.
+
+    Conservation invariant (checked at runtime under ``REPRO_SANITIZE=1``
+    by :class:`repro.analysis.invariants.CacheConservationChecker`)::
+
+        inserted_bytes == used_bytes + evicted_bytes + dropped_bytes
     """
 
     hits: int = 0
@@ -57,6 +65,7 @@ class CacheStats:
     evictions: int = 0
     evicted_bytes: int = 0
     inserted_bytes: int = 0
+    dropped_bytes: int = 0
     replacements: int = 0
     coalesced: int = 0
 
@@ -233,7 +242,9 @@ class BlockCache:
             entry = self._entries.pop(key, None)
             if entry is None:
                 return False
-            self._bytes -= int(entry.nbytes)
+            nbytes = int(entry.nbytes)
+            self._bytes -= nbytes
+            self.stats.dropped_bytes += nbytes
             return True
 
     def clear(self) -> None:
@@ -243,9 +254,11 @@ class BlockCache:
         inserted_bytes, replacements, coalesced) deliberately survive a
         ``clear()`` — they describe the cache's lifetime traffic, not its
         current contents.  Dropped entries are *not* counted as
-        evictions, which are reserved for capacity pressure.
+        evictions, which are reserved for capacity pressure; their bytes
+        land in ``dropped_bytes`` so the conservation invariant holds.
         """
         with self._lock:
+            self.stats.dropped_bytes += self._bytes
             self._entries.clear()
             self._bytes = 0
 

@@ -147,8 +147,14 @@ class PlanCache:
         return plan
 
     def clear(self) -> None:
-        """Drop every entry (cumulative stats survive, as for BlockCache)."""
+        """Drop every entry (cumulative stats survive, as for BlockCache).
+
+        The dropped volume lands in ``stats.dropped_bytes`` so the
+        conservation invariant ``inserted == used + evicted + dropped``
+        holds across clears.
+        """
         with self._lock:
+            self.stats.dropped_bytes += self._bytes
             self._entries.clear()
             self._bytes = 0
 

@@ -97,6 +97,13 @@ class WindowLoader:
     ``k+1`` executes on a background worker while ``k`` is consumed;
     ``prefetch=False`` is the exact serial baseline — same batches, same
     bytes, no thread.
+
+    Scope injection: ``scope`` is an :class:`~repro.idx.access.AccessScope`
+    the loader re-binds (``use_scope``) around every worker-side batch
+    execution, so the pipeline's I/O is attributed to that tenant even
+    though it runs on a pool thread.  ``scope=None`` deliberately runs
+    on the access layer's *default* scope — the single-tenant mode every
+    pre-scope caller gets.
     """
 
     def __init__(

@@ -76,17 +76,21 @@ class EventStream:
         self._backlog = int(backlog)
         self._dropped = 0
         self._seq = 0
+        self._closed = False
 
     def publish(self, message: Dict[str, Any]) -> bool:
         """Enqueue ``message`` if this stream subscribes to its kind.
 
         Returns whether the message was accepted.  When the backlog is
         full the *oldest* undelivered message is dropped (freshest-frame
-        semantics) and counted in :attr:`dropped`.
+        semantics) and counted in :attr:`dropped`.  A closed stream
+        rejects everything.
         """
         if self.kinds is not None and message.get("event") not in self.kinds:
             return False
         with self._lock:
+            if self._closed:
+                return False
             stamped = dict(message)
             stamped["seq"] = self._seq
             self._seq += 1
@@ -111,6 +115,17 @@ class EventStream:
     def dropped(self) -> int:
         with self._lock:
             return self._dropped
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def close(self) -> None:
+        """Reject further publishes and drop undelivered messages; idempotent."""
+        with self._lock:
+            self._closed = True
+            self._events.clear()
 
 
 class StreamingProtocol(DashboardProtocol):
@@ -174,7 +189,19 @@ class StreamingProtocol(DashboardProtocol):
         stream = self._streams.pop(str(req["stream"]), None)
         if stream is None:
             raise KeyError(f"unknown stream {req['stream']!r}")
-        return {"closed": stream.stream_id, "pending": stream.pending, "dropped": stream.dropped}
+        result = {
+            "closed": stream.stream_id,
+            "pending": stream.pending,
+            "dropped": stream.dropped,
+        }
+        stream.close()
+        return result
+
+    def close(self) -> None:
+        """Close every subscriber stream; idempotent."""
+        streams, self._streams = self._streams, {}
+        for stream in streams.values():
+            stream.close()
 
     def _op_poll(self, req: Dict) -> Any:
         stream = self._streams.get(str(req["stream"]))

@@ -188,6 +188,8 @@ class SessionManager:
         self._lock = threading.Lock()
         self._sessions: Dict[str, ManagedSession] = {}
         self._datasets: Dict[str, Any] = {}
+        # Datasets this manager itself opened (open_remote): ours to close.
+        self._owned_datasets: List[Any] = []
         self._next_id = 0
 
     # -- dataset registry ---------------------------------------------------
@@ -215,19 +217,19 @@ class SessionManager:
         """Register a Seal-streamed dataset backed by the *shared* cache."""
         from repro.storage.transfer import open_remote_idx
 
-        self.register_dataset(
-            name,
-            open_remote_idx(
-                seal,
-                key,
-                token=token,
-                from_site=from_site,
-                cache=self.cache,
-                workers=workers,
-                retry=retry,
-                breaker=breaker,
-            ),
+        dataset = open_remote_idx(
+            seal,
+            key,
+            token=token,
+            from_site=from_site,
+            cache=self.cache,
+            workers=workers,
+            retry=retry,
+            breaker=breaker,
         )
+        with self._lock:
+            self._owned_datasets.append(dataset)
+        self.register_dataset(name, dataset)
 
     @property
     def dataset_names(self) -> List[str]:
@@ -296,6 +298,35 @@ class SessionManager:
     def __len__(self) -> int:
         with self._lock:
             return len(self._sessions)
+
+    def close(self) -> None:
+        """Shut the service down; idempotent.
+
+        Ends every live session (closing its event streams, so no
+        subscriber queue outlives the service) and closes every dataset
+        this manager opened itself via :meth:`open_remote` — which joins
+        their parallel-fetcher pools.  Datasets registered by the caller
+        through :meth:`register_dataset` belong to the caller and are
+        left open.
+        """
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+            owned, self._owned_datasets = self._owned_datasets, []
+        for managed in sessions:
+            with managed._lock:
+                managed.closed = True
+            managed.protocol.close()
+        for dataset in owned:
+            closer = getattr(dataset, "close", None)
+            if closer is not None:
+                closer()
+
+    def __enter__(self) -> "SessionManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- request entry point ------------------------------------------------
 

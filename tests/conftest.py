@@ -15,6 +15,7 @@ if os.environ.get("REPRO_SANITIZE") == "1":
     # threading.Lock/RLock created during the session is instrumented, and
     # the session fails if any lock-order inversion was observed.  Long
     # holds are reported but not fatal (CI boxes stall unpredictably).
+    from repro.analysis.invariants import CacheConservationChecker, ScopeSanitizer
     from repro.analysis.sanitizer import LockOrderSanitizer
 
     _session_sanitizer = LockOrderSanitizer(
@@ -30,6 +31,32 @@ if os.environ.get("REPRO_SANITIZE") == "1":
         for hold in report.long_holds:
             print(f"[repro-sanitize] {hold}")
         assert report.ok, "lock-order inversions detected:\n" + report.summary()
+
+    # Runtime scope sanitizer (repro.analysis.invariants): observes every
+    # AccessScope bind/charge across the whole session and fails on
+    # cross-thread scope leaks.  Default-scope fallbacks are allowed here
+    # (require_scoped=False) — many unit tests legitimately read without a
+    # bound scope; strict mode is exercised by targeted tests.
+    _session_scope_sanitizer = ScopeSanitizer()
+
+    @pytest.fixture(autouse=True, scope="session")
+    def _scope_sanitizer():
+        _session_scope_sanitizer.install()
+        yield
+        _session_scope_sanitizer.uninstall()
+        report = _session_scope_sanitizer.report()
+        assert report.ok, "scope-discipline violations detected:\n" + report.summary()
+
+    # Cache byte-conservation checker: after every BlockCache/PlanCache
+    # mutation, inserted_bytes == used + evicted + dropped must hold.
+    _session_conservation = CacheConservationChecker()
+
+    @pytest.fixture(autouse=True, scope="session")
+    def _cache_conservation():
+        _session_conservation.install()
+        yield
+        _session_conservation.uninstall()
+        assert _session_conservation.ok, _session_conservation.summary()
 
 
 @pytest.fixture

@@ -1,0 +1,281 @@
+"""Structural tests for the intraprocedural CFG builder."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import (
+    ENTRY,
+    EXCEPT,
+    EXIT,
+    STMT,
+    WITH_ENTER,
+    WITH_EXIT,
+    build_cfg,
+    iter_functions,
+)
+
+
+def cfg_of(source: str, name: str = "f"):
+    tree = ast.parse(textwrap.dedent(source).lstrip("\n"))
+    for qualname, func, _cls in iter_functions(tree):
+        if qualname == name:
+            return build_cfg(func)
+    raise AssertionError(f"no function {name!r} in snippet")
+
+
+def stmt_node(cfg, line: int):
+    """The first non-clone node whose statement starts at ``line``."""
+    for node in cfg.iter_nodes():
+        if node.kind == STMT and node.lineno == line:
+            return node
+    raise AssertionError(f"no stmt node at line {line}")
+
+
+def kinds(cfg):
+    return sorted(n.kind for n in cfg.iter_nodes())
+
+
+def reachable(cfg, start=None):
+    seen, stack = set(), [cfg.entry if start is None else start]
+    while stack:
+        nid = stack.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        stack.extend(cfg.succs[nid])
+    return seen
+
+
+# -- straight line & branches ------------------------------------------------
+
+
+def test_linear_body_chains_entry_to_exit():
+    cfg = cfg_of(
+        """
+        def f():
+            a = 1
+            b = 2
+            return a + b
+        """
+    )
+    assert cfg.entry in cfg.nodes and cfg.exit in cfg.nodes
+    assert kinds(cfg).count(ENTRY) == 1
+    assert kinds(cfg).count(EXIT) == 1
+    # Every node reaches forward from entry, and exit is among them.
+    assert cfg.exit in reachable(cfg)
+    # The return routes straight to exit.
+    ret = stmt_node(cfg, 4)
+    assert cfg.exit in cfg.succs[ret.nid]
+
+
+def test_if_branches_join():
+    cfg = cfg_of(
+        """
+        def f(c):
+            if c:
+                x = 1
+            else:
+                x = 2
+            return x
+        """
+    )
+    head = stmt_node(cfg, 2)
+    then_arm = stmt_node(cfg, 3)
+    else_arm = stmt_node(cfg, 5)
+    join = stmt_node(cfg, 6)
+    assert then_arm.nid in cfg.succs[head.nid]
+    assert else_arm.nid in cfg.succs[head.nid]
+    assert join.nid in cfg.succs[then_arm.nid]
+    assert join.nid in cfg.succs[else_arm.nid]
+
+
+def test_if_without_else_falls_through():
+    cfg = cfg_of(
+        """
+        def f(c):
+            if c:
+                x = 1
+            return 0
+        """
+    )
+    head = stmt_node(cfg, 2)
+    ret = stmt_node(cfg, 4)
+    # Both the taken arm and the head itself (condition false) reach return.
+    assert ret.nid in cfg.succs[stmt_node(cfg, 3).nid]
+    assert ret.nid in cfg.succs[head.nid]
+
+
+# -- loops -------------------------------------------------------------------
+
+
+def test_while_loop_has_back_edge_and_exit_edge():
+    cfg = cfg_of(
+        """
+        def f(n):
+            while n:
+                n -= 1
+            return n
+        """
+    )
+    head = stmt_node(cfg, 2)
+    body = stmt_node(cfg, 3)
+    after = stmt_node(cfg, 4)
+    assert body.nid in cfg.succs[head.nid]
+    assert head.nid in cfg.succs[body.nid]  # back edge
+    assert after.nid in cfg.succs[head.nid]  # loop-not-taken edge
+
+
+def test_break_and_continue_route_to_loop_boundaries():
+    cfg = cfg_of(
+        """
+        def f(xs):
+            for x in xs:
+                if x < 0:
+                    continue
+                if x > 9:
+                    break
+            return 1
+        """
+    )
+    head = stmt_node(cfg, 2)
+    cont = stmt_node(cfg, 4)
+    brk = stmt_node(cfg, 6)
+    after = stmt_node(cfg, 7)
+    assert head.nid in cfg.succs[cont.nid]  # continue -> loop head
+    assert after.nid in cfg.succs[brk.nid]  # break -> after the loop
+    # Neither jump falls through into the next body statement.
+    assert stmt_node(cfg, 5).nid not in cfg.succs[cont.nid]
+
+
+# -- with --------------------------------------------------------------------
+
+
+def test_with_brackets_body_with_enter_exit_markers():
+    cfg = cfg_of(
+        """
+        def f(lock):
+            with lock:
+                x = 1
+            return x
+        """
+    )
+    enters = [n for n in cfg.iter_nodes() if n.kind == WITH_ENTER]
+    exits = [n for n in cfg.iter_nodes() if n.kind == WITH_EXIT]
+    assert len(enters) == 1 and len(exits) == 1
+    body = stmt_node(cfg, 3)
+    assert body.nid in cfg.succs[enters[0].nid]
+    assert exits[0].nid in cfg.succs[body.nid]
+
+
+def test_multi_item_with_nests_markers():
+    cfg = cfg_of(
+        """
+        def f(a, b):
+            with a, b:
+                pass
+        """
+    )
+    enters = [n for n in cfg.iter_nodes() if n.kind == WITH_ENTER]
+    exits = [n for n in cfg.iter_nodes() if n.kind == WITH_EXIT]
+    assert len(enters) == 2 and len(exits) == 2
+    # Exits unwind in reverse order: b's exit precedes a's exit.
+    assert exits[0].item is enters[1].item
+    assert exits[1].item is enters[0].item
+
+
+# -- try/except/finally ------------------------------------------------------
+
+
+def test_try_body_statements_edge_to_handler():
+    cfg = cfg_of(
+        """
+        def f():
+            try:
+                risky()
+            except ValueError:
+                fallback()
+            return 1
+        """
+    )
+    risky = stmt_node(cfg, 3)
+    handlers = [n for n in cfg.iter_nodes() if n.kind == EXCEPT]
+    assert len(handlers) == 1
+    assert handlers[0].nid in cfg.succs[risky.nid]
+    # Both normal completion and handler completion reach the return.
+    ret = stmt_node(cfg, 6)
+    assert ret.nid in cfg.succs[risky.nid]
+    assert ret.nid in cfg.succs[stmt_node(cfg, 5).nid]
+
+
+def test_finally_is_cloned_for_early_return():
+    cfg = cfg_of(
+        """
+        def f(c):
+            try:
+                if c:
+                    return 1
+                work()
+            finally:
+                cleanup()
+            return 0
+        """
+    )
+    tree_stmt = None
+    for node in cfg.iter_nodes():
+        if node.kind == STMT and node.lineno == 7:
+            tree_stmt = node.stmt
+            break
+    assert tree_stmt is not None
+    clones = cfg.nodes_for_stmt(tree_stmt)
+    # cleanup() appears at least twice: on the return path, on the normal
+    # path, and on the exceptional-propagation path.
+    assert len(clones) >= 2
+    # The early return runs a finally clone *before* reaching exit.
+    ret = stmt_node(cfg, 4)
+    assert cfg.exit not in cfg.succs[ret.nid]
+    on_return_path = reachable(cfg, ret.nid)
+    assert any(n.nid in on_return_path for n in clones)
+    assert cfg.exit in on_return_path
+
+
+def test_finally_runs_on_exceptional_propagation():
+    cfg = cfg_of(
+        """
+        def f():
+            try:
+                risky()
+            finally:
+                cleanup()
+        """
+    )
+    risky = stmt_node(cfg, 3)
+    # The raising statement has a path to exit that passes a finally clone
+    # (no handler catches, so the exception escapes through the finally).
+    fin_stmt = stmt_node(cfg, 5).stmt
+    clones = cfg.nodes_for_stmt(fin_stmt)
+    assert len(clones) >= 2  # normal-completion clone + propagation clone
+    succs_of_risky = set(cfg.succs[risky.nid])
+    assert succs_of_risky & {n.nid for n in clones}
+
+
+def test_iter_functions_yields_qualnames_and_enclosing_class():
+    tree = ast.parse(
+        textwrap.dedent(
+            """
+            def top():
+                def inner():
+                    pass
+
+            class C:
+                def method(self):
+                    pass
+            """
+        )
+    )
+    found = {q: cls for q, _f, cls in iter_functions(tree)}
+    assert set(found) == {"top", "top.inner", "C.method"}
+    assert found["top"] is None
+    assert found["top.inner"] is None
+    assert found["C.method"] is not None and found["C.method"].name == "C"

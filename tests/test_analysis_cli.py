@@ -125,3 +125,149 @@ def test_self_application_whole_tree_is_clean():
     assert result.findings == [], "\n".join(f.format() for f in result.findings)
     assert len(result.rules) >= 5
     assert len(result.files) > 50
+
+
+# -- PR 8 surfaces: SARIF, --output, --changed, --jobs, timings --------------
+
+
+def test_module_main_sarif_report(tmp_path, capsys):
+    target = write(tmp_path, "dirty.py", DIRTY_SNIPPET)
+    assert analysis_main([target, "--format", "sarif"]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    rule_ids = {r["id"] for r in driver["rules"]}
+    assert "lock-discipline" in rule_ids
+    (finding,) = [r for r in run["results"] if r["ruleId"] == "lock-discipline"]
+    location = finding["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("dirty.py")
+    assert location["region"]["startLine"] > 0
+    assert location["region"]["startColumn"] >= 1  # SARIF columns are 1-based
+
+
+def test_module_main_sarif_clean_still_lists_rules(tmp_path, capsys):
+    target = write(tmp_path, "clean.py", CLEAN_SNIPPET)
+    assert analysis_main([target, "--format", "sarif"]) == 0
+    log = json.loads(capsys.readouterr().out)
+    run = log["runs"][0]
+    assert run["results"] == []
+    assert len(run["tool"]["driver"]["rules"]) >= 5
+
+
+def test_module_main_output_file(tmp_path, capsys):
+    target = write(tmp_path, "dirty.py", DIRTY_SNIPPET)
+    out_path = tmp_path / "report.sarif"
+    assert analysis_main([target, "--format", "sarif", "--output", str(out_path)]) == 1
+    assert capsys.readouterr().out == ""
+    log = json.loads(out_path.read_text())
+    assert log["runs"][0]["results"]
+
+
+def test_module_main_json_includes_timings(tmp_path, capsys):
+    target = write(tmp_path, "clean.py", CLEAN_SNIPPET)
+    assert analysis_main([target, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    timings = payload["timings_s"]
+    assert "lock-discipline" in timings
+    assert all(t >= 0 for t in timings.values())
+    assert set(timings) <= set(payload["rules"])
+
+
+def test_module_main_jobs_parity(tmp_path, capsys):
+    # Parallel and serial runs must produce identical findings.
+    for i in range(6):
+        write(tmp_path, f"dirty{i}.py", DIRTY_SNIPPET)
+    assert analysis_main([str(tmp_path), "--json", "--jobs", "1"]) == 1
+    serial = json.loads(capsys.readouterr().out)
+    assert analysis_main([str(tmp_path), "--json", "--jobs", "4"]) == 1
+    parallel = json.loads(capsys.readouterr().out)
+    assert serial["findings"] == parallel["findings"]
+    assert serial["counts"] == parallel["counts"]
+
+
+def test_changed_mode_reports_only_changed_files(tmp_path, capsys, monkeypatch):
+    import subprocess
+
+    def git(*argv):
+        subprocess.run(
+            ["git", *argv],
+            cwd=tmp_path,
+            check=True,
+            capture_output=True,
+            env={
+                **os.environ,
+                "GIT_AUTHOR_NAME": "t",
+                "GIT_AUTHOR_EMAIL": "t@example.com",
+                "GIT_COMMITTER_NAME": "t",
+                "GIT_COMMITTER_EMAIL": "t@example.com",
+            },
+        )
+
+    git("init", "-q", "-b", "main")
+    committed = write(tmp_path, "old_dirty.py", DIRTY_SNIPPET)
+    git("add", ".")
+    git("commit", "-q", "-m", "seed")
+    fresh = write(tmp_path, "new_dirty.py", DIRTY_SNIPPET)
+    monkeypatch.chdir(tmp_path)
+
+    # Full run sees findings in both files; --changed HEAD narrows the
+    # report to the uncommitted file only.
+    assert analysis_main([str(tmp_path), "--json"]) == 1
+    full = json.loads(capsys.readouterr().out)
+    assert {os.path.basename(f["path"]) for f in full["findings"]} == {
+        "old_dirty.py",
+        "new_dirty.py",
+    }
+    assert analysis_main([str(tmp_path), "--json", "--changed", "HEAD"]) == 1
+    narrowed = json.loads(capsys.readouterr().out)
+    assert {os.path.basename(f["path"]) for f in narrowed["findings"]} == {
+        "new_dirty.py"
+    }
+    # Unknown ref -> internal error, not a silent full report.
+    assert analysis_main([str(tmp_path), "--changed", "no-such-ref"]) == 2
+
+
+def test_changed_files_helper_lists_modified_and_untracked(tmp_path):
+    import subprocess
+
+    from repro.analysis.runner import changed_files
+
+    env = {
+        **os.environ,
+        "GIT_AUTHOR_NAME": "t",
+        "GIT_AUTHOR_EMAIL": "t@example.com",
+        "GIT_COMMITTER_NAME": "t",
+        "GIT_COMMITTER_EMAIL": "t@example.com",
+    }
+
+    def git(*argv):
+        subprocess.run(
+            ["git", *argv], cwd=tmp_path, check=True, capture_output=True, env=env
+        )
+
+    git("init", "-q", "-b", "main")
+    tracked = write(tmp_path, "tracked.py", CLEAN_SNIPPET)
+    write(tmp_path, "notes.txt", "not python")
+    git("add", ".")
+    git("commit", "-q", "-m", "seed")
+    # Modify the tracked file, add an untracked one.
+    with open(tracked, "a") as fh:
+        fh.write("\n# touched\n")
+    write(tmp_path, "untracked.py", CLEAN_SNIPPET)
+    names = {os.path.basename(p) for p in changed_files("HEAD", cwd=str(tmp_path))}
+    assert names == {"tracked.py", "untracked.py"}
+
+
+def test_repro_cli_lint_passes_new_flags_through(tmp_path, capsys):
+    dirty = write(tmp_path, "dirty.py", DIRTY_SNIPPET)
+    out_path = tmp_path / "report.sarif"
+    assert (
+        cli_main(
+            ["lint", dirty, "--format", "sarif", "--output", str(out_path), "--jobs", "2"]
+        )
+        == 1
+    )
+    log = json.loads(out_path.read_text())
+    assert log["runs"][0]["tool"]["driver"]["name"] == "repro-lint"

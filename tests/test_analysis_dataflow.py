@@ -1,0 +1,176 @@
+"""Worklist-engine tests: may/must joins, loop convergence, divergence."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.cfg import STMT, build_cfg, iter_functions
+from repro.analysis.dataflow import (
+    DataflowDivergence,
+    ForwardAnalysis,
+    gen_kill_transfer,
+)
+
+
+def cfg_of(source: str, name: str = "f"):
+    tree = ast.parse(textwrap.dedent(source).lstrip("\n"))
+    for qualname, func, _cls in iter_functions(tree):
+        if qualname == name:
+            return build_cfg(func)
+    raise AssertionError(f"no function {name!r} in snippet")
+
+
+def nid_at(cfg, line: int) -> int:
+    for node in cfg.iter_nodes():
+        if node.kind == STMT and node.lineno == line:
+            return node.nid
+    raise AssertionError(f"no stmt node at line {line}")
+
+
+DIAMOND = """
+    def f(c):
+        if c:
+            x = 1
+        else:
+            y = 2
+        return 0
+"""
+
+
+def assign_transfer(node, facts):
+    """Gen the assigned name at single-target Assign statements."""
+    stmt = node.stmt
+    if isinstance(stmt, ast.Assign) and isinstance(stmt.targets[0], ast.Name):
+        return facts | {stmt.targets[0].id}
+    return facts
+
+
+def test_may_join_unions_across_diamond():
+    cfg = cfg_of(DIAMOND)
+    result = ForwardAnalysis(cfg, transfer=assign_transfer, join="may").run()
+    at_join = result.in_of(nid_at(cfg, 6))
+    assert at_join == {"x", "y"}
+
+
+def test_must_join_intersects_across_diamond():
+    cfg = cfg_of(DIAMOND)
+    result = ForwardAnalysis(cfg, transfer=assign_transfer, join="must").run()
+    at_join = result.in_of(nid_at(cfg, 6))
+    # Neither x nor y is assigned on *every* path (the else arm lacks x,
+    # and the if head itself is a third joining path for the no-else shape).
+    assert at_join == frozenset()
+
+
+def test_must_join_keeps_facts_common_to_all_paths():
+    cfg = cfg_of(
+        """
+        def f(c):
+            common = 0
+            if c:
+                x = 1
+            else:
+                y = 2
+            return common
+        """
+    )
+    result = ForwardAnalysis(cfg, transfer=assign_transfer, join="must").run()
+    assert result.in_of(nid_at(cfg, 7)) == {"common"}
+
+
+def test_loop_converges_and_back_edge_does_not_erase_facts():
+    cfg = cfg_of(
+        """
+        def f(n):
+            total = 0
+            while n:
+                n = n - 1
+            return total
+        """
+    )
+    result = ForwardAnalysis(cfg, transfer=assign_transfer, join="must").run()
+    # `total` is assigned before the loop on every path, so it must-hold
+    # at the return even though the back edge re-joins the loop head.
+    assert "total" in result.in_of(nid_at(cfg, 5))
+    assert "n" not in result.in_of(nid_at(cfg, 3))  # head: first visit lacks it
+
+
+def test_gen_kill_transfer_applies_kill_before_gen():
+    cfg = cfg_of(
+        """
+        def f():
+            a = 1
+            a = 2
+            return a
+        """
+    )
+    first, second = nid_at(cfg, 2), nid_at(cfg, 3)
+    transfer = gen_kill_transfer(
+        gen={first: frozenset({"a@2"}), second: frozenset({"a@3"})},
+        kill={second: frozenset({"a@2"})},
+    )
+    result = ForwardAnalysis(cfg, transfer=transfer, join="may").run()
+    assert result.in_of(nid_at(cfg, 4)) == {"a@3"}
+
+
+def test_init_facts_flow_from_entry():
+    cfg = cfg_of(
+        """
+        def f():
+            return 0
+        """
+    )
+    result = ForwardAnalysis(
+        cfg, transfer=lambda node, facts: facts, init=frozenset({"seed"})
+    ).run()
+    assert result.in_of(nid_at(cfg, 2)) == {"seed"}
+    assert result.reached(cfg.exit)
+
+
+def test_unreachable_nodes_report_empty_and_unreached():
+    cfg = cfg_of(
+        """
+        def f():
+            return 0
+            dead = 1
+        """
+    )
+    result = ForwardAnalysis(cfg, transfer=assign_transfer).run()
+    dead = nid_at(cfg, 3)
+    assert not result.reached(dead)
+    assert result.in_of(dead) == frozenset()
+
+
+def test_non_monotone_transfer_raises_divergence():
+    cfg = cfg_of(
+        """
+        def f(n):
+            while n:
+                n = n - 1
+            return n
+        """
+    )
+
+    def oscillating(node, facts):
+        # The loop body flips a fact on and off while every other node
+        # passes through: the head's join keeps feeding the flipped value
+        # back around the cycle, so no fixed point exists.
+        if node.kind == STMT and node.lineno == 3:
+            return frozenset() if "tick" in facts else frozenset({"tick"})
+        return facts
+
+    with pytest.raises(DataflowDivergence):
+        ForwardAnalysis(cfg, transfer=oscillating, max_passes=200).run()
+
+
+def test_bad_join_rejected():
+    cfg = cfg_of(
+        """
+        def f():
+            return 0
+        """
+    )
+    with pytest.raises(ValueError):
+        ForwardAnalysis(cfg, transfer=lambda n, f: f, join="sometimes")

@@ -1,0 +1,389 @@
+"""Fixture triples (flag / clean / suppressed) for the CFG data-flow rules:
+resource-lifecycle, scope-discipline, clock-discipline, blocking-under-lock."""
+
+from __future__ import annotations
+
+import textwrap
+
+import repro.analysis  # noqa: F401  (registers the built-in rules)
+from repro.analysis.core import ModuleInfo, filter_suppressed, get_rule
+
+
+def lint_snippet(source: str, rule_name: str, path: str = "<snippet>.py"):
+    module = ModuleInfo.parse(path, textwrap.dedent(source))
+    rule = get_rule(rule_name)
+    if rule.scope == "project":
+        findings = list(rule.check_project([module]))
+    else:
+        findings = list(rule.check(module))
+    return filter_suppressed(findings, {module.path: module})
+
+
+# -- resource-lifecycle ------------------------------------------------------
+
+
+LEAKY_FETCHER = """
+    from repro.storage.transfer import ParallelFetcher
+
+    def fetch_all(reader, keys):
+        fetcher = ParallelFetcher(reader, workers=4)
+        if not keys:
+            return []          # leaks: no close on this path
+        blocks = fetcher.fetch(keys)
+        fetcher.close()
+        return blocks
+"""
+
+CLOSED_FETCHER = """
+    from repro.storage.transfer import ParallelFetcher
+
+    def fetch_all(reader, keys):
+        fetcher = ParallelFetcher(reader, workers=4)
+        try:
+            if not keys:
+                return []
+            return fetcher.fetch(keys)
+        finally:
+            fetcher.close()
+"""
+
+WITH_MANAGED_FETCHER = """
+    from repro.storage.transfer import ParallelFetcher
+
+    def fetch_all(reader, keys):
+        fetcher = ParallelFetcher(reader, workers=4)
+        with fetcher:
+            return fetcher.fetch(keys)
+"""
+
+ESCAPING_FETCHER = """
+    from repro.storage.transfer import ParallelFetcher
+
+    def make_fetcher(reader):
+        fetcher = ParallelFetcher(reader, workers=4)
+        return fetcher     # ownership transfers to the caller
+"""
+
+
+def test_resource_lifecycle_flags_leak_on_early_return():
+    findings = lint_snippet(LEAKY_FETCHER, "resource-lifecycle")
+    assert len(findings) == 1
+    assert "ParallelFetcher" in findings[0].message
+
+
+def test_resource_lifecycle_clean_try_finally():
+    assert lint_snippet(CLOSED_FETCHER, "resource-lifecycle") == []
+
+
+def test_resource_lifecycle_clean_with_block():
+    assert lint_snippet(WITH_MANAGED_FETCHER, "resource-lifecycle") == []
+
+
+def test_resource_lifecycle_return_transfers_ownership():
+    assert lint_snippet(ESCAPING_FETCHER, "resource-lifecycle") == []
+
+
+def test_resource_lifecycle_suppression_comment():
+    suppressed = LEAKY_FETCHER.replace(
+        "fetcher = ParallelFetcher(reader, workers=4)",
+        "fetcher = ParallelFetcher(reader, workers=4)"
+        "  # repro-lint: disable=resource-lifecycle",
+    )
+    assert lint_snippet(suppressed, "resource-lifecycle") == []
+
+
+def test_resource_lifecycle_flags_unclosed_class_attr():
+    src = """
+        from repro.services.events import EventStream
+
+        class Holder:
+            def __init__(self):
+                self.stream = EventStream("s")
+    """
+    findings = lint_snippet(src, "resource-lifecycle")
+    assert len(findings) == 1
+    assert "EventStream" in findings[0].message
+
+
+def test_resource_lifecycle_clean_class_attr_with_close():
+    src = """
+        from repro.services.events import EventStream
+
+        class Holder:
+            def __init__(self):
+                self.stream = EventStream("s")
+
+            def close(self):
+                self.stream.close()
+    """
+    assert lint_snippet(src, "resource-lifecycle") == []
+
+
+# -- scope-discipline --------------------------------------------------------
+
+SCOPE_PATH = "src/repro/services/widget.py"
+
+UNSCOPED_CHARGE = """
+    def render(access, key):
+        return access.read_block(key)
+"""
+
+DOMINATED_CHARGE = """
+    from repro.idx.access import use_scope
+
+    def render(access, key, scope):
+        with use_scope(scope):
+            return access.read_block(key)
+"""
+
+PARTIALLY_DOMINATED_CHARGE = """
+    from repro.idx.access import use_scope
+
+    def render(access, key, tenant_ctx, warm):
+        if warm:
+            with use_scope(tenant_ctx):
+                return access.read_block(key)
+        return access.read_block(key)
+"""
+
+
+def test_scope_discipline_flags_undominated_charge():
+    findings = lint_snippet(UNSCOPED_CHARGE, "scope-discipline", path=SCOPE_PATH)
+    assert len(findings) == 1
+    assert "read_block" in findings[0].message
+
+
+def test_scope_discipline_clean_when_dominated():
+    assert lint_snippet(DOMINATED_CHARGE, "scope-discipline", path=SCOPE_PATH) == []
+
+
+def test_scope_discipline_flags_only_the_unscoped_branch():
+    findings = lint_snippet(
+        PARTIALLY_DOMINATED_CHARGE, "scope-discipline", path=SCOPE_PATH
+    )
+    assert len(findings) == 1
+    assert findings[0].line == 8
+
+
+def test_scope_discipline_not_applied_outside_service_packages():
+    assert lint_snippet(UNSCOPED_CHARGE, "scope-discipline", path="src/repro/util/x.py") == []
+
+
+def test_scope_discipline_suppression_comment():
+    suppressed = UNSCOPED_CHARGE.replace(
+        "return access.read_block(key)",
+        "return access.read_block(key)  # repro-lint: disable=scope-discipline",
+    )
+    assert lint_snippet(suppressed, "scope-discipline", path=SCOPE_PATH) == []
+
+
+def test_scope_discipline_flags_thread_hop_without_rebind():
+    src = """
+        def fan_out(pool, access, keys):
+            def work(key):
+                return access.read_block(key)
+            return [pool.submit(work, k) for k in keys]
+    """
+    findings = lint_snippet(src, "scope-discipline", path=SCOPE_PATH)
+    assert len(findings) == 1
+    assert "thread" in findings[0].message.lower() or "scope" in findings[0].message.lower()
+
+
+def test_scope_discipline_clean_thread_hop_with_rebind():
+    src = """
+        from repro.idx.access import use_scope
+
+        def fan_out(pool, access, keys, scope):
+            def work(key):
+                with use_scope(scope):
+                    return access.read_block(key)
+            return [pool.submit(work, k) for k in keys]
+    """
+    assert lint_snippet(src, "scope-discipline", path=SCOPE_PATH) == []
+
+
+# -- clock-discipline --------------------------------------------------------
+
+CLOCK_PATH = "src/repro/network/widget.py"
+
+WALL_CLOCK_SLEEP = """
+    import time
+
+    def poll(probe):
+        time.sleep(0.1)
+        return probe()
+"""
+
+SIM_CLOCK_OK = """
+    def poll(probe, clock):
+        clock.sleep(0.1)
+        return probe()
+"""
+
+MONOTONIC_TELEMETRY_OK = """
+    import time
+
+    def timed(fn):
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
+"""
+
+
+def test_clock_discipline_flags_wall_clock_in_simulated_module():
+    findings = lint_snippet(WALL_CLOCK_SLEEP, "clock-discipline", path=CLOCK_PATH)
+    assert len(findings) == 1
+    assert "sleep" in findings[0].message
+
+
+def test_clock_discipline_clean_sim_clock():
+    assert lint_snippet(SIM_CLOCK_OK, "clock-discipline", path=CLOCK_PATH) == []
+
+
+def test_clock_discipline_allows_perf_counter_telemetry():
+    assert lint_snippet(MONOTONIC_TELEMETRY_OK, "clock-discipline", path=CLOCK_PATH) == []
+
+
+def test_clock_discipline_not_applied_outside_simulated_modules():
+    assert (
+        lint_snippet(WALL_CLOCK_SLEEP, "clock-discipline", path="src/repro/util/x.py")
+        == []
+    )
+
+
+def test_clock_discipline_exemptions_come_from_config_not_comments():
+    from repro.analysis.config import CLOCK_ALLOWLIST, clock_allowlisted
+
+    # The one shipped exemption: TokenBucket's real-sleep admission mode.
+    assert clock_allowlisted("src/repro/idx/access.py", "TokenBucket.acquire")
+    assert not clock_allowlisted("src/repro/idx/access.py", "TokenBucket.try_acquire")
+    for (suffix, qualname), reason in CLOCK_ALLOWLIST.items():
+        assert reason, f"allowlist entry {suffix}:{qualname} must give a reason"
+
+
+def test_clock_discipline_flags_datetime_now():
+    src = """
+        from datetime import datetime
+
+        def stamp():
+            return datetime.now()
+    """
+    findings = lint_snippet(src, "clock-discipline", path=CLOCK_PATH)
+    assert len(findings) == 1
+
+
+def test_clock_discipline_suppression_comment():
+    suppressed = WALL_CLOCK_SLEEP.replace(
+        "time.sleep(0.1)",
+        "time.sleep(0.1)  # repro-lint: disable=clock-discipline",
+    )
+    assert lint_snippet(suppressed, "clock-discipline", path=CLOCK_PATH) == []
+
+
+# -- blocking-under-lock -----------------------------------------------------
+
+
+BLOCKING_SLEEP_UNDER_LOCK = """
+    import threading
+    import time
+
+    class Poller:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.state = 0
+
+        def tick(self):
+            with self._lock:
+                time.sleep(0.5)
+                self.state += 1
+"""
+
+SLEEP_OUTSIDE_LOCK = """
+    import threading
+    import time
+
+    class Poller:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.state = 0
+
+        def tick(self):
+            time.sleep(0.5)
+            with self._lock:
+                self.state += 1
+"""
+
+CONDITION_WAIT_OK = """
+    import threading
+
+    class Queue:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._cond = threading.Condition(self._lock)
+            self.items = []
+
+        def pop(self):
+            with self._lock:
+                while not self.items:
+                    self._cond.wait()
+                return self.items.pop()
+"""
+
+
+def test_blocking_under_lock_flags_sleep_while_held():
+    findings = lint_snippet(BLOCKING_SLEEP_UNDER_LOCK, "blocking-under-lock")
+    assert len(findings) == 1
+    assert "sleep" in findings[0].message
+
+
+def test_blocking_under_lock_clean_outside_critical_section():
+    assert lint_snippet(SLEEP_OUTSIDE_LOCK, "blocking-under-lock") == []
+
+
+def test_blocking_under_lock_condition_wait_is_exempt():
+    assert lint_snippet(CONDITION_WAIT_OK, "blocking-under-lock") == []
+
+
+def test_blocking_under_lock_flags_future_result_under_lock():
+    src = """
+        import threading
+
+        class Gather:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.out = []
+
+            def drain(self, futures):
+                with self._lock:
+                    for f in futures:
+                        self.out.append(f.result())
+    """
+    findings = lint_snippet(src, "blocking-under-lock")
+    assert len(findings) == 1
+    assert "result" in findings[0].message
+
+
+def test_blocking_under_lock_done_guarded_result_is_exempt():
+    src = """
+        import threading
+
+        class Gather:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.out = []
+
+            def drain(self, futures):
+                with self._lock:
+                    for f in futures:
+                        if f.done() and f.result():
+                            self.out.append(f)
+    """
+    assert lint_snippet(src, "blocking-under-lock") == []
+
+
+def test_blocking_under_lock_suppression_comment():
+    suppressed = BLOCKING_SLEEP_UNDER_LOCK.replace(
+        "time.sleep(0.5)",
+        "time.sleep(0.5)  # repro-lint: disable=blocking-under-lock",
+    )
+    assert lint_snippet(suppressed, "blocking-under-lock") == []

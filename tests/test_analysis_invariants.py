@@ -1,0 +1,252 @@
+"""Runtime invariant checkers: ScopeSanitizer provocations and the
+cache byte-conservation checker.
+
+Provocation tests install a *local* sanitizer: `set_scope_observer`
+replaces the active observer, so a session-wide sanitizer (REPRO_SANITIZE=1)
+never sees the deliberately-bad traffic, and uninstall restores it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.analysis.invariants import (
+    CacheConservationChecker,
+    ScopeSanitizer,
+)
+from repro.idx.access import Access, AccessScope, use_scope
+from repro.idx.cache import BlockCache
+from repro.idx.hzorder import PlanCache
+
+
+class _DummyAccess(Access):
+    def read_block(self, time_idx, field_idx, block_id):  # pragma: no cover
+        raise NotImplementedError
+
+
+def block(n=64):
+    return np.zeros(n, dtype=np.float32)
+
+
+# -- ScopeSanitizer ----------------------------------------------------------
+
+
+def test_scope_sanitizer_clean_same_thread_traffic():
+    scope = AccessScope("alice")
+    with ScopeSanitizer() as sanitizer:
+        with use_scope(scope):
+            scope.admit(2)
+            scope.admit(1)
+    report = sanitizer.report()
+    assert report.ok, report.summary()
+    assert report.binds == 1
+    assert report.charges == 2
+
+
+def test_scope_sanitizer_flags_cross_thread_charge():
+    scope = AccessScope("alice")
+    with ScopeSanitizer() as sanitizer:
+        with use_scope(scope):
+            worker = threading.Thread(target=scope.admit, args=(1,))
+            worker.start()
+            worker.join()
+    report = sanitizer.report()
+    assert not report.ok
+    assert [v.kind for v in report.violations] == ["cross-thread-charge"]
+    assert report.violations[0].tenant == "alice"
+
+
+def test_scope_sanitizer_charge_on_unbound_scope_is_not_cross_thread():
+    # A scope nobody holds can be charged from anywhere (e.g. warm-up
+    # accounting before the session starts serving).
+    scope = AccessScope("alice")
+    with ScopeSanitizer() as sanitizer:
+        worker = threading.Thread(target=scope.admit, args=(1,))
+        worker.start()
+        worker.join()
+    assert sanitizer.report().ok
+
+
+def test_scope_sanitizer_flags_concurrent_bind():
+    scope = AccessScope("bob")
+    entered = threading.Event()
+    release = threading.Event()
+
+    def hold():
+        with use_scope(scope):
+            entered.set()
+            release.wait(timeout=5)
+
+    with ScopeSanitizer() as sanitizer:
+        worker = threading.Thread(target=hold)
+        worker.start()
+        assert entered.wait(timeout=5)
+        with use_scope(scope):  # second driver while the worker still holds
+            pass
+        release.set()
+        worker.join()
+    report = sanitizer.report()
+    assert "concurrent-bind" in [v.kind for v in report.violations]
+
+
+def test_scope_sanitizer_same_thread_nesting_is_fine():
+    scope = AccessScope("carol")
+    with ScopeSanitizer() as sanitizer:
+        with use_scope(scope):
+            with use_scope(scope):
+                scope.admit(1)
+    assert sanitizer.report().ok
+
+
+def test_scope_sanitizer_flags_foreign_unbind():
+    scope = AccessScope("dave")
+    with ScopeSanitizer() as sanitizer:
+        worker = threading.Thread(target=sanitizer.on_bind, args=(scope,))
+        worker.start()
+        worker.join()
+        sanitizer.on_unbind(scope)  # this thread never entered the binding
+    report = sanitizer.report()
+    assert "foreign-unbind" in [v.kind for v in report.violations]
+
+
+def test_scope_sanitizer_default_fallback_allowed_by_default():
+    access = _DummyAccess()
+    with ScopeSanitizer() as sanitizer:
+        assert access._scope() is access._default_scope
+    report = sanitizer.report()
+    assert report.ok
+    assert report.defaults == 1
+
+
+def test_scope_sanitizer_strict_mode_flags_unbound_charge():
+    access = _DummyAccess()
+    with ScopeSanitizer(require_scoped=True) as sanitizer:
+        access._scope()
+    report = sanitizer.report()
+    assert [v.kind for v in report.violations] == ["unbound-charge"]
+
+
+def test_scope_sanitizer_nests_and_restores_previous_observer():
+    from repro.idx.access import set_scope_observer
+
+    outer = ScopeSanitizer().install()
+    try:
+        inner = ScopeSanitizer().install()
+        scope = AccessScope("eve")
+        with use_scope(scope):
+            scope.admit(1)
+        inner.uninstall()
+        # The inner sanitizer saw the traffic; the outer one did not.
+        assert inner.report().charges == 1
+        assert outer.report().charges == 0
+        # And the outer observer is active again after inner uninstall.
+        with use_scope(scope):
+            scope.admit(1)
+        assert outer.report().charges == 1
+    finally:
+        outer.uninstall()
+    # Whatever was active before (e.g. the session-wide sanitizer) is back.
+    active = set_scope_observer(None)
+    set_scope_observer(active)
+    assert active is not outer
+
+
+def test_scope_sanitizer_report_is_a_snapshot():
+    scope = AccessScope("fred")
+    with ScopeSanitizer() as sanitizer:
+        with use_scope(scope):
+            scope.admit(1)
+        first = sanitizer.report()
+        with use_scope(scope):
+            scope.admit(1)
+    assert first.charges == 1
+    assert sanitizer.report().charges == 2
+
+
+# -- CacheConservationChecker ------------------------------------------------
+
+
+def test_conservation_clean_through_insert_evict_invalidate_clear():
+    with CacheConservationChecker() as checker:
+        cache = BlockCache(capacity=4 * block().nbytes)
+        for i in range(8):  # forces capacity evictions
+            cache.put(("k", i), block())
+        cache.put(("k", 0), block(32))  # replacement (shrinking)
+        cache.invalidate(("k", 7))
+        cache.get_or_load(("k", 100), lambda: block())
+        cache.clear()
+        plans = PlanCache(capacity="1 MiB")
+        plans.put(("p", 1), None)
+        plans.clear()
+    assert checker.ok, checker.summary()
+
+
+def test_conservation_detects_forgotten_counter():
+    checker = CacheConservationChecker()
+    cache = BlockCache(capacity="1 MiB")
+    cache.put(("k", 1), block())
+    # Simulate a code path that dropped an entry without accounting it.
+    with cache._lock:
+        cache._entries.clear()
+        cache._bytes = 0
+    checker._check("BlockCache", "put", cache)
+    assert not checker.ok
+    (violation,) = checker.violations
+    assert violation.cache == "BlockCache"
+    assert violation.delta == block().nbytes
+    assert "inserted_bytes" in str(violation)
+
+
+def test_conservation_install_wraps_and_uninstall_restores():
+    before_put = BlockCache.put
+    before_clear = PlanCache.clear
+    checker = CacheConservationChecker().install()
+    try:
+        assert BlockCache.put is not before_put
+        assert BlockCache.put.__wrapped__ is before_put
+        cache = BlockCache(capacity="1 MiB")
+        cache.put(("k", 1), block())
+        assert checker.ok
+    finally:
+        checker.uninstall()
+    assert BlockCache.put is before_put
+    assert PlanCache.clear is before_clear
+
+
+def test_conservation_checker_nests():
+    outer = CacheConservationChecker().install()
+    try:
+        inner = CacheConservationChecker().install()
+        try:
+            cache = BlockCache(capacity="1 MiB")
+            cache.put(("k", 1), block())
+        finally:
+            inner.uninstall()
+        cache.put(("k", 2), block())
+        assert outer.ok and inner.ok
+    finally:
+        outer.uninstall()
+
+
+def test_conservation_holds_under_concurrent_loads():
+    with CacheConservationChecker() as checker:
+        cache = BlockCache(capacity=16 * block().nbytes)
+        stop = threading.Event()
+
+        def hammer(tid):
+            i = 0
+            while not stop.is_set() and i < 200:
+                cache.get_or_load(("k", tid, i % 24), lambda: block())
+                if i % 17 == 0:
+                    cache.invalidate(("k", tid, (i - 1) % 24))
+                i += 1
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+    assert checker.ok, checker.summary()
