@@ -4,6 +4,9 @@ size by approximately 20% while preserving data accuracy."
 Converts the four tutorial terrain products from uncompressed TIFF to
 IDX (zlib blocks) and reports per-product and mean reduction.  The shape
 to hold: a meaningful reduction (the paper says ~20%) at zero error.
+A second test repeats the conversion with the fixed default codec and
+with ``adaptive`` per-block selection side by side (the deep sweep lives
+in ``bench_compress.py``).
 """
 
 import numpy as np
@@ -56,5 +59,41 @@ def test_c1_size_reduction(benchmark, tiffs):
     # is fully preserved (the second half of the claim).
     assert 8.0 < mean < 45.0
     for name, report in reports.items():
+        validation = validate_conversion(paths[name], report.idx_path)
+        assert validation.identical, name
+
+
+def test_c1_fixed_vs_adaptive(tiffs):
+    """The same claim run with per-block codec selection alongside the
+    fixed default: adaptive must preserve accuracy and never lose."""
+    tmp, paths = tiffs
+
+    def convert_all(codec, tag):
+        return {
+            name: tiff_to_idx(
+                path, str(tmp / f"{tag}-{name}.idx"), field_name=name, codec=codec
+            )
+            for name, path in paths.items()
+        }
+
+    fixed = convert_all("zlib:level=6", "c1fixed")
+    adaptive = convert_all("adaptive:level=6", "c1adaptive")
+
+    print_header("C1 follow-up: fixed zlib vs adaptive per-block selection")
+    print(f"{'product':<11s} {'fixed red.':>11s} {'adaptive red.':>14s}")
+    means = {"fixed": [], "adaptive": []}
+    for name in sorted(paths):
+        means["fixed"].append(fixed[name].reduction_percent)
+        means["adaptive"].append(adaptive[name].reduction_percent)
+        print(f"{name:<11s} {fixed[name].reduction_percent:>10.1f}% "
+              f"{adaptive[name].reduction_percent:>13.1f}%")
+    fixed_mean = float(np.mean(means["fixed"]))
+    adaptive_mean = float(np.mean(means["adaptive"]))
+    print(f"{'mean':<11s} {fixed_mean:>10.1f}% {adaptive_mean:>13.1f}%")
+
+    # Small per-file manifest overhead aside, adaptive never loses to the
+    # fixed pipeline, and accuracy stays byte-exact.
+    assert adaptive_mean >= fixed_mean - 0.5
+    for name, report in adaptive.items():
         validation = validate_conversion(paths[name], report.idx_path)
         assert validation.identical, name

@@ -1,0 +1,299 @@
+"""Compression benchmark suite — rate/throughput per codec × corpus.
+
+The calibration harness behind ``repro.compression.adaptive`` (ROADMAP
+item 3, in the spirit of LUNDIsim's compression benchmarks): sweep every
+registered codec over heterogeneous corpora
+
+- ``terrain``  — GEOtiled terrain products (elevation/slope/aspect/
+  hillshade tiles, the tutorial's actual ingest payload),
+- ``netcdf``   — fields written to and read back from a real NetCDF
+  file (smooth temperature, sparse precipitation, noisy wind),
+- ``synthetic``— smooth gradient / uniform noise / sparse / quantized
+  arrays spanning dtypes,
+
+and emit ``BENCH_compress.json`` with ratio, encode MB/s, and decode
+MB/s per (codec, corpus) row.  A second test pits the adaptive selector
+against the fixed ``shuffle:level=6`` pipeline on the full ingest
+corpus: the headline criteria are >= 20 % size reduction (the paper's
+number), strictly beating the fixed codec, staying byte-exact, and
+keeping encode throughput within 10 % of fixed.
+
+Set ``BENCH_TINY=1`` for a seconds-scale configuration (CI smoke).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import print_header
+
+from repro.compression import ZfpCodec, get_codec
+from repro.formats.ncdf import NcdfFile, read_ncdf, write_ncdf
+from repro.formats.tiff import write_tiff
+from repro.idx import IdxDataset, tiff_to_idx
+from repro.terrain import GeoTiler
+from repro.terrain.dem import composite_terrain
+
+TINY = bool(int(os.environ.get("BENCH_TINY", "0")))
+
+SIZE = (96, 96) if TINY else (256, 256)
+BITS = 10 if TINY else 14
+REPEATS = 1 if TINY else 3
+
+CODECS = [
+    "identity",
+    "rle",
+    "lz4",
+    "zlib:level=6",
+    "shuffle:level=6",
+    "zfp:precision=16",
+    "adaptive:level=6",
+]
+
+FIXED = "shuffle:level=6"
+ADAPTIVE = "adaptive:level=6"
+
+_RESULTS = {"config": "tiny" if TINY else "full"}
+
+
+def _terrain_corpus():
+    base = composite_terrain(SIZE, seed=42)
+    products = GeoTiler(grid=(2, 2)).compute(
+        base, parameters=("elevation", "slope", "aspect", "hillshade")
+    )
+    return {name: np.nan_to_num(r).astype(np.float32) for name, r in products.items()}
+
+
+def _netcdf_corpus(tmp_dir):
+    """Fields that really went through the NetCDF writer/reader."""
+    rng = np.random.default_rng(9)
+    ny, nx = SIZE
+    lat = np.linspace(-30, 30, ny)
+    temperature = (
+        20 + 10 * np.cos(np.deg2rad(lat))[:, None] * np.ones((1, nx))
+        + rng.normal(0, 0.3, SIZE)
+    ).astype(np.float32)
+    rain = np.where(rng.random(SIZE) < 0.04, rng.gamma(2.0, 3.0, SIZE), 0.0).astype(
+        np.float32
+    )
+    wind = rng.normal(5, 2, SIZE).astype(np.float32)
+    nc = NcdfFile()
+    nc.add_dim("y", ny)
+    nc.add_dim("x", nx)
+    for name, arr in (("temperature", temperature), ("rain", rain), ("wind", wind)):
+        nc.add_variable(name, ("y", "x"), arr)
+    path = os.path.join(tmp_dir, "fields.nc")
+    write_ncdf(path, nc)
+    loaded = read_ncdf(path)
+    return {name: np.asarray(var.data, dtype=np.float32) for name, var in loaded.variables.items()}
+
+
+def _synthetic_corpus():
+    rng = np.random.default_rng(3)
+    smooth = np.add.outer(
+        np.linspace(0, 500, SIZE[0]), np.linspace(0, 250, SIZE[1])
+    ).astype(np.float32)
+    noisy = rng.random(SIZE).astype(np.float32)
+    sparse = np.where(rng.random(SIZE) < 0.05, rng.random(SIZE), 0.0).astype(np.float32)
+    quantized = np.round(rng.normal(0, 20, SIZE)).astype(np.int32)
+    bytes_noise = rng.integers(0, 256, SIZE, dtype=np.uint8)
+    return {
+        "smooth": smooth,
+        "noisy": noisy,
+        "sparse": sparse,
+        "quantized": quantized,
+        "bytes_noise": bytes_noise,
+    }
+
+
+@pytest.fixture(scope="module")
+def corpora(tmp_path_factory):
+    tmp = str(tmp_path_factory.mktemp("compress"))
+    return {
+        "terrain": _terrain_corpus(),
+        "netcdf": _netcdf_corpus(tmp),
+        "synthetic": _synthetic_corpus(),
+    }
+
+
+def _sweep_one(codec, arrays):
+    """(ratio, encode MB/s, decode MB/s) of one codec over one corpus."""
+    raw = sum(a.nbytes for a in arrays)
+    enc_s = dec_s = 0.0
+    encoded = 0
+    for _ in range(REPEATS):
+        enc_round = dec_round = 0.0
+        encoded = 0
+        for a in arrays:
+            t0 = time.perf_counter()
+            blob = codec.encode_array(a)
+            enc_round += time.perf_counter() - t0
+            encoded += len(blob)
+            t0 = time.perf_counter()
+            back = codec.decode_array(blob, a.dtype, a.shape)
+            dec_round += time.perf_counter() - t0
+            if codec.lossless:
+                assert back.tobytes() == np.ascontiguousarray(a).tobytes()
+        # best-of: timing noise only ever makes a round slower
+        enc_s = enc_round if enc_s == 0 else min(enc_s, enc_round)
+        dec_s = dec_round if dec_s == 0 else min(dec_s, dec_round)
+    return encoded / raw, raw / enc_s / 2**20, raw / dec_s / 2**20
+
+
+def test_codec_corpus_sweep(corpora):
+    rows = []
+    for corpus_name, fields in sorted(corpora.items()):
+        arrays = [fields[k] for k in sorted(fields)]
+        for spec in CODECS:
+            codec = get_codec(spec)
+            if not codec.lossless:
+                # zfp is float-only; drop the integer/byte arrays.
+                use = [a for a in arrays if a.dtype.kind == "f"]
+            else:
+                use = arrays
+            ratio, enc_mb_s, dec_mb_s = _sweep_one(codec, use)
+            rows.append(
+                {
+                    "codec": spec,
+                    "corpus": corpus_name,
+                    "ratio": round(ratio, 4),
+                    "encode_mb_s": round(enc_mb_s, 2),
+                    "decode_mb_s": round(dec_mb_s, 2),
+                }
+            )
+
+    print_header(f"Codec x corpus sweep ({SIZE[0]}x{SIZE[1]}, {REPEATS} repeats)")
+    print(f"{'codec':<18s} {'corpus':<10s} {'ratio':>7s} {'enc MB/s':>9s} {'dec MB/s':>9s}")
+    for row in rows:
+        print(
+            f"{row['codec']:<18s} {row['corpus']:<10s} {row['ratio']:>7.3f} "
+            f"{row['encode_mb_s']:>9.1f} {row['decode_mb_s']:>9.1f}"
+        )
+
+    by = {(r["codec"], r["corpus"]): r for r in rows}
+    corpora_names = sorted({r["corpus"] for r in rows})
+    assert len(corpora_names) >= 3
+    for corpus in corpora_names:
+        # The adaptive selector never loses badly to its best candidate:
+        # per corpus it is at least as good as the *worst* of its
+        # candidates and within a whisker of the best fixed choice.
+        best_fixed = min(
+            by[(spec, corpus)]["ratio"] for spec in ("zlib:level=6", "shuffle:level=6")
+        )
+        assert by[(ADAPTIVE, corpus)]["ratio"] <= best_fixed * 1.05 + 0.01, corpus
+        # Identity is the never-expand ceiling.
+        assert by[(ADAPTIVE, corpus)]["ratio"] <= by[("identity", corpus)]["ratio"] + 0.01
+
+    _RESULTS["sweep"] = rows
+    _flush()
+
+
+def _ingest_corpus(tmp_dir):
+    """The heterogeneous ingest payload the motivation describes: smooth
+    terrain products, constant nodata regions, sparse and noisy fields."""
+    fields = dict(_terrain_corpus())
+    rng = np.random.default_rng(21)
+    nodata = fields["elevation"].copy()
+    nodata[: SIZE[0] // 2, : SIZE[1] // 2] = 0.0  # masked "ocean" quadrant
+    fields["masked_elevation"] = nodata
+    fields["noise_field"] = rng.random(SIZE).astype(np.float32)
+    fields["sparse_field"] = np.where(
+        rng.random(SIZE) < 0.03, rng.random(SIZE), 0.0
+    ).astype(np.float32)
+    paths = {}
+    for name, arr in fields.items():
+        path = os.path.join(tmp_dir, f"{name}.tif")
+        write_tiff(path, arr, compression="none")
+        paths[name] = path
+    return fields, paths
+
+
+def _convert_all(paths, tmp_dir, codec, tag):
+    reports = {}
+    wall = 0.0
+    for name, src in paths.items():
+        report = tiff_to_idx(
+            src, os.path.join(tmp_dir, f"{tag}-{name}.idx"), codec=codec, bits_per_block=BITS
+        )
+        wall += report.encode_stats.wall_seconds
+        reports[name] = report
+    return reports, wall
+
+
+def test_adaptive_vs_fixed_on_ingest_corpus(tmp_path):
+    fields, paths = _ingest_corpus(str(tmp_path))
+    raw_bytes = sum(os.path.getsize(p) for p in paths.values())
+
+    fixed_wall = adaptive_wall = None
+    fixed_reports = adaptive_reports = None
+    for _ in range(REPEATS):
+        reports, wall = _convert_all(paths, str(tmp_path), FIXED, "fixed")
+        fixed_reports = reports
+        fixed_wall = wall if fixed_wall is None else min(fixed_wall, wall)
+        reports, wall = _convert_all(paths, str(tmp_path), ADAPTIVE, "adaptive")
+        adaptive_reports = reports
+        adaptive_wall = wall if adaptive_wall is None else min(adaptive_wall, wall)
+
+    def total(reports, attr):
+        return sum(getattr(r, attr) for r in reports.values())
+
+    fixed_idx = total(fixed_reports, "idx_bytes")
+    adaptive_idx = total(adaptive_reports, "idx_bytes")
+    src = total(fixed_reports, "source_bytes")
+    fixed_red = 100.0 * (1 - fixed_idx / src)
+    adaptive_red = 100.0 * (1 - adaptive_idx / src)
+    fixed_mb_s = raw_bytes / fixed_wall / 2**20
+    adaptive_mb_s = raw_bytes / adaptive_wall / 2**20
+
+    codec_bytes = {}
+    for r in adaptive_reports.values():
+        for spec, n in r.codec_bytes.items():
+            codec_bytes[spec] = codec_bytes.get(spec, 0) + n
+
+    print_header("Ingest corpus: fixed shuffle+zlib vs adaptive per-block")
+    print(f"{'pipeline':<10s} {'idx bytes':>11s} {'reduction':>10s} {'enc MB/s':>9s}")
+    print(f"{'fixed':<10s} {fixed_idx:>11d} {fixed_red:>9.1f}% {fixed_mb_s:>9.1f}")
+    print(f"{'adaptive':<10s} {adaptive_idx:>11d} {adaptive_red:>9.1f}% {adaptive_mb_s:>9.1f}")
+    print("adaptive codec split:")
+    for spec in sorted(codec_bytes):
+        print(f"  {spec:<26s} {codec_bytes[spec]:>11d} B")
+
+    # Lossless round trip, byte-exact, for every field and both pipelines.
+    for name, arr in fields.items():
+        for reports in (fixed_reports, adaptive_reports):
+            back = IdxDataset.open(reports[name].idx_path).read()
+            assert back.tobytes() == arr.tobytes(), name
+
+    # The headline criteria (ISSUE 9): beat the paper's 20 % on the
+    # heterogeneous ingest corpus, strictly beat the fixed pipeline, and
+    # stay within 10 % of its encode throughput.
+    assert adaptive_red > fixed_red, (adaptive_red, fixed_red)
+    if not TINY:  # smoke-size fields barely compress and timing is noisy
+        assert adaptive_red >= 20.0, f"adaptive reduction {adaptive_red:.1f}% < 20%"
+        assert adaptive_mb_s >= 0.9 * fixed_mb_s, (adaptive_mb_s, fixed_mb_s)
+
+    _RESULTS["ingest"] = {
+        "source_bytes": src,
+        "fixed": {
+            "codec": FIXED,
+            "idx_bytes": fixed_idx,
+            "reduction_percent": round(fixed_red, 2),
+            "encode_mb_s": round(fixed_mb_s, 2),
+        },
+        "adaptive": {
+            "codec": ADAPTIVE,
+            "idx_bytes": adaptive_idx,
+            "reduction_percent": round(adaptive_red, 2),
+            "encode_mb_s": round(adaptive_mb_s, 2),
+            "codec_bytes": codec_bytes,
+        },
+    }
+    _flush()
+
+
+def _flush():
+    with open("BENCH_compress.json", "w") as fh:
+        json.dump(_RESULTS, fh, indent=2, sort_keys=True)
+    print("wrote BENCH_compress.json")

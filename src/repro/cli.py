@@ -127,6 +127,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"codec       : {header.codec}")
     print(f"block size  : {ds.layout.block_size} samples x {ds.layout.num_blocks} blocks")
     print(f"stored bytes: {ds.stored_bytes()}")
+    hist = ds.codec_byte_histogram()
+    if len(hist) > 1 or (hist and next(iter(hist)) != header.codec):
+        for spec in sorted(hist):
+            print(f"  codec bytes : {spec} = {hist[spec]}")
     for name in ds.fields:
         stats = ds.field_stats(name)
         if stats:
@@ -256,7 +260,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("convert", help="convert TIFF/NetCDF/raw to IDX")
     p.add_argument("source")
     p.add_argument("dest")
-    p.add_argument("--codec", default="shuffle:level=6")
+    p.add_argument("--codec", default="shuffle:level=6",
+                   help="codec spec (e.g. zlib:level=6, shuffle, adaptive "
+                        "for per-block selection)")
     p.add_argument("--workers", type=int, default=1,
                    help="parallel block-encode workers for finalize")
     p.set_defaults(func=_cmd_convert)
@@ -264,7 +270,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("batch-convert", help="convert many files to IDX concurrently")
     p.add_argument("sources", nargs="+", help="TIFF/NetCDF/raw source files")
     p.add_argument("--out-dir", required=True)
-    p.add_argument("--codec", default="shuffle:level=6")
+    p.add_argument("--codec", default="shuffle:level=6",
+                   help="codec spec (adaptive = per-block selection)")
     p.add_argument("--workers", type=int, default=4, help="concurrent conversions")
     p.set_defaults(func=_cmd_batch_convert)
 
@@ -277,7 +284,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grid", default="4,4", help="tile grid, e.g. 4,4")
     p.add_argument("--workers", type=int, default=4,
                    help="tile-compute and block-encode workers")
-    p.add_argument("--codec", default="shuffle:level=6")
+    p.add_argument("--codec", default="shuffle:level=6",
+                   help="codec spec (adaptive = per-block selection)")
     p.set_defaults(func=_cmd_ingest)
 
     p = sub.add_parser("info", help="describe an IDX dataset")

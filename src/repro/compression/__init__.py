@@ -12,7 +12,9 @@ package provides that codec suite behind a single registry:
 - ``zfp`` — a lossy fixed-precision float codec with a block-lifting
   transform and a per-block error bound driven by ``precision`` bits,
 - ``shuffle`` — HDF5-style byte-shuffle filter over a lossless inner
-  codec, the standard trick that makes float rasters DEFLATE well.
+  codec, the standard trick that makes float rasters DEFLATE well,
+- ``adaptive`` — per-block selection over the codecs above from cheap
+  block statistics plus a probe trial (see ``repro.compression.adaptive``).
 
 Byte codecs round-trip exactly; ``zfp`` guarantees
 ``max|x - decode(encode(x))|`` bounded by the advertised tolerance.
@@ -30,8 +32,11 @@ from repro.compression.rle_codec import RleCodec
 from repro.compression.lz4_codec import Lz4Codec
 from repro.compression.zfp_codec import ZfpCodec
 from repro.compression.shuffle_codec import ShuffleCodec
+from repro.compression.adaptive import AdaptiveCodec, BlockProfile, profile_block
 
 __all__ = [
+    "AdaptiveCodec",
+    "BlockProfile",
     "Codec",
     "CodecError",
     "Lz4Codec",
@@ -41,5 +46,6 @@ __all__ = [
     "ZlibCodec",
     "available_codecs",
     "get_codec",
+    "profile_block",
     "register_codec",
 ]

@@ -1,0 +1,258 @@
+"""Adaptive per-block codec selection.
+
+A dataset rarely compresses uniformly: GEOtiled terrain mixes smooth
+elevation (where byte-shuffle + DEFLATE shines), constant nodata/ocean
+regions (where run-length coding is near-free), and noisy derived fields
+(where DEFLATE mostly wastes cycles).  A single dataset-wide codec picks
+one point on that trade-off for every block; :class:`AdaptiveCodec`
+instead inspects each block and picks the best registered codec for it.
+
+Selection is a *pure, deterministic* function of the block bytes — the
+same block always yields the same (spec, payload) pair — which is what
+keeps ``IdxDataset.finalize(workers=N)`` byte-identical to the serial
+encode at any worker count.  The policy table was calibrated with
+``benchmarks/bench_compress.py`` (see BENCH_compress.json and DESIGN.md
+§15):
+
+1. constant blocks → RLE (byte codecs: plain ``rle``; multi-byte dtypes:
+   ``shuffle:inner=rle`` so the repeated multi-byte pattern becomes
+   byte-level runs),
+2. incompressible single-byte data (byte entropy ≥ 7.9 bits) → identity,
+3. everything else → a cheap *probe trial*: encode a small prefix with
+   ``zlib`` and ``shuffle`` and keep the winner (identity if neither
+   bites), because no cheap statistic reliably separates the two on
+   real rasters — and on run-heavy *non*-constant data DEFLATE beats
+   byte RLE on ratio at every sparsity we measured,
+4. never-expand safety net: if the chosen payload is no smaller than the
+   raw block, store it uncompressed.
+
+Inside an IDX file the chosen spec is recorded in the block-codec
+manifest (``repro.idx.idxfile.BLOCK_CODECS_KEY``) and payloads are stored
+unframed.  Outside that context :meth:`encode_array` emits a small
+self-describing frame (``b"RADP"`` + spec) so the codec still honours the
+registry round-trip contract.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.compression.registry import Codec, CodecError, get_codec, register_codec
+
+__all__ = ["AdaptiveCodec", "BlockProfile", "profile_block"]
+
+_MAGIC = b"RADP"
+_FRAME = struct.Struct("<4sB")  # magic, spec length
+
+#: Bytes of each block fed to the probe trial.  Large enough that zlib's
+#: window sees real structure, small enough to stay a rounding error next
+#: to encoding the full block.
+_PROBE_BYTES = 4096
+
+#: A probe that compresses to less than this fraction of its raw size is
+#: considered worth compressing at all; otherwise store identity.
+_PROBE_GAIN = 0.98
+
+#: Single-byte data with byte entropy at/above this (out of 8 bits) is
+#: effectively random: DEFLATE cannot win, skip straight to identity.
+_ENTROPY_CEIL = 7.9
+
+
+class BlockProfile:
+    """Cheap per-block statistics driving codec selection."""
+
+    __slots__ = ("n_bytes", "itemsize", "constant", "run_fraction", "entropy")
+
+    def __init__(
+        self,
+        n_bytes: int,
+        itemsize: int,
+        constant: bool,
+        run_fraction: float,
+        entropy: float,
+    ) -> None:
+        self.n_bytes = n_bytes
+        self.itemsize = itemsize
+        self.constant = constant  # every *element* equals the first
+        self.run_fraction = run_fraction  # byte-level repeat density
+        self.entropy = entropy  # byte entropy in bits (0..8)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BlockProfile(n_bytes={self.n_bytes}, itemsize={self.itemsize}, "
+            f"constant={self.constant}, run_fraction={self.run_fraction:.3f}, "
+            f"entropy={self.entropy:.2f})"
+        )
+
+
+def _byte_view(arr: np.ndarray) -> np.ndarray:
+    """Flat uint8 view of a contiguous array (no copy)."""
+    return arr.reshape(-1).view(np.uint8)
+
+
+def _element_constant(u8: np.ndarray, itemsize: int) -> bool:
+    """True when every ``itemsize``-wide element equals the first.
+
+    Byte-level comparison on purpose: it treats NaN payloads as plain
+    bytes, so an all-NaN block still counts as constant.
+    """
+    n = u8.size
+    if n <= itemsize:
+        return True
+    if itemsize > 1 and n % itemsize == 0:
+        rows = u8.reshape(-1, itemsize)
+        return bool((rows == rows[0]).all())
+    return bool((u8 == u8[0]).all())
+
+
+def profile_block(array: np.ndarray) -> BlockProfile:
+    """Compute :class:`BlockProfile` for an array (one vectorized pass)."""
+    arr = np.ascontiguousarray(array)
+    itemsize = arr.dtype.itemsize
+    u8 = _byte_view(arr)
+    n = u8.size
+    if n == 0:
+        return BlockProfile(0, itemsize, True, 1.0, 0.0)
+    changes = int(np.count_nonzero(np.diff(u8))) if n > 1 else 0
+    run_fraction = 1.0 - changes / (n - 1) if n > 1 else 1.0
+    # A byte-varying block can still be element-constant (e.g. float32
+    # 1.0 repeated), which is what the RLE branch cares about.
+    constant = changes == 0 or _element_constant(u8, itemsize)
+    counts = np.bincount(u8, minlength=256)
+    p = counts[counts > 0] / n
+    entropy = float(-(p * np.log2(p)).sum())
+    return BlockProfile(n, itemsize, constant, run_fraction, entropy)
+
+
+class AdaptiveCodec(Codec):
+    """Per-block codec selector over the lossless registry codecs.
+
+    ``level`` is forwarded to the zlib/shuffle candidates.  All candidate
+    codecs are built once here and only *read* afterwards, so a single
+    instance serves the parallel encode pool (``thread_safe``).
+    """
+
+    name = "adaptive"
+    lossless = True
+
+    def __init__(self, level: "int | str" = 6) -> None:
+        level = int(level)
+        if not 0 <= level <= 9:
+            raise CodecError(f"adaptive level must be in [0, 9], got {level}")
+        self.level = level
+        self._identity = get_codec("identity")
+        self._rle = get_codec("rle")
+        self._zlib = get_codec(f"zlib:level={level}")
+        self._shuffle = get_codec(f"shuffle:level={level}")
+        self._shuffle_rle = get_codec("shuffle:inner=rle")
+        self._by_spec: Dict[str, Codec] = {
+            c.spec(): c
+            for c in (
+                self._identity,
+                self._rle,
+                self._zlib,
+                self._shuffle,
+                self._shuffle_rle,
+            )
+        }
+
+    # -- selection -------------------------------------------------------
+
+    def select_spec(self, array: np.ndarray) -> str:
+        """Pick a candidate codec spec for one block (pure, deterministic).
+
+        This is the policy-table decision only; :meth:`encode_with_spec`
+        additionally applies the never-expand safety net, so the spec that
+        lands in the manifest can still differ (→ identity) for blocks the
+        candidate fails to shrink.
+
+        Computes only the statistics the policy actually consults (the
+        full :func:`profile_block` pays for run/entropy passes the hot
+        encode loop does not need).
+        """
+        arr = np.ascontiguousarray(array)
+        if arr.nbytes == 0:
+            return self._identity.spec()
+        itemsize = arr.dtype.itemsize
+        u8 = _byte_view(arr)
+        if _element_constant(u8, itemsize):
+            if itemsize > 1:
+                return self._shuffle_rle.spec()
+            return self._rle.spec()
+        if itemsize == 1:
+            counts = np.bincount(u8, minlength=256)
+            p = counts[counts > 0] / u8.size
+            if float(-(p * np.log2(p)).sum()) >= _ENTROPY_CEIL:
+                return self._identity.spec()
+        return self._probe_spec(arr, itemsize)
+
+    def _probe_spec(self, arr: np.ndarray, itemsize: int) -> str:
+        """Trial-encode a contiguous prefix with zlib vs shuffle."""
+        flat = arr.reshape(-1)
+        probe_elems = max(1, min(flat.size, _PROBE_BYTES // max(itemsize, 1)))
+        probe = flat[:probe_elems]
+        z_len = len(self._zlib.encode_array(probe))
+        s_len = len(self._shuffle.encode_array(probe))
+        best = min(z_len, s_len)
+        if best >= _PROBE_GAIN * probe.nbytes:
+            return self._identity.spec()
+        return self._shuffle.spec() if s_len <= z_len else self._zlib.spec()
+
+    def codec_for_spec(self, spec: str) -> Codec:
+        """Resolve a manifest spec to a codec (prebuilt when possible)."""
+        codec = self._by_spec.get(spec)
+        if codec is not None:
+            return codec
+        return get_codec(spec)
+
+    # -- encode/decode ---------------------------------------------------
+
+    def encode_with_spec(self, array: np.ndarray) -> Tuple[str, bytes]:
+        """Encode one block, returning ``(chosen spec, unframed payload)``.
+
+        This is the entry point the IDX write path uses: the spec goes
+        into the block-codec manifest and the payload is stored as-is.
+        The never-expand guard re-encodes with identity whenever the
+        candidate payload fails to beat the raw block size.
+        """
+        arr = np.ascontiguousarray(array)
+        spec = self.select_spec(arr)
+        codec = self._by_spec[spec]
+        payload = codec.encode_array(arr)
+        if len(payload) >= arr.nbytes and codec is not self._identity:
+            spec = self._identity.spec()
+            payload = self._identity.encode_array(arr)
+        return spec, payload
+
+    def encode_array(self, array: np.ndarray) -> bytes:
+        """Standalone (self-describing) encode: RADP frame + payload."""
+        spec, payload = self.encode_with_spec(array)
+        spec_bytes = spec.encode("ascii")
+        return _FRAME.pack(_MAGIC, len(spec_bytes)) + spec_bytes + payload
+
+    def decode_array(
+        self, blob: bytes, dtype: "np.dtype | str", shape: Sequence[int]
+    ) -> np.ndarray:
+        if len(blob) < _FRAME.size:
+            raise CodecError("adaptive: truncated frame")
+        magic, spec_len = _FRAME.unpack_from(blob)
+        if magic != _MAGIC:
+            raise CodecError(
+                "adaptive: bad frame magic (per-block payloads inside IDX "
+                "files are unframed — decode them via the block-codec "
+                "manifest, not this codec)"
+            )
+        end = _FRAME.size + spec_len
+        if len(blob) < end:
+            raise CodecError("adaptive: truncated codec spec")
+        spec = blob[_FRAME.size : end].decode("ascii")
+        return self.codec_for_spec(spec).decode_array(blob[end:], dtype, shape)
+
+    def spec(self) -> str:
+        return f"adaptive:level={self.level}"
+
+
+register_codec("adaptive", AdaptiveCodec)

@@ -13,6 +13,7 @@ commas, mirroring how OpenVisus names its compression pipelines.
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC
 from typing import Callable, Dict, Sequence, Tuple
 
@@ -95,30 +96,89 @@ def available_codecs() -> Tuple[str, ...]:
 
 
 def parse_codec_spec(spec: str) -> Tuple[str, Dict[str, str]]:
-    """Split ``"zfp:precision=16,block=64"`` into name and param dict."""
+    """Split ``"zfp:precision=16,block=64"`` into name and param dict.
+
+    Malformed input is rejected with a :class:`CodecError` that names the
+    offending token (and, where the failure is about codec identity, lists
+    the registered codecs) — the same explicit-diagnosis contract
+    :func:`repro.util.units.parse_bytes` follows for byte sizes.
+    """
+    if not isinstance(spec, str):
+        raise CodecError(f"codec spec must be a string, got {type(spec).__name__}")
     name, _, rest = spec.partition(":")
+    name = name.strip().lower()
+    if not name:
+        raise CodecError(
+            f"empty codec name in spec {spec!r}; available codecs: "
+            f"{', '.join(available_codecs())}"
+        )
     params: Dict[str, str] = {}
     if rest:
         for item in rest.split(","):
             key, eq, value = item.partition("=")
+            key = key.strip()
             if not eq:
-                raise CodecError(f"malformed codec param {item!r} in {spec!r}")
-            params[key.strip()] = value.strip()
-    return name.strip().lower(), params
+                raise CodecError(
+                    f"malformed codec param {item.strip()!r} in {spec!r}: "
+                    f"expected key=value"
+                )
+            if not key:
+                raise CodecError(f"empty parameter name in {spec!r}")
+            if key in params:
+                raise CodecError(f"duplicate parameter {key!r} in {spec!r}")
+            params[key] = value.strip()
+    return name, params
+
+
+def _accepted_params(factory: Callable[..., Codec]) -> "Tuple[str, ...] | None":
+    """Keyword parameters a codec factory accepts, or None if unknowable."""
+    try:
+        sig = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return None
+    accepted = []
+    for p in sig.parameters.values():
+        if p.kind == p.VAR_KEYWORD:
+            return None  # accepts anything; let the factory validate
+        if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY):
+            accepted.append(p.name)
+    return tuple(accepted)
 
 
 def get_codec(spec: "str | Codec") -> Codec:
-    """Instantiate a codec from a spec string (idempotent on instances)."""
+    """Instantiate a codec from a spec string (idempotent on instances).
+
+    Unknown codec names name the offending token and list the registered
+    codecs; unknown or malformed parameters name the parameter and list
+    what the codec accepts, so a typo in a CLI ``--codec`` flag or a
+    header spec fails with an actionable message instead of a bare
+    ``TypeError``.
+    """
     if isinstance(spec, Codec):
         return spec
     name, params = parse_codec_spec(spec)
     factory = _REGISTRY.get(name)
     if factory is None:
-        raise CodecError(f"unknown codec {name!r}; available: {', '.join(available_codecs())}")
+        raise CodecError(
+            f"unknown codec {name!r} in spec {spec!r}; available codecs: "
+            f"{', '.join(available_codecs())}"
+        )
+    accepted = _accepted_params(factory)
+    if accepted is not None:
+        for key in params:
+            if key not in accepted:
+                raise CodecError(
+                    f"unknown parameter {key!r} for codec {name!r}; accepted "
+                    f"parameters: {', '.join(accepted) if accepted else '(none)'}"
+                )
     try:
         return factory(**params)
-    except TypeError as exc:
-        raise CodecError(f"bad parameters for codec {name!r}: {params}") from exc
+    except CodecError:
+        raise  # already a precise diagnosis (e.g. out-of-range level)
+    except (TypeError, ValueError) as exc:
+        raise CodecError(
+            f"bad parameter value for codec {name!r} in spec {spec!r}: {exc}"
+        ) from exc
 
 
 class IdentityCodec(Codec):

@@ -415,6 +415,10 @@ class _ReaderAccess(Access):
     def stored_bytes(self) -> int:
         return self._reader.stored_bytes()
 
+    def codec_byte_histogram(self) -> Dict[str, int]:
+        """Stored payload bytes per codec spec (see ``IdxBinaryReader``)."""
+        return self._reader.codec_byte_histogram()
+
     @property
     def uri(self) -> str:
         return self._uri
@@ -474,7 +478,6 @@ class RemoteAccess(_ReaderAccess):
 
         manifest = self.header.metadata.get(MANIFEST_KEY)
         self._manifest = manifest if isinstance(manifest, dict) else None
-        self._codec = self.header.codec_obj()
         self._fetcher: Optional[ParallelFetcher] = None
         if workers:
             self._fetcher = ParallelFetcher(
@@ -526,7 +529,10 @@ class RemoteAccess(_ReaderAccess):
             expected = self._manifest.get(f"{time_idx}/{field_idx}/{block_id}")
             if expected is not None and content_digest(payload, length=8) != expected:
                 raise CorruptPayloadError(f"checksum mismatch for block {key}")
-        return self._codec.decode_array(payload, dtype, (self.layout.block_size,))
+        # Adaptive datasets record the codec per block; the reader resolves
+        # it (falling back to the header codec for fixed-codec files).
+        codec = self._reader.codec_for(time_idx, field_idx, block_id)
+        return codec.decode_array(payload, dtype, (self.layout.block_size,))
 
     def _fetch_decode(
         self, key: Tuple[int, int, int], scope: Optional[AccessScope] = None
@@ -607,9 +613,9 @@ class RemoteAccess(_ReaderAccess):
             return  # plain sources fetch per block; nothing to pipeline
         scope.admit(len(wanted))
         blobs = read_many(ranges)
-        codec = self.header.codec_obj()
         for key, (offset, length), blob in zip(wanted, ranges, blobs):
             dtype = self.header.field_dtype(key[1])
+            codec = self._reader.codec_for(*key)
             decoded = codec.decode_array(blob, dtype, (self.layout.block_size,))
             staged[key] = (decoded, length)
 
@@ -719,6 +725,11 @@ class CachedAccess(Access):
     def fetcher(self):
         """The inner access's parallel fetcher, or ``None``."""
         return getattr(self.inner, "fetcher", None)
+
+    def codec_byte_histogram(self) -> Dict[str, int]:
+        """Per-codec stored bytes of the inner dataset (empty if unknown)."""
+        inner = getattr(self.inner, "codec_byte_histogram", None)
+        return inner() if inner is not None else {}
 
     @property
     def uri(self) -> str:

@@ -60,6 +60,18 @@ class ConversionReport:
         """Size reduction in percent (the paper's ~20 % number)."""
         return 100.0 * (1.0 - self.ratio)
 
+    @property
+    def codec_bytes(self) -> Dict[str, int]:
+        """Stored payload bytes per codec spec (from the encode pass).
+
+        A fixed-codec conversion reports one entry; an ``adaptive``
+        conversion reports one entry per codec the selector actually
+        used.  The values sum to ``EncodeStats.encoded_bytes``.
+        """
+        if self.encode_stats is None:
+            return {}
+        return dict(self.encode_stats.codec_bytes)
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{os.path.basename(self.source_path)} -> {os.path.basename(self.idx_path)}: "
@@ -337,6 +349,15 @@ class BatchConversionReport:
     @property
     def throughput_bytes_per_s(self) -> float:
         return self.source_bytes / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def codec_bytes(self) -> Dict[str, int]:
+        """Aggregate per-codec stored bytes over every succeeded job."""
+        total: Dict[str, int] = {}
+        for r in self.succeeded:
+            for spec, n in r.codec_bytes.items():
+                total[spec] = total.get(spec, 0) + n
+        return total
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -21,15 +21,22 @@ from __future__ import annotations
 import math
 import time as _time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.compression.adaptive import AdaptiveCodec
 from repro.idx.access import Access, LocalAccess
 from repro.idx.bitmask import Bitmask
 from repro.idx.hzorder import HzOrder
-from repro.idx.idxfile import IdxError, IdxHeader, write_idx_file
+from repro.idx.idxfile import (
+    BLOCK_CODECS_KEY,
+    IdxError,
+    IdxHeader,
+    block_codec_manifest,
+    write_idx_file,
+)
 from repro.idx.query import BoxQuery, QueryResult
 from repro.util.arrays import Box
 
@@ -54,6 +61,10 @@ class EncodeStats:
     encoded_bytes: int = 0
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
+    #: Stored payload bytes per codec spec, over every written block
+    #: (aliases from replicated timesteps included, so the values sum to
+    #: ``encoded_bytes`` and to the reader's ``stored_bytes()``).
+    codec_bytes: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, float]:
         """JSON-safe view (used by benchmark emitters and reports)."""
@@ -66,6 +77,7 @@ class EncodeStats:
             "encoded_bytes": self.encoded_bytes,
             "wall_seconds": self.wall_seconds,
             "cpu_seconds": self.cpu_seconds,
+            "codec_bytes": dict(self.codec_bytes),
         }
 
 FieldSpec = Union[str, Sequence[str], Dict[str, str], Sequence[Dict[str, str]]]
@@ -360,26 +372,45 @@ class IdxDataset:
         ]
         stats.blocks_total = len(jobs) + len(aliases) * self.layout.num_blocks
 
-        def encode(job: Tuple[Tuple[int, int, int], np.ndarray]) -> Optional[bytes]:
+        # Adaptive encoders pick a codec per block; the chosen spec rides
+        # along with the payload so it can be recorded in the block-codec
+        # manifest.  Fixed codecs report ``None`` and fall back to the
+        # header codec everywhere.  Selection is a pure function of the
+        # block bytes, so the parallel pool stays byte-identical to the
+        # serial path.
+        adaptive = isinstance(codec, AdaptiveCodec)
+
+        def encode(
+            job: Tuple[Tuple[int, int, int], np.ndarray]
+        ) -> Optional[Tuple[Optional[str], bytes]]:
             _, chunk = job
             if _all_fill(chunk, fill):
                 return None
-            return codec.encode_array(chunk)
+            if adaptive:
+                return codec.encode_with_spec(chunk)
+            return None, codec.encode_array(chunk)
 
         blocks: Dict[Tuple[int, int, int], bytes] = {}
+        specs: Dict[Tuple[int, int, int], str] = {}
+
+        def collect(key: Tuple[int, int, int], result: Optional[Tuple[Optional[str], bytes]]) -> None:
+            if result is None:
+                return
+            spec, payload = result
+            blocks[key] = payload
+            if spec is not None:
+                specs[key] = spec
+
         if workers == 1:
-            encoded = map(encode, jobs)
-            for (key, _), payload in zip(jobs, encoded):
-                if payload is not None:
-                    blocks[key] = payload
+            for (key, _), result in zip(jobs, map(encode, jobs)):
+                collect(key, result)
         else:
             chunk_size = 8 * workers  # bounds in-flight payloads/futures
             with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="idx-encode") as pool:
                 for start in range(0, len(jobs), chunk_size):
                     window = jobs[start : start + chunk_size]
-                    for (key, _), payload in zip(window, pool.map(encode, window)):
-                        if payload is not None:
-                            blocks[key] = payload
+                    for (key, _), result in zip(window, pool.map(encode, window)):
+                        collect(key, result)
         stats.blocks_encoded = len(blocks)
         # Replicated timesteps reuse the canonical payload *objects*:
         # write_idx_file dedups identical objects, so shared blocks cost
@@ -391,9 +422,15 @@ class IdxDataset:
                 payload = blocks.get((ct, cf, bid))
                 if payload is not None:
                     blocks[(t, f, bid)] = payload
+                    spec = specs.get((ct, cf, bid))
+                    if spec is not None:
+                        specs[(t, f, bid)] = spec
                     stats.blocks_shared += 1
         stats.blocks_skipped_fill = stats.blocks_total - stats.blocks_encoded - stats.blocks_shared
         stats.encoded_bytes = sum(len(p) for p in blocks.values())
+        for key, payload in blocks.items():
+            spec = specs.get(key, self.header.codec)
+            stats.codec_bytes[spec] = stats.codec_bytes.get(spec, 0) + len(payload)
         stats.cpu_seconds = _time.process_time() - cpu0
         stats.wall_seconds = _time.perf_counter() - wall0
         self.last_encode_stats = stats
@@ -409,6 +446,12 @@ class IdxDataset:
         self.header.metadata[BLOCKSTATS_KEY] = block_manifest(
             self.bitmask, self.layout, self._buffers, fill
         )
+        # Adaptive datasets additionally record which codec encoded each
+        # block, so readers can decode per-block without trial parsing.
+        if adaptive:
+            self.header.metadata[BLOCK_CODECS_KEY] = block_codec_manifest(
+                specs, self.layout.num_blocks, self.header.codec
+            )
         write_idx_file(self.path, self.header, blocks)
         self._buffers.clear()
         self._finalized = True
@@ -460,6 +503,12 @@ class IdxDataset:
         if isinstance(access, LocalAccess):
             return access.stored_bytes()
         raise IdxError("stored_bytes requires local access")
+
+    def codec_byte_histogram(self) -> Dict[str, int]:
+        """Stored payload bytes per codec spec (empty if the access layer
+        cannot see the block table, e.g. a bare remote stub)."""
+        hist = getattr(self.access, "codec_byte_histogram", None)
+        return hist() if hist is not None else {}
 
     def field_stats(self, field: Optional[str] = None) -> Dict[str, float]:
         name = self.fields[self.header.field_index(field)]

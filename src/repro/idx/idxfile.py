@@ -34,10 +34,61 @@ from repro.compression import Codec, get_codec
 from repro.idx.bitmask import Bitmask
 from repro.idx.blocks import BlockLayout
 
-__all__ = ["ByteSource", "FileByteSource", "IdxBinaryReader", "IdxError", "IdxHeader", "write_idx_file"]
+__all__ = [
+    "BLOCK_CODECS_KEY",
+    "ByteSource",
+    "FileByteSource",
+    "IdxBinaryReader",
+    "IdxError",
+    "IdxHeader",
+    "block_codec_manifest",
+    "write_idx_file",
+]
 
 _MAGIC = b"IDX1"
 _PREFIX = struct.Struct("<4sI")
+
+#: Header-metadata key of the per-block codec manifest.  Datasets written
+#: with an adaptive encoder record, for every present block, which codec
+#: produced its payload:
+#:
+#: ``{"specs": ["zlib:level=6", ...],            # interned spec strings
+#:    "table": {"t/f": [0, null, 1, ...], ...}}  # spec index per block``
+#:
+#: ``null`` (or an absent ``"t/f"`` row) means "use the header codec" —
+#: files written before this manifest existed simply lack the key and
+#: decode exactly as before.
+BLOCK_CODECS_KEY = "block_codecs"
+
+
+def block_codec_manifest(
+    specs: Dict[Tuple[int, int, int], str],
+    n_block: int,
+    default_spec: str,
+) -> Dict[str, Any]:
+    """Build the :data:`BLOCK_CODECS_KEY` metadata value.
+
+    ``specs`` maps ``(time_idx, field_idx, block_id)`` to the codec spec
+    that encoded the block's payload.  Blocks matching ``default_spec``
+    (the header codec) are stored as ``null`` so homogeneous regions cost
+    almost nothing in the JSON header.
+    """
+    interned: List[str] = []
+    index: Dict[str, int] = {}
+    table: Dict[str, List[Optional[int]]] = {}
+    for (t, f, b) in sorted(specs):
+        spec = specs[(t, f, b)]
+        if spec == default_spec:
+            continue
+        row = table.setdefault(f"{t}/{f}", [None] * n_block)
+        if not 0 <= b < n_block:
+            raise IdxError(f"block id {b} out of range for manifest of {n_block} blocks")
+        slot = index.get(spec)
+        if slot is None:
+            slot = index[spec] = len(interned)
+            interned.append(spec)
+        row[b] = slot
+    return {"specs": interned, "table": table}
 
 
 class IdxError(ValueError):
@@ -264,11 +315,70 @@ class IdxBinaryReader:
         raw = source.read_at(table_offset, table_bytes)
         self.table = np.frombuffer(raw, dtype="<u8").reshape(table_shape)
         self._codec = self.header.codec_obj()
+        # Per-block codec manifest (adaptive datasets).  Codecs are built
+        # once here — read_block and the parallel fetch pipeline only read
+        # these structures afterwards, so concurrent decodes stay safe.
+        self._block_codec_table: Dict[Tuple[int, int], List[Optional[int]]] = {}
+        self._block_codec_specs: List[str] = []
+        self._block_codec_objs: List[Codec] = []
+        manifest = self.header.metadata.get(BLOCK_CODECS_KEY)
+        if manifest is not None:
+            self._load_block_codecs(manifest)
+
+    def _load_block_codecs(self, manifest: Any) -> None:
+        if not isinstance(manifest, dict):
+            raise IdxError(f"{BLOCK_CODECS_KEY} manifest must be an object")
+        specs = manifest.get("specs", [])
+        table = manifest.get("table", {})
+        if not isinstance(specs, list) or not all(isinstance(s, str) for s in specs):
+            raise IdxError(f"{BLOCK_CODECS_KEY}.specs must be a list of codec specs")
+        if not isinstance(table, dict):
+            raise IdxError(f"{BLOCK_CODECS_KEY}.table must be an object")
+        self._block_codec_specs = list(specs)
+        self._block_codec_objs = [get_codec(s) for s in specs]
+        n_block = self.layout.num_blocks
+        for key, row in table.items():
+            try:
+                t_s, f_s = key.split("/")
+                t, f = int(t_s), int(f_s)
+            except (AttributeError, ValueError):
+                raise IdxError(f"bad {BLOCK_CODECS_KEY} table key {key!r}") from None
+            if not isinstance(row, list) or len(row) != n_block:
+                raise IdxError(
+                    f"{BLOCK_CODECS_KEY} row {key!r} must list {n_block} entries"
+                )
+            for slot in row:
+                if slot is not None and not (
+                    isinstance(slot, int) and 0 <= slot < len(specs)
+                ):
+                    raise IdxError(
+                        f"{BLOCK_CODECS_KEY} row {key!r} references codec {slot!r} "
+                        f"outside specs[0..{len(specs) - 1}]"
+                    )
+            self._block_codec_table[(t, f)] = row
 
     def block_entry(self, time_idx: int, field_idx: int, block_id: int) -> Tuple[int, int]:
         """(offset, length) of the encoded payload; length 0 = absent."""
         entry = self.table[time_idx, field_idx, block_id]
         return int(entry[0]), int(entry[1])
+
+    def codec_for(self, time_idx: int, field_idx: int, block_id: int) -> Codec:
+        """The codec that encoded one block (header codec when unlisted)."""
+        row = self._block_codec_table.get((time_idx, field_idx))
+        if row is not None:
+            slot = row[block_id]
+            if slot is not None:
+                return self._block_codec_objs[slot]
+        return self._codec
+
+    def codec_spec_for(self, time_idx: int, field_idx: int, block_id: int) -> str:
+        """Spec string of the codec that encoded one block."""
+        row = self._block_codec_table.get((time_idx, field_idx))
+        if row is not None:
+            slot = row[block_id]
+            if slot is not None:
+                return self._block_codec_specs[slot]
+        return self.header.codec
 
     def read_block(self, time_idx: int, field_idx: int, block_id: int) -> np.ndarray:
         offset, length = self.block_entry(time_idx, field_idx, block_id)
@@ -276,11 +386,26 @@ class IdxBinaryReader:
         if length == 0:
             return np.full(self.layout.block_size, self.header.fill_value, dtype=dtype)
         payload = self.source.read_at(offset, length)
-        return self._codec.decode_array(payload, dtype, (self.layout.block_size,))
+        codec = self.codec_for(time_idx, field_idx, block_id)
+        return codec.decode_array(payload, dtype, (self.layout.block_size,))
 
     def stored_bytes(self) -> int:
         """Total encoded payload bytes across all present blocks."""
         return int(self.table[..., 1].sum())
+
+    def codec_byte_histogram(self) -> Dict[str, int]:
+        """Stored payload bytes per codec spec, over all present blocks.
+
+        Conservation invariant: the values sum to :meth:`stored_bytes`
+        (aliased payloads count once per referencing table entry, exactly
+        as ``stored_bytes`` counts them).
+        """
+        hist: Dict[str, int] = {}
+        lengths = self.table[..., 1]
+        for t, f, b in zip(*np.nonzero(lengths)):
+            spec = self.codec_spec_for(int(t), int(f), int(b))
+            hist[spec] = hist.get(spec, 0) + int(lengths[t, f, b])
+        return hist
 
     def present_blocks(self, time_idx: int, field_idx: int) -> np.ndarray:
         """Ids of blocks with stored payloads for one (time, field)."""

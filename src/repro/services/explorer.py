@@ -232,7 +232,25 @@ class SessionExplorer:
                 "evictions": PLAN_CACHE.stats.evictions,
                 "evicted_bytes": PLAN_CACHE.stats.evicted_bytes,
             },
+            # Stored bytes per codec spec across every registered dataset:
+            # an adaptive fleet shows how the selector split the corpus, a
+            # fixed-codec fleet shows one entry per dataset codec.
+            "codec_bytes": self._codec_bytes(),
         }
+
+    def _codec_bytes(self) -> Dict[str, int]:
+        total: Dict[str, int] = {}
+        for dataset in self._manager.datasets().values():
+            hist = getattr(dataset, "codec_byte_histogram", None)
+            if hist is None:
+                continue
+            try:
+                per_dataset = hist()
+            except ValueError:
+                continue  # write-mode dataset without an access layer yet
+            for spec, n in per_dataset.items():
+                total[spec] = total.get(spec, 0) + int(n)
+        return total
 
     def to_json(self, *, indent: Optional[int] = None) -> str:
         return json.dumps({"summary": self.summary(), "sessions": self.rows()}, indent=indent)

@@ -236,6 +236,11 @@ class SessionManager:
         with self._lock:
             return sorted(self._datasets)
 
+    def datasets(self) -> Dict[str, Any]:
+        """Point-in-time snapshot of the dataset registry (name -> dataset)."""
+        with self._lock:
+            return dict(self._datasets)
+
     # -- session lifecycle --------------------------------------------------
 
     def create_session(

@@ -1,0 +1,139 @@
+"""Tests for the adaptive per-block codec selector."""
+
+import numpy as np
+import pytest
+
+from repro.compression import AdaptiveCodec, CodecError, get_codec, profile_block
+from repro.compression.adaptive import _ENTROPY_CEIL
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return AdaptiveCodec()
+
+
+def _smooth(n=64):
+    return np.add.outer(np.linspace(0, 50, n), np.linspace(0, 25, n)).astype(np.float32)
+
+
+def _noise_u8(n=64, seed=0):
+    return np.random.default_rng(seed).integers(0, 256, (n, n), dtype=np.uint8)
+
+
+class TestProfile:
+    def test_empty(self):
+        prof = profile_block(np.zeros(0, np.float32))
+        assert prof.n_bytes == 0 and prof.constant
+
+    def test_constant_multibyte(self):
+        prof = profile_block(np.full(256, 3.25, np.float32))
+        assert prof.constant and prof.itemsize == 4
+
+    def test_constant_float_bytes_vary(self):
+        # 1.0f is 00 00 80 3f — byte stream is not constant, elements are.
+        prof = profile_block(np.full(64, 1.0, np.float32))
+        assert prof.constant
+
+    def test_noise_entropy_high(self):
+        prof = profile_block(_noise_u8())
+        assert prof.entropy >= _ENTROPY_CEIL
+        assert not prof.constant
+
+    def test_run_fraction(self):
+        a = np.zeros(1000, np.uint8)
+        a[500] = 7
+        prof = profile_block(a)
+        assert prof.run_fraction > 0.99
+
+
+class TestSelection:
+    def test_constant_multibyte_uses_shuffled_rle(self, codec):
+        assert codec.select_spec(np.full(256, 1.0, np.float32)) == "shuffle:inner=rle"
+
+    def test_constant_bytes_use_rle(self, codec):
+        assert codec.select_spec(np.full(4096, 9, np.uint8)) == "rle"
+
+    def test_incompressible_u8_uses_identity(self, codec):
+        assert codec.select_spec(_noise_u8()) == "identity"
+
+    def test_compressible_goes_through_probe(self, codec):
+        spec = codec.select_spec(_smooth())
+        assert spec in ("zlib:level=6", "shuffle:inner=zlib:level=6")
+
+    def test_selection_is_deterministic(self, codec):
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            block = rng.normal(0, 3, 512).astype(np.float32)
+            specs = {codec.select_spec(block) for _ in range(4)}
+            assert len(specs) == 1
+
+    def test_level_flows_to_candidates(self):
+        c = AdaptiveCodec(level=1)
+        assert c.select_spec(_smooth()) in ("zlib:level=1", "shuffle:inner=zlib:level=1")
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(CodecError, match="adaptive level"):
+            AdaptiveCodec(level=12)
+        with pytest.raises(CodecError):
+            get_codec("adaptive:level=-1")
+
+
+class TestEncodeWithSpec:
+    def test_payload_matches_chosen_codec(self, codec):
+        a = _smooth()
+        spec, payload = codec.encode_with_spec(a)
+        back = get_codec(spec).decode_array(payload, a.dtype, a.shape)
+        assert back.tobytes() == a.tobytes()
+
+    def test_never_expands(self, codec):
+        rng = np.random.default_rng(11)
+        # float noise sails through the probe but may not beat raw size.
+        for block in (
+            rng.random(64).astype(np.float64),
+            rng.integers(0, 2**16, 128).astype(np.uint16),
+            np.frombuffer(rng.bytes(1000), dtype=np.uint8),
+        ):
+            _, payload = codec.encode_with_spec(block)
+            assert len(payload) <= max(block.nbytes, len(payload))
+            spec, payload = codec.encode_with_spec(block)
+            if spec != "identity":
+                assert len(payload) < block.nbytes
+
+    def test_empty_block(self, codec):
+        spec, payload = codec.encode_with_spec(np.zeros(0, np.float32))
+        assert spec == "identity" and payload == b""
+
+
+class TestFraming:
+    """Standalone (registry-contract) round trip via the RADP frame."""
+
+    @pytest.mark.parametrize("dtype", ["uint8", "int32", "float32", "float64"])
+    def test_round_trip(self, codec, dtype):
+        rng = np.random.default_rng(3)
+        a = (rng.normal(0, 100, (32, 32))).astype(dtype)
+        blob = codec.encode_array(a)
+        back = codec.decode_array(blob, a.dtype, a.shape)
+        assert back.tobytes() == np.ascontiguousarray(a).tobytes()
+
+    def test_round_trip_special_floats(self, codec):
+        a = np.array([np.nan, np.inf, -np.inf, 0.0, -0.0], dtype=np.float32)
+        back = codec.decode_array(codec.encode_array(a), a.dtype, a.shape)
+        assert back.tobytes() == a.tobytes()
+
+    def test_bad_magic_mentions_manifest(self, codec):
+        with pytest.raises(CodecError, match="manifest"):
+            codec.decode_array(b"XXXX\x00bogus", np.float32, (1,))
+
+    def test_truncated_frame(self, codec):
+        with pytest.raises(CodecError, match="truncated"):
+            codec.decode_array(b"RA", np.float32, (1,))
+        with pytest.raises(CodecError, match="truncated"):
+            codec.decode_array(b"RADP\x20abc", np.float32, (1,))
+
+    def test_registry_round_trip_through_spec(self, codec):
+        again = get_codec(codec.spec())
+        assert isinstance(again, AdaptiveCodec)
+        assert again.level == codec.level
+
+    def test_thread_safe_and_lossless_flags(self, codec):
+        assert codec.thread_safe and codec.lossless

@@ -71,3 +71,61 @@ class TestIdentity:
         assert get_codec("identity").lossless
         assert get_codec("zlib").lossless
         assert not get_codec("zfp").lossless
+
+
+class TestSpecHardening:
+    """PR-3-style hardening: errors name the offending token and list
+    what is accepted (mirrors ``parse_bytes``)."""
+
+    def test_unknown_codec_lists_available(self):
+        with pytest.raises(CodecError) as exc:
+            get_codec("snappy:level=3")
+        msg = str(exc.value)
+        assert "'snappy'" in msg
+        for name in ("zlib", "rle", "identity", "shuffle"):
+            assert name in msg
+
+    def test_empty_codec_name(self):
+        with pytest.raises(CodecError, match="empty codec name"):
+            parse_codec_spec(":level=6")
+
+    def test_non_string_spec(self):
+        with pytest.raises(CodecError, match="must be a string"):
+            parse_codec_spec(12)
+
+    def test_malformed_param_names_token(self):
+        with pytest.raises(CodecError, match="'level9'"):
+            parse_codec_spec("zlib:level9")
+
+    def test_empty_param_name(self):
+        with pytest.raises(CodecError, match="empty parameter name"):
+            parse_codec_spec("zlib:=6")
+
+    def test_duplicate_param(self):
+        with pytest.raises(CodecError, match="duplicate parameter 'level'"):
+            parse_codec_spec("zlib:level=6,level=9")
+
+    def test_unknown_param_names_token_and_accepted(self):
+        with pytest.raises(CodecError) as exc:
+            get_codec("zlib:lvl=6")
+        msg = str(exc.value)
+        assert "'lvl'" in msg and "level" in msg
+
+    def test_unknown_param_for_shuffle(self):
+        with pytest.raises(CodecError) as exc:
+            get_codec("shuffle:codec=rle")
+        msg = str(exc.value)
+        assert "'codec'" in msg and "inner" in msg and "level" in msg
+
+    def test_bad_param_value_wrapped(self):
+        with pytest.raises(CodecError, match="bad parameter value"):
+            get_codec("zlib:level=high")
+
+    def test_out_of_range_value_keeps_precise_message(self):
+        with pytest.raises(CodecError, match=r"zlib level must be in \[0, 9\]"):
+            get_codec("zlib:level=42")
+
+    def test_valid_specs_still_parse(self):
+        assert get_codec("zfp:precision=12").precision == 12
+        assert get_codec("shuffle:inner=rle").spec() == "shuffle:inner=rle"
+        assert get_codec("adaptive:level=4").level == 4

@@ -1,0 +1,251 @@
+"""Per-block codec manifest: write path, read path, and backward compat."""
+
+import hashlib
+import os
+
+import numpy as np
+import pytest
+
+from repro.faults.retry import RetryPolicy
+from repro.idx import BlockCache, CachedAccess, IdxDataset, LocalAccess, RemoteAccess
+from repro.idx.idxfile import (
+    BLOCK_CODECS_KEY,
+    BytesByteSource,
+    FileByteSource,
+    IdxBinaryReader,
+    IdxError,
+    block_codec_manifest,
+)
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+LEGACY_IDX = os.path.join(DATA_DIR, "legacy_pre_adaptive.idx")
+LEGACY_NPZ = os.path.join(DATA_DIR, "legacy_pre_adaptive_expected.npz")
+#: Pinned digest of the fixture written by the pre-manifest writer.  If
+#: this ever fails, the fixture was regenerated with a newer writer and
+#: the backward-compat test below no longer proves anything.
+LEGACY_SHA256 = "1d141ebfb87ebde55cc20512ba66e3f83868da20e051db980ee392aa5d2f3df2"
+
+
+def _mixed_corpus(seed=7, n=96):
+    """Fields with deliberately different compressibility."""
+    rng = np.random.default_rng(seed)
+    base = rng.normal(0, 10, (n, n)).astype(np.float32)
+    base[: n // 3, : n // 2] = 0.0  # constant nodata region
+    smooth = np.add.outer(np.linspace(0, 50, n), np.linspace(0, 25, n)).astype(np.float32)
+    noisy = rng.random((n, n)).astype(np.float32)
+    return {"elevation": base, "smooth": smooth, "noisy": noisy}
+
+
+def _write_adaptive(path, fields, *, workers=1, timesteps=1):
+    ds = IdxDataset.create(
+        str(path),
+        dims=next(iter(fields.values())).shape,
+        fields={name: "float32" for name in fields},
+        timesteps=timesteps,
+        bits_per_block=8,
+        codec="adaptive:level=6",
+    )
+    for name, arr in fields.items():
+        ds.write(arr, field=name, time=0)
+        for t in range(1, timesteps):
+            ds.replicate_timestep(field=name, from_time=0, to_times=[t])
+    ds.finalize(workers=workers)
+    return ds
+
+
+class TestManifestRoundTrip:
+    def test_manifest_written_and_parsed(self, tmp_path):
+        fields = _mixed_corpus()
+        ds = _write_adaptive(tmp_path / "a.idx", fields)
+        manifest = ds.header.metadata[BLOCK_CODECS_KEY]
+        assert manifest["specs"], "adaptive encode should record codec specs"
+        reopened = IdxDataset.open(str(tmp_path / "a.idx"))
+        for name, arr in fields.items():
+            assert reopened.read(field=name).tobytes() == arr.tobytes()
+
+    def test_codec_for_falls_back_to_header(self, tmp_path):
+        a = np.random.default_rng(0).random((32, 32)).astype(np.float32)
+        path = str(tmp_path / "fixed.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=8, codec="zlib:level=6")
+        ds.write(a)
+        ds.finalize()
+        reader = IdxBinaryReader(FileByteSource(path))
+        assert BLOCK_CODECS_KEY not in reader.header.metadata
+        spec = reader.codec_spec_for(0, 0, int(reader.present_blocks(0, 0)[0]))
+        assert spec == "zlib:level=6"
+
+    def test_selector_uses_multiple_codecs(self, tmp_path):
+        ds = _write_adaptive(tmp_path / "a.idx", _mixed_corpus())
+        assert len(ds.last_encode_stats.codec_bytes) >= 2
+
+    def test_replicated_timesteps_share_specs_and_bytes(self, tmp_path):
+        fields = _mixed_corpus()
+        ds = _write_adaptive(tmp_path / "a.idx", fields, timesteps=2)
+        reader = IdxBinaryReader(FileByteSource(str(tmp_path / "a.idx")))
+        for f in range(len(fields)):
+            for b in reader.present_blocks(0, f):
+                assert reader.codec_spec_for(0, f, int(b)) == reader.codec_spec_for(1, f, int(b))
+        reopened = IdxDataset.open(str(tmp_path / "a.idx"))
+        for name, arr in fields.items():
+            assert reopened.read(field=name, time=1).tobytes() == arr.tobytes()
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("workers", [2, 3, 7])
+    def test_parallel_encode_byte_identical_to_serial(self, tmp_path, workers):
+        fields = _mixed_corpus()
+        _write_adaptive(tmp_path / "serial.idx", fields, workers=1)
+        _write_adaptive(tmp_path / "par.idx", fields, workers=workers)
+        serial = open(tmp_path / "serial.idx", "rb").read()
+        parallel = open(tmp_path / "par.idx", "rb").read()
+        assert serial == parallel
+
+
+class TestReadPaths:
+    def test_remote_access_decodes_per_block(self, tmp_path):
+        fields = _mixed_corpus()
+        _write_adaptive(tmp_path / "a.idx", fields)
+        blob = open(tmp_path / "a.idx", "rb").read()
+        ds = IdxDataset.from_access(RemoteAccess(BytesByteSource(blob)))
+        for name, arr in fields.items():
+            assert ds.read(field=name).tobytes() == arr.tobytes()
+
+    def test_checksum_verified_parallel_fetch(self, tmp_path):
+        fields = _mixed_corpus()
+        _write_adaptive(tmp_path / "a.idx", fields)
+        blob = open(tmp_path / "a.idx", "rb").read()
+        access = RemoteAccess(
+            BytesByteSource(blob), workers=3, retry=RetryPolicy(max_attempts=2)
+        )
+        ds = IdxDataset.from_access(access)
+        for name, arr in fields.items():
+            assert ds.read(field=name).tobytes() == arr.tobytes()
+
+    def test_cached_access(self, tmp_path):
+        fields = _mixed_corpus()
+        _write_adaptive(tmp_path / "a.idx", fields)
+        access = CachedAccess(LocalAccess(str(tmp_path / "a.idx")), BlockCache("8 MiB"))
+        ds = IdxDataset.from_access(access)
+        for name, arr in fields.items():
+            assert ds.read(field=name).tobytes() == arr.tobytes()
+            assert ds.read(field=name).tobytes() == arr.tobytes()  # cache hit path
+
+
+class TestConservation:
+    """Satellite: sum of per-codec encoded bytes == total stored bytes."""
+
+    def test_encode_stats_conservation(self, tmp_path):
+        ds = _write_adaptive(tmp_path / "a.idx", _mixed_corpus(), timesteps=2)
+        stats = ds.last_encode_stats
+        assert sum(stats.codec_bytes.values()) == stats.encoded_bytes
+        assert stats.encoded_bytes == ds.stored_bytes()
+        assert stats.to_dict()["codec_bytes"] == stats.codec_bytes
+
+    def test_reader_histogram_conservation(self, tmp_path):
+        _write_adaptive(tmp_path / "a.idx", _mixed_corpus(), timesteps=2)
+        reader = IdxBinaryReader(FileByteSource(str(tmp_path / "a.idx")))
+        hist = reader.codec_byte_histogram()
+        assert sum(hist.values()) == reader.stored_bytes()
+
+    def test_fixed_codec_histogram_single_entry(self, tmp_path):
+        a = np.random.default_rng(0).random((32, 32)).astype(np.float32)
+        path = str(tmp_path / "f.idx")
+        ds = IdxDataset.create(path, dims=a.shape, bits_per_block=8, codec="shuffle:level=6")
+        ds.write(a)
+        ds.finalize()
+        hist = IdxDataset.open(path).codec_byte_histogram()
+        assert set(hist) == {"shuffle:level=6"}
+        assert sum(hist.values()) == ds.stored_bytes()
+
+
+class TestManifestValidation:
+    def _write_with_manifest(self, tmp_path, manifest):
+        from repro.idx.bitmask import Bitmask
+        from repro.idx.idxfile import IdxHeader, write_idx_file
+
+        header = IdxHeader(
+            dims=(32, 32),
+            bitmask=Bitmask.from_dims((32, 32)).pattern,
+            bits_per_block=8,
+            fields=[{"name": "value", "dtype": "float32"}],
+            timesteps=[0],
+            metadata={BLOCK_CODECS_KEY: manifest},
+        )
+        path = str(tmp_path / "m.idx")
+        write_idx_file(path, header, {})
+        return path, header.layout().num_blocks
+
+    def test_malformed_manifest_rejected(self, tmp_path):
+        path, _ = self._write_with_manifest(tmp_path, {"specs": "zlib", "table": {}})
+        with pytest.raises(IdxError, match="specs"):
+            IdxBinaryReader(FileByteSource(path))
+
+    def test_bad_row_length_rejected(self, tmp_path):
+        path, _ = self._write_with_manifest(
+            tmp_path, {"specs": ["zlib:level=6"], "table": {"0/0": [0]}}
+        )
+        with pytest.raises(IdxError, match="entries"):
+            IdxBinaryReader(FileByteSource(path))
+
+    def test_out_of_range_slot_rejected(self, tmp_path):
+        _, n = self._write_with_manifest(tmp_path, {"specs": [], "table": {}})
+        path, _ = self._write_with_manifest(
+            tmp_path, {"specs": ["zlib:level=6"], "table": {"0/0": [5] + [None] * (n - 1)}}
+        )
+        with pytest.raises(IdxError, match="outside specs"):
+            IdxBinaryReader(FileByteSource(path))
+
+    def test_bad_table_key_rejected(self, tmp_path):
+        _, n = self._write_with_manifest(tmp_path, {"specs": [], "table": {}})
+        path, _ = self._write_with_manifest(
+            tmp_path, {"specs": [], "table": {"zero": [None] * n}}
+        )
+        with pytest.raises(IdxError, match="table key"):
+            IdxBinaryReader(FileByteSource(path))
+
+    def test_builder_rejects_out_of_range_block(self):
+        with pytest.raises(IdxError, match="out of range"):
+            block_codec_manifest({(0, 0, 9): "rle"}, 4, "adaptive:level=6")
+
+    def test_builder_interns_and_drops_default(self):
+        manifest = block_codec_manifest(
+            {(0, 0, 0): "rle", (0, 0, 1): "zlib:level=6", (0, 0, 2): "rle"},
+            4,
+            "rle",
+        )
+        assert manifest["specs"] == ["zlib:level=6"]
+        assert manifest["table"]["0/0"] == [None, 0, None, None]
+
+
+class TestBackwardCompat:
+    """Files written before the manifest existed decode byte-identically."""
+
+    def test_fixture_is_genuinely_pre_change(self):
+        digest = hashlib.sha256(open(LEGACY_IDX, "rb").read()).hexdigest()
+        assert digest == LEGACY_SHA256
+
+    def test_legacy_file_decodes_byte_identically(self):
+        expected = np.load(LEGACY_NPZ)
+        ds = IdxDataset.open(LEGACY_IDX)
+        assert BLOCK_CODECS_KEY not in ds.header.metadata
+        for t in (0, 1):
+            for name in ("elevation", "quantized"):
+                got = ds.read(field=name, time=t)
+                assert got.tobytes() == expected[f"{name}_t{t}"].tobytes()
+
+    def test_legacy_file_decodes_over_remote_paths(self):
+        blob = open(LEGACY_IDX, "rb").read()
+        expected = np.load(LEGACY_NPZ)
+        for access in (
+            RemoteAccess(BytesByteSource(blob)),
+            RemoteAccess(BytesByteSource(blob), workers=2, retry=RetryPolicy(max_attempts=2)),
+        ):
+            ds = IdxDataset.from_access(access)
+            got = ds.read(field="elevation", time=1)
+            assert got.tobytes() == expected["elevation_t1"].tobytes()
+
+    def test_legacy_histogram_attributes_header_codec(self):
+        reader = IdxBinaryReader(FileByteSource(LEGACY_IDX))
+        hist = reader.codec_byte_histogram()
+        assert set(hist) == {reader.header.codec}
+        assert sum(hist.values()) == reader.stored_bytes()

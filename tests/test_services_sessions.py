@@ -485,3 +485,15 @@ class TestExplorer:
         doc = json.loads(manager.explorer().to_json())
         assert {"summary", "sessions"} <= set(doc)
         json.dumps(doc)  # explorer output is transport-clean
+
+    def test_summary_codec_bytes(self, env, manager):
+        # Stored bytes per codec spec across the registered fleet: the
+        # remote terrain dataset was written with one fixed codec, so a
+        # single entry whose total equals the dataset's stored payload.
+        summary = manager.explorer().summary()
+        codec_bytes = summary["codec_bytes"]
+        assert codec_bytes, "fleet summary should report codec bytes"
+        ds = manager.datasets()["terrain"]
+        assert set(codec_bytes) == {ds.header.codec}
+        assert all(n > 0 for n in codec_bytes.values())
+        json.dumps(codec_bytes)
