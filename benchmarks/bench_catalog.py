@@ -1,0 +1,243 @@
+"""Sharded catalog benchmark — indexing throughput and query latency.
+
+The NSDF-Catalog indexes 1.59 B records harvested by *re-crawling*
+providers on a schedule, so the steady-state indexing workload is
+duplicate-heavy: most rows a crawl delivers are already in the catalog
+and must be recognised and rejected cheaply.  The headline benchmark
+models exactly that — a two-pass re-harvest stream (every record seen
+twice) — and compares :class:`~repro.catalog.shards.ShardedCatalog`
+at 1/4/16 partitions against the single-index
+:class:`~repro.catalog.service.CatalogService` baseline.
+
+The sharded engine wins on algorithmic grounds, not parallelism (CI
+boxes may expose a single core): bulk batch insertion
+(``InvertedIndex.add_documents``), the sorted-contract freeze fast path
+(``freeze(assume_sorted=True)``), and CRC32 identity routing with
+exact-tuple dedup instead of per-record canonical-JSON hashing.
+
+A second test times fan-out search: p50/p99 over a few hundred selective
+queries per shard count, asserting p99 stays within 1.5x of the
+single-shard configuration, with an in-bench spot check that sharded
+results stay byte-identical to the oracle.
+
+Emits ``BENCH_catalog.json``.  Set ``BENCH_TINY=1`` for a seconds-scale
+configuration (CI smoke; throughput asserts are relaxed — tiny corpora
+under-amortise fixed costs and timing is noisy).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import print_header
+
+from repro.catalog import CatalogRecord, CatalogService, ShardedCatalog
+
+TINY = bool(int(os.environ.get("BENCH_TINY", "0")))
+
+N_RECORDS = 4_000 if TINY else 60_000
+N_QUERIES = 60 if TINY else 300
+REPEATS = 1 if TINY else 3
+SHARD_COUNTS = [1, 4, 16]
+
+#: The paper's corpus (section III-B).
+PAPER_RECORDS = 1_590_000_000
+
+_RESULTS = {"config": "tiny" if TINY else "full", "records": N_RECORDS}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Synthetic granule records with realistic token structure."""
+    return [
+        CatalogRecord.build(
+            f"granule-{i:06d} tile{i % 997} band{i % 31}",
+            source=f"site{i % 13}",
+            size=1000 + i,
+            checksum=f"sum{i}",
+            keywords=(f"kw{i % 211}",),
+            attributes={"region": f"region{i % 53}"},
+        )
+        for i in range(N_RECORDS)
+    ]
+
+
+def _best(fn, repeats=REPEATS):
+    """Best-of-N wall time: noise only ever makes a round slower."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def test_indexing_throughput(corpus):
+    stream = corpus + corpus  # two crawl passes: 50% duplicate rows
+
+    def base_harvest():
+        svc = CatalogService()
+        svc.ingest_many(stream)
+        svc.warm()
+
+    def base_build():
+        svc = CatalogService()
+        svc.ingest_many(corpus)
+        svc.warm()
+
+    def shard_harvest(k):
+        with ShardedCatalog(k) as cat:
+            assert cat.ingest_many(stream) == N_RECORDS
+            assert cat.duplicates_rejected == N_RECORDS
+            cat.warm()
+
+    def shard_build(k):
+        with ShardedCatalog(k) as cat:
+            cat.ingest_many(corpus)
+            cat.warm()
+
+    base_h = _best(base_harvest)
+    base_b = _best(base_build)
+    rows = []
+    for k in SHARD_COUNTS:
+        t_h = _best(lambda: shard_harvest(k))
+        t_b = _best(lambda: shard_build(k))
+        rows.append(
+            {
+                "shards": k,
+                "reharvest_seconds": round(t_h, 4),
+                "reharvest_speedup": round(base_h / t_h, 3),
+                "reharvest_rec_s": round(len(stream) / t_h),
+                "build_seconds": round(t_b, 4),
+                "build_speedup": round(base_b / t_b, 3),
+                "build_rec_s": round(N_RECORDS / t_b),
+            }
+        )
+
+    print_header(
+        f"Catalog indexing throughput ({N_RECORDS} records, "
+        f"re-harvest = 2 passes, best of {REPEATS})"
+    )
+    print(f"{'engine':<12s} {'re-harvest s':>12s} {'speedup':>8s} {'rec/s':>9s} "
+          f"{'build s':>8s} {'speedup':>8s}")
+    print(f"{'baseline':<12s} {base_h:>12.3f} {'1.00x':>8s} "
+          f"{len(stream) / base_h:>9.0f} {base_b:>8.3f} {'1.00x':>8s}")
+    for row in rows:
+        print(
+            f"{'shards=' + str(row['shards']):<12s} {row['reharvest_seconds']:>12.3f} "
+            f"{row['reharvest_speedup']:>7.2f}x {row['reharvest_rec_s']:>9d} "
+            f"{row['build_seconds']:>8.3f} {row['build_speedup']:>7.2f}x"
+        )
+    best = max(rows, key=lambda r: r["reharvest_rec_s"])
+    hours = PAPER_RECORDS * 2 / best["reharvest_rec_s"] / 3600
+    print(
+        f"extrapolation: re-crawling the paper's {PAPER_RECORDS / 1e9:.2f}B records "
+        f"at {best['reharvest_rec_s']} rec/s is ~{hours:.0f} core-hours "
+        f"(shards={best['shards']}); partitions scale this out linearly."
+    )
+
+    if not TINY:
+        for row in rows:
+            if row["shards"] >= 4:
+                # Acceptance criterion: >= 2x indexing throughput at 4+
+                # shards against the single-index baseline.
+                assert row["reharvest_speedup"] >= 2.0, row
+                assert row["build_speedup"] >= 1.5, row
+
+    _RESULTS["indexing"] = {
+        "stream_rows": len(stream),
+        "duplicate_rows": N_RECORDS,
+        "baseline_reharvest_seconds": round(base_h, 4),
+        "baseline_build_seconds": round(base_b, 4),
+        "sharded": rows,
+        "paper_records": PAPER_RECORDS,
+    }
+    _flush()
+
+
+def _queries():
+    """Selective AND queries plus a sprinkle of prefix queries."""
+    qs = []
+    for i in range(N_QUERIES):
+        if i % 5 == 4:
+            qs.append(f"kw{i % 211}*")
+        else:
+            qs.append(f"tile{(i * 7) % 997} band{i % 31}")
+    return qs
+
+
+def test_query_latency(corpus):
+    queries = _queries()
+    oracle = CatalogService()
+    oracle.ingest_many(corpus)
+    oracle.warm()
+
+    catalogs = {}
+    try:
+        for k in SHARD_COUNTS:
+            cat = ShardedCatalog(k)
+            cat.ingest_many(corpus)
+            cat.warm()
+            catalogs[k] = cat
+
+            # Exactness spot check before timing: hits, scores, flags.
+            for q in queries[:: max(1, N_QUERIES // 10)]:
+                got = cat.search(q, limit=10)
+                want = oracle.search(q, limit=10)
+                assert [(h.record, h.score) for h in got] == [
+                    (h.record, h.score) for h in want
+                ], q
+                assert got.truncated == want.truncated, q
+
+        # Interleave configurations within each round and keep the
+        # per-query best-of-REPEATS: host drift hits every shard count
+        # equally, and scheduler noise only ever makes a sample slower,
+        # so percentiles compare engines rather than the host's mood.
+        lat = {k: [float("inf")] * len(queries) for k in SHARD_COUNTS}
+        for _ in range(REPEATS):
+            for i, q in enumerate(queries):
+                for k, cat in catalogs.items():
+                    t0 = time.perf_counter()
+                    cat.search(q, limit=10)
+                    lat[k][i] = min(lat[k][i], time.perf_counter() - t0)
+    finally:
+        for cat in catalogs.values():
+            cat.close()
+
+    rows = []
+    p99_by_k = {}
+    for k in SHARD_COUNTS:
+        lat_ms = np.asarray(lat[k]) * 1e3
+        p50, p99 = np.percentile(lat_ms, [50, 99])
+        p99_by_k[k] = float(p99)
+        rows.append(
+            {
+                "shards": k,
+                "p50_ms": round(float(p50), 4),
+                "p99_ms": round(float(p99), 4),
+                "queries": len(queries),
+            }
+        )
+
+    print_header(f"Catalog fan-out query latency ({N_QUERIES} queries x {REPEATS})")
+    print(f"{'shards':>6s} {'p50 ms':>9s} {'p99 ms':>9s} {'vs k=1':>8s}")
+    for row in rows:
+        rel = row["p99_ms"] / rows[0]["p99_ms"]
+        print(f"{row['shards']:>6d} {row['p50_ms']:>9.3f} {row['p99_ms']:>9.3f} {rel:>7.2f}x")
+
+    if not TINY:
+        for k in SHARD_COUNTS[1:]:
+            # Acceptance criterion: fan-out keeps p99 within 1.5x of the
+            # single-shard configuration.
+            assert p99_by_k[k] <= 1.5 * p99_by_k[1], (k, p99_by_k)
+
+    _RESULTS["query"] = {"latency": rows}
+    _flush()
+
+
+def _flush():
+    with open("BENCH_catalog.json", "w") as fh:
+        json.dump(_RESULTS, fh, indent=2, sort_keys=True)
+    print("wrote BENCH_catalog.json")

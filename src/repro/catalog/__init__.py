@@ -11,26 +11,46 @@ indexing/search/dedup logic is complete:
 - :mod:`repro.catalog.index` — tokenizer + inverted index with AND
   queries, prefix expansion, and facet counting;
 - :mod:`repro.catalog.service` — ingest/search/dedup service facade;
+- :mod:`repro.catalog.shards` — the sharded engine: partitioned indexes
+  behind an exact fan-out query merger;
+- :mod:`repro.catalog.manifest` — per-partition manifests (versions,
+  content digests, stale-partition replay);
 - :mod:`repro.catalog.harvest` — harvesters for the object store,
-  Dataverse, and Seal sources.
+  Dataverse, and Seal sources, plus checkpointed resumable ingestion.
 """
 
-from repro.catalog.records import CatalogRecord
-from repro.catalog.index import InvertedIndex, tokenize
-from repro.catalog.service import CatalogService, SearchHit
+from repro.catalog.records import SCHEMA_VERSION, CatalogRecord
+from repro.catalog.index import TOKENIZER_VERSION, InvertedIndex, tokenize
+from repro.catalog.manifest import CatalogManifestError, ShardManifest
+from repro.catalog.service import CatalogService, SearchHit, SearchResults
+from repro.catalog.shards import ShardedCatalog
 from repro.catalog.harvest import (
     IncrementalHarvester,
+    IngestReport,
+    JsonlRecordSource,
+    ListRecordSource,
+    ResumableIngest,
     harvest_dataverse,
     harvest_object_store,
     harvest_seal,
 )
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "TOKENIZER_VERSION",
+    "CatalogManifestError",
     "CatalogRecord",
     "CatalogService",
     "IncrementalHarvester",
+    "IngestReport",
     "InvertedIndex",
+    "JsonlRecordSource",
+    "ListRecordSource",
+    "ResumableIngest",
     "SearchHit",
+    "SearchResults",
+    "ShardManifest",
+    "ShardedCatalog",
     "harvest_dataverse",
     "harvest_object_store",
     "harvest_seal",

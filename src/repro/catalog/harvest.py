@@ -4,19 +4,37 @@ The real NSDF-Catalog populates itself by crawling providers.  Each
 harvester here walks one service type and emits
 :class:`~repro.catalog.records.CatalogRecord` objects ready for
 :meth:`CatalogService.ingest_many`.
+
+:class:`ResumableIngest` is the fail-stop-retry driver for long crawls:
+it pulls batches from a :class:`RecordSource` through a
+:class:`~repro.faults.retry.RetryPolicy`, dedups rows by BLAKE2b
+``row_digest``, checkpoints the sharded catalog every N records, and —
+after a crash or a retry-exhausted fail-stop — ``resume``\\ s from the
+last checkpoint without double-ingesting anything.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.catalog.manifest import atomic_write_bytes
 from repro.catalog.records import CatalogRecord
+from repro.catalog.shards import ShardedCatalog
+from repro.faults.errors import RetryExhaustedError
+from repro.faults.retry import RetryPolicy
 from repro.storage.dataverse import Dataverse
 from repro.storage.object_store import ObjectStore
 from repro.storage.seal import SealStorage
 
 __all__ = [
     "IncrementalHarvester",
+    "IngestReport",
+    "JsonlRecordSource",
+    "ListRecordSource",
+    "ResumableIngest",
     "harvest_dataverse",
     "harvest_object_store",
     "harvest_seal",
@@ -151,6 +169,283 @@ class IncrementalHarvester:
         self.watermark = new_watermark
         self.passes += 1
         return ingested
+
+
+# -- resumable ingestion ------------------------------------------------------
+
+
+class ListRecordSource:
+    """A record source over an in-memory list (tests, small harvests)."""
+
+    def __init__(self, records: Sequence[CatalogRecord]) -> None:
+        self._records = list(records)
+
+    def fetch_batch(self, start: int, limit: int) -> List[CatalogRecord]:
+        """Records ``[start, start+limit)``; fewer than ``limit`` = end."""
+        return self._records[start : start + limit]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class JsonlRecordSource:
+    """A record source reading one :meth:`CatalogRecord.to_dict` per line."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lines: Optional[List[str]] = None
+
+    def fetch_batch(self, start: int, limit: int) -> List[CatalogRecord]:
+        if self._lines is None:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                self._lines = [line for line in fh if line.strip()]
+        chunk = self._lines[start : start + limit]
+        return [CatalogRecord.from_dict(json.loads(line)) for line in chunk]
+
+
+@dataclass
+class IngestReport:
+    """What one :meth:`ResumableIngest.run` pass accomplished."""
+
+    ok: bool
+    records: int  # records now in the catalog
+    row_duplicates: int  # rows rejected by the row-digest filter
+    identity_duplicates: int  # records rejected by shard identity dedup
+    cursor: int  # stream position the checkpoint covers
+    checkpoints: int
+    resumed: bool
+    replayed_shards: List[int] = field(default_factory=list)
+    errors: List[Dict[str, Any]] = field(default_factory=list)
+
+
+_CHECKPOINT_FILE = "checkpoint.json"
+_DIGESTS_FILE = "digests.log"
+
+
+class ResumableIngest:
+    """Fail-stop-retry ingestion of a record stream into a sharded catalog.
+
+    The stream is consumed in batches of ``checkpoint_every`` records.
+    Each batch fetch runs under the :class:`RetryPolicy`; when retries
+    are exhausted the error payload is recorded, everything done so far
+    is checkpointed, and the run stops (``on_error="stop"``, the
+    default) or skips the batch window (``on_error="skip"``).
+
+    Per batch, rows whose BLAKE2b :meth:`~CatalogRecord.row_digest` was
+    already seen — this run or any earlier one, via ``digests.log`` —
+    are dropped before they reach the catalog, so a ``resume=True`` pass
+    re-reading the source from the last checkpoint ingests every record
+    exactly once.  The commit order (catalog partitions, then the digest
+    log, then ``checkpoint.json`` last) plus identity dedup inside the
+    shards makes every crash window safe: an interrupted run, resumed,
+    converges to byte-identical partition files as an uninterrupted one.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        shard_count: int = 4,
+        checkpoint_every: int = 256,
+        retry: Optional[RetryPolicy] = None,
+        clock=None,
+        workers: Optional[int] = None,
+        on_error: str = "stop",
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if on_error not in ("stop", "skip"):
+            raise ValueError('on_error must be "stop" or "skip"')
+        self.directory = directory
+        self.shard_count = int(shard_count)
+        self.checkpoint_every = int(checkpoint_every)
+        self.retry = retry or RetryPolicy()
+        self.clock = clock
+        self.workers = workers
+        self.on_error = on_error
+
+    # -- checkpoint state ---------------------------------------------------
+
+    def _checkpoint_path(self) -> str:
+        return os.path.join(self.directory, _CHECKPOINT_FILE)
+
+    def _digests_path(self) -> str:
+        return os.path.join(self.directory, _DIGESTS_FILE)
+
+    def _write_checkpoint(self, state: Dict[str, Any]) -> None:
+        payload = json.dumps(state, indent=2, sort_keys=True) + "\n"
+        atomic_write_bytes(self._checkpoint_path(), payload.encode("utf-8"))
+
+    def _read_checkpoint(self) -> Dict[str, Any]:
+        with open(self._checkpoint_path(), "rb") as fh:
+            return json.loads(fh.read().decode("utf-8"))
+
+    def _load_digests(self, count: int) -> List[str]:
+        """Digest-log rows the checkpoint covers, discarding any tail.
+
+        A crash between the digest-log append and the checkpoint write
+        leaves extra rows; they are truncated away (and the file
+        rewritten) so the seen-set matches the checkpoint exactly.
+        """
+        path = self._digests_path()
+        if not os.path.exists(path):
+            return []
+        with open(path, "r", encoding="utf-8") as fh:
+            digests = [line.strip() for line in fh if line.strip()]
+        if len(digests) > count:
+            digests = digests[:count]
+            atomic_write_bytes(path, ("".join(d + "\n" for d in digests)).encode("utf-8"))
+        return digests
+
+    def _append_digests(self, digests: Sequence[str]) -> None:
+        if not digests:
+            return
+        with open(self._digests_path(), "a", encoding="utf-8") as fh:
+            for d in digests:
+                fh.write(d + "\n")
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self, source, *, resume: bool = False) -> IngestReport:
+        """Ingest ``source`` into ``directory``; see the class docstring.
+
+        ``resume=False`` starts a fresh catalog (and refuses to clobber
+        an existing checkpoint); ``resume=True`` requires one and picks
+        up from its cursor.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        has_checkpoint = os.path.exists(self._checkpoint_path())
+        if resume and not has_checkpoint:
+            raise ValueError(f"nothing to resume: no checkpoint in {self.directory}")
+        if not resume and has_checkpoint:
+            raise ValueError(
+                f"{self.directory} already holds a checkpoint; pass resume=True "
+                "to continue it (or use a fresh directory)"
+            )
+
+        errors: List[Dict[str, Any]] = []
+        if resume:
+            state = self._read_checkpoint()
+            catalog = ShardedCatalog.load(self.directory, workers=self.workers)
+            cursor = int(state["cursor"])
+            checkpoints = int(state["checkpoints"])
+            row_duplicates = int(state["row_duplicates"])
+            errors = list(state.get("errors", []))
+            seen = set(self._load_digests(int(state["digest_count"])))
+        else:
+            catalog = ShardedCatalog(self.shard_count, workers=self.workers)
+            cursor = 0
+            checkpoints = 0
+            row_duplicates = 0
+            seen = set()
+
+        try:
+            return self._drive(
+                source, catalog, cursor, checkpoints, row_duplicates, seen, errors, resume
+            )
+        finally:
+            catalog.close()
+
+    def _drive(
+        self,
+        source,
+        catalog: ShardedCatalog,
+        cursor: int,
+        checkpoints: int,
+        row_duplicates: int,
+        seen: set,
+        errors: List[Dict[str, Any]],
+        resumed: bool,
+    ) -> IngestReport:
+        limit = self.checkpoint_every
+
+        def checkpoint(fresh_digests: Sequence[str]) -> None:
+            nonlocal checkpoints
+            # Commit order matters: partitions first, digest log second,
+            # checkpoint.json (the commit point) last.  Any crash between
+            # them is healed on resume — extra partition records fall to
+            # identity dedup, extra digest rows are truncated.
+            catalog.save(self.directory)
+            self._append_digests(fresh_digests)
+            checkpoints += 1
+            self._write_checkpoint(
+                {
+                    "cursor": cursor,
+                    "digest_count": len(seen),
+                    "row_duplicates": row_duplicates,
+                    "checkpoints": checkpoints,
+                    "shard_count": catalog.shard_count,
+                    "errors": errors,
+                }
+            )
+
+        while True:
+            position = cursor
+            try:
+                batch = self.retry.run(
+                    lambda: source.fetch_batch(position, limit),
+                    token=("harvest", position),
+                    clock=self.clock,
+                )
+            except RetryExhaustedError as exc:
+                errors.append(
+                    {
+                        "position": position,
+                        "error": str(exc),
+                        "attempts": exc.attempts,
+                        "skipped": self.on_error == "skip",
+                    }
+                )
+                if self.on_error == "stop":
+                    checkpoint(())
+                    return self._report(
+                        catalog, False, row_duplicates, cursor, checkpoints, resumed, errors
+                    )
+                cursor += limit  # skip the failed window and press on
+                checkpoint(())
+                continue
+
+            if not batch:
+                break
+            fresh_records: List[CatalogRecord] = []
+            fresh_digests: List[str] = []
+            for rec in batch:
+                digest = rec.row_digest()
+                if digest in seen:
+                    row_duplicates += 1
+                    continue
+                seen.add(digest)
+                fresh_digests.append(digest)
+                fresh_records.append(rec)
+            catalog.ingest_many(fresh_records)
+            cursor += len(batch)
+            checkpoint(fresh_digests)
+            if len(batch) < limit:
+                break  # short batch = end of stream
+
+        return self._report(catalog, True, row_duplicates, cursor, checkpoints, resumed, errors)
+
+    def _report(
+        self,
+        catalog: ShardedCatalog,
+        ok: bool,
+        row_duplicates: int,
+        cursor: int,
+        checkpoints: int,
+        resumed: bool,
+        errors: List[Dict[str, Any]],
+    ) -> IngestReport:
+        return IngestReport(
+            ok=ok,
+            records=len(catalog),
+            row_duplicates=row_duplicates,
+            identity_duplicates=catalog.duplicates_rejected,
+            cursor=cursor,
+            checkpoints=checkpoints,
+            resumed=resumed,
+            replayed_shards=list(catalog.replayed_shards),
+            errors=errors,
+        )
 
 
 def harvest_seal(seal: SealStorage, *, token: str) -> List[CatalogRecord]:

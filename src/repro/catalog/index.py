@@ -6,24 +6,110 @@ prefix queries expand against the sorted vocabulary with ``bisect``, and
 facets count values over a result set.  Everything is O(tokens) to build
 and sub-linear in corpus size to query — the property benchmark C6
 checks as N grows.
+
+Queries are compiled to *clauses* (:func:`parse_query`) that are
+resolved and executed as separate steps.  The split is what makes the
+sharded engine (:mod:`repro.catalog.shards`) exact: a
+:class:`ShardedCatalog` resolves prefix clauses against the *global*
+vocabulary (merging per-shard expansions) and then hands every shard the
+same pre-expanded clause list, so fan-out search returns byte-identical
+results to a single index holding the whole corpus.
+
+``TOKENIZER_VERSION`` stamps every persisted shard manifest.  When the
+tokenizer changes (v2 made it Unicode-aware), loaded partitions whose
+manifests carry an older version are *stale* and replay — re-tokenized
+from the raw record text — instead of trusting their cached token lists.
 """
 
 from __future__ import annotations
 
 import re
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["InvertedIndex", "tokenize"]
+__all__ = [
+    "TOKENIZER_VERSION",
+    "ExpandedClause",
+    "IndexSearchResult",
+    "InvertedIndex",
+    "PrefixClause",
+    "TokenClause",
+    "parse_query",
+    "tokenize",
+]
 
-_TOKEN_RE = re.compile(r"[a-z0-9]+")
+#: Bumped whenever :func:`tokenize` changes behaviour.  Persisted shard
+#: manifests carrying an older version are replayed on load.
+TOKENIZER_VERSION = 2
+
+# v2: any Unicode letter/digit run ([^\W_] = \w minus underscore), so
+# "Müller" and "café" survive tokenization instead of splitting on the
+# accented characters.  ASCII behaviour is unchanged.
+_TOKEN_RE = re.compile(r"[^\W_]+", re.UNICODE)
+
+#: How many vocabulary entries a trailing-``*`` prefix expands to before
+#: the expansion is cut off (and the result flagged truncated).
+PREFIX_EXPANSION_LIMIT = 64
 
 
 def tokenize(text: str) -> List[str]:
-    """Lowercase alphanumeric tokens (hyphens/underscores split)."""
+    """Lowercase letter/digit tokens (hyphens/underscores/punctuation split)."""
     return _TOKEN_RE.findall(text.lower())
+
+
+# -- query clauses -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TokenClause:
+    """Exact tokens from one whitespace-separated query word, ANDed."""
+
+    tokens: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PrefixClause:
+    """A trailing-``*`` query word: matches any token with this prefix."""
+
+    prefix: str
+
+
+@dataclass(frozen=True)
+class ExpandedClause:
+    """A prefix clause after vocabulary expansion: postings are ORed."""
+
+    tokens: Tuple[str, ...]
+
+
+Clause = Union[TokenClause, PrefixClause, ExpandedClause]
+
+
+def parse_query(query: str) -> List[Clause]:
+    """Compile a query string into clauses (ANDed against each other).
+
+    Each whitespace-separated word becomes one clause: a trailing ``*``
+    makes a :class:`PrefixClause` (``terr*`` hits ``terrain``); anything
+    else is tokenized into a :class:`TokenClause` whose tokens must all
+    match.
+    """
+    clauses: List[Clause] = []
+    for raw in query.lower().split():
+        if raw.endswith("*"):
+            clauses.append(PrefixClause(raw[:-1]))
+        else:
+            clauses.append(TokenClause(tuple(tokenize(raw))))
+    return clauses
+
+
+@dataclass(frozen=True)
+class IndexSearchResult:
+    """Matching doc ids plus whether any prefix expansion was cut off."""
+
+    doc_ids: np.ndarray
+    truncated: bool
 
 
 class InvertedIndex:
@@ -39,13 +125,93 @@ class InvertedIndex:
 
     def add(self, doc_id: int, text: str) -> None:
         """Index one document's text under integer id ``doc_id``."""
+        self.add_tokens(doc_id, tokenize(text))
+
+    def add_tokens(self, doc_id: int, tokens: Sequence[str]) -> None:
+        """Index pre-tokenized text — the batch ingest fast path.
+
+        Only the *touched* tokens' frozen posting arrays are invalidated;
+        postings of unrelated tokens keep their identity, so interleaved
+        add/search stays O(tokens touched) instead of refreezing the
+        whole vocabulary on every add.  The sorted-vocabulary cache is
+        dropped only when a genuinely new token appears.
+        """
         if doc_id < 0:
             raise ValueError("doc_id must be non-negative")
-        for token in set(tokenize(text)):
-            self._postings.setdefault(token, []).append(doc_id)
-        self._frozen.clear()
-        self._vocab_sorted = None
-        self._doc_count = max(self._doc_count, doc_id + 1)
+        postings = self._postings
+        frozen = self._frozen
+        new_vocab = False
+        for token in set(tokens):
+            raw = postings.get(token)
+            if raw is None:
+                postings[token] = [doc_id]
+                new_vocab = True
+            else:
+                raw.append(doc_id)
+            if frozen:
+                frozen.pop(token, None)
+        if new_vocab:
+            self._vocab_sorted = None
+        if doc_id >= self._doc_count:
+            self._doc_count = doc_id + 1
+
+    def add_documents(self, token_lists: Sequence[Sequence[str]], *, start_doc: int) -> None:
+        """Index many documents at consecutive ids — the bulk-load path.
+
+        Document ``i`` of ``token_lists`` gets id ``start_doc + i``.  One
+        fused loop instead of per-document :meth:`add_tokens` calls: the
+        frozen-invalidation and vocabulary-cache checks run once for the
+        whole batch, which on a large ingest is a measurable slice of
+        build time.
+        """
+        if start_doc < 0:
+            raise ValueError("start_doc must be non-negative")
+        postings = self._postings
+        frozen = self._frozen
+        vocab_grew = False
+        doc_id = start_doc
+        for tokens in token_lists:
+            for token in set(tokens):
+                raw = postings.get(token)
+                if raw is None:
+                    postings[token] = [doc_id]
+                    vocab_grew = True
+                else:
+                    raw.append(doc_id)
+                if frozen:
+                    frozen.pop(token, None)
+            doc_id += 1
+        if vocab_grew:
+            self._vocab_sorted = None
+        if doc_id > self._doc_count:
+            self._doc_count = doc_id
+
+    def freeze(self, *, assume_sorted: bool = False) -> int:
+        """Freeze every posting list eagerly; returns the vocabulary size.
+
+        Normally postings freeze lazily on first query.  Eager freezing
+        is the "warm the index" step benchmarks and the sharded engine
+        use — per-shard freezes run concurrently on the fan-out pool.
+
+        ``assume_sorted`` is the bulk-load contract: the caller asserts
+        every posting list is already strictly increasing (true whenever
+        documents were only ever added at fresh, increasing ids — the
+        sharded engine's ingest guarantees it structurally).  Freezing
+        then skips the per-token ``np.unique`` sort, which is the
+        single biggest cost of warming a large index.  Asserting it
+        falsely corrupts AND-query results; when in doubt, leave it off.
+        """
+        if assume_sorted:
+            frozen = self._frozen
+            for token, raw in self._postings.items():
+                if token not in frozen:
+                    frozen[token] = np.asarray(raw, dtype=np.int64)
+        else:
+            for token in self._postings:
+                self._posting(token)
+        if self._vocab_sorted is None:
+            self._vocab_sorted = sorted(self._postings)
+        return len(self._postings)
 
     def _posting(self, token: str) -> np.ndarray:
         arr = self._frozen.get(token)
@@ -64,50 +230,111 @@ class InvertedIndex:
 
         A trailing ``*`` on a token turns it into a prefix match
         (``terr*`` hits ``terrain``); prefix postings are OR-ed before the
-        AND across tokens.
+        AND across tokens.  See :meth:`search_detailed` for the variant
+        that also reports prefix-expansion truncation.
         """
-        tokens = [t for t in query.lower().split() if t]
-        if not tokens:
+        return self.search_detailed(query).doc_ids
+
+    def search_detailed(self, query: str) -> IndexSearchResult:
+        """Like :meth:`search`, plus a ``truncated`` flag.
+
+        ``truncated`` is True when any prefix clause matched more
+        vocabulary entries than the expansion limit — the result covers
+        only the first :data:`PREFIX_EXPANSION_LIMIT` tokens in
+        lexicographic order, so the caller should narrow the prefix.
+        """
+        resolved, truncated = self.resolve_clauses(parse_query(query))
+        return IndexSearchResult(self.execute_clauses(resolved), truncated)
+
+    def resolve_clauses(self, clauses: Sequence[Clause]) -> Tuple[List[Clause], bool]:
+        """Expand every prefix clause against this index's vocabulary.
+
+        Returns the clause list with each :class:`PrefixClause` replaced
+        by an :class:`ExpandedClause`, and whether any expansion was cut
+        off at the limit.  Resolution happens for *all* clauses up front
+        (before any early-exit on empty intersections) so the truncated
+        flag is a property of the query+vocabulary, not of evaluation
+        order — which is what makes it shard-invariant.
+        """
+        resolved: List[Clause] = []
+        truncated = False
+        for clause in clauses:
+            if isinstance(clause, PrefixClause):
+                tokens, more = self.expand_prefix(clause.prefix)
+                truncated = truncated or more
+                resolved.append(ExpandedClause(tuple(tokens)))
+            else:
+                resolved.append(clause)
+        return resolved, truncated
+
+    def execute_clauses(self, clauses: Sequence[Clause]) -> np.ndarray:
+        """AND the resolved clauses' postings (empty query -> no matches)."""
+        if not clauses:
             return np.empty(0, dtype=np.int64)
         result: Optional[np.ndarray] = None
-        for raw in tokens:
-            if raw.endswith("*"):
-                postings = [self._posting(t) for t in self._expand_prefix(raw[:-1])]
+        for clause in clauses:
+            if isinstance(clause, ExpandedClause):
+                postings = [self._posting(t) for t in clause.tokens]
                 ids = (
                     np.unique(np.concatenate(postings))
                     if postings
                     else np.empty(0, dtype=np.int64)
                 )
-            else:
-                token_list = tokenize(raw)
-                ids = self._posting(token_list[0]) if token_list else np.empty(0, dtype=np.int64)
-                for t in token_list[1:]:
-                    ids = np.intersect1d(ids, self._posting(t), assume_unique=True)
+            elif isinstance(clause, TokenClause):
+                if not clause.tokens:
+                    ids = np.empty(0, dtype=np.int64)
+                else:
+                    ids = self._posting(clause.tokens[0])
+                    for t in clause.tokens[1:]:
+                        ids = np.intersect1d(ids, self._posting(t), assume_unique=True)
+            else:  # PrefixClause slipped through un-resolved
+                raise TypeError("prefix clauses must be resolved before execution")
             result = ids if result is None else np.intersect1d(result, ids, assume_unique=True)
             if result.size == 0:
                 break
         return result if result is not None else np.empty(0, dtype=np.int64)
 
-    def _expand_prefix(self, prefix: str, limit: int = 64) -> List[str]:
+    def expand_prefix(
+        self, prefix: str, limit: int = PREFIX_EXPANSION_LIMIT
+    ) -> Tuple[List[str], bool]:
+        """Vocabulary entries starting with ``prefix``, lexicographic order.
+
+        Returns at most ``limit`` tokens plus a flag telling whether more
+        matches exist beyond the cut-off (the silent-truncation fix: the
+        caller can surface it instead of quietly dropping matches).
+        """
         if not prefix:
-            return []
+            return [], False
         if self._vocab_sorted is None:
             self._vocab_sorted = sorted(self._postings)
         vocab = self._vocab_sorted
         i = bisect_left(vocab, prefix)
         out: List[str] = []
-        while i < len(vocab) and vocab[i].startswith(prefix) and len(out) < limit:
+        while i < len(vocab) and vocab[i].startswith(prefix):
+            if len(out) == limit:
+                return out, True
             out.append(vocab[i])
             i += 1
-        return out
+        return out, False
+
+    def document_frequency(self, token: str) -> int:
+        """How many distinct documents contain ``token``."""
+        return int(self._posting(token).size)
 
     def facet_counts(
-        self, doc_ids: Sequence[int], values: Sequence[str]
+        self, doc_ids: Sequence[int], values: Sequence[Optional[str]]
     ) -> Dict[str, int]:
-        """Count facet ``values[doc_id]`` over a result set."""
+        """Count facet ``values[doc_id]`` over a result set.
+
+        Records whose facet value is ``None`` (the attribute is missing
+        on that record) are skipped rather than grouped under a fake
+        bucket — merged facet counts stay exact across shards.
+        """
         counts: Dict[str, int] = {}
         for d in doc_ids:
             v = values[int(d)]
+            if v is None:
+                continue
             counts[v] = counts.get(v, 0) + 1
         return counts
 
@@ -117,9 +344,17 @@ class InvertedIndex:
     def vocabulary_size(self) -> int:
         return len(self._postings)
 
+    def vocabulary(self):
+        """Iterate over the vocabulary (arbitrary order)."""
+        return iter(self._postings)
+
     @property
     def document_count(self) -> int:
         return self._doc_count
+
+    def token_occurrences(self) -> int:
+        """Total posting entries (the manifest's token-stats column)."""
+        return sum(len(v) for v in self._postings.values())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"InvertedIndex({self._doc_count} docs, {len(self._postings)} tokens)"

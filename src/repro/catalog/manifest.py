@@ -1,0 +1,120 @@
+"""Partition manifests for the sharded catalog.
+
+Each persisted shard travels with a manifest recording what the
+partition holds (record count, vocabulary size, token occurrences), how
+it was built (schema + tokenizer versions), and a BLAKE2b content digest
+of the partition file itself.  On load the digest is verified and the
+versions are compared against the running code: a mismatch in either
+version marks the partition *stale*, and the loader replays it —
+re-tokenizing from the raw record text instead of trusting cached token
+lists — exactly the stale-partition-replay lifecycle idxr documents for
+schema evolution.
+
+Manifests deliberately contain only corpus-derived state (no mutable
+counters like duplicates-rejected): a resumed, interrupted ingestion
+therefore converges to byte-identical manifest files as an uninterrupted
+run over the same records.
+
+All writes are atomic (tempfile + ``os.replace``) so a crash mid-write
+leaves the previous manifest intact, never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping
+
+from repro.catalog.index import TOKENIZER_VERSION
+from repro.catalog.records import SCHEMA_VERSION
+
+__all__ = [
+    "CatalogManifestError",
+    "ShardManifest",
+    "atomic_write_bytes",
+    "read_manifest",
+    "write_manifest",
+]
+
+
+class CatalogManifestError(ValueError):
+    """A manifest is unreadable, inconsistent, or fails its digest check."""
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """Everything needed to validate and (re)load one shard partition."""
+
+    shard_id: int
+    shard_count: int
+    records: int
+    vocabulary: int
+    token_occurrences: int
+    schema_version: int
+    tokenizer_version: int
+    content_digest: str
+
+    @property
+    def stale(self) -> bool:
+        """True when the running code's versions differ from the manifest's.
+
+        A stale partition's raw records are still trusted (the digest
+        guards them); only its derived state — cached token lists — must
+        be replayed under the current tokenizer/schema.
+        """
+        return (
+            self.tokenizer_version != TOKENIZER_VERSION
+            or self.schema_version != SCHEMA_VERSION
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardManifest":
+        try:
+            return cls(
+                shard_id=int(data["shard_id"]),
+                shard_count=int(data["shard_count"]),
+                records=int(data["records"]),
+                vocabulary=int(data["vocabulary"]),
+                token_occurrences=int(data["token_occurrences"]),
+                schema_version=int(data["schema_version"]),
+                tokenizer_version=int(data["tokenizer_version"]),
+                content_digest=str(data["content_digest"]),
+            )
+        except KeyError as exc:
+            raise CatalogManifestError(f"manifest missing field {exc}") from exc
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a same-directory tempfile + rename.
+
+    ``os.replace`` is atomic on POSIX, so readers (and crash recovery)
+    only ever observe the old file or the complete new one.
+    """
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+    os.replace(tmp, path)
+
+
+def write_manifest(path: str, manifest: ShardManifest) -> None:
+    """Persist a manifest as deterministic (sorted-key) JSON, atomically."""
+    payload = json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n"
+    atomic_write_bytes(path, payload.encode("utf-8"))
+
+
+def read_manifest(path: str) -> ShardManifest:
+    """Load and validate a manifest file."""
+    try:
+        with open(path, "rb") as fh:
+            data = json.loads(fh.read().decode("utf-8"))
+    except FileNotFoundError:
+        raise
+    except (OSError, ValueError) as exc:
+        raise CatalogManifestError(f"unreadable manifest {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise CatalogManifestError(f"manifest {path} is not a JSON object")
+    return ShardManifest.from_dict(data)

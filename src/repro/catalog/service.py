@@ -5,19 +5,39 @@ records are deduplicated on ingest (same ``record_id`` = same source +
 name + checksum), searches return ranked hits, and per-source facets
 support the "interdisciplinary collaboration" story — which providers
 hold matching data.
+
+Ranking is document-frequency weighted term density: each query token
+contributes ``log1p(N / (1 + df))`` — rare tokens outweigh ubiquitous
+ones — summed over the record's tokens and normalized by record length.
+The scoring helpers are free functions over *global* corpus statistics
+``(N, df)``, which is exactly what makes the sharded engine
+(:mod:`repro.catalog.shards`) able to reproduce this ranking bit-for-bit:
+it sums per-shard document frequencies into the same global weights and
+applies the same record-local summation.  Ties break on the record's
+``(name, source, checksum)`` identity triple — a total order that is
+independent of ingest order and shard placement.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
-from repro.catalog.index import InvertedIndex, tokenize
+from repro.catalog.index import InvertedIndex, parse_query, tokenize
 from repro.catalog.records import CatalogRecord
 
-__all__ = ["CatalogService", "SearchHit"]
+__all__ = [
+    "CatalogService",
+    "SearchHit",
+    "SearchResults",
+    "hit_sort_key",
+    "idf_weights",
+    "query_tokens",
+    "score_tokens",
+]
 
 
 @dataclass(frozen=True)
@@ -26,6 +46,62 @@ class SearchHit:
 
     record: CatalogRecord
     score: float
+
+
+class SearchResults(List[SearchHit]):
+    """A ranked hit list that also reports prefix-expansion truncation.
+
+    Behaves exactly like ``List[SearchHit]``; ``truncated`` is True when
+    a prefix query matched more vocabulary than the expansion limit, so
+    the hit list may be missing records a narrower prefix would find.
+    """
+
+    def __init__(self, hits: Iterable[SearchHit] = (), *, truncated: bool = False) -> None:
+        super().__init__(hits)
+        self.truncated = truncated
+
+
+# -- scoring (shared with the sharded engine) --------------------------------
+
+
+def query_tokens(query: str) -> Set[str]:
+    """The scoring token set: every token of the query, prefixes bared."""
+    return set(tokenize(query.replace("*", "")))
+
+
+def idf_weights(
+    tokens: Iterable[str], total_docs: int, df: Callable[[str], int]
+) -> Dict[str, float]:
+    """Per-token inverse-document-frequency weights over a corpus.
+
+    ``df`` maps a token to its global document frequency.  The weight is
+    ``log1p(N / (1 + df))``: monotonically decreasing in df, never
+    negative, and well-defined for unseen tokens (df = 0).
+    """
+    return {t: math.log1p(total_docs / (1.0 + df(t))) for t in tokens}
+
+
+def score_tokens(doc_tokens: Sequence[str], weights: Dict[str, float]) -> float:
+    """Weighted term density of one record.
+
+    Sums the weight of every record token that appears in the query
+    (repeated tokens count repeatedly — density, not coverage) and
+    normalizes by record length.  The summation order is the record's
+    own token order, so the float result is identical no matter which
+    shard — or which engine — computes it.
+    """
+    total = 0.0
+    for t in doc_tokens:
+        w = weights.get(t)
+        if w is not None:
+            total += w
+    return total / max(1, len(doc_tokens))
+
+
+def hit_sort_key(hit: SearchHit):
+    """Total ranking order: score desc, then the identity triple asc."""
+    rec = hit.record
+    return (-hit.score, rec.name, rec.source, rec.checksum)
 
 
 class CatalogService:
@@ -48,11 +124,11 @@ class CatalogService:
             self.duplicates_rejected += 1
             return False
         doc_id = len(self._records)
-        text = record.index_text()
+        tokens = tokenize(record.index_text())
         self._records.append(record)
-        self._doc_tokens.append(tokenize(text))
+        self._doc_tokens.append(tokens)
         self._by_id[rid] = doc_id
-        self._index.add(doc_id, text)
+        self._index.add_tokens(doc_id, tokens)
         return True
 
     def ingest_many(self, records: Iterable[CatalogRecord]) -> int:
@@ -72,6 +148,10 @@ class CatalogService:
 
     # -- search -----------------------------------------------------------------
 
+    def warm(self) -> int:
+        """Freeze all postings eagerly; returns the vocabulary size."""
+        return self._index.freeze()
+
     def search(
         self,
         query: str,
@@ -79,15 +159,18 @@ class CatalogService:
         limit: int = 20,
         source: Optional[str] = None,
         min_size: int = 0,
-    ) -> List[SearchHit]:
-        """AND search with optional source/size filters, ranked by term density.
+    ) -> SearchResults:
+        """AND search with optional source/size filters, ranked by weighted density.
 
-        Score = matched query tokens / total record tokens, so records
-        whose text is mostly the query rank above records that merely
-        mention it.
+        Records whose text is mostly (rare) query tokens rank above
+        records that merely mention them.  The returned list carries a
+        ``truncated`` flag for cut-off prefix expansions.
         """
-        doc_ids = self._index.search(query)
-        qtokens = set(tokenize(query.replace("*", "")))
+        resolved, truncated = self._index.resolve_clauses(parse_query(query))
+        doc_ids = self._index.execute_clauses(resolved)
+        weights = idf_weights(
+            query_tokens(query), len(self._records), self._index.document_frequency
+        )
         hits: List[SearchHit] = []
         for d in doc_ids:
             rec = self._records[int(d)]
@@ -95,18 +178,27 @@ class CatalogService:
                 continue
             if rec.size < min_size:
                 continue
-            rtokens = self._doc_tokens[int(d)]
-            overlap = sum(1 for t in rtokens if t in qtokens)
-            score = overlap / max(1, len(rtokens))
+            score = score_tokens(self._doc_tokens[int(d)], weights)
             hits.append(SearchHit(rec, score))
-        hits.sort(key=lambda h: (-h.score, h.record.name))
-        return hits[: max(0, limit)]
+        hits.sort(key=hit_sort_key)
+        return SearchResults(hits[: max(0, limit)], truncated=truncated)
 
     def facets_by_source(self, query: str) -> Dict[str, int]:
         """How many matches each provider contributes."""
         doc_ids = self._index.search(query)
         sources = [r.source for r in self._records]
         return self._index.facet_counts(doc_ids.tolist(), sources)
+
+    def facets_by_attribute(self, query: str, key: str) -> Dict[str, int]:
+        """Match counts per value of attribute ``key``.
+
+        Records that do not carry the attribute are skipped (not grouped
+        under a sentinel), so counts sum to the number of matches that
+        *have* the attribute.
+        """
+        doc_ids = self._index.search(query)
+        values = [r.attr_dict().get(key) for r in self._records]
+        return self._index.facet_counts(doc_ids.tolist(), values)
 
     # -- stats -----------------------------------------------------------------------
 

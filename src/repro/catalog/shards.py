@@ -1,0 +1,527 @@
+"""Sharded catalog engine: partitioned indexes with fan-out query.
+
+The NSDF-Catalog story (§III-B, 1.59 B records) does not fit one
+in-process inverted index.  :class:`ShardedCatalog` splits the corpus
+into ``shard_count`` partitions — records route by a stable hash of
+their identity triple (CRC32 over source/name/checksum), so a record
+and all its duplicates always land in the same shard and dedup stays
+shard-local (by exact identity-tuple equality, no hash collisions to
+worry about) — and fans queries out across the partitions on a bounded
+:class:`~repro.idx.parallel.ParallelFetcher` pool, merging ranked
+results exactly.
+
+Exactness is the design constraint: for any shard count, search hits
+(records *and* scores), facet counts, and prefix-truncation flags are
+byte-identical to a single :class:`~repro.catalog.service.CatalogService`
+holding the whole corpus.  Three mechanisms deliver that:
+
+- scoring uses *global* corpus statistics — per-shard document
+  frequencies are summed into one IDF weight table before fan-out, and
+  each shard applies the shared record-local scoring kernel;
+- prefix clauses are resolved *globally* — per-shard vocabulary
+  expansions are merged, sorted, and cut at the same limit a single
+  index would use, then shards execute the pre-expanded clause list
+  (a token in the global top-64 is necessarily in its own shard's
+  top-64, so merging per-shard expansions loses nothing);
+- the ranking tie-break is a total order on the record identity triple,
+  independent of shard placement and ingest order.
+
+Partitions persist alongside a :class:`~repro.catalog.manifest.ShardManifest`
+(record counts, token stats, schema/tokenizer versions, content digest).
+Loading verifies digests and *replays* stale partitions — re-tokenizing
+raw records when the manifest's tokenizer/schema version trails the
+running code — instead of serving results from an outdated vocabulary.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import threading
+from itertools import chain
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.catalog.index import (
+    PREFIX_EXPANSION_LIMIT,
+    Clause,
+    ExpandedClause,
+    InvertedIndex,
+    PrefixClause,
+    TOKENIZER_VERSION,
+    parse_query,
+    tokenize,
+)
+from repro.catalog.manifest import (
+    CatalogManifestError,
+    ShardManifest,
+    atomic_write_bytes,
+    read_manifest,
+    write_manifest,
+)
+from repro.catalog.records import SCHEMA_VERSION, CatalogRecord
+from repro.catalog.service import (
+    SearchHit,
+    SearchResults,
+    hit_sort_key,
+    idf_weights,
+    query_tokens,
+    score_tokens,
+)
+from repro.idx.parallel import ParallelFetcher
+from repro.util.hashing import content_digest
+
+__all__ = ["ShardedCatalog"]
+
+T = TypeVar("T")
+
+_SHARD_FILE = "shard-{:04d}.jsonl"
+_MANIFEST_FILE = "shard-{:04d}.manifest.json"
+_CATALOG_FILE = "catalog.json"
+
+
+class _Shard:
+    """One partition: records, cached tokens, and a private inverted index.
+
+    Shards are only ever touched by one fan-out task at a time during
+    ingest (the router groups a batch per shard before submission), so
+    they carry no locks of their own.
+    """
+
+    __slots__ = ("records", "tokens", "index", "identity", "duplicates_rejected", "_rid_map")
+
+    def __init__(self) -> None:
+        self.records: List[CatalogRecord] = []
+        self.tokens: List[List[str]] = []
+        self.index = InvertedIndex()
+        self.identity: Dict[Tuple[str, str, str], int] = {}  # identity -> local doc id
+        self.duplicates_rejected = 0
+        self._rid_map: Dict[str, int] = {}
+
+    # -- ingest -------------------------------------------------------------
+
+    def ingest_batch(self, batch: Sequence[CatalogRecord]) -> int:
+        """Append records in order, deduping by identity; returns new records.
+
+        Documents only ever enter at fresh, increasing local ids (one
+        writer per shard, ids assigned from ``len(records)``), which is
+        the invariant that lets :meth:`warm` take the sorted-freeze fast
+        path.
+        """
+        identity = self.identity
+        records = self.records
+        start_doc = len(records)
+        fresh: List[CatalogRecord] = []
+        fresh_tokens: List[List[str]] = []
+        doc_id = start_doc
+        for rec in batch:
+            ident = (rec.source, rec.name, rec.checksum)
+            if ident in identity:
+                self.duplicates_rejected += 1
+                continue
+            identity[ident] = doc_id
+            fresh.append(rec)
+            fresh_tokens.append(tokenize(rec.index_text()))
+            doc_id += 1
+        if fresh:
+            self.index.add_documents(fresh_tokens, start_doc=start_doc)
+            records.extend(fresh)
+            self.tokens.extend(fresh_tokens)
+        return len(fresh)
+
+    def warm(self) -> int:
+        """Eager-freeze this shard's postings (sorted-contract fast path)."""
+        return self.index.freeze(assume_sorted=True)
+
+    # -- query --------------------------------------------------------------
+
+    def search_hits(
+        self,
+        resolved: Sequence[Clause],
+        weights: Dict[str, float],
+        source: Optional[str],
+        min_size: int,
+    ) -> List[SearchHit]:
+        """Filtered, scored (unsorted) hits for pre-resolved clauses."""
+        doc_ids = self.index.execute_clauses(resolved)
+        hits: List[SearchHit] = []
+        for d in doc_ids:
+            rec = self.records[int(d)]
+            if source is not None and rec.source != source:
+                continue
+            if rec.size < min_size:
+                continue
+            hits.append(SearchHit(rec, score_tokens(self.tokens[int(d)], weights)))
+        return hits
+
+    def facet_counts(
+        self, resolved: Sequence[Clause], value_of: Callable[[CatalogRecord], Optional[str]]
+    ) -> Dict[str, int]:
+        doc_ids = self.index.execute_clauses(resolved)
+        values = [value_of(r) for r in self.records]
+        return self.index.facet_counts(doc_ids.tolist(), values)
+
+    def get(self, record_id: str) -> Optional[CatalogRecord]:
+        """Lookup by public ``record_id`` (lazy map — ingest never pays it)."""
+        if len(self._rid_map) != len(self.records):
+            self._rid_map = {rec.record_id: i for i, rec in enumerate(self.records)}
+        doc = self._rid_map.get(record_id)
+        return None if doc is None else self.records[doc]
+
+    # -- persistence --------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """Deterministic JSONL: one record + its cached tokens per line."""
+        lines = [
+            json.dumps({"r": rec.to_dict(), "t": toks}, sort_keys=True, separators=(",", ":"))
+            for rec, toks in zip(self.records, self.tokens)
+        ]
+        return ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
+
+    @classmethod
+    def deserialize(cls, data: bytes, *, replay: bool) -> "_Shard":
+        """Rebuild a shard from :meth:`serialize` bytes.
+
+        With ``replay`` the cached token lists are discarded and every
+        record is re-tokenized under the *current* tokenizer — the
+        stale-partition path taken when the manifest's versions trail
+        the running code.
+        """
+        shard = cls()
+        for line in data.decode("utf-8").splitlines():
+            obj = json.loads(line)
+            rec = CatalogRecord.from_dict(obj["r"])
+            toks = tokenize(rec.index_text()) if replay else list(obj["t"])
+            shard.identity[rec.identity()] = len(shard.records)
+            shard.records.append(rec)
+            shard.tokens.append(toks)
+        shard.index.add_documents(shard.tokens, start_doc=0)
+        return shard
+
+
+class ShardedCatalog:
+    """Partitioned catalog with exact fan-out search and ranked merge.
+
+    Drop-in query surface of :class:`~repro.catalog.service.CatalogService`
+    (`ingest`/`ingest_many`/`search`/facets/`get`/`stats`) over
+    ``shard_count`` independent partitions.  Owns a bounded fan-out pool;
+    call :meth:`close` (or use it as a context manager) when done.
+    """
+
+    def __init__(
+        self,
+        shard_count: int = 4,
+        *,
+        name: str = "nsdf-catalog",
+        workers: Optional[int] = None,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        self.name = name
+        self.shard_count = int(shard_count)
+        self.shards = [_Shard() for _ in range(self.shard_count)]
+        self.replayed_shards: List[int] = []
+        if workers is None:
+            workers = min(self.shard_count, os.cpu_count() or 4, 8)
+        self._workers = max(1, workers)
+        self._fetcher = ParallelFetcher(self._reject_default_load, workers=self._workers)
+        self._lock = threading.Lock()  # guards _seq/_closed
+        self._ingest_lock = threading.Lock()  # serializes writers
+        self._seq = 0
+        self._closed = False
+
+    @staticmethod
+    def _reject_default_load(key):  # pragma: no cover - defensive
+        raise RuntimeError("fan-out tasks must carry their own loader")
+
+    # -- fan-out ------------------------------------------------------------
+
+    def _fan_out(self, fn: Callable[[int], T], shard_ids: Optional[Sequence[int]] = None) -> List[T]:
+        """Run ``fn(shard_id)`` per shard on the pool; results in shard order."""
+        ids = list(range(self.shard_count)) if shard_ids is None else list(shard_ids)
+        if not ids:
+            return []
+        if len(ids) == 1:
+            # No pool round-trip for single-partition work: a 1-shard
+            # catalog is the exact serial baseline.
+            return [fn(ids[0])]
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("catalog is closed")
+            self._seq += 1
+            seq = self._seq
+        # Task granularity tracks pool width: a shard-per-task split on a
+        # narrow pool pays one condvar round trip per shard, which
+        # dominates cheap per-shard work.  Grouping shards into at most
+        # two tasks per worker keeps every worker busy while bounding the
+        # round trips.
+        n_tasks = min(len(ids), 2 * self._workers)
+        chunks = [ids[i::n_tasks] for i in range(n_tasks)]
+        keys = [("fanout", seq, i) for i in range(n_tasks)]
+        self._fetcher.prefetch(keys, loader=lambda key: [fn(k) for k in chunks[key[2]]])
+        try:
+            parts = [self._fetcher.get(key) for key in keys]
+        finally:
+            self._fetcher.release(keys)
+        by_shard = {k: res for chunk, part in zip(chunks, parts) for k, res in zip(chunk, part)}
+        return [by_shard[k] for k in ids]
+
+    # -- ingest -------------------------------------------------------------
+
+    def ingest(self, record: CatalogRecord) -> bool:
+        """Add one record; returns False (and counts) if it is a duplicate."""
+        return self.ingest_many([record]) == 1
+
+    def ingest_many(self, records: Iterable[CatalogRecord]) -> int:
+        """Bulk ingest: route per shard, then index partitions concurrently.
+
+        Routing hashes the record identity triple (CRC32), so a record
+        and every duplicate of it land in the same shard and dedup stays
+        shard-local.  Returns the number of NEW records.  Within each
+        shard, arrival order is preserved, so ingestion is deterministic
+        — byte-identical partitions — for a given record sequence at any
+        worker count.
+        """
+        with self._ingest_lock:
+            count = self.shard_count
+            batches: List[List[CatalogRecord]] = [[] for _ in range(count)]
+            for rec in records:
+                batches[rec.route_key() % count].append(rec)
+            targets = [k for k in range(count) if batches[k]]
+            results = self._fan_out(lambda k: self.shards[k].ingest_batch(batches[k]), targets)
+            return sum(results)
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, record_id: str) -> CatalogRecord:
+        for shard in self.shards:
+            rec = shard.get(record_id)
+            if rec is not None:
+                return rec
+        raise KeyError(f"no record {record_id}")
+
+    def __len__(self) -> int:
+        return sum(len(s.records) for s in self.shards)
+
+    @property
+    def duplicates_rejected(self) -> int:
+        return sum(s.duplicates_rejected for s in self.shards)
+
+    # -- search -------------------------------------------------------------
+
+    def warm(self) -> int:
+        """Freeze every partition's postings concurrently; returns total vocab.
+
+        Shard ingest guarantees strictly-increasing local doc ids, so
+        each partition warms on the sorted-freeze fast path (no
+        per-token ``np.unique``).
+        """
+        return sum(self._fan_out(lambda k: self.shards[k].warm()))
+
+    def _document_frequency(self, token: str) -> int:
+        return sum(s.index.document_frequency(token) for s in self.shards)
+
+    def _resolve_global(self, clauses: Sequence[Clause]) -> Tuple[List[Clause], bool]:
+        """Expand prefixes against the *merged* vocabulary of all shards.
+
+        Any token in the global lexicographic top-``limit`` is in its own
+        shard's top-``limit``, so merging per-shard expansions and
+        re-cutting reproduces exactly what a single index over the whole
+        corpus would expand to — including the truncated flag.
+        """
+        resolved: List[Clause] = []
+        truncated = False
+        for clause in clauses:
+            if isinstance(clause, PrefixClause):
+                merged: set = set()
+                more = False
+                for shard in self.shards:
+                    toks, shard_more = shard.index.expand_prefix(clause.prefix)
+                    merged.update(toks)
+                    more = more or shard_more
+                ordered = sorted(merged)
+                if len(ordered) > PREFIX_EXPANSION_LIMIT:
+                    more = True
+                    ordered = ordered[:PREFIX_EXPANSION_LIMIT]
+                truncated = truncated or more
+                resolved.append(ExpandedClause(tuple(ordered)))
+            else:
+                resolved.append(clause)
+        return resolved, truncated
+
+    def search(
+        self,
+        query: str,
+        *,
+        limit: int = 20,
+        source: Optional[str] = None,
+        min_size: int = 0,
+    ) -> SearchResults:
+        """Fan-out AND search, ranked-merged exactly like a single index."""
+        resolved, truncated = self._resolve_global(parse_query(query))
+        weights = idf_weights(query_tokens(query), len(self), self._document_frequency)
+        hit_lists = self._fan_out(
+            lambda k: self.shards[k].search_hits(resolved, weights, source, min_size)
+        )
+        # Top-``limit`` selection instead of a full sort of every hit:
+        # ``nsmallest`` is equivalent to ``sorted(...)[:limit]`` (the key
+        # is a total order, so the result is byte-identical to the
+        # single-index oracle) but costs O(n log limit) on broad queries.
+        top = heapq.nsmallest(max(0, limit), chain.from_iterable(hit_lists), key=hit_sort_key)
+        return SearchResults(top, truncated=truncated)
+
+    def _merged_facets(self, query: str, value_of) -> Dict[str, int]:
+        resolved, _ = self._resolve_global(parse_query(query))
+        counts: Dict[str, int] = {}
+        for part in self._fan_out(lambda k: self.shards[k].facet_counts(resolved, value_of)):
+            for value, n in part.items():
+                counts[value] = counts.get(value, 0) + n
+        return counts
+
+    def facets_by_source(self, query: str) -> Dict[str, int]:
+        """How many matches each provider contributes (merged exactly)."""
+        return self._merged_facets(query, lambda r: r.source)
+
+    def facets_by_attribute(self, query: str, key: str) -> Dict[str, int]:
+        """Match counts per value of attribute ``key`` (missing = skipped)."""
+        return self._merged_facets(query, lambda r: r.attr_dict().get(key))
+
+    # -- stats --------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Corpus aggregates, same keys as ``CatalogService.stats`` + shards."""
+        vocabulary = len(set(chain.from_iterable(s.index.vocabulary() for s in self.shards)))
+        return {
+            "records": len(self),
+            "unique_sources": len({r.source for s in self.shards for r in s.records}),
+            "vocabulary": vocabulary,
+            "total_bytes": sum(r.size for s in self.shards for r in s.records),
+            "duplicates_rejected": self.duplicates_rejected,
+            "shards": self.shard_count,
+        }
+
+    def shard_stats(self) -> List[Dict[str, int]]:
+        """One row per partition (the explorer's per-shard table)."""
+        return [
+            {
+                "shard": k,
+                "records": len(s.records),
+                "vocabulary": s.index.vocabulary_size,
+                "token_occurrences": s.index.token_occurrences(),
+                "total_bytes": sum(r.size for r in s.records),
+                "duplicates_rejected": s.duplicates_rejected,
+            }
+            for k, s in enumerate(self.shards)
+        ]
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        """Persist every partition + manifest (and the catalog manifest).
+
+        All files are written atomically; partitions write concurrently
+        on the fan-out pool.  Output bytes are a pure function of the
+        ingested record sequence — resumed runs converge to the same
+        files as uninterrupted ones.
+        """
+        os.makedirs(directory, exist_ok=True)
+
+        def write_shard(k: int) -> int:
+            shard = self.shards[k]
+            data = shard.serialize()
+            atomic_write_bytes(os.path.join(directory, _SHARD_FILE.format(k)), data)
+            manifest = ShardManifest(
+                shard_id=k,
+                shard_count=self.shard_count,
+                records=len(shard.records),
+                vocabulary=shard.index.vocabulary_size,
+                token_occurrences=shard.index.token_occurrences(),
+                schema_version=SCHEMA_VERSION,
+                tokenizer_version=TOKENIZER_VERSION,
+                content_digest=content_digest(data),
+            )
+            write_manifest(os.path.join(directory, _MANIFEST_FILE.format(k)), manifest)
+            return len(shard.records)
+
+        totals = self._fan_out(write_shard)
+        info = {
+            "name": self.name,
+            "shard_count": self.shard_count,
+            "schema_version": SCHEMA_VERSION,
+            "tokenizer_version": TOKENIZER_VERSION,
+            "records": sum(totals),
+        }
+        payload = json.dumps(info, indent=2, sort_keys=True) + "\n"
+        atomic_write_bytes(os.path.join(directory, _CATALOG_FILE), payload.encode("utf-8"))
+
+    @classmethod
+    def load(cls, directory: str, *, workers: Optional[int] = None) -> "ShardedCatalog":
+        """Open a saved catalog, verifying digests and replaying stale shards.
+
+        Raises :class:`~repro.catalog.manifest.CatalogManifestError` when
+        a partition's bytes do not match its manifest digest or the
+        manifest is inconsistent with the catalog layout.  Shards whose
+        manifests carry outdated tokenizer/schema versions are replayed
+        (re-tokenized); their ids are listed in ``replayed_shards``.
+        """
+        path = os.path.join(directory, _CATALOG_FILE)
+        with open(path, "rb") as fh:
+            info = json.loads(fh.read().decode("utf-8"))
+        catalog = cls(
+            int(info["shard_count"]), name=str(info.get("name", "nsdf-catalog")), workers=workers
+        )
+        try:
+
+            def load_shard(k: int) -> Tuple[_Shard, bool]:
+                manifest = read_manifest(os.path.join(directory, _MANIFEST_FILE.format(k)))
+                if manifest.shard_id != k or manifest.shard_count != catalog.shard_count:
+                    raise CatalogManifestError(
+                        f"manifest for shard {k} describes shard "
+                        f"{manifest.shard_id}/{manifest.shard_count}, expected "
+                        f"{k}/{catalog.shard_count}"
+                    )
+                with open(os.path.join(directory, _SHARD_FILE.format(k)), "rb") as sfh:
+                    data = sfh.read()
+                digest = content_digest(data)
+                if digest != manifest.content_digest:
+                    raise CatalogManifestError(
+                        f"shard {k} content digest mismatch: partition file has "
+                        f"{digest}, manifest expects {manifest.content_digest}"
+                    )
+                shard = _Shard.deserialize(data, replay=manifest.stale)
+                if len(shard.records) != manifest.records:
+                    raise CatalogManifestError(
+                        f"shard {k} holds {len(shard.records)} records, "
+                        f"manifest expects {manifest.records}"
+                    )
+                return shard, manifest.stale
+
+            results = catalog._fan_out(load_shard)
+        except BaseException:
+            catalog.close()
+            raise
+        catalog.shards = [shard for shard, _ in results]
+        catalog.replayed_shards = [k for k, (_, stale) in enumerate(results) if stale]
+        return catalog
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._fetcher.close()
+
+    def __enter__(self) -> "ShardedCatalog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedCatalog({self.shard_count} shards, {len(self)} records, "
+            f"{self.duplicates_rejected} duplicates rejected)"
+        )

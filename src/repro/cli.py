@@ -8,6 +8,7 @@ Commands mirror what a tutorial attendee does from a terminal:
 - ``ingest``    stream GEOtiled terrain products straight into IDX
 - ``info``      describe an IDX dataset (dims, fields, codec, stats)
 - ``read``      extract a box/resolution from an IDX dataset to ``.npy``
+- ``catalog``   sharded catalog: resumable ingest, fan-out search, stats
 - ``lint``      run repro-lint (the AST concurrency/invariant linter)
 - ``network``   print the simulated 8-site probe matrix
 - ``report``    print the survey evaluation report
@@ -207,6 +208,64 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
+def _cmd_catalog_ingest(args: argparse.Namespace) -> int:
+    from repro.catalog.harvest import JsonlRecordSource, ResumableIngest
+
+    ingest = ResumableIngest(
+        args.dir,
+        shard_count=args.shards,
+        checkpoint_every=args.checkpoint_every,
+        workers=args.workers,
+        on_error="skip" if args.skip_errors else "stop",
+    )
+    report = ingest.run(JsonlRecordSource(args.source), resume=args.resume)
+    print(f"records      : {report.records}")
+    print(f"row dups     : {report.row_duplicates}")
+    print(f"identity dups: {report.identity_duplicates}")
+    print(f"cursor       : {report.cursor}  ({report.checkpoints} checkpoints)")
+    if report.replayed_shards:
+        print(f"replayed     : shards {report.replayed_shards}")
+    for err in report.errors:
+        print(f"  error at {err['position']}: {err['error']}", file=sys.stderr)
+    if not report.ok:
+        print("ingestion stopped; re-run with --resume to continue", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_catalog_search(args: argparse.Namespace) -> int:
+    from repro.catalog.shards import ShardedCatalog
+
+    with ShardedCatalog.load(args.dir, workers=args.workers) as catalog:
+        results = catalog.search(
+            args.query, limit=args.limit, source=args.source, min_size=args.min_size
+        )
+        for hit in results:
+            rec = hit.record
+            print(f"{hit.score:8.4f}  {rec.name}  [{rec.source}]  {rec.size} bytes")
+        if results.truncated:
+            print("(prefix expansion truncated; narrow the query)", file=sys.stderr)
+        if not results:
+            print("no matches", file=sys.stderr)
+    return 0
+
+
+def _cmd_catalog_stats(args: argparse.Namespace) -> int:
+    from repro.catalog.shards import ShardedCatalog
+
+    with ShardedCatalog.load(args.dir) as catalog:
+        stats = catalog.stats()
+        for key in sorted(stats):
+            print(f"{key:<20s} {stats[key]}")
+        print()
+        print(f"{'shard':>5s} {'records':>8s} {'vocab':>8s} {'tokens':>10s} {'bytes':>12s}")
+        for row in catalog.shard_stats():
+            print(
+                f"{row['shard']:>5d} {row['records']:>8d} {row['vocabulary']:>8d} "
+                f"{row['token_occurrences']:>10d} {row['total_bytes']:>12d}"
+            )
+    return 0
+
+
 def _cmd_network(args: argparse.Namespace) -> int:
     from repro.network import NetworkMonitor, default_testbed
 
@@ -321,6 +380,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rules", default=None, help="comma-separated rule names")
     p.add_argument("--list-rules", action="store_true")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser("catalog", help="sharded catalog: ingest/search/stats")
+    catalog_sub = p.add_subparsers(dest="catalog_command", required=True)
+
+    c = catalog_sub.add_parser("ingest", help="resumably ingest a JSONL record stream")
+    c.add_argument("source", help="JSONL file, one CatalogRecord dict per line")
+    c.add_argument("--dir", required=True, help="catalog directory (shards + checkpoint)")
+    c.add_argument("--shards", type=int, default=4)
+    c.add_argument("--checkpoint-every", type=int, default=256, metavar="N")
+    c.add_argument("--workers", type=int, default=None)
+    c.add_argument("--resume", action="store_true",
+                   help="continue from the directory's checkpoint")
+    c.add_argument("--skip-errors", action="store_true",
+                   help="skip failed batch windows instead of stopping")
+    c.set_defaults(func=_cmd_catalog_ingest)
+
+    c = catalog_sub.add_parser("search", help="query a saved sharded catalog")
+    c.add_argument("query")
+    c.add_argument("--dir", required=True)
+    c.add_argument("--limit", type=int, default=20)
+    c.add_argument("--source", default=None)
+    c.add_argument("--min-size", type=int, default=0)
+    c.add_argument("--workers", type=int, default=None)
+    c.set_defaults(func=_cmd_catalog_search)
+
+    c = catalog_sub.add_parser("stats", help="summarise a saved sharded catalog")
+    c.add_argument("--dir", required=True)
+    c.set_defaults(func=_cmd_catalog_stats)
 
     p = sub.add_parser("network", help="print the 8-site probe matrix")
     p.add_argument("--seed", type=int, default=0)

@@ -204,7 +204,7 @@ class SessionExplorer:
         from repro.idx.hzorder import PLAN_CACHE
 
         cache = self._manager.cache
-        return {
+        out = {
             "sessions": len(rows),
             "ops": sum(r["ops"] for r in rows),
             "errors": sum(r["errors"] for r in rows),
@@ -237,6 +237,18 @@ class SessionExplorer:
             # fixed-codec fleet shows one entry per dataset codec.
             "codec_bytes": self._codec_bytes(),
         }
+        # A catalog attached to the manager surfaces its partition table
+        # here — per-shard record/vocabulary balance is what tells a
+        # routing skew apart from organic corpus growth.
+        catalog = getattr(self._manager, "catalog", None)
+        if catalog is not None:
+            out["catalog"] = {
+                "shards": catalog.shard_count,
+                "records": len(catalog),
+                "duplicates_rejected": catalog.duplicates_rejected,
+                "per_shard": catalog.shard_stats(),
+            }
+        return out
 
     def _codec_bytes(self) -> Dict[str, int]:
         total: Dict[str, int] = {}

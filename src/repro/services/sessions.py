@@ -185,12 +185,23 @@ class SessionManager:
         self.cache = cache if cache is not None else BlockCache(cache_capacity)
         self.default_limits = default_limits or SessionLimits()
         self.clock = clock
+        self.catalog = None  # optional ShardedCatalog for fleet discovery
         self._lock = threading.Lock()
         self._sessions: Dict[str, ManagedSession] = {}
         self._datasets: Dict[str, Any] = {}
         # Datasets this manager itself opened (open_remote): ours to close.
         self._owned_datasets: List[Any] = []
         self._next_id = 0
+
+    # -- catalog ------------------------------------------------------------
+
+    def attach_catalog(self, catalog) -> None:
+        """Expose a (sharded) catalog through the explorer's fleet summary.
+
+        The manager does not take ownership: the caller still closes the
+        catalog.  Pass ``None`` to detach.
+        """
+        self.catalog = catalog
 
     # -- dataset registry ---------------------------------------------------
 

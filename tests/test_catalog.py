@@ -228,3 +228,104 @@ class TestHarvesters:
         hits = cat.search("tennessee slope")
         assert len(hits) == 1
         assert hits[0].record.attr_dict()["doi"] == doi
+
+
+class TestTokenizeEdgeCases:
+    def test_non_ascii_tokens_survive(self):
+        # v2 tokenizer: accented letters are word characters, not breaks.
+        assert tokenize("Müller Straße café-au-lait") == [
+            "müller", "straße", "café", "au", "lait"
+        ]
+
+    def test_very_long_token(self):
+        token = "x" * 300
+        idx = InvertedIndex()
+        idx.add(0, f"{token} other")
+        assert idx.search(token).tolist() == [0]
+        assert idx.search(f"{token[:200]}*").tolist() == [0]
+
+    def test_underscores_and_digits(self):
+        assert tokenize("a_b 30m ＣＯＮＵＳ") == ["a", "b", "30m", "ｃｏｎｕｓ"]
+
+
+class TestRefreezeChurn:
+    def test_add_preserves_untouched_posting_identity(self):
+        # Regression: `add` used to clear EVERY frozen posting, making
+        # interleaved add/search refreeze the whole vocabulary each time
+        # (quadratic).  Only touched tokens may be invalidated.
+        idx = InvertedIndex()
+        idx.add(0, "alpha beta")
+        idx.add(1, "alpha gamma")
+        frozen_alpha = idx._posting("alpha")
+        frozen_beta = idx._posting("beta")
+        idx.add(2, "gamma delta")
+        assert idx._posting("alpha") is frozen_alpha
+        assert idx._posting("beta") is frozen_beta
+        assert idx.search("gamma").tolist() == [1, 2]
+
+    def test_touched_posting_is_invalidated(self):
+        idx = InvertedIndex()
+        idx.add(0, "alpha")
+        stale = idx._posting("alpha")
+        idx.add(1, "alpha")
+        fresh = idx._posting("alpha")
+        assert fresh is not stale
+        assert fresh.tolist() == [0, 1]
+
+    def test_vocab_cache_survives_known_tokens(self):
+        idx = InvertedIndex()
+        idx.add(0, "alpha beta")
+        assert idx.expand_prefix("a")[0] == ["alpha"]
+        vocab_before = idx._vocab_sorted
+        idx.add(1, "alpha")  # no new vocabulary
+        assert idx._vocab_sorted is vocab_before
+        idx.add(2, "aardvark")  # new token drops the cache
+        assert idx.expand_prefix("a")[0] == ["aardvark", "alpha"]
+
+
+class TestPrefixTruncationFlag:
+    def test_truncated_flag_surfaces_at_limit(self):
+        from repro.catalog.index import PREFIX_EXPANSION_LIMIT
+
+        idx = InvertedIndex()
+        for i in range(PREFIX_EXPANSION_LIMIT + 1):
+            idx.add(i, f"tok{i:03d}")
+        detailed = idx.search_detailed("tok*")
+        assert detailed.truncated is True
+        # Only the first `limit` tokens (lexicographic) are covered.
+        assert detailed.doc_ids.size == PREFIX_EXPANSION_LIMIT
+        assert idx.search_detailed("tok00*").truncated is False
+
+    def test_exactly_limit_is_not_truncated(self):
+        from repro.catalog.index import PREFIX_EXPANSION_LIMIT
+
+        idx = InvertedIndex()
+        for i in range(PREFIX_EXPANSION_LIMIT):
+            idx.add(i, f"tok{i:03d}")
+        detailed = idx.search_detailed("tok*")
+        assert detailed.truncated is False
+        assert detailed.doc_ids.size == PREFIX_EXPANSION_LIMIT
+
+    def test_service_search_carries_truncated_flag(self):
+        from repro.catalog.index import PREFIX_EXPANSION_LIMIT
+
+        cat = CatalogService()
+        cat.ingest_many(
+            CatalogRecord.build(f"tok{i:03d}", source="s", checksum=str(i))
+            for i in range(PREFIX_EXPANSION_LIMIT + 1)
+        )
+        assert cat.search("tok*").truncated is True
+        assert cat.search("tok00*").truncated is False
+
+
+class TestFacetAttributeMissing:
+    def test_records_without_attribute_are_skipped(self):
+        cat = CatalogService()
+        cat.ingest(CatalogRecord.build("a", source="s", checksum="1",
+                                       attributes={"region": "east"}))
+        cat.ingest(CatalogRecord.build("b", source="s", checksum="2",
+                                       attributes={"region": "west"}))
+        cat.ingest(CatalogRecord.build("c", source="s", checksum="3"))  # no region
+        facets = cat.facets_by_attribute("s", "region")
+        assert facets == {"east": 1, "west": 1}
+        assert cat.facets_by_attribute("s", "no-such-key") == {}

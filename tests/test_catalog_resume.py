@@ -1,0 +1,202 @@
+"""Chaos suite: resumable ingestion is exactly-once under injected failure.
+
+A seeded flaky source fails its fetches on schedule.  The driver must
+fail-stop cleanly (checkpointing everything done so far), and a
+``resume=True`` pass from a FRESH ``ResumableIngest`` — simulating a new
+process after a crash — must ingest every record exactly once, with the
+final partition files BYTE-EQUAL to an uninterrupted run over the same
+stream.  Crash windows between the digest-log append and the checkpoint
+write are exercised directly: the stray digest tail must be truncated on
+resume.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.catalog import CatalogRecord, ListRecordSource, ResumableIngest, ShardedCatalog
+from repro.faults.errors import TransientStoreError
+from repro.faults.retry import RetryPolicy
+from repro.network.clock import SimClock
+
+
+def _records(n):
+    return [
+        CatalogRecord.build(
+            f"granule-{i:04d}.idx", source=f"site{i % 4}", size=1000 + i,
+            checksum=f"sum{i}", keywords=("terrain", f"band{i % 5}"),
+            description=f"synthetic granule {i}",
+        )
+        for i in range(n)
+    ]
+
+
+class FlakySource:
+    """A record source that fails fetches on a scripted schedule.
+
+    ``failures`` maps a stream position to how many consecutive fetches
+    at that position raise :class:`TransientStoreError` before the
+    position heals — the state survives across driver restarts, like a
+    real provider outage would.
+    """
+
+    def __init__(self, records, failures):
+        self._inner = ListRecordSource(records)
+        self.failures = dict(failures)
+        self.fetches = 0
+
+    def fetch_batch(self, start, limit):
+        self.fetches += 1
+        left = self.failures.get(start, 0)
+        if left > 0:
+            self.failures[start] = left - 1
+            raise TransientStoreError(f"injected outage at position {start}")
+        return self._inner.fetch_batch(start, limit)
+
+
+def _fast_retry(attempts=2):
+    return RetryPolicy(max_attempts=attempts, base_delay=0.01, jitter=0.0)
+
+
+def _catalog_files(directory):
+    """The files that define the catalog (checkpoint bookkeeping excluded)."""
+    names = sorted(
+        n for n in os.listdir(directory)
+        if n.startswith("shard-") or n in ("catalog.json", "digests.log")
+    )
+    assert names, f"no catalog files in {directory}"
+    out = {}
+    for name in names:
+        with open(os.path.join(directory, name), "rb") as fh:
+            out[name] = fh.read()
+    return out
+
+
+class TestFailStopResume:
+    def test_exactly_once_across_three_crashes(self, tmp_path):
+        stream = _records(100) + _records(100)[10:15]  # 5 duplicate rows
+        clean_dir, chaos_dir = str(tmp_path / "clean"), str(tmp_path / "chaos")
+
+        clean = ResumableIngest(clean_dir, shard_count=4, checkpoint_every=10,
+                                retry=_fast_retry(), clock=SimClock())
+        report = clean.run(ListRecordSource(stream))
+        assert report.ok and report.records == 100 and report.row_duplicates == 5
+
+        # Three outages, each outlasting the 2-attempt retry budget: the
+        # driver fail-stops three times and is resumed by a FRESH object
+        # each time (a restarted process knows only what is on disk).
+        source = FlakySource(stream, failures={30: 2, 60: 2, 80: 2})
+        reports = []
+        report = ResumableIngest(chaos_dir, shard_count=4, checkpoint_every=10,
+                                 retry=_fast_retry(), clock=SimClock()).run(source)
+        reports.append(report)
+        while not report.ok:
+            report = ResumableIngest(chaos_dir, shard_count=4, checkpoint_every=10,
+                                     retry=_fast_retry(), clock=SimClock()).run(
+                source, resume=True)
+            reports.append(report)
+
+        assert len(reports) == 4  # 3 fail-stops + 1 completion
+        assert [r.ok for r in reports] == [False, False, False, True]
+        assert [r.cursor for r in reports[:3]] == [30, 60, 80]
+        final = reports[-1]
+        assert final.records == 100  # every record exactly once
+        assert final.row_duplicates == 5
+        assert final.identity_duplicates == 0
+
+        # The interrupted-and-resumed catalog is byte-identical to the
+        # uninterrupted one: partitions, manifests, catalog manifest, and
+        # the digest log all converge.
+        assert _catalog_files(chaos_dir) == _catalog_files(clean_dir)
+
+        with ShardedCatalog.load(chaos_dir, workers=2) as catalog:
+            assert len(catalog) == 100
+            assert len(catalog.search("granule*", limit=200)) == 100
+
+    def test_error_payloads_recorded_in_checkpoint(self, tmp_path):
+        source = FlakySource(_records(40), failures={20: 5})
+        report = ResumableIngest(str(tmp_path), shard_count=2, checkpoint_every=10,
+                                 retry=_fast_retry(), clock=SimClock()).run(source)
+        assert not report.ok
+        assert report.cursor == 20  # everything before the outage is safe
+        (error,) = report.errors
+        assert error["position"] == 20
+        assert error["attempts"] == 2
+        assert error["skipped"] is False
+        with open(tmp_path / "checkpoint.json") as fh:
+            state = json.load(fh)
+        assert state["errors"] == report.errors
+        assert state["cursor"] == 20
+
+    def test_transient_failure_is_retried_invisibly(self, tmp_path):
+        clock = SimClock()
+        source = FlakySource(_records(30), failures={10: 1})  # heals within budget
+        report = ResumableIngest(str(tmp_path), shard_count=2, checkpoint_every=10,
+                                 retry=_fast_retry(attempts=3), clock=clock).run(source)
+        assert report.ok and report.records == 30 and report.errors == []
+        assert clock.total_for("retry:backoff") > 0.0  # the retry really happened
+
+    def test_skip_mode_records_and_continues(self, tmp_path):
+        source = FlakySource(_records(50), failures={20: 10_000})  # never heals
+        report = ResumableIngest(str(tmp_path), shard_count=2, checkpoint_every=10,
+                                 retry=_fast_retry(), clock=SimClock(),
+                                 on_error="skip").run(source)
+        assert report.ok
+        assert report.records == 40  # the 10-record window is lost, not fatal
+        (error,) = report.errors
+        assert error["position"] == 20 and error["skipped"] is True
+
+    def test_crash_between_digest_append_and_checkpoint(self, tmp_path, monkeypatch):
+        stream = _records(60)
+        clean_dir, chaos_dir = str(tmp_path / "clean"), str(tmp_path / "chaos")
+        ResumableIngest(clean_dir, shard_count=3, checkpoint_every=10,
+                        retry=_fast_retry(), clock=SimClock()).run(ListRecordSource(stream))
+
+        # Crash on the 3rd checkpoint AFTER partitions and digests hit
+        # disk but BEFORE checkpoint.json commits — the worst-case
+        # window: the digest log now over-reports what the checkpoint
+        # covers.
+        ingest = ResumableIngest(chaos_dir, shard_count=3, checkpoint_every=10,
+                                 retry=_fast_retry(), clock=SimClock())
+        real_write = ResumableIngest._write_checkpoint
+        calls = {"n": 0}
+
+        def crashing_write(self, state):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise OSError("simulated power loss")
+            real_write(self, state)
+
+        monkeypatch.setattr(ResumableIngest, "_write_checkpoint", crashing_write)
+        with pytest.raises(OSError, match="power loss"):
+            ingest.run(ListRecordSource(stream))
+        monkeypatch.setattr(ResumableIngest, "_write_checkpoint", real_write)
+
+        with open(os.path.join(chaos_dir, "digests.log")) as fh:
+            assert len(fh.readlines()) == 30  # 3rd append landed...
+        with open(os.path.join(chaos_dir, "checkpoint.json")) as fh:
+            assert json.load(fh)["digest_count"] == 20  # ...but was never committed
+
+        report = ResumableIngest(chaos_dir, shard_count=3, checkpoint_every=10,
+                                 retry=_fast_retry(), clock=SimClock()).run(
+            ListRecordSource(stream), resume=True)
+        assert report.ok and report.records == 60
+        assert _catalog_files(chaos_dir) == _catalog_files(clean_dir)
+
+    def test_resume_requires_checkpoint(self, tmp_path):
+        ingest = ResumableIngest(str(tmp_path), shard_count=2)
+        with pytest.raises(ValueError, match="nothing to resume"):
+            ingest.run(ListRecordSource(_records(5)), resume=True)
+
+    def test_fresh_run_refuses_existing_checkpoint(self, tmp_path):
+        ResumableIngest(str(tmp_path), shard_count=2, checkpoint_every=5,
+                        clock=SimClock()).run(ListRecordSource(_records(10)))
+        with pytest.raises(ValueError, match="already holds a checkpoint"):
+            ResumableIngest(str(tmp_path), shard_count=2).run(ListRecordSource(_records(5)))
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResumableIngest(str(tmp_path), checkpoint_every=0)
+        with pytest.raises(ValueError):
+            ResumableIngest(str(tmp_path), on_error="explode")

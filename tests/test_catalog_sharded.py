@@ -1,0 +1,257 @@
+"""Property suite: the sharded catalog is byte-identical to a single index.
+
+The oracle is :class:`CatalogService` holding the whole corpus in one
+:class:`InvertedIndex`.  For ANY shard count, :class:`ShardedCatalog`
+must return exactly the same search hits (records AND float scores, in
+the same order), the same prefix-truncation flag, the same facet counts,
+and the same corpus stats.  Hypothesis drives random corpora (including
+duplicate records, non-ASCII names, and records missing facet
+attributes) through shard counts 1/2/7/16.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog import (
+    CatalogManifestError,
+    CatalogRecord,
+    CatalogService,
+    ShardedCatalog,
+)
+from repro.catalog.index import PREFIX_EXPANSION_LIMIT
+
+SHARD_COUNTS = [1, 2, 7, 16]
+
+# Small vocabularies make collisions (shared tokens, duplicate records)
+# likely; the prefix-heavy words ("terra", "terrace", "terrain") exercise
+# expansion across shard boundaries, the accented ones the v2 tokenizer.
+WORDS = [
+    "terrain", "terra", "terrace", "slope", "aspect", "hillshade",
+    "conus", "tile", "müller", "café", "x1", "x2",
+]
+SOURCES = ["dataverse:demo", "seal:slc", "store:minio"]
+QUERIES = [
+    "terrain", "terr*", "t*", "terrain slope", "café", "m*",
+    "zzz", "", "x*", "terra* conus", "terrain zzz", "*",
+]
+
+
+def _record(name_words, source, size, checksum, keywords, region):
+    attrs = {} if region is None else {"region": region}
+    return CatalogRecord.build(
+        " ".join(name_words),
+        source=source,
+        size=size,
+        checksum=checksum,
+        keywords=tuple(keywords),
+        attributes=attrs,
+    )
+
+
+records_st = st.builds(
+    _record,
+    name_words=st.lists(st.sampled_from(WORDS), min_size=1, max_size=3),
+    source=st.sampled_from(SOURCES),
+    size=st.integers(0, 10_000),
+    checksum=st.sampled_from(["", "c1", "c2"]),
+    keywords=st.lists(st.sampled_from(WORDS), max_size=2),
+    region=st.sampled_from([None, "east", "west"]),
+)
+corpus_st = st.lists(records_st, max_size=40)
+
+
+def _oracle(records):
+    service = CatalogService()
+    service.ingest_many(records)
+    return service
+
+
+def _assert_equivalent(oracle, sharded, query, limit):
+    expected = oracle.search(query, limit=limit)
+    got = sharded.search(query, limit=limit)
+    assert [(h.record, h.score) for h in got] == [(h.record, h.score) for h in expected]
+    assert got.truncated == expected.truncated
+    assert sharded.facets_by_source(query) == oracle.facets_by_source(query)
+    assert sharded.facets_by_attribute(query, "region") == oracle.facets_by_attribute(
+        query, "region"
+    )
+
+
+class TestShardInvariance:
+    @given(corpus=corpus_st, query=st.sampled_from(QUERIES),
+           shard_count=st.sampled_from(SHARD_COUNTS))
+    @settings(max_examples=60, deadline=None)
+    def test_search_matches_single_index_oracle(self, corpus, query, shard_count):
+        oracle = _oracle(corpus)
+        with ShardedCatalog(shard_count, workers=2) as sharded:
+            sharded.ingest_many(corpus)
+            assert len(sharded) == len(oracle)
+            assert sharded.duplicates_rejected == oracle.duplicates_rejected
+            _assert_equivalent(oracle, sharded, query, limit=len(corpus) + 1)
+            _assert_equivalent(oracle, sharded, query, limit=5)
+
+    @given(corpus=corpus_st, shard_count=st.sampled_from(SHARD_COUNTS))
+    @settings(max_examples=30, deadline=None)
+    def test_stats_match_oracle(self, corpus, shard_count):
+        oracle = _oracle(corpus)
+        with ShardedCatalog(shard_count, workers=2) as sharded:
+            sharded.ingest_many(corpus)
+            oracle_stats = oracle.stats()
+            sharded_stats = sharded.stats()
+            for key, value in oracle_stats.items():
+                assert sharded_stats[key] == value
+            assert sharded_stats["shards"] == shard_count
+            per_shard = sharded.shard_stats()
+            assert len(per_shard) == shard_count
+            assert sum(row["records"] for row in per_shard) == len(oracle)
+
+    @pytest.mark.parametrize("shard_count", SHARD_COUNTS)
+    def test_prefix_truncation_matches_across_shards(self, shard_count):
+        # 3x the expansion limit of tokens under one prefix, spread over
+        # every shard: the global cut must land exactly where a single
+        # index would cut, and the flag must be raised either way.
+        corpus = [
+            CatalogRecord.build(f"tok{i:04d}", source="s", checksum=str(i))
+            for i in range(3 * PREFIX_EXPANSION_LIMIT)
+        ]
+        oracle = _oracle(corpus)
+        with ShardedCatalog(shard_count, workers=2) as sharded:
+            sharded.ingest_many(corpus)
+            _assert_equivalent(oracle, sharded, "tok*", limit=len(corpus))
+            assert sharded.search("tok*").truncated is True
+            narrow = sharded.search("tok000*")
+            assert narrow.truncated is False
+            assert len(narrow) == 10
+
+    @pytest.mark.parametrize("shard_count", SHARD_COUNTS)
+    def test_duplicates_rejected_per_shard(self, shard_count):
+        rec = CatalogRecord.build("dup.idx", source="s", checksum="c")
+        with ShardedCatalog(shard_count, workers=2) as sharded:
+            assert sharded.ingest(rec) is True
+            assert sharded.ingest(rec) is False
+            assert len(sharded) == 1
+            assert sharded.duplicates_rejected == 1
+
+    def test_routing_is_stable_across_instances(self):
+        recs = [CatalogRecord.build(f"r{i}", source="s") for i in range(64)]
+        with ShardedCatalog(7, workers=2) as a, ShardedCatalog(7, workers=2) as b:
+            a.ingest_many(recs)
+            b.ingest_many(reversed(recs))
+            assert [len(s.records) for s in a.shards] == [len(s.records) for s in b.shards]
+
+    def test_get_and_missing_key(self):
+        recs = [CatalogRecord.build(f"r{i}", source="s", checksum=str(i)) for i in range(20)]
+        with ShardedCatalog(4, workers=2) as sharded:
+            sharded.ingest_many(recs)
+            for rec in recs:
+                assert sharded.get(rec.record_id) == rec
+            with pytest.raises(KeyError):
+                sharded.get("no-such-id")
+
+    def test_empty_catalog(self):
+        with ShardedCatalog(4, workers=2) as sharded:
+            assert len(sharded) == 0
+            assert list(sharded.search("anything")) == []
+            assert sharded.facets_by_source("x*") == {}
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedCatalog(0)
+
+
+class TestPersistence:
+    def _corpus(self):
+        return [
+            CatalogRecord.build(
+                f"Terrain-Slope_{i}m CONUS.tif", source=f"src{i % 3}", size=100 + i,
+                checksum=f"c{i}", keywords=("terrain", "slope"),
+                description=f"tile {i} café", attributes={"region": "west" if i % 2 else "east"},
+            )
+            for i in range(30)
+        ]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        corpus = self._corpus()
+        oracle = _oracle(corpus)
+        with ShardedCatalog(4, workers=2) as sharded:
+            sharded.ingest_many(corpus)
+            sharded.save(str(tmp_path))
+        with ShardedCatalog.load(str(tmp_path), workers=2) as loaded:
+            assert loaded.replayed_shards == []
+            assert len(loaded) == len(oracle)
+            _assert_equivalent(oracle, loaded, "terr*", limit=40)
+            _assert_equivalent(oracle, loaded, "café", limit=40)
+
+    def test_save_is_deterministic(self, tmp_path):
+        corpus = self._corpus()
+        dirs = [str(tmp_path / "a"), str(tmp_path / "b")]
+        for d in dirs:
+            with ShardedCatalog(4, workers=2) as sharded:
+                sharded.ingest_many(corpus)
+                sharded.save(d)
+        for name in sorted(os.listdir(dirs[0])):
+            with open(os.path.join(dirs[0], name), "rb") as fa:
+                a = fa.read()
+            with open(os.path.join(dirs[1], name), "rb") as fb:
+                b = fb.read()
+            assert a == b, f"{name} differs between identical runs"
+
+    def test_stale_manifest_replays_shard(self, tmp_path):
+        corpus = self._corpus()
+        with ShardedCatalog(2, workers=2) as sharded:
+            sharded.ingest_many(corpus)
+            sharded.save(str(tmp_path))
+        # Age one manifest's tokenizer version: the partition's cached
+        # token lists are no longer trustworthy and must be replayed.
+        path = tmp_path / "shard-0000.manifest.json"
+        manifest = json.loads(path.read_text())
+        manifest["tokenizer_version"] = manifest["tokenizer_version"] - 1
+        path.write_text(json.dumps(manifest))
+        oracle = _oracle(corpus)
+        with ShardedCatalog.load(str(tmp_path), workers=2) as loaded:
+            assert loaded.replayed_shards == [0]
+            _assert_equivalent(oracle, loaded, "terrain slope", limit=40)
+            _assert_equivalent(oracle, loaded, "café", limit=40)
+
+    def test_corrupt_partition_rejected(self, tmp_path):
+        with ShardedCatalog(2, workers=2) as sharded:
+            sharded.ingest_many(self._corpus())
+            sharded.save(str(tmp_path))
+        shard_file = tmp_path / "shard-0001.jsonl"
+        shard_file.write_bytes(shard_file.read_bytes() + b'{"corrupt": true}\n')
+        with pytest.raises(CatalogManifestError, match="digest mismatch"):
+            ShardedCatalog.load(str(tmp_path), workers=2)
+
+    def test_mismatched_manifest_rejected(self, tmp_path):
+        with ShardedCatalog(2, workers=2) as sharded:
+            sharded.ingest_many(self._corpus())
+            sharded.save(str(tmp_path))
+        path = tmp_path / "shard-0000.manifest.json"
+        manifest = json.loads(path.read_text())
+        manifest["shard_id"] = 1
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(CatalogManifestError, match="describes shard"):
+            ShardedCatalog.load(str(tmp_path), workers=2)
+
+    def test_ingest_after_load(self, tmp_path):
+        corpus = self._corpus()
+        with ShardedCatalog(4, workers=2) as sharded:
+            sharded.ingest_many(corpus[:20])
+            sharded.save(str(tmp_path))
+        extra = corpus[20:]
+        oracle = _oracle(corpus)
+        with ShardedCatalog.load(str(tmp_path), workers=2) as loaded:
+            loaded.ingest_many(extra)
+            _assert_equivalent(oracle, loaded, "terr*", limit=40)
+
+    def test_closed_catalog_rejects_fan_out(self):
+        sharded = ShardedCatalog(4, workers=2)
+        sharded.close()
+        sharded.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            sharded.ingest_many(
+                [CatalogRecord.build(f"r{i}", source="s", checksum=str(i)) for i in range(8)]
+            )

@@ -130,3 +130,53 @@ class TestVerify:
         captured = capsys.readouterr()
         assert "FAILED" in captured.out
         assert "corrupted block" in captured.err
+
+
+class TestCatalog:
+    @pytest.fixture
+    def jsonl_file(self, tmp_path):
+        import json
+
+        from repro.catalog import CatalogRecord
+
+        path = tmp_path / "records.jsonl"
+        rows = [
+            CatalogRecord.build(
+                f"granule-{i:03d}.idx", source=f"site{i % 2}", size=100 + i,
+                checksum=f"c{i}", keywords=("terrain",),
+            ).to_dict()
+            for i in range(20)
+        ]
+        rows.append(rows[0])  # duplicate row
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        return str(path)
+
+    def test_ingest_search_stats(self, jsonl_file, tmp_path, capsys):
+        cat_dir = str(tmp_path / "cat")
+        rc = main(["catalog", "ingest", jsonl_file, "--dir", cat_dir,
+                   "--shards", "3", "--checkpoint-every", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "records      : 20" in out
+        assert "row dups     : 1" in out
+
+        assert main(["catalog", "search", "granule-001.idx", "--dir", cat_dir]) == 0
+        out = capsys.readouterr().out
+        assert "granule-001.idx" in out
+
+        assert main(["catalog", "search", "terrain", "--dir", cat_dir,
+                     "--source", "site1", "--limit", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "site0" not in out and "site1" in out
+
+        assert main(["catalog", "stats", "--dir", cat_dir]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out and "shard" in out
+
+    def test_ingest_resume_flag(self, jsonl_file, tmp_path, capsys):
+        cat_dir = str(tmp_path / "cat")
+        assert main(["catalog", "ingest", jsonl_file, "--dir", cat_dir]) == 0
+        capsys.readouterr()
+        # Re-running the finished ingest under --resume is a no-op.
+        assert main(["catalog", "ingest", jsonl_file, "--dir", cat_dir, "--resume"]) == 0
+        assert "records      : 20" in capsys.readouterr().out

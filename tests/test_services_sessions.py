@@ -497,3 +497,30 @@ class TestExplorer:
         assert set(codec_bytes) == {ds.header.codec}
         assert all(n > 0 for n in codec_bytes.values())
         json.dumps(codec_bytes)
+
+
+class TestCatalogInExplorer:
+    def test_summary_without_catalog_has_no_section(self, env, manager):
+        assert "catalog" not in manager.explorer().summary()
+
+    def test_attached_catalog_surfaces_per_shard_stats(self, env, manager):
+        from repro.catalog import CatalogRecord, ShardedCatalog
+
+        with ShardedCatalog(3, workers=2) as catalog:
+            catalog.ingest_many(
+                CatalogRecord.build(f"granule-{i}.idx", source=f"site{i % 2}",
+                                    size=10 + i, checksum=str(i))
+                for i in range(25)
+            )
+            manager.attach_catalog(catalog)
+            summary = manager.explorer().summary()
+            section = summary["catalog"]
+            assert section["shards"] == 3
+            assert section["records"] == 25
+            assert section["duplicates_rejected"] == 0
+            per_shard = section["per_shard"]
+            assert len(per_shard) == 3
+            assert sum(row["records"] for row in per_shard) == 25
+            json.dumps(summary)  # stays transport-clean with the catalog attached
+            manager.attach_catalog(None)
+            assert "catalog" not in manager.explorer().summary()
